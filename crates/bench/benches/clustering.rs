@@ -1,0 +1,36 @@
+//! Ablation bench: thread-clustering in the global trace (paper §3's LP
+//! locality trick) on vs off — collection cost and slicing cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer::{SliceSession, SlicerOptions};
+
+use bench::exp::{collect_session, last_read_criteria, record_parsec_region};
+use workloads::all_parsec;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_ablation");
+    group.sample_size(10);
+    // fluidanimate: fine-grained cross-thread sharing, where clustering
+    // has the most order constraints to work around.
+    let p = &all_parsec()[3];
+    let rr = record_parsec_region(p, 500, 20_000);
+    for (label, cluster) in [("clustered", true), ("unclustered", false)] {
+        let options = SlicerOptions {
+            cluster,
+            block_size: 256,
+            ..SlicerOptions::default()
+        };
+        group.bench_function(BenchmarkId::new("collect", label), |b| {
+            b.iter(|| SliceSession::collect(rr.program.clone(), &rr.recording.pinball, options))
+        });
+        let (session, _) = collect_session(&rr.program, &rr.recording.pinball, options);
+        let criterion = last_read_criteria(&session, 1)[0];
+        group.bench_function(BenchmarkId::new("slice", label), |b| {
+            b.iter(|| session.slice(criterion))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

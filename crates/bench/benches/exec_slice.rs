@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 14: slice-pinball replay vs full-region
+//! replay.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minivm::NullTool;
+use pinplay::Replayer;
+use slicer::SlicerOptions;
+
+use bench::exp::{collect_session, last_read_criteria, record_parsec_region};
+use workloads::all_parsec;
+
+fn bench_exec_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_exec_slice");
+    group.sample_size(10);
+    for p in all_parsec() {
+        let rr = record_parsec_region(&p, 500, 10_000);
+        let (session, _) =
+            collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default());
+        let Some(&criterion) = last_read_criteria(&session, 1).first() else {
+            continue;
+        };
+        let slice = session.slice(criterion);
+        let (slice_pb, _, _) = session.make_slice_pinball(&rr.recording.pinball, &slice);
+        group.bench_function(BenchmarkId::new(p.name, "region"), |b| {
+            b.iter(|| {
+                let mut rep = Replayer::new(Arc::clone(&rr.program), &rr.recording.pinball);
+                rep.run(&mut NullTool)
+            })
+        });
+        group.bench_function(BenchmarkId::new(p.name, "slice"), |b| {
+            b.iter(|| {
+                let mut rep = Replayer::new(Arc::clone(&rr.program), &slice_pb);
+                rep.run(&mut NullTool)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_slice);
+criterion_main!(benches);

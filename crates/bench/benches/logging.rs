@@ -1,0 +1,24 @@
+//! Criterion bench for Fig. 11: logging time vs region length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::exp::record_parsec_region;
+use workloads::all_parsec;
+
+fn bench_logging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_logging");
+    group.sample_size(10);
+    for p in all_parsec() {
+        for len in [2_000u64, 10_000, 50_000] {
+            group.bench_with_input(
+                BenchmarkId::new(p.name, len),
+                &len,
+                |b, &len| b.iter(|| record_parsec_region(&p, 500, len)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logging);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the compression substrate: pinball-shaped payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::exp::record_parsec_region;
+use workloads::all_parsec;
+
+fn bench_pinzip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pinzip");
+    group.sample_size(10);
+    let p = &all_parsec()[0];
+    let rr = record_parsec_region(p, 500, 20_000);
+    let json = serde_json::to_vec(&rr.recording.pinball).expect("serializes");
+    group.throughput(Throughput::Bytes(json.len() as u64));
+    group.bench_function(BenchmarkId::new("compress", json.len()), |b| {
+        b.iter(|| pinzip::compress(&json))
+    });
+    let compressed = pinzip::compress(&json);
+    group.bench_function(BenchmarkId::new("decompress", compressed.len()), |b| {
+        b.iter(|| pinzip::decompress(&compressed).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pinzip);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 13: slicing with and without save/restore
+//! pruning (the ablation of the §5.2 design choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minivm::{LiveEnv, RoundRobin};
+use pinplay::record_whole_program;
+use slicer::{SliceOptions, SlicerOptions};
+
+use bench::exp::{collect_session, last_read_criteria};
+use workloads::all_specomp;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_pruning");
+    group.sample_size(10);
+    for p in all_specomp() {
+        let program = (p.build)(200);
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(17),
+            &mut LiveEnv::new(42),
+            5_000_000,
+            p.name,
+        )
+        .expect("records");
+        let (session, _) = collect_session(&program, &rec.pinball, SlicerOptions::default());
+        let criterion = last_read_criteria(&session, 1)[0];
+        for (label, prune) in [("pruned", true), ("unpruned", false)] {
+            group.bench_with_input(BenchmarkId::new(p.name, label), &prune, |b, &prune| {
+                b.iter(|| {
+                    session.slice_with(
+                        criterion,
+                        SliceOptions {
+                            prune_save_restore: prune,
+                            ..SliceOptions::new()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

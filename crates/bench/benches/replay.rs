@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 12: replay time vs region length.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minivm::NullTool;
+use pinplay::Replayer;
+
+use bench::exp::record_parsec_region;
+use workloads::all_parsec;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_replay");
+    group.sample_size(10);
+    for p in all_parsec() {
+        for len in [2_000u64, 10_000, 50_000] {
+            let rr = record_parsec_region(&p, 500, len);
+            group.bench_with_input(BenchmarkId::new(p.name, len), &len, |b, _| {
+                b.iter(|| {
+                    let mut rep = Replayer::new(Arc::clone(&rr.program), &rr.recording.pinball);
+                    rep.run(&mut NullTool)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

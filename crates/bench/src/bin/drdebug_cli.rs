@@ -1,0 +1,214 @@
+//! Interactive DrDebug command-line debugger.
+//!
+//! Exposes one of the built-in buggy workloads with the Maple active
+//! scheduler, records the failing run as a pinball, and drops into a
+//! gdb-style read–eval–print loop over the deterministic replay:
+//!
+//! ```text
+//! cargo run --release -p bench --bin drdebug_cli -- fig5
+//! (drdebug) continue
+//! trap reproduced: assertion failed (tid 0, pc 7)
+//! (drdebug) slice-failure
+//! slice computed: 12 statement instances ...
+//! (drdebug) help
+//! ```
+//!
+//! Cases: `pbzip2`, `aget`, `mozilla` (Table 1), `fig5` (the paper's §3
+//! example), `fig8` (the §5.2 save/restore example — no bug, breaks at
+//! `compute_w` instead).
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use drdebug::{CommandInterpreter, DebugSession, LiveSession, LiveStop};
+use maple::{expose_iroot, ExposeOptions, IRoot};
+use minivm::{LiveEnv, Program, RoundRobin};
+use pinplay::{record_whole_program, Pinball};
+
+fn record_case(name: &str) -> Result<(Arc<Program>, Pinball), String> {
+    let bug_case = |case: workloads::BugCase| -> Result<(Arc<Program>, Pinball), String> {
+        let exposure = case
+            .expose()
+            .ok_or_else(|| format!("{}: bug not exposable", case.name))?;
+        eprintln!(
+            "[drdebug] exposed `{}` via interleaving {}: {}",
+            case.name, exposure.iroot, exposure.error
+        );
+        Ok((case.program, exposure.recording.pinball))
+    };
+    match name {
+        "pbzip2" => bug_case(workloads::pbzip2_like()),
+        "aget" => bug_case(workloads::aget_like()),
+        "mozilla" => bug_case(workloads::mozilla_like()),
+        "fig5" => {
+            let program = workloads::fig5_race();
+            let iroot: IRoot = workloads::fig5_exposing_iroot(&program);
+            let exposure = expose_iroot(&program, iroot, ExposeOptions::default())
+                .ok_or("fig5: race not exposable")?;
+            eprintln!("[drdebug] exposed the fig5 race: {}", exposure.error);
+            Ok((program, exposure.recording.pinball))
+        }
+        "fig8" => {
+            let program = workloads::fig8_save_restore();
+            let rec = record_whole_program(
+                &program,
+                &mut RoundRobin::new(8),
+                &mut LiveEnv::with_inputs(0, [1]),
+                100_000,
+                "fig8",
+            )
+            .map_err(|e| e.to_string())?;
+            Ok((program, rec.pinball))
+        }
+        other => Err(format!(
+            "unknown case `{other}`; expected pbzip2|aget|mozilla|fig5|fig8"
+        )),
+    }
+}
+
+/// Live-capture mode: run the case's program live with record on/off
+/// commands; on `record off` (or a trap) drop into the replay debugger.
+fn live_mode(program: Arc<Program>) -> Option<(Arc<Program>, Pinball)> {
+    let mut live = LiveSession::new(
+        Arc::clone(&program),
+        RoundRobin::new(8),
+        LiveEnv::new(0),
+        "live",
+    );
+    eprintln!(
+        "[drdebug --live] commands: break <pc> | delete <pc> | continue | record on | record off | state | quit"
+    );
+    let stdin = io::stdin();
+    loop {
+        print!("(live) ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => return None,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("break"), Some(pc)) => {
+                if let Ok(pc) = pc.parse() {
+                    live.add_breakpoint(pc);
+                    println!("live breakpoint at pc {pc}");
+                } else {
+                    println!("bad pc");
+                }
+            }
+            (Some("delete"), Some(pc)) => {
+                if let Ok(pc) = pc.parse::<u32>() {
+                    println!("removed: {}", live.remove_breakpoint(pc));
+                }
+            }
+            (Some("continue"), _) | (Some("c"), _) => {
+                let stop = live.cont(10_000_000);
+                println!("stopped: {stop:?}");
+                if matches!(stop, LiveStop::Trapped(_)) {
+                    if let Some(pb) = live.captured().cloned() {
+                        println!("trap while recording: pinball finalised; switching to replay");
+                        return Some((program, pb));
+                    }
+                }
+            }
+            (Some("record"), Some("on")) => {
+                println!("recording: {}", live.record_on());
+            }
+            (Some("record"), Some("off")) => match live.record_off() {
+                Some(pb) => {
+                    println!(
+                        "captured {} instructions; switching to replay debugger",
+                        pb.logged_instructions()
+                    );
+                    return Some((program, pb));
+                }
+                None => println!("not recording"),
+            },
+            (Some("state"), _) => {
+                for t in 0..live.exec().num_threads() as u32 {
+                    let th = live.exec().thread(t);
+                    println!("t{t}: pc={} runnable={}", th.pc, th.is_runnable());
+                }
+            }
+            (Some("quit"), _) | (Some("exit"), _) => return None,
+            (Some(other), _) => println!("unknown live command `{other}`"),
+            (None, _) => {}
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(case) = args.first() else {
+        eprintln!(
+            "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--cmd '<command>']..."
+        );
+        std::process::exit(2);
+    };
+    let (program, pinball) = if args.iter().any(|a| a == "--live") {
+        // Live mode uses the case's program but captures interactively.
+        let program = match record_case(case) {
+            Ok((p, _)) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        match live_mode(program) {
+            Some(captured) => captured,
+            None => return,
+        }
+    } else {
+        match record_case(case) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    eprintln!(
+        "[drdebug] pinball: {} instructions, {} bytes compressed",
+        pinball.logged_instructions(),
+        pinball.size_bytes()
+    );
+    let mut dbg = CommandInterpreter::new(DebugSession::new(program, pinball));
+
+    // Scripted mode: --cmd flags run in order, then exit.
+    let cmds: Vec<&String> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(flag, _)| flag.as_str() == "--cmd")
+        .map(|(_, cmd)| cmd)
+        .collect();
+    if !cmds.is_empty() {
+        for cmd in cmds {
+            println!("(drdebug) {cmd}");
+            println!("{}", dbg.execute(cmd));
+        }
+        return;
+    }
+
+    // Interactive REPL over stdin.
+    eprintln!("[drdebug] type `help` for commands, `quit` to exit");
+    let stdin = io::stdin();
+    loop {
+        print!("(drdebug) ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        println!("{}", dbg.execute(line));
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates the DrDebug paper's tables and figures.
+//!
+//! ```text
+//! paper_tables [table1|table2|table3|fig11|fig12|fig13|fig14|slicing|all]
+//!              [--quick]
+//! ```
+//!
+//! `--quick` shrinks the region-length sweeps for smoke runs; without it,
+//! the full (laptop-scaled) sweeps run — use a release build.
+
+use bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let fig11_lengths: &[u64] = if quick {
+        &[2_000, 10_000, 50_000]
+    } else {
+        tables::FIG11_LENGTHS
+    };
+    let fig13_lengths: &[u64] = if quick { &[5_000] } else { &[10_000, 100_000] };
+    let fig14_length: u64 = if quick { 5_000 } else { 50_000 };
+    let slicing_length: u64 = if quick { 5_000 } else { 50_000 };
+
+    let run = |name: &str| what == "all" || what == name;
+    let mut ran = false;
+    if run("table1") {
+        tables::table1();
+        println!();
+        ran = true;
+    }
+    if run("table2") {
+        tables::table2();
+        println!();
+        ran = true;
+    }
+    if run("table3") {
+        tables::table3();
+        println!();
+        ran = true;
+    }
+    if run("fig11") {
+        tables::fig11(fig11_lengths);
+        println!();
+        ran = true;
+    }
+    if run("fig12") {
+        tables::fig12(fig11_lengths);
+        println!();
+        ran = true;
+    }
+    if run("fig13") {
+        tables::fig13(fig13_lengths);
+        println!();
+        ran = true;
+    }
+    if run("fig14") {
+        tables::fig14(fig14_length);
+        println!();
+        ran = true;
+    }
+    if run("slicing") {
+        tables::slicing_overhead(slicing_length);
+        println!();
+        ran = true;
+    }
+    if run("ablations") {
+        tables::ablations(slicing_length);
+        println!();
+        ran = true;
+    }
+    if run("sizes") {
+        tables::pinball_sizes(fig11_lengths);
+        println!();
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment `{what}`; expected one of: table1 table2 table3 fig11 fig12 fig13 fig14 slicing ablations sizes all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Experiment primitives: record, replay, slice, relog — with timings.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use maple::ActiveScheduler;
+use minivm::{LiveEnv, NullTool, Program, RoundRobin};
+use pinplay::{record_region, Pinball, Recording, RegionSpec, Replayer};
+use slicer::{Criterion, Slice, SliceSession, SlicerOptions};
+use workloads::{BugCase, ParsecProgram};
+
+use crate::timed;
+
+/// Environment seed used throughout the experiments (fixed so reruns are
+/// reproducible).
+pub const ENV_SEED: u64 = 42;
+
+/// A recorded region with capture-time measurements.
+#[derive(Debug)]
+pub struct RecordedRegion {
+    /// The program the pinball belongs to.
+    pub program: Arc<Program>,
+    /// The capture result.
+    pub recording: Recording,
+    /// Wall-clock logging time, including pinball compression
+    /// (the paper's "Logging Overhead Time").
+    pub log_time: Duration,
+    /// Compressed pinball size in bytes (the paper's "Space" column).
+    pub space_bytes: usize,
+}
+
+/// Records a region of a PARSEC-analog program under round-robin
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics when the region cannot be captured (program too short for the
+/// requested skip/length — callers size `units` with margin).
+pub fn record_parsec_region(p: &ParsecProgram, skip: u64, length: u64) -> RecordedRegion {
+    let units = workloads::units_for_main_instructions(skip + length + length / 2 + 1_000);
+    let program = (p.build)(units);
+    let region = RegionSpec::skip_length(skip, length);
+    let max_steps = (skip + length) * 12 + 1_000_000;
+    let ((recording, space_bytes), log_time) = timed(|| {
+        let rec = record_region(
+            &program,
+            &mut RoundRobin::new(17),
+            &mut LiveEnv::new(ENV_SEED),
+            region,
+            max_steps,
+            p.name,
+        )
+        .expect("parsec region capture succeeds");
+        // Logging time includes compression, as in the paper ("logging
+        // (with bzip2 pinball compression) time").
+        let bytes = rec.pinball.to_bytes().len();
+        (rec, bytes)
+    });
+    RecordedRegion {
+        program,
+        recording,
+        log_time,
+        space_bytes,
+    }
+}
+
+/// Records a region of a bug case under the Maple active scheduler that
+/// exposes it.
+///
+/// # Panics
+///
+/// Panics when the bug cannot be exposed or the region not captured.
+pub fn record_bug_region(case: &BugCase, region: RegionSpec) -> RecordedRegion {
+    let iroot = case.exposing_iroot();
+    let ((recording, space_bytes), log_time) = timed(|| {
+        let rec = record_region(
+            &case.program,
+            &mut ActiveScheduler::new(iroot),
+            &mut LiveEnv::new(0),
+            region,
+            10_000_000,
+            case.name,
+        )
+        .expect("bug region capture succeeds");
+        let bytes = rec.pinball.to_bytes().len();
+        (rec, bytes)
+    });
+    RecordedRegion {
+        program: Arc::clone(&case.program),
+        recording,
+        log_time,
+        space_bytes,
+    }
+}
+
+/// Replays a pinball to completion, returning the wall time.
+pub fn replay_time(program: &Arc<Program>, pinball: &Pinball) -> Duration {
+    let (_, t) = timed(|| {
+        let mut rep = Replayer::new(Arc::clone(program), pinball);
+        rep.run(&mut NullTool)
+    });
+    t
+}
+
+/// Collects the slicing session for a pinball, returning the collection
+/// (dynamic-information tracing) time.
+pub fn collect_session(
+    program: &Arc<Program>,
+    pinball: &Pinball,
+    options: SlicerOptions,
+) -> (SliceSession, Duration) {
+    timed(|| SliceSession::collect(Arc::clone(program), pinball, options))
+}
+
+/// Criteria for "the last `n` read instructions (spread across threads)"
+/// — the paper's slice-criterion recipe (§7).
+pub fn last_read_criteria(session: &SliceSession, n: usize) -> Vec<Criterion> {
+    let mut reads: Vec<_> = session
+        .trace()
+        .records()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.instr,
+                minivm::Instr::Load { .. }
+                    | minivm::Instr::Pop { .. }
+                    | minivm::Instr::Cas { .. }
+                    | minivm::Instr::AtomicAdd { .. }
+            )
+        })
+        .map(|r| r.id)
+        .collect();
+    reads.sort_unstable();
+    reads
+        .into_iter()
+        .rev()
+        .take(n)
+        .map(|id| Criterion::Record { id })
+        .collect()
+}
+
+/// The last record that read the given memory address — for slicing a
+/// specific shared variable (the GUI's "Variable" field).
+pub fn last_read_of_addr(session: &SliceSession, addr: minivm::Addr) -> Option<Criterion> {
+    session
+        .trace()
+        .records()
+        .iter()
+        .filter(|r| {
+            r.use_keys(false)
+                .any(|(k, _)| k == slicer::LocKey::Mem(addr))
+        })
+        .max_by_key(|r| r.id)
+        .map(|r| Criterion::Record { id: r.id })
+}
+
+/// Computes a slice and the time it took.
+pub fn slice_timed(session: &SliceSession, criterion: Criterion) -> (Slice, Duration) {
+    timed(|| session.slice(criterion))
+}
+
+/// Full execution-slice pipeline for one slice: exclusion regions →
+/// relogging → slice pinball, returning the pinball and its replay time.
+pub fn slice_pinball_replay(
+    session: &SliceSession,
+    region: &Pinball,
+    slice: &Slice,
+) -> (Pinball, Duration) {
+    let (pb, _, _) = session.make_slice_pinball(region, slice);
+    let t = replay_time(session.program(), &pb);
+    (pb, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsec_region_capture_and_replay() {
+        let p = &workloads::all_parsec()[0];
+        let rr = record_parsec_region(p, 500, 2_000);
+        assert!(rr.recording.region_instructions >= 2_000);
+        assert!(rr.space_bytes > 0);
+        let t = replay_time(&rr.program, &rr.recording.pinball);
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn bug_region_capture_reproduces_trap() {
+        let case = workloads::pbzip2_like();
+        let rr = record_bug_region(&case, case.buggy_region());
+        assert!(matches!(
+            rr.recording.pinball.exit,
+            pinplay::RecordedExit::Trap(_)
+        ));
+        // Region starts at the root cause, so it is much shorter than the
+        // whole execution.
+        let whole = record_bug_region(&case, case.whole_region());
+        assert!(rr.recording.region_instructions < whole.recording.region_instructions);
+    }
+
+    #[test]
+    fn last_read_criteria_finds_loads() {
+        let p = &workloads::all_parsec()[1];
+        let rr = record_parsec_region(p, 100, 1_000);
+        let (session, _) = collect_session(
+            &rr.program,
+            &rr.recording.pinball,
+            SlicerOptions::default(),
+        );
+        let crits = last_read_criteria(&session, 10);
+        assert_eq!(crits.len(), 10);
+        let (slice, _) = slice_timed(&session, crits[0]);
+        assert!(!slice.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Live-run region capture — phase 1 of the paper's Fig. 2 workflow.
+//!
+//! "In the latter case we provide GDB commands/GUI buttons so the
+//! programmer can fast-forward to the buggy region and then manually
+//! capture the pinball" (paper §2; Fig. 9 shows the `Record on/off`
+//! toolbar button). A [`LiveSession`] runs the program *live* (real
+//! scheduler, real environment) under breakpoints; `record_on` snapshots
+//! the state and starts logging non-deterministic events; `record_off`
+//! (or the bug trapping) finalises the pinball, which then seeds the
+//! replay-based [`DebugSession`](crate::session::DebugSession).
+
+use std::sync::Arc;
+
+use minivm::{
+    Environment, Executor, InsEvent, Pc, Program, Scheduler, Tid, VmError,
+};
+use pinplay::{Pinball, PinballMeta, RecordedExit, ScheduleBuilder};
+
+/// Why a live run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveStop {
+    /// A breakpoint pc was reached (the instruction has retired).
+    Breakpoint {
+        /// Thread that hit it.
+        tid: Tid,
+        /// The breakpoint's pc.
+        pc: Pc,
+    },
+    /// The program trapped — if recording, this is the captured failure.
+    Trapped(VmError),
+    /// Every thread halted.
+    Finished,
+    /// The step budget given to [`LiveSession::cont`] ran out.
+    BudgetExhausted,
+}
+
+/// A live (non-replay) run with interactive region capture.
+pub struct LiveSession<S, E> {
+    program: Arc<Program>,
+    exec: Executor,
+    sched: S,
+    env: E,
+    breakpoints: Vec<Pc>,
+    recording: Option<RecordingState>,
+    /// The finalized pinball once `record_off` was called or a trap fired
+    /// while recording.
+    captured: Option<Pinball>,
+    name: String,
+}
+
+struct RecordingState {
+    snapshot: minivm::Snapshot,
+    schedule: ScheduleBuilder,
+    syscalls: Vec<Vec<i64>>,
+}
+
+impl<S: Scheduler, E: Environment> std::fmt::Debug for LiveSession<S, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSession")
+            .field("name", &self.name)
+            .field("recording", &self.recording.is_some())
+            .field("captured", &self.captured.is_some())
+            .finish()
+    }
+}
+
+impl<S: Scheduler, E: Environment> LiveSession<S, E> {
+    /// Starts a live run of `program`.
+    pub fn new(program: Arc<Program>, sched: S, env: E, name: &str) -> LiveSession<S, E> {
+        let exec = Executor::new(Arc::clone(&program));
+        LiveSession {
+            program,
+            exec,
+            sched,
+            env,
+            breakpoints: Vec::new(),
+            recording: None,
+            captured: None,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Adds a fast-forward breakpoint.
+    pub fn add_breakpoint(&mut self, pc: Pc) {
+        self.breakpoints.push(pc);
+    }
+
+    /// Removes a breakpoint (all entries at `pc`); returns whether any
+    /// existed.
+    pub fn remove_breakpoint(&mut self, pc: Pc) -> bool {
+        let before = self.breakpoints.len();
+        self.breakpoints.retain(|&b| b != pc);
+        before != self.breakpoints.len()
+    }
+
+    /// Removes every breakpoint.
+    pub fn clear_breakpoints(&mut self) {
+        self.breakpoints.clear();
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// The live machine state (for inspection between stops).
+    pub fn exec(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Turns recording on: snapshots the architectural state; subsequent
+    /// execution is logged until [`record_off`](Self::record_off) or a trap.
+    ///
+    /// Returns false (no-op) when already recording.
+    pub fn record_on(&mut self) -> bool {
+        if self.recording.is_some() {
+            return false;
+        }
+        // Region-relative numbering starts here: rebase the executor on its
+        // own snapshot so instances and sequence numbers restart, exactly
+        // like replay will see them.
+        let snapshot = self.exec.snapshot();
+        self.exec = Executor::from_snapshot(Arc::clone(&self.program), &snapshot);
+        self.recording = Some(RecordingState {
+            snapshot,
+            schedule: ScheduleBuilder::new(),
+            syscalls: Vec::new(),
+        });
+        true
+    }
+
+    /// Turns recording off and returns the captured pinball.
+    ///
+    /// Returns `None` when recording was never started.
+    pub fn record_off(&mut self) -> Option<Pinball> {
+        let state = self.recording.take()?;
+        let pb = Self::finish_pinball(&self.name, state, RecordedExit::RegionEnd);
+        self.captured = Some(pb.clone());
+        Some(pb)
+    }
+
+    /// The pinball captured by the last `record_off` (or trap-while-
+    /// recording).
+    pub fn captured(&self) -> Option<&Pinball> {
+        self.captured.as_ref()
+    }
+
+    fn finish_pinball(name: &str, state: RecordingState, exit: RecordedExit) -> Pinball {
+        Pinball {
+            meta: PinballMeta {
+                program: name.to_owned(),
+                region: "live capture".to_owned(),
+                is_slice: false,
+            },
+            snapshot: state.snapshot,
+            events: state.schedule.finish(),
+            syscalls: state.syscalls,
+            exit,
+        }
+    }
+
+    /// Runs the live program until a breakpoint, a trap, completion, or
+    /// `budget` retired instructions.
+    pub fn cont(&mut self, budget: u64) -> LiveStop {
+        for _ in 0..budget {
+            if self.exec.all_halted() {
+                return LiveStop::Finished;
+            }
+            let Some(tid) = self.sched.pick(&self.exec) else {
+                return LiveStop::Finished;
+            };
+            match self.exec.step(tid, &mut self.env) {
+                Ok((ev, _)) => {
+                    self.observe(&ev);
+                    if self.breakpoints.contains(&ev.pc) {
+                        return LiveStop::Breakpoint {
+                            tid: ev.tid,
+                            pc: ev.pc,
+                        };
+                    }
+                }
+                Err((ev, e)) => {
+                    self.observe(&ev);
+                    // A trap while recording finalises the pinball with the
+                    // failure included — the captured buggy region.
+                    if let Some(state) = self.recording.take() {
+                        self.captured =
+                            Some(Self::finish_pinball(&self.name, state, RecordedExit::Trap(e)));
+                    }
+                    return LiveStop::Trapped(e);
+                }
+            }
+        }
+        LiveStop::BudgetExhausted
+    }
+
+    fn observe(&mut self, ev: &InsEvent) {
+        let Some(state) = self.recording.as_mut() else {
+            return;
+        };
+        state.schedule.step(ev.tid);
+        if let Some(v) = ev.sys_result {
+            let t = ev.tid as usize;
+            if state.syscalls.len() <= t {
+                state.syscalls.resize_with(t + 1, Vec::new);
+            }
+            state.syscalls[t].push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, NullTool, Reg, RoundRobin};
+    use pinplay::{Replayer, ReplayStatus};
+
+    const PROG: &str = r"
+        .data
+        x: .word 0
+        .text
+        .func main
+            movi r0, 100     ; 0   warm-up loop
+        warm:
+            subi r0, r0, 1   ; 1
+            bgti r0, 0, warm ; 2
+            rand r1          ; 3   <- buggy region starts here
+            andi r1, r1, 7   ; 4
+            la r2, x         ; 5
+            store r1, r2, 0  ; 6
+            addi r1, r1, 1   ; 7
+            halt             ; 8
+        .endfunc
+        ";
+
+    fn live() -> LiveSession<RoundRobin, LiveEnv> {
+        let program = Arc::new(assemble(PROG).unwrap());
+        LiveSession::new(program, RoundRobin::new(8), LiveEnv::new(77), "live-test")
+    }
+
+    #[test]
+    fn fast_forward_then_record_then_replay() {
+        let mut s = live();
+        // Fast-forward to the buggy region at full speed.
+        s.add_breakpoint(3);
+        let stop = s.cont(10_000);
+        assert_eq!(stop, LiveStop::Breakpoint { tid: 0, pc: 3 });
+        assert!(!s.is_recording());
+
+        // Record the region.
+        assert!(s.record_on());
+        assert!(!s.record_on(), "double record_on is a no-op");
+        let stop = s.cont(10_000);
+        assert_eq!(stop, LiveStop::Finished);
+        let pb = s.record_off().expect("pinball captured");
+        // rand executed before record_on (bp fires after pc 3 retires), so
+        // the log holds the remaining instructions only.
+        assert!(pb.logged_instructions() < 10);
+
+        // The captured pinball replays to the same final state.
+        let program = Arc::new(assemble(PROG).unwrap());
+        let mut rep = Replayer::new(Arc::clone(&program), &pb);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        assert_eq!(rep.exec().read_reg(0, Reg(1)), s.exec().read_reg(0, Reg(1)));
+        let x = program.symbol("x").unwrap();
+        assert_eq!(rep.exec().read_mem(x), s.exec().read_mem(x));
+    }
+
+    #[test]
+    fn record_captures_syscalls_for_replay() {
+        let mut s = live();
+        s.add_breakpoint(2); // stop inside the warm-up, before rand
+        s.cont(10_000);
+        assert!(s.remove_breakpoint(2));
+        s.record_on();
+        let stop = s.cont(10_000);
+        assert_eq!(stop, LiveStop::Finished);
+        let pb = s.record_off().unwrap();
+        assert_eq!(
+            pb.syscalls.first().map(Vec::len),
+            Some(1),
+            "the rand result is in the region log"
+        );
+        // Two replays agree on the injected rand value.
+        let program = Arc::new(assemble(PROG).unwrap());
+        let replay = |pb: &Pinball| {
+            let mut rep = Replayer::new(Arc::clone(&program), pb);
+            rep.run(&mut NullTool);
+            rep.exec().read_reg(0, Reg(1))
+        };
+        assert_eq!(replay(&pb), replay(&pb));
+        assert_eq!(replay(&pb), s.exec().read_reg(0, Reg(1)));
+    }
+
+    #[test]
+    fn trap_while_recording_finalises_the_pinball() {
+        let program = Arc::new(
+            assemble(
+                r"
+                .text
+                .func main
+                    movi r0, 10
+                warm:
+                    subi r0, r0, 1
+                    bgti r0, 0, warm
+                    movi r1, 0
+                    assert r1      ; the bug
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let mut s = LiveSession::new(
+            Arc::clone(&program),
+            RoundRobin::new(8),
+            LiveEnv::new(0),
+            "trap-test",
+        );
+        s.record_on();
+        let stop = s.cont(10_000);
+        assert!(matches!(stop, LiveStop::Trapped(VmError::AssertFailed { .. })));
+        assert!(!s.is_recording(), "trap closes the recording");
+        let pb = s.captured().expect("pinball finalised at the trap").clone();
+        assert!(matches!(pb.exit, RecordedExit::Trap(_)));
+        // The failure replays.
+        let mut rep = Replayer::new(program, &pb);
+        assert!(matches!(rep.run(&mut NullTool), ReplayStatus::Trapped(_)));
+    }
+
+    #[test]
+    fn record_off_without_record_on_is_none() {
+        let mut s = live();
+        assert!(s.record_off().is_none());
+    }
+}

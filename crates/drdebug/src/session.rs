@@ -1,0 +1,875 @@
+//! The replay-based debug session — DrDebug's core loop (paper Fig. 2).
+//!
+//! A [`DebugSession`] replays a pinball under interactive control: set
+//! breakpoints, continue, single-step, inspect registers and memory — "all
+//! regular debugging commands (except state modification) continue to work"
+//! (paper §1). Because every run replays the same pinball, each debug
+//! iteration "observes the exact same program state (heap/stack location,
+//! outcome of system calls, thread schedule)": [`DebugSession::restart`] is
+//! the cyclic-debugging primitive.
+//!
+//! On top of replay the session serves the paper's new commands: computing
+//! dynamic slices at a stop point, saving a slice, generating the slice
+//! pinball via the relogger, and re-seating the session on the slice
+//! pinball for slice-level stepping (paper Fig. 4).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use minivm::{Addr, Pc, Program, Reg, Tid, ToolControl, VmError};
+use pinplay::{Pinball, Replayer, ReplayStatus};
+use slicer::{Criterion, LocKey, Slice, SliceOptions, SliceSession, SlicerOptions};
+
+/// A breakpoint on a program point, optionally filtered by thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakpoint {
+    /// Program point.
+    pub pc: Pc,
+    /// Restrict to one thread (`None` = any thread).
+    pub tid: Option<Tid>,
+    /// Disabled breakpoints are kept but never hit.
+    pub enabled: bool,
+}
+
+/// A watchpoint on a memory word: the session stops when it is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchpoint {
+    /// Watched address.
+    pub addr: Addr,
+    /// Disabled watchpoints are kept but never hit.
+    pub enabled: bool,
+}
+
+/// Why the session stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A breakpoint was hit (the instruction at its pc has just retired).
+    Breakpoint {
+        /// Breakpoint id.
+        id: u32,
+        /// Thread that hit it.
+        tid: Tid,
+        /// The breakpoint's pc.
+        pc: Pc,
+    },
+    /// A watchpoint was hit: the watched address was just written.
+    Watchpoint {
+        /// Watchpoint id.
+        id: u32,
+        /// Writing thread.
+        tid: Tid,
+        /// The writing instruction's pc.
+        pc: Pc,
+        /// The value written.
+        value: i64,
+    },
+    /// Reverse execution reached the region entry.
+    ReplayStart,
+    /// One instruction was stepped.
+    Stepped {
+        /// Thread that stepped.
+        tid: Tid,
+        /// The stepped instruction's pc.
+        pc: Pc,
+    },
+    /// The replay log is exhausted — the end of the recorded region.
+    ReplayEnd,
+    /// The recorded trap reproduced (the bug fired, deterministically).
+    Trapped(VmError),
+}
+
+/// Where the session last stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopSite {
+    /// Thread of the last retired instruction.
+    pub tid: Tid,
+    /// Its pc.
+    pub pc: Pc,
+    /// Its region-relative instance count.
+    pub instance: u64,
+    /// Its region-relative global sequence number (slice criterion handle).
+    pub seq: u64,
+}
+
+/// An interactive, replay-based debugging session over one pinball.
+pub struct DebugSession {
+    program: Arc<Program>,
+    pinball: Pinball,
+    replayer: Replayer,
+    breakpoints: BTreeMap<u32, Breakpoint>,
+    watchpoints: BTreeMap<u32, Watchpoint>,
+    /// Periodic replay checkpoints `(instructions retired, state)` in
+    /// ascending order — the §8 reverse-debugging substrate. Checkpoints
+    /// survive `restart` (the pinball never changes).
+    checkpoints: Vec<(u64, Replayer)>,
+    checkpoint_interval: u64,
+    next_bp: u32,
+    last_event: Option<StopSite>,
+    /// Collected lazily on the first slice request and reused across the
+    /// whole session (paper §7: "the dynamic information can be used for
+    /// multiple slicing sessions").
+    slicer: Option<SliceSession>,
+    slicer_options: SlicerOptions,
+    /// The Fig. 9 "Prune Vars" set: locations whose dependences slice
+    /// requests do not chase.
+    prune_keys: std::collections::HashSet<LocKey>,
+    saved_slices: Vec<Slice>,
+}
+
+impl std::fmt::Debug for DebugSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DebugSession")
+            .field("program", &self.pinball.meta.program)
+            .field("breakpoints", &self.breakpoints.len())
+            .field("stopped_at", &self.last_event)
+            .finish()
+    }
+}
+
+impl DebugSession {
+    /// Opens a session replaying `pinball`.
+    pub fn new(program: Arc<Program>, pinball: Pinball) -> DebugSession {
+        let replayer = Replayer::new(Arc::clone(&program), &pinball);
+        let checkpoints = vec![(0, replayer.clone())];
+        DebugSession {
+            program,
+            pinball,
+            replayer,
+            breakpoints: BTreeMap::new(),
+            watchpoints: BTreeMap::new(),
+            checkpoints,
+            checkpoint_interval: 4096,
+            next_bp: 1,
+            last_event: None,
+            slicer: None,
+            slicer_options: SlicerOptions::default(),
+            prune_keys: std::collections::HashSet::new(),
+            saved_slices: Vec::new(),
+        }
+    }
+
+    /// Overrides the slicer configuration (before the first slice request).
+    pub fn set_slicer_options(&mut self, options: SlicerOptions) {
+        self.slicer_options = options;
+        self.slicer = None;
+    }
+
+    /// Adds a location to the "Prune Vars" set (paper Fig. 9): subsequent
+    /// slice requests will not chase its dependences.
+    pub fn add_prune_key(&mut self, key: LocKey) {
+        self.prune_keys.insert(key);
+    }
+
+    /// Clears the "Prune Vars" set.
+    pub fn clear_prune_keys(&mut self) {
+        self.prune_keys.clear();
+    }
+
+    /// The current "Prune Vars" set.
+    pub fn prune_keys(&self) -> &std::collections::HashSet<LocKey> {
+        &self.prune_keys
+    }
+
+    fn slice_options(&self) -> SliceOptions {
+        let mut opts = SliceOptions::new();
+        opts.prune_save_restore = self.slicer_options.prune_save_restore;
+        opts.prune_keys = self.prune_keys.clone();
+        opts
+    }
+
+    /// The program being debugged.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The pinball this session replays.
+    pub fn pinball(&self) -> &Pinball {
+        &self.pinball
+    }
+
+    /// Sets a breakpoint; returns its id.
+    pub fn add_breakpoint(&mut self, pc: Pc, tid: Option<Tid>) -> u32 {
+        let id = self.next_bp;
+        self.next_bp += 1;
+        self.breakpoints.insert(
+            id,
+            Breakpoint {
+                pc,
+                tid,
+                enabled: true,
+            },
+        );
+        id
+    }
+
+    /// Removes a breakpoint; returns whether it existed.
+    pub fn delete_breakpoint(&mut self, id: u32) -> bool {
+        self.breakpoints.remove(&id).is_some()
+    }
+
+    /// Sets a watchpoint on a memory word; returns its id (breakpoints and
+    /// watchpoints share the id space).
+    pub fn add_watchpoint(&mut self, addr: Addr) -> u32 {
+        let id = self.next_bp;
+        self.next_bp += 1;
+        self.watchpoints.insert(
+            id,
+            Watchpoint {
+                addr,
+                enabled: true,
+            },
+        );
+        id
+    }
+
+    /// Removes a watchpoint; returns whether it existed.
+    pub fn delete_watchpoint(&mut self, id: u32) -> bool {
+        self.watchpoints.remove(&id).is_some()
+    }
+
+    /// The current watchpoints.
+    pub fn watchpoints(&self) -> impl Iterator<Item = (u32, &Watchpoint)> {
+        self.watchpoints.iter().map(|(id, wp)| (*id, wp))
+    }
+
+    /// Instructions retired so far in the current replay.
+    pub fn position(&self) -> u64 {
+        self.replayer.replayed_instructions()
+    }
+
+    /// Enables/disables a breakpoint; returns whether it exists.
+    pub fn enable_breakpoint(&mut self, id: u32, enabled: bool) -> bool {
+        if let Some(bp) = self.breakpoints.get_mut(&id) {
+            bp.enabled = enabled;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current breakpoints.
+    pub fn breakpoints(&self) -> impl Iterator<Item = (u32, &Breakpoint)> {
+        self.breakpoints.iter().map(|(id, bp)| (*id, bp))
+    }
+
+    /// Where the session last stopped (the most recently retired
+    /// instruction).
+    pub fn stopped_at(&self) -> Option<StopSite> {
+        self.last_event
+    }
+
+    /// Restarts the replay from the region entry — the next iteration of
+    /// cyclic debugging. Breakpoints and saved slices are kept; the
+    /// observed execution is guaranteed identical.
+    pub fn restart(&mut self) {
+        self.replayer = Replayer::new(Arc::clone(&self.program), &self.pinball);
+        self.last_event = None;
+    }
+
+    /// Continues replay until a breakpoint or watchpoint hits, the trap
+    /// reproduces, or the region ends. Runs in bursts, taking a replay
+    /// checkpoint every [`checkpoint_interval`](Self::set_checkpoint_interval)
+    /// instructions to keep reverse execution cheap.
+    pub fn cont(&mut self) -> StopReason {
+        loop {
+            self.maybe_checkpoint();
+            let bps = &self.breakpoints;
+            let wps = &self.watchpoints;
+            let mut hit: Option<StopReason> = None;
+            let mut last: Option<StopSite> = None;
+            let mut left = self.checkpoint_interval.max(1);
+            let mut tool = |ev: &minivm::InsEvent| {
+                last = Some(StopSite {
+                    tid: ev.tid,
+                    pc: ev.pc,
+                    instance: ev.instance,
+                    seq: ev.seq,
+                });
+                for (&id, bp) in bps.iter() {
+                    if bp.enabled && bp.pc == ev.pc && bp.tid.is_none_or(|t| t == ev.tid) {
+                        hit = Some(StopReason::Breakpoint {
+                            id,
+                            tid: ev.tid,
+                            pc: ev.pc,
+                        });
+                        return ToolControl::Stop;
+                    }
+                }
+                for (&id, wp) in wps.iter() {
+                    if !wp.enabled {
+                        continue;
+                    }
+                    if let Some(value) = ev.defs.value_of(minivm::Loc::Mem(wp.addr)) {
+                        hit = Some(StopReason::Watchpoint {
+                            id,
+                            tid: ev.tid,
+                            pc: ev.pc,
+                            value,
+                        });
+                        return ToolControl::Stop;
+                    }
+                }
+                left -= 1;
+                if left == 0 {
+                    ToolControl::Stop // burst boundary: take a checkpoint
+                } else {
+                    ToolControl::Continue
+                }
+            };
+            let status = self.replayer.run(&mut tool);
+            if last.is_some() {
+                self.last_event = last;
+            }
+            match (status, hit) {
+                (ReplayStatus::Paused, Some(reason)) => return reason,
+                (ReplayStatus::Paused, None) => continue, // burst boundary
+                (ReplayStatus::Trapped(e), _) => return StopReason::Trapped(e),
+                (ReplayStatus::Completed, _) => return StopReason::ReplayEnd,
+            }
+        }
+    }
+
+    /// Overrides the reverse-debugging checkpoint interval (instructions).
+    pub fn set_checkpoint_interval(&mut self, interval: u64) {
+        self.checkpoint_interval = interval.max(1);
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let cur = self.replayer.replayed_instructions();
+        let due = match self.checkpoints.last() {
+            Some(&(s, _)) => cur >= s + self.checkpoint_interval,
+            None => true,
+        };
+        // Checkpoints are kept sorted by position; out-of-order states
+        // (after reverse execution) are simply not re-recorded.
+        if due && self.checkpoints.last().is_none_or(|&(s, _)| s < cur) {
+            self.checkpoints.push((cur, self.replayer.clone()));
+            // Bound memory on very long replays: when the set grows large,
+            // thin to every other checkpoint (doubling the effective
+            // interval). Seeks before the first remaining checkpoint fall
+            // back to replaying from the region entry, so thinning only
+            // costs time, never correctness.
+            const MAX_CHECKPOINTS: usize = 256;
+            if self.checkpoints.len() > MAX_CHECKPOINTS {
+                let mut i = 0;
+                self.checkpoints.retain(|_| {
+                    i += 1;
+                    i % 2 == 1
+                });
+                self.checkpoint_interval *= 2;
+            }
+        }
+    }
+
+    /// Seeks the replay to the state after exactly `target` instructions
+    /// have retired, using the nearest earlier checkpoint — the paper §8
+    /// recipe ("recording multiple pinballs and then replaying forward
+    /// using the right pinball", via user-level checkpointing).
+    fn seek(&mut self, target: u64) -> StopReason {
+        let base = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s <= target)
+            .map(|(_, r)| r.clone());
+        let mut rep = base.unwrap_or_else(|| Replayer::new(Arc::clone(&self.program), &self.pinball));
+        let mut last: Option<StopSite> = None;
+        while rep.replayed_instructions() < target {
+            let mut tool = |ev: &minivm::InsEvent| {
+                last = Some(StopSite {
+                    tid: ev.tid,
+                    pc: ev.pc,
+                    instance: ev.instance,
+                    seq: ev.seq,
+                });
+                ToolControl::Continue
+            };
+            match rep.step(&mut tool) {
+                None | Some(ReplayStatus::Completed) | Some(ReplayStatus::Trapped(_)) => break,
+                Some(ReplayStatus::Paused) => {}
+            }
+        }
+        self.replayer = rep;
+        match last {
+            Some(site) => {
+                self.last_event = Some(site);
+                StopReason::Stepped {
+                    tid: site.tid,
+                    pc: site.pc,
+                }
+            }
+            None => {
+                self.last_event = None;
+                StopReason::ReplayStart
+            }
+        }
+    }
+
+    /// Steps one instruction *backwards*: the session ends up in the state
+    /// just before the most recently retired instruction.
+    pub fn reverse_stepi(&mut self) -> StopReason {
+        let cur = self.replayer.replayed_instructions();
+        if cur == 0 {
+            return StopReason::ReplayStart;
+        }
+        self.seek(cur - 1)
+    }
+
+    /// Runs *backwards* to the most recent breakpoint/watchpoint hit before
+    /// the current position (or to the region entry if none).
+    pub fn reverse_continue(&mut self) -> StopReason {
+        let cur = self.replayer.replayed_instructions();
+        if cur == 0 {
+            return StopReason::ReplayStart;
+        }
+        // Forward scan from the region entry, remembering the last hit
+        // strictly before the current position.
+        let bps = &self.breakpoints;
+        let wps = &self.watchpoints;
+        let mut probe = Replayer::new(Arc::clone(&self.program), &self.pinball);
+        let mut best: Option<(u64, StopReason)> = None;
+        let mut tool = |ev: &minivm::InsEvent| {
+            let after = ev.seq + 1;
+            if after >= cur {
+                return ToolControl::Stop;
+            }
+            for (&id, bp) in bps.iter() {
+                if bp.enabled && bp.pc == ev.pc && bp.tid.is_none_or(|t| t == ev.tid) {
+                    best = Some((
+                        after,
+                        StopReason::Breakpoint {
+                            id,
+                            tid: ev.tid,
+                            pc: ev.pc,
+                        },
+                    ));
+                }
+            }
+            for (&id, wp) in wps.iter() {
+                if !wp.enabled {
+                    continue;
+                }
+                if let Some(value) = ev.defs.value_of(minivm::Loc::Mem(wp.addr)) {
+                    best = Some((
+                        after,
+                        StopReason::Watchpoint {
+                            id,
+                            tid: ev.tid,
+                            pc: ev.pc,
+                            value,
+                        },
+                    ));
+                }
+            }
+            ToolControl::Continue
+        };
+        let _ = probe.run(&mut tool);
+        match best {
+            Some((seq, reason)) => {
+                self.seek(seq);
+                reason
+            }
+            None => self.seek(0),
+        }
+    }
+
+    /// Steps one instruction of the replay.
+    pub fn stepi(&mut self) -> StopReason {
+        let mut last: Option<StopSite> = None;
+        let mut tool = |ev: &minivm::InsEvent| {
+            last = Some(StopSite {
+                tid: ev.tid,
+                pc: ev.pc,
+                instance: ev.instance,
+                seq: ev.seq,
+            });
+            ToolControl::Continue
+        };
+        match self.replayer.step(&mut tool) {
+            None => StopReason::ReplayEnd,
+            Some(status) => {
+                if last.is_some() {
+                    self.last_event = last;
+                }
+                match status {
+                    ReplayStatus::Trapped(e) => StopReason::Trapped(e),
+                    ReplayStatus::Completed => StopReason::ReplayEnd,
+                    ReplayStatus::Paused => {
+                        let site = self.last_event.expect("stepped event recorded");
+                        StopReason::Stepped {
+                            tid: site.tid,
+                            pc: site.pc,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads a register of a thread (the `print $r` command).
+    pub fn read_reg(&self, tid: Tid, reg: Reg) -> i64 {
+        self.replayer.exec().read_reg(tid, reg)
+    }
+
+    /// Reads a memory word (the `x` command).
+    pub fn read_mem(&self, addr: Addr) -> i64 {
+        self.replayer.exec().read_mem(addr)
+    }
+
+    /// Resolves a data symbol and reads its value.
+    pub fn read_symbol(&self, name: &str) -> Option<i64> {
+        self.program.symbol(name).map(|a| self.read_mem(a))
+    }
+
+    /// Current pc of each live thread (the `info threads` command).
+    pub fn threads(&self) -> Vec<(Tid, Pc, bool)> {
+        let exec = self.replayer.exec();
+        (0..exec.num_threads() as Tid)
+            .map(|t| {
+                let th = exec.thread(t);
+                (t, th.pc, th.is_runnable())
+            })
+            .collect()
+    }
+
+    /// The slicing session for this pinball, collected on first use.
+    pub fn slicer(&mut self) -> &SliceSession {
+        if self.slicer.is_none() {
+            self.slicer = Some(SliceSession::collect(
+                Arc::clone(&self.program),
+                &self.pinball,
+                self.slicer_options,
+            ));
+        }
+        self.slicer.as_ref().expect("collected above")
+    }
+
+    /// The slicing session if it has already been collected (borrow-friendly
+    /// companion to [`DebugSession::slicer`]).
+    pub fn slicer_ref(&self) -> Option<&SliceSession> {
+        self.slicer.as_ref()
+    }
+
+    /// Computes a slice for the value of `key` at the current stop point —
+    /// the `slice` command of paper Fig. 9 ("Thread Id / Line Num /
+    /// Variable" fields).
+    pub fn slice_here(&mut self, key: LocKey) -> Option<Slice> {
+        let site = self.stopped_at()?;
+        let slicer = self.slicer();
+        let id = slicer
+            .trace()
+            .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
+            .id;
+        let opts = self.slice_options();
+        let slicer = self.slicer();
+        Some(slicer.slice_with(Criterion::Value { id, key }, opts))
+    }
+
+    /// Computes a slice for everything used at the current stop point.
+    pub fn slice_here_record(&mut self) -> Option<Slice> {
+        let site = self.stopped_at()?;
+        let slicer = self.slicer();
+        let id = slicer
+            .trace()
+            .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
+            .id;
+        let opts = self.slice_options();
+        let slicer = self.slicer();
+        Some(slicer.slice_with(Criterion::Record { id }, opts))
+    }
+
+    /// Computes a slice for a value at the last execution of a *source
+    /// line* — the KDbg dialog's "Line Num / Variable" fields (paper
+    /// Fig. 9). `key` of `None` slices on everything the statement used.
+    pub fn slice_at_line(&mut self, line: u32, key: Option<LocKey>) -> Option<Slice> {
+        let slicer = self.slicer();
+        let rec = slicer.trace().records().iter().filter(|r| r.line == line).max_by_key(|r| r.id)?;
+        let id = rec.id;
+        let opts = self.slice_options();
+        let slicer = self.slicer();
+        Some(match key {
+            Some(key) => slicer.slice_with(Criterion::Value { id, key }, opts),
+            None => slicer.slice_with(Criterion::Record { id }, opts),
+        })
+    }
+
+    /// Computes a slice at the failure point (last record of the trace).
+    pub fn slice_failure(&mut self) -> Option<Slice> {
+        let opts = self.slice_options();
+        let slicer = self.slicer();
+        let id = slicer.failure_record()?.id;
+        Some(slicer.slice_with(Criterion::Record { id }, opts))
+    }
+
+    /// Saves a slice for later slice-pinball generation; returns its index.
+    pub fn save_slice(&mut self, slice: Slice) -> usize {
+        self.saved_slices.push(slice);
+        self.saved_slices.len() - 1
+    }
+
+    /// The saved slices.
+    pub fn saved_slices(&self) -> &[Slice] {
+        &self.saved_slices
+    }
+
+    /// Generates the slice pinball for a saved slice (paper Fig. 4(b)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn make_slice_pinball(&mut self, index: usize) -> Pinball {
+        assert!(index < self.saved_slices.len(), "no saved slice {index}");
+        self.slicer(); // ensure collected
+        let slicer = self.slicer.as_ref().expect("collected above");
+        let slice = &self.saved_slices[index];
+        let (pb, _, _) = slicer.make_slice_pinball(&self.pinball, slice);
+        pb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, RoundRobin};
+    use pinplay::record_whole_program;
+
+    const PROG: &str = r"
+        .data
+        x: .word 0
+        .text
+        .func main
+            movi r1, 5      ; 0
+            la r2, x        ; 1
+            store r1, r2, 0 ; 2
+            load r3, r2, 0  ; 3
+            addi r3, r3, 1  ; 4
+            print r3        ; 5
+            halt            ; 6
+        .endfunc
+        ";
+
+    fn session() -> DebugSession {
+        let program = Arc::new(assemble(PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::new(0),
+            10_000,
+            "session-test",
+        )
+        .unwrap();
+        DebugSession::new(program, rec.pinball)
+    }
+
+    #[test]
+    fn breakpoint_stops_and_state_is_inspectable() {
+        let mut s = session();
+        let id = s.add_breakpoint(2, None);
+        let stop = s.cont();
+        assert_eq!(
+            stop,
+            StopReason::Breakpoint {
+                id,
+                tid: 0,
+                pc: 2
+            }
+        );
+        // The store has retired: x == 5, and r1 == 5.
+        assert_eq!(s.read_symbol("x"), Some(5));
+        assert_eq!(s.read_reg(0, Reg(1)), 5);
+        // r3 not yet loaded.
+        assert_eq!(s.read_reg(0, Reg(3)), 0);
+        assert_eq!(s.cont(), StopReason::ReplayEnd);
+        assert_eq!(s.read_reg(0, Reg(3)), 6);
+    }
+
+    #[test]
+    fn restart_reproduces_identically() {
+        let mut s = session();
+        s.add_breakpoint(3, None);
+        let first = s.cont();
+        let x1 = s.read_symbol("x");
+        s.restart();
+        let second = s.cont();
+        let x2 = s.read_symbol("x");
+        assert_eq!(first, second, "cyclic debugging: same stop every run");
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn stepi_walks_instructions() {
+        let mut s = session();
+        assert_eq!(s.stepi(), StopReason::Stepped { tid: 0, pc: 0 });
+        assert_eq!(s.stepi(), StopReason::Stepped { tid: 0, pc: 1 });
+        let site = s.stopped_at().unwrap();
+        assert_eq!(site.pc, 1);
+        assert_eq!(site.instance, 1);
+    }
+
+    #[test]
+    fn disabled_breakpoint_not_hit() {
+        let mut s = session();
+        let id = s.add_breakpoint(2, None);
+        assert!(s.enable_breakpoint(id, false));
+        assert_eq!(s.cont(), StopReason::ReplayEnd);
+    }
+
+    #[test]
+    fn thread_filtered_breakpoint() {
+        let mut s = session();
+        let _ = s.add_breakpoint(2, Some(7)); // no thread 7
+        assert_eq!(s.cont(), StopReason::ReplayEnd);
+    }
+
+    #[test]
+    fn slice_at_breakpoint() {
+        let mut s = session();
+        s.add_breakpoint(4, None);
+        s.cont();
+        let slice = s.slice_here(LocKey::Reg(0, Reg(3))).expect("slice");
+        let slicer = s.slicer();
+        let pcs = slice.pcs(slicer.trace());
+        // r3 at pc 4 comes from load (3) <- store (2) <- movi (0), la (1).
+        assert!(pcs.contains(&3) && pcs.contains(&2) && pcs.contains(&0));
+    }
+
+    #[test]
+    fn save_slice_and_generate_slice_pinball() {
+        let mut s = session();
+        s.cont();
+        let slice = s.slice_failure().expect("failure slice");
+        let idx = s.save_slice(slice);
+        let pb = s.make_slice_pinball(idx);
+        assert!(pb.meta.is_slice);
+    }
+}
+
+#[cfg(test)]
+mod reverse_tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, RoundRobin};
+    use pinplay::record_whole_program;
+
+    const PROG: &str = r"
+        .data
+        x: .word 0
+        .text
+        .func main
+            movi r1, 1      ; 0
+            addi r1, r1, 1  ; 1  -> r1 = 2
+            addi r1, r1, 1  ; 2  -> r1 = 3
+            la r2, x        ; 3
+            store r1, r2, 0 ; 4  -> x = 3
+            addi r1, r1, 1  ; 5  -> r1 = 4
+            store r1, r2, 0 ; 6  -> x = 4
+            halt            ; 7
+        .endfunc
+        ";
+
+    fn session() -> DebugSession {
+        let program = Arc::new(assemble(PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::new(0),
+            10_000,
+            "reverse-test",
+        )
+        .unwrap();
+        DebugSession::new(program, rec.pinball)
+    }
+
+    #[test]
+    fn reverse_stepi_rolls_back_state() {
+        let mut s = session();
+        for _ in 0..3 {
+            s.stepi();
+        }
+        assert_eq!(s.read_reg(0, Reg(1)), 3);
+        assert_eq!(s.position(), 3);
+        let stop = s.reverse_stepi();
+        assert!(matches!(stop, StopReason::Stepped { pc: 1, .. }), "{stop:?}");
+        assert_eq!(s.position(), 2);
+        assert_eq!(s.read_reg(0, Reg(1)), 2, "state rolled back");
+        // Forward again: deterministic.
+        let stop = s.stepi();
+        assert!(matches!(stop, StopReason::Stepped { pc: 2, .. }));
+        assert_eq!(s.read_reg(0, Reg(1)), 3);
+    }
+
+    #[test]
+    fn reverse_stepi_to_region_start() {
+        let mut s = session();
+        s.stepi();
+        assert_eq!(s.reverse_stepi(), StopReason::ReplayStart);
+        assert_eq!(s.position(), 0);
+        assert_eq!(s.read_reg(0, Reg(1)), 0, "initial state restored");
+        assert_eq!(s.reverse_stepi(), StopReason::ReplayStart, "idempotent at start");
+    }
+
+    #[test]
+    fn watchpoint_stops_on_write_and_reverse_continue_returns_to_it() {
+        let mut s = session();
+        let x = s.program().symbol("x").unwrap();
+        let id = s.add_watchpoint(x);
+        // Forward: first write (x = 3).
+        let stop = s.cont();
+        assert_eq!(
+            stop,
+            StopReason::Watchpoint {
+                id,
+                tid: 0,
+                pc: 4,
+                value: 3
+            }
+        );
+        // Forward again: second write (x = 4).
+        let stop = s.cont();
+        assert!(matches!(stop, StopReason::Watchpoint { pc: 6, value: 4, .. }));
+        assert_eq!(s.read_mem(x), 4);
+        // Reverse-continue: back to the *first* write.
+        let stop = s.reverse_continue();
+        assert!(
+            matches!(stop, StopReason::Watchpoint { pc: 4, value: 3, .. }),
+            "{stop:?}"
+        );
+        assert_eq!(s.read_mem(x), 3, "memory rolled back to the first write");
+        assert_eq!(s.read_reg(0, Reg(1)), 3);
+    }
+
+    #[test]
+    fn reverse_continue_without_hits_reaches_start() {
+        let mut s = session();
+        s.cont(); // run to the end
+        let stop = s.reverse_continue();
+        assert_eq!(stop, StopReason::ReplayStart);
+        assert_eq!(s.position(), 0);
+    }
+
+    #[test]
+    fn checkpoints_speed_up_seek_without_changing_results() {
+        let mut s = session();
+        s.set_checkpoint_interval(2);
+        s.cont(); // to end, dropping checkpoints along the way
+        let end = s.position();
+        // Walk all the way back one step at a time.
+        let mut pos = end;
+        while pos > 0 {
+            s.reverse_stepi();
+            pos -= 1;
+            assert_eq!(s.position(), pos);
+        }
+        assert_eq!(s.read_reg(0, Reg(1)), 0);
+    }
+
+    #[test]
+    fn reverse_then_breakpoint_forward() {
+        let mut s = session();
+        s.cont();
+        s.reverse_continue();
+        let bid = s.add_breakpoint(5, None);
+        let stop = s.cont();
+        assert_eq!(stop, StopReason::Breakpoint { id: bid, tid: 0, pc: 5 });
+        assert_eq!(s.read_reg(0, Reg(1)), 4);
+    }
+}

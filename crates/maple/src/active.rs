@@ -1,0 +1,266 @@
+//! The active scheduler: forcing a target interleaving.
+//!
+//! Maple's "active scheduling phase ... runs the program on a single
+//! processor and controls thread execution (by changing scheduling
+//! priorities) to enforce the dependencies recorded by the profiler"
+//! (paper §6). This scheduler tries to make the target iRoot happen: it
+//! *delays* the thread sitting at the iRoot's source point until another
+//! thread is positioned at the destination point, then runs source and
+//! destination back to back.
+//!
+//! The scheduler is a deterministic function of the executor state, which
+//! is what makes the §6 integration work: once an interleaving exposes the
+//! bug, re-running the same active scheduler under the PinPlay logger
+//! reproduces it while recording the pinball ("we changed the active
+//! scheduler pintool in Maple to optionally do PinPlay-based logging of the
+//! buggy execution it exposes").
+
+use minivm::{Executor, Pc, Scheduler, Tid};
+
+use crate::iroot::IRoot;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting to position one thread at `src_pc` and another at `dst_pc`.
+    Positioning,
+    /// Thread `src` has executed the source access; drive a thread at the
+    /// destination next.
+    FiredSrc {
+        /// The thread that performed the source access.
+        src: Tid,
+    },
+    /// The iRoot has been enforced (or abandoned); finish round-robin.
+    Done {
+        /// Whether src and dst actually ran back to back.
+        enforced: bool,
+    },
+}
+
+/// A deterministic scheduler that tries to enforce one iRoot.
+#[derive(Debug, Clone)]
+pub struct ActiveScheduler {
+    target: IRoot,
+    phase: Phase,
+    /// Last pick: (tid, that thread's pc at pick time).
+    last: Option<(Tid, Pc)>,
+    /// Round-robin cursor for filler scheduling.
+    rr: Tid,
+    /// Picks spent delaying; bounded to avoid livelock when the target
+    /// positioning never materialises.
+    delay_budget: u32,
+    /// Set when the previous pick deliberately fired the source access
+    /// (as opposed to filler scheduling incidentally passing through the
+    /// source pc, which must not change phase).
+    fired_intent: bool,
+}
+
+impl ActiveScheduler {
+    /// Creates a scheduler enforcing `target`.
+    pub fn new(target: IRoot) -> ActiveScheduler {
+        ActiveScheduler {
+            target,
+            phase: Phase::Positioning,
+            last: None,
+            rr: 0,
+            delay_budget: 200_000,
+            fired_intent: false,
+        }
+    }
+
+    /// Whether the scheduler managed to run src and dst back to back.
+    pub fn enforced(&self) -> bool {
+        matches!(self.phase, Phase::Done { enforced: true } | Phase::FiredSrc { .. })
+    }
+
+    fn first_at(&self, exec: &Executor, pc: Pc, avoid: Option<Tid>) -> Option<Tid> {
+        exec.runnable()
+            .find(|&t| exec.thread(t).pc == pc && Some(t) != avoid)
+    }
+
+    fn round_robin(&mut self, exec: &Executor, avoid: Option<Tid>) -> Option<Tid> {
+        let n = exec.num_threads() as Tid;
+        for i in 0..n {
+            let cand = (self.rr + i) % n;
+            if exec.thread(cand).is_runnable() && Some(cand) != avoid {
+                self.rr = (cand + 1) % n;
+                return Some(cand);
+            }
+        }
+        // Only the avoided thread is runnable: run it anyway.
+        avoid.filter(|&t| exec.thread(t).is_runnable())
+    }
+}
+
+impl Scheduler for ActiveScheduler {
+    fn pick(&mut self, exec: &Executor) -> Option<Tid> {
+        // The previously picked thread has retired exactly one instruction
+        // by now; "advanced" distinguishes a real access from a spin retry.
+        if let Some((t, pc_at_pick)) = self.last {
+            let advanced = exec.thread(t).pc != pc_at_pick;
+            match self.phase {
+                // Only a *deliberate* firing of the source advances the
+                // phase; filler scheduling may pass through src_pc without
+                // the destination being positioned.
+                Phase::Positioning
+                    if self.fired_intent && advanced && pc_at_pick == self.target.src_pc =>
+                {
+                    self.phase = Phase::FiredSrc { src: t };
+                }
+                Phase::FiredSrc { src }
+                    if advanced && pc_at_pick == self.target.dst_pc && t != src =>
+                {
+                    self.phase = Phase::Done { enforced: true };
+                }
+                _ => {}
+            }
+        }
+        self.fired_intent = false;
+
+        let pick = match self.phase {
+            Phase::Positioning => {
+                match self.first_at(exec, self.target.src_pc, None) {
+                    Some(s) => {
+                        if self.first_at(exec, self.target.dst_pc, Some(s)).is_some() {
+                            // Both endpoints positioned: fire the source.
+                            self.fired_intent = true;
+                            Some(s)
+                        } else if self.delay_budget == 0 {
+                            self.phase = Phase::Done { enforced: false };
+                            self.round_robin(exec, None)
+                        } else {
+                            // Delay the source; advance others toward dst.
+                            self.delay_budget -= 1;
+                            self.round_robin(exec, Some(s))
+                        }
+                    }
+                    None => self.round_robin(exec, None),
+                }
+            }
+            Phase::FiredSrc { src } => match self.first_at(exec, self.target.dst_pc, Some(src)) {
+                Some(d) => Some(d),
+                None if self.delay_budget == 0 => {
+                    self.phase = Phase::Done { enforced: false };
+                    self.round_robin(exec, None)
+                }
+                None => {
+                    self.delay_budget -= 1;
+                    self.round_robin(exec, Some(src))
+                }
+            },
+            Phase::Done { .. } => self.round_robin(exec, None),
+        };
+        self.last = pick.map(|t| (t, exec.thread(t).pc));
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::{assemble, run, ExitStatus, LiveEnv, NullTool};
+
+    /// A lost-update race: `counter += 1` in two threads. Under most
+    /// schedules both increments land; the active scheduler can force the
+    /// interleaving load(A), load(B), store(A), store(B) that loses one.
+    const RACE: &str = r"
+        .data
+        counter: .word 0
+        .text
+        .func main
+            movi r1, 0             ; 0
+            spawn r2, worker, r1   ; 1
+            spawn r3, worker, r1   ; 2
+            join r2                ; 3
+            join r3                ; 4
+            la r4, counter         ; 5
+            load r5, r4, 0         ; 6
+            subi r5, r5, 2         ; 7
+            seqi r6, r5, 0         ; 8
+            assert r6              ; 9 fails when an update was lost
+            halt                   ; 10
+        .endfunc
+        .func worker
+            la r1, counter        ; 11
+            load r2, r1, 0        ; 12 racy read
+            addi r2, r2, 1        ; 13
+            store r2, r1, 0       ; 14 racy write
+            halt                  ; 15
+        .endfunc
+        ";
+
+    #[test]
+    fn round_robin_schedule_passes() {
+        let p = Arc::new(assemble(RACE).unwrap());
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut minivm::RoundRobin::new(50),
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            100_000,
+        );
+        assert_eq!(
+            r.status,
+            ExitStatus::AllHalted,
+            "with a coarse quantum the race does not manifest"
+        );
+    }
+
+    #[test]
+    fn active_scheduler_exposes_lost_update() {
+        let p = Arc::new(assemble(RACE).unwrap());
+        // Force both workers through the racy load (pc 12) back to back,
+        // before either stores — the lost-update interleaving.
+        let mut sched = ActiveScheduler::new(IRoot {
+            src_pc: 12,
+            dst_pc: 12,
+        });
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut sched,
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            100_000,
+        );
+        assert!(
+            matches!(r.status, ExitStatus::Trap(minivm::VmError::AssertFailed { .. })),
+            "active scheduling must expose the lost update, got {:?}",
+            r.status
+        );
+        assert!(sched.enforced());
+    }
+
+    #[test]
+    fn active_scheduler_is_deterministic() {
+        let p = Arc::new(assemble(RACE).unwrap());
+        let run_once = || {
+            let mut sched = ActiveScheduler::new(IRoot {
+                src_pc: 12,
+                dst_pc: 12,
+            });
+            let mut exec = minivm::Executor::new(Arc::clone(&p));
+            let r = run(&mut exec, &mut sched, &mut LiveEnv::new(0), &mut NullTool, 100_000);
+            (r.status, r.steps, exec.snapshot())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2, "same interleaving, bit-identical state");
+    }
+
+    #[test]
+    fn unreachable_iroot_still_terminates() {
+        let p = Arc::new(assemble(RACE).unwrap());
+        let mut sched = ActiveScheduler::new(IRoot {
+            src_pc: 9999,
+            dst_pc: 9998,
+        });
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(&mut exec, &mut sched, &mut LiveEnv::new(0), &mut NullTool, 1_000_000);
+        assert_ne!(r.status, ExitStatus::FuelExhausted);
+    }
+}

@@ -1,0 +1,209 @@
+//! The full Maple usage model: profile, actively test, record on exposure.
+//!
+//! Paper §6: Maple "helps when a programmer accidentally hits a bug for
+//! some input but is unable to reproduce the bug"; its "active scheduler
+//! does multiple runs until the bug is exposed", and the DrDebug
+//! integration makes the scheduler "optionally do PinPlay-based logging of
+//! the buggy execution it exposes. ... The pinballs generated could be
+//! readily replayed and debugged under GDB."
+
+use std::sync::Arc;
+
+use minivm::{ExitStatus, LiveEnv, NullTool, Program, VmError};
+use pinplay::{record_whole_program, Recording};
+
+use crate::active::ActiveScheduler;
+use crate::iroot::{profile, IRoot, Profile};
+
+/// A successfully exposed-and-recorded bug.
+#[derive(Debug)]
+pub struct Exposure {
+    /// The interleaving pattern that exposed the bug.
+    pub iroot: IRoot,
+    /// The trap the bug manifests as.
+    pub error: VmError,
+    /// The pinball recording of the buggy execution, ready for DrDebug.
+    pub recording: Recording,
+    /// How many candidate iRoots were tried before exposure.
+    pub attempts: usize,
+}
+
+/// Configuration for [`expose`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExposeOptions {
+    /// Profiling runs before active testing.
+    pub profile_runs: u32,
+    /// RNG seed for profiling schedules.
+    pub seed: u64,
+    /// Per-run step budget.
+    pub max_steps: u64,
+    /// Environment seed used for the active-scheduling runs (fixed so the
+    /// recording run reproduces the exposing run exactly).
+    pub env_seed: u64,
+}
+
+impl Default for ExposeOptions {
+    fn default() -> ExposeOptions {
+        ExposeOptions {
+            profile_runs: 8,
+            seed: 0,
+            max_steps: 5_000_000,
+            env_seed: 0,
+        }
+    }
+}
+
+/// Profiles `program`, then actively tests candidate iRoots until one
+/// exposes a trap; the exposing execution is re-run under the PinPlay
+/// logger and returned as a pinball.
+///
+/// Returns `None` when no candidate interleaving exposes a bug.
+pub fn expose(program: &Arc<Program>, options: ExposeOptions) -> Option<Exposure> {
+    let prof = profile(program, options.profile_runs, options.seed, options.max_steps);
+    expose_with_candidates(program, &prof, options)
+}
+
+/// Like [`expose`], but with a precomputed profile (so tests and the
+/// benchmark harness can control the candidate list).
+pub fn expose_with_candidates(
+    program: &Arc<Program>,
+    prof: &Profile,
+    options: ExposeOptions,
+) -> Option<Exposure> {
+    for (attempts, iroot) in prof.candidates().into_iter().enumerate() {
+        if let Some(mut exposure) = expose_iroot(program, iroot, options) {
+            exposure.attempts = attempts + 1;
+            return Some(exposure);
+        }
+    }
+    None
+}
+
+/// Actively tests one specific iRoot (the "programmer suspects this
+/// ordering" entry point); returns the exposure when forcing it traps.
+pub fn expose_iroot(
+    program: &Arc<Program>,
+    iroot: IRoot,
+    options: ExposeOptions,
+) -> Option<Exposure> {
+    // Dry run: does this interleaving trap?
+    let mut sched = ActiveScheduler::new(iroot);
+    let mut exec = minivm::Executor::new(Arc::clone(program));
+    let result = minivm::run(
+        &mut exec,
+        &mut sched,
+        &mut LiveEnv::new(options.env_seed),
+        &mut NullTool,
+        options.max_steps,
+    );
+    let ExitStatus::Trap(error) = result.status else {
+        return None;
+    };
+    // Exposure: re-run the identical (deterministic) schedule under the
+    // logger to capture the pinball.
+    let mut sched = ActiveScheduler::new(iroot);
+    let mut env = LiveEnv::new(options.env_seed);
+    let recording = record_whole_program(
+        program,
+        &mut sched,
+        &mut env,
+        options.max_steps,
+        "maple-exposed",
+    )
+    .expect("recording the deterministic exposing run cannot fail");
+    debug_assert_eq!(
+        recording.pinball.exit,
+        pinplay::RecordedExit::Trap(error),
+        "recording run must reproduce the exposing run"
+    );
+    Some(Exposure {
+        iroot,
+        error,
+        recording,
+        attempts: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{assemble, NullTool};
+    use pinplay::{Replayer, ReplayStatus};
+
+    const RACE: &str = r"
+        .data
+        counter: .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r2, worker, r1
+            spawn r3, worker, r1
+            join r2
+            join r3
+            la r4, counter
+            load r5, r4, 0
+            subi r5, r5, 2
+            seqi r6, r5, 0
+            assert r6
+            halt
+        .endfunc
+        .func worker
+            la r1, counter
+            load r2, r1, 0
+            addi r2, r2, 1
+            store r2, r1, 0
+            halt
+        .endfunc
+        ";
+
+    #[test]
+    fn exposes_and_records_the_lost_update() {
+        let p = Arc::new(assemble(RACE).unwrap());
+        let exposure = expose(&p, ExposeOptions::default()).expect("race must be exposed");
+        assert!(matches!(exposure.error, VmError::AssertFailed { .. }));
+        assert!(exposure.recording.region_instructions > 0);
+
+        // The pinball replays the bug deterministically — twice.
+        for _ in 0..2 {
+            let mut rep = Replayer::new(Arc::clone(&p), &exposure.recording.pinball);
+            let status = rep.run(&mut NullTool);
+            assert_eq!(status, ReplayStatus::Trapped(exposure.error));
+        }
+    }
+
+    #[test]
+    fn bug_free_program_yields_no_exposure() {
+        // The same counter, but incremented atomically: no interleaving
+        // loses an update.
+        let p = Arc::new(
+            assemble(
+                r"
+                .data
+                counter: .word 0
+                .text
+                .func main
+                    movi r1, 0
+                    spawn r2, worker, r1
+                    spawn r3, worker, r1
+                    join r2
+                    join r3
+                    la r4, counter
+                    load r5, r4, 0
+                    subi r5, r5, 2
+                    seqi r6, r5, 0
+                    assert r6
+                    halt
+                .endfunc
+                .func worker
+                    la r1, counter
+                    movi r3, 1
+                    xadd r2, r1, r3
+                    halt
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        assert!(expose(&p, ExposeOptions::default()).is_none());
+    }
+}

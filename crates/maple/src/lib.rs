@@ -1,0 +1,61 @@
+//! # maple — coverage-driven exposure of concurrency bugs
+//!
+//! A from-scratch reproduction of the Maple workflow the DrDebug paper
+//! integrates with (paper §6): a [profiling phase](iroot::profile) records
+//! inter-thread dependencies ([iRoots](iroot::IRoot)) — some observed, some
+//! predicted by reversal — and an [active scheduler](active::ActiveScheduler)
+//! forces candidate interleavings until a bug is exposed. Because the
+//! active scheduler is deterministic, the exposing run can be re-executed
+//! under the PinPlay logger, yielding a pinball that DrDebug replays and
+//! slices; [`expose()`](expose()) packages the whole pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use minivm::assemble;
+//! use maple::{expose, ExposeOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(assemble(
+//!     r"
+//!     .data
+//!     counter: .word 0
+//!     .text
+//!     .func main
+//!         movi r1, 0
+//!         spawn r2, worker, r1
+//!         spawn r3, worker, r1
+//!         join r2
+//!         join r3
+//!         la r4, counter
+//!         load r5, r4, 0
+//!         seqi r6, r5, 2
+//!         assert r6        ; fails if an increment was lost
+//!         halt
+//!     .endfunc
+//!     .func worker
+//!         la r1, counter
+//!         load r2, r1, 0   ; racy read-modify-write
+//!         addi r2, r2, 1
+//!         store r2, r1, 0
+//!         halt
+//!     .endfunc
+//!     ",
+//! )?);
+//! let exposure = expose(&program, ExposeOptions::default())
+//!     .expect("the lost-update race is exposable");
+//! println!("exposed by forcing {}", exposure.iroot);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod active;
+pub mod expose;
+pub mod iroot;
+pub mod race;
+
+pub use active::ActiveScheduler;
+pub use expose::{expose, expose_iroot, expose_with_candidates, ExposeOptions, Exposure};
+pub use iroot::{profile, IRoot, Profile};
+pub use race::{find_races, Race, RaceDetector, RaceKind};

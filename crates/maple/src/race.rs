@@ -1,0 +1,470 @@
+//! Happens-before data-race detection.
+//!
+//! Maple's profiler predicts *interleavings*; this module detects *races*:
+//! a classic vector-clock (DJIT+-style) happens-before detector implemented
+//! as an instrumentation [`Tool`]. It is the analysis the paper's Table 1
+//! taxonomy rests on — every case study is "a data race on variable X" —
+//! and it lets the test suite verify that the bug workloads really do race
+//! on the variables their descriptions claim (and that the synchronized
+//! variants do not).
+//!
+//! Synchronization that induces happens-before edges:
+//!
+//! * `lock`/`unlock` — acquire/release on the mutex word;
+//! * `cas`/`xadd` — atomic RMW: acquire+release on the cell (so atomic
+//!   counters are race-free while plain `load;add;store` counters race);
+//! * `spawn` — the child inherits the parent's clock;
+//! * `join` — the parent joins the (halted) child's clock.
+
+use std::collections::{BTreeSet, HashMap};
+
+use minivm::{Addr, InsEvent, Instr, Loc, Pc, Tid, Tool, ToolControl};
+
+/// A vector clock, indexed by tid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: Tid, v: u64) {
+        let t = tid as usize;
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Whether `self` happens before or equals `other` (component-wise ≤).
+    fn le(&self, other: &VectorClock) -> bool {
+        (0..self.0.len().max(other.0.len()))
+            .all(|i| self.0.get(i).copied().unwrap_or(0) <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+/// The kind of access conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// A read unordered with an earlier write.
+    ReadWrite,
+    /// A write unordered with an earlier read.
+    WriteRead,
+}
+
+/// A detected race: two unordered conflicting accesses to one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Race {
+    /// The racing address.
+    pub addr: Addr,
+    /// The earlier access (thread, pc).
+    pub first: (Tid, Pc),
+    /// The later, unordered access (thread, pc).
+    pub second: (Tid, Pc),
+    /// Conflict kind.
+    pub kind: RaceKind,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} race on [{:#x}]: t{}@{} vs t{}@{}",
+            self.kind, self.addr, self.first.0, self.first.1, self.second.0, self.second.1
+        )
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct VarState {
+    /// Clock and site of the last write.
+    write_clock: VectorClock,
+    write_site: Option<(Tid, Pc)>,
+    /// Per-thread read clocks and sites since the last write.
+    reads: HashMap<Tid, (u64, Pc)>,
+}
+
+/// A happens-before race detector, usable as an instrumentation tool during
+/// live runs or replays.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    clocks: Vec<VectorClock>,
+    /// Release clocks of mutex words and atomic cells.
+    sync: HashMap<Addr, VectorClock>,
+    vars: HashMap<Addr, VarState>,
+    /// Clocks of halted threads, for `join`.
+    halted: HashMap<Tid, VectorClock>,
+    races: BTreeSet<Race>,
+    /// Addresses to ignore (e.g. known mutex words tracked as sync only).
+    sync_addrs: BTreeSet<Addr>,
+}
+
+impl RaceDetector {
+    /// Creates a detector.
+    pub fn new() -> RaceDetector {
+        RaceDetector::default()
+    }
+
+    /// The distinct races detected so far.
+    pub fn races(&self) -> impl Iterator<Item = &Race> {
+        self.races.iter()
+    }
+
+    /// Whether any race was detected on `addr`.
+    pub fn has_race_on(&self, addr: Addr) -> bool {
+        self.races.iter().any(|r| r.addr == addr)
+    }
+
+    /// Number of distinct races.
+    pub fn race_count(&self) -> usize {
+        self.races.len()
+    }
+
+    fn clock_mut(&mut self, tid: Tid) -> &mut VectorClock {
+        let t = tid as usize;
+        if self.clocks.len() <= t {
+            self.clocks.resize_with(t + 1, VectorClock::default);
+            // A thread's own component starts at 1 so that "never
+            // synchronised" clocks are distinguishable from zero.
+            self.clocks[t].set(tid, 1);
+        }
+        &mut self.clocks[t]
+    }
+
+    fn tick(&mut self, tid: Tid) {
+        let cur = self.clock_mut(tid).get(tid);
+        self.clock_mut(tid).set(tid, cur + 1);
+    }
+
+    fn acquire(&mut self, tid: Tid, addr: Addr) {
+        self.sync_addrs.insert(addr);
+        if let Some(rel) = self.sync.get(&addr).cloned() {
+            self.clock_mut(tid).join(&rel);
+        }
+    }
+
+    fn release(&mut self, tid: Tid, addr: Addr) {
+        self.sync_addrs.insert(addr);
+        let clk = self.clock_mut(tid).clone();
+        self.sync.insert(addr, clk);
+        self.tick(tid);
+    }
+
+    fn on_read(&mut self, tid: Tid, pc: Pc, addr: Addr) {
+        if self.sync_addrs.contains(&addr) {
+            return;
+        }
+        let clk = self.clock_mut(tid).clone();
+        let var = self.vars.entry(addr).or_default();
+        if let Some(site) = var.write_site {
+            if site.0 != tid && !var.write_clock.le(&clk) {
+                self.races.insert(Race {
+                    addr,
+                    first: site,
+                    second: (tid, pc),
+                    kind: RaceKind::ReadWrite,
+                });
+            }
+        }
+        let own = clk.get(tid);
+        var.reads.insert(tid, (own, pc));
+    }
+
+    fn on_write(&mut self, tid: Tid, pc: Pc, addr: Addr) {
+        if self.sync_addrs.contains(&addr) {
+            return;
+        }
+        let clk = self.clock_mut(tid).clone();
+        let var = self.vars.entry(addr).or_default();
+        if let Some(site) = var.write_site {
+            if site.0 != tid && !var.write_clock.le(&clk) {
+                self.races.insert(Race {
+                    addr,
+                    first: site,
+                    second: (tid, pc),
+                    kind: RaceKind::WriteWrite,
+                });
+            }
+        }
+        for (&rt, &(rclk, rpc)) in &var.reads {
+            if rt != tid && rclk > clk.get(rt) {
+                self.races.insert(Race {
+                    addr,
+                    first: (rt, rpc),
+                    second: (tid, pc),
+                    kind: RaceKind::WriteRead,
+                });
+            }
+        }
+        var.write_clock = clk;
+        var.write_site = Some((tid, pc));
+        var.reads.clear();
+    }
+}
+
+impl Tool for RaceDetector {
+    fn on_event(&mut self, ev: &InsEvent) -> ToolControl {
+        let tid = ev.tid;
+        match ev.instr {
+            Instr::Lock { .. } => {
+                // Only a successful acquire (pc advanced) synchronises.
+                if ev.next_pc != ev.pc {
+                    if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                        self.acquire(tid, a);
+                    }
+                }
+            }
+            Instr::Unlock { .. } => {
+                if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                    self.release(tid, a);
+                }
+            }
+            Instr::Cas { .. } | Instr::AtomicAdd { .. } => {
+                // Atomic RMW: acquire then release on the cell.
+                if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                    self.acquire(tid, a);
+                    self.release(tid, a);
+                }
+            }
+            Instr::Spawn { .. } => {
+                if let Some((child, _)) = ev.spawned {
+                    let parent_clk = self.clock_mut(tid).clone();
+                    self.clock_mut(child).join(&parent_clk);
+                    self.tick(tid);
+                }
+            }
+            Instr::Join { .. } => {
+                if ev.next_pc != ev.pc {
+                    // The join completed; the target tid is the use value.
+                    if let Some((_, target)) = ev.uses.iter().next() {
+                        let target = target as Tid;
+                        if let Some(hclk) = self.halted.get(&target).cloned() {
+                            self.clock_mut(tid).join(&hclk);
+                        }
+                    }
+                }
+            }
+            Instr::Halt => {
+                let clk = self.clock_mut(tid).clone();
+                self.halted.insert(tid, clk);
+            }
+            _ => {
+                for (loc, _) in ev.uses {
+                    if let Loc::Mem(a) = loc {
+                        self.on_read(tid, ev.pc, a);
+                    }
+                }
+                for (loc, _) in ev.defs {
+                    if let Loc::Mem(a) = loc {
+                        self.on_write(tid, ev.pc, a);
+                    }
+                }
+            }
+        }
+        ToolControl::Continue
+    }
+}
+
+/// Runs `program` once under the given scheduler seed and reports the races
+/// the execution exhibits.
+pub fn find_races(
+    program: &std::sync::Arc<minivm::Program>,
+    sched_seed: u64,
+    env_seed: u64,
+    max_steps: u64,
+) -> Vec<Race> {
+    let mut det = RaceDetector::new();
+    let mut exec = minivm::Executor::new(std::sync::Arc::clone(program));
+    let _ = minivm::run(
+        &mut exec,
+        &mut minivm::RandomSched::new(sched_seed, 5),
+        &mut minivm::LiveEnv::new(env_seed),
+        &mut det,
+        max_steps,
+    );
+    det.races().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::assemble;
+
+    fn races_in(src: &str) -> Vec<Race> {
+        let p = Arc::new(assemble(src).unwrap());
+        // A few seeds to make the interleaving representative.
+        let mut all = BTreeSet::new();
+        for seed in 0..4 {
+            all.extend(find_races(&p, seed, seed, 1_000_000));
+        }
+        all.into_iter().collect()
+    }
+
+    const RACY_COUNTER: &str = r"
+        .data
+        counter: .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r2, worker, r1
+            spawn r3, worker, r1
+            join r2
+            join r3
+            halt
+        .endfunc
+        .func worker
+            la r1, counter
+            load r2, r1, 0
+            addi r2, r2, 1
+            store r2, r1, 0
+            halt
+        .endfunc
+        ";
+
+    #[test]
+    fn plain_counter_races() {
+        let races = races_in(RACY_COUNTER);
+        assert!(!races.is_empty(), "unsynchronised counter must race");
+        let counter = 0x1000;
+        assert!(races.iter().any(|r| r.addr == counter), "{races:?}");
+    }
+
+    #[test]
+    fn atomic_counter_does_not_race() {
+        let races = races_in(
+            r"
+            .data
+            counter: .word 0
+            .text
+            .func main
+                movi r1, 1
+                spawn r2, worker, r1
+                spawn r3, worker, r1
+                join r2
+                join r3
+                halt
+            .endfunc
+            .func worker
+                la r1, counter
+                xadd r2, r1, r0
+                halt
+            .endfunc
+            ",
+        );
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn lock_protected_counter_does_not_race() {
+        let races = races_in(
+            r"
+            .data
+            counter: .word 0
+            m:       .word 0
+            .text
+            .func main
+                movi r1, 0
+                spawn r2, worker, r1
+                spawn r3, worker, r1
+                join r2
+                join r3
+                halt
+            .endfunc
+            .func worker
+                la r4, m
+                lock r4
+                la r1, counter
+                load r2, r1, 0
+                addi r2, r2, 1
+                store r2, r1, 0
+                unlock r4
+                halt
+            .endfunc
+            ",
+        );
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn join_orders_parent_reads_after_child_writes() {
+        let races = races_in(
+            r"
+            .data
+            x: .word 0
+            .text
+            .func main
+                movi r1, 0
+                spawn r2, worker, r1
+                join r2
+                la r3, x
+                load r4, r3, 0   ; ordered after the child's store by join
+                halt
+            .endfunc
+            .func worker
+                la r1, x
+                movi r2, 9
+                store r2, r1, 0
+                halt
+            .endfunc
+            ",
+        );
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn spawn_orders_child_after_parent_initialisation() {
+        let races = races_in(
+            r"
+            .data
+            config: .word 0
+            .text
+            .func main
+                la r1, config
+                movi r2, 42
+                store r2, r1, 0   ; before spawn: ordered
+                movi r3, 0
+                spawn r4, worker, r3
+                join r4
+                halt
+            .endfunc
+            .func worker
+                la r1, config
+                load r2, r1, 0
+                halt
+            .endfunc
+            ",
+        );
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn table1_bug_cases_contain_the_documented_races() {
+        for case in workloads::all_bugs() {
+            let mut all = BTreeSet::new();
+            for seed in 0..4 {
+                all.extend(find_races(&case.program, seed, seed, 5_000_000));
+            }
+            assert!(
+                !all.is_empty(),
+                "{}: the case study must exhibit a detectable race",
+                case.name
+            );
+        }
+    }
+}

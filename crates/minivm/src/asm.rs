@@ -1,0 +1,879 @@
+//! A small two-pass assembler for the mini-VM ISA.
+//!
+//! Workloads are written in this assembly dialect, which is close enough to
+//! real assembly that the paper's binary-level phenomena (jump tables through
+//! `.word @label` data, register save/restore with `push`/`pop`) are
+//! expressed the same way a compiler would lower them.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also "#")
+//! .data
+//! mutex:  .word 0
+//! arr:    .word 1, 2, 3
+//! buf:    .space 16              ; 16 zero words
+//! table:  .word @case_a, @case_b ; code addresses (for jmpind)
+//!
+//! .text
+//! .func main
+//!     movi  r0, 5
+//!     la    r1, mutex            ; r1 = address of `mutex`
+//! loop:
+//!     subi  r0, r0, 1
+//!     bgti  r0, 0, loop
+//!     spawn r2, worker, r0
+//!     join  r2
+//!     halt
+//! .endfunc
+//!
+//! .func worker
+//!     push  r1                   ; register save (§5.2 idiom)
+//!     ...
+//!     pop   r1                   ; register restore
+//!     ret
+//! .endfunc
+//! ```
+//!
+//! Immediate operands accept decimal and `0x` hex literals, `&symbol` for
+//! data addresses, and `@label` for code addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::isa::{Addr, BinOp, Cond, Instr, Pc, Reg, SysCall};
+use crate::program::{Function, Program, SrcLoc, DATA_BASE};
+
+/// Assembles `source` into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics or labels, duplicate labels, and out-of-range operands.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+/// An assembly error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Debug, Default)]
+struct Assembler {
+    code_labels: BTreeMap<String, Pc>,
+    data_symbols: BTreeMap<String, Addr>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Program, AsmError> {
+        let lines: Vec<(u32, &str)> = source
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split(';').next().unwrap_or("");
+                let l = l.split('#').next().unwrap_or("");
+                (i as u32 + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+
+        self.collect_labels(&lines)?;
+        self.emit(&lines)
+    }
+
+    /// Pass 1: compute the pc of every code label and function.
+    fn collect_labels(&mut self, lines: &[(u32, &str)]) -> Result<(), AsmError> {
+        let mut section = Section::Text;
+        let mut pc: Pc = 0;
+        for &(lineno, line) in lines {
+            let mut rest = line;
+            while let Some((label, tail)) = split_label(rest) {
+                if section == Section::Text
+                    && self.code_labels.insert(label.to_owned(), pc).is_some() {
+                        return err(lineno, format!("duplicate label `{label}`"));
+                    }
+                rest = tail.trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(dir) = rest.strip_prefix('.') {
+                let word = dir.split_whitespace().next().unwrap_or("");
+                match word {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "func" => {
+                        let name = dir.split_whitespace().nth(1).ok_or_else(|| AsmError {
+                            line: lineno,
+                            msg: ".func requires a name".into(),
+                        })?;
+                        if self.code_labels.insert(name.to_owned(), pc).is_some() {
+                            return err(lineno, format!("duplicate function `{name}`"));
+                        }
+                    }
+                    "endfunc" | "word" | "space" => {}
+                    other => return err(lineno, format!("unknown directive `.{other}`")),
+                }
+                continue;
+            }
+            if section == Section::Text {
+                pc += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass 2: lay out the data section (code labels are now known, so
+    /// `.word @label` entries resolve).
+    fn assign_data(&mut self, lines: &[(u32, &str)]) -> Result<BTreeMap<Addr, i64>, AsmError> {
+        // First sweep: assign symbol addresses.
+        let mut section = Section::Text;
+        let mut cursor: Addr = DATA_BASE;
+        for &(lineno, line) in lines {
+            let mut rest = line;
+            let mut labels = Vec::new();
+            while let Some((label, tail)) = split_label(rest) {
+                labels.push(label.to_owned());
+                rest = tail.trim();
+            }
+            if let Some(dir) = rest.strip_prefix('.') {
+                let word = dir.split_whitespace().next().unwrap_or("");
+                match word {
+                    "text" => {
+                        section = Section::Text;
+                        continue;
+                    }
+                    "data" => {
+                        section = Section::Data;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if section != Section::Data {
+                continue;
+            }
+            for label in &labels {
+                if self.data_symbols.insert(label.clone(), cursor).is_some() {
+                    return err(lineno, format!("duplicate data symbol `{label}`"));
+                }
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(args) = rest.strip_prefix(".word") {
+                cursor += args.split(',').count() as Addr;
+            } else if let Some(args) = rest.strip_prefix(".space") {
+                let n: Addr = args
+                    .trim()
+                    .parse()
+                    .map_err(|_| AsmError {
+                        line: lineno,
+                        msg: format!("bad .space count `{}`", args.trim()),
+                    })?;
+                cursor += n.max(1);
+            } else {
+                return err(lineno, format!("unexpected in .data: `{rest}`"));
+            }
+        }
+        // Second sweep: fill initial values.
+        let mut data = BTreeMap::new();
+        let mut section = Section::Text;
+        let mut cursor: Addr = DATA_BASE;
+        for &(lineno, line) in lines {
+            let mut rest = line;
+            while let Some((_, tail)) = split_label(rest) {
+                rest = tail.trim();
+            }
+            if let Some(dir) = rest.strip_prefix('.') {
+                let word = dir.split_whitespace().next().unwrap_or("");
+                match word {
+                    "text" => {
+                        section = Section::Text;
+                        continue;
+                    }
+                    "data" => {
+                        section = Section::Data;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if section != Section::Data || rest.is_empty() {
+                continue;
+            }
+            if let Some(args) = rest.strip_prefix(".word") {
+                for piece in args.split(',') {
+                    let v = self.parse_imm(piece.trim(), lineno)?;
+                    if v != 0 {
+                        data.insert(cursor, v);
+                    }
+                    cursor += 1;
+                }
+            } else if let Some(args) = rest.strip_prefix(".space") {
+                let n: Addr = args.trim().parse().unwrap_or(1);
+                cursor += n.max(1);
+            }
+        }
+        Ok(data)
+    }
+
+    /// Pass 3: emit instructions.
+    fn emit(&mut self, lines: &[(u32, &str)]) -> Result<Program, AsmError> {
+        let data = self.assign_data(lines)?;
+        let mut code = Vec::new();
+        let mut src = Vec::new();
+        let mut functions: Vec<Function> = Vec::new();
+        let mut open_func: Option<usize> = None;
+        let mut section = Section::Text;
+        for &(lineno, line) in lines {
+            let mut rest = line;
+            while let Some((_, tail)) = split_label(rest) {
+                rest = tail.trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(dir) = rest.strip_prefix('.') {
+                let mut words = dir.split_whitespace();
+                match words.next().unwrap_or("") {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "func" => {
+                        if open_func.is_some() {
+                            return err(lineno, "nested .func");
+                        }
+                        let name = words.next().unwrap();
+                        open_func = Some(functions.len());
+                        functions.push(Function {
+                            name: name.to_owned(),
+                            entry: code.len() as Pc,
+                            end: 0,
+                        });
+                    }
+                    "endfunc" => {
+                        let idx = open_func
+                            .take()
+                            .ok_or_else(|| AsmError {
+                                line: lineno,
+                                msg: ".endfunc without .func".into(),
+                            })?;
+                        functions[idx].end = code.len() as Pc;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            if section != Section::Text {
+                continue;
+            }
+            let ins = self.parse_instr(rest, lineno)?;
+            code.push(ins);
+            src.push(SrcLoc {
+                line: lineno,
+                func: open_func.map_or(u32::MAX, |i| i as u32),
+            });
+        }
+        if let Some(idx) = open_func {
+            functions[idx].end = code.len() as Pc;
+        }
+        functions.sort_by_key(|f| f.entry);
+        for (idx, f) in functions.iter().enumerate() {
+            for pc in f.entry..f.end {
+                src[pc as usize].func = idx as u32;
+            }
+        }
+        let entry = functions
+            .iter()
+            .find(|f| f.name == "main")
+            .map(|f| f.entry)
+            .or_else(|| self.code_labels.get("main").copied())
+            .unwrap_or(0);
+        let program = Program {
+            code,
+            src,
+            functions,
+            data,
+            symbols: self.data_symbols.clone(),
+            labels: self.code_labels.clone(),
+            entry,
+        };
+        program.validate().map_err(|e| AsmError {
+            line: 0,
+            msg: e.to_string(),
+        })?;
+        Ok(program)
+    }
+
+    fn parse_imm(&self, s: &str, line: u32) -> Result<i64, AsmError> {
+        if let Some(sym) = s.strip_prefix('&') {
+            return match self.data_symbols.get(sym) {
+                Some(a) => Ok(*a as i64),
+                None => err(line, format!("unknown data symbol `{sym}`")),
+            };
+        }
+        if let Some(lab) = s.strip_prefix('@') {
+            return match self.code_labels.get(lab) {
+                Some(pc) => Ok(i64::from(*pc)),
+                None => err(line, format!("unknown code label `{lab}`")),
+            };
+        }
+        parse_int(s).ok_or_else(|| AsmError {
+            line,
+            msg: format!("bad immediate `{s}`"),
+        })
+    }
+
+    fn parse_target(&self, s: &str, line: u32) -> Result<Pc, AsmError> {
+        if let Some(pc) = self.code_labels.get(s) {
+            return Ok(*pc);
+        }
+        parse_int(s)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| AsmError {
+                line,
+                msg: format!("unknown label `{s}`"),
+            })
+    }
+
+    fn parse_instr(&self, text: &str, line: u32) -> Result<Instr, AsmError> {
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let reg = |i: usize| -> Result<Reg, AsmError> {
+            let s = *ops.get(i).ok_or_else(|| AsmError {
+                line,
+                msg: format!("missing operand {i} for `{mnemonic}`"),
+            })?;
+            parse_reg(s).ok_or_else(|| AsmError {
+                line,
+                msg: format!("bad register `{s}`"),
+            })
+        };
+        let imm = |i: usize| -> Result<i64, AsmError> {
+            let s = *ops.get(i).ok_or_else(|| AsmError {
+                line,
+                msg: format!("missing operand {i} for `{mnemonic}`"),
+            })?;
+            self.parse_imm(s, line)
+        };
+        let target = |i: usize| -> Result<Pc, AsmError> {
+            let s = *ops.get(i).ok_or_else(|| AsmError {
+                line,
+                msg: format!("missing operand {i} for `{mnemonic}`"),
+            })?;
+            self.parse_target(s, line)
+        };
+
+        let binop = |name: &str| -> Option<BinOp> {
+            Some(match name {
+                "add" => BinOp::Add,
+                "sub" => BinOp::Sub,
+                "mul" => BinOp::Mul,
+                "div" => BinOp::Div,
+                "rem" => BinOp::Rem,
+                "and" => BinOp::And,
+                "or" => BinOp::Or,
+                "xor" => BinOp::Xor,
+                "shl" => BinOp::Shl,
+                "shr" => BinOp::Shr,
+                "slt" => BinOp::Slt,
+                "seq" => BinOp::Seq,
+                "min" => BinOp::Min,
+                "max" => BinOp::Max,
+                _ => return None,
+            })
+        };
+        let cond = |name: &str| -> Option<Cond> {
+            Some(match name {
+                "eq" => Cond::Eq,
+                "ne" => Cond::Ne,
+                "lt" => Cond::Lt,
+                "le" => Cond::Le,
+                "gt" => Cond::Gt,
+                "ge" => Cond::Ge,
+                _ => return None,
+            })
+        };
+
+        // Branch mnemonics: b<cond> ra, rb, label / b<cond>i ra, imm, label.
+        if let Some(tail) = mnemonic.strip_prefix('b') {
+            if let Some(c) = cond(tail) {
+                return Ok(Instr::Br {
+                    cond: c,
+                    a: reg(0)?,
+                    b: reg(1)?,
+                    target: target(2)?,
+                });
+            }
+            if let Some(ct) = tail.strip_suffix('i').and_then(cond) {
+                return Ok(Instr::BrI {
+                    cond: ct,
+                    a: reg(0)?,
+                    imm: imm(1)?,
+                    target: target(2)?,
+                });
+            }
+        }
+        // ALU: op rd, ra, rb / opi rd, ra, imm.
+        if let Some(op) = binop(mnemonic) {
+            return Ok(Instr::Bin {
+                op,
+                dst: reg(0)?,
+                a: reg(1)?,
+                b: reg(2)?,
+            });
+        }
+        if let Some(op) = mnemonic.strip_suffix('i').and_then(binop) {
+            return Ok(Instr::BinI {
+                op,
+                dst: reg(0)?,
+                a: reg(1)?,
+                imm: imm(2)?,
+            });
+        }
+
+        Ok(match mnemonic {
+            "movi" => Instr::MovI {
+                dst: reg(0)?,
+                imm: imm(1)?,
+            },
+            // `la rd, sym` — load the address of a data symbol (or the pc of
+            // a code label) without the `&`/`@` sigil.
+            "la" => {
+                let s = *ops.get(1).ok_or_else(|| AsmError {
+                    line,
+                    msg: "la requires a symbol operand".into(),
+                })?;
+                let v = if let Some(a) = self.data_symbols.get(s) {
+                    *a as i64
+                } else if let Some(pc) = self.code_labels.get(s) {
+                    i64::from(*pc)
+                } else {
+                    self.parse_imm(s, line)?
+                };
+                Instr::MovI {
+                    dst: reg(0)?,
+                    imm: v,
+                }
+            }
+            "mov" => Instr::Mov {
+                dst: reg(0)?,
+                src: reg(1)?,
+            },
+            "load" => Instr::Load {
+                dst: reg(0)?,
+                base: reg(1)?,
+                off: if ops.len() > 2 { imm(2)? } else { 0 },
+            },
+            "store" => Instr::Store {
+                src: reg(0)?,
+                base: reg(1)?,
+                off: if ops.len() > 2 { imm(2)? } else { 0 },
+            },
+            "push" => Instr::Push { src: reg(0)? },
+            "pop" => Instr::Pop { dst: reg(0)? },
+            "jmp" => Instr::Jmp { target: target(0)? },
+            "jmpind" => Instr::JmpInd { src: reg(0)? },
+            "call" => Instr::Call { target: target(0)? },
+            "callind" => Instr::CallInd { src: reg(0)? },
+            "ret" => Instr::Ret,
+            "lock" => Instr::Lock { addr: reg(0)? },
+            "unlock" => Instr::Unlock { addr: reg(0)? },
+            "cas" => Instr::Cas {
+                dst: reg(0)?,
+                addr: reg(1)?,
+                expect: reg(2)?,
+                new: reg(3)?,
+            },
+            "xadd" => Instr::AtomicAdd {
+                dst: reg(0)?,
+                addr: reg(1)?,
+                val: reg(2)?,
+            },
+            "fence" => Instr::Fence,
+            "spawn" => Instr::Spawn {
+                dst: reg(0)?,
+                entry: target(1)?,
+                arg: reg(2)?,
+            },
+            "join" => Instr::Join { tid: reg(0)? },
+            "read" => Instr::Sys {
+                call: SysCall::ReadInput,
+                dst: reg(0)?,
+            },
+            "rand" => Instr::Sys {
+                call: SysCall::Rand,
+                dst: reg(0)?,
+            },
+            "time" => Instr::Sys {
+                call: SysCall::Time,
+                dst: reg(0)?,
+            },
+            "gettid" => Instr::GetTid { dst: reg(0)? },
+            "assert" => Instr::Assert { src: reg(0)? },
+            "print" => Instr::Print { src: reg(0)? },
+            "halt" => Instr::Halt,
+            "nop" => Instr::Nop,
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        })
+    }
+}
+
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let (head, tail) = line.split_at(colon);
+    let head = head.trim();
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !head.starts_with('.')
+    {
+        Some((head, &tail[1..]))
+    } else {
+        None
+    }
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    if s == "sp" {
+        return Some(Reg::SP);
+    }
+    let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+    (n < 16).then_some(Reg(n))
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::env::LiveEnv;
+    use crate::exec::Executor;
+    use crate::run::{run, ExitStatus};
+    use crate::sched::RoundRobin;
+    use crate::tool::NullTool;
+
+    fn run_asm(src: &str) -> Executor {
+        let p = assemble(src).unwrap();
+        let mut exec = Executor::new(Arc::new(p));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::new(1),
+            &mut NullTool,
+            1_000_000,
+        );
+        assert_eq!(r.status, ExitStatus::AllHalted, "program should halt");
+        exec
+    }
+
+    #[test]
+    fn assembles_loop_and_runs() {
+        let exec = run_asm(
+            r"
+            .text
+            .func main
+                movi r0, 5
+                movi r1, 0
+            loop:
+                add  r1, r1, r0
+                subi r0, r0, 1
+                bgti r0, 0, loop
+                print r1
+                halt
+            .endfunc
+            ",
+        );
+        assert_eq!(exec.output(), &[15]);
+    }
+
+    #[test]
+    fn data_section_and_symbols() {
+        let exec = run_asm(
+            r"
+            .data
+            xs:    .word 10, 20, 30
+            total: .word 0
+            .text
+            .func main
+                la   r1, xs
+                load r2, r1, 0
+                load r3, r1, 2
+                add  r2, r2, r3
+                la   r4, total
+                store r2, r4, 0
+                halt
+            .endfunc
+            ",
+        );
+        let total = exec.program().symbol("total").unwrap();
+        assert_eq!(exec.read_mem(total), 40);
+    }
+
+    #[test]
+    fn jump_table_through_data() {
+        let exec = run_asm(
+            r"
+            .data
+            table: .word @case_a, @case_b
+            .text
+            .func main
+                movi r0, 1          ; selector
+                la   r1, table
+                add  r1, r1, r0
+                load r2, r1, 0
+                jmpind r2
+            case_a:
+                movi r3, 100
+                halt
+            case_b:
+                movi r3, 200
+                halt
+            .endfunc
+            ",
+        );
+        assert_eq!(exec.read_reg(0, Reg(3)), 200);
+    }
+
+    #[test]
+    fn spawn_join_threads() {
+        let exec = run_asm(
+            r"
+            .data
+            counter: .word 0
+            .text
+            .func main
+                movi r1, 1
+                spawn r2, worker, r1
+                movi r1, 2
+                spawn r3, worker, r1
+                join r2
+                join r3
+                halt
+            .endfunc
+            .func worker
+                la   r1, counter
+                xadd r2, r1, r0
+                halt
+            .endfunc
+            ",
+        );
+        let counter = exec.program().symbol("counter").unwrap();
+        assert_eq!(exec.read_mem(counter), 3);
+    }
+
+    #[test]
+    fn function_metadata_and_entry() {
+        let p = assemble(
+            r"
+            .text
+            .func helper
+                ret
+            .endfunc
+            .func main
+                call helper
+                halt
+            .endfunc
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 1);
+        assert_eq!(p.function("helper").unwrap().entry, 0);
+        assert_eq!(p.function_at(0).unwrap().name, "helper");
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble(".text\n.func main\n frobnicate r0\n.endfunc").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_unknown_label() {
+        let e = assemble(".text\n.func main\n jmp nowhere\n.endfunc").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble(".text\nx:\n nop\nx:\n halt").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let exec = run_asm(
+            r"
+            .text
+            .func main
+                movi r0, 0x10
+                movi r1, -3
+                add  r2, r0, r1
+                halt
+            .endfunc
+            ",
+        );
+        assert_eq!(exec.read_reg(0, Reg(2)), 13);
+    }
+
+    #[test]
+    fn push_pop_save_restore_idiom() {
+        let exec = run_asm(
+            r"
+            .text
+            .func main
+                movi r1, 7
+                call q
+                assert r1
+                halt
+            .endfunc
+            .func q
+                push r1
+                movi r1, 0
+                pop  r1
+                ret
+            .endfunc
+            ",
+        );
+        assert_eq!(exec.read_reg(0, Reg(1)), 7);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    fn err_of(src: &str) -> AsmError {
+        assemble(src).unwrap_err()
+    }
+
+    #[test]
+    fn bad_space_count() {
+        let e = err_of(".data\nbuf: .space nope\n.text\n.func main\n halt\n.endfunc");
+        assert!(e.msg.contains(".space"), "{e}");
+    }
+
+    #[test]
+    fn unknown_directive() {
+        let e = err_of(".text\n.globl main\n.func main\n halt\n.endfunc");
+        assert!(e.msg.contains("directive"), "{e}");
+    }
+
+    #[test]
+    fn func_without_name() {
+        let e = err_of(".text\n.func\n halt\n.endfunc");
+        assert!(e.msg.contains("name"), "{e}");
+    }
+
+    #[test]
+    fn endfunc_without_func() {
+        let e = err_of(".text\n.endfunc");
+        assert!(e.msg.contains(".endfunc"), "{e}");
+    }
+
+    #[test]
+    fn nested_func_rejected() {
+        let e = err_of(".text\n.func a\n.func b\n halt\n.endfunc\n.endfunc");
+        assert!(e.msg.contains("nested"), "{e}");
+    }
+
+    #[test]
+    fn missing_operand() {
+        let e = err_of(".text\n.func main\n movi r0\n halt\n.endfunc");
+        assert!(e.msg.contains("missing operand"), "{e}");
+    }
+
+    #[test]
+    fn bad_register_name() {
+        let e = err_of(".text\n.func main\n movi r16, 0\n halt\n.endfunc");
+        assert!(e.msg.contains("bad register"), "{e}");
+        let e = err_of(".text\n.func main\n mov rax, r0\n halt\n.endfunc");
+        assert!(e.msg.contains("bad register"), "{e}");
+    }
+
+    #[test]
+    fn unknown_data_symbol_in_immediate() {
+        let e = err_of(".text\n.func main\n movi r0, &nothere\n halt\n.endfunc");
+        assert!(e.msg.contains("nothere"), "{e}");
+    }
+
+    #[test]
+    fn unknown_code_label_in_immediate() {
+        let e = err_of(".text\n.func main\n movi r0, @nothere\n halt\n.endfunc");
+        assert!(e.msg.contains("nothere"), "{e}");
+    }
+
+    #[test]
+    fn data_in_text_is_rejected() {
+        let e = err_of(".data\n.word 1\njunk here\n.text\n.func main\n halt\n.endfunc");
+        assert!(e.msg.contains("unexpected"), "{e}");
+    }
+
+    #[test]
+    fn sp_register_accepted_everywhere() {
+        let p = assemble(".text\n.func main\n mov r1, sp\n addi sp, sp, 0\n halt\n.endfunc").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn load_store_default_offset_is_zero() {
+        let p = assemble(
+            ".data\nx: .word 9\n.text\n.func main\n la r1, x\n load r2, r1\n store r2, r1\n halt\n.endfunc",
+        )
+        .unwrap();
+        assert!(matches!(p.code[1], Instr::Load { off: 0, .. }));
+        assert!(matches!(p.code[2], Instr::Store { off: 0, .. }));
+    }
+}

@@ -1,0 +1,420 @@
+//! Programmatic construction of program images with symbolic labels.
+//!
+//! The [`ProgramBuilder`] is what the [assembler](crate::asm) lowers to, and
+//! is also convenient for generating synthetic workloads from Rust code.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::isa::{Addr, Instr, Pc};
+use crate::program::{Function, Program, ProgramError, SrcLoc, DATA_BASE};
+
+/// A forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incrementally builds a [`Program`], resolving labels at `finish` time.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<PendingInstr>,
+    src: Vec<SrcLoc>,
+    labels: Vec<Option<Pc>>,
+    label_names: Vec<String>,
+    functions: Vec<(String, Pc, Option<Pc>)>,
+    data: BTreeMap<Addr, i64>,
+    symbols: BTreeMap<String, Addr>,
+    next_data: Addr,
+    entry: Option<EntryRef>,
+    cur_line: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EntryRef {
+    Pc(Pc),
+    Label(Label),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingInstr {
+    Ready(Instr),
+    /// An instruction whose `Pc` operand is a label to patch.
+    Patch(Instr, Label),
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the data cursor at [`DATA_BASE`].
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            next_data: DATA_BASE,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Sets the source line recorded for subsequently emitted instructions.
+    pub fn set_line(&mut self, line: u32) -> &mut Self {
+        self.cur_line = line;
+        self
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        self.label_names.push(format!("L{}", self.labels.len() - 1));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Creates a fresh unbound label with a debug name.
+    pub fn named_label(&mut self, name: &str) -> Label {
+        let l = self.label();
+        self.label_names[l.0] = name.to_owned();
+        l
+    }
+
+    /// Binds `label` to the current code position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {} bound twice",
+            self.label_names[label.0]
+        );
+        self.labels[label.0] = Some(self.here());
+        self
+    }
+
+    /// The pc of the next instruction to be emitted.
+    pub fn here(&self) -> Pc {
+        self.code.len() as Pc
+    }
+
+    /// Emits a fully resolved instruction.
+    pub fn ins(&mut self, i: Instr) -> &mut Self {
+        self.code.push(PendingInstr::Ready(i));
+        self.src.push(SrcLoc {
+            line: self.cur_line,
+            func: u32::MAX,
+        });
+        self
+    }
+
+    /// Emits an instruction whose single `Pc` operand will be patched to
+    /// `label`'s bound position. The placeholder target in `i` is ignored.
+    pub fn ins_to(&mut self, i: Instr, label: Label) -> &mut Self {
+        self.code.push(PendingInstr::Patch(i, label));
+        self.src.push(SrcLoc {
+            line: self.cur_line,
+            func: u32::MAX,
+        });
+        self
+    }
+
+    /// Starts a function at the current position.
+    pub fn begin_func(&mut self, name: &str) -> &mut Self {
+        self.functions.push((name.to_owned(), self.here(), None));
+        self
+    }
+
+    /// Ends the most recently started function at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open function.
+    pub fn end_func(&mut self) -> &mut Self {
+        let here = self.here();
+        let f = self
+            .functions
+            .iter_mut()
+            .rev()
+            .find(|f| f.2.is_none())
+            .expect("end_func without begin_func");
+        f.2 = Some(here);
+        self
+    }
+
+    /// Allocates `words` zero-initialised words of data, returning the base
+    /// address; registers `name` as a symbol when non-empty.
+    pub fn alloc_data(&mut self, name: &str, words: u64) -> Addr {
+        let base = self.next_data;
+        self.next_data += words.max(1);
+        if !name.is_empty() {
+            self.symbols.insert(name.to_owned(), base);
+        }
+        base
+    }
+
+    /// Allocates initialised data words, returning the base address.
+    pub fn data_words(&mut self, name: &str, values: &[i64]) -> Addr {
+        let base = self.alloc_data(name, values.len() as u64);
+        for (i, v) in values.iter().enumerate() {
+            if *v != 0 {
+                self.data.insert(base + i as u64, *v);
+            }
+        }
+        base
+    }
+
+    /// Writes an initial value at an absolute data address.
+    pub fn poke(&mut self, addr: Addr, value: i64) -> &mut Self {
+        self.data.insert(addr, value);
+        self
+    }
+
+    /// Sets the program entry point to a concrete pc.
+    pub fn entry(&mut self, pc: Pc) -> &mut Self {
+        self.entry = Some(EntryRef::Pc(pc));
+        self
+    }
+
+    /// Sets the program entry point to a label bound later.
+    pub fn entry_label(&mut self, label: Label) -> &mut Self {
+        self.entry = Some(EntryRef::Label(label));
+        self
+    }
+
+    /// Resolves labels and produces the final validated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] when a referenced label was never
+    /// bound, or a wrapped [`ProgramError`] when the assembled image fails
+    /// validation.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        let resolve = |labels: &[Option<Pc>], names: &[String], l: Label| {
+            labels[l.0].ok_or_else(|| BuildError::UnboundLabel {
+                name: names[l.0].clone(),
+            })
+        };
+        let mut code = Vec::with_capacity(self.code.len());
+        for pi in &self.code {
+            let ins = match *pi {
+                PendingInstr::Ready(i) => i,
+                PendingInstr::Patch(i, l) => {
+                    let target = resolve(&self.labels, &self.label_names, l)?;
+                    patch_target(i, target)
+                }
+            };
+            code.push(ins);
+        }
+        // Close any still-open function at the end of the image.
+        let here = code.len() as Pc;
+        let mut functions: Vec<Function> = self
+            .functions
+            .drain(..)
+            .map(|(name, entry, end)| Function {
+                name,
+                entry,
+                end: end.unwrap_or(here),
+            })
+            .collect();
+        functions.sort_by_key(|f| f.entry);
+        // Fill the source-map function indices now that ranges are final.
+        for (idx, f) in functions.iter().enumerate() {
+            for pc in f.entry..f.end {
+                if let Some(s) = self.src.get_mut(pc as usize) {
+                    s.func = idx as u32;
+                }
+            }
+        }
+        let entry = match self.entry {
+            Some(EntryRef::Pc(pc)) => pc,
+            Some(EntryRef::Label(l)) => resolve(&self.labels, &self.label_names, l)?,
+            None => functions
+                .iter()
+                .find(|f| f.name == "main")
+                .map(|f| f.entry)
+                .unwrap_or(0),
+        };
+        let mut labels = BTreeMap::new();
+        for (i, bound) in self.labels.iter().enumerate() {
+            if let Some(pc) = bound {
+                labels.insert(self.label_names[i].clone(), *pc);
+            }
+        }
+        let program = Program {
+            code,
+            src: self.src,
+            functions,
+            data: self.data,
+            symbols: self.symbols,
+            labels,
+            entry,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+fn patch_target(i: Instr, target: Pc) -> Instr {
+    match i {
+        Instr::Jmp { .. } => Instr::Jmp { target },
+        Instr::Br { cond, a, b, .. } => Instr::Br { cond, a, b, target },
+        Instr::BrI { cond, a, imm, .. } => Instr::BrI {
+            cond,
+            a,
+            imm,
+            target,
+        },
+        Instr::Call { .. } => Instr::Call { target },
+        Instr::Spawn { dst, arg, .. } => Instr::Spawn {
+            dst,
+            entry: target,
+            arg,
+        },
+        other => other,
+    }
+}
+
+/// Errors from [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// Debug name of the unbound label.
+        name: String,
+    },
+    /// The resolved image failed structural validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            BuildError::UnboundLabel { .. } => None,
+        }
+    }
+}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> Self {
+        BuildError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Reg};
+
+    #[test]
+    fn forward_label_patched() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let done = b.label();
+        b.ins(Instr::MovI {
+            dst: Reg(0),
+            imm: 0,
+        });
+        b.ins_to(
+            Instr::BrI {
+                cond: Cond::Eq,
+                a: Reg(0),
+                imm: 0,
+                target: 0,
+            },
+            done,
+        );
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: 99,
+        });
+        b.bind(done);
+        b.ins(Instr::Halt);
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(
+            p.code[1],
+            Instr::BrI {
+                cond: Cond::Eq,
+                a: Reg(0),
+                imm: 0,
+                target: 3
+            }
+        );
+        assert_eq!(p.entry, 0);
+        assert_eq!(p.functions[0].end, 4);
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.named_label("nowhere");
+        b.ins_to(Instr::Jmp { target: 0 }, l);
+        b.ins(Instr::Halt);
+        let err = b.finish().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnboundLabel {
+                name: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn data_allocation_is_sequential() {
+        let mut b = ProgramBuilder::new();
+        let a = b.data_words("xs", &[1, 2, 3]);
+        let c = b.alloc_data("ys", 2);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(c, DATA_BASE + 3);
+        b.ins(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.symbol("xs"), Some(DATA_BASE));
+        assert_eq!(p.data.get(&(DATA_BASE + 1)), Some(&2));
+    }
+
+    #[test]
+    fn source_map_gets_function_index() {
+        let mut b = ProgramBuilder::new();
+        b.set_line(10);
+        b.begin_func("main");
+        b.ins(Instr::Nop);
+        b.ins(Instr::Halt);
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(p.src[0].line, 10);
+        assert_eq!(p.src[0].func, 0);
+    }
+
+    #[test]
+    fn spawn_entry_patched() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let w = b.label();
+        b.ins_to(
+            Instr::Spawn {
+                dst: Reg(0),
+                entry: 0,
+                arg: Reg(1),
+            },
+            w,
+        );
+        b.ins(Instr::Halt);
+        b.end_func();
+        b.begin_func("worker");
+        b.bind(w);
+        b.ins(Instr::Halt);
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(
+            p.code[0],
+            Instr::Spawn {
+                dst: Reg(0),
+                entry: 2,
+                arg: Reg(1)
+            }
+        );
+    }
+}

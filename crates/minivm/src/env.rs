@@ -1,0 +1,161 @@
+//! Sources of environmental non-determinism.
+//!
+//! In the paper's setting, Pin observes system calls and PinPlay's logger
+//! records their outcomes so the replayer can inject them (paper §1, §2).
+//! Here the same boundary is the [`Environment`] trait: a *live* run draws
+//! syscall results from a [`LiveEnv`]; a *replayed* run draws them from a
+//! [`ScriptedEnv`] filled out of a pinball.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::isa::SysCall;
+use crate::machine::Tid;
+
+/// Supplier of syscall results for the VM.
+pub trait Environment {
+    /// Produces the result of `call` issued by thread `tid`.
+    fn syscall(&mut self, tid: Tid, call: SysCall) -> i64;
+}
+
+/// The "real world": seeded randomness, a monotonic clock, and a program
+/// input stream.
+///
+/// Although the RNG is seeded (so tests can be reproducible end-to-end), the
+/// values it produces are still *logically* non-deterministic from the
+/// replayer's point of view: replay never re-queries a `LiveEnv`.
+#[derive(Debug)]
+pub struct LiveEnv {
+    rng: StdRng,
+    clock: i64,
+    inputs: VecDeque<i64>,
+    /// Result returned by `ReadInput` once `inputs` is exhausted.
+    pub input_eof: i64,
+}
+
+impl LiveEnv {
+    /// Creates an environment with the given RNG seed and no program input.
+    pub fn new(seed: u64) -> LiveEnv {
+        LiveEnv {
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0,
+            inputs: VecDeque::new(),
+            input_eof: -1,
+        }
+    }
+
+    /// Creates an environment with a program input stream.
+    pub fn with_inputs(seed: u64, inputs: impl IntoIterator<Item = i64>) -> LiveEnv {
+        LiveEnv {
+            inputs: inputs.into_iter().collect(),
+            ..LiveEnv::new(seed)
+        }
+    }
+}
+
+impl Environment for LiveEnv {
+    fn syscall(&mut self, _tid: Tid, call: SysCall) -> i64 {
+        match call {
+            SysCall::ReadInput => self.inputs.pop_front().unwrap_or(self.input_eof),
+            SysCall::Rand => self.rng.gen::<i64>(),
+            SysCall::Time => {
+                // Advance by a pseudo-random stride so timing-dependent code
+                // paths actually vary between runs.
+                self.clock += 1 + (self.rng.gen::<u8>() as i64);
+                self.clock
+            }
+        }
+    }
+}
+
+/// Replays syscall results recorded in a pinball, per thread, in order.
+#[derive(Debug, Default, Clone)]
+pub struct ScriptedEnv {
+    queues: Vec<VecDeque<i64>>,
+}
+
+impl ScriptedEnv {
+    /// Creates an empty scripted environment.
+    pub fn new() -> ScriptedEnv {
+        ScriptedEnv::default()
+    }
+
+    /// Appends a recorded syscall result for `tid`.
+    pub fn push(&mut self, tid: Tid, value: i64) {
+        let t = tid as usize;
+        if self.queues.len() <= t {
+            self.queues.resize_with(t + 1, VecDeque::new);
+        }
+        self.queues[t].push_back(value);
+    }
+
+    /// Remaining unconsumed results across all threads.
+    pub fn remaining(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl Environment for ScriptedEnv {
+    /// # Panics
+    ///
+    /// Panics when a thread issues more syscalls than were recorded — that
+    /// means replay has diverged from the log, which violates the replayer's
+    /// core invariant and must not be papered over.
+    fn syscall(&mut self, tid: Tid, call: SysCall) -> i64 {
+        self.queues
+            .get_mut(tid as usize)
+            .and_then(VecDeque::pop_front)
+            .unwrap_or_else(|| {
+                panic!("replay divergence: no logged result for {call} on thread {tid}")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_env_reads_inputs_then_eof() {
+        let mut env = LiveEnv::with_inputs(7, [10, 20]);
+        assert_eq!(env.syscall(0, SysCall::ReadInput), 10);
+        assert_eq!(env.syscall(0, SysCall::ReadInput), 20);
+        assert_eq!(env.syscall(0, SysCall::ReadInput), -1);
+    }
+
+    #[test]
+    fn live_env_clock_is_monotonic() {
+        let mut env = LiveEnv::new(1);
+        let a = env.syscall(0, SysCall::Time);
+        let b = env.syscall(0, SysCall::Time);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn live_env_rand_is_seed_deterministic() {
+        let mut a = LiveEnv::new(42);
+        let mut b = LiveEnv::new(42);
+        assert_eq!(a.syscall(0, SysCall::Rand), b.syscall(0, SysCall::Rand));
+    }
+
+    #[test]
+    fn scripted_env_replays_per_thread() {
+        let mut env = ScriptedEnv::new();
+        env.push(1, 100);
+        env.push(0, 5);
+        env.push(1, 200);
+        assert_eq!(env.syscall(1, SysCall::Rand), 100);
+        assert_eq!(env.syscall(0, SysCall::ReadInput), 5);
+        assert_eq!(env.syscall(1, SysCall::Time), 200);
+        assert_eq!(env.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence")]
+    fn scripted_env_panics_on_divergence() {
+        let mut env = ScriptedEnv::new();
+        let _ = env.syscall(0, SysCall::Rand);
+    }
+}

@@ -1,0 +1,1030 @@
+//! The instruction-level executor: step semantics and instrumentation events.
+//!
+//! The executor plays the role Pin plays in the paper: it retires one
+//! instruction at a time for whichever thread the driver schedules, and for
+//! every retired instruction it produces an [`InsEvent`] carrying the full
+//! def/use information (registers and memory cells, with values) that the
+//! PinPlay-style logger and the dynamic slicer consume.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::env::Environment;
+use crate::isa::{Addr, Instr, Loc, Pc, Reg};
+use crate::machine::{stack_limit, stack_top, Memory, Snapshot, ThreadState, ThreadStatus, Tid};
+use crate::program::Program;
+
+/// Maximum defs or uses a single instruction can have.
+const MAX_LOCS: usize = 4;
+
+/// A fixed-capacity list of `(location, value)` pairs, avoiding per-event
+/// heap allocation on the hot interpretation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocVals {
+    len: u8,
+    items: [(Loc, i64); MAX_LOCS],
+}
+
+impl Default for LocVals {
+    fn default() -> LocVals {
+        LocVals::new()
+    }
+}
+
+impl LocVals {
+    /// Creates an empty list.
+    pub fn new() -> LocVals {
+        LocVals {
+            len: 0,
+            items: [(Loc::Reg(Reg(0)), 0); MAX_LOCS],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, loc: Loc, val: i64) {
+        debug_assert!((self.len as usize) < MAX_LOCS, "LocVals overflow");
+        self.items[self.len as usize] = (loc, val);
+        self.len += 1;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the `(location, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, i64)> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+
+    /// The value recorded for `loc`, if present.
+    pub fn value_of(&self, loc: Loc) -> Option<i64> {
+        self.iter().find(|(l, _)| *l == loc).map(|(_, v)| v)
+    }
+}
+
+impl IntoIterator for LocVals {
+    type Item = (Loc, i64);
+    type IntoIter = std::iter::Take<std::array::IntoIter<(Loc, i64), MAX_LOCS>>;
+
+    /// Owned iteration — `LocVals` is `Copy`, so this is free and lets
+    /// callers build iterators that do not borrow a temporary.
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl FromIterator<(Loc, i64)> for LocVals {
+    fn from_iter<I: IntoIterator<Item = (Loc, i64)>>(iter: I) -> LocVals {
+        let mut lv = LocVals::new();
+        for (l, v) in iter {
+            lv.push(l, v);
+        }
+        lv
+    }
+}
+
+/// Everything an instrumentation tool learns about one retired instruction —
+/// the analogue of Pin's per-instruction analysis arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsEvent {
+    /// Thread that retired the instruction.
+    pub tid: Tid,
+    /// Address of the instruction.
+    pub pc: Pc,
+    /// 1-based count of executions of `pc` by `tid` (region-relative).
+    pub instance: u64,
+    /// Global retire sequence number (region-relative, all threads).
+    pub seq: u64,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Locations read, with the values read.
+    pub uses: LocVals,
+    /// Locations written, with the values written.
+    pub defs: LocVals,
+    /// The control successor actually taken.
+    pub next_pc: Pc,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For `Spawn`: the new thread id and the argument value placed in its
+    /// `r0` (a cross-thread definition the slicer must account for).
+    pub spawned: Option<(Tid, i64)>,
+    /// For `Sys`: the environment-provided result (what a logger records).
+    pub sys_result: Option<i64>,
+}
+
+/// Outcome of stepping one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired normally.
+    Retired,
+    /// The instruction retired and halted its thread.
+    Halted,
+}
+
+/// Runtime traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmError {
+    /// `assert` saw zero — the bug symptom (paper Fig. 5: assertion failure).
+    AssertFailed { tid: Tid, pc: Pc },
+    /// Division or remainder by zero.
+    DivByZero { tid: Tid, pc: Pc },
+    /// Control transferred outside the code image.
+    BadPc { tid: Tid, pc: Pc },
+    /// Stack grew below the thread's reserved region.
+    StackOverflow { tid: Tid, pc: Pc },
+    /// `unlock` of a mutex not held by this thread.
+    UnlockNotHeld { tid: Tid, pc: Pc },
+    /// `lock` of a poisoned (freed) mutex word — models the pbzip2 bug's
+    /// use-after-free crash on `fifo->mut`.
+    PoisonedLock { tid: Tid, pc: Pc },
+    /// `join` of an invalid thread id.
+    BadTid { tid: Tid, pc: Pc },
+    /// A thread that is not runnable was scheduled.
+    NotRunnable { tid: Tid },
+}
+
+impl VmError {
+    /// The thread the trap occurred on.
+    pub fn tid(&self) -> Tid {
+        match *self {
+            VmError::AssertFailed { tid, .. }
+            | VmError::DivByZero { tid, .. }
+            | VmError::BadPc { tid, .. }
+            | VmError::StackOverflow { tid, .. }
+            | VmError::UnlockNotHeld { tid, .. }
+            | VmError::PoisonedLock { tid, .. }
+            | VmError::BadTid { tid, .. }
+            | VmError::NotRunnable { tid } => tid,
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VmError::AssertFailed { tid, pc } => write!(f, "assertion failed (tid {tid}, pc {pc})"),
+            VmError::DivByZero { tid, pc } => write!(f, "division by zero (tid {tid}, pc {pc})"),
+            VmError::BadPc { tid, pc } => write!(f, "bad jump target (tid {tid}, pc {pc})"),
+            VmError::StackOverflow { tid, pc } => write!(f, "stack overflow (tid {tid}, pc {pc})"),
+            VmError::UnlockNotHeld { tid, pc } => {
+                write!(f, "unlock of mutex not held (tid {tid}, pc {pc})")
+            }
+            VmError::PoisonedLock { tid, pc } => {
+                write!(f, "lock of poisoned mutex (tid {tid}, pc {pc})")
+            }
+            VmError::BadTid { tid, pc } => write!(f, "join of invalid thread (tid {tid}, pc {pc})"),
+            VmError::NotRunnable { tid } => write!(f, "thread {tid} is not runnable"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of a step: the event (always produced for the retiring/trapping
+/// instruction) plus the outcome or trap.
+///
+/// Both variants carry the ~300-byte [`InsEvent`] by value on purpose: the
+/// event is consumed immediately on the interpretation hot path and boxing
+/// it would trade an allocation per retired instruction for nothing.
+#[allow(clippy::result_large_err)]
+pub type StepResult = Result<(InsEvent, StepOutcome), (InsEvent, VmError)>;
+
+/// The interpreter core for one program execution.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    program: Arc<Program>,
+    memory: Memory,
+    threads: Vec<ThreadState>,
+    /// Per-thread, per-pc execution counts (region-relative instance ids).
+    instances: Vec<Vec<u64>>,
+    /// Region-relative global retire counter.
+    seq: u64,
+    /// Values printed by the program.
+    output: Vec<i64>,
+    /// Number of output values present at the (possibly restored) start
+    /// state; kept so snapshots compose.
+    output_base: u64,
+}
+
+impl Executor {
+    /// Creates an executor at the program entry with a single main thread
+    /// (tid 0).
+    pub fn new(program: Arc<Program>) -> Executor {
+        let main = ThreadState::new(0, program.entry);
+        let mut memory = Memory::new();
+        memory.load(program.data.iter().map(|(a, v)| (*a, *v)));
+        let code_len = program.len();
+        Executor {
+            program,
+            memory,
+            threads: vec![main],
+            instances: vec![vec![0; code_len]],
+            seq: 0,
+            output: Vec::new(),
+            output_base: 0,
+        }
+    }
+
+    /// Reconstructs an executor from a snapshot. Instance counts, the global
+    /// sequence number, and per-thread icounts restart from zero: pinballs
+    /// use *region-relative* instance numbering (paper §4's
+    /// `startPc:sinstance:tid` triples count from the region start).
+    pub fn from_snapshot(program: Arc<Program>, snap: &Snapshot) -> Executor {
+        let code_len = program.len();
+        let mut threads = snap.threads.clone();
+        for t in &mut threads {
+            t.icount = 0;
+        }
+        Executor {
+            program,
+            memory: snap.memory.clone(),
+            instances: vec![vec![0; code_len]; threads.len()],
+            threads,
+            seq: 0,
+            output: Vec::new(),
+            output_base: snap.output_len,
+        }
+    }
+
+    /// Captures the current architectural state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            threads: self.threads.clone(),
+            memory: self.memory.clone(),
+            output_len: self.output_base + self.output.len() as u64,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Number of threads ever created (tids are never reused).
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// State of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tid` was never created.
+    pub fn thread(&self, tid: Tid) -> &ThreadState {
+        &self.threads[tid as usize]
+    }
+
+    /// Tids that can currently be scheduled.
+    pub fn runnable(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_runnable())
+            .map(|(i, _)| i as Tid)
+    }
+
+    /// Whether every thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.status == ThreadStatus::Halted)
+    }
+
+    /// Region-relative global retire count.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Region-relative instruction count of thread `tid`.
+    pub fn icount(&self, tid: Tid) -> u64 {
+        self.threads[tid as usize].icount
+    }
+
+    /// Total instructions retired across all threads (region-relative).
+    pub fn total_icount(&self) -> u64 {
+        self.threads.iter().map(|t| t.icount).sum()
+    }
+
+    /// How many times `tid` has executed `pc` so far (region-relative).
+    pub fn instance_count(&self, tid: Tid, pc: Pc) -> u64 {
+        self.instances
+            .get(tid as usize)
+            .and_then(|v| v.get(pc as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Values printed since this executor was created.
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// Reads a register of a thread (debugger `print`).
+    pub fn read_reg(&self, tid: Tid, reg: Reg) -> i64 {
+        self.threads[tid as usize].regs[reg.index()]
+    }
+
+    /// Reads a memory word (debugger `x/`).
+    pub fn read_mem(&self, addr: Addr) -> i64 {
+        self.memory.read(addr)
+    }
+
+    /// Forces a thread's pc — used by the slice-pinball replayer to skip an
+    /// excluded code region (paper §4: "all the excluded code regions will be
+    /// completely skipped").
+    pub fn set_pc(&mut self, tid: Tid, pc: Pc) {
+        self.threads[tid as usize].pc = pc;
+    }
+
+    /// Injects a register value — side-effect restoration during slice
+    /// replay (paper Fig. 6(b): "injecting modified memory cells and
+    /// registers").
+    pub fn inject_reg(&mut self, tid: Tid, reg: Reg, value: i64) {
+        self.threads[tid as usize].regs[reg.index()] = value;
+    }
+
+    /// Injects a memory value — see [`Executor::inject_reg`].
+    pub fn inject_mem(&mut self, addr: Addr, value: i64) {
+        self.memory.write(addr, value);
+    }
+
+    /// Executes one instruction on `tid`.
+    ///
+    /// Always produces the [`InsEvent`] for the instruction, even when it
+    /// traps, so the failure point itself is visible to tools (the paper
+    /// slices *at* the failed assertion).
+    ///
+    /// # Errors
+    ///
+    /// Returns the event paired with a [`VmError`] on traps. Stepping a
+    /// halted thread returns a [`VmError::NotRunnable`] with an empty event.
+    #[allow(clippy::result_large_err)]
+    pub fn step(&mut self, tid: Tid, env: &mut dyn Environment) -> StepResult {
+        let t = tid as usize;
+        if self.threads.get(t).is_none_or(|th| !th.is_runnable()) {
+            let ev = self.empty_event(tid);
+            return Err((ev, VmError::NotRunnable { tid }));
+        }
+        let pc = self.threads[t].pc;
+        let Some(&instr) = self.program.fetch(pc) else {
+            let ev = self.empty_event(tid);
+            return Err((ev, VmError::BadPc { tid, pc }));
+        };
+
+        // Retire bookkeeping happens unconditionally: a trapping instruction
+        // still occupies its slot in the trace.
+        self.instances[t][pc as usize] += 1;
+        let instance = self.instances[t][pc as usize];
+        let seq = self.seq;
+        self.seq += 1;
+        self.threads[t].icount += 1;
+
+        let mut ev = InsEvent {
+            tid,
+            pc,
+            instance,
+            seq,
+            instr,
+            uses: LocVals::new(),
+            defs: LocVals::new(),
+            next_pc: pc.wrapping_add(1),
+            taken: None,
+            spawned: None,
+            sys_result: None,
+        };
+
+        #[allow(clippy::result_large_err)]
+        let trap = |ev: InsEvent, e: VmError| -> StepResult { Err((ev, e)) };
+
+        macro_rules! reg_use {
+            ($r:expr) => {{
+                let v = self.threads[t].regs[$r.index()];
+                ev.uses.push(Loc::Reg($r), v);
+                v
+            }};
+        }
+        macro_rules! reg_def {
+            ($r:expr, $v:expr) => {{
+                let v: i64 = $v;
+                self.threads[t].regs[$r.index()] = v;
+                ev.defs.push(Loc::Reg($r), v);
+            }};
+        }
+        macro_rules! mem_use {
+            ($a:expr) => {{
+                let a: Addr = $a;
+                let v = self.memory.read(a);
+                ev.uses.push(Loc::Mem(a), v);
+                v
+            }};
+        }
+        macro_rules! mem_def {
+            ($a:expr, $v:expr) => {{
+                let a: Addr = $a;
+                let v: i64 = $v;
+                self.memory.write(a, v);
+                ev.defs.push(Loc::Mem(a), v);
+            }};
+        }
+
+        let mut outcome = StepOutcome::Retired;
+        match instr {
+            Instr::MovI { dst, imm } => reg_def!(dst, imm),
+            Instr::Mov { dst, src } => {
+                let v = reg_use!(src);
+                reg_def!(dst, v);
+            }
+            Instr::Load { dst, base, off } => {
+                let b = reg_use!(base);
+                let v = mem_use!(b.wrapping_add(off) as Addr);
+                reg_def!(dst, v);
+            }
+            Instr::Store { src, base, off } => {
+                let v = reg_use!(src);
+                let b = reg_use!(base);
+                mem_def!(b.wrapping_add(off) as Addr, v);
+            }
+            Instr::Push { src } => {
+                let v = reg_use!(src);
+                let sp = reg_use!(Reg::SP);
+                let nsp = sp.wrapping_sub(1);
+                if (nsp as Addr) < stack_limit(tid) || (nsp as Addr) >= stack_top(tid) {
+                    return trap(ev, VmError::StackOverflow { tid, pc });
+                }
+                reg_def!(Reg::SP, nsp);
+                mem_def!(nsp as Addr, v);
+            }
+            Instr::Pop { dst } => {
+                let sp = reg_use!(Reg::SP);
+                if (sp as Addr) >= stack_top(tid) {
+                    return trap(ev, VmError::StackOverflow { tid, pc });
+                }
+                let v = mem_use!(sp as Addr);
+                reg_def!(dst, v);
+                reg_def!(Reg::SP, sp.wrapping_add(1));
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let av = reg_use!(a);
+                let bv = reg_use!(b);
+                match op.apply(av, bv) {
+                    Some(v) => reg_def!(dst, v),
+                    None => return trap(ev, VmError::DivByZero { tid, pc }),
+                }
+            }
+            Instr::BinI { op, dst, a, imm } => {
+                let av = reg_use!(a);
+                match op.apply(av, imm) {
+                    Some(v) => reg_def!(dst, v),
+                    None => return trap(ev, VmError::DivByZero { tid, pc }),
+                }
+            }
+            Instr::Jmp { target } => ev.next_pc = target,
+            Instr::Br { cond, a, b, target } => {
+                let av = reg_use!(a);
+                let bv = reg_use!(b);
+                let taken = cond.eval(av, bv);
+                ev.taken = Some(taken);
+                if taken {
+                    ev.next_pc = target;
+                }
+            }
+            Instr::BrI {
+                cond,
+                a,
+                imm,
+                target,
+            } => {
+                let av = reg_use!(a);
+                let taken = cond.eval(av, imm);
+                ev.taken = Some(taken);
+                if taken {
+                    ev.next_pc = target;
+                }
+            }
+            Instr::JmpInd { src } => {
+                let v = reg_use!(src);
+                if v < 0 || v as usize >= self.program.len() {
+                    return trap(ev, VmError::BadPc { tid, pc });
+                }
+                ev.next_pc = v as Pc;
+            }
+            Instr::Call { target } => {
+                let sp = reg_use!(Reg::SP);
+                let nsp = sp.wrapping_sub(1);
+                if (nsp as Addr) < stack_limit(tid) {
+                    return trap(ev, VmError::StackOverflow { tid, pc });
+                }
+                reg_def!(Reg::SP, nsp);
+                mem_def!(nsp as Addr, i64::from(pc) + 1);
+                ev.next_pc = target;
+            }
+            Instr::CallInd { src } => {
+                let v = reg_use!(src);
+                if v < 0 || v as usize >= self.program.len() {
+                    return trap(ev, VmError::BadPc { tid, pc });
+                }
+                let sp = reg_use!(Reg::SP);
+                let nsp = sp.wrapping_sub(1);
+                if (nsp as Addr) < stack_limit(tid) {
+                    return trap(ev, VmError::StackOverflow { tid, pc });
+                }
+                reg_def!(Reg::SP, nsp);
+                mem_def!(nsp as Addr, i64::from(pc) + 1);
+                ev.next_pc = v as Pc;
+            }
+            Instr::Ret => {
+                let sp = reg_use!(Reg::SP);
+                if (sp as Addr) >= stack_top(tid) {
+                    return trap(ev, VmError::StackOverflow { tid, pc });
+                }
+                let ra = mem_use!(sp as Addr);
+                reg_def!(Reg::SP, sp.wrapping_add(1));
+                if ra < 0 || ra as usize >= self.program.len() {
+                    return trap(ev, VmError::BadPc { tid, pc });
+                }
+                ev.next_pc = ra as Pc;
+            }
+            Instr::Lock { addr } => {
+                let a = reg_use!(addr) as Addr;
+                let v = mem_use!(a);
+                if v < 0 {
+                    return trap(ev, VmError::PoisonedLock { tid, pc });
+                }
+                if v == 0 {
+                    mem_def!(a, i64::from(tid) + 1);
+                } else {
+                    // Contended: spin. The instruction retires but pc does
+                    // not advance, so "one step = one retired instruction"
+                    // holds and the schedule log stays an exact recipe.
+                    ev.next_pc = pc;
+                }
+            }
+            Instr::Unlock { addr } => {
+                let a = reg_use!(addr) as Addr;
+                let v = mem_use!(a);
+                if v != i64::from(tid) + 1 {
+                    return trap(ev, VmError::UnlockNotHeld { tid, pc });
+                }
+                mem_def!(a, 0);
+            }
+            Instr::Cas {
+                dst,
+                addr,
+                expect,
+                new,
+            } => {
+                let a = reg_use!(addr) as Addr;
+                let e = reg_use!(expect);
+                let n = reg_use!(new);
+                let v = mem_use!(a);
+                reg_def!(dst, v);
+                if v == e {
+                    mem_def!(a, n);
+                }
+            }
+            Instr::AtomicAdd { dst, addr, val } => {
+                let a = reg_use!(addr) as Addr;
+                let n = reg_use!(val);
+                let v = mem_use!(a);
+                reg_def!(dst, v);
+                mem_def!(a, v.wrapping_add(n));
+            }
+            Instr::Fence => {}
+            Instr::Spawn { dst, entry, arg } => {
+                let argv = reg_use!(arg);
+                let new_tid = self.threads.len() as Tid;
+                if new_tid >= crate::machine::MAX_THREADS {
+                    // Past this point the per-thread stack carving would
+                    // collide with the data segment (and eventually wrap);
+                    // refuse like a failed pthread_create.
+                    return trap(ev, VmError::BadTid { tid, pc });
+                }
+                let mut st = ThreadState::new(new_tid, entry);
+                st.regs[0] = argv;
+                self.threads.push(st);
+                self.instances.push(vec![0; self.program.len()]);
+                reg_def!(dst, i64::from(new_tid));
+                ev.spawned = Some((new_tid, argv));
+            }
+            Instr::Join { tid: tr } => {
+                let v = reg_use!(tr);
+                if v < 0 || v as usize >= self.threads.len() {
+                    return trap(ev, VmError::BadTid { tid, pc });
+                }
+                if self.threads[v as usize].status != ThreadStatus::Halted {
+                    ev.next_pc = pc; // spin until the target halts
+                }
+            }
+            Instr::Sys { call, dst } => {
+                let v = env.syscall(tid, call);
+                reg_def!(dst, v);
+                ev.sys_result = Some(v);
+            }
+            Instr::GetTid { dst } => reg_def!(dst, i64::from(tid)),
+            Instr::Assert { src } => {
+                let v = reg_use!(src);
+                if v == 0 {
+                    return trap(ev, VmError::AssertFailed { tid, pc });
+                }
+            }
+            Instr::Print { src } => {
+                let v = reg_use!(src);
+                self.output.push(v);
+            }
+            Instr::Halt => {
+                self.threads[t].status = ThreadStatus::Halted;
+                ev.next_pc = pc;
+                outcome = StepOutcome::Halted;
+            }
+            Instr::Nop => {}
+        }
+
+        self.threads[t].pc = ev.next_pc;
+        Ok((ev, outcome))
+    }
+
+    fn empty_event(&self, tid: Tid) -> InsEvent {
+        InsEvent {
+            tid,
+            pc: 0,
+            instance: 0,
+            seq: self.seq,
+            instr: Instr::Nop,
+            uses: LocVals::new(),
+            defs: LocVals::new(),
+            next_pc: 0,
+            taken: None,
+            spawned: None,
+            sys_result: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::env::LiveEnv;
+    use crate::isa::{BinOp, Cond};
+
+    fn exec_of(f: impl FnOnce(&mut ProgramBuilder)) -> Executor {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        f(&mut b);
+        b.end_func();
+        Executor::new(Arc::new(b.finish().unwrap()))
+    }
+
+    fn run_all(exec: &mut Executor) -> Result<(), VmError> {
+        let mut env = LiveEnv::new(0);
+        for _ in 0..100_000 {
+            if exec.all_halted() {
+                return Ok(());
+            }
+            let tids: Vec<Tid> = exec.runnable().collect();
+            for tid in tids {
+                if let Err((_, e)) = exec.step(tid, &mut env) {
+                    return Err(e);
+                }
+            }
+        }
+        panic!("program did not terminate");
+    }
+
+    #[test]
+    fn arithmetic_and_events() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 6,
+            });
+            b.ins(Instr::BinI {
+                op: BinOp::Mul,
+                dst: Reg(1),
+                a: Reg(0),
+                imm: 7,
+            });
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        let (ev, _) = exec.step(0, &mut env).unwrap();
+        assert_eq!(ev.defs.value_of(Loc::Reg(Reg(0))), Some(6));
+        assert_eq!(ev.instance, 1);
+        assert_eq!(ev.seq, 0);
+        let (ev, _) = exec.step(0, &mut env).unwrap();
+        assert_eq!(ev.uses.value_of(Loc::Reg(Reg(0))), Some(6));
+        assert_eq!(ev.defs.value_of(Loc::Reg(Reg(1))), Some(42));
+        assert_eq!(exec.read_reg(0, Reg(1)), 42);
+    }
+
+    #[test]
+    fn push_pop_roundtrip_and_sp_motion() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(3),
+                imm: 1234,
+            });
+            b.ins(Instr::Push { src: Reg(3) });
+            b.ins(Instr::MovI {
+                dst: Reg(3),
+                imm: 0,
+            });
+            b.ins(Instr::Pop { dst: Reg(4) });
+            b.ins(Instr::Halt);
+        });
+        run_all(&mut exec).unwrap();
+        assert_eq!(exec.read_reg(0, Reg(4)), 1234);
+        assert_eq!(exec.read_reg(0, Reg::SP), stack_top(0) as i64);
+    }
+
+    #[test]
+    fn call_ret_control_flow() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let f = b.label();
+        b.ins_to(Instr::Call { target: 0 }, f);
+        b.ins(Instr::Halt);
+        b.end_func();
+        b.begin_func("f");
+        b.bind(f);
+        b.ins(Instr::MovI {
+            dst: Reg(0),
+            imm: 5,
+        });
+        b.ins(Instr::Ret);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        run_all(&mut exec).unwrap();
+        assert_eq!(exec.read_reg(0, Reg(0)), 5);
+    }
+
+    #[test]
+    fn assertion_failure_traps_with_event() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 0,
+            });
+            b.ins(Instr::Assert { src: Reg(0) });
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let (ev, err) = exec.step(0, &mut env).unwrap_err();
+        assert_eq!(err, VmError::AssertFailed { tid: 0, pc: 1 });
+        assert_eq!(ev.uses.value_of(Loc::Reg(Reg(0))), Some(0));
+    }
+
+    #[test]
+    fn lock_spins_until_released() {
+        // Two threads contend for a mutex at a fixed address.
+        let mut b = ProgramBuilder::new();
+        let m = b.data_words("mutex", &[0]);
+        b.begin_func("main");
+        let w = b.label();
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: m as i64,
+        });
+        b.ins(Instr::Lock { addr: Reg(1) });
+        b.ins_to(
+            Instr::Spawn {
+                dst: Reg(2),
+                entry: 0,
+                arg: Reg(1),
+            },
+            w,
+        );
+        b.ins(Instr::Unlock { addr: Reg(1) });
+        b.ins(Instr::Join { tid: Reg(2) });
+        b.ins(Instr::Halt);
+        b.end_func();
+        b.begin_func("worker");
+        b.bind(w);
+        b.ins(Instr::Lock { addr: Reg(0) });
+        b.ins(Instr::Unlock { addr: Reg(0) });
+        b.ins(Instr::Halt);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        let mut env = LiveEnv::new(0);
+        // main: movi, lock (acquires), spawn
+        exec.step(0, &mut env).unwrap();
+        exec.step(0, &mut env).unwrap();
+        exec.step(0, &mut env).unwrap();
+        // worker tries to lock: spins in place
+        let (ev, _) = exec.step(1, &mut env).unwrap();
+        assert_eq!(ev.next_pc, ev.pc);
+        assert_eq!(exec.thread(1).pc, ev.pc);
+        // main unlocks, worker retries and acquires
+        exec.step(0, &mut env).unwrap();
+        let (ev2, _) = exec.step(1, &mut env).unwrap();
+        assert_ne!(ev2.next_pc, ev2.pc);
+        assert_eq!(ev2.instance, 2, "second dynamic instance of the lock pc");
+    }
+
+    #[test]
+    fn poisoned_lock_traps() {
+        let mut b = ProgramBuilder::new();
+        let m = b.data_words("mutex", &[-1]);
+        b.begin_func("main");
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: m as i64,
+        });
+        b.ins(Instr::Lock { addr: Reg(1) });
+        b.ins(Instr::Halt);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let (_, err) = exec.step(0, &mut env).unwrap_err();
+        assert!(matches!(err, VmError::PoisonedLock { tid: 0, pc: 1 }));
+    }
+
+    #[test]
+    fn unlock_not_held_traps() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(1),
+                imm: 0x1000,
+            });
+            b.ins(Instr::Unlock { addr: Reg(1) });
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let (_, err) = exec.step(0, &mut env).unwrap_err();
+        assert!(matches!(err, VmError::UnlockNotHeld { .. }));
+    }
+
+    #[test]
+    fn spawn_passes_arg_and_join_waits() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_data("out", 1);
+        b.begin_func("main");
+        let w = b.label();
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: 77,
+        });
+        b.ins_to(
+            Instr::Spawn {
+                dst: Reg(2),
+                entry: 0,
+                arg: Reg(1),
+            },
+            w,
+        );
+        b.ins(Instr::Join { tid: Reg(2) });
+        b.ins(Instr::Halt);
+        b.end_func();
+        b.begin_func("worker");
+        b.bind(w);
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: out as i64,
+        });
+        b.ins(Instr::Store {
+            src: Reg(0),
+            base: Reg(1),
+            off: 0,
+        });
+        b.ins(Instr::Halt);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        run_all(&mut exec).unwrap();
+        assert_eq!(exec.read_mem(out), 77);
+        assert_eq!(exec.num_threads(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_resets_region_counters() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 9,
+            });
+            b.ins(Instr::Print { src: Reg(0) });
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let snap = exec.snapshot();
+        let mut exec2 = Executor::from_snapshot(Arc::clone(exec.program()), &snap);
+        assert_eq!(exec2.seq(), 0);
+        assert_eq!(exec2.icount(0), 0);
+        assert_eq!(exec2.read_reg(0, Reg(0)), 9);
+        assert_eq!(exec2.thread(0).pc, 1);
+        let (ev, _) = exec2.step(0, &mut env).unwrap();
+        assert_eq!(ev.instance, 1, "instances are region-relative");
+        assert_eq!(exec2.output(), &[9]);
+    }
+
+    #[test]
+    fn indirect_jump_dispatch() {
+        // Mini switch: jump table in data holds code addresses.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let case1 = b.label();
+        let table = b.alloc_data("table", 2);
+        // r0 = selector (1)
+        b.ins(Instr::MovI {
+            dst: Reg(0),
+            imm: 1,
+        });
+        b.ins(Instr::MovI {
+            dst: Reg(1),
+            imm: table as i64,
+        });
+        b.ins(Instr::Load {
+            dst: Reg(2),
+            base: Reg(1),
+            off: 1,
+        });
+        b.ins(Instr::JmpInd { src: Reg(2) });
+        b.ins(Instr::Halt); // case 0 (skipped)
+        b.bind(case1);
+        b.ins(Instr::MovI {
+            dst: Reg(3),
+            imm: 42,
+        });
+        b.ins(Instr::Halt);
+        b.end_func();
+        let p = b.finish().unwrap();
+        // Patch the jump table now that labels are resolved: entry 1 -> case1.
+        let mut exec = Executor::new(Arc::new(p));
+        exec.inject_mem(table + 1, 5);
+        run_all(&mut exec).unwrap();
+        assert_eq!(exec.read_reg(0, Reg(3)), 42);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 1,
+            });
+            b.ins(Instr::MovI {
+                dst: Reg(1),
+                imm: 0,
+            });
+            b.ins(Instr::Bin {
+                op: BinOp::Div,
+                dst: Reg(2),
+                a: Reg(0),
+                b: Reg(1),
+            });
+        });
+        assert!(matches!(
+            run_all(&mut exec),
+            Err(VmError::DivByZero { tid: 0, pc: 2 })
+        ));
+    }
+
+    #[test]
+    fn branch_taken_flag() {
+        let mut exec = exec_of(|b| {
+            let l = b.label();
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 3,
+            });
+            b.ins_to(
+                Instr::BrI {
+                    cond: Cond::Gt,
+                    a: Reg(0),
+                    imm: 0,
+                    target: 0,
+                },
+                l,
+            );
+            b.ins(Instr::Nop);
+            b.bind(l);
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let (ev, _) = exec.step(0, &mut env).unwrap();
+        assert_eq!(ev.taken, Some(true));
+        assert_eq!(ev.next_pc, 3);
+    }
+
+    #[test]
+    fn not_runnable_error() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let (_, err) = exec.step(0, &mut env).unwrap_err();
+        assert_eq!(err, VmError::NotRunnable { tid: 0 });
+        let (_, err) = exec.step(9, &mut env).unwrap_err();
+        assert_eq!(err, VmError::NotRunnable { tid: 9 });
+    }
+}

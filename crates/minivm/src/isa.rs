@@ -1,0 +1,486 @@
+//! Instruction-set architecture of the mini virtual machine.
+//!
+//! The ISA is deliberately x86-flavoured at the level that matters for the
+//! DrDebug reproduction: it has general-purpose registers, a downward-growing
+//! stack addressed through a dedicated stack pointer, `push`/`pop` used by
+//! function prologues/epilogues to save and restore registers (the source of
+//! the *spurious dependences* of paper §5.2), direct and **indirect** jumps
+//! (the source of the control-dependence imprecision of paper §5.1), calls
+//! and returns through the stack, and a small set of concurrency and
+//! "system call" operations that introduce the non-determinism PinPlay-style
+//! logging must capture.
+//!
+//! Word-addressed memory keeps the def/use model simple: every memory access
+//! touches exactly one 64-bit cell.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers, including the stack pointer.
+pub const NUM_REGS: usize = 16;
+
+/// A register name. `r15` doubles as the stack pointer ([`Reg::SP`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The dedicated stack-pointer register (`sp`, alias of `r15`).
+    pub const SP: Reg = Reg(15);
+
+    /// Returns the register index as a `usize` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a register, panicking when `i` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_REGS`.
+    pub fn new(i: u8) -> Reg {
+        assert!(
+            (i as usize) < NUM_REGS,
+            "register index {i} out of range (max {})",
+            NUM_REGS - 1
+        );
+        Reg(i)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Reg::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// A code address: the index of an instruction in the program image.
+pub type Pc = u32;
+
+/// A data address: the index of a 64-bit word in VM memory.
+pub type Addr = u64;
+
+/// A dynamic storage location — the unit dependences are tracked on.
+///
+/// The dynamic slicer treats registers and memory cells uniformly, exactly as
+/// a binary-level slicer over Pin does (paper §5.2: "Besides memory to memory
+/// dependences, we need to maintain the dependences between registers and
+/// memory to perform dynamic slicing at the binary level").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Loc {
+    /// An architectural register of a specific thread. Registers are private,
+    /// so the slicer qualifies them with the owning thread id.
+    Reg(Reg),
+    /// A word of shared memory.
+    Mem(Addr),
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Reg(r) => write!(f, "{r}"),
+            Loc::Mem(a) => write!(f, "[{a:#x}]"),
+        }
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Signed "set less than": `dst = (a < b) as i64`.
+    Slt,
+    /// "Set equal": `dst = (a == b) as i64`.
+    Seq,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operation with wrapping semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on division or remainder by zero, which the VM turns
+    /// into a trap.
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Slt => i64::from(a < b),
+            BinOp::Seq => i64::from(a == b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Slt => "slt",
+            BinOp::Seq => "seq",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions for conditional jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two signed operands.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Non-deterministic "system calls" whose results a PinPlay-style logger must
+/// capture and a replayer must inject (paper §1: "outcome of system calls").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SysCall {
+    /// Reads the next value from the program's external input stream.
+    ReadInput,
+    /// Draws a pseudo-random value from the environment.
+    Rand,
+    /// Reads a monotonic clock.
+    Time,
+}
+
+impl fmt::Display for SysCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SysCall::ReadInput => "read",
+            SysCall::Rand => "rand",
+            SysCall::Time => "time",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single VM instruction.
+///
+/// Every instruction always *retires* when stepped: contended locks and joins
+/// on live threads retire as failed attempts that leave `pc` unchanged
+/// (spin-wait semantics). This makes "one scheduled step = one retired
+/// instruction" hold unconditionally, which in turn makes the schedule log in
+/// a pinball an exact replay recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = imm`
+    MovI { dst: Reg, imm: i64 },
+    /// `dst = src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst = mem[base + off]`
+    Load { dst: Reg, base: Reg, off: i64 },
+    /// `mem[base + off] = src`
+    Store { src: Reg, base: Reg, off: i64 },
+    /// `sp -= 1; mem[sp] = src` — the register-*save* idiom of §5.2.
+    Push { src: Reg },
+    /// `dst = mem[sp]; sp += 1` — the register-*restore* idiom of §5.2.
+    Pop { dst: Reg },
+    /// `dst = op(a, b)`
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst = op(a, imm)`
+    BinI { op: BinOp, dst: Reg, a: Reg, imm: i64 },
+    /// `pc = target`
+    Jmp { target: Pc },
+    /// `if cond(a, b) pc = target`
+    Br { cond: Cond, a: Reg, b: Reg, target: Pc },
+    /// `if cond(a, imm) pc = target`
+    BrI { cond: Cond, a: Reg, imm: i64, target: Pc },
+    /// `pc = src` — statically opaque control flow (§5.1).
+    JmpInd { src: Reg },
+    /// `sp -= 1; mem[sp] = pc + 1; pc = target`
+    Call { target: Pc },
+    /// `sp -= 1; mem[sp] = pc + 1; pc = src`
+    CallInd { src: Reg },
+    /// `pc = mem[sp]; sp += 1`
+    Ret,
+    /// Spin-acquire of the mutex word at `mem[addr]`: atomically sets it to
+    /// the owning thread id + 1 when it is 0, otherwise retries (pc
+    /// unchanged).
+    Lock { addr: Reg },
+    /// Releases the mutex word at `mem[addr]` (stores 0).
+    Unlock { addr: Reg },
+    /// Compare-and-swap: `dst = mem[addr]; if dst == expect { mem[addr] = new }`.
+    Cas { dst: Reg, addr: Reg, expect: Reg, new: Reg },
+    /// `dst = mem[addr]; mem[addr] = dst + val` atomically.
+    AtomicAdd { dst: Reg, addr: Reg, val: Reg },
+    /// Memory fence — a no-op in the sequentially consistent VM, present so
+    /// workloads look like their real counterparts.
+    Fence,
+    /// Spawns a new thread executing from `entry` with `arg` in `r0`;
+    /// `dst` receives the new thread id.
+    Spawn { dst: Reg, entry: Pc, arg: Reg },
+    /// Spin-wait until thread `tid` has halted.
+    Join { tid: Reg },
+    /// `dst = env syscall result` — non-deterministic input.
+    Sys { call: SysCall, dst: Reg },
+    /// `dst = current thread id` — deterministic, not logged.
+    GetTid { dst: Reg },
+    /// Traps with `AssertFailed` when `src == 0` — the bug *symptom* point.
+    Assert { src: Reg },
+    /// Appends `src` to the VM output channel.
+    Print { src: Reg },
+    /// Terminates the current thread.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction can transfer control somewhere other than
+    /// fall-through (used by static code discovery).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. }
+                | Instr::Br { .. }
+                | Instr::BrI { .. }
+                | Instr::JmpInd { .. }
+                | Instr::Call { .. }
+                | Instr::CallInd { .. }
+                | Instr::Ret
+                | Instr::Halt
+        )
+    }
+
+    /// Whether this is a *conditional* branch (two static successors).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Br { .. } | Instr::BrI { .. })
+    }
+
+    /// Whether this is an indirect jump whose successors are statically
+    /// unknown — the §5.1 imprecision source.
+    pub fn is_indirect_jump(&self) -> bool {
+        matches!(self, Instr::JmpInd { .. } | Instr::CallInd { .. })
+    }
+
+    /// Whether executing this instruction reads or writes shared memory.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Push { .. }
+                | Instr::Pop { .. }
+                | Instr::Call { .. }
+                | Instr::CallInd { .. }
+                | Instr::Ret
+                | Instr::Lock { .. }
+                | Instr::Unlock { .. }
+                | Instr::Cas { .. }
+                | Instr::AtomicAdd { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::MovI { dst, imm } => write!(f, "movi {dst}, {imm}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Load { dst, base, off } => write!(f, "load {dst}, {base}, {off}"),
+            Instr::Store { src, base, off } => write!(f, "store {src}, {base}, {off}"),
+            Instr::Push { src } => write!(f, "push {src}"),
+            Instr::Pop { dst } => write!(f, "pop {dst}"),
+            Instr::Bin { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::BinI { op, dst, a, imm } => write!(f, "{op}i {dst}, {a}, {imm}"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Br { cond, a, b, target } => write!(f, "b{cond} {a}, {b}, {target}"),
+            Instr::BrI {
+                cond,
+                a,
+                imm,
+                target,
+            } => write!(f, "b{cond}i {a}, {imm}, {target}"),
+            Instr::JmpInd { src } => write!(f, "jmpind {src}"),
+            Instr::Call { target } => write!(f, "call {target}"),
+            Instr::CallInd { src } => write!(f, "callind {src}"),
+            Instr::Ret => f.write_str("ret"),
+            Instr::Lock { addr } => write!(f, "lock {addr}"),
+            Instr::Unlock { addr } => write!(f, "unlock {addr}"),
+            Instr::Cas {
+                dst,
+                addr,
+                expect,
+                new,
+            } => write!(f, "cas {dst}, {addr}, {expect}, {new}"),
+            Instr::AtomicAdd { dst, addr, val } => write!(f, "xadd {dst}, {addr}, {val}"),
+            Instr::Fence => f.write_str("fence"),
+            Instr::Spawn { dst, entry, arg } => write!(f, "spawn {dst}, {entry}, {arg}"),
+            Instr::Join { tid } => write!(f, "join {tid}"),
+            Instr::Sys { call, dst } => write!(f, "{call} {dst}"),
+            Instr::GetTid { dst } => write!(f, "gettid {dst}"),
+            Instr::Assert { src } => write!(f, "assert {src}"),
+            Instr::Print { src } => write!(f, "print {src}"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_wrapping_and_div_by_zero() {
+        assert_eq!(BinOp::Add.apply(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Div.apply(10, 0), None);
+        assert_eq!(BinOp::Rem.apply(10, 0), None);
+        assert_eq!(BinOp::Div.apply(10, 3), Some(3));
+        assert_eq!(BinOp::Slt.apply(-1, 0), Some(1));
+        assert_eq!(BinOp::Seq.apply(4, 4), Some(1));
+    }
+
+    #[test]
+    fn shift_masks_count() {
+        assert_eq!(BinOp::Shl.apply(1, 64), Some(1));
+        assert_eq!(BinOp::Shl.apply(1, 3), Some(8));
+        assert_eq!(BinOp::Shr.apply(-8, 1), Some(-4));
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-5, 0));
+        assert!(Cond::Le.eval(0, 0));
+        assert!(Cond::Gt.eval(1, 0));
+        assert!(Cond::Ge.eval(1, 1));
+        assert!(!Cond::Lt.eval(1, 0));
+    }
+
+    #[test]
+    fn reg_display_and_sp_alias() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::SP, Reg(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_rejects_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn instr_classification() {
+        assert!(Instr::Jmp { target: 0 }.is_control());
+        assert!(Instr::JmpInd { src: Reg(0) }.is_indirect_jump());
+        assert!(Instr::Br {
+            cond: Cond::Eq,
+            a: Reg(0),
+            b: Reg(1),
+            target: 0
+        }
+        .is_cond_branch());
+        assert!(!Instr::Nop.is_control());
+        assert!(Instr::Push { src: Reg(1) }.touches_memory());
+        assert!(!Instr::MovI {
+            dst: Reg(0),
+            imm: 1
+        }
+        .touches_memory());
+    }
+
+    #[test]
+    fn instr_display_roundtrips_mnemonics() {
+        assert_eq!(
+            Instr::MovI {
+                dst: Reg(2),
+                imm: -7
+            }
+            .to_string(),
+            "movi r2, -7"
+        );
+        assert_eq!(
+            Instr::Bin {
+                op: BinOp::Add,
+                dst: Reg(0),
+                a: Reg(1),
+                b: Reg(2)
+            }
+            .to_string(),
+            "add r0, r1, r2"
+        );
+        assert_eq!(Instr::Ret.to_string(), "ret");
+    }
+}

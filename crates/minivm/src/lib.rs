@@ -1,0 +1,80 @@
+//! # minivm — the execution substrate for the DrDebug reproduction
+//!
+//! The DrDebug paper (CGO 2014) builds on Intel Pin: its logger, replayer,
+//! and dynamic slicer all observe *real x86 binaries* through dynamic binary
+//! instrumentation. This crate is the substitute substrate: a multi-threaded,
+//! sequentially consistent register-machine VM whose ISA deliberately keeps
+//! the x86 features the paper's techniques hinge on:
+//!
+//! * **indirect jumps** through registers/jump tables — the source of static
+//!   CFG imprecision addressed in paper §5.1;
+//! * **`push`/`pop` register save/restore** at function entry/exit — the
+//!   source of spurious dependences addressed in paper §5.2;
+//! * **shared memory, locks, CAS** — the raw material of the concurrency
+//!   bugs DrDebug debugs;
+//! * **non-deterministic syscalls and scheduling** — what PinPlay-style
+//!   pinballs must capture for deterministic replay.
+//!
+//! The crate exposes a Pin-like instrumentation interface: drive an
+//! [`exec::Executor`] with a [`sched::Scheduler`] and an
+//! [`env::Environment`], and observe every retired instruction as an
+//! [`exec::InsEvent`] through a [`tool::Tool`] — registers and memory cells
+//! read/written (with values), branch outcomes, spawns, and syscall results.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use minivm::asm::assemble;
+//! use minivm::env::LiveEnv;
+//! use minivm::exec::Executor;
+//! use minivm::run::{run, ExitStatus};
+//! use minivm::sched::RoundRobin;
+//! use minivm::tool::NullTool;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     r"
+//!     .text
+//!     .func main
+//!         movi r0, 21
+//!         addi r0, r0, 21
+//!         print r0
+//!         halt
+//!     .endfunc
+//!     ",
+//! )?;
+//! let mut exec = Executor::new(Arc::new(program));
+//! let result = run(
+//!     &mut exec,
+//!     &mut RoundRobin::new(16),
+//!     &mut LiveEnv::new(0),
+//!     &mut NullTool,
+//!     10_000,
+//! );
+//! assert_eq!(result.status, ExitStatus::AllHalted);
+//! assert_eq!(exec.output(), &[42]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod env;
+pub mod exec;
+pub mod isa;
+pub mod machine;
+pub mod program;
+pub mod run;
+pub mod sched;
+pub mod tool;
+
+pub use asm::{assemble, AsmError};
+pub use env::{Environment, LiveEnv, ScriptedEnv};
+pub use exec::{Executor, InsEvent, LocVals, StepOutcome, VmError};
+pub use isa::{Addr, BinOp, Cond, Instr, Loc, Pc, Reg, SysCall};
+pub use machine::{Memory, Snapshot, ThreadState, ThreadStatus, Tid, MAX_THREADS};
+pub use program::{Function, Program, SrcLoc};
+pub use run::{run, ExitStatus, RunResult};
+pub use sched::{RandomSched, RoundRobin, Scheduler, ScriptedSched};
+pub use tool::{ChainTool, NullTool, Tool, ToolControl};

@@ -1,0 +1,160 @@
+//! Architectural machine state: memory, threads, and snapshots.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Addr, Pc, NUM_REGS};
+use crate::program::{STACK_BASE, STACK_WORDS};
+
+/// A thread identifier. The main thread is always tid 0.
+pub type Tid = u32;
+
+/// Maximum number of threads: stack regions are carved downward from
+/// [`STACK_BASE`] in [`STACK_WORDS`] chunks, and the last one must stay
+/// above the data segment.
+pub const MAX_THREADS: Tid = 64;
+
+/// Sparse word-addressed memory with an implicit-zero default.
+///
+/// Sparse storage keeps [snapshots](Snapshot) — which PinPlay-style pinballs
+/// embed — proportional to the *touched* footprint rather than the address
+/// space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    cells: BTreeMap<Addr, i64>,
+}
+
+impl Memory {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads the word at `addr` (0 when never written).
+    #[inline]
+    pub fn read(&self, addr: Addr) -> i64 {
+        self.cells.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`. Writing 0 still materialises the cell so
+    /// that side-effect detection sees the store.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: i64) {
+        self.cells.insert(addr, value);
+    }
+
+    /// Number of materialised cells.
+    pub fn footprint(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over materialised `(addr, value)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, i64)> + '_ {
+        self.cells.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// Bulk-loads initial data (used when constructing a machine from a
+    /// program image or a pinball snapshot).
+    pub fn load<I: IntoIterator<Item = (Addr, i64)>>(&mut self, items: I) {
+        self.cells.extend(items);
+    }
+}
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadStatus {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Finished (halted or returned from its entry frame).
+    Halted,
+}
+
+/// Architectural state of one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadState {
+    /// General-purpose registers; index 15 is the stack pointer.
+    pub regs: [i64; NUM_REGS],
+    /// Current program counter.
+    pub pc: Pc,
+    /// Lifecycle status.
+    pub status: ThreadStatus,
+    /// Instructions retired by this thread.
+    pub icount: u64,
+}
+
+impl ThreadState {
+    /// Creates a runnable thread starting at `entry`, with its stack pointer
+    /// set to the top of the stack region reserved for `tid`.
+    pub fn new(tid: Tid, entry: Pc) -> ThreadState {
+        let mut regs = [0i64; NUM_REGS];
+        regs[15] = stack_top(tid) as i64;
+        ThreadState {
+            regs,
+            pc: entry,
+            status: ThreadStatus::Runnable,
+            icount: 0,
+        }
+    }
+
+    /// Whether the thread can currently be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.status == ThreadStatus::Runnable
+    }
+}
+
+/// Top-of-stack address (exclusive) for thread `tid`.
+pub fn stack_top(tid: Tid) -> Addr {
+    STACK_BASE - Addr::from(tid) * STACK_WORDS
+}
+
+/// Lowest valid stack address for thread `tid`.
+pub fn stack_limit(tid: Tid) -> Addr {
+    stack_top(tid) - STACK_WORDS
+}
+
+/// A complete architectural snapshot: what a pinball stores as the initial
+/// state of an execution region (paper §1: the logger "captures the initial
+/// architecture state").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Per-thread register/pc/status state, indexed by tid.
+    pub threads: Vec<ThreadState>,
+    /// Full memory contents.
+    pub memory: Memory,
+    /// Values printed so far (not replayed, but kept so output offsets match).
+    pub output_len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_default_zero_and_roundtrip() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0x1000), 0);
+        m.write(0x1000, -5);
+        assert_eq!(m.read(0x1000), -5);
+        m.write(0x1000, 0);
+        assert_eq!(m.read(0x1000), 0);
+        assert_eq!(m.footprint(), 1, "explicit zero write stays materialised");
+    }
+
+    #[test]
+    fn stacks_are_disjoint() {
+        let (t0_lim, t0_top) = (stack_limit(0), stack_top(0));
+        let (t1_lim, t1_top) = (stack_limit(1), stack_top(1));
+        assert!(t1_top <= t0_lim || t0_top <= t1_lim);
+        assert_eq!(t1_top, t0_lim);
+    }
+
+    #[test]
+    fn new_thread_state() {
+        let t = ThreadState::new(2, 7);
+        assert_eq!(t.pc, 7);
+        assert!(t.is_runnable());
+        assert_eq!(t.regs[15], stack_top(2) as i64);
+        assert_eq!(t.icount, 0);
+    }
+}

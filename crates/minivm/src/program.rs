@@ -1,0 +1,311 @@
+//! Program images: code, data, functions, and source mapping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Addr, Instr, Pc};
+
+/// Base address of the global data segment.
+pub const DATA_BASE: Addr = 0x1000;
+
+/// Base address from which per-thread stacks grow downwards.
+/// Thread `t`'s stack occupies `[STACK_BASE - (t+1)*STACK_WORDS, STACK_BASE - t*STACK_WORDS)`.
+pub const STACK_BASE: Addr = 0x10_0000;
+
+/// Words of stack reserved per thread.
+pub const STACK_WORDS: Addr = 0x2000;
+
+/// A function in the program image: a contiguous range of instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name as written in the assembly source.
+    pub name: String,
+    /// First instruction of the function.
+    pub entry: Pc,
+    /// One past the last instruction of the function.
+    pub end: Pc,
+}
+
+impl Function {
+    /// Whether `pc` lies inside this function's body.
+    pub fn contains(&self, pc: Pc) -> bool {
+        pc >= self.entry && pc < self.end
+    }
+}
+
+/// Source position of an instruction, for user-facing listings and the
+/// slice browser.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrcLoc {
+    /// Source line in the assembly file (1-based); 0 when unknown.
+    pub line: u32,
+    /// Index into [`Program::functions`] of the enclosing function;
+    /// `u32::MAX` when outside any function.
+    pub func: u32,
+}
+
+/// A complete, executable program image.
+///
+/// Built by the [assembler](crate::asm) or programmatically via
+/// [`ProgramBuilder`](crate::builder::ProgramBuilder).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The code image; `Pc` values index into this vector.
+    pub code: Vec<Instr>,
+    /// Per-instruction source mapping, same length as `code`.
+    pub src: Vec<SrcLoc>,
+    /// Functions, sorted by entry pc.
+    pub functions: Vec<Function>,
+    /// Initial contents of the data segment, keyed by absolute address.
+    pub data: BTreeMap<Addr, i64>,
+    /// Named data symbols (label -> absolute address).
+    pub symbols: BTreeMap<String, Addr>,
+    /// Named code labels (label -> pc), kept from the assembly source so
+    /// tools and tests can reference program points robustly.
+    #[serde(default)]
+    pub labels: BTreeMap<String, Pc>,
+    /// Entry point of the main thread.
+    pub entry: Pc,
+}
+
+impl Program {
+    /// Returns the instruction at `pc`, or `None` past the end of the image.
+    #[inline]
+    pub fn fetch(&self, pc: Pc) -> Option<&Instr> {
+        self.code.get(pc as usize)
+    }
+
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the image contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_at(&self, pc: Pc) -> Option<&Function> {
+        let idx = self
+            .functions
+            .partition_point(|f| f.entry <= pc)
+            .checked_sub(1)?;
+        let f = &self.functions[idx];
+        f.contains(pc).then_some(f)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Address of a named data symbol.
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Pc of a named code label.
+    pub fn label(&self, name: &str) -> Option<Pc> {
+        self.labels.get(name).copied()
+    }
+
+    /// A human-readable label for `pc`: `function+offset`.
+    pub fn describe_pc(&self, pc: Pc) -> String {
+        match self.function_at(pc) {
+            Some(f) => format!("{}+{}", f.name, pc - f.entry),
+            None => format!("{pc:#x}"),
+        }
+    }
+
+    /// Source line for `pc`, or 0 when unknown.
+    pub fn line_of(&self, pc: Pc) -> u32 {
+        self.src.get(pc as usize).map_or(0, |s| s.line)
+    }
+
+    /// Validates structural invariants of the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] when a branch targets a pc outside the
+    /// image, the source map length disagrees with the code length, function
+    /// ranges are malformed, or the entry point is out of range.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.src.len() != self.code.len() {
+            return Err(ProgramError::SourceMapLength {
+                code: self.code.len(),
+                src: self.src.len(),
+            });
+        }
+        let len = self.code.len() as Pc;
+        if self.entry >= len && len > 0 {
+            return Err(ProgramError::BadEntry { entry: self.entry });
+        }
+        for (pc, ins) in self.code.iter().enumerate() {
+            let check = |t: Pc| -> Result<(), ProgramError> {
+                if t >= len {
+                    Err(ProgramError::BadTarget {
+                        pc: pc as Pc,
+                        target: t,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            match *ins {
+                Instr::Jmp { target }
+                | Instr::Br { target, .. }
+                | Instr::BrI { target, .. }
+                | Instr::Call { target } => check(target)?,
+                Instr::Spawn { entry, .. } => check(entry)?,
+                _ => {}
+            }
+        }
+        for f in &self.functions {
+            if f.entry > f.end || f.end > len {
+                return Err(ProgramError::BadFunction {
+                    name: f.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a disassembly listing with function headers, used by the
+    /// debugger's `list` command.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, ins) in self.code.iter().enumerate() {
+            let pc = pc as Pc;
+            if let Some(f) = self.functions.iter().find(|f| f.entry == pc) {
+                out.push_str(&format!("{}:\n", f.name));
+            }
+            out.push_str(&format!("  {pc:>5}  {ins}\n"));
+        }
+        out
+    }
+}
+
+/// Structural validation errors for program images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A control-flow target lies outside the code image.
+    BadTarget {
+        /// The instruction with the bad target.
+        pc: Pc,
+        /// The out-of-range target.
+        target: Pc,
+    },
+    /// The source map and code image have different lengths.
+    SourceMapLength {
+        /// Code image length.
+        code: usize,
+        /// Source map length.
+        src: usize,
+    },
+    /// A function's range is inverted or extends past the image.
+    BadFunction {
+        /// Name of the malformed function.
+        name: String,
+    },
+    /// The entry point is outside the image.
+    BadEntry {
+        /// The offending entry pc.
+        entry: Pc,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BadTarget { pc, target } => {
+                write!(f, "instruction at pc {pc} targets out-of-range pc {target}")
+            }
+            ProgramError::SourceMapLength { code, src } => {
+                write!(f, "source map length {src} differs from code length {code}")
+            }
+            ProgramError::BadFunction { name } => write!(f, "function `{name}` has a malformed range"),
+            ProgramError::BadEntry { entry } => write!(f, "entry point {entry} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn tiny() -> Program {
+        Program {
+            code: vec![
+                Instr::MovI {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Instr::Halt,
+            ],
+            src: vec![SrcLoc { line: 1, func: 0 }, SrcLoc { line: 2, func: 0 }],
+            functions: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                end: 2,
+            }],
+            data: BTreeMap::new(),
+            symbols: BTreeMap::new(),
+            labels: BTreeMap::new(),
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut p = tiny();
+        p.code[0] = Instr::Jmp { target: 99 };
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::BadTarget { pc: 0, target: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_source_map_mismatch() {
+        let mut p = tiny();
+        p.src.pop();
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::SourceMapLength { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_function_range() {
+        let mut p = tiny();
+        p.functions[0].end = 10;
+        assert!(matches!(p.validate(), Err(ProgramError::BadFunction { .. })));
+    }
+
+    #[test]
+    fn function_lookup() {
+        let p = tiny();
+        assert_eq!(p.function_at(0).unwrap().name, "main");
+        assert_eq!(p.function_at(1).unwrap().name, "main");
+        assert!(p.function_at(2).is_none());
+        assert_eq!(p.describe_pc(1), "main+1");
+    }
+
+    #[test]
+    fn disassembly_contains_function_header() {
+        let text = tiny().disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("movi r0, 1"));
+    }
+}

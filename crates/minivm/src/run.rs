@@ -1,0 +1,221 @@
+//! The run driver: composes an executor, scheduler, environment, and tool.
+
+use serde::{Deserialize, Serialize};
+
+use crate::env::Environment;
+use crate::exec::{Executor, VmError};
+use crate::sched::Scheduler;
+use crate::tool::{Tool, ToolControl};
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitStatus {
+    /// Every thread halted.
+    AllHalted,
+    /// An instruction trapped.
+    Trap(VmError),
+    /// The step budget was exhausted (possible deadlock or livelock).
+    FuelExhausted,
+    /// A tool requested the run to stop (region boundary, breakpoint, ...).
+    ToolStop,
+    /// The scheduler had no thread to run while threads were still live —
+    /// a scripted schedule ended early.
+    ScheduleExhausted,
+}
+
+impl ExitStatus {
+    /// Whether the run ended at a trap.
+    pub fn is_trap(&self) -> bool {
+        matches!(self, ExitStatus::Trap(_))
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub status: ExitStatus,
+    /// Instructions retired during this run (all threads).
+    pub steps: u64,
+}
+
+/// Drives `exec` until all threads halt, a trap fires, `max_steps`
+/// instructions retire, the tool stops the run, or the scheduler runs dry.
+///
+/// Every retired instruction (including a trapping one) is delivered to
+/// `tool` before the corresponding status is returned.
+pub fn run(
+    exec: &mut Executor,
+    sched: &mut dyn Scheduler,
+    env: &mut dyn Environment,
+    tool: &mut dyn Tool,
+    max_steps: u64,
+) -> RunResult {
+    let mut steps = 0u64;
+    loop {
+        if exec.all_halted() {
+            return RunResult {
+                status: ExitStatus::AllHalted,
+                steps,
+            };
+        }
+        if steps >= max_steps {
+            return RunResult {
+                status: ExitStatus::FuelExhausted,
+                steps,
+            };
+        }
+        let Some(tid) = sched.pick(exec) else {
+            return RunResult {
+                status: ExitStatus::ScheduleExhausted,
+                steps,
+            };
+        };
+        match exec.step(tid, env) {
+            Ok((ev, _outcome)) => {
+                steps += 1;
+                if tool.on_event(&ev) == ToolControl::Stop {
+                    return RunResult {
+                        status: ExitStatus::ToolStop,
+                        steps,
+                    };
+                }
+            }
+            Err((ev, e)) => {
+                if !matches!(e, VmError::NotRunnable { .. }) {
+                    steps += 1;
+                    // Deliver the trapping instruction's event so loggers and
+                    // slicers see the failure point.
+                    let _ = tool.on_event(&ev);
+                }
+                return RunResult {
+                    status: ExitStatus::Trap(e),
+                    steps,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::builder::ProgramBuilder;
+    use crate::env::LiveEnv;
+    use crate::exec::Executor;
+    use crate::isa::{Cond, Instr, Reg};
+    use crate::sched::RoundRobin;
+    use crate::tool::NullTool;
+
+    fn counting_loop(n: i64) -> Executor {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let loop_top = b.label();
+        b.ins(Instr::MovI {
+            dst: Reg(0),
+            imm: n,
+        });
+        b.bind(loop_top);
+        b.ins(Instr::BinI {
+            op: crate::isa::BinOp::Sub,
+            dst: Reg(0),
+            a: Reg(0),
+            imm: 1,
+        });
+        b.ins_to(
+            Instr::BrI {
+                cond: Cond::Gt,
+                a: Reg(0),
+                imm: 0,
+                target: 0,
+            },
+            loop_top,
+        );
+        b.ins(Instr::Halt);
+        b.end_func();
+        Executor::new(Arc::new(b.finish().unwrap()))
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut exec = counting_loop(10);
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(4),
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            1_000,
+        );
+        assert_eq!(r.status, ExitStatus::AllHalted);
+        assert_eq!(r.steps, 1 + 10 * 2 + 1);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut exec = counting_loop(1_000_000);
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(4),
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            100,
+        );
+        assert_eq!(r.status, ExitStatus::FuelExhausted);
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn tool_stop_is_reported() {
+        let mut exec = counting_loop(10);
+        let mut stop_at_5 = {
+            let mut n = 0;
+            move |_: &crate::exec::InsEvent| {
+                n += 1;
+                if n == 5 {
+                    crate::tool::ToolControl::Stop
+                } else {
+                    crate::tool::ToolControl::Continue
+                }
+            }
+        };
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(4),
+            &mut LiveEnv::new(0),
+            &mut stop_at_5,
+            1_000,
+        );
+        assert_eq!(r.status, ExitStatus::ToolStop);
+        assert_eq!(r.steps, 5);
+    }
+
+    #[test]
+    fn trap_event_delivered_to_tool() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.ins(Instr::MovI {
+            dst: Reg(0),
+            imm: 0,
+        });
+        b.ins(Instr::Assert { src: Reg(0) });
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        let mut seen = Vec::new();
+        let mut spy = |ev: &crate::exec::InsEvent| {
+            seen.push(ev.pc);
+            crate::tool::ToolControl::Continue
+        };
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(4),
+            &mut LiveEnv::new(0),
+            &mut spy,
+            1_000,
+        );
+        assert!(r.status.is_trap());
+        assert_eq!(seen, vec![0, 1], "trap event delivered");
+        assert_eq!(r.steps, 2);
+    }
+}

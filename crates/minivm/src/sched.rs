@@ -1,0 +1,238 @@
+//! Thread schedulers.
+//!
+//! The scheduler is the second source of non-determinism PinPlay-style
+//! logging must capture (paper §1: "thread schedule"). Live runs use
+//! [`RoundRobin`] or [`RandomSched`]; replay uses a scripted schedule driven
+//! directly by the pinplay replayer; Maple's active scheduler (in the `maple`
+//! crate) implements this same trait with controllable priorities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::exec::Executor;
+use crate::machine::Tid;
+
+/// Picks which thread retires the next instruction.
+pub trait Scheduler {
+    /// Chooses a runnable thread, or `None` when no thread is runnable.
+    fn pick(&mut self, exec: &Executor) -> Option<Tid>;
+}
+
+/// Deterministic round-robin with a fixed quantum of instructions.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    quantum: u64,
+    current: Tid,
+    left: u64,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn new(quantum: u64) -> RoundRobin {
+        assert!(quantum > 0, "quantum must be positive");
+        RoundRobin {
+            quantum,
+            current: 0,
+            left: quantum,
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, exec: &Executor) -> Option<Tid> {
+        let n = exec.num_threads() as Tid;
+        if n == 0 {
+            return None;
+        }
+        // Rotate when the quantum is exhausted or the current thread cannot
+        // run; scan at most one full cycle.
+        if self.left == 0 || !exec.thread(self.current % n).is_runnable() {
+            self.left = self.quantum;
+            let start = self.current % n;
+            for i in 1..=n {
+                let cand = (start + i) % n;
+                if exec.thread(cand).is_runnable() {
+                    self.current = cand;
+                    self.left -= 1;
+                    return Some(cand);
+                }
+            }
+            return None;
+        }
+        let cand = self.current % n;
+        self.left -= 1;
+        Some(cand)
+    }
+}
+
+/// Seeded random scheduler: after each instruction, switches to a uniformly
+/// random runnable thread with probability `1/switch_period`, exposing
+/// interleaving-dependent bugs the way stress testing does.
+#[derive(Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+    switch_period: u32,
+    current: Option<Tid>,
+}
+
+impl RandomSched {
+    /// Creates a random scheduler; on average a context switch happens every
+    /// `switch_period` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch_period` is zero.
+    pub fn new(seed: u64, switch_period: u32) -> RandomSched {
+        assert!(switch_period > 0, "switch_period must be positive");
+        RandomSched {
+            rng: StdRng::seed_from_u64(seed),
+            switch_period,
+            current: None,
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn pick(&mut self, exec: &Executor) -> Option<Tid> {
+        let runnable: Vec<Tid> = exec.runnable().collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        let stay = match self.current {
+            Some(c) if runnable.contains(&c) => self.rng.gen_range(0..self.switch_period) != 0,
+            _ => false,
+        };
+        let pick = if stay {
+            self.current.unwrap()
+        } else {
+            runnable[self.rng.gen_range(0..runnable.len())]
+        };
+        self.current = Some(pick);
+        Some(pick)
+    }
+}
+
+/// Replays a fixed schedule: a sequence of `(tid, steps)` runs, exactly as
+/// recorded in a pinball's schedule log.
+#[derive(Debug, Clone)]
+pub struct ScriptedSched {
+    runs: Vec<(Tid, u64)>,
+    pos: usize,
+    used: u64,
+}
+
+impl ScriptedSched {
+    /// Creates a scheduler replaying `runs` in order.
+    pub fn new(runs: Vec<(Tid, u64)>) -> ScriptedSched {
+        ScriptedSched {
+            runs,
+            pos: 0,
+            used: 0,
+        }
+    }
+
+    /// Whether the script has been fully consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.runs.len()
+    }
+}
+
+impl Scheduler for ScriptedSched {
+    fn pick(&mut self, _exec: &Executor) -> Option<Tid> {
+        while self.pos < self.runs.len() {
+            let (tid, steps) = self.runs[self.pos];
+            if self.used < steps {
+                self.used += 1;
+                return Some(tid);
+            }
+            self.pos += 1;
+            self.used = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::builder::ProgramBuilder;
+    use crate::env::LiveEnv;
+    use crate::isa::{Instr, Reg};
+
+    fn two_thread_exec() -> Executor {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        let w = b.label();
+        b.ins_to(
+            Instr::Spawn {
+                dst: Reg(1),
+                entry: 0,
+                arg: Reg(0),
+            },
+            w,
+        );
+        for _ in 0..50 {
+            b.ins(Instr::Nop);
+        }
+        b.ins(Instr::Halt);
+        b.end_func();
+        b.begin_func("worker");
+        b.bind(w);
+        for _ in 0..50 {
+            b.ins(Instr::Nop);
+        }
+        b.ins(Instr::Halt);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap(); // spawn
+        exec
+    }
+
+    #[test]
+    fn round_robin_alternates_with_quantum() {
+        let exec = two_thread_exec();
+        let mut rr = RoundRobin::new(3);
+        let picks: Vec<Tid> = (0..9).map(|_| rr.pick(&exec).unwrap()).collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_halted() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.ins(Instr::Halt);
+        b.end_func();
+        let mut exec = Executor::new(Arc::new(b.finish().unwrap()));
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        let mut rr = RoundRobin::new(2);
+        assert_eq!(rr.pick(&exec), None);
+    }
+
+    #[test]
+    fn random_sched_is_seed_deterministic() {
+        let exec = two_thread_exec();
+        let mut a = RandomSched::new(9, 4);
+        let mut c = RandomSched::new(9, 4);
+        let pa: Vec<Tid> = (0..64).map(|_| a.pick(&exec).unwrap()).collect();
+        let pc: Vec<Tid> = (0..64).map(|_| c.pick(&exec).unwrap()).collect();
+        assert_eq!(pa, pc);
+        assert!(pa.contains(&0) && pa.contains(&1), "both threads scheduled");
+    }
+
+    #[test]
+    fn scripted_sched_replays_runs() {
+        let exec = two_thread_exec();
+        let mut s = ScriptedSched::new(vec![(1, 2), (0, 1), (1, 1)]);
+        let picks: Vec<Option<Tid>> = (0..5).map(|_| s.pick(&exec)).collect();
+        assert_eq!(picks, vec![Some(1), Some(1), Some(0), Some(1), None]);
+        assert!(s.exhausted());
+    }
+}

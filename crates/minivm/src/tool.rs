@@ -1,0 +1,100 @@
+//! Instrumentation tools — the analogue of *pintools*.
+//!
+//! A [`Tool`] observes every retired instruction (the PinPlay logger, the
+//! slicer's trace collector, Maple's profiler are all tools) and can ask the
+//! run driver to stop, which is how region boundaries and watchpoints are
+//! implemented.
+
+use crate::exec::InsEvent;
+
+/// What the driver should do after delivering an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolControl {
+    /// Keep executing.
+    Continue,
+    /// Stop the run; [`run`](crate::run::run) returns
+    /// [`ExitStatus::ToolStop`](crate::run::ExitStatus::ToolStop).
+    Stop,
+}
+
+/// An instrumentation tool receiving per-instruction events.
+pub trait Tool {
+    /// Called after every retired instruction (including trapping ones,
+    /// which are delivered just before the run ends).
+    fn on_event(&mut self, ev: &InsEvent) -> ToolControl;
+}
+
+/// A tool that observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTool;
+
+impl Tool for NullTool {
+    fn on_event(&mut self, _ev: &InsEvent) -> ToolControl {
+        ToolControl::Continue
+    }
+}
+
+/// Runs two tools on the same event stream; stops when either stops.
+#[derive(Debug)]
+pub struct ChainTool<A, B>(pub A, pub B);
+
+impl<A: Tool, B: Tool> Tool for ChainTool<A, B> {
+    fn on_event(&mut self, ev: &InsEvent) -> ToolControl {
+        let a = self.0.on_event(ev);
+        let b = self.1.on_event(ev);
+        if a == ToolControl::Stop || b == ToolControl::Stop {
+            ToolControl::Stop
+        } else {
+            ToolControl::Continue
+        }
+    }
+}
+
+impl<F: FnMut(&InsEvent) -> ToolControl> Tool for F {
+    fn on_event(&mut self, ev: &InsEvent) -> ToolControl {
+        self(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::LocVals;
+    use crate::isa::Instr;
+
+    fn dummy_event() -> InsEvent {
+        InsEvent {
+            tid: 0,
+            pc: 0,
+            instance: 1,
+            seq: 0,
+            instr: Instr::Nop,
+            uses: LocVals::new(),
+            defs: LocVals::new(),
+            next_pc: 1,
+            taken: None,
+            spawned: None,
+            sys_result: None,
+        }
+    }
+
+    #[test]
+    fn closure_is_a_tool_and_chain_stops() {
+        let mut count = 0u32;
+        {
+            let counter = |_: &InsEvent| {
+                count += 1;
+                ToolControl::Continue
+            };
+            let stopper = |_: &InsEvent| ToolControl::Stop;
+            let mut chain = ChainTool(counter, stopper);
+            assert_eq!(chain.on_event(&dummy_event()), ToolControl::Stop);
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn null_tool_continues() {
+        assert_eq!(NullTool.on_event(&dummy_event()), ToolControl::Continue);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the assembler and executor:
+//!
+//! * every instruction's `Display` output parses back to the same
+//!   instruction (disassembly ↔ assembly coherence);
+//! * the executor is a deterministic function of (program, schedule,
+//!   environment) — two identical live runs agree bit for bit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use minivm::{
+    assemble, run, BinOp, Cond, Executor, Instr, LiveEnv, NullTool, RandomSched, Reg, SysCall,
+};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Slt),
+        Just(BinOp::Seq),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+    ]
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+/// Instructions whose textual form is position-independent (jump targets
+/// are small pcs that stay in range of the 3-instruction test image).
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = reg_strategy;
+    prop_oneof![
+        (r(), any::<i64>()).prop_map(|(dst, imm)| Instr::MovI { dst, imm }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (r(), r(), -64i64..64).prop_map(|(dst, base, off)| Instr::Load { dst, base, off }),
+        (r(), r(), -64i64..64).prop_map(|(src, base, off)| Instr::Store { src, base, off }),
+        r().prop_map(|src| Instr::Push { src }),
+        r().prop_map(|dst| Instr::Pop { dst }),
+        (binop_strategy(), r(), r(), r()).prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b }),
+        (binop_strategy(), r(), r(), any::<i32>())
+            .prop_map(|(op, dst, a, imm)| Instr::BinI { op, dst, a, imm: i64::from(imm) }),
+        (0u32..3).prop_map(|target| Instr::Jmp { target }),
+        (cond_strategy(), r(), r(), 0u32..3)
+            .prop_map(|(cond, a, b, target)| Instr::Br { cond, a, b, target }),
+        (cond_strategy(), r(), any::<i32>(), 0u32..3)
+            .prop_map(|(cond, a, imm, target)| Instr::BrI { cond, a, imm: i64::from(imm), target }),
+        r().prop_map(|src| Instr::JmpInd { src }),
+        (0u32..3).prop_map(|target| Instr::Call { target }),
+        r().prop_map(|src| Instr::CallInd { src }),
+        Just(Instr::Ret),
+        r().prop_map(|addr| Instr::Lock { addr }),
+        r().prop_map(|addr| Instr::Unlock { addr }),
+        (r(), r(), r(), r()).prop_map(|(dst, addr, expect, new)| Instr::Cas {
+            dst,
+            addr,
+            expect,
+            new
+        }),
+        (r(), r(), r()).prop_map(|(dst, addr, val)| Instr::AtomicAdd { dst, addr, val }),
+        Just(Instr::Fence),
+        (r(), 0u32..3, r()).prop_map(|(dst, entry, arg)| Instr::Spawn { dst, entry, arg }),
+        r().prop_map(|tid| Instr::Join { tid }),
+        (prop_oneof![Just(SysCall::ReadInput), Just(SysCall::Rand), Just(SysCall::Time)], r())
+            .prop_map(|(call, dst)| Instr::Sys { call, dst }),
+        r().prop_map(|dst| Instr::GetTid { dst }),
+        r().prop_map(|src| Instr::Assert { src }),
+        r().prop_map(|src| Instr::Print { src }),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `assemble(display(i))` reproduces `i` exactly.
+    #[test]
+    fn display_parse_roundtrip(ins in instr_strategy()) {
+        let src = format!(".text\n.func main\n {ins}\n nop\n nop\n.endfunc\n");
+        let p = assemble(&src).unwrap_or_else(|e| panic!("`{ins}` failed to parse: {e}"));
+        prop_assert_eq!(p.code[0], ins, "textual form: `{}`", ins);
+    }
+
+    /// Two live runs with identical seeds are bit-identical — the executor
+    /// itself is deterministic (this is what makes schedule logs sufficient
+    /// for replay).
+    #[test]
+    fn executor_is_deterministic(sched_seed in any::<u64>(), env_seed in any::<u64>()) {
+        let p = &workloads::all_parsec()[5]; // canneal: rand + CAS traffic
+        let program = (p.build)(30);
+        let run_once = || {
+            let mut exec = Executor::new(Arc::clone(&program));
+            let r = run(
+                &mut exec,
+                &mut RandomSched::new(sched_seed, 4),
+                &mut LiveEnv::new(env_seed),
+                &mut NullTool,
+                1_000_000,
+            );
+            (r.status, r.steps, exec.snapshot(), exec.output().to_vec())
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+    }
+}

@@ -1,0 +1,505 @@
+//! VM integration tests: recursion, indirect calls, trap edge cases, and
+//! scheduler/VM interactions that span modules.
+
+use std::sync::Arc;
+
+use minivm::{
+    assemble, run, ExitStatus, Executor, LiveEnv, NullTool, RandomSched, Reg, RoundRobin, VmError,
+};
+
+fn run_src(src: &str, quantum: u64, fuel: u64) -> (Executor, ExitStatus) {
+    let p = Arc::new(assemble(src).unwrap());
+    let mut exec = Executor::new(Arc::clone(&p));
+    let r = run(
+        &mut exec,
+        &mut RoundRobin::new(quantum),
+        &mut LiveEnv::new(5),
+        &mut NullTool,
+        fuel,
+    );
+    (exec, r.status)
+}
+
+#[test]
+fn recursive_factorial() {
+    let (exec, status) = run_src(
+        r"
+        .text
+        .func main
+            movi r0, 10
+            call fact
+            print r1
+            halt
+        .endfunc
+        .func fact
+            ; r1 = r0!
+            bgti r0, 1, rec
+            movi r1, 1
+            ret
+        rec:
+            push r0
+            subi r0, r0, 1
+            call fact
+            pop r0
+            mul r1, r1, r0
+            ret
+        .endfunc
+        ",
+        16,
+        1_000_000,
+    );
+    assert_eq!(status, ExitStatus::AllHalted);
+    assert_eq!(exec.output(), &[3_628_800]);
+}
+
+#[test]
+fn unbounded_recursion_hits_stack_overflow() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            call main
+            halt
+        .endfunc
+        ",
+        16,
+        1_000_000,
+    );
+    assert!(
+        matches!(status, ExitStatus::Trap(VmError::StackOverflow { tid: 0, .. })),
+        "{status:?}"
+    );
+}
+
+#[test]
+fn indirect_call_dispatch_table() {
+    // Virtual dispatch: function pointers stored in a vtable.
+    let (exec, status) = run_src(
+        r"
+        .data
+        vtable: .word @meth_a, @meth_b
+        .text
+        .func main
+            movi r0, 1          ; select meth_b
+            la r1, vtable
+            add r1, r1, r0
+            load r2, r1, 0
+            callind r2
+            print r3
+            halt
+        .endfunc
+        .func meth_a
+            movi r3, 111
+            ret
+        .endfunc
+        .func meth_b
+            movi r3, 222
+            ret
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert_eq!(status, ExitStatus::AllHalted);
+    assert_eq!(exec.output(), &[222]);
+}
+
+#[test]
+fn indirect_call_to_invalid_target_traps() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            movi r2, 9999
+            callind r2
+            halt
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert!(matches!(status, ExitStatus::Trap(VmError::BadPc { .. })));
+}
+
+#[test]
+fn return_with_corrupted_stack_traps() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            movi r1, -77
+            push r1
+            ret          ; 'return' to a garbage address
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert!(matches!(status, ExitStatus::Trap(VmError::BadPc { .. })));
+}
+
+#[test]
+fn pop_from_empty_stack_traps() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            pop r1
+            halt
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert!(matches!(status, ExitStatus::Trap(VmError::StackOverflow { .. })));
+}
+
+#[test]
+fn fence_is_a_retiring_noop() {
+    let (exec, status) = run_src(
+        r"
+        .text
+        .func main
+            fence
+            fence
+            movi r1, 1
+            halt
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert_eq!(status, ExitStatus::AllHalted);
+    assert_eq!(exec.icount(0), 4);
+}
+
+#[test]
+fn deadlock_exhausts_fuel() {
+    // Two threads acquire two locks in opposite order with a handshake that
+    // guarantees both hold one lock before trying the other.
+    let (_, status) = run_src(
+        r"
+        .data
+        m1: .word 0
+        m2: .word 0
+        ready: .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r9, other, r1
+            la r2, m1
+            lock r2
+            ; wait until the other thread holds m2
+            la r5, ready
+        wait_other:
+            load r6, r5, 0
+            beqi r6, 0, wait_other
+            la r3, m2
+            lock r3          ; deadlock: other holds m2, wants m1
+            halt
+        .endfunc
+        .func other
+            la r2, m2
+            lock r2
+            la r5, ready
+            movi r6, 1
+            store r6, r5, 0
+            la r3, m1
+            lock r3
+            halt
+        .endfunc
+        ",
+        4,
+        50_000,
+    );
+    assert_eq!(status, ExitStatus::FuelExhausted, "classic ABBA deadlock spins");
+}
+
+#[test]
+fn many_threads_with_random_scheduler() {
+    let p = Arc::new(
+        assemble(
+            r"
+            .data
+            total: .word 0
+            .text
+            .func main
+                movi r5, 8
+                movi r1, 1
+            spawn_loop:
+                spawn r2, worker, r1
+                subi r5, r5, 1
+                bgti r5, 0, spawn_loop
+                ; join all 8 workers (tids 1..=8)
+                movi r5, 1
+            join_loop:
+                join r5
+                addi r5, r5, 1
+                blei r5, 8, join_loop
+                la r3, total
+                load r4, r3, 0
+                print r4
+                halt
+            .endfunc
+            .func worker
+                la r1, total
+                xadd r2, r1, r0
+                halt
+            .endfunc
+            ",
+        )
+        .unwrap(),
+    );
+    // Whatever the interleaving, the atomic adds always total 8.
+    for seed in 0..5 {
+        let mut exec = Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut RandomSched::new(seed, 3),
+            &mut LiveEnv::new(seed),
+            &mut NullTool,
+            1_000_000,
+        );
+        assert_eq!(r.status, ExitStatus::AllHalted, "seed {seed}");
+        assert_eq!(exec.output(), &[8], "seed {seed}");
+        assert_eq!(exec.num_threads(), 9);
+    }
+}
+
+#[test]
+fn join_on_self_spins_forever() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            gettid r1
+            join r1      ; waits for itself: classic self-join bug
+            halt
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert_eq!(status, ExitStatus::FuelExhausted);
+}
+
+#[test]
+fn output_and_state_accessors() {
+    let (exec, _) = run_src(
+        r"
+        .data
+        xs: .word 4, 5, 6
+        .text
+        .func main
+            la r1, xs
+            load r2, r1, 1
+            print r2
+            halt
+        .endfunc
+        ",
+        16,
+        10_000,
+    );
+    assert_eq!(exec.output(), &[5]);
+    assert_eq!(exec.read_reg(0, Reg(2)), 5);
+    let xs = exec.program().symbol("xs").unwrap();
+    assert_eq!(exec.read_mem(xs + 2), 6);
+    assert_eq!(exec.total_icount(), 4);
+}
+
+mod trap_edges {
+    use super::*;
+
+    #[test]
+    fn bini_div_by_zero_traps() {
+        let (_, status) = run_src(
+            r"
+            .text
+            .func main
+                movi r1, 5
+                divi r2, r1, 0
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert!(matches!(status, ExitStatus::Trap(VmError::DivByZero { .. })));
+    }
+
+    #[test]
+    fn remi_by_zero_traps() {
+        let (_, status) = run_src(
+            r"
+            .text
+            .func main
+                movi r1, 5
+                remi r2, r1, 0
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert!(matches!(status, ExitStatus::Trap(VmError::DivByZero { .. })));
+    }
+
+    #[test]
+    fn negative_indirect_jump_traps() {
+        let (_, status) = run_src(
+            r"
+            .text
+            .func main
+                movi r1, -5
+                jmpind r1
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert!(matches!(status, ExitStatus::Trap(VmError::BadPc { .. })));
+    }
+
+    #[test]
+    fn join_invalid_tid_traps() {
+        let (_, status) = run_src(
+            r"
+            .text
+            .func main
+                movi r1, 42
+                join r1
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert!(matches!(status, ExitStatus::Trap(VmError::BadTid { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_code_image_traps() {
+        let (_, status) = run_src(
+            r"
+            .text
+            .func main
+                nop
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert!(matches!(status, ExitStatus::Trap(VmError::BadPc { .. })));
+    }
+}
+
+mod atomic_semantics {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (exec, status) = run_src(
+            r"
+            .data
+            cell: .word 10
+            .text
+            .func main
+                la r1, cell
+                movi r2, 10      ; expect (matches)
+                movi r3, 20      ; new
+                cas r4, r1, r2, r3
+                ; r4 = 10 (old), cell = 20
+                movi r2, 99      ; expect (mismatch)
+                movi r3, 50
+                cas r5, r1, r2, r3
+                ; r5 = 20, cell unchanged
+                halt
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert_eq!(status, ExitStatus::AllHalted);
+        assert_eq!(exec.read_reg(0, Reg(4)), 10);
+        assert_eq!(exec.read_reg(0, Reg(5)), 20);
+        let cell = exec.program().symbol("cell").unwrap();
+        assert_eq!(exec.read_mem(cell), 20);
+    }
+
+    #[test]
+    fn xadd_returns_old_value() {
+        let (exec, _) = run_src(
+            r"
+            .data
+            cell: .word 7
+            .text
+            .func main
+                la r1, cell
+                movi r2, 5
+                xadd r3, r1, r2
+                halt
+            .endfunc
+            ",
+            8,
+            100,
+        );
+        assert_eq!(exec.read_reg(0, Reg(3)), 7, "xadd returns the old value");
+        let cell = exec.program().symbol("cell").unwrap();
+        assert_eq!(exec.read_mem(cell), 12);
+    }
+
+    #[test]
+    fn gettid_differs_per_thread() {
+        let (exec, _) = run_src(
+            r"
+            .data
+            out: .space 2
+            .text
+            .func main
+                movi r1, 0
+                spawn r2, worker, r1
+                gettid r3
+                la r4, out
+                store r3, r4, 0
+                join r2
+                halt
+            .endfunc
+            .func worker
+                gettid r3
+                la r4, out
+                store r3, r4, 1
+                halt
+            .endfunc
+            ",
+            8,
+            1000,
+        );
+        let out = exec.program().symbol("out").unwrap();
+        assert_eq!(exec.read_mem(out), 0);
+        assert_eq!(exec.read_mem(out + 1), 1);
+    }
+}
+
+#[test]
+fn spawning_past_the_thread_limit_traps() {
+    let (_, status) = run_src(
+        r"
+        .text
+        .func main
+            movi r1, 0
+            movi r5, 100     ; try to spawn 100 threads
+        more:
+            spawn r2, w, r1
+            subi r5, r5, 1
+            bgti r5, 0, more
+            halt
+        .endfunc
+        .func w
+            halt
+        .endfunc
+        ",
+        8,
+        100_000,
+    );
+    assert!(
+        matches!(status, ExitStatus::Trap(VmError::BadTid { .. })),
+        "spawn beyond MAX_THREADS must refuse, got {status:?}"
+    );
+}

@@ -1,0 +1,209 @@
+//! The logger: fast-forward to a region, then capture a pinball.
+//!
+//! Mirrors the PinPlay logger's behaviour as described in paper §1/§7:
+//! "the logger does only minimal instrumentation before the region, \[so\] the
+//! fast-forwarding can proceed at Pin-only speed" — here the fast-forward
+//! phase runs the executor with no recording at all — and inside the region
+//! it captures the initial snapshot plus every non-deterministic event: the
+//! thread schedule and all syscall results.
+
+use std::fmt;
+use std::sync::Arc;
+
+use minivm::{Environment, Executor, Program, Scheduler, Tid, VmError};
+
+use crate::pinball::{Pinball, PinballMeta, RecordedExit, ReplayEvent, ScheduleBuilder};
+use crate::region::{EndTrigger, EndWatch, RegionSpec, StartTrigger, StartWatch};
+
+/// A captured region plus statistics about the run that produced it.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The replayable artifact.
+    pub pinball: Pinball,
+    /// Instructions retired while fast-forwarding to the region.
+    pub skipped_instructions: u64,
+    /// Instructions retired inside the region (all threads) — the paper's
+    /// "#executed instructions" column.
+    pub region_instructions: u64,
+}
+
+/// Errors during region capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The program trapped before the region start trigger fired.
+    TrapBeforeRegion(VmError),
+    /// The program finished before the region start trigger fired.
+    RegionNeverStarted,
+    /// The step budget was exhausted (fast-forward or region phase).
+    FuelExhausted,
+    /// The scheduler returned no thread while threads were runnable.
+    SchedulerStalled,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::TrapBeforeRegion(e) => write!(f, "trap before region start: {e}"),
+            LogError::RegionNeverStarted => write!(f, "program ended before the region started"),
+            LogError::FuelExhausted => write!(f, "step budget exhausted"),
+            LogError::SchedulerStalled => write!(f, "scheduler produced no runnable thread"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Runs `program` under `sched`/`env` and records the region described by
+/// `region` into a pinball.
+///
+/// # Errors
+///
+/// Returns a [`LogError`] when the region never starts, the program traps
+/// before the region, or `max_steps` is exhausted. A trap *inside* the
+/// region is not an error — it is the buggy behaviour being captured, and
+/// ends the region with [`RecordedExit::Trap`].
+pub fn record_region(
+    program: &Arc<Program>,
+    sched: &mut dyn Scheduler,
+    env: &mut dyn Environment,
+    region: RegionSpec,
+    max_steps: u64,
+    name: &str,
+) -> Result<Recording, LogError> {
+    let mut exec = Executor::new(Arc::clone(program));
+    let start = StartWatch::new(region.start);
+    let mut steps = 0u64;
+
+    // Phase 1: fast-forward at full speed (no recording).
+    loop {
+        if exec.all_halted() {
+            return Err(LogError::RegionNeverStarted);
+        }
+        if steps >= max_steps {
+            return Err(LogError::FuelExhausted);
+        }
+        let Some(tid) = sched.pick(&exec) else {
+            return Err(LogError::SchedulerStalled);
+        };
+        let next_pc = exec.thread(tid).pc;
+        let next_instance = exec.instance_count(tid, next_pc) + 1;
+        if start.fires(exec.icount(0), tid, next_pc, next_instance) {
+            break;
+        }
+        match exec.step(tid, env) {
+            Ok(_) => steps += 1,
+            Err((_, e)) => return Err(LogError::TrapBeforeRegion(e)),
+        }
+    }
+    let skipped_instructions = exec.total_icount();
+    let snapshot = exec.snapshot();
+
+    // Region-relative baselines for the end trigger.
+    let base_main = exec.icount(0);
+    let base_end_instance = match region.end {
+        EndTrigger::AtPc { tid, pc, .. } => exec.instance_count(tid, pc),
+        _ => 0,
+    };
+
+    // Phase 2: record.
+    let end = EndWatch::new(region.end);
+    let mut schedule = ScheduleBuilder::new();
+    let mut syscalls: Vec<Vec<i64>> = Vec::new();
+    let record_sys = |tid: Tid, v: i64, syscalls: &mut Vec<Vec<i64>>| {
+        let t = tid as usize;
+        if syscalls.len() <= t {
+            syscalls.resize_with(t + 1, Vec::new);
+        }
+        syscalls[t].push(v);
+    };
+    let exit;
+    loop {
+        if exec.all_halted() {
+            exit = RecordedExit::AllHalted;
+            break;
+        }
+        if steps >= max_steps {
+            return Err(LogError::FuelExhausted);
+        }
+        let Some(tid) = sched.pick(&exec) else {
+            return Err(LogError::SchedulerStalled);
+        };
+        match exec.step(tid, env) {
+            Ok((ev, _)) => {
+                steps += 1;
+                schedule.step(tid);
+                if let Some(v) = ev.sys_result {
+                    record_sys(tid, v, &mut syscalls);
+                }
+                let region_main = exec.icount(0) - base_main;
+                let region_instance = match region.end {
+                    EndTrigger::AtPc { tid: et, pc, .. } if ev.tid == et && ev.pc == pc => {
+                        ev.instance - base_end_instance
+                    }
+                    _ => 0,
+                };
+                if end.fires_after(&ev, region_main, region_instance) {
+                    exit = RecordedExit::RegionEnd;
+                    break;
+                }
+            }
+            Err((_, e)) => {
+                // The trapping instruction retired; include it so replay
+                // reproduces the failure (paper: the pinball "captures ...
+                // the symptom of the bug").
+                schedule.step(tid);
+                exit = RecordedExit::Trap(e);
+                break;
+            }
+        }
+    }
+
+    let events: Vec<ReplayEvent> = schedule.finish();
+    let region_instructions = events
+        .iter()
+        .map(|e| match e {
+            ReplayEvent::Run { steps, .. } => *steps,
+            ReplayEvent::Skip { .. } | ReplayEvent::Inject { .. } => 0,
+        })
+        .sum();
+    Ok(Recording {
+        pinball: Pinball {
+            meta: PinballMeta {
+                program: name.to_owned(),
+                region: region.describe(),
+                is_slice: false,
+            },
+            snapshot,
+            events,
+            syscalls,
+            exit,
+        },
+        skipped_instructions,
+        region_instructions,
+    })
+}
+
+/// Convenience: record the whole execution of `program` (Table 3 style).
+///
+/// # Errors
+///
+/// See [`record_region`].
+pub fn record_whole_program(
+    program: &Arc<Program>,
+    sched: &mut dyn Scheduler,
+    env: &mut dyn Environment,
+    max_steps: u64,
+    name: &str,
+) -> Result<Recording, LogError> {
+    record_region(
+        program,
+        sched,
+        env,
+        RegionSpec {
+            start: StartTrigger::ProgramStart,
+            end: EndTrigger::ProgramEnd,
+        },
+        max_steps,
+        name,
+    )
+}

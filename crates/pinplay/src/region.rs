@@ -1,0 +1,214 @@
+//! Execution-region specifications.
+//!
+//! DrDebug narrows the scope of replay to a buggy *execution region*
+//! (paper §2): the user fast-forwards to the region start and logs until the
+//! bug appears. The paper's PARSEC evaluation specifies regions with a
+//! *skip* count and a *length* in main-thread instructions (§7, "we
+//! specified regions using a skip and length for the main thread"); the
+//! case studies use root-cause/failure program points instead. Both styles
+//! are expressible here.
+
+use serde::{Deserialize, Serialize};
+
+use minivm::{InsEvent, Pc, Tid};
+
+/// When region logging begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartTrigger {
+    /// Log from the very beginning of the run (Table 3's "whole program
+    /// execution region").
+    ProgramStart,
+    /// Fast-forward until the main thread has retired `skip` instructions
+    /// (Fig. 11's `skip` parameter).
+    MainSkip(u64),
+    /// Fast-forward until `tid` executes `pc` for the `instance`-th time
+    /// (1-based) — "the root cause" program point of Table 2.
+    AtPc {
+        /// Thread to watch.
+        tid: Tid,
+        /// Program point.
+        pc: Pc,
+        /// 1-based execution count of `pc` by `tid`.
+        instance: u64,
+    },
+}
+
+/// When region logging ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndTrigger {
+    /// Log until the program halts or traps — for buggy runs this captures
+    /// through the failure point.
+    ProgramEnd,
+    /// Log until the main thread has retired `length` more instructions
+    /// since the region start (Fig. 11's `length` parameter).
+    MainLength(u64),
+    /// Log until `tid` executes `pc` for the `instance`-th time counting
+    /// from the region start (the event is *included* in the region).
+    AtPc {
+        /// Thread to watch.
+        tid: Tid,
+        /// Program point.
+        pc: Pc,
+        /// 1-based execution count within the region.
+        instance: u64,
+    },
+}
+
+/// A region = a start trigger plus an end trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Where logging starts.
+    pub start: StartTrigger,
+    /// Where logging stops.
+    pub end: EndTrigger,
+}
+
+impl RegionSpec {
+    /// The whole execution, start to halt/trap (Table 3 style).
+    pub fn whole_program() -> RegionSpec {
+        RegionSpec {
+            start: StartTrigger::ProgramStart,
+            end: EndTrigger::ProgramEnd,
+        }
+    }
+
+    /// Skip `skip` main-thread instructions, then log `length` more
+    /// (Fig. 11/12 style).
+    pub fn skip_length(skip: u64, length: u64) -> RegionSpec {
+        RegionSpec {
+            start: StartTrigger::MainSkip(skip),
+            end: EndTrigger::MainLength(length),
+        }
+    }
+
+    /// A short human description for pinball metadata.
+    pub fn describe(&self) -> String {
+        format!("{:?} .. {:?}", self.start, self.end)
+    }
+}
+
+/// Evaluates a [`StartTrigger`] *before* an instruction executes.
+///
+/// The logger must snapshot the architectural state before the region's
+/// first instruction retires, so the check runs pre-step on the thread the
+/// scheduler just picked: `next_tid` is about to execute `next_pc` for the
+/// `next_instance`-th time, and the main thread has retired `main_icount`
+/// instructions so far.
+#[derive(Debug, Clone, Copy)]
+pub struct StartWatch {
+    trigger: StartTrigger,
+}
+
+impl StartWatch {
+    /// Creates a watch for `trigger`.
+    pub fn new(trigger: StartTrigger) -> StartWatch {
+        StartWatch { trigger }
+    }
+
+    /// Whether logging should begin before the pending step executes.
+    pub fn fires(&self, main_icount: u64, next_tid: Tid, next_pc: Pc, next_instance: u64) -> bool {
+        match self.trigger {
+            StartTrigger::ProgramStart => true,
+            StartTrigger::MainSkip(skip) => main_icount >= skip,
+            StartTrigger::AtPc { tid, pc, instance } => {
+                next_tid == tid && next_pc == pc && next_instance == instance
+            }
+        }
+    }
+}
+
+/// Evaluates an [`EndTrigger`] against the logged event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct EndWatch {
+    trigger: EndTrigger,
+}
+
+impl EndWatch {
+    /// Creates a watch for `trigger`.
+    pub fn new(trigger: EndTrigger) -> EndWatch {
+        EndWatch { trigger }
+    }
+
+    /// Whether logging should stop *after* including `ev`.
+    ///
+    /// `region_main_icount` counts main-thread instructions retired within
+    /// the region, including `ev` when it is a main-thread event;
+    /// `region_instance` is the region-relative instance count of
+    /// `(ev.tid, ev.pc)` including `ev`.
+    pub fn fires_after(&self, ev: &InsEvent, region_main_icount: u64, region_instance: u64) -> bool {
+        match self.trigger {
+            EndTrigger::ProgramEnd => false,
+            EndTrigger::MainLength(len) => ev.tid == 0 && region_main_icount >= len,
+            EndTrigger::AtPc { tid, pc, instance } => {
+                ev.tid == tid && ev.pc == pc && region_instance == instance
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{Instr, LocVals};
+
+    fn ev(tid: Tid, pc: Pc, instance: u64) -> InsEvent {
+        InsEvent {
+            tid,
+            pc,
+            instance,
+            seq: 0,
+            instr: Instr::Nop,
+            uses: LocVals::new(),
+            defs: LocVals::new(),
+            next_pc: pc + 1,
+            taken: None,
+            spawned: None,
+            sys_result: None,
+        }
+    }
+
+    #[test]
+    fn program_start_fires_immediately() {
+        let w = StartWatch::new(StartTrigger::ProgramStart);
+        assert!(w.fires(0, 0, 0, 1));
+    }
+
+    #[test]
+    fn main_skip_fires_after_count() {
+        let w = StartWatch::new(StartTrigger::MainSkip(10));
+        assert!(!w.fires(9, 0, 5, 1));
+        assert!(w.fires(10, 0, 5, 1));
+        assert!(w.fires(10, 1, 5, 1), "any thread's step once main passed skip");
+    }
+
+    #[test]
+    fn at_pc_start_matches_exact_instance() {
+        let w = StartWatch::new(StartTrigger::AtPc {
+            tid: 1,
+            pc: 7,
+            instance: 2,
+        });
+        assert!(!w.fires(0, 1, 7, 1));
+        assert!(!w.fires(0, 0, 7, 2));
+        assert!(w.fires(0, 1, 7, 2));
+    }
+
+    #[test]
+    fn main_length_counts_main_thread_only() {
+        let w = EndWatch::new(EndTrigger::MainLength(5));
+        assert!(!w.fires_after(&ev(1, 0, 1), 5, 1), "non-main events never fire");
+        assert!(!w.fires_after(&ev(0, 0, 1), 4, 1));
+        assert!(w.fires_after(&ev(0, 0, 1), 5, 1));
+    }
+
+    #[test]
+    fn region_spec_constructors() {
+        let r = RegionSpec::whole_program();
+        assert_eq!(r.start, StartTrigger::ProgramStart);
+        assert_eq!(r.end, EndTrigger::ProgramEnd);
+        let r = RegionSpec::skip_length(100, 50);
+        assert_eq!(r.start, StartTrigger::MainSkip(100));
+        assert_eq!(r.end, EndTrigger::MainLength(50));
+        assert!(r.describe().contains("MainSkip"));
+    }
+}

@@ -1,0 +1,329 @@
+//! The replayer: deterministic re-execution of a pinball.
+//!
+//! Replay reproduces the recorded execution exactly: the schedule log is
+//! followed step for step (which reproduces the shared-memory access order,
+//! since the VM is sequentially consistent), and syscall results are injected
+//! from the log instead of the environment. PinPlay's "repeatability
+//! guarantee" (paper §1) is this property; the property tests in the
+//! `slicer` and root crates check it end to end.
+
+use std::sync::Arc;
+
+use minivm::{Executor, Program, ScriptedEnv, Tool, ToolControl, VmError};
+
+use crate::pinball::{Pinball, RecordedExit, ReplayEvent};
+
+/// Why a replay stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStatus {
+    /// The replay log was fully consumed.
+    Completed,
+    /// The replayed execution trapped (reproducing the recorded bug).
+    Trapped(VmError),
+    /// The tool asked to pause; call [`Replayer::run`] again to resume.
+    Paused,
+}
+
+/// Replays a pinball, optionally under instrumentation.
+///
+/// `Replayer` is `Clone`: a clone is a *checkpoint* — an independent
+/// replay positioned at the same point, which is what the debugger's
+/// reverse-execution support snapshots (the paper's §8 sketch: reverse
+/// debugging via "PinPlay's user-level check-pointing feature").
+#[derive(Debug, Clone)]
+pub struct Replayer {
+    exec: Executor,
+    events: Vec<ReplayEvent>,
+    expected_exit: RecordedExit,
+    pos: usize,
+    done_in_event: u64,
+    env: ScriptedEnv,
+}
+
+impl Replayer {
+    /// Prepares a replay of `pinball` for `program`.
+    pub fn new(program: Arc<Program>, pinball: &Pinball) -> Replayer {
+        let exec = Executor::from_snapshot(program, &pinball.snapshot);
+        let mut env = ScriptedEnv::new();
+        for (tid, results) in pinball.syscalls.iter().enumerate() {
+            for &v in results {
+                env.push(tid as u32, v);
+            }
+        }
+        Replayer {
+            exec,
+            events: pinball.events.clone(),
+            expected_exit: pinball.exit,
+            pos: 0,
+            done_in_event: 0,
+            env,
+        }
+    }
+
+    /// The executor being replayed (for state inspection — the debugger's
+    /// `print`/`x` commands read through this).
+    pub fn exec(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Whether the whole replay log has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos >= self.events.len()
+    }
+
+    /// Instructions retired so far in this replay.
+    pub fn replayed_instructions(&self) -> u64 {
+        self.exec.seq()
+    }
+
+    /// The exit recorded at log time, for divergence checking.
+    pub fn expected_exit(&self) -> RecordedExit {
+        self.expected_exit
+    }
+
+    /// Replays until the log is consumed, the recorded trap reproduces, or
+    /// `tool` requests a pause. Resumable: calling `run` again continues
+    /// from the pause point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on replay divergence — a scheduled thread that is not
+    /// runnable, or a trap that does not match the recorded exit. Divergence
+    /// indicates a broken pinball (or a bug in the logger) and must not be
+    /// silently ignored: determinism is the tool's core guarantee.
+    pub fn run(&mut self, tool: &mut dyn Tool) -> ReplayStatus {
+        while self.pos < self.events.len() {
+            match &self.events[self.pos] {
+                ReplayEvent::Skip { tid, to_pc, regs } => {
+                    // Excluded code region: teleport past it and restore its
+                    // register side effects (paper Fig. 6(b)).
+                    for (r, v) in regs {
+                        self.exec.inject_reg(*tid, *r, *v);
+                    }
+                    self.exec.set_pc(*tid, *to_pc);
+                    self.pos += 1;
+                }
+                ReplayEvent::Inject { mems } => {
+                    // Memory side effects of excluded code, at their
+                    // original position in the global order.
+                    for (a, v) in mems {
+                        self.exec.inject_mem(*a, *v);
+                    }
+                    self.pos += 1;
+                }
+                ReplayEvent::Run { tid, steps } => {
+                    if self.done_in_event >= *steps {
+                        self.pos += 1;
+                        self.done_in_event = 0;
+                        continue;
+                    }
+                    let tid = *tid;
+                    match self.exec.step(tid, &mut self.env) {
+                        Ok((ev, _)) => {
+                            self.done_in_event += 1;
+                            if tool.on_event(&ev) == ToolControl::Stop {
+                                return ReplayStatus::Paused;
+                            }
+                        }
+                        Err((ev, e)) => {
+                            self.done_in_event += 1;
+                            let _ = tool.on_event(&ev);
+                            assert_eq!(
+                                self.expected_exit,
+                                RecordedExit::Trap(e),
+                                "replay divergence: unexpected trap {e}"
+                            );
+                            return ReplayStatus::Trapped(e);
+                        }
+                    }
+                }
+            }
+        }
+        ReplayStatus::Completed
+    }
+
+    /// Replays exactly one instruction (the debugger's `stepi`), skipping
+    /// over any pending `Skip` events first.
+    ///
+    /// Returns `None` when the log is exhausted.
+    pub fn step(&mut self, tool: &mut dyn Tool) -> Option<ReplayStatus> {
+        struct StopAfterOne<'a> {
+            inner: &'a mut dyn Tool,
+        }
+        impl Tool for StopAfterOne<'_> {
+            fn on_event(&mut self, ev: &minivm::InsEvent) -> ToolControl {
+                let _ = self.inner.on_event(ev);
+                ToolControl::Stop
+            }
+        }
+        if self.finished() {
+            return None;
+        }
+        let mut one = StopAfterOne { inner: tool };
+        Some(self.run(&mut one))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, NullTool, Reg, RoundRobin};
+
+    use crate::logger::record_whole_program;
+
+    const PROG: &str = r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            join r2
+            join r3
+            la r4, acc
+            load r5, r4, 0
+            rand r6
+            print r5
+            halt
+        .endfunc
+        .func worker
+            la r1, acc
+            xadd r2, r1, r0
+            halt
+        .endfunc
+        ";
+
+    fn record() -> (Arc<minivm::Program>, Pinball) {
+        let program = Arc::new(assemble(PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(3),
+            &mut LiveEnv::new(42),
+            100_000,
+            "demo",
+        )
+        .unwrap();
+        (program, rec.pinball)
+    }
+
+    #[test]
+    fn replay_reproduces_final_state() {
+        let (program, pinball) = record();
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        let status = rep.run(&mut NullTool);
+        assert_eq!(status, ReplayStatus::Completed);
+        assert!(rep.finished());
+        let acc = program.symbol("acc").unwrap();
+        assert_eq!(rep.exec().read_mem(acc), 3);
+        assert_eq!(rep.exec().output(), &[3]);
+    }
+
+    #[test]
+    fn two_replays_are_identical() {
+        let (program, pinball) = record();
+        let run_once = || {
+            let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+            rep.run(&mut NullTool);
+            (
+                rep.exec().output().to_vec(),
+                rep.exec().read_reg(0, Reg(6)),
+                rep.exec().snapshot(),
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "recorded rand() result injected identically");
+        assert_eq!(a.2, b.2, "bit-identical final state");
+    }
+
+    #[test]
+    fn replay_matches_live_instruction_count() {
+        let (program, pinball) = record();
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        rep.run(&mut NullTool);
+        assert_eq!(rep.replayed_instructions(), pinball.logged_instructions());
+    }
+
+    #[test]
+    fn paused_replay_resumes() {
+        let (program, pinball) = record();
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        let mut n = 0u32;
+        let mut stop_after_3 = |_: &minivm::InsEvent| {
+            n += 1;
+            if n == 3 {
+                ToolControl::Stop
+            } else {
+                ToolControl::Continue
+            }
+        };
+        assert_eq!(rep.run(&mut stop_after_3), ReplayStatus::Paused);
+        assert_eq!(rep.replayed_instructions(), 3);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        assert_eq!(rep.replayed_instructions(), pinball.logged_instructions());
+    }
+
+    #[test]
+    fn single_stepping_walks_the_whole_log() {
+        let (program, pinball) = record();
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        let mut count = 0u64;
+        while let Some(status) = rep.step(&mut NullTool) {
+            match status {
+                ReplayStatus::Paused => count += 1,
+                ReplayStatus::Completed => break,
+                ReplayStatus::Trapped(e) => panic!("unexpected trap {e}"),
+            }
+        }
+        assert_eq!(count, pinball.logged_instructions());
+    }
+
+    #[test]
+    fn skip_event_injects_and_teleports() {
+        let program = Arc::new(
+            assemble(
+                r"
+                .data
+                x: .word 0
+                .text
+                .func main
+                    movi r1, 11    ; pc 0 (will be 'excluded')
+                    nop            ; pc 1
+                    print r1       ; pc 2
+                    halt
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let exec = Executor::new(Arc::clone(&program));
+        let snapshot = exec.snapshot();
+        let x = program.symbol("x").unwrap();
+        let pinball = Pinball {
+            meta: crate::pinball::PinballMeta {
+                is_slice: true,
+                ..Default::default()
+            },
+            snapshot,
+            events: vec![
+                ReplayEvent::Inject { mems: vec![(x, 5)] },
+                ReplayEvent::Skip {
+                    tid: 0,
+                    to_pc: 2,
+                    regs: vec![(Reg(1), 99)],
+                },
+                ReplayEvent::Run { tid: 0, steps: 2 },
+            ],
+            syscalls: vec![],
+            exit: RecordedExit::AllHalted,
+        };
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        assert_eq!(rep.exec().output(), &[99], "injected register observed");
+        assert_eq!(rep.exec().read_mem(x), 5, "injected memory observed");
+        assert_eq!(rep.replayed_instructions(), 2, "excluded code skipped");
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests for region capture: skip/length windows, pc-triggered
+//! regions, and mid-execution snapshots with live spawned threads.
+
+use std::sync::Arc;
+
+use minivm::{assemble, LiveEnv, NullTool, Program, Reg, RoundRobin, ToolControl};
+use pinplay::{
+    record_region, EndTrigger, RecordedExit, RegionSpec, Replayer, ReplayStatus, StartTrigger,
+};
+
+fn looping_program() -> Arc<Program> {
+    Arc::new(
+        assemble(
+            r"
+            .data
+            acc: .word 0
+            .text
+            .func main
+                movi r1, 0
+                spawn r9, worker, r1
+                movi r0, 2000
+            main_loop:
+                la r2, acc
+                xadd r3, r2, r0
+                subi r0, r0, 1
+                bgti r0, 0, main_loop
+                join r9
+                halt
+            .endfunc
+            .func worker
+                movi r0, 1500
+            w_loop:
+                la r2, acc
+                load r3, r2, 0
+                subi r0, r0, 1
+                bgti r0, 0, w_loop
+                halt
+            .endfunc
+            ",
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn skip_length_region_mid_execution() {
+    let program = looping_program();
+    let rec = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(0),
+        RegionSpec::skip_length(1_000, 2_000),
+        1_000_000,
+        "mid",
+    )
+    .expect("captures");
+    assert!(rec.skipped_instructions >= 1_000);
+    assert_eq!(rec.pinball.exit, RecordedExit::RegionEnd);
+    // The snapshot was taken mid-execution with both threads live.
+    assert_eq!(rec.pinball.snapshot.threads.len(), 2);
+    assert!(rec.pinball.snapshot.threads.iter().all(|t| t.is_runnable()));
+    // Main retired at least `length` instructions inside the region.
+    let main_steps: u64 = rec
+        .pinball
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            pinplay::ReplayEvent::Run { tid: 0, steps } => Some(*steps),
+            _ => None,
+        })
+        .sum();
+    assert!(main_steps >= 2_000, "main ran {main_steps}");
+
+    // Replay is exact and repeatable.
+    let run = |pb| {
+        let mut rep = Replayer::new(Arc::clone(&program), pb);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        rep.exec().snapshot()
+    };
+    assert_eq!(run(&rec.pinball), run(&rec.pinball));
+}
+
+#[test]
+fn at_pc_start_region_begins_at_that_instruction() {
+    let program = looping_program();
+    // Region starts at the 100th execution of the main loop's xadd.
+    let xadd_pc = 4;
+    let rec = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(0),
+        RegionSpec {
+            start: StartTrigger::AtPc {
+                tid: 0,
+                pc: xadd_pc,
+                instance: 100,
+            },
+            end: EndTrigger::MainLength(500),
+        },
+        1_000_000,
+        "atpc",
+    )
+    .expect("captures");
+    // The first replayed event of the main thread is that xadd.
+    let mut first_main: Option<(u32, u64)> = None;
+    let mut tool = |ev: &minivm::InsEvent| {
+        if ev.tid == 0 && first_main.is_none() {
+            first_main = Some((ev.pc, ev.instance));
+            return ToolControl::Stop;
+        }
+        ToolControl::Continue
+    };
+    let mut rep = Replayer::new(Arc::clone(&program), &rec.pinball);
+    rep.run(&mut tool);
+    assert_eq!(
+        first_main,
+        Some((xadd_pc, 1)),
+        "region-relative instance numbering starts at 1"
+    );
+}
+
+#[test]
+fn at_pc_end_trigger_includes_the_marker_instruction() {
+    let program = looping_program();
+    let xadd_pc = 4;
+    let rec = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(0),
+        RegionSpec {
+            start: StartTrigger::ProgramStart,
+            end: EndTrigger::AtPc {
+                tid: 0,
+                pc: xadd_pc,
+                instance: 5,
+            },
+        },
+        1_000_000,
+        "atpc-end",
+    )
+    .expect("captures");
+    assert_eq!(rec.pinball.exit, RecordedExit::RegionEnd);
+    // Replay and count xadd executions by main: exactly 5.
+    let mut count = 0u64;
+    let mut tool = |ev: &minivm::InsEvent| {
+        if ev.tid == 0 && ev.pc == xadd_pc {
+            count += 1;
+        }
+        ToolControl::Continue
+    };
+    let mut rep = Replayer::new(Arc::clone(&program), &rec.pinball);
+    rep.run(&mut tool);
+    assert_eq!(count, 5, "the 5th execution is the last logged event");
+}
+
+#[test]
+fn region_never_started_is_an_error() {
+    let program = looping_program();
+    let err = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(0),
+        RegionSpec {
+            start: StartTrigger::AtPc {
+                tid: 0,
+                pc: 4,
+                instance: 1_000_000, // never reached
+            },
+            end: EndTrigger::ProgramEnd,
+        },
+        10_000_000,
+        "never",
+    )
+    .unwrap_err();
+    assert_eq!(err, pinplay::LogError::RegionNeverStarted);
+}
+
+#[test]
+fn fuel_exhaustion_is_an_error() {
+    let program = looping_program();
+    let err = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(0),
+        RegionSpec::whole_program(),
+        100, // far too little
+        "fuel",
+    )
+    .unwrap_err();
+    assert_eq!(err, pinplay::LogError::FuelExhausted);
+}
+
+#[test]
+fn syscalls_inside_region_are_replayed_from_log() {
+    let program = Arc::new(
+        assemble(
+            r"
+            .text
+            .func main
+                movi r0, 50
+            warmup:
+                subi r0, r0, 1
+                bgti r0, 0, warmup
+                rand r1           ; inside the region
+                rand r2
+                print r1
+                print r2
+                halt
+            .endfunc
+            ",
+        )
+        .unwrap(),
+    );
+    let rec = record_region(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(99),
+        RegionSpec::skip_length(50, 1_000),
+        100_000,
+        "sys",
+    )
+    .expect("captures");
+    assert_eq!(
+        rec.pinball.syscalls.first().map(Vec::len),
+        Some(2),
+        "both rand results logged for the main thread"
+    );
+    let run = |pb| {
+        let mut rep = Replayer::new(Arc::clone(&program), pb);
+        rep.run(&mut NullTool);
+        (rep.exec().read_reg(0, Reg(1)), rep.exec().read_reg(0, Reg(2)))
+    };
+    assert_eq!(run(&rec.pinball), run(&rec.pinball));
+}

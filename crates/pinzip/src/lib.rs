@@ -1,0 +1,17 @@
+//! # pinzip — pinball compression
+//!
+//! The paper's PinPlay logger compresses pinballs with bzip2 ("logging (with
+//! bzip2 pinball compression) time", §7) and reports pinball sizes in MB.
+//! This crate is the from-scratch stand-in: an [LZSS] byte compressor plus a
+//! [varint] integer coder, so that (a) logging time genuinely includes a
+//! compression cost that grows with log volume, and (b) pinball sizes on disk
+//! reflect the redundancy of the logged access patterns — the two properties
+//! the evaluation's time/space numbers depend on.
+//!
+//! [LZSS]: lzss::compress
+//! [varint]: varint::write_u64
+
+pub mod lzss;
+pub mod varint;
+
+pub use lzss::{compress, decompress, DecodeError};

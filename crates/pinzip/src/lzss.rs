@@ -1,0 +1,327 @@
+//! LZSS compression with a hash-chain match finder.
+//!
+//! Format: the stream is a sequence of groups. Each group starts with a
+//! control byte whose bits (LSB first) say whether the corresponding token is
+//! a literal (`0`, one raw byte) or a match (`1`, two bytes:
+//! `offset_hi:4 | len-MIN_MATCH:4` then `offset_lo:8`). Offsets are 1-based
+//! distances back into the already-decoded output, at most `WINDOW` (4096).
+//! The compressed stream is prefixed with the varint-coded original length.
+
+use std::fmt;
+
+use crate::varint;
+
+/// Sliding-window size (12-bit offsets).
+const WINDOW: usize = 1 << 12;
+/// Shortest match worth encoding (a match token costs 2 bytes + control bit).
+const MIN_MATCH: usize = 3;
+/// Longest encodable match (4-bit length field).
+const MAX_MATCH: usize = MIN_MATCH + 15;
+/// Hash-chain probe budget; bounds worst-case compression time.
+const MAX_PROBES: usize = 32;
+
+/// Compresses `input`, returning a self-describing buffer for
+/// [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    varint::write_u64(&mut out, input.len() as u64);
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position with the same hash as position i.
+    let mut head = vec![usize::MAX; 1 << 15];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let hash = |data: &[u8], i: usize| -> usize {
+        let a = data[i] as usize;
+        let b = data[i + 1] as usize;
+        let c = data[i + 2] as usize;
+        (a.wrapping_mul(506_832_829) ^ b.wrapping_mul(2_654_435_761) ^ c) & 0x7fff
+    };
+
+    let mut i = 0;
+    let mut group_ctrl_pos = 0usize;
+    let mut group_bits = 0u8;
+    let mut group_len = 0u8;
+
+    macro_rules! begin_group_if_needed {
+        () => {
+            if group_len == 0 {
+                group_ctrl_pos = out.len();
+                out.push(0);
+                group_bits = 0;
+            }
+        };
+    }
+    macro_rules! end_token {
+        ($is_match:expr) => {
+            if $is_match {
+                group_bits |= 1 << group_len;
+            }
+            group_len += 1;
+            if group_len == 8 {
+                out[group_ctrl_pos] = group_bits;
+                group_len = 0;
+            }
+        };
+    }
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input, i);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && probes < MAX_PROBES {
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                let nxt = prev[cand % WINDOW];
+                if nxt == usize::MAX || nxt >= cand {
+                    break;
+                }
+                cand = nxt;
+                probes += 1;
+            }
+        }
+
+        begin_group_if_needed!();
+        if best_len >= MIN_MATCH {
+            debug_assert!((1..=WINDOW).contains(&best_off));
+            let len_code = (best_len - MIN_MATCH) as u8;
+            let off = (best_off - 1) as u16;
+            out.push(((off >> 8) as u8) << 4 | len_code);
+            out.push((off & 0xff) as u8);
+            end_token!(true);
+            // Insert all covered positions into the chains.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash(input, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(input[i]);
+            end_token!(false);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(input, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    if group_len > 0 {
+        out[group_ctrl_pos] = group_bits;
+    }
+    out
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared length was produced.
+    Truncated,
+    /// A match referenced data before the start of the output.
+    BadOffset,
+    /// The output length header could not be read.
+    BadHeader,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DecodeError::Truncated => "compressed stream is truncated",
+            DecodeError::BadOffset => "match offset points before output start",
+            DecodeError::BadHeader => "bad length header",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decompresses a buffer produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut pos = 0usize;
+    let total = varint::read_u64(input, &mut pos).ok_or(DecodeError::BadHeader)? as usize;
+    // The declared length is untrusted input: a corrupt header must not
+    // trigger a huge up-front allocation. A compressed token produces at
+    // most MAX_MATCH bytes, so any stream shorter than total/MAX_MATCH
+    // tokens is truncated anyway; reject such headers before allocating.
+    if total > input.len().saturating_mul(MAX_MATCH) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let ctrl = *input.get(pos).ok_or(DecodeError::Truncated)?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= total {
+                break;
+            }
+            if ctrl & (1 << bit) != 0 {
+                let b0 = *input.get(pos).ok_or(DecodeError::Truncated)?;
+                let b1 = *input.get(pos + 1).ok_or(DecodeError::Truncated)?;
+                pos += 2;
+                let len = (b0 & 0x0f) as usize + MIN_MATCH;
+                let off = ((b0 >> 4) as usize) << 8 | b1 as usize;
+                let dist = off + 1;
+                if dist > out.len() {
+                    return Err(DecodeError::BadOffset);
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                let b = *input.get(pos).ok_or(DecodeError::Truncated)?;
+                pos += 1;
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"abcabcabcabc".iter().cycle().take(10_000).copied().collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // A simple xorshift stream — no LZ redundancy.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_runs_use_max_match() {
+        let data = vec![7u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 12_000);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_semantics() {
+        // "aaaa..." forces matches that overlap their own output.
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        roundtrip(data);
+    }
+
+    #[test]
+    fn window_boundary() {
+        // Repetition spaced exactly at the window size.
+        let mut data = vec![0u8; WINDOW];
+        data.extend_from_slice(b"hello world hello world");
+        data.extend(vec![0u8; WINDOW]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let data: Vec<u8> = b"abcabcabc".iter().cycle().take(300).copied().collect();
+        let mut c = compress(&data);
+        c.truncate(c.len() - 1);
+        assert!(matches!(
+            decompress(&c),
+            Err(DecodeError::Truncated) | Err(DecodeError::BadOffset)
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_bad_header() {
+        assert_eq!(decompress(&[]), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn corrupt_offset_detected() {
+        // Hand-built stream: declared length 3, one match token with a
+        // 1-based distance into nothing.
+        let mut buf = Vec::new();
+        crate::varint::write_u64(&mut buf, 3);
+        buf.push(0b0000_0001); // first token is a match
+        buf.push(0x00); // len = MIN_MATCH, off hi = 0
+        buf.push(0x05); // off lo = 5 -> dist 6 > out.len() 0
+        assert_eq!(decompress(&buf), Err(DecodeError::BadOffset));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::{compress, decompress};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).expect("valid stream"), data);
+        }
+
+        #[test]
+        fn roundtrip_repetitive_bytes(
+            unit in proptest::collection::vec(any::<u8>(), 1..16),
+            reps in 1usize..512,
+        ) {
+            let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).expect("valid stream"), data);
+        }
+
+        #[test]
+        fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&data); // may Err, must not panic
+        }
+    }
+}

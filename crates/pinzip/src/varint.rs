@@ -1,0 +1,143 @@
+//! LEB128-style variable-length integer coding.
+//!
+//! Pinball logs are streams of small integers (thread ids, run lengths,
+//! deltas between addresses); varint coding before LZSS keeps them compact.
+
+/// Appends `v` to `out` in LEB128 (7 bits per byte, high bit = continue).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed value using zigzag encoding.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Reads a LEB128 value from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncated input or a value overflowing 64 bits.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a zigzag-encoded signed value.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+/// Maps signed to unsigned so small-magnitude values stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_corners() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_corners() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_values_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(-123456)), -123456);
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequential_reads_advance_position() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 5);
+        write_u64(&mut buf, 1000);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Some(5));
+        assert_eq!(read_u64(&buf, &mut pos), Some(1000));
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn i64_roundtrip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+
+        #[test]
+        fn zigzag_is_bijective(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Static code discovery, per-function CFGs, and dynamic refinement.
+//!
+//! The paper (§5.1): "We implement a static analyzer based on Pin's static
+//! code discovery library ... Initially we construct an approximate static
+//! CFG and as the program executes, we collect the dynamic jump targets for
+//! the indirect jumps and refine the CFG by adding the missing edges. The
+//! refined CFG is used to compute the immediate post-dominator for each
+//! basic block which is then used to dynamically detect control
+//! dependences."
+//!
+//! The CFG here is built at *instruction* granularity (every pc is a node),
+//! which sidesteps block re-splitting when refinement adds a jump target in
+//! the middle of what static discovery thought was one block. Function
+//! bodies are analysed independently; calls are treated as falling through
+//! to their return point, and `ret`/`halt` edges lead to a per-function
+//! virtual exit — the standard intraprocedural treatment the Xin–Zhang
+//! control-dependence algorithm expects.
+
+use std::collections::{BTreeSet, HashMap};
+
+use minivm::{Instr, Pc, Program};
+
+use crate::postdom::ipostdoms;
+
+/// The CFG of one function, at instruction granularity.
+#[derive(Debug, Clone)]
+pub struct FuncCfg {
+    /// First pc of the function.
+    pub entry: Pc,
+    /// One past the last pc.
+    pub end: Pc,
+    /// `succs[i]` = successors of pc `entry + i`; the virtual exit is node
+    /// `end - entry` (index `len`).
+    succs: Vec<Vec<usize>>,
+    /// Cached immediate post-dominators (local indices); `None` entries mean
+    /// "does not reach the function exit".
+    ipostdom: Vec<Option<usize>>,
+    /// Local indices of indirect jumps (for refinement bookkeeping).
+    indirect: Vec<usize>,
+    dirty: bool,
+}
+
+impl FuncCfg {
+    fn len(&self) -> usize {
+        (self.end - self.entry) as usize
+    }
+
+    fn local(&self, pc: Pc) -> usize {
+        debug_assert!(pc >= self.entry && pc < self.end);
+        (pc - self.entry) as usize
+    }
+
+    /// Successors of `pc`, as pcs (the virtual exit is omitted).
+    pub fn successors(&self, pc: Pc) -> Vec<Pc> {
+        self.succs[self.local(pc)]
+            .iter()
+            .filter(|&&s| s < self.len())
+            .map(|&s| self.entry + s as Pc)
+            .collect()
+    }
+
+    /// Whether `pc`'s successor set includes the function exit.
+    pub fn exits_at(&self, pc: Pc) -> bool {
+        let exit = self.len();
+        self.succs[self.local(pc)].contains(&exit)
+    }
+
+    fn recompute(&mut self) {
+        let exit = self.len();
+        self.ipostdom = ipostdoms(&self.succs, exit);
+        self.dirty = false;
+    }
+}
+
+/// Whole-program CFG: one [`FuncCfg`] per function, with dynamic
+/// indirect-jump refinement.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    funcs: Vec<FuncCfg>,
+    /// pc -> index into `funcs`.
+    func_of: HashMap<Pc, usize>,
+    /// Observed targets per indirect-jump pc (for reporting/tests).
+    observed: HashMap<Pc, BTreeSet<Pc>>,
+}
+
+impl Cfg {
+    /// Statically discovers the code of `program` and builds the initial,
+    /// approximate CFG. Indirect jumps contribute **no** successors yet —
+    /// exactly the §5.1 imprecision.
+    pub fn build(program: &Program) -> Cfg {
+        let mut funcs = Vec::new();
+        let mut func_of = HashMap::new();
+
+        // Ranges: declared functions, plus synthetic ranges for code outside
+        // any function so every pc is covered.
+        let mut ranges: Vec<(Pc, Pc)> = program.functions.iter().map(|f| (f.entry, f.end)).collect();
+        ranges.sort_unstable();
+        let mut covered: Vec<(Pc, Pc)> = Vec::new();
+        let mut cursor: Pc = 0;
+        for &(s, e) in &ranges {
+            if s > cursor {
+                covered.push((cursor, s));
+            }
+            covered.push((s, e));
+            cursor = cursor.max(e);
+        }
+        if (cursor as usize) < program.len() {
+            covered.push((cursor, program.len() as Pc));
+        }
+
+        for (entry, end) in covered {
+            if entry >= end {
+                continue;
+            }
+            let len = (end - entry) as usize;
+            let exit = len;
+            let mut succs: Vec<Vec<usize>> = vec![Vec::new(); len + 1];
+            let mut indirect = Vec::new();
+            for pc in entry..end {
+                let i = (pc - entry) as usize;
+                let instr = program.fetch(pc).expect("pc within image");
+                let push = |succs: &mut Vec<Vec<usize>>, t: Pc| {
+                    // Branches out of the function (e.g. tail jumps) are
+                    // modelled as reaching the exit.
+                    let node = if t >= entry && t < end {
+                        (t - entry) as usize
+                    } else {
+                        exit
+                    };
+                    if !succs[i].contains(&node) {
+                        succs[i].push(node);
+                    }
+                };
+                let fall = |succs: &mut Vec<Vec<usize>>| {
+                    let node = if pc + 1 < end { i + 1 } else { exit };
+                    if !succs[i].contains(&node) {
+                        succs[i].push(node);
+                    }
+                };
+                match *instr {
+                    Instr::Jmp { target } => push(&mut succs, target),
+                    Instr::Br { target, .. } | Instr::BrI { target, .. } => {
+                        fall(&mut succs);
+                        push(&mut succs, target);
+                    }
+                    Instr::JmpInd { .. } => {
+                        // Statically opaque: no successors until refinement.
+                        indirect.push(i);
+                    }
+                    Instr::Ret | Instr::Halt => succs[i].push(exit),
+                    // Calls fall through to their return point; an indirect
+                    // call is still a call (its *control* successor within
+                    // this function is the return point).
+                    Instr::Call { .. } | Instr::CallInd { .. } => fall(&mut succs),
+                    _ => fall(&mut succs),
+                }
+            }
+            let idx = funcs.len();
+            for pc in entry..end {
+                func_of.insert(pc, idx);
+            }
+            let mut f = FuncCfg {
+                entry,
+                end,
+                succs,
+                ipostdom: Vec::new(),
+                indirect,
+                dirty: true,
+            };
+            f.recompute();
+            funcs.push(f);
+        }
+        Cfg {
+            funcs,
+            func_of,
+            observed: HashMap::new(),
+        }
+    }
+
+    /// The function CFG containing `pc`.
+    pub fn function_of(&self, pc: Pc) -> Option<&FuncCfg> {
+        self.func_of.get(&pc).map(|&i| &self.funcs[i])
+    }
+
+    /// Records a dynamically observed indirect-jump (or indirect-call) edge
+    /// `pc -> target`. Returns `true` when the edge was new, in which case
+    /// post-dominators of the containing function are invalidated and will
+    /// be recomputed lazily.
+    pub fn observe_indirect(&mut self, pc: Pc, target: Pc) -> bool {
+        let Some(&fi) = self.func_of.get(&pc) else {
+            return false;
+        };
+        let f = &mut self.funcs[fi];
+        let i = f.local(pc);
+        let node = if target >= f.entry && target < f.end {
+            (target - f.entry) as usize
+        } else {
+            f.len()
+        };
+        if f.succs[i].contains(&node) {
+            return false;
+        }
+        f.succs[i].push(node);
+        f.dirty = true;
+        self.observed.entry(pc).or_default().insert(target);
+        true
+    }
+
+    /// The immediate post-dominator pc of `pc` within its function, or
+    /// `None` when `pc` is post-dominated only by the function exit (or
+    /// cannot reach it).
+    pub fn ipostdom(&mut self, pc: Pc) -> Option<Pc> {
+        let fi = *self.func_of.get(&pc)?;
+        let f = &mut self.funcs[fi];
+        if f.dirty {
+            f.recompute();
+        }
+        let ipd = f.ipostdom[f.local(pc)]?;
+        if ipd >= f.len() {
+            None // post-dominated only by the virtual exit
+        } else {
+            Some(f.entry + ipd as Pc)
+        }
+    }
+
+    /// Observed dynamic targets of an indirect jump (refinement log).
+    pub fn observed_targets(&self, pc: Pc) -> impl Iterator<Item = Pc> + '_ {
+        self.observed.get(&pc).into_iter().flatten().copied()
+    }
+
+    /// All indirect-jump pcs discovered statically.
+    pub fn indirect_jumps(&self) -> Vec<Pc> {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.indirect.iter().map(move |&i| f.entry + i as Pc))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::assemble;
+
+    #[test]
+    fn straight_line_ipostdoms() {
+        let p = assemble(
+            r"
+            .text
+            .func main
+                movi r0, 1   ; 0
+                addi r0, r0, 1 ; 1
+                halt         ; 2
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(0), Some(1));
+        assert_eq!(cfg.ipostdom(1), Some(2));
+        assert_eq!(cfg.ipostdom(2), None, "halt postdominated by exit only");
+    }
+
+    #[test]
+    fn diamond_branch_ipostdom_is_join() {
+        let p = assemble(
+            r"
+            .text
+            .func main
+                movi r0, 1       ; 0
+                beqi r0, 0, els  ; 1
+                movi r1, 10      ; 2 (then)
+                jmp join         ; 3
+            els:
+                movi r1, 20      ; 4
+            join:
+                print r1         ; 5
+                halt             ; 6
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(1), Some(5), "branch converges at join");
+        let f = cfg.function_of(1).unwrap();
+        let mut s = f.successors(1);
+        s.sort_unstable();
+        assert_eq!(s, vec![2, 4]);
+    }
+
+    #[test]
+    fn indirect_jump_has_no_static_successors_then_refines() {
+        let p = assemble(
+            r"
+            .data
+            table: .word @a, @b
+            .text
+            .func main
+                read r0          ; 0
+                la r1, table     ; 1
+                add r1, r1, r0   ; 2
+                load r2, r1, 0   ; 3
+                jmpind r2        ; 4
+            a:
+                movi r3, 1       ; 5
+                jmp done         ; 6
+            b:
+                movi r3, 2       ; 7
+            done:
+                print r3         ; 8
+                halt             ; 9
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.indirect_jumps(), vec![4]);
+        let f = cfg.function_of(4).unwrap();
+        assert!(f.successors(4).is_empty(), "statically opaque");
+        // Without refinement, pcs 5..8 are unreachable inside the function
+        // (the jmpind is the only way in), so the branchy structure is
+        // invisible: 4 has no postdominator at all.
+        assert_eq!(cfg.ipostdom(4), None);
+
+        // Dynamic refinement: both targets observed.
+        assert!(cfg.observe_indirect(4, 5));
+        assert!(cfg.observe_indirect(4, 7));
+        assert!(!cfg.observe_indirect(4, 5), "duplicate edge ignored");
+        assert_eq!(
+            cfg.ipostdom(4),
+            Some(8),
+            "switch dispatch converges at `done` once edges are added"
+        );
+        assert_eq!(cfg.observed_targets(4).collect::<Vec<_>>(), vec![5, 7]);
+    }
+
+    #[test]
+    fn per_function_isolation() {
+        let p = assemble(
+            r"
+            .text
+            .func f
+                movi r0, 1  ; 0
+                ret         ; 1
+            .endfunc
+            .func main
+                call f      ; 2
+                halt        ; 3
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(2), Some(3), "call falls through");
+        assert_eq!(cfg.ipostdom(1), None, "ret exits the function");
+        assert_eq!(cfg.function_of(0).unwrap().entry, 0);
+        assert_eq!(cfg.function_of(2).unwrap().entry, 2);
+    }
+
+    #[test]
+    fn loop_branch_postdom() {
+        let p = assemble(
+            r"
+            .text
+            .func main
+                movi r0, 5     ; 0
+            top:
+                subi r0, r0, 1 ; 1
+                bgti r0, 0, top ; 2
+                halt           ; 3
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(2), Some(3), "loop branch exits to halt");
+        assert_eq!(cfg.ipostdom(1), Some(2));
+    }
+
+    #[test]
+    fn code_outside_functions_gets_synthetic_range() {
+        let p = assemble(
+            r"
+            .text
+                nop          ; 0 (no .func)
+                halt         ; 1
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(0), Some(1));
+    }
+}
+
+#[cfg(test)]
+mod refinement_edge_tests {
+    use super::*;
+    use minivm::assemble;
+
+    #[test]
+    fn indirect_target_outside_function_maps_to_exit() {
+        let p = assemble(
+            r"
+            .text
+            .func f
+                movi r0, 3   ; 0
+                jmpind r0    ; 1 (will observe a target in main)
+            .endfunc
+            .func main
+                nop          ; 2
+                halt         ; 3
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert!(cfg.observe_indirect(1, 3), "cross-function edge accepted");
+        // The edge is modelled as reaching f's exit; postdoms stay sane.
+        assert_eq!(cfg.ipostdom(0), Some(1));
+        assert_eq!(cfg.ipostdom(1), None, "exits the function");
+    }
+
+    #[test]
+    fn observe_on_non_code_pc_is_ignored() {
+        let p = assemble(".text\n.func main\n halt\n.endfunc").unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert!(!cfg.observe_indirect(999, 0));
+    }
+
+    #[test]
+    fn single_instruction_function() {
+        let p = assemble(
+            r"
+            .text
+            .func tiny
+                ret          ; 0
+            .endfunc
+            .func main
+                call tiny    ; 1
+                halt         ; 2
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(0), None);
+        let f = cfg.function_of(0).unwrap();
+        assert!(f.exits_at(0));
+    }
+
+    #[test]
+    fn refinement_is_incremental_across_queries() {
+        let p = assemble(
+            r"
+            .data
+            t: .word @a, @b
+            .text
+            .func main
+                read r0      ; 0
+                la r1, t     ; 1
+                add r1, r1, r0 ; 2
+                load r2, r1, 0 ; 3
+                jmpind r2    ; 4
+            a:
+                nop          ; 5
+                jmp end      ; 6
+            b:
+                nop          ; 7
+            end:
+                halt         ; 8
+            .endfunc
+            ",
+        )
+        .unwrap();
+        let mut cfg = Cfg::build(&p);
+        assert_eq!(cfg.ipostdom(4), None);
+        cfg.observe_indirect(4, 5);
+        // One target: the 'convergence' is the target itself.
+        assert_eq!(cfg.ipostdom(4), Some(5));
+        cfg.observe_indirect(4, 7);
+        // Two targets: convergence moves to the join.
+        assert_eq!(cfg.ipostdom(4), Some(8));
+    }
+}

@@ -1,0 +1,44 @@
+//! # repro-cfg — static code discovery with dynamic refinement
+//!
+//! The stand-in for the static-analysis module DrDebug builds "based on
+//! Pin's static code discovery library" (paper §5.1, Fig. 10): it constructs
+//! the control-flow graph of every function in a mini-VM program image,
+//! computes immediate post-dominators (the input the Xin–Zhang dynamic
+//! control-dependence algorithm requires), and — critically — *refines* the
+//! CFG as execution reveals indirect-jump targets, recomputing the
+//! post-dominator information so that control dependences across
+//! switch-style dispatch are detected (the Fig. 7 precision fix).
+//!
+//! # Example
+//!
+//! ```
+//! use minivm::assemble;
+//! use repro_cfg::Cfg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     r"
+//!     .text
+//!     .func main
+//!         movi r0, 1       ; 0
+//!         beqi r0, 0, els  ; 1
+//!         movi r1, 10      ; 2
+//!         jmp join         ; 3
+//!     els:
+//!         movi r1, 20      ; 4
+//!     join:
+//!         halt             ; 5
+//!     .endfunc
+//!     ",
+//! )?;
+//! let mut cfg = Cfg::build(&program);
+//! assert_eq!(cfg.ipostdom(1), Some(5)); // the branch re-converges at join
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg;
+pub mod postdom;
+
+pub use cfg::{Cfg, FuncCfg};
+pub use postdom::{idoms, ipostdoms};

@@ -1,0 +1,273 @@
+//! The slicing session: replay-integrated trace collection (Fig. 4(a)/10).
+//!
+//! "When the execution of a program is replayed using the region pinball,
+//! our slicing pintool collects dynamic information that enables the
+//! computation of dynamic slices." A [`SliceSession`] owns that dynamic
+//! information — the global trace, the refined CFG, and the verified
+//! save/restore pairs — and serves any number of slice requests against it
+//! ("once collected, the dynamic information can be used for multiple
+//! slicing sessions as PinPlay guarantees repeatability", §7).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use minivm::{Program, ToolControl};
+use pinplay::{relog, ExclusionRegion, Pinball, RelogStats, Replayer};
+use repro_cfg::Cfg;
+
+use crate::control::ControlTracker;
+use crate::global::{GlobalTrace, DEFAULT_BLOCK_SIZE};
+use crate::pairs::{PairCandidates, PairDetector};
+use crate::regions::{exclusion_regions, ExclusionStats};
+use crate::slice::{compute_slice, Criterion, Slice, SliceOptions};
+use crate::trace::{LocKey, RecordId, TraceRecord};
+
+/// Configuration for trace collection and slicing.
+#[derive(Debug, Clone, Copy)]
+pub struct SlicerOptions {
+    /// Refine the CFG with observed indirect-jump targets (§5.1). Turning
+    /// this off reproduces the paper's imprecise baseline.
+    pub refine_indirect: bool,
+    /// Run a target-discovery replay pass before the collection pass so
+    /// post-dominators reflect every target the region exercises.
+    pub two_pass_discovery: bool,
+    /// The `MaxSave` parameter of save/restore detection (§5.2; paper uses
+    /// 10 in Fig. 13).
+    pub max_save: usize,
+    /// Track stack-pointer dataflow (off by default; sp chains carry no
+    /// program-value information and bloat every slice).
+    pub track_sp: bool,
+    /// LP block size (records per block).
+    pub block_size: usize,
+    /// Cluster per-thread runs in the global trace for LP locality (§3);
+    /// off = keep the raw replay interleaving (an ablation knob).
+    pub cluster: bool,
+    /// Apply save/restore bypass pruning when slicing (§5.2).
+    pub prune_save_restore: bool,
+}
+
+impl Default for SlicerOptions {
+    fn default() -> SlicerOptions {
+        SlicerOptions {
+            refine_indirect: true,
+            two_pass_discovery: true,
+            max_save: 10,
+            track_sp: false,
+            block_size: DEFAULT_BLOCK_SIZE,
+            cluster: true,
+            prune_save_restore: true,
+        }
+    }
+}
+
+/// Collected dynamic information for one region pinball, ready to serve
+/// slice requests.
+#[derive(Debug)]
+pub struct SliceSession {
+    program: Arc<Program>,
+    trace: GlobalTrace,
+    pairs: HashMap<RecordId, RecordId>,
+    cfg: Cfg,
+    options: SlicerOptions,
+}
+
+impl SliceSession {
+    /// Replays `pinball` and collects everything slicing needs: per-thread
+    /// def/use traces merged into the global trace, dynamic control
+    /// dependences over the (refined) CFG, and verified save/restore pairs.
+    pub fn collect(
+        program: Arc<Program>,
+        pinball: &Pinball,
+        options: SlicerOptions,
+    ) -> SliceSession {
+        let mut cfg = Cfg::build(&program);
+
+        // Pass 1 (optional): discover indirect-jump targets so the refined
+        // CFG — and therefore the post-dominators the control-dependence
+        // detection uses — reflects the whole region.
+        if options.refine_indirect && options.two_pass_discovery {
+            let mut replayer = Replayer::new(Arc::clone(&program), pinball);
+            let mut observe = |ev: &minivm::InsEvent| {
+                if ev.instr.is_indirect_jump() {
+                    cfg.observe_indirect(ev.pc, ev.next_pc);
+                }
+                ToolControl::Continue
+            };
+            replayer.run(&mut observe);
+        }
+
+        // Pass 2: full collection.
+        let mut tracker = ControlTracker::new(cfg, options.refine_indirect);
+        let mut detector = PairDetector::new(PairCandidates::find(&program, options.max_save));
+        let mut records: Vec<TraceRecord> = Vec::new();
+        {
+            let program2 = Arc::clone(&program);
+            let mut collect = |ev: &minivm::InsEvent| {
+                let id: RecordId = ev.seq;
+                let cd = tracker.on_event(ev, id);
+                detector.on_event(ev, id);
+                records.push(TraceRecord {
+                    id,
+                    tid: ev.tid,
+                    pc: ev.pc,
+                    instance: ev.instance,
+                    instr: ev.instr,
+                    next_pc: ev.next_pc,
+                    uses: ev.uses,
+                    defs: ev.defs,
+                    spawned: ev.spawned,
+                    cd_parent: cd,
+                    line: program2.line_of(ev.pc),
+                });
+                ToolControl::Continue
+            };
+            let mut replayer = Replayer::new(Arc::clone(&program), pinball);
+            replayer.run(&mut collect);
+        }
+
+        let trace = GlobalTrace::build_with(
+            records,
+            options.block_size,
+            options.track_sp,
+            options.cluster,
+        );
+        SliceSession {
+            program,
+            trace,
+            pairs: detector.finish(),
+            cfg: tracker.into_cfg(),
+            options,
+        }
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The collected global trace.
+    pub fn trace(&self) -> &GlobalTrace {
+        &self.trace
+    }
+
+    /// The refined CFG (after target discovery).
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Verified save/restore pairs (restore record → save record).
+    pub fn pairs(&self) -> &HashMap<RecordId, RecordId> {
+        &self.pairs
+    }
+
+    /// Computes a backward dynamic slice.
+    pub fn slice(&self, criterion: Criterion) -> Slice {
+        let opts = SliceOptions {
+            prune_save_restore: self.options.prune_save_restore,
+            ..SliceOptions::new()
+        };
+        compute_slice(&self.trace, criterion, &self.pairs, opts)
+    }
+
+    /// Computes a slice with explicit per-call options (for the pruning
+    /// ablation of Fig. 13).
+    pub fn slice_with(&self, criterion: Criterion, opts: SliceOptions) -> Slice {
+        compute_slice(&self.trace, criterion, &self.pairs, opts)
+    }
+
+    /// The last *retired* record of the trace — for buggy pinballs this is
+    /// the trapping instruction, i.e. the failure point. (Record ids are
+    /// the retire order; the clustered global order may legally place other
+    /// threads' independent records after the trap, so position is the
+    /// wrong key here.)
+    pub fn failure_record(&self) -> Option<&TraceRecord> {
+        self.trace.records().iter().max_by_key(|r| r.id)
+    }
+
+    /// The last execution of `pc` (any thread), the common interactive
+    /// criterion "slice at this statement".
+    pub fn last_at_pc(&self, pc: minivm::Pc) -> Option<&TraceRecord> {
+        self.trace.rfind(|r| r.pc == pc)
+    }
+
+    /// Convenience: slice for the value of `key` at the last execution of
+    /// `pc`.
+    pub fn slice_value_at(&self, pc: minivm::Pc, key: LocKey) -> Option<Slice> {
+        let id = self.last_at_pc(pc)?.id;
+        Some(self.slice(Criterion::Value { id, key }))
+    }
+
+    /// Computes the exclusion regions for everything outside `slice`
+    /// (paper Fig. 6(a)).
+    pub fn exclusion_regions(&self, slice: &Slice) -> (Vec<ExclusionRegion>, ExclusionStats) {
+        exclusion_regions(&self.trace, slice)
+    }
+
+    /// Full Fig. 4(b) pipeline: build exclusion regions from `slice` and
+    /// relog `region_pinball` into the slice pinball.
+    pub fn make_slice_pinball(
+        &self,
+        region_pinball: &Pinball,
+        slice: &Slice,
+    ) -> (Pinball, RelogStats, ExclusionStats) {
+        let (regions, estats) = self.exclusion_regions(slice);
+        let (pb, rstats) = relog(Arc::clone(&self.program), region_pinball, &regions);
+        (pb, rstats, estats)
+    }
+}
+
+#[cfg(test)]
+mod failure_record_tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, RoundRobin};
+    use pinplay::record_whole_program;
+
+    /// The failure record must be the trapping instruction even when the
+    /// clustered global order places another thread's independent records
+    /// after it.
+    #[test]
+    fn failure_record_is_last_retired_not_last_clustered() {
+        let program = Arc::new(
+            assemble(
+                r"
+                .text
+                .func main
+                    movi r1, 0
+                    spawn r2, busy, r1
+                    movi r3, 0
+                    assert r3        ; traps while `busy` is still running
+                .endfunc
+                .func busy
+                    movi r4, 50
+                spin:
+                    subi r4, r4, 1   ; independent of main: clusterable
+                    bgti r4, 0, spin
+                    halt
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(2),
+            &mut LiveEnv::new(0),
+            10_000,
+            "failure-order",
+        )
+        .unwrap();
+        let session =
+            SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
+        let failure = session.failure_record().expect("trace non-empty");
+        assert!(
+            matches!(failure.instr, minivm::Instr::Assert { .. }),
+            "failure record must be the assert, got {}",
+            failure.describe()
+        );
+        // And the busy thread genuinely has records after the trap in
+        // clustered order (otherwise this test proves nothing).
+        let trap_pos = session.trace().position(failure.id).unwrap();
+        let after = session.trace().records().len() - 1 - trap_pos;
+        assert!(after > 0, "clustering placed {after} records after the trap");
+    }
+}

@@ -1,0 +1,418 @@
+//! Online dynamic control-dependence detection (paper §5.1).
+//!
+//! The Xin–Zhang algorithm: each thread keeps, per call frame, a stack of
+//! *open branch regions* `(branch record, immediate post-dominator pc)`.
+//! When execution reaches a region's post-dominator, the region is closed
+//! (popped); the dynamic control parent of every instruction is the branch
+//! on top of the stack. Calls open a fresh frame whose instructions inherit
+//! the *call site's* control parent (this is how all of `Q`'s statements
+//! become control dependent on the predicate guarding the call in the
+//! paper's Fig. 8 example); returns close the frame and every region still
+//! open in it.
+//!
+//! Indirect jumps are branches too, but their post-dominators are only as
+//! good as the CFG — which is refined with observed targets as execution
+//! proceeds (see [`repro_cfg::Cfg::observe_indirect`]). The collector
+//! therefore runs a *target-discovery* replay pass before the main
+//! collection pass, so post-dominators already reflect every target the
+//! region exercises (paper: "the refined CFG is used to compute the
+//! immediate post-dominator for each basic block").
+
+use minivm::{InsEvent, Instr, Pc, Tid};
+use repro_cfg::Cfg;
+
+use crate::trace::RecordId;
+
+/// Sentinel post-dominator for regions that only close at function exit.
+const OPEN_UNTIL_RETURN: Pc = Pc::MAX;
+
+#[derive(Debug, Default)]
+struct Frame {
+    /// Control parent inherited from the call site.
+    base: Option<RecordId>,
+    /// Open branch regions: (branch record id, pc that closes the region).
+    stack: Vec<(RecordId, Pc)>,
+}
+
+#[derive(Debug, Default)]
+struct ThreadCd {
+    frames: Vec<Frame>,
+}
+
+/// Tracks dynamic control dependences across all threads of one replay.
+#[derive(Debug)]
+pub struct ControlTracker {
+    cfg: Cfg,
+    threads: Vec<ThreadCd>,
+    /// Whether to add observed indirect-jump edges to the CFG while
+    /// tracking (leave on; off reproduces the paper's *imprecise* baseline).
+    refine: bool,
+}
+
+impl ControlTracker {
+    /// Creates a tracker over `cfg`.
+    pub fn new(cfg: Cfg, refine: bool) -> ControlTracker {
+        ControlTracker {
+            cfg,
+            threads: Vec::new(),
+            refine,
+        }
+    }
+
+    /// Read access to the (possibly refined) CFG.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Consumes the tracker, returning the refined CFG.
+    pub fn into_cfg(self) -> Cfg {
+        self.cfg
+    }
+
+    /// Feeds targets only (the discovery pre-pass): records indirect-jump
+    /// edges without computing dependences.
+    pub fn observe_targets(&mut self, ev: &InsEvent) {
+        if ev.instr.is_indirect_jump() {
+            self.cfg.observe_indirect(ev.pc, ev.next_pc);
+        }
+    }
+
+    /// Processes one executed instruction (record id `id`) and returns its
+    /// dynamic control parent.
+    pub fn on_event(&mut self, ev: &InsEvent, id: RecordId) -> Option<RecordId> {
+        let t = ev.tid as usize;
+        if self.threads.len() <= t {
+            self.threads.resize_with(t + 1, ThreadCd::default);
+        }
+        let td = &mut self.threads[t];
+        if td.frames.is_empty() {
+            td.frames.push(Frame::default());
+        }
+
+        // Close regions whose post-dominator we just reached.
+        let frame = td.frames.last_mut().expect("frame pushed above");
+        while matches!(frame.stack.last(), Some(&(_, ipd)) if ipd == ev.pc) {
+            frame.stack.pop();
+        }
+        let parent = frame.stack.last().map(|&(b, _)| b).or(frame.base);
+
+        match ev.instr {
+            Instr::Br { .. } | Instr::BrI { .. } => {
+                let ipd = self.cfg.ipostdom(ev.pc).unwrap_or(OPEN_UNTIL_RETURN);
+                // A region that closes immediately at the fall-through would
+                // pop on the very next instruction; still push it so the
+                // taken path (if different) is covered.
+                self.current_frame(ev.tid).stack.push((id, ipd));
+            }
+            Instr::JmpInd { .. } => {
+                if self.refine {
+                    self.cfg.observe_indirect(ev.pc, ev.next_pc);
+                }
+                // With an unrefined CFG the jump has no known successors and
+                // no post-dominator below the exit: per the imprecise
+                // baseline, *no* region is opened and the control dependence
+                // is missed (the Fig. 7 problem). With a refined CFG the
+                // convergence point is real and the region opens.
+                let has_targets = self
+                    .cfg
+                    .function_of(ev.pc)
+                    .is_some_and(|f| !f.successors(ev.pc).is_empty());
+                if has_targets {
+                    let ipd = self.cfg.ipostdom(ev.pc).unwrap_or(OPEN_UNTIL_RETURN);
+                    self.current_frame(ev.tid).stack.push((id, ipd));
+                }
+            }
+            Instr::Call { .. } | Instr::CallInd { .. } => {
+                if self.refine && matches!(ev.instr, Instr::CallInd { .. }) {
+                    self.cfg.observe_indirect(ev.pc, ev.next_pc);
+                }
+                self.threads[t].frames.push(Frame {
+                    base: parent,
+                    stack: Vec::new(),
+                });
+            }
+            Instr::Ret => {
+                // Close the frame and everything still open in it.
+                let td = &mut self.threads[t];
+                if td.frames.len() > 1 {
+                    td.frames.pop();
+                }
+            }
+            _ => {}
+        }
+        parent
+    }
+
+    fn current_frame(&mut self, tid: Tid) -> &mut Frame {
+        self.threads[tid as usize]
+            .frames
+            .last_mut()
+            .expect("thread has at least one frame")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::{assemble, Executor, LiveEnv, Program};
+
+    /// Runs a single-threaded program and returns (pc, cd_parent_pc) pairs.
+    fn cd_trace(program: &Arc<Program>, refine: bool) -> Vec<(Pc, Option<Pc>)> {
+        // Pass 1: discover indirect targets.
+        let mut cfg = Cfg::build(program);
+        {
+            let mut exec = Executor::new(Arc::clone(program));
+            let mut env = LiveEnv::new(0);
+            while !exec.all_halted() {
+                let (ev, _) = exec.step(0, &mut env).expect("no traps in test programs");
+                if refine && ev.instr.is_indirect_jump() {
+                    cfg.observe_indirect(ev.pc, ev.next_pc);
+                }
+            }
+        }
+        // Pass 2: track control dependences.
+        let mut tracker = ControlTracker::new(cfg, refine);
+        let mut exec = Executor::new(Arc::clone(program));
+        let mut env = LiveEnv::new(0);
+        let mut id: RecordId = 0;
+        let mut pcs_by_id = Vec::new();
+        let mut out = Vec::new();
+        while !exec.all_halted() {
+            let (ev, _) = exec.step(0, &mut env).unwrap();
+            let parent = tracker.on_event(&ev, id);
+            pcs_by_id.push(ev.pc);
+            out.push((ev.pc, parent.map(|p| pcs_by_id[p as usize])));
+            id += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn then_branch_controls_its_arm_only() {
+        let p = Arc::new(
+            assemble(
+                r"
+                .text
+                .func main
+                    movi r0, 1       ; 0
+                    beqi r0, 0, els  ; 1
+                    movi r1, 10      ; 2 (CD on 1)
+                    jmp join         ; 3 (CD on 1)
+                els:
+                    movi r1, 20      ; 4
+                join:
+                    print r1         ; 5 (no CD)
+                    halt             ; 6
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let t = cd_trace(&p, true);
+        let parent_of = |pc: Pc| t.iter().find(|(p2, _)| *p2 == pc).unwrap().1;
+        assert_eq!(parent_of(0), None);
+        assert_eq!(parent_of(2), Some(1));
+        assert_eq!(parent_of(3), Some(1));
+        assert_eq!(parent_of(5), None, "join point is past the region");
+    }
+
+    #[test]
+    fn loop_iterations_depend_on_loop_branch() {
+        let p = Arc::new(
+            assemble(
+                r"
+                .text
+                .func main
+                    movi r0, 2      ; 0
+                top:
+                    subi r0, r0, 1  ; 1
+                    bgti r0, 0, top ; 2
+                    halt            ; 3
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let t = cd_trace(&p, true);
+        // Execution: 0, 1, 2(taken), 1, 2(not taken), 3.
+        assert_eq!(t[0], (0, None));
+        assert_eq!(t[1], (1, None), "first iteration unconditional");
+        assert_eq!(t[3], (1, Some(2)), "second iteration depends on branch");
+        assert_eq!(t[5].0, 3);
+        assert_eq!(t[5].1, None, "halt is the branch's postdominator");
+    }
+
+    #[test]
+    fn callee_inherits_call_site_parent() {
+        let p = Arc::new(
+            assemble(
+                r"
+                .text
+                .func q
+                    movi r2, 9   ; 0 : CD on the guarding branch
+                    ret          ; 1
+                .endfunc
+                .func main
+                    movi r0, 1       ; 2
+                    beqi r0, 0, skip ; 3
+                    call q           ; 4 (CD on 3)
+                skip:
+                    halt             ; 5
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let t = cd_trace(&p, true);
+        let parent_of = |pc: Pc| t.iter().find(|(p2, _)| *p2 == pc).unwrap().1;
+        assert_eq!(parent_of(4), Some(3), "call guarded by branch");
+        assert_eq!(parent_of(0), Some(3), "callee body inherits the guard");
+        assert_eq!(parent_of(1), Some(3));
+        assert_eq!(parent_of(5), None);
+    }
+
+    /// The paper's Fig. 7 scenario: without refinement the switch dispatch
+    /// yields no control dependence; with refinement the case body depends
+    /// on the indirect jump.
+    #[test]
+    fn indirect_jump_cd_needs_refinement() {
+        let src = r"
+            .data
+            table: .word @case_a, @case_b
+            .text
+            .func main
+                movi r4, 2       ; 0  loop counter: run both cases
+                movi r0, 0       ; 1  selector
+            again:
+                la r1, table     ; 2
+                add r1, r1, r0   ; 3
+                load r2, r1, 0   ; 4
+                jmpind r2        ; 5
+            case_a:
+                movi r3, 1       ; 6  (CD on 5 when refined)
+                jmp done         ; 7
+            case_b:
+                movi r3, 2       ; 8
+            done:
+                addi r0, r0, 1   ; 9
+                subi r4, r4, 1   ; 10
+                bgti r4, 0, again ; 11
+                halt             ; 12
+            .endfunc
+            ";
+        let p = Arc::new(assemble(src).unwrap());
+        let refined = cd_trace(&p, true);
+        let imprecise = cd_trace(&p, false);
+        let parent_at = |t: &[(Pc, Option<Pc>)], pc: Pc| {
+            t.iter().find(|(p2, _)| *p2 == pc).unwrap().1
+        };
+        assert_eq!(
+            parent_at(&refined, 6),
+            Some(5),
+            "refined CFG: case body control dependent on switch dispatch"
+        );
+        assert_eq!(
+            parent_at(&imprecise, 6),
+            None,
+            "unrefined CFG: the control dependence is missed (Fig. 7)"
+        );
+        // case_b exercised on the second iteration.
+        assert_eq!(parent_at(&refined, 8), Some(5));
+    }
+}
+
+#[cfg(test)]
+mod nesting_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::{assemble, Executor, LiveEnv, Program};
+
+    fn cd_pairs(program: &Arc<Program>) -> Vec<(Pc, Option<Pc>)> {
+        let cfg = Cfg::build(program);
+        let mut tracker = ControlTracker::new(cfg, true);
+        let mut exec = Executor::new(Arc::clone(program));
+        let mut env = LiveEnv::new(0);
+        let mut pcs_by_id = Vec::new();
+        let mut out = Vec::new();
+        while !exec.all_halted() {
+            let (ev, _) = exec.step(0, &mut env).unwrap();
+            let parent = tracker.on_event(&ev, pcs_by_id.len() as RecordId);
+            pcs_by_id.push(ev.pc);
+            out.push((ev.pc, parent.map(|p| pcs_by_id[p as usize])));
+        }
+        out
+    }
+
+    /// Branch regions inside a recursive function must not leak across
+    /// activations: each depth's guarded body depends on its *own*
+    /// branch instance, and the frame pop on `ret` closes everything.
+    #[test]
+    fn recursion_isolates_branch_regions_per_activation() {
+        let p = Arc::new(
+            assemble(
+                r"
+                .text
+                .func f
+                    blei r0, 0, base  ; 0
+                    subi r0, r0, 1    ; 1 (CD on 0)
+                    call f            ; 2 (CD on 0)
+                base:
+                    ret               ; 3
+                .endfunc
+                .func main
+                    movi r0, 2        ; 4
+                    call f            ; 5
+                    movi r1, 9        ; 6 (no CD: after the call returns)
+                    halt              ; 7
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let t = cd_pairs(&p);
+        // The statement after the outer call must not inherit any callee
+        // branch region.
+        let after_call = t.iter().find(|(pc, _)| *pc == 6).unwrap();
+        assert_eq!(after_call.1, None, "{t:?}");
+        // Each recursive body instruction is CD on a branch at pc 0.
+        for (pc, parent) in &t {
+            if *pc == 1 || *pc == 2 {
+                assert_eq!(*parent, Some(0), "{t:?}");
+            }
+        }
+    }
+
+    /// Nested branches: the inner region closes first; instructions after
+    /// the inner join but before the outer join revert to the outer branch.
+    #[test]
+    fn nested_branch_regions_pop_in_order() {
+        let p = Arc::new(
+            assemble(
+                r"
+                .text
+                .func main
+                    movi r0, 1        ; 0
+                    beqi r0, 0, outer ; 1
+                    movi r1, 1        ; 2 (CD on 1)
+                    beqi r1, 0, inner ; 3 (CD on 1)
+                    movi r2, 5        ; 4 (CD on 3)
+                inner:
+                    movi r3, 6        ; 5 (CD on 1: inner region closed)
+                outer:
+                    halt              ; 6 (no CD)
+                .endfunc
+                ",
+            )
+            .unwrap(),
+        );
+        let t = cd_pairs(&p);
+        let parent_of = |pc: Pc| t.iter().find(|(p2, _)| *p2 == pc).unwrap().1;
+        assert_eq!(parent_of(2), Some(1));
+        assert_eq!(parent_of(4), Some(3));
+        assert_eq!(parent_of(5), Some(1), "inner popped, outer still open");
+        assert_eq!(parent_of(6), None);
+    }
+}

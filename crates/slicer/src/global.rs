@@ -1,0 +1,444 @@
+//! Global trace construction (paper §3, step ii).
+//!
+//! Per-thread traces are combined into "a single fully ordered trace such
+//! that each instruction in the trace honors its dynamic data dependences
+//! including all read-after-write, write-after-write, and write-after-read
+//! dependences". The order constraints are:
+//!
+//! * **program order** — consecutive records of the same thread;
+//! * **shared-memory access order** — consecutive *conflicting* accesses
+//!   (at least one write) to the same address, in the order the replay
+//!   produced them (this is the information "already available in a
+//!   pinball, as it is needed for replay");
+//! * **spawn order** — a `spawn` precedes every record of the child thread.
+//!
+//! The merge is a Kahn topological sort that greedily stays on the current
+//! thread — the paper's clustering trick ("we always try to cluster traces
+//! for each thread to the extent possible to improve the locality of \[the\]
+//! LP algorithm").
+//!
+//! The result is segmented into fixed-size blocks, each summarising the set
+//! of locations it defines — the block summaries the Limited Preprocessing
+//! traversal uses to skip irrelevant blocks (Zhang et al., paper §3 step
+//! iii).
+
+use std::collections::{HashMap, HashSet};
+
+use minivm::Tid;
+
+use crate::trace::{LocKey, RecordId, TraceRecord};
+
+/// Default LP block size (records per block).
+pub const DEFAULT_BLOCK_SIZE: usize = 1024;
+
+/// Summary of one LP block.
+#[derive(Debug, Clone)]
+pub struct BlockSummary {
+    /// Position range `[start, end)` in the globally ordered trace.
+    pub start: usize,
+    /// End of the range (exclusive).
+    pub end: usize,
+    /// Every location key defined by a record in the block (a superset of
+    /// the downward-exposed definitions, which is sound for skipping).
+    pub defs: HashSet<LocKey>,
+}
+
+/// The fully ordered multi-threaded trace, with LP block summaries.
+#[derive(Debug)]
+pub struct GlobalTrace {
+    records: Vec<TraceRecord>,
+    /// record id -> position in `records`.
+    pos_of: HashMap<RecordId, usize>,
+    blocks: Vec<BlockSummary>,
+    track_sp: bool,
+}
+
+impl GlobalTrace {
+    /// Builds the global trace from records in *collection order* (which is
+    /// the replay interleaving: one valid topological order). The records
+    /// are re-ordered by the clustering merge, then segmented into blocks of
+    /// `block_size`.
+    pub fn build(collected: Vec<TraceRecord>, block_size: usize, track_sp: bool) -> GlobalTrace {
+        GlobalTrace::build_with(collected, block_size, track_sp, true)
+    }
+
+    /// Like [`GlobalTrace::build`], with clustering controllable — the
+    /// ablation of the paper's §3 locality trick ("we always try to cluster
+    /// traces for each thread to the extent possible to improve the
+    /// locality of \[the\] LP algorithm"). With `cluster` off, the trace
+    /// keeps the raw replay interleaving (still a valid topological order).
+    pub fn build_with(
+        collected: Vec<TraceRecord>,
+        block_size: usize,
+        track_sp: bool,
+        cluster: bool,
+    ) -> GlobalTrace {
+        assert!(block_size > 0, "block size must be positive");
+        let order: Vec<usize> = if cluster {
+            cluster_merge(&collected, track_sp)
+        } else {
+            (0..collected.len()).collect()
+        };
+        let records: Vec<TraceRecord> = order.into_iter().map(|i| collected[i]).collect();
+        let mut pos_of = HashMap::with_capacity(records.len());
+        for (pos, r) in records.iter().enumerate() {
+            pos_of.insert(r.id, pos);
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        while start < records.len() {
+            let end = (start + block_size).min(records.len());
+            let mut defs = HashSet::new();
+            for r in &records[start..end] {
+                defs.extend(r.def_keys(track_sp).map(|(k, _)| k));
+            }
+            blocks.push(BlockSummary { start, end, defs });
+            start = end;
+        }
+        GlobalTrace {
+            records,
+            pos_of,
+            blocks,
+            track_sp,
+        }
+    }
+
+    /// Whether stack-pointer registers participate in dependence tracking.
+    pub fn track_sp(&self) -> bool {
+        self.track_sp
+    }
+
+    /// The records in global (clustered topological) order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The LP block summaries, in position order.
+    pub fn blocks(&self) -> &[BlockSummary] {
+        &self.blocks
+    }
+
+    /// Position of a record id in the global order.
+    pub fn position(&self, id: RecordId) -> Option<usize> {
+        self.pos_of.get(&id).copied()
+    }
+
+    /// The record with the given id.
+    pub fn record(&self, id: RecordId) -> Option<&TraceRecord> {
+        self.position(id).map(|p| &self.records[p])
+    }
+
+    /// Finds the last record (by global position) satisfying `pred` — used
+    /// to resolve slice criteria like "the last write to variable x".
+    pub fn rfind(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> Option<&TraceRecord> {
+        self.records.iter().rev().find(|r| pred(r))
+    }
+}
+
+/// Computes the clustered topological order; returns indices into
+/// `collected`.
+fn cluster_merge(collected: &[TraceRecord], track_sp: bool) -> Vec<usize> {
+    let n = collected.len();
+    // Edges: successor lists + indegrees.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg: Vec<u32> = vec![0; n];
+    let edge = |succ: &mut Vec<Vec<usize>>, indeg: &mut Vec<u32>, a: usize, b: usize| {
+        succ[a].push(b);
+        indeg[b] += 1;
+    };
+
+    // Program order.
+    let mut last_of_thread: HashMap<Tid, usize> = HashMap::new();
+    // Spawn order: child tid -> spawning record.
+    let mut spawner: HashMap<Tid, usize> = HashMap::new();
+    // Conflict order per address: (last writer, readers since last write).
+    struct MemState {
+        last_write: Option<usize>,
+        reads_since: Vec<usize>,
+    }
+    let mut mem: HashMap<u64, MemState> = HashMap::new();
+
+    for (i, r) in collected.iter().enumerate() {
+        if let Some(&prev) = last_of_thread.get(&r.tid) {
+            edge(&mut succ, &mut indeg, prev, i);
+        } else if let Some(&sp) = spawner.get(&r.tid) {
+            edge(&mut succ, &mut indeg, sp, i);
+        }
+        last_of_thread.insert(r.tid, i);
+        if let Some((child, _)) = r.spawned {
+            spawner.insert(child, i);
+        }
+        // Conflicting accesses to shared memory.
+        for (k, _) in r.use_keys(track_sp) {
+            if let LocKey::Mem(a) = k {
+                let st = mem.entry(a).or_insert(MemState {
+                    last_write: None,
+                    reads_since: Vec::new(),
+                });
+                if let Some(w) = st.last_write {
+                    if collected[w].tid != r.tid {
+                        edge(&mut succ, &mut indeg, w, i);
+                    }
+                }
+                st.reads_since.push(i);
+            }
+        }
+        for (k, _) in r.def_keys(track_sp) {
+            if let LocKey::Mem(a) = k {
+                let st = mem.entry(a).or_insert(MemState {
+                    last_write: None,
+                    reads_since: Vec::new(),
+                });
+                // Write-after-read and write-after-write edges.
+                for &rd in &st.reads_since {
+                    if rd != i && collected[rd].tid != r.tid {
+                        edge(&mut succ, &mut indeg, rd, i);
+                    }
+                }
+                if let Some(w) = st.last_write {
+                    if collected[w].tid != r.tid {
+                        edge(&mut succ, &mut indeg, w, i);
+                    }
+                }
+                st.last_write = Some(i);
+                st.reads_since.clear();
+            }
+        }
+    }
+
+    // Kahn with thread-clustering: prefer the thread we are already on.
+    let mut ready_by_thread: HashMap<Tid, Vec<usize>> = HashMap::new();
+    let mut ready_threads: Vec<Tid> = Vec::new();
+    for (i, r) in collected.iter().enumerate() {
+        if indeg[i] == 0 {
+            let q = ready_by_thread.entry(r.tid).or_default();
+            if q.is_empty() {
+                ready_threads.push(r.tid);
+            }
+            q.push(i);
+        }
+    }
+    // Per-thread ready queues hold records in program order because each
+    // thread's records form a chain; reverse to pop from the back cheaply.
+    for q in ready_by_thread.values_mut() {
+        q.reverse();
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut current: Option<Tid> = None;
+    while order.len() < n {
+        let tid = match current {
+            Some(t) if ready_by_thread.get(&t).is_some_and(|q| !q.is_empty()) => t,
+            _ => {
+                // Switch to the lowest ready thread for determinism.
+                let t = ready_threads
+                    .iter()
+                    .copied()
+                    .filter(|t| ready_by_thread.get(t).is_some_and(|q| !q.is_empty()))
+                    .min()
+                    .expect("topological sort stalled: constraint cycle");
+                current = Some(t);
+                t
+            }
+        };
+        let i = ready_by_thread
+            .get_mut(&tid)
+            .expect("selected thread has a queue")
+            .pop()
+            .expect("selected thread queue non-empty");
+        order.push(i);
+        for &s in &succ[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                let st = collected[s].tid;
+                let q = ready_by_thread.entry(st).or_default();
+                if q.is_empty() && !ready_threads.contains(&st) {
+                    ready_threads.push(st);
+                }
+                // Queues are kept in descending id order (pop from the back
+                // yields the earliest record). In practice a thread has at
+                // most one ready record — program-order edges chain them —
+                // but keep the insert correct regardless.
+                let at = q
+                    .iter()
+                    .position(|&x| collected[x].id < collected[s].id)
+                    .unwrap_or(q.len());
+                q.insert(at, s);
+            }
+        }
+    }
+    order
+}
+
+/// Checks that `order` (indices into `collected`) respects program order,
+/// spawn order, and conflicting-access order. Exposed for property tests.
+pub fn is_valid_topological_order(collected: &[TraceRecord], order: &[usize]) -> bool {
+    let mut pos = vec![0usize; collected.len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    // Program order per thread (ids ascend with time within a thread).
+    let mut last: HashMap<Tid, usize> = HashMap::new();
+    for (i, r) in collected.iter().enumerate() {
+        if let Some(&prev) = last.get(&r.tid) {
+            if pos[prev] >= pos[i] {
+                return false;
+            }
+        }
+        last.insert(r.tid, i);
+    }
+    // Conflict order: for every pair of records touching the same address
+    // with at least one write, collection order must be preserved.
+    let mut by_addr: HashMap<u64, Vec<(usize, bool)>> = HashMap::new();
+    for (i, r) in collected.iter().enumerate() {
+        for (k, _) in r.use_keys(true) {
+            if let LocKey::Mem(a) = k {
+                by_addr.entry(a).or_default().push((i, false));
+            }
+        }
+        for (k, _) in r.def_keys(true) {
+            if let LocKey::Mem(a) = k {
+                by_addr.entry(a).or_default().push((i, true));
+            }
+        }
+    }
+    for accesses in by_addr.values() {
+        for (x, &(i, wi)) in accesses.iter().enumerate() {
+            for &(j, wj) in &accesses[x + 1..] {
+                if (wi || wj) && i != j && pos[i] >= pos[j] {
+                    return false;
+                }
+            }
+        }
+    }
+    // Spawn order.
+    let mut first_of: HashMap<Tid, usize> = HashMap::new();
+    for (i, r) in collected.iter().enumerate() {
+        first_of.entry(r.tid).or_insert(i);
+    }
+    for (i, r) in collected.iter().enumerate() {
+        if let Some((child, _)) = r.spawned {
+            if let Some(&f) = first_of.get(&child) {
+                if pos[i] >= pos[f] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{Instr, Loc, Reg};
+
+    fn rec(id: RecordId, tid: Tid, uses: &[(Loc, i64)], defs: &[(Loc, i64)]) -> TraceRecord {
+        TraceRecord {
+            id,
+            tid,
+            pc: id as u32,
+            instance: 1,
+            instr: Instr::Nop,
+            next_pc: id as u32 + 1,
+            uses: uses.iter().copied().collect(),
+            defs: defs.iter().copied().collect(),
+            spawned: None,
+            cd_parent: None,
+            line: 0,
+        }
+    }
+
+    #[test]
+    fn single_thread_order_preserved() {
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Reg(Reg(1)), 1)]),
+            rec(1, 0, &[(Loc::Reg(Reg(1)), 1)], &[]),
+        ];
+        let gt = GlobalTrace::build(collected, 16, false);
+        let ids: Vec<_> = gt.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn clustering_groups_independent_threads() {
+        // Interleaved but independent records: clustering should group each
+        // thread's records contiguously.
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Reg(Reg(1)), 1)]),
+            rec(1, 1, &[], &[(Loc::Reg(Reg(1)), 2)]),
+            rec(2, 0, &[], &[(Loc::Reg(Reg(2)), 3)]),
+            rec(3, 1, &[], &[(Loc::Reg(Reg(2)), 4)]),
+        ];
+        let gt = GlobalTrace::build(collected.clone(), 16, false);
+        let ids: Vec<_> = gt.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2, 1, 3], "thread 0 clustered, then thread 1");
+        let order: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
+        assert!(is_valid_topological_order(&collected, &order));
+    }
+
+    #[test]
+    fn conflicting_access_blocks_clustering() {
+        // t0 writes M, t1 reads M, t0 then reads what t1 wrote: the merge
+        // cannot fully cluster; order constraints must hold.
+        let m = 0x1000;
+        let k = 0x2000;
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Mem(m), 1)]),
+            rec(1, 1, &[(Loc::Mem(m), 1)], &[(Loc::Mem(k), 2)]),
+            rec(2, 0, &[(Loc::Mem(k), 2)], &[]),
+        ];
+        let gt = GlobalTrace::build(collected.clone(), 16, false);
+        let ids: Vec<_> = gt.records().iter().map(|r| r.id).collect();
+        let order: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
+        assert!(is_valid_topological_order(&collected, &order));
+        let p0 = gt.position(0).unwrap();
+        let p1 = gt.position(1).unwrap();
+        let p2 = gt.position(2).unwrap();
+        assert!(p0 < p1 && p1 < p2);
+    }
+
+    #[test]
+    fn block_summaries_cover_defs() {
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Reg(Reg(1)), 1)]),
+            rec(1, 0, &[], &[(Loc::Mem(0x1000), 2)]),
+            rec(2, 0, &[], &[(Loc::Reg(Reg(2)), 3)]),
+        ];
+        let gt = GlobalTrace::build(collected, 2, false);
+        assert_eq!(gt.blocks().len(), 2);
+        assert!(gt.blocks()[0].defs.contains(&LocKey::Reg(0, Reg(1))));
+        assert!(gt.blocks()[0].defs.contains(&LocKey::Mem(0x1000)));
+        assert!(gt.blocks()[1].defs.contains(&LocKey::Reg(0, Reg(2))));
+    }
+
+    #[test]
+    fn spawn_edge_enforced() {
+        let mut spawn = rec(0, 0, &[], &[]);
+        spawn.spawned = Some((1, 7));
+        let collected = vec![spawn, rec(1, 1, &[(Loc::Reg(Reg(0)), 7)], &[])];
+        let gt = GlobalTrace::build(collected.clone(), 16, false);
+        let p_spawn = gt.position(0).unwrap();
+        let p_child = gt.position(1).unwrap();
+        assert!(p_spawn < p_child);
+    }
+
+    #[test]
+    fn rfind_locates_last_matching() {
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Mem(0x1000), 1)]),
+            rec(1, 0, &[], &[(Loc::Mem(0x1000), 2)]),
+        ];
+        let gt = GlobalTrace::build(collected, 16, false);
+        let r = gt
+            .rfind(|r| r.def_keys(false).any(|(k, _)| k == LocKey::Mem(0x1000)))
+            .unwrap();
+        assert_eq!(r.id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_rejected() {
+        let _ = GlobalTrace::build(Vec::new(), 0, false);
+    }
+}

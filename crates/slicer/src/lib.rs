@@ -1,0 +1,74 @@
+//! # slicer — replay-integrated dynamic slicing for multi-threaded programs
+//!
+//! The primary contribution of the DrDebug paper (CGO 2014), reproduced over
+//! the mini-VM substrate:
+//!
+//! * [`collect`] — replays a region pinball and gathers per-thread def/use
+//!   traces (paper §3 step i), merging them into a fully ordered
+//!   [`global::GlobalTrace`] that honours program order and
+//!   shared-memory access order (step ii), with thread clustering for LP
+//!   locality;
+//! * [`slice`](mod@slice) — backward traversal of the global trace with Limited
+//!   Preprocessing block skipping (step iii), producing the dynamic
+//!   dependence graph the DrDebug GUI lets users navigate;
+//! * [`control`] — dynamic control dependences via the Xin–Zhang online
+//!   algorithm over a CFG refined with observed indirect-jump targets
+//!   (§5.1's precision fix);
+//! * [`pairs`] — save/restore pair detection and the §5.2 spurious-
+//!   dependence bypass;
+//! * [`regions`] — the slice → code-exclusion-region builder feeding
+//!   PinPlay-style relogging, which yields the *slice pinball* whose replay
+//!   skips everything outside the slice (§4).
+//!
+//! # Example: slice a failing assertion
+//!
+//! ```
+//! use std::sync::Arc;
+//! use minivm::{assemble, LiveEnv, RoundRobin};
+//! use pinplay::record_whole_program;
+//! use slicer::{Criterion, SliceSession, SlicerOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(assemble(
+//!     r"
+//!     .text
+//!     .func main
+//!         movi r1, 1      ; relevant
+//!         movi r9, 7      ; irrelevant
+//!         subi r1, r1, 1
+//!         assert r1       ; fails: r1 == 0
+//!     .endfunc
+//!     ",
+//! )?);
+//! let rec = record_whole_program(
+//!     &program,
+//!     &mut RoundRobin::new(8),
+//!     &mut LiveEnv::new(0),
+//!     10_000,
+//!     "doc",
+//! )?;
+//! let session = SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
+//! let failure = session.failure_record().expect("trace not empty").id;
+//! let slice = session.slice(Criterion::Record { id: failure });
+//! assert_eq!(slice.len(), 3); // movi r1 / subi / assert — not movi r9
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collect;
+pub mod control;
+pub mod global;
+pub mod pairs;
+pub mod regions;
+pub mod slice;
+pub mod slicefile;
+pub mod trace;
+
+pub use collect::{SliceSession, SlicerOptions};
+pub use control::ControlTracker;
+pub use global::{is_valid_topological_order, BlockSummary, GlobalTrace, DEFAULT_BLOCK_SIZE};
+pub use pairs::{PairCandidates, PairDetector};
+pub use regions::{exclusion_regions, is_force_included, ExclusionStats, OPEN_END_PC};
+pub use slice::{compute_slice, compute_slice_naive, Criterion, DataEdge, Slice, SliceOptions, SliceStats};
+pub use slicefile::{SliceFile, SliceFileError, SliceStatement};
+pub use trace::{LocKey, RecordId, TraceRecord};

@@ -1,0 +1,337 @@
+//! Save/restore pair detection (paper §5.2).
+//!
+//! At function entry compilers save the registers they will clobber and
+//! restore them at exit; at the binary level this manufactures data
+//! dependence chains `use → restore → save → def` through the stack slot,
+//! which drag the callee's control context into every slice flowing through
+//! the saved register. The paper's remedy: identify save/restore pairs and
+//! let the slicer bypass them.
+//!
+//! Following §5.2, detection is two-stage:
+//!
+//! 1. **Static candidates** — "the first `MaxSave` push ... instructions at
+//!    the start of a function and the last `MaxSave` pop ... instructions at
+//!    the end of a function";
+//! 2. **Dynamic verification** — a candidate pair is accepted only when the
+//!    *same activation* of the function saves register `r` with value `v` to
+//!    stack slot `s` and later restores the same `v` from the same `s` back
+//!    into the same `r`.
+
+use std::collections::{HashMap, HashSet};
+
+use minivm::{Addr, InsEvent, Instr, Loc, Pc, Program, Reg};
+
+use crate::trace::RecordId;
+
+/// Static candidate save/restore program points for one program.
+#[derive(Debug, Clone, Default)]
+pub struct PairCandidates {
+    saves: HashSet<Pc>,
+    restores: HashSet<Pc>,
+}
+
+impl PairCandidates {
+    /// Scans every function for candidate program points, keeping at most
+    /// `max_save` saves per function entry and `max_save` restores before
+    /// each return (the paper's tunable `MaxSave`, default 10).
+    pub fn find(program: &Program, max_save: usize) -> PairCandidates {
+        let mut c = PairCandidates::default();
+        for f in &program.functions {
+            // Saves: leading `push`es of the function body.
+            let mut taken = 0;
+            for pc in f.entry..f.end {
+                match program.fetch(pc) {
+                    Some(Instr::Push { .. }) if taken < max_save => {
+                        c.saves.insert(pc);
+                        taken += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // Restores: trailing `pop`s immediately before each `ret`.
+            for pc in f.entry..f.end {
+                if !matches!(program.fetch(pc), Some(Instr::Ret)) {
+                    continue;
+                }
+                let mut taken = 0;
+                let mut back = pc;
+                while back > f.entry && taken < max_save {
+                    back -= 1;
+                    match program.fetch(back) {
+                        Some(Instr::Pop { .. }) => {
+                            c.restores.insert(back);
+                            taken += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Whether `pc` is a candidate save point.
+    pub fn is_save(&self, pc: Pc) -> bool {
+        self.saves.contains(&pc)
+    }
+
+    /// Whether `pc` is a candidate restore point.
+    pub fn is_restore(&self, pc: Pc) -> bool {
+        self.restores.contains(&pc)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSave {
+    id: RecordId,
+    reg: Reg,
+    slot: Addr,
+    value: i64,
+}
+
+#[derive(Debug, Default)]
+struct Activation {
+    saves: Vec<PendingSave>,
+}
+
+#[derive(Debug, Default)]
+struct ThreadPairs {
+    activations: Vec<Activation>,
+}
+
+/// Dynamically verifies save/restore pairs during trace collection.
+#[derive(Debug)]
+pub struct PairDetector {
+    candidates: PairCandidates,
+    threads: Vec<ThreadPairs>,
+    /// restore record id -> save record id, for verified pairs.
+    pairs: HashMap<RecordId, RecordId>,
+}
+
+impl PairDetector {
+    /// Creates a detector using the given static candidates.
+    pub fn new(candidates: PairCandidates) -> PairDetector {
+        PairDetector {
+            candidates,
+            threads: Vec::new(),
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Observes one executed instruction.
+    pub fn on_event(&mut self, ev: &InsEvent, id: RecordId) {
+        let t = ev.tid as usize;
+        if self.threads.len() <= t {
+            self.threads.resize_with(t + 1, ThreadPairs::default);
+        }
+        let td = &mut self.threads[t];
+        if td.activations.is_empty() {
+            td.activations.push(Activation::default());
+        }
+        match ev.instr {
+            Instr::Call { .. } | Instr::CallInd { .. } => {
+                td.activations.push(Activation::default());
+            }
+            Instr::Ret
+                if td.activations.len() > 1 => {
+                    td.activations.pop();
+                }
+            Instr::Push { src } if self.candidates.is_save(ev.pc) => {
+                // The pushed value and the stack slot written.
+                let value = ev
+                    .uses
+                    .value_of(Loc::Reg(src))
+                    .expect("push records its source register");
+                let slot = ev.defs.iter().find_map(|(l, _)| match l {
+                    Loc::Mem(a) => Some(a),
+                    Loc::Reg(_) => None,
+                });
+                if let Some(slot) = slot {
+                    td.activations
+                        .last_mut()
+                        .expect("activation pushed above")
+                        .saves
+                        .push(PendingSave {
+                            id,
+                            reg: src,
+                            slot,
+                            value,
+                        });
+                }
+            }
+            Instr::Pop { dst } if self.candidates.is_restore(ev.pc) => {
+                let value = ev.defs.value_of(Loc::Reg(dst));
+                let slot = ev.uses.iter().find_map(|(l, _)| match l {
+                    Loc::Mem(a) => Some(a),
+                    Loc::Reg(_) => None,
+                });
+                if let (Some(value), Some(slot)) = (value, slot) {
+                    let act = td.activations.last_mut().expect("activation exists");
+                    // LIFO match within the current activation: same
+                    // register, same slot, same value (§5.2 conditions 1+2).
+                    if let Some(pos) = act.saves.iter().rposition(|s| {
+                        s.reg == dst && s.slot == slot && s.value == value
+                    }) {
+                        let save = act.saves.remove(pos);
+                        self.pairs.insert(id, save.id);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Finishes detection, returning the verified
+    /// `restore record -> save record` map.
+    pub fn finish(self) -> HashMap<RecordId, RecordId> {
+        self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::{assemble, Executor, LiveEnv};
+
+    const SAVE_RESTORE: &str = r"
+        .text
+        .func q
+            push r1        ; 0: save
+            push r2        ; 1: save
+            movi r1, 5     ; 2: clobber
+            movi r2, 6     ; 3
+            pop r2         ; 4: restore
+            pop r1         ; 5: restore
+            ret            ; 6
+        .endfunc
+        .func main
+            movi r1, 100   ; 7
+            movi r2, 200   ; 8
+            call q         ; 9
+            halt           ; 10
+        .endfunc
+        ";
+
+    fn run_detector(src: &str) -> HashMap<RecordId, RecordId> {
+        let p = Arc::new(assemble(src).unwrap());
+        let cands = PairCandidates::find(&p, 10);
+        let mut det = PairDetector::new(cands);
+        let mut exec = Executor::new(Arc::clone(&p));
+        let mut env = LiveEnv::new(0);
+        let mut id: RecordId = 0;
+        while !exec.all_halted() {
+            let (ev, _) = exec.step(0, &mut env).unwrap();
+            det.on_event(&ev, id);
+            id += 1;
+        }
+        det.finish()
+    }
+
+    #[test]
+    fn static_candidates_found() {
+        let p = assemble(SAVE_RESTORE).unwrap();
+        let c = PairCandidates::find(&p, 10);
+        assert!(c.is_save(0));
+        assert!(c.is_save(1));
+        assert!(c.is_restore(4));
+        assert!(c.is_restore(5));
+        assert!(!c.is_save(2));
+        assert!(!c.is_restore(3));
+    }
+
+    #[test]
+    fn max_save_limits_candidates() {
+        let p = assemble(SAVE_RESTORE).unwrap();
+        let c = PairCandidates::find(&p, 1);
+        assert!(c.is_save(0));
+        assert!(!c.is_save(1), "second push beyond MaxSave=1");
+        assert!(c.is_restore(5), "pop adjacent to ret kept");
+        assert!(!c.is_restore(4));
+    }
+
+    #[test]
+    fn pairs_verified_dynamically() {
+        let pairs = run_detector(SAVE_RESTORE);
+        // Execution order: 7,8,9(call),0,1,2,3,4,5,6(ret),10.
+        // ids:             0,1,2     ,3,4,5,6,7,8,9     ,10
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs.get(&7), Some(&4), "pop r2 pairs with push r2");
+        assert_eq!(pairs.get(&8), Some(&3), "pop r1 pairs with push r1");
+    }
+
+    #[test]
+    fn clobbered_value_rejects_pair() {
+        // The value in the slot is overwritten between push and pop, so the
+        // restored value differs and no pair is formed.
+        let pairs = run_detector(
+            r"
+            .text
+            .func q
+                push r1        ; 0: candidate save
+                mov  r3, sp    ; 1
+                movi r4, 999   ; 2
+                store r4, r3, 0 ; 3: smash the saved slot
+                pop r1         ; 4: candidate restore (value mismatch)
+                ret            ; 5
+            .endfunc
+            .func main
+                movi r1, 7     ; 6
+                call q         ; 7
+                halt           ; 8
+            .endfunc
+            ",
+        );
+        assert!(pairs.is_empty(), "smashed slot must not verify: {pairs:?}");
+    }
+
+    #[test]
+    fn mismatched_register_rejects_pair() {
+        // push r1 ... pop r2: not a save/restore of the same register.
+        let pairs = run_detector(
+            r"
+            .text
+            .func q
+                push r1   ; 0
+                pop r2    ; 1
+                ret       ; 2
+            .endfunc
+            .func main
+                movi r1, 7 ; 3
+                call q     ; 4
+                halt       ; 5
+            .endfunc
+            ",
+        );
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn recursion_pairs_per_activation() {
+        // Recursive function saving r1: each depth's push matches its own
+        // pop, not a sibling's.
+        let pairs = run_detector(
+            r"
+            .text
+            .func f
+                push r1          ; 0
+                mov r1, r0       ; 1
+                blei r0, 0, base ; 2
+                subi r0, r0, 1   ; 3
+                call f           ; 4
+            base:
+                pop r1           ; 5
+                ret              ; 6
+            .endfunc
+            .func main
+                movi r0, 2  ; 7
+                movi r1, 50 ; 8
+                call f      ; 9
+                halt        ; 10
+            .endfunc
+            ",
+        );
+        assert_eq!(pairs.len(), 3, "three activations, three pairs: {pairs:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Building code-exclusion regions from a slice (paper §4, Fig. 6(a)).
+//!
+//! "We identify all the exclusion code regions (shown as dashed boxes) for
+//! each thread, and output such information to the special slice file. The
+//! relogger leverages this file to generate the slice pinball."
+//!
+//! For each thread, the maximal runs of consecutive *non-slice* instruction
+//! instances become half-open exclusion regions
+//! `[startPc:sinstance:tid, endPc:einstance:tid)`. Synchronization and
+//! thread-lifecycle instructions (`lock`, `unlock`, `cas`, `xadd`, `spawn`,
+//! `join`, `halt`) are never excluded even when outside the slice: their
+//! effect on the recorded schedule cannot be reproduced by injecting plain
+//! register/memory side effects, and keeping them is what makes the region
+//! pinball's schedule log remain a valid recipe for the slice pinball (our
+//! substitute for PinPlay's syscall-style side-effect handling of such
+//! events).
+
+use std::collections::HashMap;
+
+use minivm::{Instr, Pc, Tid};
+use pinplay::ExclusionRegion;
+
+use crate::global::GlobalTrace;
+use crate::slice::Slice;
+use crate::trace::TraceRecord;
+
+/// End marker for a span that stays open to the end of the region; the
+/// relogger flushes such spans with a final `Skip`.
+pub const OPEN_END_PC: Pc = Pc::MAX;
+
+/// Whether a record must stay in every slice pinball regardless of slice
+/// membership: synchronization and thread-lifecycle effects cannot be
+/// injected as plain register/memory side effects. Spin *retries* of
+/// `lock`/`join` are excluded — they change no state, and only the
+/// succeeding attempt matters for the schedule's validity.
+pub fn is_force_included(r: &TraceRecord) -> bool {
+    match r.instr {
+        Instr::Unlock { .. }
+        | Instr::Cas { .. }
+        | Instr::AtomicAdd { .. }
+        | Instr::Spawn { .. }
+        | Instr::Halt => true,
+        Instr::Lock { .. } | Instr::Join { .. } => !r.is_spin(),
+        _ => false,
+    }
+}
+
+/// Statistics about the exclusion computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExclusionStats {
+    /// Instances kept because they are in the slice.
+    pub in_slice: u64,
+    /// Instances kept only because they are force-included sync/lifecycle
+    /// instructions.
+    pub forced: u64,
+    /// Instances covered by exclusion regions.
+    pub excluded: u64,
+}
+
+/// Computes per-thread exclusion regions for everything outside `slice`.
+///
+/// Returns the regions (ready for [`pinplay::relog()`]) and statistics. The
+/// instance numbers are the region-relative instance counts recorded in the
+/// trace, which is the numbering the relogger's replay of the same region
+/// pinball reproduces.
+pub fn exclusion_regions(
+    trace: &GlobalTrace,
+    slice: &Slice,
+) -> (Vec<ExclusionRegion>, ExclusionStats) {
+    // Thread-local views of the trace, in execution order (record ids are
+    // the replay retire order, so ascending id = time).
+    let mut per_thread: HashMap<Tid, Vec<&crate::trace::TraceRecord>> = HashMap::new();
+    for r in trace.records() {
+        per_thread.entry(r.tid).or_default().push(r);
+    }
+    for v in per_thread.values_mut() {
+        v.sort_unstable_by_key(|r| r.id);
+    }
+
+    let mut stats = ExclusionStats::default();
+    let mut regions = Vec::new();
+    let mut tids: Vec<Tid> = per_thread.keys().copied().collect();
+    tids.sort_unstable();
+
+    for tid in tids {
+        let recs = &per_thread[&tid];
+        let mut open: Option<(Pc, u64)> = None;
+        for r in recs.iter() {
+            let keep = slice.records.contains(&r.id) || is_force_included(r);
+            if keep {
+                if slice.records.contains(&r.id) {
+                    stats.in_slice += 1;
+                } else {
+                    stats.forced += 1;
+                }
+                if let Some((start_pc, start_instance)) = open.take() {
+                    regions.push(ExclusionRegion {
+                        tid,
+                        start_pc,
+                        start_instance,
+                        end_pc: r.pc,
+                        end_instance: r.instance,
+                    });
+                }
+            } else {
+                stats.excluded += 1;
+                if open.is_none() {
+                    open = Some((r.pc, r.instance));
+                }
+            }
+        }
+        if let Some((start_pc, start_instance)) = open {
+            regions.push(ExclusionRegion {
+                tid,
+                start_pc,
+                start_instance,
+                end_pc: OPEN_END_PC,
+                end_instance: u64::MAX,
+            });
+        }
+    }
+    (regions, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    use minivm::{Instr, LocVals, Reg};
+
+    use crate::slice::{Criterion, Slice, SliceStats};
+
+    fn rec(id: u64, tid: Tid, pc: Pc, instance: u64, instr: Instr) -> TraceRecord {
+        TraceRecord {
+            id,
+            tid,
+            pc,
+            instance,
+            instr,
+            next_pc: pc + 1,
+            uses: LocVals::new(),
+            defs: LocVals::new(),
+            spawned: None,
+            cd_parent: None,
+            line: 0,
+        }
+    }
+
+    fn slice_of(ids: &[u64]) -> Slice {
+        Slice {
+            criterion: Criterion::Record { id: 0 },
+            records: ids.iter().copied().collect::<HashSet<_>>(),
+            data_edges: Vec::new(),
+            control_edges: Vec::new(),
+            stats: SliceStats::default(),
+        }
+    }
+
+    #[test]
+    fn gap_between_slice_records_becomes_region() {
+        let recs = vec![
+            rec(0, 0, 0, 1, Instr::Nop), // in slice
+            rec(1, 0, 1, 1, Instr::Nop), // excluded
+            rec(2, 0, 2, 1, Instr::Nop), // excluded
+            rec(3, 0, 3, 1, Instr::Nop), // in slice
+        ];
+        let trace = crate::global::GlobalTrace::build(recs, 16, false);
+        let (regions, stats) = exclusion_regions(&trace, &slice_of(&[0, 3]));
+        assert_eq!(
+            regions,
+            vec![ExclusionRegion {
+                tid: 0,
+                start_pc: 1,
+                start_instance: 1,
+                end_pc: 3,
+                end_instance: 1,
+            }]
+        );
+        assert_eq!(stats.in_slice, 2);
+        assert_eq!(stats.excluded, 2);
+    }
+
+    #[test]
+    fn trailing_gap_gets_open_end() {
+        let recs = vec![
+            rec(0, 0, 0, 1, Instr::Nop),
+            rec(1, 0, 1, 1, Instr::Nop), // excluded to the end
+            rec(2, 0, 2, 1, Instr::Nop),
+        ];
+        let trace = crate::global::GlobalTrace::build(recs, 16, false);
+        let (regions, _) = exclusion_regions(&trace, &slice_of(&[0]));
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].end_pc, OPEN_END_PC);
+        assert_eq!(regions[0].start_pc, 1);
+    }
+
+    #[test]
+    fn sync_instructions_split_regions() {
+        let recs = vec![
+            rec(0, 0, 0, 1, Instr::Nop), // in slice
+            rec(1, 0, 1, 1, Instr::Nop), // excluded
+            rec(2, 0, 2, 1, Instr::Lock { addr: Reg(1) }), // forced keep
+            rec(3, 0, 3, 1, Instr::Nop), // excluded
+            rec(4, 0, 4, 1, Instr::Halt), // forced keep
+        ];
+        let trace = crate::global::GlobalTrace::build(recs, 16, false);
+        let (regions, stats) = exclusion_regions(&trace, &slice_of(&[0]));
+        assert_eq!(regions.len(), 2, "lock splits the exclusion run");
+        assert_eq!(regions[0].end_pc, 2);
+        assert_eq!(regions[1].start_pc, 3);
+        assert_eq!(regions[1].end_pc, 4);
+        assert_eq!(stats.forced, 2);
+    }
+
+    #[test]
+    fn per_thread_regions_are_independent() {
+        let recs = vec![
+            rec(0, 0, 0, 1, Instr::Nop), // t0 in slice
+            rec(1, 1, 0, 1, Instr::Nop), // t1 excluded
+            rec(2, 0, 1, 1, Instr::Nop), // t0 excluded
+            rec(3, 1, 1, 1, Instr::Nop), // t1 in slice
+        ];
+        let trace = crate::global::GlobalTrace::build(recs, 16, false);
+        let (regions, _) = exclusion_regions(&trace, &slice_of(&[0, 3]));
+        assert_eq!(regions.len(), 2);
+        assert!(regions.iter().any(|r| r.tid == 0 && r.start_pc == 1));
+        assert!(regions.iter().any(|r| r.tid == 1 && r.start_pc == 0 && r.end_pc == 1));
+    }
+
+    #[test]
+    fn force_included_classification() {
+        assert!(is_force_included(&rec(0, 0, 4, 1, Instr::Halt)));
+        assert!(is_force_included(&rec(
+            0,
+            0,
+            4,
+            1,
+            Instr::Spawn {
+                dst: Reg(0),
+                entry: 0,
+                arg: Reg(1)
+            }
+        )));
+        assert!(!is_force_included(&rec(0, 0, 4, 1, Instr::Nop)));
+        assert!(!is_force_included(&rec(0, 0, 4, 1, Instr::Ret)));
+        // A lock that advanced (acquired) is kept; a spin retry is not.
+        let acquired = rec(0, 0, 4, 1, Instr::Lock { addr: Reg(1) });
+        assert!(is_force_included(&acquired));
+        let mut spin = acquired;
+        spin.next_pc = spin.pc;
+        assert!(!is_force_included(&spin));
+    }
+}

@@ -1,0 +1,413 @@
+//! The three concurrency-bug case studies of paper Table 1.
+//!
+//! The paper studies real races in pbzip2, Aget, and Mozilla. Those exact
+//! binaries cannot run on the mini-VM, so each case reproduces the *bug
+//! pattern* with the same structure and failure mode:
+//!
+//! | case | original | pattern |
+//! |------|----------|---------|
+//! | `pbzip2_like` | race on `fifo->mut` between main and compressor threads | main frees (poisons) the queue mutex before the consumers are done; a consumer's use of the freed mutex crashes |
+//! | `aget_like` | race on `bwritten` between downloader threads and the signal handler thread | unsynchronised read-modify-write of the progress counter; the final byte-count assertion fails |
+//! | `mozilla_like` | one thread destroys `rt->scriptFilenameTable` while another sweeps it | the main thread tears down a hash table while the sweeper thread is still iterating; the sweeper trips over a destroyed entry |
+//!
+//! Each program is written so the bug needs an adverse interleaving: the
+//! default round-robin schedule passes, and the Maple active scheduler
+//! exposes the failure by forcing the case's [`BugCase::exposing_iroot`] —
+//! the usage model of paper §6.
+
+use std::sync::Arc;
+
+use maple::IRoot;
+use minivm::{assemble, Pc, Program, Tid};
+use pinplay::{EndTrigger, RegionSpec, StartTrigger};
+
+/// One Table 1 case study.
+#[derive(Debug, Clone)]
+pub struct BugCase {
+    /// Short name (the paper's "Program Name" column).
+    pub name: &'static str,
+    /// The paper's "Bug Description" column, adapted.
+    pub description: &'static str,
+    /// The buggy program.
+    pub program: Arc<Program>,
+    /// Thread id of the root-cause access (spawn order is deterministic,
+    /// so this is fixed).
+    pub root_tid: Tid,
+    /// Code label of the root-cause instruction.
+    root_label: &'static str,
+    /// Code labels of the interleaving that exposes the bug.
+    iroot_labels: (&'static str, &'static str),
+}
+
+impl BugCase {
+    /// Pc of the root-cause instruction.
+    pub fn root_pc(&self) -> Pc {
+        self.program
+            .label(self.root_label)
+            .expect("root-cause label exists")
+    }
+
+    /// The adverse interleaving Maple's active scheduler forces to expose
+    /// the bug.
+    pub fn exposing_iroot(&self) -> IRoot {
+        let (s, d) = self.iroot_labels;
+        IRoot {
+            src_pc: self.program.label(s).expect("iroot src label"),
+            dst_pc: self.program.label(d).expect("iroot dst label"),
+        }
+    }
+
+    /// Exposes the bug: automatic profiling first, falling back to the
+    /// case's known adverse interleaving.
+    pub fn expose(&self) -> Option<maple::Exposure> {
+        maple::expose(&self.program, maple::ExposeOptions::default()).or_else(|| {
+            maple::expose_iroot(
+                &self.program,
+                self.exposing_iroot(),
+                maple::ExposeOptions::default(),
+            )
+        })
+    }
+
+    /// The Table 2 buggy region: from the root cause to the failure point.
+    pub fn buggy_region(&self) -> RegionSpec {
+        RegionSpec {
+            start: StartTrigger::AtPc {
+                tid: self.root_tid,
+                pc: self.root_pc(),
+                instance: 1,
+            },
+            end: EndTrigger::ProgramEnd,
+        }
+    }
+
+    /// The Table 3 whole-program region: program start to failure point.
+    pub fn whole_region(&self) -> RegionSpec {
+        RegionSpec::whole_program()
+    }
+}
+
+/// The pbzip2 case: "a data race on variable `fifo->mut` between main
+/// thread and the compressor threads" — the main thread frees the queue
+/// mutex before the compressor threads have finished using it.
+pub fn pbzip2_like() -> BugCase {
+    let src = r"
+        .data
+        queue:   .space 8
+        head:    .word 0
+        tail:    .word 0
+        qmutex:  .word 0      ; the fifo->mut analog
+        sink:    .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r10, consumer, r1
+            spawn r11, consumer, r1
+            movi r5, 200          ; produce 200 items
+        prod_loop:
+            la r1, qmutex
+            lock r1
+            la r2, tail
+            load r3, r2, 0
+            andi r4, r3, 7
+            la r6, queue
+            add r6, r6, r4
+            store r5, r6, 0
+            addi r3, r3, 1
+            store r3, r2, 0
+            unlock r1
+            subi r5, r5, 1
+            bgti r5, 0, prod_loop
+            ; lengthy shutdown bookkeeping: consumers normally drain the
+            ; queue and exit while this runs
+            movi r7, 18000
+        cleanup:
+            muli r8, r7, 3
+            addi r8, r8, 1
+            subi r7, r7, 1
+            bgti r7, 0, cleanup
+            ; BUG (root cause): enter the early-free path without joining
+            ; the consumers first
+        free_path:
+            movi r7, 800          ; release bookkeeping for the fifo
+        free_work:
+            muli r8, r7, 5
+            addi r8, r8, 3
+            subi r7, r7, 1
+            bgti r7, 0, free_work
+            la r1, qmutex
+            movi r3, -1
+        bug_root:
+            store r3, r1, 0
+            join r10
+            join r11
+            halt
+        .endfunc
+        .func consumer
+        consume_loop:
+            la r1, qmutex
+        bug_lock:
+            lock r1               ; crashes when qmutex has been freed
+            la r2, head
+            load r3, r2, 0
+            la r4, tail
+            load r5, r4, 0
+            blt r3, r5, have_item
+            unlock r1             ; (or traps here if freed mid-section)
+            jmp exit_check
+        have_item:
+            andi r6, r3, 7
+            la r7, queue
+            add r7, r7, r6
+            load r8, r7, 0
+            addi r3, r3, 1
+            store r3, r2, 0
+            unlock r1
+            muli r8, r8, 3        ; 'compress' the item
+            addi r8, r8, 7
+            la r9, sink
+            store r8, r9, 0
+        exit_check:
+            la r2, head
+            load r3, r2, 0
+            blti r3, 200, consume_loop
+            halt
+        .endfunc
+        ";
+    BugCase {
+        name: "pbzip2",
+        description: "data race on fifo->mut between the main thread and the compressor threads: \
+                      main frees the queue mutex before the consumers stop using it",
+        program: Arc::new(assemble(src).expect("pbzip2_like assembles")),
+        root_tid: 0,
+        root_label: "free_path",
+        iroot_labels: ("bug_lock", "bug_root"),
+    }
+}
+
+/// The Aget case: "a data race on variable `bwritten` between downloader
+/// threads and the signal handler thread".
+pub fn aget_like() -> BugCase {
+    let src = r"
+        .data
+        bwritten: .word 0
+        .text
+        .func main
+            movi r1, 512
+            spawn r10, downloader, r1
+            spawn r11, downloader, r1
+            movi r1, 0
+            spawn r12, sighandler, r1
+            join r10
+            join r11
+            join r12
+            la r2, bwritten
+            load r3, r2, 0
+            seqi r4, r3, 1024     ; 2 downloaders x 512 chunks
+            assert r4             ; fails when an update was lost
+            halt
+        .endfunc
+        .func downloader
+            ; 20-instruction loop body: under the default round-robin
+            ; quantum (a multiple of 20) the read-modify-write is never
+            ; split, so the race needs an adverse scheduler to manifest.
+            la r1, bwritten
+        dl_loop:
+        dl_load:
+            load r2, r1, 0        ; racy read-modify-write
+            addi r2, r2, 1
+        dl_store:
+            store r2, r1, 0
+            movi r3, 7            ; simulate per-chunk network latency
+        net_wait:
+            subi r3, r3, 1
+            bgti r3, 0, net_wait
+            subi r0, r0, 1
+            bgti r0, 0, dl_loop
+            halt
+        .endfunc
+        .func sighandler
+            ; the SIGALRM progress handler: snapshot bwritten, compute the
+            ; progress display, write the snapshot back (stale!)
+            la r1, bwritten
+        sig_load:
+            load r2, r1, 0
+            muli r3, r2, 100
+            addi r3, r3, 1
+        sig_store:
+            store r2, r1, 0
+            halt
+        .endfunc
+        ";
+    BugCase {
+        name: "Aget",
+        description: "data race on bwritten between downloader threads and the signal handler \
+                      thread: unsynchronised updates lose increments",
+        program: Arc::new(assemble(src).expect("aget_like assembles")),
+        root_tid: 1,
+        root_label: "dl_load",
+        iroot_labels: ("dl_load", "dl_load"),
+    }
+}
+
+/// The Mozilla case: "one thread destroys a hash table, and another thread
+/// crashes ... when accessing this hash table".
+pub fn mozilla_like() -> BugCase {
+    let src = r"
+        .data
+        table:  .space 64
+        out:    .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r10, sweeper, r1
+            ; long shutdown path: the sweeper normally finishes first
+            movi r7, 30000
+        shutdown_work:
+            muli r8, r7, 7
+            addi r8, r8, 3
+            subi r7, r7, 1
+            bgti r7, 0, shutdown_work
+            ; BUG (root cause): destroy the table without waiting for the
+            ; sweeper (the js_SweepScriptFilenames race)
+            movi r2, 0
+            movi r3, -1
+            la r4, table
+        destroy_loop:
+            add r5, r4, r2
+        bug_root:
+            store r3, r5, 0       ; destroy entry
+            addi r2, r2, 1
+            blti r2, 64, destroy_loop
+            join r10
+            halt
+        .endfunc
+        .func sweeper
+            ; mark phase: long GC bookkeeping before the sweep proper
+            movi r7, 15000
+        mark_tick:
+            subi r7, r7, 1
+            bgti r7, 0, mark_tick
+            movi r1, 0
+        sweep_loop:
+            la r2, table
+            add r2, r2, r1
+        sweep_load:
+            load r3, r2, 0        ; crashes if the entry was destroyed
+            slti r4, r3, 0
+            seqi r4, r4, 0
+            assert r4             ; entry must still be valid
+            la r5, out
+            load r6, r5, 0
+            add r6, r6, r3
+            store r6, r5, 0
+            ; per-entry processing work
+            movi r7, 12
+        entry_work:
+            mul r8, r6, r6
+            andi r8, r8, 0xfff
+            subi r7, r7, 1
+            bgti r7, 0, entry_work
+            addi r1, r1, 1
+            blti r1, 64, sweep_loop
+            halt
+        .endfunc
+        ";
+    BugCase {
+        name: "mozilla",
+        description: "data race on rt->scriptFilenameTable: one thread destroys the hash table \
+                      while another is sweeping it and crashes on a destroyed entry",
+        program: Arc::new(assemble(src).expect("mozilla_like assembles")),
+        root_tid: 0,
+        root_label: "bug_root",
+        iroot_labels: ("mark_tick", "bug_root"),
+    }
+}
+
+/// All three Table 1 case studies.
+pub fn all_bugs() -> Vec<BugCase> {
+    vec![pbzip2_like(), aget_like(), mozilla_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{run, ExitStatus, LiveEnv, NullTool, RoundRobin};
+
+    fn runs_clean_under_round_robin(case: &BugCase) {
+        let mut exec = minivm::Executor::new(Arc::clone(&case.program));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(60),
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            2_000_000,
+        );
+        assert_eq!(
+            r.status,
+            ExitStatus::AllHalted,
+            "{}: default schedule should not trip the bug",
+            case.name
+        );
+    }
+
+    fn exposes(case: &BugCase) -> maple::Exposure {
+        case.expose()
+            .unwrap_or_else(|| panic!("{}: bug must be exposable", case.name))
+    }
+
+    #[test]
+    fn pbzip2_like_is_schedule_dependent() {
+        let case = pbzip2_like();
+        runs_clean_under_round_robin(&case);
+        let e = exposes(&case);
+        assert!(
+            matches!(
+                e.error,
+                minivm::VmError::PoisonedLock { .. } | minivm::VmError::UnlockNotHeld { .. }
+            ),
+            "pbzip2 crash is a use-after-free of the mutex: {:?}",
+            e.error
+        );
+    }
+
+    #[test]
+    fn aget_like_is_schedule_dependent() {
+        let case = aget_like();
+        runs_clean_under_round_robin(&case);
+        let e = exposes(&case);
+        assert!(matches!(e.error, minivm::VmError::AssertFailed { .. }));
+    }
+
+    #[test]
+    fn mozilla_like_is_schedule_dependent() {
+        let case = mozilla_like();
+        runs_clean_under_round_robin(&case);
+        let e = exposes(&case);
+        assert!(matches!(e.error, minivm::VmError::AssertFailed { .. }));
+    }
+
+    #[test]
+    fn explicit_iroots_expose_without_profiling() {
+        for case in all_bugs() {
+            let e = maple::expose_iroot(
+                &case.program,
+                case.exposing_iroot(),
+                maple::ExposeOptions::default(),
+            );
+            assert!(e.is_some(), "{}: known adverse interleaving works", case.name);
+        }
+    }
+
+    #[test]
+    fn root_cause_labels_resolve() {
+        for case in all_bugs() {
+            let pc = case.root_pc();
+            assert!((pc as usize) < case.program.len());
+            assert!(matches!(
+                case.buggy_region().start,
+                StartTrigger::AtPc { .. }
+            ));
+        }
+    }
+}

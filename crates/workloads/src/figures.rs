@@ -1,0 +1,239 @@
+//! The paper's worked examples, as runnable programs.
+//!
+//! * [`fig5_race`] — the §3 example: two threads, shared variables, an
+//!   atomicity violation whose backward slice pinpoints the racing write;
+//! * [`fig7_switch`] — the §5.1 example: a switch lowered to an indirect
+//!   jump, whose control dependence needs CFG refinement;
+//! * [`fig8_save_restore`] — the §5.2 example: function `Q` saving and
+//!   restoring a register, manufacturing spurious dependences the pruner
+//!   removes.
+
+use std::sync::Arc;
+
+use maple::IRoot;
+use minivm::{assemble, Program};
+
+/// The Figure 5 scenario: thread T2 executes a region it believes is
+/// atomic (`k = x; m = k*2; k2 = x; assert k == k2`), while thread T1's
+/// write to `x` can land in the middle. The assertion failure's backward
+/// slice captures T1's racing write and its whole chain (paper Fig. 5(d)).
+///
+/// Labels: `t1_store_x` (the racing write, line 6 of the paper),
+/// `t2_load1`/`t2_load2` (the atomic region's reads), `t2_assert`.
+pub fn fig5_race() -> Arc<Program> {
+    let src = r"
+        .data
+        x: .word 0
+        y: .word 0
+        z: .word 0
+        .text
+        .func main
+            ; main plays T2; the spawned thread plays T1.
+            movi r1, 0
+            spawn r10, t1, r1
+            ; --- region assumed atomic (paper lines 11-13) ---
+            la r2, x
+        t2_load1:
+            load r3, r2, 0       ; k = x
+            muli r4, r3, 2       ; m = k * 2
+        t2_load2:
+            load r5, r2, 0       ; k2 = x
+            seq r6, r3, r5
+        t2_assert:
+            assert r6            ; fails when T1 modified x in between
+            ; --- end atomic region ---
+            join r10
+            halt
+        .endfunc
+        .func t1
+            ; paper lines 1-6: z = 1; x = z + 1; y = x + 1; ...; x = y + 1
+            la r1, z
+            movi r2, 1
+            store r2, r1, 0      ; z = 1
+            la r3, x
+            addi r4, r2, 1
+            store r4, r3, 0      ; x = z + 1
+            la r5, y
+            addi r6, r4, 1
+            store r6, r5, 0      ; y = x + 1
+            addi r7, r6, 1
+        t1_store_x:
+            store r7, r3, 0      ; x = y + 1   <- the racing write
+            halt
+        .endfunc
+        ";
+    Arc::new(assemble(src).expect("fig5 assembles"))
+}
+
+/// The interleaving that makes Figure 5's assertion fail: T2's first read
+/// of `x`, then T1's racing store, then T2's second read.
+pub fn fig5_exposing_iroot(program: &Program) -> IRoot {
+    IRoot {
+        src_pc: program.label("t2_load1").expect("label"),
+        dst_pc: program.label("t1_store_x").expect("label"),
+    }
+}
+
+/// The Figure 7 scenario: a switch over an input character, lowered to a
+/// jump table + indirect jump. Each case body is control dependent on the
+/// dispatch — but only a CFG refined with the observed targets shows it.
+///
+/// The program reads two selectors from input so both cases execute
+/// (giving refinement both edges). Labels: `switch_jmp`, `case_a`,
+/// `case_b`, `use_w`.
+pub fn fig7_switch() -> Arc<Program> {
+    let src = r"
+        .data
+        table: .word @case_a, @case_b
+        wsum:  .word 0
+        .text
+        .func main
+            movi r7, 2           ; two P() invocations, as if called twice
+        again:
+            read r0              ; c = fgetc(fin), 0 or 1
+            andi r0, r0, 1
+            movi r1, 10          ; d
+            la r2, table
+            add r2, r2, r0
+            load r3, r2, 0
+        switch_jmp:
+            jmpind r3            ; switch (c)
+        case_a:
+            addi r4, r1, 2       ; w = d + 2
+            jmp done
+        case_b:
+            subi r4, r1, 2       ; w = d - 2
+        done:
+            la r5, wsum
+            load r6, r5, 0
+        use_w:
+            add r6, r6, r4
+            store r6, r5, 0
+            subi r7, r7, 1
+            bgti r7, 0, again
+            halt
+        .endfunc
+        ";
+    Arc::new(assemble(src).expect("fig7 assembles"))
+}
+
+/// The Figure 8/§5.2 scenario, transliterated: `main` reads `c`, sets
+/// `e = 7` (living in `r1` across a call), conditionally calls `Q` — which
+/// saves `r1`, clobbers it, and restores it — then computes `w = e + e`.
+///
+/// Without pruning, the slice of `w` includes the restore, the save, the
+/// guard (`if (c)`), and the `read` — the spurious context of the paper's
+/// third column. With pruning it collapses to `movi e` + the final add
+/// (the fourth column). Labels: `read_c`, `set_e`, `guard`, `call_q`,
+/// `q_save`, `q_restore`, `compute_w`.
+pub fn fig8_save_restore() -> Arc<Program> {
+    let src = r"
+        .text
+        .func main
+        read_c:
+            read r0              ; c = fgetc(fin)
+        set_e:
+            movi r1, 7           ; e = 7 (lives in r1 across the call)
+        guard:
+            beqi r0, 0, skip     ; if (c == 't') ...
+        call_q:
+            call q
+        skip:
+        compute_w:
+            add r2, r1, r1       ; w = e + e
+            print r2
+            halt
+        .endfunc
+        .func q
+        q_save:
+            push r1              ; save eax
+            movi r1, 5           ; Q's real work clobbers it
+            muli r3, r1, 3
+        q_restore:
+            pop r1               ; restore eax
+            ret
+        .endfunc
+        ";
+    Arc::new(assemble(src).expect("fig8 assembles"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{run, ExitStatus, LiveEnv, NullTool, RoundRobin};
+
+    #[test]
+    fn fig5_passes_under_default_schedule() {
+        let p = fig5_race();
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(60),
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            100_000,
+        );
+        // With a coarse quantum, T2's "atomic" region completes before T1
+        // is scheduled into it.
+        assert_eq!(r.status, ExitStatus::AllHalted);
+    }
+
+    #[test]
+    fn fig5_fails_under_forced_interleaving() {
+        let p = fig5_race();
+        let iroot = fig5_exposing_iroot(&p);
+        let e = maple::expose_iroot(&p, iroot, maple::ExposeOptions::default());
+        assert!(
+            e.as_ref()
+                .is_some_and(|e| matches!(e.error, minivm::VmError::AssertFailed { .. })),
+            "forced interleaving must fail the atomicity assertion: {e:?}"
+        );
+    }
+
+    #[test]
+    fn fig7_executes_both_cases() {
+        let p = fig7_switch();
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::with_inputs(0, [0, 1]),
+            &mut NullTool,
+            10_000,
+        );
+        assert_eq!(r.status, ExitStatus::AllHalted);
+        let wsum = p.symbol("wsum").unwrap();
+        assert_eq!(exec.read_mem(wsum), 12 + 8, "w = d+2 then w = d-2");
+    }
+
+    #[test]
+    fn fig8_prints_w_14() {
+        let p = fig8_save_restore();
+        let mut exec = minivm::Executor::new(Arc::clone(&p));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::with_inputs(0, [1]), // c != 0: Q is called
+            &mut NullTool,
+            10_000,
+        );
+        assert_eq!(r.status, ExitStatus::AllHalted);
+        assert_eq!(exec.output(), &[14], "e survives Q's clobber via save/restore");
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let p5 = fig5_race();
+        for l in ["t1_store_x", "t2_load1", "t2_load2", "t2_assert"] {
+            assert!(p5.label(l).is_some(), "fig5 label {l}");
+        }
+        let p7 = fig7_switch();
+        for l in ["switch_jmp", "case_a", "case_b", "use_w"] {
+            assert!(p7.label(l).is_some(), "fig7 label {l}");
+        }
+        let p8 = fig8_save_restore();
+        for l in ["read_c", "set_e", "guard", "q_save", "q_restore", "compute_w"] {
+            assert!(p8.label(l).is_some(), "fig8 label {l}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # workloads — the programs the DrDebug evaluation runs on
+//!
+//! Mini-VM analogues of everything paper §7 executes:
+//!
+//! * [`bugs`] — the three real concurrency-bug case studies of Table 1
+//!   (pbzip2, Aget, Mozilla), reproduced as schedule-dependent races with
+//!   the same failure modes, plus their Table 2/3 region specifications;
+//! * [`parsec`] — eight synthetic 4-threaded PARSEC 2.1 analogues (5 apps,
+//!   3 kernels) with a work-size knob, for the logging/replay/execution-
+//!   slicing curves of Figs. 11/12/14;
+//! * [`specomp`] — five call-heavy SPEC OMP 2001 analogues whose functions
+//!   save/restore registers on the hot path, for the pruning evaluation of
+//!   Fig. 13;
+//! * [`figures`] — the paper's worked examples (Figs. 5, 7, 8) as runnable
+//!   programs with labelled program points.
+//!
+//! See `DESIGN.md` at the repository root for the substitution rationale:
+//! the experiments need the workloads' *structural* properties (instruction
+//! volume, sharing pattern, call/save density, race windows), which these
+//! programs reproduce, not their numerical output.
+
+pub mod bugs;
+pub mod figures;
+pub mod parsec;
+pub mod specomp;
+
+pub use bugs::{aget_like, all_bugs, mozilla_like, pbzip2_like, BugCase};
+pub use figures::{fig5_exposing_iroot, fig5_race, fig7_switch, fig8_save_restore};
+pub use parsec::{all_parsec, units_for_main_instructions, ParsecProgram, PARSEC_INSTRUCTIONS_PER_UNIT};
+pub use specomp::{all_specomp, SpecOmpProgram};

@@ -1,0 +1,642 @@
+//! Synthetic PARSEC-like workloads (paper §7, Figs. 11/12/14).
+//!
+//! The paper evaluates logging/replay/execution-slicing on eight 4-threaded
+//! PARSEC 2.1 programs (five "apps", three "kernels") with regions of 10M–1B
+//! main-thread instructions. Real PARSEC binaries cannot run on the mini-VM,
+//! so each program here is a synthetic 4-thread workload reproducing the
+//! *structural* property that matters for those experiments — instruction
+//! volume scaling and the program's sharing/synchronisation pattern:
+//!
+//! | program | category | sharing pattern |
+//! |---|---|---|
+//! | blackscholes | app | embarrassingly parallel, one final reduction |
+//! | bodytrack | app | per-phase shared accumulator under a mutex |
+//! | swaptions | app | independent Monte-Carlo with `rand` syscalls |
+//! | fluidanimate | app | fine-grained neighbour cell reads |
+//! | x264 | app | pipeline: frame counter claimed by CAS |
+//! | canneal | kernel | random CAS swaps over a shared array |
+//! | streamcluster | kernel | atomic-add reduction every iteration |
+//! | dedup | kernel | lock-protected producer/consumer queue |
+//!
+//! Every generator takes `units`, a work-size knob roughly proportional to
+//! main-thread instructions; [`PARSEC_INSTRUCTIONS_PER_UNIT`] gives the
+//! approximate conversion, and [`units_for_main_instructions`] inverts it.
+//! Region lengths are scaled ~1000× down from the paper (10k–1M instead of
+//! 10M–1B) to laptop scale; the *shapes* of Figs. 11/12/14 are what the
+//! bench harness reproduces.
+
+use std::sync::Arc;
+
+use minivm::{assemble, Program};
+
+/// Approximate main-thread instructions executed per work unit.
+pub const PARSEC_INSTRUCTIONS_PER_UNIT: u64 = 12;
+
+/// Work units needed for the main thread to retire at least
+/// `instructions` instructions inside its main loop.
+pub fn units_for_main_instructions(instructions: u64) -> u64 {
+    instructions.div_ceil(PARSEC_INSTRUCTIONS_PER_UNIT).max(1)
+}
+
+/// A named PARSEC-analog generator.
+#[derive(Clone, Copy)]
+pub struct ParsecProgram {
+    /// Benchmark name (paper's naming).
+    pub name: &'static str,
+    /// "apps" or "kernels" (paper's grouping).
+    pub category: &'static str,
+    /// Builds the program with the given work size.
+    pub build: fn(u64) -> Arc<Program>,
+}
+
+impl std::fmt::Debug for ParsecProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParsecProgram")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish()
+    }
+}
+
+/// The eight programs used in the paper's figures: 5 apps + 3 kernels.
+pub fn all_parsec() -> Vec<ParsecProgram> {
+    vec![
+        ParsecProgram {
+            name: "blackscholes",
+            category: "apps",
+            build: blackscholes,
+        },
+        ParsecProgram {
+            name: "bodytrack",
+            category: "apps",
+            build: bodytrack,
+        },
+        ParsecProgram {
+            name: "swaptions",
+            category: "apps",
+            build: swaptions,
+        },
+        ParsecProgram {
+            name: "fluidanimate",
+            category: "apps",
+            build: fluidanimate,
+        },
+        ParsecProgram {
+            name: "x264",
+            category: "apps",
+            build: x264,
+        },
+        ParsecProgram {
+            name: "canneal",
+            category: "kernels",
+            build: canneal,
+        },
+        ParsecProgram {
+            name: "streamcluster",
+            category: "kernels",
+            build: streamcluster,
+        },
+        ParsecProgram {
+            name: "dedup",
+            category: "kernels",
+            build: dedup,
+        },
+    ]
+}
+
+fn build(src: String) -> Arc<Program> {
+    Arc::new(assemble(&src).expect("parsec workload assembles"))
+}
+
+/// Embarrassingly parallel option pricing: each thread evaluates a
+/// polynomial over its private accumulator; one atomic reduction at the end.
+pub fn blackscholes(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        result:  .word 0
+        options: .word 17, 23, 31, 45
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            call price_loop
+            la r2, result
+            xadd r3, r2, r0
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            call price_loop
+            la r2, result
+            xadd r3, r2, r0
+            halt
+        .endfunc
+        .func price_loop
+            ; r0 = iterations in, price accumulator out
+            movi r2, 0
+            movi r3, 0
+            la r6, options
+        loop:
+            andi r7, r3, 3
+            add r7, r6, r7
+            load r4, r7, 0      ; read the option record
+            muli r4, r4, 3      ; S * rate
+            addi r4, r4, 5      ; + strike offset
+            mul r5, r4, r4      ; vol^2 term
+            shri r5, r5, 4
+            add r2, r2, r5
+            andi r2, r2, 0xffff
+            addi r3, r3, 1
+            subi r0, r0, 1
+            bgti r0, 0, loop
+            mov r0, r2
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Phase-structured body tracking: threads accumulate into a shared
+/// likelihood under a mutex once per chunk of work.
+pub fn bodytrack(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        likelihood: .word 0
+        lmutex:     .word 0
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            call track
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            call track
+            halt
+        .endfunc
+        .func track
+            movi r2, 0
+        chunk:
+            ; 4 iterations of particle weight computation per lock
+            movi r3, 4
+        inner:
+            muli r4, r2, 7
+            addi r4, r4, 13
+            andi r4, r4, 0xff
+            add r2, r2, r4
+            subi r3, r3, 1
+            bgti r3, 0, inner
+            la r5, lmutex
+            lock r5
+            la r6, likelihood
+            load r7, r6, 0
+            add r7, r7, r2
+            store r7, r6, 0
+            unlock r5
+            subi r0, r0, 4
+            bgti r0, 0, chunk
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Monte-Carlo swaption pricing: `rand` syscalls drive each path, so the
+/// pinball's syscall log grows with the region (a different log profile
+/// from the other programs).
+pub fn swaptions(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        prices: .space 4
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            movi r6, 0
+            call simulate
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            gettid r6
+            call simulate
+            halt
+        .endfunc
+        .func simulate
+            la r5, prices
+            add r5, r5, r6
+            movi r2, 0
+        path:
+            rand r3
+            andi r3, r3, 0xffff
+            muli r4, r3, 3
+            shri r4, r4, 2
+            add r2, r2, r4
+            load r7, r5, 0      ; running price for this swaption
+            add r7, r7, r4
+            store r7, r5, 0
+            subi r0, r0, 1
+            bgti r0, 0, path
+            store r2, r5, 0
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Grid-based fluid simulation: each thread updates its own cell but reads
+/// a neighbour's, creating fine-grained cross-thread data flow without
+/// locks.
+pub fn fluidanimate(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        cells: .word 1, 2, 3, 4
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker1, r1
+            spawn r11, worker2, r1
+            spawn r12, worker3, r1
+            mov r0, r1
+            movi r6, 0
+            call relax
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker1
+            mov r0, r0
+            movi r6, 1
+            call relax
+            halt
+        .endfunc
+        .func worker2
+            movi r6, 2
+            call relax
+            halt
+        .endfunc
+        .func worker3
+            movi r6, 3
+            call relax
+            halt
+        .endfunc
+        .func relax
+            ; own cell = cells[r6], neighbour = cells[(r6+1)%4]
+            la r2, cells
+            add r2, r2, r6
+            addi r3, r6, 1
+            andi r3, r3, 3
+            la r4, cells
+            add r4, r4, r3
+        step:
+            load r5, r4, 0      ; read neighbour
+            load r7, r2, 0      ; read own
+            add r7, r7, r5
+            shri r7, r7, 1      ; average
+            addi r7, r7, 1
+            store r7, r2, 0     ; write own
+            subi r0, r0, 1
+            bgti r0, 0, step
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Pipeline video encoding: frames are claimed from a shared counter by
+/// CAS; each claimed frame dispatches on its type (I/P/B) through a jump
+/// table — the indirect-jump idiom real encoders lower switches to, which
+/// exercises the §5.1 CFG-refinement machinery inside a benchmark.
+pub fn x264(units: u64) -> Arc<Program> {
+    // Each frame is ~10 instructions of encode work + claim overhead.
+    let frames = units.max(4);
+    build(format!(
+        r"
+        .data
+        next_frame: .word 0
+        encoded:    .word 0
+        ftype_tbl:  .word @enc_i, @enc_p, @enc_b
+        .text
+        .func main
+            movi r1, {frames}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            call encode_loop
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            call encode_loop
+            halt
+        .endfunc
+        .func encode_loop
+            la r2, next_frame
+        claim:
+            load r3, r2, 0
+            bgei r3, {frames}, done
+            addi r4, r3, 1
+            cas r5, r2, r3, r4
+            bne r5, r3, claim   ; lost the race: retry
+            ; dispatch on frame type: switch (frame % 3)
+            movi r9, 3
+            rem r9, r3, r9
+            la r6, ftype_tbl
+            add r6, r6, r9
+            load r6, r6, 0
+            jmpind r6
+        enc_i:
+            mul r6, r3, r3      ; intra: full transform
+            andi r6, r6, 0xfff
+            jmp commit
+        enc_p:
+            muli r6, r3, 5      ; predicted: cheaper
+            addi r6, r6, 3
+            jmp commit
+        enc_b:
+            addi r6, r3, 1      ; bidirectional: cheapest
+            shli r6, r6, 2
+        commit:
+            la r7, encoded
+            xadd r8, r7, r6
+            jmp claim
+        done:
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Simulated annealing on a netlist: threads CAS-swap random slots of a
+/// shared array.
+pub fn canneal(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        netlist: .word 5, 9, 2, 8, 1, 7, 4, 6
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            call anneal
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            call anneal
+            halt
+        .endfunc
+        .func anneal
+        swap:
+            rand r2
+            andi r2, r2, 7
+            la r3, netlist
+            add r3, r3, r2
+            load r4, r3, 0      ; current value
+            addi r5, r4, 1      ; proposed value
+            andi r5, r5, 0xff
+            cas r6, r3, r4, r5  ; commit if unchanged
+            subi r0, r0, 1
+            bgti r0, 0, swap
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Streaming clustering: every point contributes to a shared cost total by
+/// atomic add (heavy inter-thread traffic on one cache line).
+pub fn streamcluster(units: u64) -> Arc<Program> {
+    build(format!(
+        r"
+        .data
+        cost: .word 0
+        .text
+        .func main
+            movi r1, {units}
+            spawn r10, worker, r1
+            spawn r11, worker, r1
+            spawn r12, worker, r1
+            mov r0, r1
+            call cluster
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func worker
+            call cluster
+            halt
+        .endfunc
+        .func cluster
+            movi r2, 3
+        point:
+            mul r3, r2, r2     ; distance^2
+            shri r3, r3, 3
+            addi r3, r3, 1
+            la r4, cost
+            xadd r5, r4, r3
+            addi r2, r2, 2
+            andi r2, r2, 0x3f
+            subi r0, r0, 1
+            bgti r0, 0, point
+            ret
+        .endfunc
+        "
+    ))
+}
+
+/// Deduplicating compression pipeline: main produces chunks into a
+/// lock-protected queue; workers consume and 'compress' them.
+pub fn dedup(units: u64) -> Arc<Program> {
+    let chunks = units.max(4);
+    build(format!(
+        r"
+        .data
+        queue:  .space 8
+        head:   .word 0
+        tail:   .word 0
+        qmutex: .word 0
+        done:   .word 0
+        out:    .word 0
+        .text
+        .func main
+            movi r1, 0
+            spawn r10, consumer, r1
+            spawn r11, consumer, r1
+            spawn r12, consumer, r1
+            movi r5, {chunks}
+        produce:
+            la r1, qmutex
+            lock r1
+            la r2, tail
+            load r3, r2, 0
+            la r6, head
+            load r7, r6, 0
+            sub r8, r3, r7
+            bgei r8, 8, full    ; ring full: release and retry
+            andi r4, r3, 7
+            la r6, queue
+            add r6, r6, r4
+            store r5, r6, 0
+            addi r3, r3, 1
+            store r3, r2, 0
+            unlock r1
+            subi r5, r5, 1
+            bgti r5, 0, produce
+            jmp finish
+        full:
+            unlock r1
+            jmp produce
+        finish:
+            la r2, done
+            movi r3, 1
+            store r3, r2, 0
+            join r10
+            join r11
+            join r12
+            halt
+        .endfunc
+        .func consumer
+        consume:
+            la r1, qmutex
+            lock r1
+            la r2, head
+            load r3, r2, 0
+            la r4, tail
+            load r5, r4, 0
+            blt r3, r5, have
+            unlock r1
+            la r6, done
+            load r7, r6, 0
+            beqi r7, 0, consume
+            halt
+        have:
+            andi r6, r3, 7
+            la r7, queue
+            add r7, r7, r6
+            load r8, r7, 0
+            addi r3, r3, 1
+            store r3, r2, 0
+            unlock r1
+            ; 'compress': hash the chunk
+            muli r8, r8, 31
+            addi r8, r8, 17
+            andi r8, r8, 0xffff
+            la r9, out
+            xadd r2, r9, r8
+            jmp consume
+        .endfunc
+        "
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{run, ExitStatus, LiveEnv, NullTool, RoundRobin};
+
+    fn run_to_halt(p: &Arc<Program>, max: u64) -> (ExitStatus, u64, u64) {
+        let mut exec = minivm::Executor::new(Arc::clone(p));
+        let r = run(
+            &mut exec,
+            &mut RoundRobin::new(13),
+            &mut LiveEnv::new(7),
+            &mut NullTool,
+            max,
+        );
+        (r.status, exec.icount(0), exec.total_icount())
+    }
+
+    #[test]
+    fn all_eight_programs_run_to_completion() {
+        for p in all_parsec() {
+            let program = (p.build)(50);
+            let (status, _, _) = run_to_halt(&program, 2_000_000);
+            assert_eq!(status, ExitStatus::AllHalted, "{} must halt", p.name);
+        }
+    }
+
+    #[test]
+    fn four_threads_are_created() {
+        for p in all_parsec() {
+            let program = (p.build)(20);
+            let mut exec = minivm::Executor::new(Arc::clone(&program));
+            run(
+                &mut exec,
+                &mut RoundRobin::new(13),
+                &mut LiveEnv::new(7),
+                &mut NullTool,
+                2_000_000,
+            );
+            assert_eq!(exec.num_threads(), 4, "{}: 4-threaded runs", p.name);
+        }
+    }
+
+    #[test]
+    fn work_scales_with_units() {
+        for p in all_parsec() {
+            let small = (p.build)(20);
+            let big = (p.build)(200);
+            let (_, _, t_small) = run_to_halt(&small, 10_000_000);
+            let (_, _, t_big) = run_to_halt(&big, 10_000_000);
+            assert!(
+                t_big > t_small * 3,
+                "{}: 10x units should give >3x instructions ({t_small} -> {t_big})",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn total_instructions_are_multiple_of_main_thread() {
+        // Paper: "total instructions in the region from all threads were
+        // 3-4 times more than the length in the main thread".
+        for p in all_parsec() {
+            let program = (p.build)(100);
+            let (_, main, total) = run_to_halt(&program, 10_000_000);
+            let ratio = total as f64 / main as f64;
+            assert!(
+                (2.0..8.0).contains(&ratio),
+                "{}: total/main ratio {ratio:.1} out of plausible range",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn units_conversion_is_sane() {
+        assert_eq!(units_for_main_instructions(0), 1);
+        let u = units_for_main_instructions(10_000);
+        assert!(u >= 10_000 / PARSEC_INSTRUCTIONS_PER_UNIT);
+    }
+}

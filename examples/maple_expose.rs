@@ -1,0 +1,58 @@
+//! The Maple integration (paper §6): a hard-to-reproduce concurrency bug —
+//! the pbzip2-style mutex use-after-free — is exposed by coverage-driven
+//! active scheduling and recorded as a pinball that replays the crash
+//! deterministically, ready for DrDebug.
+//!
+//! ```sh
+//! cargo run --example maple_expose
+//! ```
+
+use std::sync::Arc;
+
+use drdebug::{CommandInterpreter, DebugSession};
+use minivm::{run, ExitStatus, LiveEnv, NullTool, RoundRobin};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = workloads::pbzip2_like();
+    println!("case: {} — {}", case.name, case.description);
+
+    // Under a plain schedule the bug hides.
+    let mut exec = minivm::Executor::new(Arc::clone(&case.program));
+    let r = run(
+        &mut exec,
+        &mut RoundRobin::new(60),
+        &mut LiveEnv::new(0),
+        &mut NullTool,
+        5_000_000,
+    );
+    assert_eq!(r.status, ExitStatus::AllHalted);
+    println!("plain round-robin run: completed without failing ({} instructions)", r.steps);
+
+    // Maple: profile inter-thread dependencies, actively force candidate
+    // interleavings, record the one that crashes.
+    let exposure = case.expose().expect("maple exposes the race");
+    println!(
+        "\nmaple exposed the bug after {} candidate(s): {}",
+        exposure.attempts, exposure.error
+    );
+    println!(
+        "recorded {} instructions; pinball is {} bytes",
+        exposure.recording.region_instructions,
+        exposure.recording.pinball.size_bytes()
+    );
+
+    // The pinball replays the crash every time — hand it to the debugger.
+    let session = DebugSession::new(Arc::clone(&case.program), exposure.recording.pinball);
+    let mut dbg = CommandInterpreter::new(session);
+    println!("\n(drdebug) continue");
+    println!("{}", dbg.execute("continue"));
+    println!("(drdebug) slice-failure");
+    println!("{}", dbg.execute("slice-failure"));
+    println!("(drdebug) statements");
+    let statements = dbg.execute("statements");
+    for line in statements.lines().take(12) {
+        println!("{line}");
+    }
+    println!("...");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Top-level re-exports for the DrDebug reproduction workspace: see the
+//! member crates (`minivm`, `pinplay`, `slicer`, `maple`, `drdebug`,
+//! `workloads`) for the actual functionality; this package hosts the
+//! runnable examples and the cross-crate integration tests.
+
+pub use drdebug;
+pub use maple;
+pub use minivm;
+pub use pinplay;
+pub use repro_cfg;
+pub use slicer;
+pub use workloads;

@@ -1,0 +1,132 @@
+//! End-to-end DrDebug pipelines for the three Table 1 bug case studies:
+//! expose → record region → deterministic replay → slice the failure →
+//! generate slice pinball → replay the execution slice. The crash must
+//! reproduce at every stage, and the slice must contain the root cause.
+
+use std::sync::Arc;
+
+use drdebug::{DebugSession, StopReason};
+use maple::ActiveScheduler;
+use minivm::{LiveEnv, NullTool};
+use pinplay::{record_region, RecordedExit, Replayer, ReplayStatus};
+
+use workloads::{all_bugs, BugCase};
+
+fn full_pipeline(case: &BugCase) {
+    // 1. Expose with the known adverse interleaving.
+    let exposure = maple::expose_iroot(
+        &case.program,
+        case.exposing_iroot(),
+        maple::ExposeOptions::default(),
+    )
+    .unwrap_or_else(|| panic!("{}: exposable", case.name));
+
+    // 2. Record the buggy region (root cause -> failure) under the same
+    //    deterministic active scheduler.
+    let recording = record_region(
+        &case.program,
+        &mut ActiveScheduler::new(case.exposing_iroot()),
+        &mut LiveEnv::new(0),
+        case.buggy_region(),
+        10_000_000,
+        case.name,
+    )
+    .unwrap_or_else(|e| panic!("{}: region capture: {e}", case.name));
+    let RecordedExit::Trap(error) = recording.pinball.exit else {
+        panic!("{}: region must end at the trap", case.name);
+    };
+    assert_eq!(error, exposure.error, "{}: same failure", case.name);
+
+    // 3. The region replays the crash deterministically, twice.
+    for _ in 0..2 {
+        let mut rep = Replayer::new(Arc::clone(&case.program), &recording.pinball);
+        assert_eq!(
+            rep.run(&mut NullTool),
+            ReplayStatus::Trapped(error),
+            "{}: deterministic reproduction",
+            case.name
+        );
+    }
+
+    // 4. Slice at the failure point; the root cause must be in the slice.
+    let mut session = DebugSession::new(Arc::clone(&case.program), recording.pinball.clone());
+    assert!(matches!(session.cont(), StopReason::Trapped(_)));
+    let slice = session.slice_failure().expect("slice at failure");
+    let root_in_slice = {
+        let slicer = session.slicer();
+        // pbzip2's failure (mutex use-after-free) data-depends on the
+        // poison store; mozilla's assert depends on the destroy store;
+        // aget's assert depends on the racy updates. All are within the
+        // slice's program points.
+        let pcs = slice.pcs(slicer.trace());
+        pcs.contains(&case.root_pc())
+            || case
+                .program
+                .label("bug_root")
+                .is_some_and(|pc| pcs.contains(&pc))
+    };
+    assert!(root_in_slice, "{}: root cause captured in slice", case.name);
+
+    // 5. Execution slice: the slice pinball must also reproduce the crash
+    //    (the failing instruction and its causes are all in the slice).
+    let idx = session.save_slice(slice);
+    let slice_pb = session.make_slice_pinball(idx);
+    assert!(
+        slice_pb.logged_instructions() <= recording.pinball.logged_instructions(),
+        "{}: slice pinball is no larger than the region",
+        case.name
+    );
+    let mut rep = Replayer::new(Arc::clone(&case.program), &slice_pb);
+    assert_eq!(
+        rep.run(&mut NullTool),
+        ReplayStatus::Trapped(error),
+        "{}: the execution slice reproduces the failure",
+        case.name
+    );
+}
+
+#[test]
+fn pbzip2_pipeline() {
+    full_pipeline(&workloads::pbzip2_like());
+}
+
+#[test]
+fn aget_pipeline() {
+    full_pipeline(&workloads::aget_like());
+}
+
+#[test]
+fn mozilla_pipeline() {
+    full_pipeline(&workloads::mozilla_like());
+}
+
+#[test]
+fn buggy_regions_are_smaller_than_whole_program() {
+    for case in all_bugs() {
+        let buggy = record_region(
+            &case.program,
+            &mut ActiveScheduler::new(case.exposing_iroot()),
+            &mut LiveEnv::new(0),
+            case.buggy_region(),
+            10_000_000,
+            case.name,
+        )
+        .expect("buggy region");
+        let whole = record_region(
+            &case.program,
+            &mut ActiveScheduler::new(case.exposing_iroot()),
+            &mut LiveEnv::new(0),
+            case.whole_region(),
+            10_000_000,
+            case.name,
+        )
+        .expect("whole region");
+        assert!(
+            buggy.region_instructions < whole.region_instructions,
+            "{}: buggy region ({}) must be shorter than whole program ({})",
+            case.name,
+            buggy.region_instructions,
+            whole.region_instructions
+        );
+    }
+}
