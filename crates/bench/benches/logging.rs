@@ -10,11 +10,9 @@ fn bench_logging(c: &mut Criterion) {
     group.sample_size(10);
     for p in all_parsec() {
         for len in [2_000u64, 10_000, 50_000] {
-            group.bench_with_input(
-                BenchmarkId::new(p.name, len),
-                &len,
-                |b, &len| b.iter(|| record_parsec_region(&p, 500, len)),
-            );
+            group.bench_with_input(BenchmarkId::new(p.name, len), &len, |b, &len| {
+                b.iter(|| record_parsec_region(&p, 500, len))
+            });
         }
     }
     group.finish();

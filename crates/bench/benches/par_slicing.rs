@@ -1,0 +1,74 @@
+//! Parallel-vs-serial slicing pipeline comparison.
+//!
+//! Exercises the two tentpole parallelisations against their serial
+//! baselines on a four-thread trace with >= 100k records:
+//!
+//! * `collection`: serial single-collector replay vs sharded streaming
+//!   collectors (one per thread, fed over channels);
+//! * `traversal`: the LP block-skipping scan vs the sparse index-guided
+//!   scan that never touches irrelevant blocks.
+//!
+//! Both variants are byte-identical in output (enforced by
+//! `tests/par_speedup.rs`); this bench only measures wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer::{compute_slice_lp, compute_slice_sparse, SliceOptions, SlicerOptions};
+
+use bench::exp::needle_session;
+
+const ITERS: u64 = 4_700; // 4 threads x ~6 records/iter => >= 100k records
+
+fn serial_options() -> SlicerOptions {
+    SlicerOptions {
+        parallel: false,
+        ..SlicerOptions::default()
+    }
+}
+
+fn parallel_options() -> SlicerOptions {
+    SlicerOptions {
+        parallel: true,
+        parallel_threshold: 0,
+        ..SlicerOptions::default()
+    }
+}
+
+fn bench_par_slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_slicing");
+    group.sample_size(10);
+
+    for (label, opts) in [
+        ("serial", serial_options as fn() -> SlicerOptions),
+        ("parallel", parallel_options as fn() -> SlicerOptions),
+    ] {
+        group.bench_function(BenchmarkId::new("collection", label), |b| {
+            b.iter(|| needle_session(ITERS, opts()).0)
+        });
+    }
+
+    let (session, criterion) = needle_session(ITERS, SlicerOptions::default());
+    assert!(
+        session.trace().records().len() >= 100_000,
+        "bench trace must hold >= 100k records, got {}",
+        session.trace().records().len()
+    );
+    for (label, f) in [
+        ("lp", compute_slice_lp as fn(_, _, _, _) -> _),
+        ("sparse", compute_slice_sparse as fn(_, _, _, _) -> _),
+    ] {
+        group.bench_function(BenchmarkId::new("traversal", label), |b| {
+            b.iter(|| {
+                f(
+                    session.trace(),
+                    criterion,
+                    session.pairs(),
+                    SliceOptions::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_slicing);
+criterion_main!(benches);

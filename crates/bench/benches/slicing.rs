@@ -2,7 +2,7 @@
 //! and the LP-vs-naive traversal ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slicer::{compute_slice, compute_slice_naive, SliceOptions, SlicerOptions};
+use slicer::{compute_slice_lp, compute_slice_naive, SliceOptions, SlicerOptions};
 
 use bench::exp::{collect_session, last_read_criteria, record_parsec_region};
 use workloads::all_parsec;
@@ -14,15 +14,14 @@ fn bench_slicing(c: &mut Criterion) {
     let rr = record_parsec_region(p, 500, 20_000);
 
     group.bench_function("trace_collection", |b| {
-        b.iter(|| {
-            collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default()).0
-        })
+        b.iter(|| collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default()).0)
     });
 
-    let (session, _) = collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default());
+    let (session, _) =
+        collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default());
     let criterion = last_read_criteria(&session, 1)[0];
     for (label, f) in [
-        ("lp", compute_slice as fn(_, _, _, _) -> _),
+        ("lp", compute_slice_lp as fn(_, _, _, _) -> _),
         ("naive", compute_slice_naive as fn(_, _, _, _) -> _),
     ] {
         group.bench_function(BenchmarkId::new("traversal", label), |b| {

@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use maple::ActiveScheduler;
-use minivm::{LiveEnv, NullTool, Program, RoundRobin};
-use pinplay::{record_region, Pinball, Recording, RegionSpec, Replayer};
+use minivm::{assemble, LiveEnv, NullTool, Program, RoundRobin};
+use pinplay::{record_region, record_whole_program, Pinball, Recording, RegionSpec, Replayer};
 use slicer::{Criterion, Slice, SliceSession, SlicerOptions};
 use workloads::{BugCase, ParsecProgram};
 
@@ -159,6 +159,84 @@ pub fn slice_timed(session: &SliceSession, criterion: Criterion) -> (Slice, Dura
     timed(|| session.slice(criterion))
 }
 
+/// A four-thread "needle" workload: every thread spins `iters` iterations
+/// of private arithmetic, while a six-record def chain threads a value
+/// through the `needle` word to the final instruction. The backward slice
+/// at the end touches a handful of records out of hundreds of thousands —
+/// LP's worst case (it scans every block) and the sparse index's best.
+pub fn four_thread_needle(iters: u64) -> Arc<Program> {
+    Arc::new(
+        assemble(&format!(
+            r"
+            .data
+            needle: .word 0
+            .text
+            .func main
+                movi r1, 3          ; chain: constant
+                muli r2, r1, 5      ; chain: derived value
+                la r3, needle
+                store r2, r3, 0     ; chain: publish
+                movi r1, {iters}
+                spawn r10, worker, r1
+                spawn r11, worker, r1
+                spawn r12, worker, r1
+                mov r0, r1
+                call spin
+                join r10
+                join r11
+                join r12
+                load r4, r3, 0      ; chain: read back
+                addi r5, r4, 7      ; chain: criterion
+                halt
+            .endfunc
+            .func worker
+                call spin
+                halt
+            .endfunc
+            .func spin
+                movi r2, 0
+            loop:
+                muli r4, r2, 7
+                addi r4, r4, 13
+                andi r4, r4, 0xff
+                add r2, r2, r4
+                subi r0, r0, 1
+                bgti r0, 0, loop
+                ret
+            .endfunc
+            ",
+        ))
+        .expect("needle workload assembles"),
+    )
+}
+
+/// Records and collects a [`four_thread_needle`] trace, returning the
+/// session and the criterion at the final chain instruction.
+///
+/// # Panics
+///
+/// Panics when the recording exceeds its step budget (never for sane
+/// `iters`).
+pub fn needle_session(iters: u64, options: SlicerOptions) -> (SliceSession, Criterion) {
+    let program = four_thread_needle(iters);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(13),
+        &mut LiveEnv::new(ENV_SEED),
+        iters * 50 + 100_000,
+        "needle",
+    )
+    .expect("needle capture succeeds");
+    let session = SliceSession::collect(Arc::clone(&program), &rec.pinball, options);
+    let id = session
+        .trace()
+        .records()
+        .last()
+        .expect("trace not empty")
+        .id;
+    (session, Criterion::Record { id })
+}
+
 /// Full execution-slice pipeline for one slice: exclusion regions →
 /// relogging → slice pinball, returning the pinball and its replay time.
 pub fn slice_pinball_replay(
@@ -203,11 +281,8 @@ mod tests {
     fn last_read_criteria_finds_loads() {
         let p = &workloads::all_parsec()[1];
         let rr = record_parsec_region(p, 100, 1_000);
-        let (session, _) = collect_session(
-            &rr.program,
-            &rr.recording.pinball,
-            SlicerOptions::default(),
-        );
+        let (session, _) =
+            collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default());
         let crits = last_read_criteria(&session, 10);
         assert_eq!(crits.len(), 10);
         let (slice, _) = slice_timed(&session, crits[0]);

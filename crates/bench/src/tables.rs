@@ -165,8 +165,7 @@ pub fn fig13(region_lengths: &[u64]) {
                 p.name,
             )
             .expect("specomp records");
-            let (session, _) =
-                collect_session(&program, &rec.pinball, SlicerOptions::default());
+            let (session, _) = collect_session(&program, &rec.pinball, SlicerOptions::default());
             let mut total_pruned = 0usize;
             let mut total_unpruned = 0usize;
             for criterion in last_read_criteria(&session, 10) {
@@ -249,7 +248,11 @@ pub fn fig14(region_length: u64) {
     let n = programs.len() as f64;
     println!(
         "{:<15} {:>16} {:>16} {:>13.1}% {:>15.1}%",
-        "average", "", "", sum_kept / n, sum_speedup / n
+        "average",
+        "",
+        "",
+        sum_kept / n,
+        sum_speedup / n
     );
 }
 
@@ -345,8 +348,7 @@ pub fn ablations(region_length: u64) {
                 ..SlicerOptions::default()
             },
         );
-        let criterion = crate::exp::last_read_of_addr(&session, encoded)
-            .expect("encoded is read");
+        let criterion = crate::exp::last_read_of_addr(&session, encoded).expect("encoded is read");
         let (slice, slice_t) = slice_timed(&session, criterion);
         println!(
             "refine_indirect={refine:<5}  slice size {:>8}  collect {:>8}s  slice {:>8}s",
@@ -367,8 +369,7 @@ pub fn ablations(region_length: u64) {
                 ..SlicerOptions::default()
             },
         );
-        let criterion =
-            crate::exp::last_read_of_addr(&session, encoded).expect("encoded is read");
+        let criterion = crate::exp::last_read_of_addr(&session, encoded).expect("encoded is read");
         let (slice, slice_t) = slice_timed(&session, criterion);
         println!(
             "cluster={cluster:<5}           slice size {:>8}  blocks skipped {:>6}  slice {:>8}s",
@@ -380,13 +381,9 @@ pub fn ablations(region_length: u64) {
 
     // 3. LP vs naive traversal.
     {
-        let (session, _) = collect_session(
-            &rr.program,
-            &rr.recording.pinball,
-            SlicerOptions::default(),
-        );
-        let criterion =
-            crate::exp::last_read_of_addr(&session, encoded).expect("encoded is read");
+        let (session, _) =
+            collect_session(&rr.program, &rr.recording.pinball, SlicerOptions::default());
+        let criterion = crate::exp::last_read_of_addr(&session, encoded).expect("encoded is read");
         let (lp, lp_t) = timed(|| {
             slicer::compute_slice(
                 session.trace(),

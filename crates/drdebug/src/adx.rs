@@ -276,8 +276,7 @@ mod tests {
     #[test]
     fn breakpoint_roundtrip_over_the_wire() {
         let (program, c) = client();
-        let AdxResponse::Id(id) = c.request(AdxRequest::AddBreakpoint { pc: 2, tid: None })
-        else {
+        let AdxResponse::Id(id) = c.request(AdxRequest::AddBreakpoint { pc: 2, tid: None }) else {
             panic!("expected id")
         };
         let stop = c.cont();
@@ -291,8 +290,14 @@ mod tests {
     #[test]
     fn restart_and_reverse_over_the_wire() {
         let (_, c) = client();
-        assert!(matches!(c.request(AdxRequest::StepI), AdxResponse::Stopped(_)));
-        assert!(matches!(c.request(AdxRequest::StepI), AdxResponse::Stopped(_)));
+        assert!(matches!(
+            c.request(AdxRequest::StepI),
+            AdxResponse::Stopped(_)
+        ));
+        assert!(matches!(
+            c.request(AdxRequest::StepI),
+            AdxResponse::Stopped(_)
+        ));
         assert!(matches!(
             c.request(AdxRequest::ReverseStepI),
             AdxResponse::Stopped(StopReason::Stepped { pc: 0, .. })
@@ -312,8 +317,7 @@ mod tests {
             panic!("expected slice")
         };
         assert!(len > 0);
-        let AdxResponse::SlicePinball(pb) =
-            c.request(AdxRequest::MakeSlicePinball { index })
+        let AdxResponse::SlicePinball(pb) = c.request(AdxRequest::MakeSlicePinball { index })
         else {
             panic!("expected pinball")
         };

@@ -83,9 +83,8 @@ impl<'a> SliceBrowser<'a> {
             .iter()
             .filter(|e| e.user == self.cursor)
             .map(|e: &DataEdge| {
-                let value = user_record.and_then(|r| {
-                    r.use_keys(true).find(|(k, _)| *k == e.key).map(|(_, v)| v)
-                });
+                let value = user_record
+                    .and_then(|r| r.use_keys(true).find(|(k, _)| *k == e.key).map(|(_, v)| v));
                 DepEdge::Data {
                     def: e.def,
                     key: e.key.to_string(),
@@ -198,7 +197,8 @@ mod tests {
             "browse-test",
         )
         .unwrap();
-        let session = SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
+        let session =
+            SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
         (program, session)
     }
 
@@ -239,8 +239,14 @@ mod tests {
         let browser = SliceBrowser::new(&slice, session.trace());
         let listing = browser.render_listing(&program);
         assert!(listing.contains("=>     5"), "cursor marked:\n{listing}");
-        assert!(listing.contains(" *     0"), "slice line marked:\n{listing}");
-        assert!(listing.contains("       1"), "irrelevant line unmarked:\n{listing}");
+        assert!(
+            listing.contains(" *     0"),
+            "slice line marked:\n{listing}"
+        );
+        assert!(
+            listing.contains("       1"),
+            "irrelevant line unmarked:\n{listing}"
+        );
     }
 
     #[test]

@@ -93,6 +93,7 @@ impl CommandInterpreter {
                 "prune-vars cleared".to_owned()
             }
             "slice-failure" => self.cmd_slice_failure(),
+            "metrics" => self.cmd_metrics(),
             "deps" => self.cmd_deps(),
             "activate" => self.cmd_activate(&args),
             "statements" => self.cmd_statements(),
@@ -121,9 +122,7 @@ impl CommandInterpreter {
             }
             StopReason::Watchpoint { id, tid, pc, value } => {
                 let loc = self.session.program().describe_pc(pc);
-                format!(
-                    "watchpoint {id} hit: thread {tid} wrote {value} at {loc} (pc {pc})"
-                )
+                format!("watchpoint {id} hit: thread {tid} wrote {value} at {loc} (pc {pc})")
             }
             StopReason::ReplayStart => "at the start of the recorded region".to_owned(),
             StopReason::ReplayEnd => "replay finished: end of recorded region".to_owned(),
@@ -139,15 +138,17 @@ impl CommandInterpreter {
             Some((n, o)) => (n, o.parse::<Pc>().ok()?),
             None => (s, 0),
         };
-        self.session
-            .program()
+        let program = self.session.program();
+        program
             .function(name)
-            .map(|f| f.entry + off)
+            .map(|f| f.entry)
+            .or_else(|| program.label(name))
+            .map(|entry| entry + off)
     }
 
     fn cmd_break(&mut self, args: &[&str]) -> String {
         let Some(loc) = args.first().and_then(|s| self.parse_loc(s)) else {
-            return "usage: break <pc|func[+off]> [tid]".to_owned();
+            return "usage: break <pc|func|label[+off]> [tid]".to_owned();
         };
         let tid = args.get(1).and_then(|s| s.parse::<Tid>().ok());
         let id = self.session.add_breakpoint(loc, tid);
@@ -191,7 +192,10 @@ impl CommandInterpreter {
     fn cmd_enable(&mut self, args: &[&str], enabled: bool) -> String {
         match args.first().and_then(|s| s.parse::<u32>().ok()) {
             Some(id) if self.session.enable_breakpoint(id, enabled) => {
-                format!("breakpoint {id} {}", if enabled { "enabled" } else { "disabled" })
+                format!(
+                    "breakpoint {id} {}",
+                    if enabled { "enabled" } else { "disabled" }
+                )
             }
             Some(id) => format!("no breakpoint {id}"),
             None => "usage: enable|disable <id>".to_owned(),
@@ -318,9 +322,23 @@ impl CommandInterpreter {
 
     fn set_slice(&mut self, slice: Slice) -> String {
         let n = slice.len();
+        let stats = slice.stats;
         self.cursor = Some(slice.criterion.record_id());
         self.current_slice = Some(slice);
-        format!("slice computed: {n} statement instances (use statements/deps/activate/list)")
+        format!(
+            "slice computed: {n} statement instances, {} records scanned, \
+             {} of {} blocks skipped (use statements/deps/activate/metrics/list)",
+            stats.records_scanned,
+            stats.blocks_skipped,
+            stats.blocks_visited + stats.blocks_skipped,
+        )
+    }
+
+    fn cmd_metrics(&mut self) -> String {
+        match self.session.metrics() {
+            Some(m) => format!("pipeline stage metrics:\n{m}"),
+            None => "no trace collected yet (run a slice command first)".to_owned(),
+        }
     }
 
     fn cmd_slice(&mut self, args: &[&str]) -> String {
@@ -406,10 +424,7 @@ impl CommandInterpreter {
         }
     }
 
-    fn with_browser<R>(
-        &mut self,
-        f: impl FnOnce(&mut SliceBrowser<'_>) -> R,
-    ) -> Result<R, String> {
+    fn with_browser<R>(&mut self, f: impl FnOnce(&mut SliceBrowser<'_>) -> R) -> Result<R, String> {
         let (Some(slice), Some(cursor)) = (&self.current_slice, self.cursor) else {
             return Err("no slice computed (use `slice`)".to_owned());
         };
@@ -443,7 +458,9 @@ impl CommandInterpreter {
                             ));
                         }
                         crate::browse::DepEdge::Control { branch } => {
-                            out.push_str(&format!("  [{i}] control dep <- branch record {branch}\n"));
+                            out.push_str(&format!(
+                                "  [{i}] control dep <- branch record {branch}\n"
+                            ));
                         }
                     }
                 }
@@ -458,7 +475,8 @@ impl CommandInterpreter {
             return "usage: activate <dep-index>".to_owned();
         };
         let program = std::sync::Arc::clone(self.session.program());
-        let result = self.with_browser(|b| b.activate(idx).map(|id| (id, b.describe_cursor(&program))));
+        let result =
+            self.with_browser(|b| b.activate(idx).map(|id| (id, b.describe_cursor(&program))));
         match result {
             Ok(Some((id, desc))) => {
                 self.cursor = Some(id);
@@ -545,9 +563,7 @@ impl CommandInterpreter {
             .expect("make_slice_pinball collects the slicer session");
         let slice = &self.session.saved_slices()[idx];
         self.stepper = Some(SliceStepper::new(slicer, slice, &pb));
-        format!(
-            "slice pinball generated ({kept} instructions kept); use step-slice"
-        )
+        format!("slice pinball generated ({kept} instructions kept); use step-slice")
     }
 
     fn cmd_step_slice(&mut self) -> String {
@@ -581,7 +597,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 const HELP: &str = "\
 DrDebug commands:
-  break <pc|func[+off]> [tid]   set a breakpoint
+  break <pc|func|label[+off]> [tid]   set a breakpoint
   delete|enable|disable <id>    manage breakpoints
   info breakpoints|threads      inspect session state
   continue | c                  replay until breakpoint/trap/end
@@ -599,6 +615,7 @@ DrDebug commands:
   slice-line <line> [var]       slice at a source line (Fig. 9 dialog)
   prune-var <sym|rN> | clear-prune   Fig. 9 'Prune Vars': don't chase these
   slice-failure                 slice at the failure point
+  metrics                       per-stage slicing pipeline metrics
   statements | deps             browse the current slice
   activate <i>                  follow dependence i backward
   save-slice                    save the current slice (in session)
@@ -717,7 +734,43 @@ mod tests {
         let mut d = interp(PROG);
         assert!(d.execute("frobnicate").contains("unknown command"));
         assert!(d.execute("help").contains("step-slice"));
+        assert!(d.execute("help").contains("metrics"));
         assert_eq!(d.execute(""), "");
+    }
+
+    #[test]
+    fn metrics_report_pipeline_stages() {
+        let mut d = interp(PROG);
+        let out = d.execute("metrics");
+        assert!(out.contains("no trace collected"), "{out}");
+        d.execute("break 5");
+        d.execute("continue");
+        let out = d.execute("slice r3");
+        assert!(out.contains("records scanned"), "{out}");
+        let out = d.execute("metrics");
+        assert!(out.contains("collect"), "{out}");
+        assert!(out.contains("traverse"), "{out}");
+        assert!(out.contains("blocks visited"), "{out}");
+    }
+
+    #[test]
+    fn break_resolves_labels() {
+        // `x:` in .data is a symbol, not a code label; use a code label.
+        let mut d = interp(
+            r"
+            .text
+            .func main
+                movi r1, 1
+            here:
+                addi r1, r1, 1
+                halt
+            .endfunc
+            ",
+        );
+        let out = d.execute("break here");
+        assert!(out.contains("breakpoint 1 at pc 1"), "{out}");
+        let out = d.execute("continue");
+        assert!(out.contains("breakpoint 1 hit"), "{out}");
     }
 
     #[test]
@@ -815,7 +868,10 @@ x: .word 0
         d.execute("continue");
         d.execute("slice-line 10");
         let out = d.execute("deps");
-        assert!(out.contains("= 5") || out.contains("= 6"), "values shown: {out}");
+        assert!(
+            out.contains("= 5") || out.contains("= 6"),
+            "values shown: {out}"
+        );
     }
 }
 
@@ -855,10 +911,8 @@ mod slice_file_tests {
         let path_s = path.to_str().unwrap().to_owned();
 
         // Session 1: compute and persist the slice.
-        let mut d1 = CommandInterpreter::new(DebugSession::new(
-            Arc::clone(&program),
-            rec.pinball.clone(),
-        ));
+        let mut d1 =
+            CommandInterpreter::new(DebugSession::new(Arc::clone(&program), rec.pinball.clone()));
         d1.execute("continue");
         d1.execute("slice r2");
         let out = d1.execute(&format!("save-slice-file {path_s}"));

@@ -60,7 +60,7 @@ pub mod stepper;
 
 pub use adx::{spawn_engine, AdxClient, AdxRequest, AdxResponse};
 pub use browse::{DepEdge, SliceBrowser};
-pub use live::{LiveSession, LiveStop};
 pub use commands::CommandInterpreter;
+pub use live::{LiveSession, LiveStop};
 pub use session::{Breakpoint, DebugSession, StopReason, StopSite};
 pub use stepper::{SliceStep, SliceStepper};

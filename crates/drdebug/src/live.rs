@@ -11,9 +11,7 @@
 
 use std::sync::Arc;
 
-use minivm::{
-    Environment, Executor, InsEvent, Pc, Program, Scheduler, Tid, VmError,
-};
+use minivm::{Environment, Executor, InsEvent, Pc, Program, Scheduler, Tid, VmError};
 use pinplay::{Pinball, PinballMeta, RecordedExit, ScheduleBuilder};
 
 /// Why a live run stopped.
@@ -184,8 +182,11 @@ impl<S: Scheduler, E: Environment> LiveSession<S, E> {
                     // A trap while recording finalises the pinball with the
                     // failure included — the captured buggy region.
                     if let Some(state) = self.recording.take() {
-                        self.captured =
-                            Some(Self::finish_pinball(&self.name, state, RecordedExit::Trap(e)));
+                        self.captured = Some(Self::finish_pinball(
+                            &self.name,
+                            state,
+                            RecordedExit::Trap(e),
+                        ));
                     }
                     return LiveStop::Trapped(e);
                 }
@@ -213,7 +214,7 @@ impl<S: Scheduler, E: Environment> LiveSession<S, E> {
 mod tests {
     use super::*;
     use minivm::{assemble, LiveEnv, NullTool, Reg, RoundRobin};
-    use pinplay::{Replayer, ReplayStatus};
+    use pinplay::{ReplayStatus, Replayer};
 
     const PROG: &str = r"
         .data
@@ -318,7 +319,10 @@ mod tests {
         );
         s.record_on();
         let stop = s.cont(10_000);
-        assert!(matches!(stop, LiveStop::Trapped(VmError::AssertFailed { .. })));
+        assert!(matches!(
+            stop,
+            LiveStop::Trapped(VmError::AssertFailed { .. })
+        ));
         assert!(!s.is_recording(), "trap closes the recording");
         let pb = s.captured().expect("pinball finalised at the trap").clone();
         assert!(matches!(pb.exit, RecordedExit::Trap(_)));

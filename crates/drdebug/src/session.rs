@@ -15,10 +15,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use minivm::{Addr, Pc, Program, Reg, Tid, ToolControl, VmError};
-use pinplay::{Pinball, Replayer, ReplayStatus};
-use slicer::{Criterion, LocKey, Slice, SliceOptions, SliceSession, SlicerOptions};
+use pinplay::{Pinball, ReplayStatus, Replayer};
+use slicer::{
+    Criterion, LocKey, Slice, SliceMetrics, SliceOptions, SliceSession, SliceStats, SlicerOptions,
+};
 
 /// A breakpoint on a program point, optionally filtered by thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +117,9 @@ pub struct DebugSession {
     /// requests do not chase.
     prune_keys: std::collections::HashSet<LocKey>,
     saved_slices: Vec<Slice>,
+    /// Statistics and wall time of the most recent slice traversal, folded
+    /// into [`DebugSession::metrics`].
+    last_traversal: Option<(SliceStats, Duration)>,
 }
 
 impl std::fmt::Debug for DebugSession {
@@ -145,6 +151,7 @@ impl DebugSession {
             slicer_options: SlicerOptions::default(),
             prune_keys: std::collections::HashSet::new(),
             saved_slices: Vec::new(),
+            last_traversal: None,
         }
     }
 
@@ -174,7 +181,30 @@ impl DebugSession {
         let mut opts = SliceOptions::new();
         opts.prune_save_restore = self.slicer_options.prune_save_restore;
         opts.prune_keys = self.prune_keys.clone();
+        opts.parallel_threshold = if self.slicer_options.parallel {
+            self.slicer_options.parallel_threshold
+        } else {
+            usize::MAX
+        };
         opts
+    }
+
+    /// Pipeline metrics: the slicer's collect/merge/summarize stage timings
+    /// plus the most recent slice traversal. `None` until the first slice
+    /// request collects the trace.
+    pub fn metrics(&self) -> Option<SliceMetrics> {
+        let base = *self.slicer.as_ref()?.metrics();
+        Some(match self.last_traversal {
+            Some((stats, wall)) => base.with_traversal(&stats, wall),
+            None => base,
+        })
+    }
+
+    /// Records a traversal's statistics for [`DebugSession::metrics`] and
+    /// hands the slice back.
+    fn timed(&mut self, slice: Slice, started: Instant) -> Slice {
+        self.last_traversal = Some((slice.stats, started.elapsed()));
+        slice
     }
 
     /// The program being debugged.
@@ -372,7 +402,8 @@ impl DebugSession {
             .rev()
             .find(|&&(s, _)| s <= target)
             .map(|(_, r)| r.clone());
-        let mut rep = base.unwrap_or_else(|| Replayer::new(Arc::clone(&self.program), &self.pinball));
+        let mut rep =
+            base.unwrap_or_else(|| Replayer::new(Arc::clone(&self.program), &self.pinball));
         let mut last: Option<StopSite> = None;
         while rep.replayed_instructions() < target {
             let mut tool = |ev: &minivm::InsEvent| {
@@ -561,8 +592,9 @@ impl DebugSession {
             .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
             .id;
         let opts = self.slice_options();
-        let slicer = self.slicer();
-        Some(slicer.slice_with(Criterion::Value { id, key }, opts))
+        let started = Instant::now();
+        let slice = self.slicer().slice_with(Criterion::Value { id, key }, opts);
+        Some(self.timed(slice, started))
     }
 
     /// Computes a slice for everything used at the current stop point.
@@ -574,8 +606,9 @@ impl DebugSession {
             .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
             .id;
         let opts = self.slice_options();
-        let slicer = self.slicer();
-        Some(slicer.slice_with(Criterion::Record { id }, opts))
+        let started = Instant::now();
+        let slice = self.slicer().slice_with(Criterion::Record { id }, opts);
+        Some(self.timed(slice, started))
     }
 
     /// Computes a slice for a value at the last execution of a *source
@@ -583,22 +616,29 @@ impl DebugSession {
     /// Fig. 9). `key` of `None` slices on everything the statement used.
     pub fn slice_at_line(&mut self, line: u32, key: Option<LocKey>) -> Option<Slice> {
         let slicer = self.slicer();
-        let rec = slicer.trace().records().iter().filter(|r| r.line == line).max_by_key(|r| r.id)?;
+        let rec = slicer
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| r.line == line)
+            .max_by_key(|r| r.id)?;
         let id = rec.id;
         let opts = self.slice_options();
-        let slicer = self.slicer();
-        Some(match key {
-            Some(key) => slicer.slice_with(Criterion::Value { id, key }, opts),
-            None => slicer.slice_with(Criterion::Record { id }, opts),
-        })
+        let started = Instant::now();
+        let slice = match key {
+            Some(key) => self.slicer().slice_with(Criterion::Value { id, key }, opts),
+            None => self.slicer().slice_with(Criterion::Record { id }, opts),
+        };
+        Some(self.timed(slice, started))
     }
 
     /// Computes a slice at the failure point (last record of the trace).
     pub fn slice_failure(&mut self) -> Option<Slice> {
         let opts = self.slice_options();
-        let slicer = self.slicer();
-        let id = slicer.failure_record()?.id;
-        Some(slicer.slice_with(Criterion::Record { id }, opts))
+        let id = self.slicer().failure_record()?.id;
+        let started = Instant::now();
+        let slice = self.slicer().slice_with(Criterion::Record { id }, opts);
+        Some(self.timed(slice, started))
     }
 
     /// Saves a slice for later slice-pinball generation; returns its index.
@@ -666,14 +706,7 @@ mod tests {
         let mut s = session();
         let id = s.add_breakpoint(2, None);
         let stop = s.cont();
-        assert_eq!(
-            stop,
-            StopReason::Breakpoint {
-                id,
-                tid: 0,
-                pc: 2
-            }
-        );
+        assert_eq!(stop, StopReason::Breakpoint { id, tid: 0, pc: 2 });
         // The store has retired: x == 5, and r1 == 5.
         assert_eq!(s.read_symbol("x"), Some(5));
         assert_eq!(s.read_reg(0, Reg(1)), 5);
@@ -788,7 +821,10 @@ mod reverse_tests {
         assert_eq!(s.read_reg(0, Reg(1)), 3);
         assert_eq!(s.position(), 3);
         let stop = s.reverse_stepi();
-        assert!(matches!(stop, StopReason::Stepped { pc: 1, .. }), "{stop:?}");
+        assert!(
+            matches!(stop, StopReason::Stepped { pc: 1, .. }),
+            "{stop:?}"
+        );
         assert_eq!(s.position(), 2);
         assert_eq!(s.read_reg(0, Reg(1)), 2, "state rolled back");
         // Forward again: deterministic.
@@ -804,7 +840,11 @@ mod reverse_tests {
         assert_eq!(s.reverse_stepi(), StopReason::ReplayStart);
         assert_eq!(s.position(), 0);
         assert_eq!(s.read_reg(0, Reg(1)), 0, "initial state restored");
-        assert_eq!(s.reverse_stepi(), StopReason::ReplayStart, "idempotent at start");
+        assert_eq!(
+            s.reverse_stepi(),
+            StopReason::ReplayStart,
+            "idempotent at start"
+        );
     }
 
     #[test]
@@ -825,12 +865,26 @@ mod reverse_tests {
         );
         // Forward again: second write (x = 4).
         let stop = s.cont();
-        assert!(matches!(stop, StopReason::Watchpoint { pc: 6, value: 4, .. }));
+        assert!(matches!(
+            stop,
+            StopReason::Watchpoint {
+                pc: 6,
+                value: 4,
+                ..
+            }
+        ));
         assert_eq!(s.read_mem(x), 4);
         // Reverse-continue: back to the *first* write.
         let stop = s.reverse_continue();
         assert!(
-            matches!(stop, StopReason::Watchpoint { pc: 4, value: 3, .. }),
+            matches!(
+                stop,
+                StopReason::Watchpoint {
+                    pc: 4,
+                    value: 3,
+                    ..
+                }
+            ),
             "{stop:?}"
         );
         assert_eq!(s.read_mem(x), 3, "memory rolled back to the first write");
@@ -869,7 +923,14 @@ mod reverse_tests {
         s.reverse_continue();
         let bid = s.add_breakpoint(5, None);
         let stop = s.cont();
-        assert_eq!(stop, StopReason::Breakpoint { id: bid, tid: 0, pc: 5 });
+        assert_eq!(
+            stop,
+            StopReason::Breakpoint {
+                id: bid,
+                tid: 0,
+                pc: 5
+            }
+        );
         assert_eq!(s.read_reg(0, Reg(1)), 4);
     }
 }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use minivm::{Pc, Program, Tid, ToolControl, VmError};
-use pinplay::{Pinball, Replayer, ReplayStatus};
+use pinplay::{Pinball, ReplayStatus, Replayer};
 use slicer::{is_force_included, RecordId, Slice, SliceSession};
 
 /// Where a slice step landed.
@@ -62,11 +62,7 @@ impl std::fmt::Debug for SliceStepper {
 impl SliceStepper {
     /// Creates a stepper over `slice_pinball`, using the region trace in
     /// `session` and the saved `slice` to recognise slice statements.
-    pub fn new(
-        session: &SliceSession,
-        slice: &Slice,
-        slice_pinball: &Pinball,
-    ) -> SliceStepper {
+    pub fn new(session: &SliceSession, slice: &Slice, slice_pinball: &Pinball) -> SliceStepper {
         let program = Arc::clone(session.program());
         let mut kept: HashMap<(Tid, Pc), Vec<(RecordId, bool)>> = HashMap::new();
         // Region records in execution order per thread (ids are retire
@@ -76,7 +72,9 @@ impl SliceStepper {
         for r in records {
             let in_slice = slice.records.contains(&r.id);
             if in_slice || is_force_included(r) {
-                kept.entry((r.tid, r.pc)).or_default().push((r.id, in_slice));
+                kept.entry((r.tid, r.pc))
+                    .or_default()
+                    .push((r.id, in_slice));
             }
         }
         SliceStepper {

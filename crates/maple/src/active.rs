@@ -69,7 +69,10 @@ impl ActiveScheduler {
 
     /// Whether the scheduler managed to run src and dst back to back.
     pub fn enforced(&self) -> bool {
-        matches!(self.phase, Phase::Done { enforced: true } | Phase::FiredSrc { .. })
+        matches!(
+            self.phase,
+            Phase::Done { enforced: true } | Phase::FiredSrc { .. }
+        )
     }
 
     fn first_at(&self, exec: &Executor, pc: Pc, avoid: Option<Tid>) -> Option<Tid> {
@@ -226,7 +229,10 @@ mod tests {
             100_000,
         );
         assert!(
-            matches!(r.status, ExitStatus::Trap(minivm::VmError::AssertFailed { .. })),
+            matches!(
+                r.status,
+                ExitStatus::Trap(minivm::VmError::AssertFailed { .. })
+            ),
             "active scheduling must expose the lost update, got {:?}",
             r.status
         );
@@ -242,7 +248,13 @@ mod tests {
                 dst_pc: 12,
             });
             let mut exec = minivm::Executor::new(Arc::clone(&p));
-            let r = run(&mut exec, &mut sched, &mut LiveEnv::new(0), &mut NullTool, 100_000);
+            let r = run(
+                &mut exec,
+                &mut sched,
+                &mut LiveEnv::new(0),
+                &mut NullTool,
+                100_000,
+            );
             (r.status, r.steps, exec.snapshot())
         };
         let a = run_once();
@@ -260,7 +272,13 @@ mod tests {
             dst_pc: 9998,
         });
         let mut exec = minivm::Executor::new(Arc::clone(&p));
-        let r = run(&mut exec, &mut sched, &mut LiveEnv::new(0), &mut NullTool, 1_000_000);
+        let r = run(
+            &mut exec,
+            &mut sched,
+            &mut LiveEnv::new(0),
+            &mut NullTool,
+            1_000_000,
+        );
         assert_ne!(r.status, ExitStatus::FuelExhausted);
     }
 }

@@ -59,7 +59,12 @@ impl Default for ExposeOptions {
 ///
 /// Returns `None` when no candidate interleaving exposes a bug.
 pub fn expose(program: &Arc<Program>, options: ExposeOptions) -> Option<Exposure> {
-    let prof = profile(program, options.profile_runs, options.seed, options.max_steps);
+    let prof = profile(
+        program,
+        options.profile_runs,
+        options.seed,
+        options.max_steps,
+    );
     expose_with_candidates(program, &prof, options)
 }
 
@@ -128,7 +133,7 @@ pub fn expose_iroot(
 mod tests {
     use super::*;
     use minivm::{assemble, NullTool};
-    use pinplay::{Replayer, ReplayStatus};
+    use pinplay::{ReplayStatus, Replayer};
 
     const RACE: &str = r"
         .data

@@ -15,9 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use minivm::{
-    Executor, InsEvent, LiveEnv, Loc, Pc, Program, RandomSched, Tid, Tool, ToolControl,
-};
+use minivm::{Executor, InsEvent, LiveEnv, Loc, Pc, Program, RandomSched, Tid, Tool, ToolControl};
 use std::sync::Arc;
 
 /// An inter-thread dependency: thread A executes `src_pc`, then (next
@@ -158,8 +156,17 @@ mod tests {
 
     #[test]
     fn flipped_swaps_endpoints() {
-        let r = IRoot { src_pc: 3, dst_pc: 9 };
-        assert_eq!(r.flipped(), IRoot { src_pc: 9, dst_pc: 3 });
+        let r = IRoot {
+            src_pc: 3,
+            dst_pc: 9,
+        };
+        assert_eq!(
+            r.flipped(),
+            IRoot {
+                src_pc: 9,
+                dst_pc: 3
+            }
+        );
         assert_eq!(r.flipped().flipped(), r);
     }
 
@@ -199,7 +206,11 @@ mod tests {
             .observed()
             .iter()
             .any(|r| r.src_pc == store_pc && r.dst_pc == load_pc);
-        assert!(has_cross, "store->load ordering observed: {:?}", prof.observed());
+        assert!(
+            has_cross,
+            "store->load ordering observed: {:?}",
+            prof.observed()
+        );
         // Candidates include predictions first.
         let cands = prof.candidates();
         assert!(!cands.is_empty());

@@ -223,19 +223,25 @@ impl Tool for RaceDetector {
             Instr::Lock { .. } => {
                 // Only a successful acquire (pc advanced) synchronises.
                 if ev.next_pc != ev.pc {
-                    if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                    if let Some((Loc::Mem(a), _)) =
+                        ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_)))
+                    {
                         self.acquire(tid, a);
                     }
                 }
             }
             Instr::Unlock { .. } => {
-                if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                if let Some((Loc::Mem(a), _)) =
+                    ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_)))
+                {
                     self.release(tid, a);
                 }
             }
             Instr::Cas { .. } | Instr::AtomicAdd { .. } => {
                 // Atomic RMW: acquire then release on the cell.
-                if let Some((Loc::Mem(a), _)) = ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_))) {
+                if let Some((Loc::Mem(a), _)) =
+                    ev.uses.iter().find(|(l, _)| matches!(l, Loc::Mem(_)))
+                {
                     self.acquire(tid, a);
                     self.release(tid, a);
                 }

@@ -119,9 +119,10 @@ impl Assembler {
             let mut rest = line;
             while let Some((label, tail)) = split_label(rest) {
                 if section == Section::Text
-                    && self.code_labels.insert(label.to_owned(), pc).is_some() {
-                        return err(lineno, format!("duplicate label `{label}`"));
-                    }
+                    && self.code_labels.insert(label.to_owned(), pc).is_some()
+                {
+                    return err(lineno, format!("duplicate label `{label}`"));
+                }
                 rest = tail.trim();
             }
             if rest.is_empty() {
@@ -194,13 +195,10 @@ impl Assembler {
             if let Some(args) = rest.strip_prefix(".word") {
                 cursor += args.split(',').count() as Addr;
             } else if let Some(args) = rest.strip_prefix(".space") {
-                let n: Addr = args
-                    .trim()
-                    .parse()
-                    .map_err(|_| AsmError {
-                        line: lineno,
-                        msg: format!("bad .space count `{}`", args.trim()),
-                    })?;
+                let n: Addr = args.trim().parse().map_err(|_| AsmError {
+                    line: lineno,
+                    msg: format!("bad .space count `{}`", args.trim()),
+                })?;
                 cursor += n.max(1);
             } else {
                 return err(lineno, format!("unexpected in .data: `{rest}`"));
@@ -282,12 +280,10 @@ impl Assembler {
                         });
                     }
                     "endfunc" => {
-                        let idx = open_func
-                            .take()
-                            .ok_or_else(|| AsmError {
-                                line: lineno,
-                                msg: ".endfunc without .func".into(),
-                            })?;
+                        let idx = open_func.take().ok_or_else(|| AsmError {
+                            line: lineno,
+                            msg: ".endfunc without .func".into(),
+                        })?;
                         functions[idx].end = code.len() as Pc;
                     }
                     _ => {}
@@ -863,7 +859,8 @@ mod error_tests {
 
     #[test]
     fn sp_register_accepted_everywhere() {
-        let p = assemble(".text\n.func main\n mov r1, sp\n addi sp, sp, 0\n halt\n.endfunc").unwrap();
+        let p =
+            assemble(".text\n.func main\n mov r1, sp\n addi sp, sp, 0\n halt\n.endfunc").unwrap();
         assert_eq!(p.len(), 3);
     }
 

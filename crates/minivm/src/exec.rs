@@ -293,7 +293,9 @@ impl Executor {
 
     /// Whether every thread has halted.
     pub fn all_halted(&self) -> bool {
-        self.threads.iter().all(|t| t.status == ThreadStatus::Halted)
+        self.threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Halted)
     }
 
     /// Region-relative global retire count.

@@ -257,13 +257,28 @@ pub enum Instr {
     /// `dst = op(a, b)`
     Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
     /// `dst = op(a, imm)`
-    BinI { op: BinOp, dst: Reg, a: Reg, imm: i64 },
+    BinI {
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        imm: i64,
+    },
     /// `pc = target`
     Jmp { target: Pc },
     /// `if cond(a, b) pc = target`
-    Br { cond: Cond, a: Reg, b: Reg, target: Pc },
+    Br {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        target: Pc,
+    },
     /// `if cond(a, imm) pc = target`
-    BrI { cond: Cond, a: Reg, imm: i64, target: Pc },
+    BrI {
+        cond: Cond,
+        a: Reg,
+        imm: i64,
+        target: Pc,
+    },
     /// `pc = src` — statically opaque control flow (§5.1).
     JmpInd { src: Reg },
     /// `sp -= 1; mem[sp] = pc + 1; pc = target`
@@ -279,7 +294,12 @@ pub enum Instr {
     /// Releases the mutex word at `mem[addr]` (stores 0).
     Unlock { addr: Reg },
     /// Compare-and-swap: `dst = mem[addr]; if dst == expect { mem[addr] = new }`.
-    Cas { dst: Reg, addr: Reg, expect: Reg, new: Reg },
+    Cas {
+        dst: Reg,
+        addr: Reg,
+        expect: Reg,
+        new: Reg,
+    },
     /// `dst = mem[addr]; mem[addr] = dst + val` atomically.
     AtomicAdd { dst: Reg, addr: Reg, val: Reg },
     /// Memory fence — a no-op in the sequentially consistent VM, present so

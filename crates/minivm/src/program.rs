@@ -226,7 +226,9 @@ impl fmt::Display for ProgramError {
             ProgramError::SourceMapLength { code, src } => {
                 write!(f, "source map length {src} differs from code length {code}")
             }
-            ProgramError::BadFunction { name } => write!(f, "function `{name}` has a malformed range"),
+            ProgramError::BadFunction { name } => {
+                write!(f, "function `{name}` has a malformed range")
+            }
             ProgramError::BadEntry { entry } => write!(f, "entry point {entry} is out of range"),
         }
     }
@@ -290,7 +292,10 @@ mod tests {
     fn validate_rejects_bad_function_range() {
         let mut p = tiny();
         p.functions[0].end = 10;
-        assert!(matches!(p.validate(), Err(ProgramError::BadFunction { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BadFunction { .. })
+        ));
     }
 
     #[test]

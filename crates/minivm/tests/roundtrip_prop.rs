@@ -59,13 +59,27 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
         r().prop_map(|src| Instr::Push { src }),
         r().prop_map(|dst| Instr::Pop { dst }),
         (binop_strategy(), r(), r(), r()).prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b }),
-        (binop_strategy(), r(), r(), any::<i32>())
-            .prop_map(|(op, dst, a, imm)| Instr::BinI { op, dst, a, imm: i64::from(imm) }),
+        (binop_strategy(), r(), r(), any::<i32>()).prop_map(|(op, dst, a, imm)| Instr::BinI {
+            op,
+            dst,
+            a,
+            imm: i64::from(imm)
+        }),
         (0u32..3).prop_map(|target| Instr::Jmp { target }),
-        (cond_strategy(), r(), r(), 0u32..3)
-            .prop_map(|(cond, a, b, target)| Instr::Br { cond, a, b, target }),
-        (cond_strategy(), r(), any::<i32>(), 0u32..3)
-            .prop_map(|(cond, a, imm, target)| Instr::BrI { cond, a, imm: i64::from(imm), target }),
+        (cond_strategy(), r(), r(), 0u32..3).prop_map(|(cond, a, b, target)| Instr::Br {
+            cond,
+            a,
+            b,
+            target
+        }),
+        (cond_strategy(), r(), any::<i32>(), 0u32..3).prop_map(|(cond, a, imm, target)| {
+            Instr::BrI {
+                cond,
+                a,
+                imm: i64::from(imm),
+                target,
+            }
+        }),
         r().prop_map(|src| Instr::JmpInd { src }),
         (0u32..3).prop_map(|target| Instr::Call { target }),
         r().prop_map(|src| Instr::CallInd { src }),
@@ -82,7 +96,14 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
         Just(Instr::Fence),
         (r(), 0u32..3, r()).prop_map(|(dst, entry, arg)| Instr::Spawn { dst, entry, arg }),
         r().prop_map(|tid| Instr::Join { tid }),
-        (prop_oneof![Just(SysCall::ReadInput), Just(SysCall::Rand), Just(SysCall::Time)], r())
+        (
+            prop_oneof![
+                Just(SysCall::ReadInput),
+                Just(SysCall::Rand),
+                Just(SysCall::Time)
+            ],
+            r()
+        )
             .prop_map(|(call, dst)| Instr::Sys { call, dst }),
         r().prop_map(|dst| Instr::GetTid { dst }),
         r().prop_map(|src| Instr::Assert { src }),

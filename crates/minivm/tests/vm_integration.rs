@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use minivm::{
-    assemble, run, ExitStatus, Executor, LiveEnv, NullTool, RandomSched, Reg, RoundRobin, VmError,
+    assemble, run, Executor, ExitStatus, LiveEnv, NullTool, RandomSched, Reg, RoundRobin, VmError,
 };
 
 fn run_src(src: &str, quantum: u64, fuel: u64) -> (Executor, ExitStatus) {
@@ -66,7 +66,10 @@ fn unbounded_recursion_hits_stack_overflow() {
         1_000_000,
     );
     assert!(
-        matches!(status, ExitStatus::Trap(VmError::StackOverflow { tid: 0, .. })),
+        matches!(
+            status,
+            ExitStatus::Trap(VmError::StackOverflow { tid: 0, .. })
+        ),
         "{status:?}"
     );
 }
@@ -151,7 +154,10 @@ fn pop_from_empty_stack_traps() {
         16,
         10_000,
     );
-    assert!(matches!(status, ExitStatus::Trap(VmError::StackOverflow { .. })));
+    assert!(matches!(
+        status,
+        ExitStatus::Trap(VmError::StackOverflow { .. })
+    ));
 }
 
 #[test]
@@ -212,7 +218,11 @@ fn deadlock_exhausts_fuel() {
         4,
         50_000,
     );
-    assert_eq!(status, ExitStatus::FuelExhausted, "classic ABBA deadlock spins");
+    assert_eq!(
+        status,
+        ExitStatus::FuelExhausted,
+        "classic ABBA deadlock spins"
+    );
 }
 
 #[test]
@@ -323,7 +333,10 @@ mod trap_edges {
             8,
             100,
         );
-        assert!(matches!(status, ExitStatus::Trap(VmError::DivByZero { .. })));
+        assert!(matches!(
+            status,
+            ExitStatus::Trap(VmError::DivByZero { .. })
+        ));
     }
 
     #[test]
@@ -339,7 +352,10 @@ mod trap_edges {
             8,
             100,
         );
-        assert!(matches!(status, ExitStatus::Trap(VmError::DivByZero { .. })));
+        assert!(matches!(
+            status,
+            ExitStatus::Trap(VmError::DivByZero { .. })
+        ));
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use logger::{record_region, record_whole_program, LogError, Recording};
 pub use pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent, ScheduleBuilder};
 pub use region::{EndTrigger, EndWatch, RegionSpec, StartTrigger, StartWatch};
 pub use relog::{relog, ExclusionRegion, RelogStats};
-pub use replay::{Replayer, ReplayStatus};
+pub use replay::{ReplayStatus, Replayer};

@@ -307,7 +307,14 @@ mod tests {
             },
             "consecutive injections merge"
         );
-        assert!(matches!(events[4], ReplayEvent::Skip { tid: 1, to_pc: 9, .. }));
+        assert!(matches!(
+            events[4],
+            ReplayEvent::Skip {
+                tid: 1,
+                to_pc: 9,
+                ..
+            }
+        ));
     }
 
     #[test]

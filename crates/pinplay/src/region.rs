@@ -135,7 +135,12 @@ impl EndWatch {
     /// the region, including `ev` when it is a main-thread event;
     /// `region_instance` is the region-relative instance count of
     /// `(ev.tid, ev.pc)` including `ev`.
-    pub fn fires_after(&self, ev: &InsEvent, region_main_icount: u64, region_instance: u64) -> bool {
+    pub fn fires_after(
+        &self,
+        ev: &InsEvent,
+        region_main_icount: u64,
+        region_instance: u64,
+    ) -> bool {
         match self.trigger {
             EndTrigger::ProgramEnd => false,
             EndTrigger::MainLength(len) => ev.tid == 0 && region_main_icount >= len,
@@ -178,7 +183,10 @@ mod tests {
         let w = StartWatch::new(StartTrigger::MainSkip(10));
         assert!(!w.fires(9, 0, 5, 1));
         assert!(w.fires(10, 0, 5, 1));
-        assert!(w.fires(10, 1, 5, 1), "any thread's step once main passed skip");
+        assert!(
+            w.fires(10, 1, 5, 1),
+            "any thread's step once main passed skip"
+        );
     }
 
     #[test]
@@ -196,7 +204,10 @@ mod tests {
     #[test]
     fn main_length_counts_main_thread_only() {
         let w = EndWatch::new(EndTrigger::MainLength(5));
-        assert!(!w.fires_after(&ev(1, 0, 1), 5, 1), "non-main events never fire");
+        assert!(
+            !w.fires_after(&ev(1, 0, 1), 5, 1),
+            "non-main events never fire"
+        );
         assert!(!w.fires_after(&ev(0, 0, 1), 4, 1));
         assert!(w.fires_after(&ev(0, 0, 1), 5, 1));
     }

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use minivm::{InsEvent, Loc, Pc, Program, Reg, Tid, ToolControl};
 
 use crate::pinball::{Pinball, PinballMeta, ReplayEvent, ScheduleBuilder};
-use crate::replay::{Replayer, ReplayStatus};
+use crate::replay::{ReplayStatus, Replayer};
 
 /// A per-thread code exclusion region, half-open:
 /// `[start_pc:start_instance, end_pc:end_instance)` with region-relative,
@@ -265,7 +265,10 @@ mod tests {
         }];
         let (slice_pb, _) = relog(Arc::clone(&program), &region, &exclusions);
         assert!(
-            matches!(slice_pb.events.last(), Some(ReplayEvent::Skip { tid: 0, .. })),
+            matches!(
+                slice_pb.events.last(),
+                Some(ReplayEvent::Skip { tid: 0, .. })
+            ),
             "open span must end with a Skip, got {:?}",
             slice_pb.events.last()
         );
@@ -354,7 +357,10 @@ mod multi_span_tests {
             101 * 101,
             "both spans' register side effects injected"
         );
-        assert_eq!(rep.replayed_instructions(), rec.pinball.logged_instructions() - 3);
+        assert_eq!(
+            rep.replayed_instructions(),
+            rec.pinball.logged_instructions() - 3
+        );
     }
 
     /// An exclusion span whose start marker never fires leaves the log

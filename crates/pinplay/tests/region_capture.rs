@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use minivm::{assemble, LiveEnv, NullTool, Program, Reg, RoundRobin, ToolControl};
 use pinplay::{
-    record_region, EndTrigger, RecordedExit, RegionSpec, Replayer, ReplayStatus, StartTrigger,
+    record_region, EndTrigger, RecordedExit, RegionSpec, ReplayStatus, Replayer, StartTrigger,
 };
 
 fn looping_program() -> Arc<Program> {
@@ -228,7 +228,10 @@ fn syscalls_inside_region_are_replayed_from_log() {
     let run = |pb| {
         let mut rep = Replayer::new(Arc::clone(&program), pb);
         rep.run(&mut NullTool);
-        (rep.exec().read_reg(0, Reg(1)), rep.exec().read_reg(0, Reg(2)))
+        (
+            rep.exec().read_reg(0, Reg(1)),
+            rep.exec().read_reg(0, Reg(2)),
+        )
     };
     assert_eq!(run(&rec.pinball), run(&rec.pinball));
 }

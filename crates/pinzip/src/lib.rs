@@ -11,6 +11,8 @@
 //! [LZSS]: lzss::compress
 //! [varint]: varint::write_u64
 
+#![warn(missing_docs)]
+
 pub mod lzss;
 pub mod varint;
 

@@ -220,7 +220,12 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses() {
-        let data: Vec<u8> = b"abcabcabcabc".iter().cycle().take(10_000).copied().collect();
+        let data: Vec<u8> = b"abcabcabcabc"
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
         let c = compress(&data);
         assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
         assert_eq!(decompress(&c).unwrap(), data);

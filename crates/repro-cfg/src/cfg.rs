@@ -93,7 +93,8 @@ impl Cfg {
 
         // Ranges: declared functions, plus synthetic ranges for code outside
         // any function so every pc is covered.
-        let mut ranges: Vec<(Pc, Pc)> = program.functions.iter().map(|f| (f.entry, f.end)).collect();
+        let mut ranges: Vec<(Pc, Pc)> =
+            program.functions.iter().map(|f| (f.entry, f.end)).collect();
         ranges.sort_unstable();
         let mut covered: Vec<(Pc, Pc)> = Vec::new();
         let mut cursor: Pc = 0;

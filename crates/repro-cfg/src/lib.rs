@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cfg;
 pub mod postdom;
 

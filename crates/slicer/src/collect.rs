@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use minivm::{Program, ToolControl};
 use pinplay::{relog, ExclusionRegion, Pinball, RelogStats, Replayer};
@@ -17,10 +18,18 @@ use repro_cfg::Cfg;
 
 use crate::control::ControlTracker;
 use crate::global::{GlobalTrace, DEFAULT_BLOCK_SIZE};
+use crate::metrics::{SliceMetrics, StageMetrics};
 use crate::pairs::{PairCandidates, PairDetector};
 use crate::regions::{exclusion_regions, ExclusionStats};
-use crate::slice::{compute_slice, Criterion, Slice, SliceOptions};
+use crate::slice::{compute_slice, Criterion, Slice, SliceOptions, DEFAULT_PARALLEL_THRESHOLD};
 use crate::trace::{LocKey, RecordId, TraceRecord};
+
+/// Upper bound on concurrent collector threads (one per thread shard).
+const MAX_COLLECTORS: usize = 8;
+
+/// Bounded per-collector channel depth: enough to absorb scheduling jitter
+/// without letting the replay run arbitrarily far ahead of the collectors.
+const COLLECTOR_CHANNEL_CAP: usize = 1024;
 
 /// Configuration for trace collection and slicing.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +53,14 @@ pub struct SlicerOptions {
     pub cluster: bool,
     /// Apply save/restore bypass pruning when slicing (§5.2).
     pub prune_save_restore: bool,
+    /// Use the parallel pipeline (concurrent per-thread collectors fed by a
+    /// streaming replay, parallel block summaries, sparse traversal) for
+    /// workloads at least `parallel_threshold` instructions long. The
+    /// parallel and serial pipelines produce identical slices.
+    pub parallel: bool,
+    /// Minimum logged-instruction count before `parallel` engages, and the
+    /// minimum trace length before slice queries take the sparse path.
+    pub parallel_threshold: usize,
 }
 
 impl Default for SlicerOptions {
@@ -56,6 +73,8 @@ impl Default for SlicerOptions {
             block_size: DEFAULT_BLOCK_SIZE,
             cluster: true,
             prune_save_restore: true,
+            parallel: true,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -69,17 +88,58 @@ pub struct SliceSession {
     pairs: HashMap<RecordId, RecordId>,
     cfg: Cfg,
     options: SlicerOptions,
+    metrics: SliceMetrics,
+}
+
+/// Builds one trace record from a replay event (shared by the serial and
+/// parallel collectors).
+fn make_record(
+    program: &Program,
+    tracker: &mut ControlTracker,
+    detector: &mut PairDetector,
+    ev: &minivm::InsEvent,
+) -> TraceRecord {
+    let id: RecordId = ev.seq;
+    let cd = tracker.on_event(ev, id);
+    detector.on_event(ev, id);
+    TraceRecord {
+        id,
+        tid: ev.tid,
+        pc: ev.pc,
+        instance: ev.instance,
+        instr: ev.instr,
+        next_pc: ev.next_pc,
+        uses: ev.uses,
+        defs: ev.defs,
+        spawned: ev.spawned,
+        cd_parent: cd,
+        line: program.line_of(ev.pc),
+    }
 }
 
 impl SliceSession {
     /// Replays `pinball` and collects everything slicing needs: per-thread
     /// def/use traces merged into the global trace, dynamic control
     /// dependences over the (refined) CFG, and verified save/restore pairs.
+    ///
+    /// For multi-threaded workloads at least
+    /// [`SlicerOptions::parallel_threshold`] instructions long (with
+    /// `parallel` on), collection runs concurrently: the replay streams
+    /// events into per-thread-shard channels drained by collector threads,
+    /// each tracking control dependences and save/restore pairs for its
+    /// threads independently. The shard results are merged back into
+    /// global retire order, which reproduces the serial collection
+    /// byte for byte — control dependence and pair state is per-thread, and
+    /// after two-pass discovery the shared CFG is read-only, so sharding by
+    /// thread cannot change any result. (With online-only refinement —
+    /// `refine_indirect` without `two_pass_discovery` — indirect-target
+    /// observations *do* cross threads, so collection stays serial.)
     pub fn collect(
         program: Arc<Program>,
         pinball: &Pinball,
         options: SlicerOptions,
     ) -> SliceSession {
+        let collect_start = Instant::now();
         let mut cfg = Cfg::build(&program);
 
         // Pass 1 (optional): discover indirect-jump targets so the refined
@@ -96,53 +156,71 @@ impl SliceSession {
             replayer.run(&mut observe);
         }
 
-        // Pass 2: full collection.
-        let mut tracker = ControlTracker::new(cfg, options.refine_indirect);
-        let mut detector = PairDetector::new(PairCandidates::find(&program, options.max_save));
-        let mut records: Vec<TraceRecord> = Vec::new();
-        {
-            let program2 = Arc::clone(&program);
-            let mut collect = |ev: &minivm::InsEvent| {
-                let id: RecordId = ev.seq;
-                let cd = tracker.on_event(ev, id);
-                detector.on_event(ev, id);
-                records.push(TraceRecord {
-                    id,
-                    tid: ev.tid,
-                    pc: ev.pc,
-                    instance: ev.instance,
-                    instr: ev.instr,
-                    next_pc: ev.next_pc,
-                    uses: ev.uses,
-                    defs: ev.defs,
-                    spawned: ev.spawned,
-                    cd_parent: cd,
-                    line: program2.line_of(ev.pc),
-                });
-                ToolControl::Continue
-            };
-            let mut replayer = Replayer::new(Arc::clone(&program), pinball);
-            replayer.run(&mut collect);
-        }
+        // Pass 2: full collection, sharded by thread when safe and worth it.
+        let n_threads = pinball_thread_count(pinball);
+        let shards = n_threads.min(MAX_COLLECTORS);
+        let parallel_safe = !options.refine_indirect || options.two_pass_discovery;
+        let use_parallel = options.parallel
+            && parallel_safe
+            && shards > 1
+            && pinball.logged_instructions() >= options.parallel_threshold as u64;
 
-        let trace = GlobalTrace::build_with(
+        let (records, pairs, cfg) = if use_parallel {
+            let (records, pairs) = collect_parallel(&program, pinball, &cfg, &options, shards);
+            (records, pairs, cfg)
+        } else {
+            let mut tracker = ControlTracker::new(cfg, options.refine_indirect);
+            let mut detector = PairDetector::new(PairCandidates::find(&program, options.max_save));
+            let mut records: Vec<TraceRecord> = Vec::new();
+            {
+                let program2 = Arc::clone(&program);
+                let mut collect = |ev: &minivm::InsEvent| {
+                    records.push(make_record(&program2, &mut tracker, &mut detector, ev));
+                    ToolControl::Continue
+                };
+                let mut replayer = Replayer::new(Arc::clone(&program), pinball);
+                replayer.run(&mut collect);
+            }
+            (records, detector.finish(), tracker.into_cfg())
+        };
+        let collect_wall = collect_start.elapsed();
+        let n_records = records.len() as u64;
+
+        let (trace, build) = GlobalTrace::build_instrumented(
             records,
             options.block_size,
             options.track_sp,
             options.cluster,
         );
+        let metrics = SliceMetrics {
+            collect: StageMetrics::new(collect_wall, n_records),
+            merge: StageMetrics::new(build.merge_wall, n_records),
+            summarize: StageMetrics::new(build.summarize_wall, n_records),
+            collector_threads: if use_parallel { shards } else { 1 },
+            summary_workers: build.summary_workers,
+            ..SliceMetrics::default()
+        };
         SliceSession {
             program,
             trace,
-            pairs: detector.finish(),
-            cfg: tracker.into_cfg(),
+            pairs,
+            cfg,
             options,
+            metrics,
         }
     }
 
     /// The program under analysis.
     pub fn program(&self) -> &Arc<Program> {
         &self.program
+    }
+
+    /// Pipeline metrics for this session's collect/merge/summarize stages
+    /// (the traverse stage is per-query; fold a query's
+    /// [`SliceStats`](crate::SliceStats) in with
+    /// [`SliceMetrics::with_traversal`]).
+    pub fn metrics(&self) -> &SliceMetrics {
+        &self.metrics
     }
 
     /// The collected global trace.
@@ -164,6 +242,11 @@ impl SliceSession {
     pub fn slice(&self, criterion: Criterion) -> Slice {
         let opts = SliceOptions {
             prune_save_restore: self.options.prune_save_restore,
+            parallel_threshold: if self.options.parallel {
+                self.options.parallel_threshold
+            } else {
+                usize::MAX
+            },
             ..SliceOptions::new()
         };
         compute_slice(&self.trace, criterion, &self.pairs, opts)
@@ -213,6 +296,214 @@ impl SliceSession {
         let (regions, estats) = self.exclusion_regions(slice);
         let (pb, rstats) = relog(Arc::clone(&self.program), region_pinball, &regions);
         (pb, rstats, estats)
+    }
+}
+
+/// Number of threads the pinball's schedule log mentions.
+fn pinball_thread_count(pinball: &Pinball) -> usize {
+    pinball
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            pinplay::ReplayEvent::Run { tid, .. } | pinplay::ReplayEvent::Skip { tid, .. } => {
+                Some(*tid as usize)
+            }
+            pinplay::ReplayEvent::Inject { .. } => None,
+        })
+        .max()
+        .map_or(1, |t| t + 1)
+}
+
+/// The concurrent collection pass: the replay (on the calling thread)
+/// streams events into `shards` bounded channels, sharded by thread id;
+/// each collector thread drains one channel, running its own
+/// [`ControlTracker`] and [`PairDetector`] over the threads it owns.
+///
+/// Determinism: record ids are the global retire sequence, so sorting the
+/// concatenated shard outputs by id restores exactly the order the serial
+/// collector would have produced. Pair maps are disjoint across shards
+/// (pair state is per-thread), so their union is order-independent.
+fn collect_parallel(
+    program: &Arc<Program>,
+    pinball: &Pinball,
+    cfg: &Cfg,
+    options: &SlicerOptions,
+    shards: usize,
+) -> (Vec<TraceRecord>, HashMap<RecordId, RecordId>) {
+    let candidates = PairCandidates::find(program, options.max_save);
+    let (mut records, pairs) = std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = crossbeam::channel::bounded::<minivm::InsEvent>(COLLECTOR_CHANNEL_CAP);
+            senders.push(tx);
+            let cfg = cfg.clone();
+            let candidates = candidates.clone();
+            let program = Arc::clone(program);
+            let refine = options.refine_indirect;
+            handles.push(s.spawn(move || {
+                let mut tracker = ControlTracker::new(cfg, refine);
+                let mut detector = PairDetector::new(candidates);
+                let mut records: Vec<TraceRecord> = Vec::new();
+                for ev in rx.iter() {
+                    records.push(make_record(&program, &mut tracker, &mut detector, &ev));
+                }
+                (records, detector.finish())
+            }));
+        }
+        let mut replayer = Replayer::new(Arc::clone(program), pinball);
+        replayer.run_streaming(&senders);
+        drop(senders); // disconnect: collectors drain and finish
+
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut pairs: HashMap<RecordId, RecordId> = HashMap::new();
+        for h in handles {
+            let (shard_records, shard_pairs) = h.join().expect("collector thread panicked");
+            records.extend(shard_records);
+            pairs.extend(shard_pairs);
+        }
+        (records, pairs)
+    });
+    // Restore global retire order (= the serial collection order).
+    records.sort_unstable_by_key(|r| r.id);
+    (records, pairs)
+}
+
+#[cfg(test)]
+mod parallel_collection_tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, RoundRobin};
+    use pinplay::record_whole_program;
+
+    const MT_PROG: &str = r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            movi r1, 3
+            spawn r4, worker, r1
+            join r2
+            join r3
+            join r4
+            la r5, acc
+            load r6, r5, 0
+            print r6
+            halt
+        .endfunc
+        .func worker
+            la r1, acc
+            movi r3, 20
+        spin:
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, spin
+            halt
+        .endfunc
+        ";
+
+    fn record_mt() -> (Arc<Program>, Pinball) {
+        let program = Arc::new(assemble(MT_PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(5),
+            &mut LiveEnv::new(7),
+            100_000,
+            "mt-collect",
+        )
+        .unwrap();
+        (program, rec.pinball)
+    }
+
+    /// The parallel collection pipeline must reproduce the serial
+    /// collection byte for byte: records (including control parents),
+    /// pairs, and therefore every slice.
+    #[test]
+    fn parallel_collection_matches_serial() {
+        let (program, pinball) = record_mt();
+        let serial = SliceSession::collect(
+            Arc::clone(&program),
+            &pinball,
+            SlicerOptions {
+                parallel: false,
+                ..SlicerOptions::default()
+            },
+        );
+        let parallel = SliceSession::collect(
+            Arc::clone(&program),
+            &pinball,
+            SlicerOptions {
+                parallel: true,
+                parallel_threshold: 0,
+                ..SlicerOptions::default()
+            },
+        );
+        assert!(
+            parallel.metrics().collector_threads > 1,
+            "parallel pipeline engaged: {} collectors",
+            parallel.metrics().collector_threads
+        );
+        assert_eq!(serial.metrics().collector_threads, 1);
+
+        let sr = serial.trace().records();
+        let pr = parallel.trace().records();
+        assert_eq!(sr.len(), pr.len());
+        for (a, b) in sr.iter().zip(pr) {
+            assert_eq!(a, b, "record {} differs between pipelines", a.id);
+        }
+        assert_eq!(serial.pairs(), parallel.pairs());
+
+        let fail = serial.failure_record().unwrap().id;
+        let s_slice = serial.slice(Criterion::Record { id: fail });
+        let p_slice = parallel.slice(Criterion::Record { id: fail });
+        assert_eq!(s_slice.records, p_slice.records);
+        assert_eq!(s_slice.data_edges, p_slice.data_edges);
+        assert_eq!(s_slice.control_edges, p_slice.control_edges);
+    }
+
+    /// Online-only CFG refinement (no discovery pass) is the one
+    /// configuration where sharding would diverge; collection must stay
+    /// serial there.
+    #[test]
+    fn online_refinement_forces_serial_collection() {
+        let (program, pinball) = record_mt();
+        let session = SliceSession::collect(
+            Arc::clone(&program),
+            &pinball,
+            SlicerOptions {
+                parallel: true,
+                parallel_threshold: 0,
+                two_pass_discovery: false,
+                ..SlicerOptions::default()
+            },
+        );
+        assert_eq!(session.metrics().collector_threads, 1);
+    }
+
+    /// Pipeline metrics cover every stage after collection.
+    #[test]
+    fn session_metrics_are_populated() {
+        let (program, pinball) = record_mt();
+        let session = SliceSession::collect(
+            Arc::clone(&program),
+            &pinball,
+            SlicerOptions {
+                parallel: true,
+                parallel_threshold: 0,
+                ..SlicerOptions::default()
+            },
+        );
+        let m = session.metrics();
+        assert_eq!(m.collect.records, session.trace().records().len() as u64);
+        assert_eq!(m.merge.records, m.collect.records);
+        assert!(m.summary_workers >= 1);
+        let fail = session.failure_record().unwrap().id;
+        let slice = session.slice(Criterion::Record { id: fail });
+        let folded = m.with_traversal(&slice.stats, std::time::Duration::from_micros(1));
+        assert_eq!(folded.traverse.records, slice.stats.records_scanned);
     }
 }
 
@@ -268,6 +559,9 @@ mod failure_record_tests {
         // clustered order (otherwise this test proves nothing).
         let trap_pos = session.trace().position(failure.id).unwrap();
         let after = session.trace().records().len() - 1 - trap_pos;
-        assert!(after > 0, "clustering placed {after} records after the trap");
+        assert!(
+            after > 0,
+            "clustering placed {after} records after the trap"
+        );
     }
 }

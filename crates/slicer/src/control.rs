@@ -305,9 +305,8 @@ mod tests {
         let p = Arc::new(assemble(src).unwrap());
         let refined = cd_trace(&p, true);
         let imprecise = cd_trace(&p, false);
-        let parent_at = |t: &[(Pc, Option<Pc>)], pc: Pc| {
-            t.iter().find(|(p2, _)| *p2 == pc).unwrap().1
-        };
+        let parent_at =
+            |t: &[(Pc, Option<Pc>)], pc: Pc| t.iter().find(|(p2, _)| *p2 == pc).unwrap().1;
         assert_eq!(
             parent_at(&refined, 6),
             Some(5),

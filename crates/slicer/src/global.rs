@@ -23,6 +23,8 @@
 //! iii).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use minivm::Tid;
 
@@ -30,6 +32,26 @@ use crate::trace::{LocKey, RecordId, TraceRecord};
 
 /// Default LP block size (records per block).
 pub const DEFAULT_BLOCK_SIZE: usize = 1024;
+
+/// Traces below this many records are summarized serially — thread spawn
+/// overhead dominates for small traces.
+pub const PAR_SUMMARY_THRESHOLD: usize = 16_384;
+
+/// Upper bound on summary workers (beyond this the atomic work queue is the
+/// bottleneck, not the scanning).
+const MAX_SUMMARY_WORKERS: usize = 16;
+
+/// Timings from one [`GlobalTrace`] build, for the pipeline metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildMetrics {
+    /// Wall time of the topological cluster merge (zero with clustering
+    /// off).
+    pub merge_wall: Duration,
+    /// Wall time of block summarization + definition indexing.
+    pub summarize_wall: Duration,
+    /// Workers used for summarization (1 = serial).
+    pub summary_workers: usize,
+}
 
 /// Summary of one LP block.
 #[derive(Debug, Clone)]
@@ -50,6 +72,11 @@ pub struct GlobalTrace {
     /// record id -> position in `records`.
     pos_of: HashMap<RecordId, usize>,
     blocks: Vec<BlockSummary>,
+    block_size: usize,
+    /// location key -> ascending positions of its definitions. Precomputed
+    /// alongside the block summaries, this lets the sparse traversal jump
+    /// straight to a live key's reaching definition instead of scanning.
+    def_index: HashMap<LocKey, Vec<usize>>,
     track_sp: bool,
 }
 
@@ -73,7 +100,19 @@ impl GlobalTrace {
         track_sp: bool,
         cluster: bool,
     ) -> GlobalTrace {
+        GlobalTrace::build_instrumented(collected, block_size, track_sp, cluster).0
+    }
+
+    /// Like [`GlobalTrace::build_with`], also reporting per-stage timings
+    /// for the pipeline metrics.
+    pub fn build_instrumented(
+        collected: Vec<TraceRecord>,
+        block_size: usize,
+        track_sp: bool,
+        cluster: bool,
+    ) -> (GlobalTrace, BuildMetrics) {
         assert!(block_size > 0, "block size must be positive");
+        let merge_start = Instant::now();
         let order: Vec<usize> = if cluster {
             cluster_merge(&collected, track_sp)
         } else {
@@ -84,23 +123,27 @@ impl GlobalTrace {
         for (pos, r) in records.iter().enumerate() {
             pos_of.insert(r.id, pos);
         }
-        let mut blocks = Vec::new();
-        let mut start = 0;
-        while start < records.len() {
-            let end = (start + block_size).min(records.len());
-            let mut defs = HashSet::new();
-            for r in &records[start..end] {
-                defs.extend(r.def_keys(track_sp).map(|(k, _)| k));
-            }
-            blocks.push(BlockSummary { start, end, defs });
-            start = end;
-        }
-        GlobalTrace {
-            records,
-            pos_of,
-            blocks,
-            track_sp,
-        }
+        let merge_wall = merge_start.elapsed();
+
+        let summarize_start = Instant::now();
+        let (blocks, def_index, summary_workers) = build_summaries(&records, block_size, track_sp);
+        let summarize_wall = summarize_start.elapsed();
+
+        (
+            GlobalTrace {
+                records,
+                pos_of,
+                blocks,
+                block_size,
+                def_index,
+                track_sp,
+            },
+            BuildMetrics {
+                merge_wall,
+                summarize_wall,
+                summary_workers,
+            },
+        )
     }
 
     /// Whether stack-pointer registers participate in dependence tracking.
@@ -118,6 +161,18 @@ impl GlobalTrace {
         &self.blocks
     }
 
+    /// The block size the trace was segmented with (block of position `p`
+    /// is `p / block_size`).
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Ascending positions of every definition of `key` — the precomputed
+    /// per-key summary the sparse traversal jumps through.
+    pub fn def_positions(&self, key: &LocKey) -> &[usize] {
+        self.def_index.get(key).map_or(&[], Vec::as_slice)
+    }
+
     /// Position of a record id in the global order.
     pub fn position(&self, id: RecordId) -> Option<usize> {
         self.pos_of.get(&id).copied()
@@ -133,6 +188,105 @@ impl GlobalTrace {
     pub fn rfind(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> Option<&TraceRecord> {
         self.records.iter().rev().find(|r| pred(r))
     }
+}
+
+/// Builds the LP block summaries and the per-key definition index over
+/// disjoint block ranges, in parallel for large traces.
+///
+/// Workers claim block indices from a shared atomic counter (work
+/// stealing: a worker stalled on a summary-heavy block does not hold the
+/// rest of the range hostage). Per-block results are merged in block-index
+/// order, so the output is byte-for-byte independent of the worker count —
+/// the serial path and every parallel schedule produce identical summaries
+/// and indices.
+#[allow(clippy::type_complexity)]
+fn build_summaries(
+    records: &[TraceRecord],
+    block_size: usize,
+    track_sp: bool,
+) -> (Vec<BlockSummary>, HashMap<LocKey, Vec<usize>>, usize) {
+    let n_blocks = records.len().div_ceil(block_size);
+    let workers = if records.len() >= PAR_SUMMARY_THRESHOLD {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, n_blocks.clamp(1, MAX_SUMMARY_WORKERS))
+    } else {
+        1
+    };
+    build_summaries_with(records, block_size, track_sp, workers)
+}
+
+/// [`build_summaries`] with an explicit worker count (exposed to the
+/// determinism tests).
+#[allow(clippy::type_complexity)]
+fn build_summaries_with(
+    records: &[TraceRecord],
+    block_size: usize,
+    track_sp: bool,
+    workers: usize,
+) -> (Vec<BlockSummary>, HashMap<LocKey, Vec<usize>>, usize) {
+    let n_blocks = records.len().div_ceil(block_size);
+
+    let summarize_block = |b: usize| {
+        let start = b * block_size;
+        let end = (start + block_size).min(records.len());
+        let mut defs = HashSet::new();
+        let mut def_positions: Vec<(LocKey, usize)> = Vec::new();
+        for (pos, r) in records[start..end].iter().enumerate() {
+            for (k, _) in r.def_keys(track_sp) {
+                defs.insert(k);
+                def_positions.push((k, start + pos));
+            }
+        }
+        (BlockSummary { start, end, defs }, def_positions)
+    };
+
+    let mut per_block: Vec<Option<(BlockSummary, Vec<(LocKey, usize)>)>> =
+        (0..n_blocks).map(|_| None).collect();
+    if workers <= 1 {
+        for (b, slot) in per_block.iter_mut().enumerate() {
+            *slot = Some(summarize_block(b));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let partials = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= n_blocks {
+                                break;
+                            }
+                            mine.push((b, summarize_block(b)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("summary worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (b, result) in partials {
+            per_block[b] = Some(result);
+        }
+    }
+
+    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut def_index: HashMap<LocKey, Vec<usize>> = HashMap::new();
+    // Merging in block order keeps every per-key position list ascending.
+    for slot in per_block {
+        let (summary, defs_at) = slot.expect("every block summarized");
+        blocks.push(summary);
+        for (k, pos) in defs_at {
+            def_index.entry(k).or_default().push(pos);
+        }
+    }
+    (blocks, def_index, workers)
 }
 
 /// Computes the clustered topological order; returns indices into
@@ -440,5 +594,55 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_size_rejected() {
         let _ = GlobalTrace::build(Vec::new(), 0, false);
+    }
+
+    #[test]
+    fn def_index_lists_positions_ascending() {
+        let collected = vec![
+            rec(0, 0, &[], &[(Loc::Mem(0x1000), 1)]),
+            rec(1, 0, &[], &[(Loc::Reg(Reg(1)), 2)]),
+            rec(2, 0, &[], &[(Loc::Mem(0x1000), 3)]),
+            rec(3, 0, &[], &[(Loc::Mem(0x1000), 4)]),
+        ];
+        let gt = GlobalTrace::build(collected, 2, false);
+        assert_eq!(gt.def_positions(&LocKey::Mem(0x1000)), &[0, 2, 3]);
+        assert_eq!(gt.def_positions(&LocKey::Reg(0, Reg(1))), &[1]);
+        assert_eq!(gt.def_positions(&LocKey::Mem(0x9999)), &[] as &[usize]);
+        assert_eq!(gt.block_size(), 2);
+    }
+
+    #[test]
+    fn parallel_summaries_match_serial() {
+        // Big single-thread trace; defs rotate over a few keys so blocks
+        // and the index have real content.
+        let collected: Vec<TraceRecord> = (0..5000)
+            .map(|i| {
+                let def = match i % 3 {
+                    0 => (Loc::Reg(Reg((i % 7) as u8 + 1)), i as i64),
+                    1 => (Loc::Mem(0x1000 + (i % 11) as u64 * 8), i as i64),
+                    _ => (Loc::Reg(Reg(9)), i as i64),
+                };
+                rec(i as RecordId, 0, &[], &[def])
+            })
+            .collect();
+        let (serial_blocks, serial_index, _) = build_summaries_with(&collected, 64, false, 1);
+        let (par_blocks, par_index, _) = build_summaries_with(&collected, 64, false, 4);
+        assert_eq!(serial_blocks.len(), par_blocks.len());
+        for (a, b) in serial_blocks.iter().zip(&par_blocks) {
+            assert_eq!((a.start, a.end), (b.start, b.end));
+            assert_eq!(a.defs, b.defs);
+        }
+        assert_eq!(serial_index, par_index);
+        for positions in par_index.values() {
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn build_metrics_report_stage_walls() {
+        let collected = vec![rec(0, 0, &[], &[(Loc::Reg(Reg(1)), 1)])];
+        let (gt, metrics) = GlobalTrace::build_instrumented(collected, 16, false, true);
+        assert_eq!(gt.records().len(), 1);
+        assert_eq!(metrics.summary_workers, 1, "tiny trace summarized serially");
     }
 }

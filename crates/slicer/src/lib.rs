@@ -58,6 +58,7 @@
 pub mod collect;
 pub mod control;
 pub mod global;
+pub mod metrics;
 pub mod pairs;
 pub mod regions;
 pub mod slice;
@@ -66,9 +67,15 @@ pub mod trace;
 
 pub use collect::{SliceSession, SlicerOptions};
 pub use control::ControlTracker;
-pub use global::{is_valid_topological_order, BlockSummary, GlobalTrace, DEFAULT_BLOCK_SIZE};
+pub use global::{
+    is_valid_topological_order, BlockSummary, BuildMetrics, GlobalTrace, DEFAULT_BLOCK_SIZE,
+};
+pub use metrics::{SliceMetrics, StageMetrics};
 pub use pairs::{PairCandidates, PairDetector};
 pub use regions::{exclusion_regions, is_force_included, ExclusionStats, OPEN_END_PC};
-pub use slice::{compute_slice, compute_slice_naive, Criterion, DataEdge, Slice, SliceOptions, SliceStats};
+pub use slice::{
+    compute_slice, compute_slice_lp, compute_slice_naive, compute_slice_sparse, Criterion,
+    DataEdge, Slice, SliceOptions, SliceStats, DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use slicefile::{SliceFile, SliceFileError, SliceStatement};
 pub use trace::{LocKey, RecordId, TraceRecord};

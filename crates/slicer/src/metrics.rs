@@ -1,0 +1,137 @@
+//! Pipeline stage metrics for the parallel slicing pipeline.
+//!
+//! The slicing pipeline has four stages — *collect* (replay the region
+//! pinball, gathering per-thread def/use traces), *merge* (the topological
+//! cluster merge into the global trace), *summarize* (LP block summaries
+//! plus the per-key definition index), and *traverse* (one backward slice
+//! query). [`SliceMetrics`] carries per-stage wall time and work counters
+//! through `collect → global → slice` so the debugger's `metrics` command
+//! and `drdebug_cli` can report where time went and how much work the LP
+//! skipping and save/restore pruning avoided.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Wall time and work volume of one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Wall-clock time the stage took.
+    pub wall: Duration,
+    /// Records the stage processed (trace records for collect/merge/
+    /// summarize; records examined for traverse).
+    pub records: u64,
+}
+
+impl StageMetrics {
+    /// A stage measurement.
+    pub fn new(wall: Duration, records: u64) -> StageMetrics {
+        StageMetrics { wall, records }
+    }
+}
+
+/// End-to-end metrics for one slicing pipeline run.
+///
+/// The collect/merge/summarize stages are filled once per
+/// [`SliceSession::collect`](crate::SliceSession::collect); the traverse
+/// stage describes the most recent slice query combined in by the caller
+/// (each query returns its own [`SliceStats`](crate::SliceStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceMetrics {
+    /// Replay + per-thread def/use trace collection.
+    pub collect: StageMetrics,
+    /// Topological merge into the global trace (plus the id-order restore
+    /// after parallel collection).
+    pub merge: StageMetrics,
+    /// LP block summaries and the per-key definition index.
+    pub summarize: StageMetrics,
+    /// The most recent backward traversal (zero until a slice is computed).
+    pub traverse: StageMetrics,
+    /// Collector threads used (1 = serial collection).
+    pub collector_threads: usize,
+    /// Workers used for block summaries (1 = serial summarization).
+    pub summary_workers: usize,
+    /// Blocks scanned record by record in the last traversal.
+    pub blocks_visited: usize,
+    /// Blocks skipped via summaries in the last traversal.
+    pub blocks_skipped: usize,
+    /// Save/restore dependences pruned (§5.2 bypasses) in the last
+    /// traversal.
+    pub bypasses: u64,
+}
+
+impl SliceMetrics {
+    /// Returns a copy with the traverse-stage fields replaced by one
+    /// query's statistics.
+    pub fn with_traversal(
+        mut self,
+        stats: &crate::slice::SliceStats,
+        wall: Duration,
+    ) -> SliceMetrics {
+        self.traverse = StageMetrics::new(wall, stats.records_scanned);
+        self.blocks_visited = stats.blocks_visited;
+        self.blocks_skipped = stats.blocks_skipped;
+        self.bypasses = stats.bypasses;
+        self
+    }
+}
+
+impl fmt::Display for SliceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "collect    {:>12?}  {:>10} records  {} collector thread(s)",
+            self.collect.wall, self.collect.records, self.collector_threads
+        )?;
+        writeln!(
+            f,
+            "merge      {:>12?}  {:>10} records",
+            self.merge.wall, self.merge.records
+        )?;
+        writeln!(
+            f,
+            "summarize  {:>12?}  {:>10} records  {} worker(s)",
+            self.summarize.wall, self.summarize.records, self.summary_workers
+        )?;
+        writeln!(
+            f,
+            "traverse   {:>12?}  {:>10} scanned",
+            self.traverse.wall, self.traverse.records
+        )?;
+        write!(
+            f,
+            "           blocks visited {}, skipped {}, dependences pruned {}",
+            self.blocks_visited, self.blocks_skipped, self.bypasses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::SliceStats;
+
+    #[test]
+    fn traversal_stats_fold_in() {
+        let base = SliceMetrics {
+            collect: StageMetrics::new(Duration::from_millis(5), 100),
+            collector_threads: 2,
+            summary_workers: 1,
+            ..SliceMetrics::default()
+        };
+        let stats = SliceStats {
+            blocks_visited: 3,
+            blocks_skipped: 7,
+            records_scanned: 42,
+            bypasses: 1,
+        };
+        let m = base.with_traversal(&stats, Duration::from_micros(9));
+        assert_eq!(m.traverse.records, 42);
+        assert_eq!(m.traverse.wall, Duration::from_micros(9));
+        assert_eq!(m.blocks_skipped, 7);
+        assert_eq!(m.bypasses, 1);
+        assert_eq!(m.collect.records, 100, "pipeline stages preserved");
+        let text = m.to_string();
+        assert!(text.contains("collect"));
+        assert!(text.contains("dependences pruned 1"));
+    }
+}

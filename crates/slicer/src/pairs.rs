@@ -132,10 +132,9 @@ impl PairDetector {
             Instr::Call { .. } | Instr::CallInd { .. } => {
                 td.activations.push(Activation::default());
             }
-            Instr::Ret
-                if td.activations.len() > 1 => {
-                    td.activations.pop();
-                }
+            Instr::Ret if td.activations.len() > 1 => {
+                td.activations.pop();
+            }
             Instr::Push { src } if self.candidates.is_save(ev.pc) => {
                 // The pushed value and the stack slot written.
                 let value = ev
@@ -169,9 +168,11 @@ impl PairDetector {
                     let act = td.activations.last_mut().expect("activation exists");
                     // LIFO match within the current activation: same
                     // register, same slot, same value (§5.2 conditions 1+2).
-                    if let Some(pos) = act.saves.iter().rposition(|s| {
-                        s.reg == dst && s.slot == slot && s.value == value
-                    }) {
+                    if let Some(pos) = act
+                        .saves
+                        .iter()
+                        .rposition(|s| s.reg == dst && s.slot == slot && s.value == value)
+                    {
                         let save = act.saves.remove(pos);
                         self.pairs.insert(id, save.id);
                     }

@@ -198,11 +198,11 @@ mod tests {
     #[test]
     fn sync_instructions_split_regions() {
         let recs = vec![
-            rec(0, 0, 0, 1, Instr::Nop), // in slice
-            rec(1, 0, 1, 1, Instr::Nop), // excluded
+            rec(0, 0, 0, 1, Instr::Nop),                   // in slice
+            rec(1, 0, 1, 1, Instr::Nop),                   // excluded
             rec(2, 0, 2, 1, Instr::Lock { addr: Reg(1) }), // forced keep
-            rec(3, 0, 3, 1, Instr::Nop), // excluded
-            rec(4, 0, 4, 1, Instr::Halt), // forced keep
+            rec(3, 0, 3, 1, Instr::Nop),                   // excluded
+            rec(4, 0, 4, 1, Instr::Halt),                  // forced keep
         ];
         let trace = crate::global::GlobalTrace::build(recs, 16, false);
         let (regions, stats) = exclusion_regions(&trace, &slice_of(&[0]));
@@ -225,7 +225,9 @@ mod tests {
         let (regions, _) = exclusion_regions(&trace, &slice_of(&[0, 3]));
         assert_eq!(regions.len(), 2);
         assert!(regions.iter().any(|r| r.tid == 0 && r.start_pc == 1));
-        assert!(regions.iter().any(|r| r.tid == 1 && r.start_pc == 0 && r.end_pc == 1));
+        assert!(regions
+            .iter()
+            .any(|r| r.tid == 1 && r.start_pc == 0 && r.end_pc == 1));
     }
 
     #[test]

@@ -141,6 +141,11 @@ impl Slice {
     }
 }
 
+/// Traces at least this long use the sparse (index-guided) traversal by
+/// default; shorter traces stay on the LP block scan, whose sequential
+/// sweep is cheaper than heap bookkeeping at small scale.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
 /// Options controlling a slicing traversal.
 #[derive(Debug, Clone)]
 pub struct SliceOptions {
@@ -152,6 +157,11 @@ pub struct SliceOptions {
     /// out of the slice. Useful for suppressing well-understood inputs
     /// (configuration reads, loop counters) while investigating.
     pub prune_keys: std::collections::HashSet<LocKey>,
+    /// Minimum trace length for [`compute_slice`] to take the sparse
+    /// index-guided path (built by the parallel pipeline's summarize
+    /// stage); below it the serial LP block scan runs. `usize::MAX` forces
+    /// LP, `0` forces sparse. Both paths produce identical slices.
+    pub parallel_threshold: usize,
 }
 
 impl Default for SliceOptions {
@@ -166,6 +176,7 @@ impl SliceOptions {
         SliceOptions {
             prune_save_restore: true,
             prune_keys: std::collections::HashSet::new(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 
@@ -186,10 +197,35 @@ type LiveSet = HashMap<LocKey, Vec<RecordId>>;
 /// [`PairDetector`](crate::pairs::PairDetector)); pass an empty map to
 /// disable pruning regardless of `options`.
 ///
+/// Dispatches between two traversals producing identical slices: the
+/// sparse index-guided scan ([`compute_slice_sparse`]) for traces of at
+/// least `options.parallel_threshold` records, and the serial LP block
+/// scan ([`compute_slice_lp`]) below it.
+///
 /// # Panics
 ///
 /// Panics if the criterion's record id is not present in the trace.
 pub fn compute_slice(
+    trace: &GlobalTrace,
+    criterion: Criterion,
+    pairs: &HashMap<RecordId, RecordId>,
+    options: SliceOptions,
+) -> Slice {
+    if trace.records().len() >= options.parallel_threshold {
+        compute_slice_sparse(trace, criterion, pairs, options)
+    } else {
+        compute_slice_lp(trace, criterion, pairs, options)
+    }
+}
+
+/// The serial Limited Preprocessing traversal: a backward block-by-block
+/// scan skipping blocks whose definition summary intersects neither the
+/// live set nor any needed/deferred position.
+///
+/// # Panics
+///
+/// Panics if the criterion's record id is not present in the trace.
+pub fn compute_slice_lp(
     trace: &GlobalTrace,
     criterion: Criterion,
     pairs: &HashMap<RecordId, RecordId>,
@@ -396,8 +432,211 @@ pub fn compute_slice(
         }
     }
     slice.control_edges.sort_unstable();
-    slice.data_edges.sort_unstable_by_key(|e| (e.user, e.def));
+    slice
+        .data_edges
+        .sort_unstable_by_key(|e| (e.user, e.def, e.key));
 
+    slice
+}
+
+/// The sparse index-guided traversal: instead of scanning blocks, jump
+/// directly between the positions that can matter, using the per-key
+/// definition index precomputed by the parallel summarize stage
+/// ([`GlobalTrace::def_positions`]).
+///
+/// A max-heap holds candidate positions — for every live key, the greatest
+/// definition position below the scan front (its reaching definition);
+/// every needed control parent; every deferred save/restore resumption.
+/// Popping the heap walks the same positions the LP scan would *resolve
+/// at*, in the same descending order, so the live/needed/deferred state
+/// evolves identically and the slice is identical — but the work is
+/// O(slice-related positions · log), independent of the trace length the
+/// LP scan must sweep block summaries over. This is what makes repeated
+/// slice queries cheap after one parallel pipeline build, and it is the
+/// "parallel path" the differential tests pin against the serial LP
+/// result.
+///
+/// Stale heap candidates (a key resolved earlier than a queued candidate)
+/// pop as no-ops, exactly like the LP scan passing an irrelevant record.
+///
+/// # Panics
+///
+/// Panics if the criterion's record id is not present in the trace.
+pub fn compute_slice_sparse(
+    trace: &GlobalTrace,
+    criterion: Criterion,
+    pairs: &HashMap<RecordId, RecordId>,
+    options: SliceOptions,
+) -> Slice {
+    let crit_pos = trace
+        .position(criterion.record_id())
+        .expect("criterion record not in trace");
+    let records = trace.records();
+    let track_sp = trace.track_sp();
+    let block_size = trace.block_size();
+
+    let mut slice = Slice {
+        criterion,
+        records: HashSet::new(),
+        data_edges: Vec::new(),
+        control_edges: Vec::new(),
+        stats: SliceStats::default(),
+    };
+
+    let mut live: LiveSet = HashMap::new();
+    let mut needed: HashMap<usize, RecordId> = HashMap::new();
+    let mut deferred: Vec<(usize, LocKey, Vec<RecordId>)> = Vec::new();
+    let mut heap: std::collections::BinaryHeap<usize> = std::collections::BinaryHeap::new();
+    let mut visited_blocks: HashSet<usize> = HashSet::new();
+
+    // Queue the reaching-definition candidate for `key`: its greatest
+    // definition position strictly below `limit`.
+    let push_def_candidate =
+        |heap: &mut std::collections::BinaryHeap<usize>, key: &LocKey, limit: usize| {
+            let defs = trace.def_positions(key);
+            let i = defs.partition_point(|&p| p < limit);
+            if i > 0 {
+                heap.push(defs[i - 1]);
+            }
+        };
+
+    // Seed with the criterion record.
+    {
+        let crit = &records[crit_pos];
+        slice.records.insert(crit.id);
+        match criterion {
+            Criterion::Record { .. } => {
+                for (k, _) in crit.use_keys(track_sp) {
+                    if !options.prune_keys.contains(&k) {
+                        live.entry(k).or_default().push(crit.id);
+                        push_def_candidate(&mut heap, &k, crit_pos);
+                    }
+                }
+            }
+            Criterion::Value { key, .. } => {
+                // An explicit criterion key overrides user pruning.
+                live.entry(key).or_default().push(crit.id);
+                push_def_candidate(&mut heap, &key, crit_pos);
+            }
+        }
+        if let Some(cd) = crit.cd_parent {
+            if let Some(p) = trace.position(cd) {
+                if p <= crit_pos {
+                    needed.insert(p, cd);
+                    if p < crit_pos {
+                        heap.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // The scan front: every processed position is strictly below the
+    // previous one, mirroring the LP scan's descending sweep.
+    let mut front = crit_pos;
+    while let Some(pos) = heap.pop() {
+        if pos >= front {
+            continue; // duplicate or stale candidate
+        }
+        front = pos;
+
+        // Activate deferred queries whose save position we have reached
+        // (before examining the record, exactly as the LP scan does).
+        if !deferred.is_empty() {
+            let mut i = 0;
+            while i < deferred.len() {
+                if deferred[i].0 >= pos {
+                    let (_, key, users) = deferred.swap_remove(i);
+                    live.entry(key).or_default().extend(users);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let r = &records[pos];
+        slice.stats.records_scanned += 1;
+        visited_blocks.insert(pos / block_size);
+
+        let mut admit_r = false;
+
+        // Control dependence resolution.
+        if let Some(&id) = needed.get(&pos) {
+            debug_assert_eq!(id, r.id);
+            needed.remove(&pos);
+            admit_r = true;
+        }
+
+        // Data dependence resolution.
+        for (k, _) in r.def_keys(track_sp) {
+            let Some(users) = live.remove(&k) else {
+                continue;
+            };
+            let is_bypassable = options.prune_save_restore
+                && matches!(k, LocKey::Reg(..))
+                && pairs.contains_key(&r.id);
+            if is_bypassable {
+                let save_id = pairs[&r.id];
+                if let Some(save_pos) = trace.position(save_id) {
+                    if save_pos < pos {
+                        slice.stats.bypasses += 1;
+                        let resume = save_pos.saturating_sub(1);
+                        deferred.push((resume, k, users));
+                        // The resumed query's reaching definition doubles as
+                        // the activation point for the deferred entry.
+                        push_def_candidate(&mut heap, &k, resume + 1);
+                        continue;
+                    }
+                }
+                // Malformed pair: fall through to normal resolution.
+            }
+            for &u in &users {
+                slice.data_edges.push(DataEdge {
+                    user: u,
+                    def: r.id,
+                    key: k,
+                });
+            }
+            admit_r = true;
+        }
+
+        if admit_r && slice.records.insert(r.id) {
+            for (k, _) in r.use_keys(track_sp) {
+                if options.prune_keys.contains(&k) {
+                    continue;
+                }
+                live.entry(k).or_default().push(r.id);
+                push_def_candidate(&mut heap, &k, pos);
+            }
+            if let Some(cd) = r.cd_parent {
+                if let Some(p) = trace.position(cd) {
+                    if p < pos && !slice.records.contains(&cd) {
+                        needed.insert(p, cd);
+                        heap.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // Block accounting mirrors the LP stats: every block at or below the
+    // criterion's block that was never touched counts as skipped.
+    slice.stats.blocks_visited = visited_blocks.len();
+    slice.stats.blocks_skipped = (crit_pos / block_size + 1) - visited_blocks.len();
+
+    for &id in &slice.records {
+        if let Some(r) = trace.record(id) {
+            if let Some(cd) = r.cd_parent {
+                if slice.records.contains(&cd) {
+                    slice.control_edges.push((id, cd));
+                }
+            }
+        }
+    }
+    slice.control_edges.sort_unstable();
+    slice
+        .data_edges
+        .sort_unstable_by_key(|e| (e.user, e.def, e.key));
     slice
 }
 
@@ -475,9 +714,7 @@ pub fn compute_slice_naive(
             let bypass = options.prune_save_restore
                 && matches!(k, LocKey::Reg(..))
                 && pairs.contains_key(&r.id)
-                && trace
-                    .position(pairs[&r.id])
-                    .is_some_and(|sp| sp < pos);
+                && trace.position(pairs[&r.id]).is_some_and(|sp| sp < pos);
             if bypass {
                 slice.stats.bypasses += 1;
                 let save_pos = trace.position(pairs[&r.id]).expect("checked above");
@@ -520,7 +757,9 @@ pub fn compute_slice_naive(
         }
     }
     slice.control_edges.sort_unstable();
-    slice.data_edges.sort_unstable_by_key(|e| (e.user, e.def));
+    slice
+        .data_edges
+        .sort_unstable_by_key(|e| (e.user, e.def, e.key));
     slice
 }
 
@@ -601,7 +840,10 @@ mod tests {
         pc: Pc,
         options: SliceOptions,
     ) -> Slice {
-        let crit = trace.rfind(|r| r.pc == pc).expect("criterion pc executed").id;
+        let crit = trace
+            .rfind(|r| r.pc == pc)
+            .expect("criterion pc executed")
+            .id;
         compute_slice(trace, Criterion::Record { id: crit }, pairs, options)
     }
 
@@ -651,7 +893,10 @@ mod tests {
         assert!(pcs.contains(&2), "branch included via control dep");
         assert!(pcs.contains(&0), "branch operand included transitively");
         assert!(!pcs.contains(&1));
-        assert!(!pcs.contains(&5), "untaken arm never executed... or unrelated");
+        assert!(
+            !pcs.contains(&5),
+            "untaken arm never executed... or unrelated"
+        );
     }
 
     #[test]
@@ -794,6 +1039,178 @@ mod tests {
         assert_eq!(s.len(), 2, "movi + addi only");
     }
 
+    /// The sparse index-guided path must reproduce the LP result exactly —
+    /// records, edges, and edge order — on every scenario above, including
+    /// the save/restore bypass (whose deferral logic is the trickiest part
+    /// to keep aligned).
+    #[test]
+    fn sparse_traversal_matches_lp_on_all_scenarios() {
+        let scenarios: &[&str] = &[
+            r"
+            .text
+            .func main
+                movi r1, 2
+                movi r9, 77
+                addi r2, r1, 3
+                add  r3, r2, r2
+                halt
+            .endfunc
+            ",
+            r"
+            .text
+            .func main
+                movi r0, 1
+                movi r9, 5
+                beqi r0, 0, els
+                movi r1, 10
+                jmp join
+            els:
+                movi r1, 20
+            join:
+                add r2, r1, r1
+                halt
+            .endfunc
+            ",
+            r"
+            .text
+            .func main
+                movi r0, 3
+                movi r1, 0
+            top:
+                add  r1, r1, r0
+                subi r0, r0, 1
+                bgti r0, 0, top
+                halt
+            .endfunc
+            ",
+            r"
+            .text
+            .func q
+                push r1
+                movi r1, 5
+                addi r5, r1, 1
+                pop r1
+                ret
+            .endfunc
+            .func main
+                read r0
+                movi r1, 7
+                beqi r0, 0, skip
+                call q
+            skip:
+                add r2, r1, r1
+                halt
+            .endfunc
+            ",
+        ];
+        for (i, src) in scenarios.iter().enumerate() {
+            let (trace, pairs) = collect(src);
+            // Slice at every executed record, both criteria kinds where
+            // applicable, with pruning on and off.
+            for prune in [true, false] {
+                for r in trace.records() {
+                    let crit = Criterion::Record { id: r.id };
+                    let opts = SliceOptions {
+                        prune_save_restore: prune,
+                        ..SliceOptions::new()
+                    };
+                    let lp = compute_slice_lp(&trace, crit, &pairs, opts.clone());
+                    let sparse = compute_slice_sparse(&trace, crit, &pairs, opts);
+                    assert_eq!(lp.records, sparse.records, "scenario {i} records");
+                    assert_eq!(lp.data_edges, sparse.data_edges, "scenario {i} data edges");
+                    assert_eq!(
+                        lp.control_edges, sparse.control_edges,
+                        "scenario {i} control edges"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The sparse path skips the same irrelevant prefix LP does — and
+    /// scans far fewer records, since it jumps between definitions instead
+    /// of sweeping blocks.
+    #[test]
+    fn sparse_traversal_scans_only_relevant_records() {
+        // The def and the criterion are separated by irrelevant padding and
+        // each sits mid-block, so LP must scan whole blocks around them
+        // while the sparse path jumps straight to the def.
+        let mut src = String::from("\n.text\n.func main\n");
+        for _ in 0..100 {
+            src.push_str("    movi r9, 1\n");
+        }
+        src.push_str("    movi r1, 2\n");
+        for _ in 0..100 {
+            src.push_str("    movi r8, 1\n");
+        }
+        src.push_str("    addi r2, r1, 1\n    halt\n.endfunc\n");
+        let (trace, pairs) = collect(&src);
+        let crit = trace
+            .rfind(|r| matches!(r.instr, minivm::Instr::BinI { .. }))
+            .unwrap()
+            .id;
+        let lp = compute_slice_lp(
+            &trace,
+            Criterion::Record { id: crit },
+            &pairs,
+            SliceOptions::default(),
+        );
+        let sparse = compute_slice_sparse(
+            &trace,
+            Criterion::Record { id: crit },
+            &pairs,
+            SliceOptions::default(),
+        );
+        assert_eq!(lp.records, sparse.records);
+        assert_eq!(lp.data_edges, sparse.data_edges);
+        assert!(
+            sparse.stats.records_scanned < lp.stats.records_scanned,
+            "sparse {} vs lp {}",
+            sparse.stats.records_scanned,
+            lp.stats.records_scanned
+        );
+        assert!(sparse.stats.blocks_skipped > 10);
+    }
+
+    /// `compute_slice` dispatches on the threshold: forcing each side must
+    /// give the same slice.
+    #[test]
+    fn dispatch_threshold_selects_equivalent_paths() {
+        let (trace, pairs) = collect(
+            r"
+            .text
+            .func main
+                movi r1, 2
+                addi r2, r1, 3
+                add  r3, r2, r2
+                halt
+            .endfunc
+            ",
+        );
+        let crit = trace.rfind(|r| r.pc == 2).unwrap().id;
+        let forced_lp = compute_slice(
+            &trace,
+            Criterion::Record { id: crit },
+            &pairs,
+            SliceOptions {
+                parallel_threshold: usize::MAX,
+                ..SliceOptions::new()
+            },
+        );
+        let forced_sparse = compute_slice(
+            &trace,
+            Criterion::Record { id: crit },
+            &pairs,
+            SliceOptions {
+                parallel_threshold: 0,
+                ..SliceOptions::new()
+            },
+        );
+        assert_eq!(forced_lp.records, forced_sparse.records);
+        assert_eq!(forced_lp.data_edges, forced_sparse.data_edges);
+        assert_eq!(forced_lp.control_edges, forced_sparse.control_edges);
+    }
+
     #[test]
     fn slice_includes_failure_point_of_trap() {
         let (trace, pairs) = collect(
@@ -910,9 +1327,18 @@ mod prune_vars_tests {
             SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
         let crit = session.last_at_pc(2).unwrap().id;
         let opts = SliceOptions::new().prune_key(LocKey::Reg(0, Reg(1)));
-        let lp = compute_slice(session.trace(), Criterion::Record { id: crit }, session.pairs(), opts.clone());
-        let naive =
-            compute_slice_naive(session.trace(), Criterion::Record { id: crit }, session.pairs(), opts);
+        let lp = compute_slice(
+            session.trace(),
+            Criterion::Record { id: crit },
+            session.pairs(),
+            opts.clone(),
+        );
+        let naive = compute_slice_naive(
+            session.trace(),
+            Criterion::Record { id: crit },
+            session.pairs(),
+            opts,
+        );
         assert_eq!(lp.records, naive.records);
         let pcs = lp.pcs(session.trace());
         assert!(!pcs.contains(&0), "r1's def pruned");

@@ -97,11 +97,7 @@ impl TraceRecord {
     }
 }
 
-fn qualify(
-    tid: Tid,
-    locs: LocVals,
-    track_sp: bool,
-) -> impl Iterator<Item = (LocKey, i64)> {
+fn qualify(tid: Tid, locs: LocVals, track_sp: bool) -> impl Iterator<Item = (LocKey, i64)> {
     locs.into_iter().filter_map(move |(loc, v)| match loc {
         Loc::Reg(r) if r == Reg::SP && !track_sp => None,
         Loc::Reg(r) => Some((LocKey::Reg(tid, r), v)),

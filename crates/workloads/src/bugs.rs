@@ -395,7 +395,11 @@ mod tests {
                 case.exposing_iroot(),
                 maple::ExposeOptions::default(),
             );
-            assert!(e.is_some(), "{}: known adverse interleaving works", case.name);
+            assert!(
+                e.is_some(),
+                "{}: known adverse interleaving works",
+                case.name
+            );
         }
     }
 

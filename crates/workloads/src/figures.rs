@@ -218,7 +218,11 @@ mod tests {
             10_000,
         );
         assert_eq!(r.status, ExitStatus::AllHalted);
-        assert_eq!(exec.output(), &[14], "e survives Q's clobber via save/restore");
+        assert_eq!(
+            exec.output(),
+            &[14],
+            "e survives Q's clobber via save/restore"
+        );
     }
 
     #[test]
@@ -232,7 +236,14 @@ mod tests {
             assert!(p7.label(l).is_some(), "fig7 label {l}");
         }
         let p8 = fig8_save_restore();
-        for l in ["read_c", "set_e", "guard", "q_save", "q_restore", "compute_w"] {
+        for l in [
+            "read_c",
+            "set_e",
+            "guard",
+            "q_save",
+            "q_restore",
+            "compute_w",
+        ] {
             assert!(p8.label(l).is_some(), "fig8 label {l}");
         }
     }

@@ -26,5 +26,7 @@ pub mod specomp;
 
 pub use bugs::{aget_like, all_bugs, mozilla_like, pbzip2_like, BugCase};
 pub use figures::{fig5_exposing_iroot, fig5_race, fig7_switch, fig8_save_restore};
-pub use parsec::{all_parsec, units_for_main_instructions, ParsecProgram, PARSEC_INSTRUCTIONS_PER_UNIT};
+pub use parsec::{
+    all_parsec, units_for_main_instructions, ParsecProgram, PARSEC_INSTRUCTIONS_PER_UNIT,
+};
 pub use specomp::{all_specomp, SpecOmpProgram};

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Slice at the failure point.
     let slice = session.slice_failure().expect("slice at the assert");
-    println!("\nbackward dynamic slice: {} statement instances", slice.len());
+    println!(
+        "\nbackward dynamic slice: {} statement instances",
+        slice.len()
+    );
 
     let slicer = session.slicer();
     let racing_store = program.label("t1_store_x").expect("label");
@@ -55,8 +58,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         browser.activate(0);
         println!("  -> {}", browser.describe_cursor(&program));
     }
-    println!(
-        "\nroot cause: x was modified by t1 at pc {racing_store} while t2 assumed atomicity"
-    );
+    println!("\nroot cause: x was modified by t1 at pc {racing_store} while t2 assumed atomicity");
     Ok(())
 }

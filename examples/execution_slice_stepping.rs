@@ -58,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Generate the slice pinball: everything outside the slice becomes
     // exclusion regions whose side effects are injected at replay.
-    let (slice_pinball, relog_stats, _) =
-        session.make_slice_pinball(&recording.pinball, &slice);
+    let (slice_pinball, relog_stats, _) = session.make_slice_pinball(&recording.pinball, &slice);
     println!(
         "slice pinball keeps {} instructions, excludes {} (skipped during replay)",
         relog_stats.included, relog_stats.excluded
@@ -90,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // The sliced computation still produces the right value.
     assert_eq!(stepper.exec().output(), &[49]);
-    println!("\nfinal printed value along the slice: {:?}", stepper.exec().output());
+    println!(
+        "\nfinal printed value along the slice: {:?}",
+        stepper.exec().output()
+    );
     Ok(())
 }

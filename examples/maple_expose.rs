@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         5_000_000,
     );
     assert_eq!(r.status, ExitStatus::AllHalted);
-    println!("plain round-robin run: completed without failing ({} instructions)", r.steps);
+    println!(
+        "plain round-robin run: completed without failing ({} instructions)",
+        r.steps
+    );
 
     // Maple: profile inter-thread dependencies, actively force candidate
     // interleavings, record the one that crashes.

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("replayed program output: {:?}", session_exec_output(&session));
+    println!(
+        "replayed program output: {:?}",
+        session_exec_output(&session)
+    );
     Ok(())
 }
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use drdebug::{DebugSession, StopReason};
 use maple::ActiveScheduler;
 use minivm::{LiveEnv, NullTool};
-use pinplay::{record_region, RecordedExit, Replayer, ReplayStatus};
+use pinplay::{record_region, RecordedExit, ReplayStatus, Replayer};
 
 use workloads::{all_bugs, BugCase};
 

@@ -108,11 +108,8 @@ fn fig8_pruning_removes_spurious_context() {
         "fig8",
     )
     .expect("records");
-    let session = SliceSession::collect(
-        Arc::clone(&program),
-        &rec.pinball,
-        SlicerOptions::default(),
-    );
+    let session =
+        SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
     assert_eq!(session.pairs().len(), 1, "Q's save/restore pair verified");
 
     let crit = session
@@ -166,11 +163,8 @@ fn fig8_pruned_slice_still_replays_correctly() {
         "fig8",
     )
     .expect("records");
-    let session = SliceSession::collect(
-        Arc::clone(&program),
-        &rec.pinball,
-        SlicerOptions::default(),
-    );
+    let session =
+        SliceSession::collect(Arc::clone(&program), &rec.pinball, SlicerOptions::default());
     let crit = session
         .trace()
         .records()

@@ -1,0 +1,343 @@
+//! Vendored offline stand-in for `crossbeam`.
+//!
+//! Provides [`channel`]: multi-producer multi-consumer channels with the
+//! `crossbeam-channel` API shape this workspace uses (`bounded`,
+//! `unbounded`, blocking `send`/`recv`, `try_recv`, iteration, disconnect
+//! semantics on drop). Built on `std::sync::{Mutex, Condvar}` — not
+//! lock-free like real crossbeam, but semantically equivalent and fast
+//! enough for the replay/slicing pipelines that stream trace records
+//! through it.
+
+pub mod channel {
+    //! MPMC channels (stand-in for `crossbeam-channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded. A bound of 0 is treated as a bound of 1
+        /// (rendezvous channels are not needed by this workspace).
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a channel buffering at most `cap` messages; `send` blocks
+    /// when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Creates a channel with an unbounded buffer; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty, but senders remain.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// The sending half of a channel. Clonable (multi-producer).
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.chan.not_full.wait(inner).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            let last = inner.senders == 0;
+            drop(inner);
+            if last {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half of a channel. Clonable (multi-consumer).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.chan.not_empty.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Takes the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is ready;
+        /// [`TryRecvError::Disconnected`] when no message can ever arrive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// A blocking iterator yielding messages until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.inner.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            inner.receivers -= 1;
+            let last = inner.receivers == 0;
+            drop(inner);
+            if last {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Borrowing message iterator; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn messages_arrive_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receiver_drops() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded::<u32>(2);
+            let producer = thread::spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            producer.join().unwrap();
+            assert_eq!(got.len(), 1000);
+            assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_recv_reports_state() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv(), Ok(9));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn multiple_producers_all_deliver() {
+            let (tx, rx) = bounded::<usize>(4);
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..250 {
+                            tx.send(t * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got.len(), 1000);
+        }
+    }
+}

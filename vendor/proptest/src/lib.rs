@@ -1,0 +1,207 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the `proptest!`
+//! test macro (with `#![proptest_config(...)]`), `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `Just`, `any::<T>()`, integer-range
+//! strategies, tuple strategies, `prop_map`, and `collection::vec`.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed
+//!   instead of a minimized input. Failures are reproducible because the
+//!   per-case RNG seed depends only on the test name and case index.
+//! * **No persistence files.** Every run executes the same case set.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: both sides equal `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `pat in strategy` argument is drawn
+/// freshly per case; the body runs once per case and may use
+/// `prop_assert*!` or `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __runner = $crate::test_runner::TestRunner::new(__config);
+                __runner.run(stringify!($name), |__rng| {
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&$strategy, __rng);)+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __outcome
+                });
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn ranges_respected(x in 3u8..9, y in -4i8..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in crate::collection::vec(0u32..100, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Doc comments and configs are accepted together.
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0u8..10).prop_map(|x| x as i32),
+                Just(-1i32),
+                (10u8..20).prop_map(|x| i32::from(x) * 2),
+            ],
+        ) {
+            prop_assert!(v == -1 || (0..10).contains(&v) || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in any::<u64>()) {
+                prop_assert!(false, "forced failure for x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,188 @@
+//! Vendored offline stand-in for `rand` 0.8.
+//!
+//! Provides the slice of the rand API this workspace uses: seedable
+//! [`rngs::StdRng`], [`Rng::gen`], and [`Rng::gen_range`] over integer
+//! ranges. The generator is SplitMix64 — statistically solid for test-input
+//! generation and scheduling jitter, and fully deterministic from the seed,
+//! which is the property the record/replay tests actually depend on.
+//!
+//! Note the stream differs from real rand's ChaCha-based `StdRng`; nothing
+//! in this workspace depends on the specific stream, only on determinism.
+
+use std::ops::Range;
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The standard deterministic generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (the `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, as real rand does.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_impl {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draws a value uniformly from `[range.start, range.end)`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_impl {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(
+                    range.start < range.end,
+                    "gen_range called with empty range"
+                );
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                let offset = rng.next_u64() % span;
+                (range.start as $wide).wrapping_add(offset as $wide) as $t
+            }
+        }
+    )*};
+}
+
+uniform_impl!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let s: usize = rng.gen_range(0..3);
+            assert!(s < 3);
+            let i: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn negative_range_spans_work() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_neg = false;
+        for _ in 0..200 {
+            let v: i8 = rng.gen_range(-4..5);
+            assert!((-4..5).contains(&v));
+            seen_neg |= v < 0;
+        }
+        assert!(seen_neg, "range should cover negative values");
+    }
+}

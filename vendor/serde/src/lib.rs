@@ -1,0 +1,417 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace ships a minimal serde replacement that covers exactly the API
+//! surface the repository uses: `#[derive(Serialize, Deserialize)]` on
+//! non-generic structs and enums, plus `serde_json::{to_vec, from_slice}`.
+//!
+//! Instead of serde's generic `Serializer`/`Deserializer` driver traits,
+//! this implementation round-trips every value through a JSON-shaped
+//! [`Value`] tree. That is slower than real serde but semantically
+//! equivalent for this workspace (all serialized artifacts are JSON that is
+//! immediately LZSS-compressed by `pinzip`), and it keeps the derive macro
+//! trivial: generated code only needs field names, not field types.
+//!
+//! Encoding conventions match `serde_json`'s defaults so the on-disk
+//! artifacts stay conventional:
+//!
+//! * structs → objects in field declaration order;
+//! * newtype structs → the inner value, transparently;
+//! * unit enum variants → `"Name"`;
+//! * newtype variants → `{"Name": value}`;
+//! * tuple variants → `{"Name": [..]}`;
+//! * struct variants → `{"Name": {..}}`;
+//! * maps → objects with stringified keys (integer keys become strings).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value: the intermediate representation every serialized
+/// type passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON numbers. `i128` losslessly covers both `i64` and `u64`.
+    Int(i128),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Seq(Vec<Value>),
+    /// JSON objects. Insertion order is preserved so struct serialization
+    /// is byte-deterministic (field declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the JSON-shaped intermediate representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, reporting shape mismatches as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n).map_err(|_| {
+                        DeError(format!("{n} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(DeError(format!(
+                        "expected integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => Ok(($(__seq_elem::<$t>(items, $idx)?,)+)),
+                    other => Err(DeError(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Map keys: JSON objects require string keys, so integer-keyed maps
+/// stringify their keys (matching `serde_json`'s behaviour).
+pub trait MapKey: Sized + Ord {
+    /// The string form used as the JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<String, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_key_impl {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<$t, DeError> {
+                s.parse().map_err(|_| {
+                    DeError(format!("bad {} map key: {s:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_key_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers for derive-generated code
+// ---------------------------------------------------------------------------
+//
+// The derive macro is written without a Rust parser, so the code it emits
+// leans on type inference: `__de_field(v, "name")?` picks up the field's
+// type from the struct literal it sits in. None of these helpers are part
+// of the public API contract; they exist for the macro output only.
+
+/// Extracts and deserializes a named struct field.
+pub fn __de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// Like [`__de_field`], but a missing field yields `T::default()`
+/// (the `#[serde(default)]` attribute).
+pub fn __de_field_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+/// Extracts and deserializes one element of a tuple payload.
+pub fn __seq_elem<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, DeError> {
+    match items.get(idx) {
+        Some(item) => T::from_value(item),
+        None => Err(DeError(format!("missing tuple element {idx}"))),
+    }
+}
+
+/// Splits an externally tagged enum value into `(variant_name, payload)`.
+/// Unit variants are bare strings (no payload); all others are single-entry
+/// objects.
+pub fn __variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::Str(name) => Ok((name, None)),
+        Value::Map(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+        other => Err(DeError(format!("expected enum variant, got {other:?}"))),
+    }
+}
+
+/// Unwraps the payload of a non-unit variant, failing when the input was a
+/// bare variant-name string.
+pub fn __payload<'v>(payload: Option<&'v Value>, variant: &str) -> Result<&'v Value, DeError> {
+    payload.ok_or_else(|| DeError(format!("variant `{variant}` expects a payload")))
+}
+
+/// Interprets a tuple-variant payload as its element array.
+pub fn __payload_seq<'v>(
+    payload: Option<&'v Value>,
+    variant: &str,
+) -> Result<&'v [Value], DeError> {
+    match __payload(payload, variant)? {
+        Value::Seq(items) => Ok(items),
+        other => Err(DeError(format!(
+            "variant `{variant}` expects a tuple payload, got {other:?}"
+        ))),
+    }
+}
+
+/// Builds the value of a newtype enum variant.
+pub fn __ser_variant(name: &str, payload: Value) -> Value {
+    Value::Map(vec![(name.to_string(), payload)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_round_trips_preserve_extremes() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64::from_value(&v.to_value()).unwrap(), v);
+        }
+        for v in [0u64, u64::MAX] {
+            assert_eq!(u64::from_value(&v.to_value()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn out_of_range_integers_fail() {
+        assert!(u8::from_value(&Value::Int(256)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7u64, 9i64);
+        let v = m.to_value();
+        assert_eq!(v.get("7"), Some(&Value::Int(9)));
+        assert_eq!(BTreeMap::<u64, i64>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let a = [1i64, 2, 3];
+        let v = a.to_value();
+        assert_eq!(<[i64; 3]>::from_value(&v).unwrap(), a);
+        assert!(<[i64; 4]>::from_value(&v).is_err());
+    }
+}

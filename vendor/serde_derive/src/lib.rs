@@ -1,0 +1,459 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named, tuple,
+//! unit) and enums whose variants are unit, tuple, or struct shaped — plus
+//! the `#[serde(default)]` field attribute.
+//!
+//! The registry-less build environment rules out `syn`/`quote`, so the item
+//! is parsed directly from its `proc_macro::TokenStream`. That is feasible
+//! because the generated code never needs field *types*: the companion
+//! `serde` crate's helper functions (`__de_field`, `__seq_elem`, ...) let
+//! type inference recover them from the surrounding struct/variant literal.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S { .. }`
+    Struct(Vec<Field>),
+    /// `struct S(T, ..);` — arity recorded; a 1-tuple is a newtype.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present on the field.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+/// A cursor over a flat token-tree list.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes a `#[...]` attribute if one is next, returning its bracket
+    /// group's textual content (e.g. `serde ( default )`).
+    fn eat_attribute(&mut self) -> Option<String> {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == '#' {
+                self.next();
+                match self.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        return Some(g.stream().to_string());
+                    }
+                    other => panic!("malformed attribute after `#`: {other:?}"),
+                }
+            }
+        }
+        None
+    }
+
+    /// Consumes `pub`, `pub(...)`, or nothing.
+    fn eat_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens (a type, a discriminant expression, ...) until a `,` at
+    /// top level, tracking `<`/`>` nesting because generic-argument commas
+    /// are not field separators. Consumes the comma. Delimited groups are
+    /// single trees, so their inner commas are naturally invisible here.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    while c.eat_attribute().is_some() {}
+    c.eat_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let mut default = false;
+        while let Some(attr) = c.eat_attribute() {
+            // The bracket content is `serde(default)` (token-spaced); strip
+            // whitespace so the check is formatting-independent.
+            let flat: String = attr.chars().filter(|ch| !ch.is_whitespace()).collect();
+            if flat.starts_with("serde(") && flat.contains("default") {
+                default = true;
+            }
+        }
+        c.eat_visibility();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 0;
+    while !c.at_end() {
+        while c.eat_attribute().is_some() {}
+        c.eat_visibility();
+        if c.at_end() {
+            break; // trailing comma
+        }
+        c.skip_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        while c.eat_attribute().is_some() {}
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => format!("::serde::Value::Str(\"{name}\".to_string())"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!("{enum_name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"),
+        Shape::Tuple(1) => format!(
+            "{enum_name}::{vn}(__f0) => ::serde::__ser_variant(\"{vn}\", \
+             ::serde::Serialize::to_value(__f0)),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vn}({binds}) => ::serde::__ser_variant(\"{vn}\", \
+                 ::serde::Value::Seq(vec![{elems}])),",
+                binds = binds.join(", "),
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {binds} }} => ::serde::__ser_variant(\"{vn}\", \
+                 ::serde::Value::Map(vec![{entries}])),",
+                binds = binds.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields.iter().map(gen_field_init).collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__seq_elem(__items, {i})?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__items) => \
+                 ::std::result::Result::Ok({name}({elems})),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(format!(\
+                 \"expected tuple for {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Unit => format!(
+            "match __v {{\n\
+             ::serde::Value::Str(__s) if __s == \"{name}\" => \
+             ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::DeError(format!(\
+             \"expected \\\"{name}\\\", got {{__other:?}}\"))),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_deserialize_arm(name, v))
+                .collect();
+            format!(
+                "let (__variant, __payload) = ::serde::__variant(__v)?;\n\
+                 match __variant {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_field_init(f: &Field) -> String {
+    if f.default {
+        format!(
+            "{n}: ::serde::__de_field_default(__v, \"{n}\")?",
+            n = f.name
+        )
+    } else {
+        format!("{n}: ::serde::__de_field(__v, \"{n}\")?", n = f.name)
+    }
+}
+
+fn gen_deserialize_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!("\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn}),"),
+        Shape::Tuple(1) => format!(
+            "\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn}(\
+             ::serde::Deserialize::from_value(::serde::__payload(__payload, \"{vn}\")?)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__seq_elem(__items, {i})?"))
+                .collect();
+            format!(
+                "\"{vn}\" => {{ let __items = ::serde::__payload_seq(__payload, \"{vn}\")?; \
+                 ::std::result::Result::Ok({enum_name}::{vn}({elems})) }}",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let base = gen_field_init(f);
+                    base.replace("(__v,", "(__fields,")
+                })
+                .collect();
+            format!(
+                "\"{vn}\" => {{ let __fields = ::serde::__payload(__payload, \"{vn}\")?; \
+                 ::std::result::Result::Ok({enum_name}::{vn} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
