@@ -23,7 +23,7 @@ use std::sync::Arc;
 use drdebug::{CommandInterpreter, DebugSession, LiveSession, LiveStop};
 use maple::{expose_iroot, ExposeOptions, IRoot};
 use minivm::{LiveEnv, Program, RoundRobin};
-use pinplay::{record_whole_program, Pinball};
+use pinplay::{record_whole_program, Pinball, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
 
 fn record_case(name: &str) -> Result<(Arc<Program>, Pinball), String> {
     let bug_case = |case: workloads::BugCase| -> Result<(Arc<Program>, Pinball), String> {
@@ -143,7 +143,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(case) = args.first() else {
         eprintln!(
-            "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--cmd '<command>']..."
+            "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--ckpt <n>] [--cmd '<command>']..."
         );
         std::process::exit(2);
     };
@@ -172,9 +172,22 @@ fn main() {
     eprintln!(
         "[drdebug] pinball: {} instructions, {} bytes compressed",
         pinball.logged_instructions(),
-        pinball.size_bytes()
+        pinball.size_bytes().expect("pinball serializes")
     );
-    let mut dbg = CommandInterpreter::new(DebugSession::new(program, pinball));
+    // Embed checkpoints every `--ckpt N` retired instructions (default
+    // DEFAULT_CHECKPOINT_INTERVAL) so `seek` restores in O(chunk).
+    let interval = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .find(|(flag, _)| flag.as_str() == "--ckpt")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_CHECKPOINT_INTERVAL);
+    let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+    eprintln!(
+        "[drdebug] container: {} embedded checkpoints (interval {interval})",
+        container.checkpoints.len()
+    );
+    let mut dbg = CommandInterpreter::new(DebugSession::with_container(program, container));
 
     // Scripted mode: --cmd flags run in order, then exit.
     let cmds: Vec<&String> = args

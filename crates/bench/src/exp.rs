@@ -53,7 +53,7 @@ pub fn record_parsec_region(p: &ParsecProgram, skip: u64, length: u64) -> Record
         .expect("parsec region capture succeeds");
         // Logging time includes compression, as in the paper ("logging
         // (with bzip2 pinball compression) time").
-        let bytes = rec.pinball.to_bytes().len();
+        let bytes = rec.pinball.to_bytes().expect("pinball serializes").len();
         (rec, bytes)
     });
     RecordedRegion {
@@ -82,7 +82,7 @@ pub fn record_bug_region(case: &BugCase, region: RegionSpec) -> RecordedRegion {
             case.name,
         )
         .expect("bug region capture succeeds");
-        let bytes = rec.pinball.to_bytes().len();
+        let bytes = rec.pinball.to_bytes().expect("pinball serializes").len();
         (rec, bytes)
     });
     RecordedRegion {
@@ -208,6 +208,27 @@ pub fn four_thread_needle(iters: u64) -> Arc<Program> {
         ))
         .expect("needle workload assembles"),
     )
+}
+
+/// Records a [`four_thread_needle`] run and returns the raw pinball,
+/// for experiments that replay the region directly (seek benchmarks)
+/// rather than slicing it.
+///
+/// # Panics
+///
+/// Panics when the recording exceeds its step budget (never for sane
+/// `iters`).
+pub fn record_needle(iters: u64) -> (Arc<Program>, Pinball) {
+    let program = four_thread_needle(iters);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(13),
+        &mut LiveEnv::new(ENV_SEED),
+        iters * 50 + 100_000,
+        "needle",
+    )
+    .expect("needle capture succeeds");
+    (program, rec.pinball)
 }
 
 /// Records and collects a [`four_thread_needle`] trace, returning the

@@ -1,0 +1,74 @@
+//! Acceptance test for embedded-checkpoint seek: on a ~100k-instruction
+//! four-thread trace, `Replayer::seek_to` at the 75% mark must be at
+//! least 5x faster than a cold full replay to the same position, while
+//! landing on the identical machine state.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::exp::record_needle;
+use minivm::NullTool;
+use pinplay::{PinballContainer, Replayer, DEFAULT_CHECKPOINT_INTERVAL};
+
+const ITERS: u64 = 4_200;
+
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+#[test]
+fn checkpoint_seek_is_at_least_5x_faster_at_75_percent() {
+    let (program, pinball) = record_needle(ITERS);
+    let total = pinball.logged_instructions();
+    assert!(
+        total >= 100_000,
+        "need a >= 100k-instruction trace, got {total}"
+    );
+    let container =
+        PinballContainer::with_checkpoints(pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
+    assert!(
+        container.checkpoints.len() >= 10,
+        "expected a dense checkpoint ladder, got {}",
+        container.checkpoints.len()
+    );
+    let target = total * 3 / 4;
+
+    // Both paths must land on the same deterministic state.
+    let mut full = Replayer::new(Arc::clone(&program), &container.pinball);
+    full.run_steps(target, &mut NullTool);
+    let mut seeked = Replayer::new(Arc::clone(&program), &container.pinball);
+    let outcome = seeked.seek_to(&container, target);
+    assert!(outcome.restored_from.is_some(), "checkpoint must be used");
+    assert_eq!(full.replayed_instructions(), seeked.replayed_instructions());
+    assert_eq!(
+        full.exec().save_state(),
+        seeked.exec().save_state(),
+        "seek state must match full replay"
+    );
+    assert!(
+        outcome.replayed <= DEFAULT_CHECKPOINT_INTERVAL * 2,
+        "seek should replay at most ~one chunk, replayed {}",
+        outcome.replayed
+    );
+
+    let full_time = best_of(3, || {
+        let mut r = Replayer::new(Arc::clone(&program), &container.pinball);
+        r.run_steps(target, &mut NullTool);
+    });
+    let seek_time = best_of(3, || {
+        let mut r = Replayer::new(Arc::clone(&program), &container.pinball);
+        r.seek_to(&container, target);
+    });
+    assert!(
+        full_time >= seek_time * 5,
+        "seek must be >= 5x faster at 75% of {total} instructions: \
+         full {full_time:?} vs seek {seek_time:?}"
+    );
+}

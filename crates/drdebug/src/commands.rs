@@ -81,6 +81,7 @@ impl CommandInterpreter {
                 self.session.restart();
                 "restarted: replaying the same pinball from the region entry".to_owned()
             }
+            "seek" => self.cmd_seek(&args),
             "print" | "p" => self.cmd_print(&args),
             "x" => self.cmd_examine(&args),
             "list" | "l" => self.cmd_list(),
@@ -102,6 +103,7 @@ impl CommandInterpreter {
             "load-slice-file" => self.cmd_load_slice_file(&args),
             "replay-slice" => self.cmd_replay_slice(&args),
             "step-slice" => self.cmd_step_slice(),
+            "restart-slice" => self.cmd_restart_slice(),
             other => format!("unknown command `{other}` (try `help`)"),
         }
     }
@@ -236,8 +238,36 @@ impl CommandInterpreter {
                 }
                 out
             }
-            _ => "usage: info breakpoints|watchpoints|threads".to_owned(),
+            Some("checkpoints") => {
+                let (embedded, session) = self.session.checkpoint_positions();
+                let fmt_list = |v: &[u64]| {
+                    if v.is_empty() {
+                        "(none)".to_owned()
+                    } else {
+                        v.iter().map(u64::to_string).collect::<Vec<_>>().join(" ")
+                    }
+                };
+                format!(
+                    "embedded container checkpoints at instructions: {}\n\
+                     session checkpoints at instructions: {}\n",
+                    fmt_list(&embedded),
+                    fmt_list(&session)
+                )
+            }
+            _ => "usage: info breakpoints|watchpoints|threads|checkpoints".to_owned(),
         }
+    }
+
+    fn cmd_seek(&mut self, args: &[&str]) -> String {
+        let Some(target) = args.first().and_then(|s| s.parse::<u64>().ok()) else {
+            return "usage: seek <instruction-count>".to_owned();
+        };
+        let stop = self.session.seek_to(target);
+        format!(
+            "seeked to instruction {}: {}",
+            self.session.position(),
+            self.report_stop(stop)
+        )
     }
 
     fn cmd_stepi(&mut self, args: &[&str]) -> String {
@@ -335,9 +365,10 @@ impl CommandInterpreter {
     }
 
     fn cmd_metrics(&mut self) -> String {
+        let seek = format!("seek metrics:\n{}", self.session.seek_metrics());
         match self.session.metrics() {
-            Some(m) => format!("pipeline stage metrics:\n{m}"),
-            None => "no trace collected yet (run a slice command first)".to_owned(),
+            Some(m) => format!("pipeline stage metrics:\n{m}\n{seek}"),
+            None => format!("no trace collected yet (run a slice command first)\n{seek}"),
         }
     }
 
@@ -566,6 +597,16 @@ impl CommandInterpreter {
         format!("slice pinball generated ({kept} instructions kept); use step-slice")
     }
 
+    fn cmd_restart_slice(&mut self) -> String {
+        match self.stepper.as_mut() {
+            Some(stepper) => {
+                stepper.restart();
+                "slice replay restarted from the region entry".to_owned()
+            }
+            None => "no slice replay active (use replay-slice)".to_owned(),
+        }
+    }
+
     fn cmd_step_slice(&mut self) -> String {
         let Some(stepper) = self.stepper.as_mut() else {
             return "no slice replay active (use replay-slice)".to_owned();
@@ -599,11 +640,12 @@ const HELP: &str = "\
 DrDebug commands:
   break <pc|func|label[+off]> [tid]   set a breakpoint
   delete|enable|disable <id>    manage breakpoints
-  info breakpoints|threads      inspect session state
+  info breakpoints|threads|checkpoints   inspect session state
   continue | c                  replay until breakpoint/trap/end
   stepi [n] | si                step n instructions
   reverse-stepi | rsi           step one instruction BACKWARDS
   reverse-continue | rc         run backwards to the previous break/watch hit
+  seek <n>                      jump to instruction n (O(chunk) w/ checkpoints)
   watch <addr|sym>              stop when a memory word is written
   delete-watch <id>             remove a watchpoint
   restart                       replay the pinball from the start (cyclic!)
@@ -623,6 +665,7 @@ DrDebug commands:
   load-slice-file <path>        load a slice saved by a previous session
   replay-slice <idx>            build + load the slice pinball
   step-slice                    run to the next slice statement
+  restart-slice                 replay the slice pinball from the start
 ";
 
 #[cfg(test)]

@@ -62,5 +62,5 @@ pub use adx::{spawn_engine, AdxClient, AdxRequest, AdxResponse};
 pub use browse::{DepEdge, SliceBrowser};
 pub use commands::CommandInterpreter;
 pub use live::{LiveSession, LiveStop};
-pub use session::{Breakpoint, DebugSession, StopReason, StopSite};
+pub use session::{Breakpoint, DebugSession, SeekMetrics, StopReason, StopSite};
 pub use stepper::{SliceStep, SliceStepper};

@@ -13,12 +13,12 @@
 //! pinball via the relogger, and re-seating the session on the slice
 //! pinball for slice-level stepping (paper Fig. 4).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use minivm::{Addr, Pc, Program, Reg, Tid, ToolControl, VmError};
-use pinplay::{Pinball, ReplayStatus, Replayer};
+use pinplay::{Pinball, PinballContainer, ReplayStatus, Replayer};
 use slicer::{
     Criterion, LocKey, Slice, SliceMetrics, SliceOptions, SliceSession, SliceStats, SlicerOptions,
 };
@@ -94,20 +94,67 @@ pub struct StopSite {
     pub seq: u64,
 }
 
+/// Counters for the session's seek machinery: how stop-point repositioning
+/// was served. Reported alongside [`SliceMetrics`] by the `metrics`
+/// command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeekMetrics {
+    /// Seeks performed (reverse execution, `seek`, and cached `continue`).
+    pub seeks: u64,
+    /// Seeks served by restoring an embedded container checkpoint.
+    pub container_restores: u64,
+    /// Seeks served by a session-local (in-memory) checkpoint clone.
+    pub session_restores: u64,
+    /// Seeks that had to restart replay from the region entry — the
+    /// O(region) fallback the v2 container exists to avoid.
+    pub full_restarts: u64,
+    /// `continue` calls answered from the hop cache (cyclic-debugging
+    /// re-runs with an unchanged breakpoint set).
+    pub hop_hits: u64,
+    /// Instructions replayed while seeking.
+    pub instructions_replayed: u64,
+    /// Wall time spent seeking.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for SeekMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "seeks            {:>8}  ({} container restores, {} session restores, {} full restarts)",
+            self.seeks, self.container_restores, self.session_restores, self.full_restarts
+        )?;
+        writeln!(f, "hop-cache hits   {:>8}", self.hop_hits)?;
+        writeln!(
+            f,
+            "seek replay      {:>8} instructions in {:?}",
+            self.instructions_replayed, self.wall
+        )
+    }
+}
+
 /// An interactive, replay-based debugging session over one pinball.
 pub struct DebugSession {
     program: Arc<Program>,
-    pinball: Pinball,
+    /// The pinball plus any checkpoints embedded in its v2 container.
+    container: PinballContainer,
     replayer: Replayer,
     breakpoints: BTreeMap<u32, Breakpoint>,
     watchpoints: BTreeMap<u32, Watchpoint>,
     /// Periodic replay checkpoints `(instructions retired, state)` in
     /// ascending order — the §8 reverse-debugging substrate. Checkpoints
-    /// survive `restart` (the pinball never changes).
+    /// survive `restart` (the pinball never changes). These are seeded from
+    /// the container's embedded checkpoints and grown during `cont`.
     checkpoints: Vec<(u64, Replayer)>,
     checkpoint_interval: u64,
     next_bp: u32,
     last_event: Option<StopSite>,
+    /// `continue` hop cache for cyclic debugging: with an unchanged
+    /// breakpoint/watchpoint set, replay determinism makes every
+    /// `cont` from position `p` stop at the same position and reason, so
+    /// the second iteration of a break→continue loop becomes a seek.
+    hops: HashMap<u64, (u64, StopReason)>,
+    seek_metrics: SeekMetrics,
     /// Collected lazily on the first slice request and reused across the
     /// whole session (paper §7: "the dynamic information can be used for
     /// multiple slicing sessions").
@@ -125,7 +172,7 @@ pub struct DebugSession {
 impl std::fmt::Debug for DebugSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DebugSession")
-            .field("program", &self.pinball.meta.program)
+            .field("program", &self.container.pinball.meta.program)
             .field("breakpoints", &self.breakpoints.len())
             .field("stopped_at", &self.last_event)
             .finish()
@@ -133,13 +180,22 @@ impl std::fmt::Debug for DebugSession {
 }
 
 impl DebugSession {
-    /// Opens a session replaying `pinball`.
+    /// Opens a session replaying `pinball` (no embedded checkpoints — see
+    /// [`DebugSession::with_container`]).
     pub fn new(program: Arc<Program>, pinball: Pinball) -> DebugSession {
-        let replayer = Replayer::new(Arc::clone(&program), &pinball);
+        DebugSession::with_container(program, PinballContainer::new(pinball))
+    }
+
+    /// Opens a session over a v2 container: its embedded checkpoints seed
+    /// the session's checkpoint set, so reverse execution and `seek` are
+    /// O(chunk) from the first command instead of only after a forward
+    /// `continue` has dropped in-memory checkpoints.
+    pub fn with_container(program: Arc<Program>, container: PinballContainer) -> DebugSession {
+        let replayer = Replayer::new(Arc::clone(&program), &container.pinball);
         let checkpoints = vec![(0, replayer.clone())];
         DebugSession {
             program,
-            pinball,
+            container,
             replayer,
             breakpoints: BTreeMap::new(),
             watchpoints: BTreeMap::new(),
@@ -147,12 +203,32 @@ impl DebugSession {
             checkpoint_interval: 4096,
             next_bp: 1,
             last_event: None,
+            hops: HashMap::new(),
+            seek_metrics: SeekMetrics::default(),
             slicer: None,
             slicer_options: SlicerOptions::default(),
             prune_keys: std::collections::HashSet::new(),
             saved_slices: Vec::new(),
             last_traversal: None,
         }
+    }
+
+    /// The session's seek counters.
+    pub fn seek_metrics(&self) -> SeekMetrics {
+        self.seek_metrics
+    }
+
+    /// Checkpoints currently available for seeking: instruction positions
+    /// of embedded container checkpoints and in-memory session checkpoints.
+    pub fn checkpoint_positions(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.container.checkpoints.iter().map(|c| c.instr).collect(),
+            self.checkpoints.iter().map(|&(s, _)| s).collect(),
+        )
+    }
+
+    fn invalidate_hops(&mut self) {
+        self.hops.clear();
     }
 
     /// Overrides the slicer configuration (before the first slice request).
@@ -214,11 +290,17 @@ impl DebugSession {
 
     /// The pinball this session replays.
     pub fn pinball(&self) -> &Pinball {
-        &self.pinball
+        &self.container.pinball
+    }
+
+    /// The container this session replays (pinball + embedded checkpoints).
+    pub fn container(&self) -> &PinballContainer {
+        &self.container
     }
 
     /// Sets a breakpoint; returns its id.
     pub fn add_breakpoint(&mut self, pc: Pc, tid: Option<Tid>) -> u32 {
+        self.invalidate_hops();
         let id = self.next_bp;
         self.next_bp += 1;
         self.breakpoints.insert(
@@ -234,12 +316,14 @@ impl DebugSession {
 
     /// Removes a breakpoint; returns whether it existed.
     pub fn delete_breakpoint(&mut self, id: u32) -> bool {
+        self.invalidate_hops();
         self.breakpoints.remove(&id).is_some()
     }
 
     /// Sets a watchpoint on a memory word; returns its id (breakpoints and
     /// watchpoints share the id space).
     pub fn add_watchpoint(&mut self, addr: Addr) -> u32 {
+        self.invalidate_hops();
         let id = self.next_bp;
         self.next_bp += 1;
         self.watchpoints.insert(
@@ -254,6 +338,7 @@ impl DebugSession {
 
     /// Removes a watchpoint; returns whether it existed.
     pub fn delete_watchpoint(&mut self, id: u32) -> bool {
+        self.invalidate_hops();
         self.watchpoints.remove(&id).is_some()
     }
 
@@ -269,6 +354,7 @@ impl DebugSession {
 
     /// Enables/disables a breakpoint; returns whether it exists.
     pub fn enable_breakpoint(&mut self, id: u32, enabled: bool) -> bool {
+        self.invalidate_hops();
         if let Some(bp) = self.breakpoints.get_mut(&id) {
             bp.enabled = enabled;
             true
@@ -292,7 +378,7 @@ impl DebugSession {
     /// cyclic debugging. Breakpoints and saved slices are kept; the
     /// observed execution is guaranteed identical.
     pub fn restart(&mut self) {
-        self.replayer = Replayer::new(Arc::clone(&self.program), &self.pinball);
+        self.replayer = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
         self.last_event = None;
     }
 
@@ -300,7 +386,33 @@ impl DebugSession {
     /// reproduces, or the region ends. Runs in bursts, taking a replay
     /// checkpoint every [`checkpoint_interval`](Self::set_checkpoint_interval)
     /// instructions to keep reverse execution cheap.
+    ///
+    /// With an unchanged breakpoint/watchpoint set, the stop position and
+    /// reason for each starting position are cached: the second and later
+    /// iterations of a cyclic break→continue loop are answered by a seek
+    /// (O(chunk) with embedded checkpoints) instead of an instrumented
+    /// re-scan.
     pub fn cont(&mut self) -> StopReason {
+        let from = self.replayer.replayed_instructions();
+        if let Some(&(to, reason)) = self.hops.get(&from) {
+            self.seek_metrics.hop_hits += 1;
+            self.seek(to);
+            return reason;
+        }
+        let reason = self.cont_uncached();
+        // Cache only genuinely re-seekable stops: a `seek` lands *after* a
+        // retired instruction, so the reproduced state matches.
+        if matches!(
+            reason,
+            StopReason::Breakpoint { .. } | StopReason::Watchpoint { .. } | StopReason::ReplayEnd
+        ) {
+            self.hops
+                .insert(from, (self.replayer.replayed_instructions(), reason));
+        }
+        reason
+    }
+
+    fn cont_uncached(&mut self) -> StopReason {
         loop {
             self.maybe_checkpoint();
             let bps = &self.breakpoints;
@@ -392,18 +504,52 @@ impl DebugSession {
     }
 
     /// Seeks the replay to the state after exactly `target` instructions
-    /// have retired, using the nearest earlier checkpoint — the paper §8
-    /// recipe ("recording multiple pinballs and then replaying forward
-    /// using the right pinball", via user-level checkpointing).
+    /// have retired, restoring the nearest earlier checkpoint — an
+    /// in-memory session checkpoint or one embedded in the v2 container,
+    /// whichever is closer — and replaying only the tail. This is the
+    /// paper §8 recipe ("recording multiple pinballs and then replaying
+    /// forward using the right pinball", via user-level checkpointing),
+    /// upgraded from O(region) to O(chunk) by the container checkpoints.
+    pub fn seek_to(&mut self, target: u64) -> StopReason {
+        self.seek(target)
+    }
+
     fn seek(&mut self, target: u64) -> StopReason {
-        let base = self
+        let started = Instant::now();
+        self.seek_metrics.seeks += 1;
+        // Restore strictly before the target (when target > 0) so the final
+        // instruction is re-stepped and its stop site recorded.
+        let limit = target.saturating_sub(1);
+        let session_base = self
             .checkpoints
             .iter()
             .rev()
-            .find(|&&(s, _)| s <= target)
-            .map(|(_, r)| r.clone());
-        let mut rep =
-            base.unwrap_or_else(|| Replayer::new(Arc::clone(&self.program), &self.pinball));
+            .find(|&&(s, _)| s <= limit)
+            .map(|(s, r)| (*s, r.clone()));
+        let container_base = self.container.nearest_checkpoint(limit);
+        let mut rep = match (session_base, container_base) {
+            (Some((s, _)), Some(cp)) if cp.instr > s => {
+                self.seek_metrics.container_restores += 1;
+                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                r.restore_checkpoint(cp);
+                r
+            }
+            (Some((_, r)), _) => {
+                self.seek_metrics.session_restores += 1;
+                r
+            }
+            (None, Some(cp)) => {
+                self.seek_metrics.container_restores += 1;
+                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                r.restore_checkpoint(cp);
+                r
+            }
+            (None, None) => {
+                self.seek_metrics.full_restarts += 1;
+                Replayer::new(Arc::clone(&self.program), &self.container.pinball)
+            }
+        };
+        let base_instr = rep.replayed_instructions();
         let mut last: Option<StopSite> = None;
         while rep.replayed_instructions() < target {
             let mut tool = |ev: &minivm::InsEvent| {
@@ -420,6 +566,9 @@ impl DebugSession {
                 Some(ReplayStatus::Paused) => {}
             }
         }
+        self.seek_metrics.instructions_replayed +=
+            rep.replayed_instructions().saturating_sub(base_instr);
+        self.seek_metrics.wall += started.elapsed();
         self.replayer = rep;
         match last {
             Some(site) => {
@@ -457,7 +606,7 @@ impl DebugSession {
         // strictly before the current position.
         let bps = &self.breakpoints;
         let wps = &self.watchpoints;
-        let mut probe = Replayer::new(Arc::clone(&self.program), &self.pinball);
+        let mut probe = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
         let mut best: Option<(u64, StopReason)> = None;
         let mut tool = |ev: &minivm::InsEvent| {
             let after = ev.seq + 1;
@@ -568,7 +717,7 @@ impl DebugSession {
         if self.slicer.is_none() {
             self.slicer = Some(SliceSession::collect(
                 Arc::clone(&self.program),
-                &self.pinball,
+                &self.container.pinball,
                 self.slicer_options,
             ));
         }
@@ -662,7 +811,7 @@ impl DebugSession {
         self.slicer(); // ensure collected
         let slicer = self.slicer.as_ref().expect("collected above");
         let slice = &self.saved_slices[index];
-        let (pb, _, _) = slicer.make_slice_pinball(&self.pinball, slice);
+        let (pb, _, _) = slicer.make_slice_pinball(&self.container.pinball, slice);
         pb
     }
 }
@@ -914,6 +1063,94 @@ mod reverse_tests {
             assert_eq!(s.position(), pos);
         }
         assert_eq!(s.read_reg(0, Reg(1)), 0);
+    }
+
+    /// Two racing workers give the log many same-interval chunk
+    /// boundaries (single-threaded runs coalesce into one Run event, so
+    /// they cannot carry embedded checkpoints).
+    const MT_PROG: &str = r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            join r2
+            join r3
+            halt
+        .endfunc
+        .func worker
+            movi r3, 200
+        loop:
+            la r1, acc
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, loop
+            halt
+        .endfunc
+        ";
+
+    #[test]
+    fn container_checkpoints_seed_seeks() {
+        let program = Arc::new(assemble(MT_PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(7),
+            &mut LiveEnv::new(42),
+            1_000_000,
+            "container-seed",
+        )
+        .unwrap();
+        let pinball = rec.pinball;
+        // Reference: a checkpoint-free session seeked to the same target.
+        let mut plain = DebugSession::new(Arc::clone(&program), pinball.clone());
+        plain.seek_to(400);
+        let want_acc = plain.read_symbol("acc");
+
+        let container = pinplay::PinballContainer::with_checkpoints(pinball, &program, 64);
+        assert!(!container.checkpoints.is_empty());
+        let mut s = DebugSession::with_container(Arc::clone(&program), container);
+        let (embedded, _) = s.checkpoint_positions();
+        assert!(!embedded.is_empty());
+        // A fresh session can seek deep into the region by restoring an
+        // embedded checkpoint, without ever having replayed forward.
+        let stop = s.seek_to(400);
+        assert!(matches!(stop, StopReason::Stepped { .. }), "{stop:?}");
+        assert_eq!(s.position(), 400);
+        assert_eq!(s.read_symbol("acc"), want_acc, "state matches full replay");
+        let m = s.seek_metrics();
+        assert_eq!(m.seeks, 1);
+        assert_eq!(m.container_restores, 1);
+        assert_eq!(m.full_restarts, 0);
+        assert!(
+            m.instructions_replayed < 400,
+            "only the tail chunk replays, got {}",
+            m.instructions_replayed
+        );
+    }
+
+    #[test]
+    fn cont_hop_cache_serves_cyclic_reruns() {
+        let mut s = session();
+        let id = s.add_breakpoint(4, None);
+        let first = s.cont();
+        let x_first = s.read_symbol("x");
+        assert_eq!(s.seek_metrics().hop_hits, 0);
+        // Second iteration of the cyclic loop: restart + continue must be
+        // served from the hop cache, identically.
+        s.restart();
+        let second = s.cont();
+        assert_eq!(first, second);
+        assert_eq!(s.read_symbol("x"), x_first);
+        assert_eq!(s.seek_metrics().hop_hits, 1);
+        assert_eq!(s.position(), 5);
+        // Mutating the breakpoint set invalidates the cache.
+        s.enable_breakpoint(id, false);
+        s.restart();
+        assert_eq!(s.cont(), StopReason::ReplayEnd);
+        assert_eq!(s.seek_metrics().hop_hits, 1, "stale hops not reused");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum SliceStep {
 /// Replays a slice pinball, stopping at each slice statement.
 pub struct SliceStepper {
     replayer: Replayer,
+    /// The slice pinball, kept so the stepper can [`restart`](Self::restart)
+    /// for another cyclic pass over the slice.
+    pinball: Pinball,
     /// (tid, pc) -> kept executions in region order: (region record id,
     /// is-in-slice).
     kept: HashMap<(Tid, Pc), Vec<(RecordId, bool)>>,
@@ -79,10 +82,19 @@ impl SliceStepper {
         }
         SliceStepper {
             replayer: Replayer::new(Arc::clone(&program), slice_pinball),
+            pinball: slice_pinball.clone(),
             kept,
             counts: HashMap::new(),
             program,
         }
+    }
+
+    /// Restarts the slice replay from the region entry — the cyclic
+    /// debugging loop at slice granularity. The next [`step`](Self::step)
+    /// stops at the first slice statement again, observing identical state.
+    pub fn restart(&mut self) {
+        self.replayer = Replayer::new(Arc::clone(&self.program), &self.pinball);
+        self.counts.clear();
     }
 
     /// The program being replayed.

@@ -95,6 +95,22 @@ impl ScriptedEnv {
     pub fn remaining(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
+
+    /// The remaining unconsumed results, per thread, in consumption order —
+    /// the serializable form a replay checkpoint embeds.
+    pub fn queues(&self) -> Vec<Vec<i64>> {
+        self.queues
+            .iter()
+            .map(|q| q.iter().copied().collect())
+            .collect()
+    }
+
+    /// Rebuilds an environment from [`ScriptedEnv::queues`] output.
+    pub fn from_queues(queues: Vec<Vec<i64>>) -> ScriptedEnv {
+        ScriptedEnv {
+            queues: queues.into_iter().map(VecDeque::from).collect(),
+        }
+    }
 }
 
 impl Environment for ScriptedEnv {

@@ -197,6 +197,29 @@ impl std::error::Error for VmError {}
 #[allow(clippy::result_large_err)]
 pub type StepResult = Result<(InsEvent, StepOutcome), (InsEvent, VmError)>;
 
+/// The complete, serializable state of an [`Executor`] mid-execution.
+///
+/// A [`Snapshot`] is the *architectural* state a pinball stores at region
+/// entry; `ExecState` additionally carries the region-relative bookkeeping
+/// (instance counts, the retire counter, output) that replay tools key on.
+/// Pinball containers embed these as periodic replay checkpoints so a
+/// debugger can seek without re-executing from the region entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecState {
+    /// Full memory contents.
+    pub memory: Memory,
+    /// Per-thread register/pc/status/icount state, indexed by tid.
+    pub threads: Vec<ThreadState>,
+    /// Per-thread, per-pc execution counts (region-relative instance ids).
+    pub instances: Vec<Vec<u64>>,
+    /// Region-relative global retire counter.
+    pub seq: u64,
+    /// Values printed since the executor was created.
+    pub output: Vec<i64>,
+    /// Output values present at the restored start state.
+    pub output_base: u64,
+}
+
 /// The interpreter core for one program execution.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -260,6 +283,47 @@ impl Executor {
             threads: self.threads.clone(),
             memory: self.memory.clone(),
             output_len: self.output_base + self.output.len() as u64,
+        }
+    }
+
+    /// Captures the *complete* executor state, including the
+    /// region-relative bookkeeping a [`Snapshot`] deliberately drops
+    /// (per-pc instance counts, the global retire counter, and the output
+    /// buffer). This is what an embedded replay checkpoint stores: restoring
+    /// it mid-region must reproduce the same instance/seq numbering a replay
+    /// from the region entry would have reached.
+    pub fn save_state(&self) -> ExecState {
+        ExecState {
+            memory: self.memory.clone(),
+            threads: self.threads.clone(),
+            instances: self.instances.clone(),
+            seq: self.seq,
+            output: self.output.clone(),
+            output_base: self.output_base,
+        }
+    }
+
+    /// Reconstructs an executor from [`Executor::save_state`] output.
+    ///
+    /// Unlike [`Executor::from_snapshot`], nothing is reset: the executor
+    /// resumes exactly where the state was captured. Per-thread instance
+    /// tables are re-sized to the program's code length so a state saved
+    /// against the same program always fits.
+    pub fn from_state(program: Arc<Program>, state: &ExecState) -> Executor {
+        let code_len = program.len();
+        let mut instances = state.instances.clone();
+        instances.resize_with(state.threads.len(), Vec::new);
+        for v in &mut instances {
+            v.resize(code_len, 0);
+        }
+        Executor {
+            program,
+            memory: state.memory.clone(),
+            threads: state.threads.clone(),
+            instances,
+            seq: state.seq,
+            output: state.output.clone(),
+            output_base: state.output_base,
         }
     }
 
@@ -925,6 +989,34 @@ mod tests {
         let (ev, _) = exec2.step(0, &mut env).unwrap();
         assert_eq!(ev.instance, 1, "instances are region-relative");
         assert_eq!(exec2.output(), &[9]);
+    }
+
+    #[test]
+    fn exec_state_restore_preserves_region_counters() {
+        let mut exec = exec_of(|b| {
+            b.ins(Instr::MovI {
+                dst: Reg(0),
+                imm: 9,
+            });
+            b.ins(Instr::Print { src: Reg(0) });
+            b.ins(Instr::Halt);
+        });
+        let mut env = LiveEnv::new(0);
+        exec.step(0, &mut env).unwrap();
+        exec.step(0, &mut env).unwrap();
+        let state = exec.save_state();
+        let mut exec2 = Executor::from_state(Arc::clone(exec.program()), &state);
+        // Unlike from_snapshot, nothing resets: seq/icount/instances/output
+        // continue exactly where they were saved.
+        assert_eq!(exec2.seq(), 2);
+        assert_eq!(exec2.icount(0), 2);
+        assert_eq!(exec2.output(), &[9]);
+        assert_eq!(exec2.instance_count(0, 1), 1);
+        let (ev, _) = exec2.step(0, &mut env).unwrap();
+        assert_eq!(ev.seq, 2, "retire counter continues");
+        // The restored executor finishes identically to the original.
+        exec.step(0, &mut env).unwrap();
+        assert_eq!(exec.save_state(), exec2.save_state());
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod tool;
 
 pub use asm::{assemble, AsmError};
 pub use env::{Environment, LiveEnv, ScriptedEnv};
-pub use exec::{Executor, InsEvent, LocVals, StepOutcome, VmError};
+pub use exec::{ExecState, Executor, InsEvent, LocVals, StepOutcome, VmError};
 pub use isa::{Addr, BinOp, Cond, Instr, Loc, Pc, Reg, SysCall};
 pub use machine::{Memory, Snapshot, ThreadState, ThreadStatus, Tid, MAX_THREADS};
 pub use program::{Function, Program, SrcLoc};

@@ -1,0 +1,719 @@
+//! The v2 pinball container: chunked, checksummed, seekable.
+//!
+//! The v1 format compresses the whole pinball as one LZSS blob, so any
+//! damage loses the entire recording and every seek restarts replay from
+//! the region snapshot. The v2 container fixes both:
+//!
+//! * the replay log is split into **frames** (see [`pinzip::frame`]), each
+//!   independently compressed and protected by a CRC-32 of its compressed
+//!   payload — a flipped bit or truncated tail is detected *per chunk*, the
+//!   loader names the damaged chunk in a typed [`PinballError::Chunk`], and
+//!   [`PinballContainer::from_bytes_lossy`] still recovers the intact
+//!   prefix;
+//! * **checkpoints** — serialized replayer state captured every
+//!   `checkpoint_interval` retired instructions — are embedded between
+//!   event chunks, so [`Replayer::seek_to`] restores the nearest preceding
+//!   checkpoint and replays only the tail chunk instead of the whole
+//!   region: O(chunk) instead of O(region).
+//!
+//! # Wire layout
+//!
+//! ```text
+//! +--------+          magic  b"DRPB2\n"                     (6 bytes)
+//! | magic  |
+//! +--------+
+//! | frame  |  kind 1: header — meta, snapshot, syscalls,
+//! |        |          exit, event count, checkpoint interval
+//! +--------+
+//! | frame  |  kind 3: checkpoint at chunk k's start (optional)
+//! +--------+
+//! | frame  |  kind 2: events chunk k (a subslice of the log)
+//! +--------+
+//! |  ...   |  ... checkpoint/events pairs repeat ...
+//! +--------+
+//! | frame  |  kind 4: index — offset/instr/ordinal of every frame
+//! +--------+
+//! | trailer|  u64 LE offset of the index frame + b"PBIX"    (12 bytes)
+//! +--------+
+//! ```
+//!
+//! Each frame is `[kind u8][varint clen][crc32 LE][LZSS payload]`; payloads
+//! are JSON. Chunk boundaries fall on *event* boundaries (a chunk closes
+//! once it has retired `checkpoint_interval` instructions), computed
+//! deterministically from the log alone — so load → save round-trips
+//! byte-identically, and a plain [`Pinball::to_bytes`] (no checkpoints)
+//! emits the same chunking a checkpointed container uses.
+//!
+//! # v1 compatibility
+//!
+//! [`PinballContainer::from_bytes`] (and [`Pinball::from_bytes`])
+//! auto-detect the format by the magic: bytes without it take the v1
+//! single-blob path. [`migrate_v1`] rewrites a v1 blob as a v2 container;
+//! [`Pinball::to_bytes_v1`] still writes the old format.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use minivm::{ExecState, Program, Snapshot};
+use pinzip::frame::{read_frame, write_frame};
+
+use crate::pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent};
+use crate::replay::Replayer;
+
+/// Magic bytes opening a v2 container.
+pub const MAGIC: &[u8; 6] = b"DRPB2\n";
+/// Magic bytes closing the 12-byte trailer.
+pub const TRAILER_MAGIC: &[u8; 4] = b"PBIX";
+/// Default checkpoint cadence, in retired instructions per chunk.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4096;
+
+const KIND_HEADER: u8 = 1;
+const KIND_EVENTS: u8 = 2;
+const KIND_CHECKPOINT: u8 = 3;
+const KIND_INDEX: u8 = 4;
+
+/// What a container frame holds — used by [`PinballError::Chunk`] to name
+/// the damaged frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkKind {
+    /// The header frame (metadata, snapshot, syscalls, exit).
+    Header,
+    /// An events chunk (a subslice of the replay log).
+    Events,
+    /// An embedded replay checkpoint.
+    Checkpoint,
+    /// The footer index frame.
+    Index,
+    /// The frame was too damaged to tell (kind byte unreadable or invalid).
+    Unknown,
+}
+
+impl fmt::Display for ChunkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChunkKind::Header => "header",
+            ChunkKind::Events => "events",
+            ChunkKind::Checkpoint => "checkpoint",
+            ChunkKind::Index => "index",
+            ChunkKind::Unknown => "unknown",
+        })
+    }
+}
+
+fn kind_of(byte: u8) -> ChunkKind {
+    match byte {
+        KIND_HEADER => ChunkKind::Header,
+        KIND_EVENTS => ChunkKind::Events,
+        KIND_CHECKPOINT => ChunkKind::Checkpoint,
+        KIND_INDEX => ChunkKind::Index,
+        _ => ChunkKind::Unknown,
+    }
+}
+
+/// Serialized replayer state at a known log position: restoring one and
+/// replaying forward reproduces the execution exactly, because the VM is
+/// deterministic given the log and the remaining syscall queues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayCheckpoint {
+    /// Instructions retired when the checkpoint was taken.
+    pub instr: u64,
+    /// Replay log position (event index).
+    pub pos: usize,
+    /// Instructions already retired inside event `pos` (0 at an event
+    /// boundary — where embedded checkpoints always sit).
+    pub done_in_event: u64,
+    /// Full executor state, including the region-relative counters that a
+    /// plain [`Snapshot`] deliberately resets.
+    pub exec: ExecState,
+    /// Remaining unconsumed syscall results, per thread.
+    pub env: Vec<Vec<i64>>,
+}
+
+/// The header frame's payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ContainerHeader {
+    meta: PinballMeta,
+    snapshot: Snapshot,
+    syscalls: Vec<Vec<i64>>,
+    exit: RecordedExit,
+    num_events: u64,
+    checkpoint_interval: u64,
+}
+
+/// One entry of the footer index: where a frame lives and what it covers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Frame ordinal in the file (0 = header).
+    pub chunk: usize,
+    /// What the frame holds.
+    pub kind: ChunkKind,
+    /// Byte offset of the frame in the file.
+    pub offset: u64,
+    /// First retired-instruction count the frame covers (events chunks and
+    /// checkpoints; 0 for header and index).
+    pub instr: u64,
+}
+
+/// A pinball plus its embedded checkpoints — the in-memory form of a v2
+/// container. Loading preserves the checkpoints, so a load → save cycle is
+/// byte-identical without replaying anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinballContainer {
+    /// The recorded region.
+    pub pinball: Pinball,
+    /// Embedded checkpoints, ascending by `instr`, each sitting at a chunk
+    /// boundary of the serialized form.
+    pub checkpoints: Vec<ReplayCheckpoint>,
+    /// Chunk cadence in retired instructions.
+    pub checkpoint_interval: u64,
+}
+
+/// The result of a best-effort load: the intact prefix plus what was lost.
+#[derive(Debug, Clone)]
+pub struct LossyLoad {
+    /// Container holding the recovered prefix of the log (and every
+    /// checkpoint that precedes the damage).
+    pub container: PinballContainer,
+    /// The damage that ended the scan, if any (`None` means the file was
+    /// fully intact).
+    pub damage: Option<PinballError>,
+    /// Events recovered from intact chunks.
+    pub events_recovered: usize,
+    /// Events the header promised.
+    pub events_expected: usize,
+}
+
+impl PinballContainer {
+    /// Wraps a pinball with no checkpoints at the default cadence.
+    pub fn new(pinball: Pinball) -> PinballContainer {
+        PinballContainer {
+            pinball,
+            checkpoints: Vec::new(),
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+        }
+    }
+
+    /// Wraps a pinball and captures a checkpoint at every chunk boundary by
+    /// replaying it once under `program`. `interval` is the chunk cadence
+    /// in retired instructions (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on replay divergence, like [`Replayer::run`] — a pinball that
+    /// cannot replay cannot be checkpointed.
+    pub fn with_checkpoints(
+        pinball: Pinball,
+        program: &Arc<Program>,
+        interval: u64,
+    ) -> PinballContainer {
+        let interval = interval.max(1);
+        let ranges = chunk_ranges(&pinball.events, interval);
+        let mut replayer = Replayer::new(Arc::clone(program), &pinball);
+        let mut checkpoints = Vec::new();
+        for &(start_ev, _end_ev, _start_instr) in ranges.iter().skip(1) {
+            replayer.run_to_event(start_ev);
+            checkpoints.push(replayer.checkpoint());
+        }
+        PinballContainer {
+            pinball,
+            checkpoints,
+            checkpoint_interval: interval,
+        }
+    }
+
+    /// The checkpoint with the greatest `instr` not exceeding `target`, if
+    /// any.
+    pub fn nearest_checkpoint(&self, target: u64) -> Option<&ReplayCheckpoint> {
+        self.checkpoints
+            .iter()
+            .take_while(|cp| cp.instr <= target)
+            .last()
+    }
+
+    /// Serializes the container (v2 format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Serialize`] when JSON encoding fails.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
+        write_container(&self.pinball, &self.checkpoints, self.checkpoint_interval)
+    }
+
+    /// Deserializes a container, auto-detecting the format: v2 bytes load
+    /// strictly (any damaged frame is an error naming the chunk); v1 blobs
+    /// load as a container with no checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PinballError`]: [`PinballError::Chunk`] for a
+    /// damaged v2 frame, [`PinballError::Format`] for structural problems,
+    /// or the v1 errors for v1 blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PinballContainer, PinballError> {
+        if !bytes.starts_with(MAGIC) {
+            return Ok(PinballContainer::new(Pinball::from_bytes_v1(bytes)?));
+        }
+        let loaded = scan(bytes)?;
+        match loaded.damage {
+            None => Ok(loaded.container),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Best-effort deserialization: verifies frames in order and returns
+    /// the intact prefix together with the damage that ended the scan (if
+    /// any). Replay of the recovered container reproduces the recording up
+    /// to the damaged chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when nothing is recoverable: the magic or the
+    /// header frame itself is damaged (or the bytes are a damaged v1 blob,
+    /// which has no intact prefix to salvage).
+    pub fn from_bytes_lossy(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
+        if !bytes.starts_with(MAGIC) {
+            let pinball = Pinball::from_bytes_v1(bytes)?;
+            let expected = pinball.events.len();
+            return Ok(LossyLoad {
+                container: PinballContainer::new(pinball),
+                damage: None,
+                events_recovered: expected,
+                events_expected: expected,
+            });
+        }
+        scan(bytes)
+    }
+
+    /// Writes the container to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Io`] on filesystem errors and
+    /// [`PinballError::Serialize`] on encoding errors.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PinballError> {
+        std::fs::write(path, self.to_bytes()?).map_err(|e| PinballError::Io(e.to_string()))
+    }
+
+    /// Reads a container from a file (v1 or v2, auto-detected).
+    ///
+    /// # Errors
+    ///
+    /// As [`PinballContainer::from_bytes`], plus [`PinballError::Io`].
+    pub fn load(path: &std::path::Path) -> Result<PinballContainer, PinballError> {
+        let bytes = std::fs::read(path).map_err(|e| PinballError::Io(e.to_string()))?;
+        PinballContainer::from_bytes(&bytes)
+    }
+}
+
+/// Rewrites a v1 single-blob pinball as a v2 container (no checkpoints —
+/// replay it through [`PinballContainer::with_checkpoints`] to add them).
+///
+/// # Errors
+///
+/// Returns the v1 decode errors, or [`PinballError::Format`] when `bytes`
+/// is already a v2 container.
+pub fn migrate_v1(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
+    if bytes.starts_with(MAGIC) {
+        return Err(PinballError::Format(
+            "already a v2 container; nothing to migrate".into(),
+        ));
+    }
+    PinballContainer::new(Pinball::from_bytes_v1(bytes)?).to_bytes()
+}
+
+/// Splits the log into chunks of at least `interval` retired instructions,
+/// closed at event boundaries: `(start_event, end_event, start_instr)` per
+/// chunk. Deterministic in the log and interval alone, so serialization is
+/// reproducible. An empty log yields no chunks.
+fn chunk_ranges(events: &[ReplayEvent], interval: u64) -> Vec<(usize, usize, u64)> {
+    let mut ranges = Vec::new();
+    let mut start_ev = 0usize;
+    let mut start_instr = 0u64;
+    let mut instr = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        if let ReplayEvent::Run { steps, .. } = ev {
+            instr += steps;
+        }
+        if instr - start_instr >= interval {
+            ranges.push((start_ev, i + 1, start_instr));
+            start_ev = i + 1;
+            start_instr = instr;
+        }
+    }
+    if start_ev < events.len() {
+        ranges.push((start_ev, events.len(), start_instr));
+    }
+    ranges
+}
+
+fn ser<T: Serialize>(value: &T) -> Result<Vec<u8>, PinballError> {
+    serde_json::to_vec(value).map_err(|e| PinballError::Serialize(e.to_string()))
+}
+
+/// Serializes a pinball (plus optional checkpoints) into v2 container
+/// bytes. A checkpoint is emitted immediately before the events chunk
+/// whose start position equals its `pos`.
+pub(crate) fn write_container(
+    pinball: &Pinball,
+    checkpoints: &[ReplayCheckpoint],
+    interval: u64,
+) -> Result<Vec<u8>, PinballError> {
+    let interval = interval.max(1);
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let mut index = Vec::new();
+    let mut chunk = 0usize;
+    let header = ContainerHeader {
+        meta: pinball.meta.clone(),
+        snapshot: pinball.snapshot.clone(),
+        syscalls: pinball.syscalls.clone(),
+        exit: pinball.exit,
+        num_events: pinball.events.len() as u64,
+        checkpoint_interval: interval,
+    };
+    let off = write_frame(&mut out, KIND_HEADER, &ser(&header)?);
+    index.push(IndexEntry {
+        chunk,
+        kind: ChunkKind::Header,
+        offset: off as u64,
+        instr: 0,
+    });
+    chunk += 1;
+    for (start_ev, end_ev, start_instr) in chunk_ranges(&pinball.events, interval) {
+        if let Some(cp) = checkpoints.iter().find(|cp| cp.pos == start_ev) {
+            let off = write_frame(&mut out, KIND_CHECKPOINT, &ser(cp)?);
+            index.push(IndexEntry {
+                chunk,
+                kind: ChunkKind::Checkpoint,
+                offset: off as u64,
+                instr: cp.instr,
+            });
+            chunk += 1;
+        }
+        let chunk_events: &[ReplayEvent] = &pinball.events[start_ev..end_ev];
+        let off = write_frame(&mut out, KIND_EVENTS, &ser(&chunk_events)?);
+        index.push(IndexEntry {
+            chunk,
+            kind: ChunkKind::Events,
+            offset: off as u64,
+            instr: start_instr,
+        });
+        chunk += 1;
+    }
+    index.push(IndexEntry {
+        chunk,
+        kind: ChunkKind::Index,
+        offset: 0, // patched below: the index cannot know its own offset
+        instr: 0,
+    });
+    let index_off = out.len() as u64;
+    if let Some(last) = index.last_mut() {
+        last.offset = index_off;
+    }
+    write_frame(&mut out, KIND_INDEX, &ser(&index)?);
+    out.extend_from_slice(&index_off.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    Ok(out)
+}
+
+fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> PinballError {
+    PinballError::Chunk {
+        chunk,
+        kind,
+        reason: reason.to_string(),
+    }
+}
+
+/// Sequentially scans a v2 container, verifying every frame's CRC, and
+/// returns the recovered prefix plus the first damage found (as
+/// [`LossyLoad::damage`]). The header frame must be intact — without it
+/// there is no snapshot to replay from, so damage there is a hard error.
+fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
+    let mut pos = MAGIC.len();
+    let mut chunk = 0usize;
+
+    // Header frame: required.
+    let header: ContainerHeader = {
+        let frame = read_frame(bytes, &mut pos)
+            .map_err(|e| chunk_err(0, peek_kind(bytes, MAGIC.len()), e))?;
+        if frame.kind != KIND_HEADER {
+            return Err(chunk_err(
+                0,
+                kind_of(frame.kind),
+                "first frame is not the container header",
+            ));
+        }
+        serde_json::from_slice(&frame.payload)
+            .map_err(|e| chunk_err(0, ChunkKind::Header, format!("bad header payload: {e}")))?
+    };
+    chunk += 1;
+
+    let mut events: Vec<ReplayEvent> = Vec::new();
+    let mut checkpoints: Vec<ReplayCheckpoint> = Vec::new();
+    let mut damage: Option<PinballError> = None;
+    let mut index_frame_off: Option<usize> = None;
+
+    while damage.is_none() {
+        if pos >= bytes.len() {
+            damage = Some(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
+            break;
+        }
+        let frame_off = pos;
+        let frame = match read_frame(bytes, &mut pos) {
+            Ok(f) => f,
+            Err(e) => {
+                damage = Some(chunk_err(chunk, peek_kind(bytes, frame_off), e));
+                break;
+            }
+        };
+        match frame.kind {
+            KIND_EVENTS => match serde_json::from_slice::<Vec<ReplayEvent>>(&frame.payload) {
+                Ok(mut evs) => events.append(&mut evs),
+                Err(e) => {
+                    damage = Some(chunk_err(
+                        chunk,
+                        ChunkKind::Events,
+                        format!("bad events payload: {e}"),
+                    ));
+                    break;
+                }
+            },
+            KIND_CHECKPOINT => match serde_json::from_slice::<ReplayCheckpoint>(&frame.payload) {
+                Ok(cp) => checkpoints.push(cp),
+                Err(e) => {
+                    damage = Some(chunk_err(
+                        chunk,
+                        ChunkKind::Checkpoint,
+                        format!("bad checkpoint payload: {e}"),
+                    ));
+                    break;
+                }
+            },
+            KIND_INDEX => {
+                index_frame_off = Some(frame_off);
+                chunk += 1;
+                break;
+            }
+            other => {
+                damage = Some(chunk_err(
+                    chunk,
+                    kind_of(other),
+                    format!("unexpected frame kind {other}"),
+                ));
+                break;
+            }
+        }
+        chunk += 1;
+    }
+
+    // Trailer: index offset + magic. Only meaningful when the scan reached
+    // the index frame.
+    if damage.is_none() {
+        if let Some(index_off) = index_frame_off {
+            let trailer = &bytes[pos..];
+            let ok = trailer.len() == 12
+                && &trailer[8..] == TRAILER_MAGIC
+                && u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"))
+                    == index_off as u64;
+            if !ok {
+                damage = Some(chunk_err(
+                    chunk.saturating_sub(1),
+                    ChunkKind::Index,
+                    "bad trailer (index offset or magic mismatch)",
+                ));
+            }
+        }
+    }
+
+    if damage.is_none() && events.len() as u64 != header.num_events {
+        damage = Some(PinballError::Format(format!(
+            "event count mismatch: header promises {}, chunks hold {}",
+            header.num_events,
+            events.len()
+        )));
+    }
+
+    // Keep only checkpoints the recovered prefix actually reaches.
+    checkpoints.retain(|cp| cp.pos <= events.len());
+
+    let events_recovered = events.len();
+    let container = PinballContainer {
+        pinball: Pinball {
+            meta: header.meta,
+            snapshot: header.snapshot,
+            events,
+            syscalls: header.syscalls,
+            exit: header.exit,
+        },
+        checkpoints,
+        checkpoint_interval: header.checkpoint_interval.max(1),
+    };
+    Ok(LossyLoad {
+        container,
+        damage,
+        events_recovered,
+        events_expected: header.num_events as usize,
+    })
+}
+
+/// Best-effort kind of the frame starting at `offset` (for error reports
+/// when the frame itself cannot be read).
+fn peek_kind(bytes: &[u8], offset: usize) -> ChunkKind {
+    bytes
+        .get(offset)
+        .map_or(ChunkKind::Unknown, |&b| kind_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::{assemble, LiveEnv, NullTool, RoundRobin};
+
+    use crate::logger::record_whole_program;
+    use crate::replay::ReplayStatus;
+
+    const PROG: &str = r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            join r2
+            join r3
+            la r4, acc
+            load r5, r4, 0
+            rand r6
+            print r5
+            halt
+        .endfunc
+        .func worker
+            movi r3, 200
+        loop:
+            la r1, acc
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, loop
+            halt
+        .endfunc
+        ";
+
+    fn record() -> (Arc<Program>, Pinball) {
+        let program = Arc::new(assemble(PROG).unwrap());
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(7),
+            &mut LiveEnv::new(42),
+            1_000_000,
+            "container-demo",
+        )
+        .unwrap();
+        (program, rec.pinball)
+    }
+
+    #[test]
+    fn chunk_ranges_cover_the_log_exactly() {
+        let (_, pinball) = record();
+        let ranges = chunk_ranges(&pinball.events, 64);
+        assert!(ranges.len() > 2, "log should split into several chunks");
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, pinball.events.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks are contiguous");
+            assert!(
+                w[1].2 - w[0].2 >= 64,
+                "each closed chunk holds >= interval instrs"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_pinball_and_checkpoints() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        assert!(!c.checkpoints.is_empty());
+        let bytes = c.to_bytes().unwrap();
+        assert!(bytes.starts_with(MAGIC));
+        let d = PinballContainer::from_bytes(&bytes).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn load_save_is_byte_identical() {
+        let (program, pinball) = record();
+        let bytes = PinballContainer::with_checkpoints(pinball, &program, 256)
+            .to_bytes()
+            .unwrap();
+        let reloaded = PinballContainer::from_bytes(&bytes).unwrap();
+        assert_eq!(reloaded.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn v1_blob_autodetects() {
+        let (_, pinball) = record();
+        let v1 = pinball.to_bytes_v1().unwrap();
+        assert!(!v1.starts_with(MAGIC));
+        let c = PinballContainer::from_bytes(&v1).unwrap();
+        assert_eq!(c.pinball, pinball);
+        assert!(c.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn migrate_v1_produces_loadable_v2() {
+        let (_, pinball) = record();
+        let v1 = pinball.to_bytes_v1().unwrap();
+        let v2 = migrate_v1(&v1).unwrap();
+        assert!(v2.starts_with(MAGIC));
+        assert_eq!(PinballContainer::from_bytes(&v2).unwrap().pinball, pinball);
+        assert!(matches!(migrate_v1(&v2), Err(PinballError::Format(_))));
+    }
+
+    #[test]
+    fn corrupt_chunk_is_named() {
+        let (program, pinball) = record();
+        let bytes = PinballContainer::with_checkpoints(pinball, &program, 128)
+            .to_bytes()
+            .unwrap();
+        // Flip a bit well past the header frame.
+        let mut bad = bytes.clone();
+        let target = bytes.len() * 3 / 4;
+        bad[target] ^= 0x10;
+        let err = PinballContainer::from_bytes(&bad).unwrap_err();
+        match err {
+            PinballError::Chunk { chunk, .. } => assert!(chunk > 0),
+            other => panic!("expected Chunk error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_load_recovers_intact_prefix() {
+        let (program, pinball) = record();
+        let total_events = pinball.events.len();
+        let total_instrs = pinball.logged_instructions();
+        let bytes = PinballContainer::with_checkpoints(pinball, &program, 128)
+            .to_bytes()
+            .unwrap();
+        // Truncate mid-file: everything before the cut must replay.
+        let cut = bytes.len() / 2;
+        let loaded = PinballContainer::from_bytes_lossy(&bytes[..cut]).unwrap();
+        assert!(loaded.damage.is_some());
+        assert!(loaded.events_recovered < total_events);
+        assert!(loaded.events_recovered > 0);
+        assert_eq!(loaded.events_expected, total_events);
+        let mut rep = Replayer::new(Arc::clone(&program), &loaded.container.pinball);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        assert!(rep.replayed_instructions() <= total_instrs);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let (_, mut pinball) = record();
+        pinball.events.clear();
+        let c = PinballContainer::new(pinball);
+        let bytes = c.to_bytes().unwrap();
+        assert_eq!(PinballContainer::from_bytes(&bytes).unwrap(), c);
+    }
+}

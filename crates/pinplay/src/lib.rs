@@ -49,14 +49,19 @@
 //! # }
 //! ```
 
+pub mod container;
 pub mod logger;
 pub mod pinball;
 pub mod region;
 pub mod relog;
 pub mod replay;
 
+pub use container::{
+    migrate_v1, ChunkKind, LossyLoad, PinballContainer, ReplayCheckpoint,
+    DEFAULT_CHECKPOINT_INTERVAL, MAGIC,
+};
 pub use logger::{record_region, record_whole_program, LogError, Recording};
 pub use pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent, ScheduleBuilder};
 pub use region::{EndTrigger, EndWatch, RegionSpec, StartTrigger, StartWatch};
 pub use relog::{relog, ExclusionRegion, RelogStats};
-pub use replay::{ReplayStatus, Replayer};
+pub use replay::{ReplayStatus, Replayer, SeekOutcome};

@@ -9,7 +9,9 @@
 //! injecting the region's side effects (paper §4, Fig. 6).
 //!
 //! Pinballs are "small enough to be portable" (paper §7); ours serialize to
-//! JSON and are LZSS-compressed by [`pinzip`].
+//! JSON and are LZSS-compressed by [`pinzip`] — since v2 as a chunked,
+//! CRC-checked container (see [`container`](crate::container)) whose frames
+//! fail independently and can embed replay checkpoints for O(chunk) seeks.
 
 use std::fmt;
 use std::path::Path;
@@ -110,35 +112,74 @@ impl Pinball {
             .saturating_sub(1)
     }
 
-    /// Serializes and compresses the pinball (the bytes written by
-    /// [`Pinball::save`]).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let json = serde_json::to_vec(self).expect("pinball serialization cannot fail");
-        pinzip::compress(&json)
+    /// Serializes the pinball in the chunked v2 container format (the bytes
+    /// written by [`Pinball::save`]), without embedded checkpoints — use
+    /// [`PinballContainer::with_checkpoints`](crate::PinballContainer) to
+    /// add those.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Serialize`] when JSON encoding fails.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
+        crate::container::write_container(self, &[], crate::container::DEFAULT_CHECKPOINT_INTERVAL)
     }
 
-    /// Deserializes a pinball from [`Pinball::to_bytes`] output.
+    /// Serializes in the legacy v1 format: one LZSS blob over the whole
+    /// JSON-encoded pinball. Kept for compatibility tooling (see
+    /// [`migrate_v1`](crate::container::migrate_v1)); new pinballs should
+    /// use [`Pinball::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Serialize`] when JSON encoding fails.
+    pub fn to_bytes_v1(&self) -> Result<Vec<u8>, PinballError> {
+        let json = serde_json::to_vec(self).map_err(|e| PinballError::Serialize(e.to_string()))?;
+        Ok(pinzip::compress(&json))
+    }
+
+    /// Deserializes a pinball, auto-detecting the v2 container magic and
+    /// falling back to the v1 single-blob format. Embedded checkpoints are
+    /// dropped — load a [`PinballContainer`](crate::PinballContainer) to
+    /// keep them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError`] when decompression, a chunk checksum, or
+    /// deserialization fails.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Pinball, PinballError> {
+        if bytes.starts_with(crate::container::MAGIC) {
+            return Ok(crate::container::PinballContainer::from_bytes(bytes)?.pinball);
+        }
+        Pinball::from_bytes_v1(bytes)
+    }
+
+    /// Deserializes a legacy v1 single-blob pinball.
     ///
     /// # Errors
     ///
     /// Returns [`PinballError`] when decompression or deserialization fails.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Pinball, PinballError> {
+    pub fn from_bytes_v1(bytes: &[u8]) -> Result<Pinball, PinballError> {
         let json = pinzip::decompress(bytes).map_err(PinballError::Decompress)?;
         serde_json::from_slice(&json).map_err(|e| PinballError::Format(e.to_string()))
     }
 
     /// Compressed on-disk size in bytes (the paper's "Space (MB)" metric).
-    pub fn size_bytes(&self) -> usize {
-        self.to_bytes().len()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Serialize`] when JSON encoding fails.
+    pub fn size_bytes(&self) -> Result<usize, PinballError> {
+        Ok(self.to_bytes()?.len())
     }
 
     /// Writes the pinball to a file.
     ///
     /// # Errors
     ///
-    /// Returns [`PinballError::Io`] on filesystem errors.
+    /// Returns [`PinballError::Io`] on filesystem errors and
+    /// [`PinballError::Serialize`] on encoding errors.
     pub fn save(&self, path: &Path) -> Result<(), PinballError> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| PinballError::Io(e.to_string()))
+        std::fs::write(path, self.to_bytes()?).map_err(|e| PinballError::Io(e.to_string()))
     }
 
     /// Reads a pinball from a file.
@@ -158,18 +199,42 @@ impl Pinball {
 pub enum PinballError {
     /// Filesystem error (message from `std::io::Error`).
     Io(String),
-    /// The compressed container is corrupt.
+    /// The pinball could not be serialized.
+    Serialize(String),
+    /// The compressed container is corrupt (v1 single-blob path).
     Decompress(pinzip::DecodeError),
     /// The decompressed payload is not a valid pinball.
     Format(String),
+    /// A specific frame of a v2 container is damaged. Chunks before it are
+    /// intact and recoverable via
+    /// [`PinballContainer::from_bytes_lossy`](crate::PinballContainer::from_bytes_lossy).
+    Chunk {
+        /// Frame ordinal in the file (0 = header frame).
+        chunk: usize,
+        /// What the damaged frame holds.
+        kind: crate::container::ChunkKind,
+        /// Why it could not be read.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PinballError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PinballError::Io(e) => write!(f, "pinball i/o error: {e}"),
+            PinballError::Serialize(e) => write!(f, "pinball serialize error: {e}"),
             PinballError::Decompress(e) => write!(f, "pinball decompress error: {e}"),
             PinballError::Format(e) => write!(f, "pinball format error: {e}"),
+            PinballError::Chunk {
+                chunk,
+                kind,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "pinball container chunk {chunk} ({kind}) damaged: {reason}"
+                )
+            }
         }
     }
 }
@@ -254,9 +319,17 @@ mod tests {
     #[test]
     fn bytes_roundtrip() {
         let p = sample_pinball();
-        let bytes = p.to_bytes();
+        let bytes = p.to_bytes().unwrap();
         let q = Pinball::from_bytes(&bytes).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn v1_bytes_roundtrip() {
+        let p = sample_pinball();
+        let bytes = p.to_bytes_v1().unwrap();
+        let q = Pinball::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q, "legacy blobs auto-detect and load");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use minivm::{Executor, Program, ScriptedEnv, Tool, ToolControl, VmError};
 
+use crate::container::{PinballContainer, ReplayCheckpoint};
 use crate::pinball::{Pinball, RecordedExit, ReplayEvent};
 
 /// Why a replay stopped.
@@ -22,6 +23,20 @@ pub enum ReplayStatus {
     Trapped(VmError),
     /// The tool asked to pause; call [`Replayer::run`] again to resume.
     Paused,
+}
+
+/// How a [`Replayer::seek_to`] reached its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeekOutcome {
+    /// The requested retired-instruction position.
+    pub target: u64,
+    /// `Some(instr)` when an embedded checkpoint at `instr` was restored.
+    pub restored_from: Option<u64>,
+    /// Whether the seek had to restart replay from the region snapshot
+    /// (no usable checkpoint — the O(region) fallback).
+    pub full_restart: bool,
+    /// Instructions replayed to get from the chosen start to the target.
+    pub replayed: u64,
 }
 
 /// Replays a pinball, optionally under instrumentation.
@@ -174,6 +189,168 @@ impl Replayer {
             }
         }
         self.run(&mut Router { sinks })
+    }
+
+    /// Captures the replayer's full state as a serializable checkpoint.
+    /// Restoring it (on a replayer of the *same pinball*) and replaying
+    /// forward reproduces this replay exactly — including region-relative
+    /// instance/sequence numbering, which a plain snapshot would reset.
+    pub fn checkpoint(&self) -> ReplayCheckpoint {
+        ReplayCheckpoint {
+            instr: self.exec.seq(),
+            pos: self.pos,
+            done_in_event: self.done_in_event,
+            exec: self.exec.save_state(),
+            env: self.env.queues(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) this replayer to `cp`, which must have
+    /// been captured from a replay of the same pinball.
+    pub fn restore_checkpoint(&mut self, cp: &ReplayCheckpoint) {
+        self.exec = Executor::from_state(Arc::clone(self.exec.program()), &cp.exec);
+        self.env = ScriptedEnv::from_queues(cp.env.clone());
+        self.pos = cp.pos;
+        self.done_in_event = cp.done_in_event;
+    }
+
+    /// Restores `cp` and replays forward to `target` retired instructions
+    /// (uninstrumented). Returns the number of instructions replayed.
+    pub fn run_from_checkpoint(&mut self, cp: &ReplayCheckpoint, target: u64) -> u64 {
+        self.restore_checkpoint(cp);
+        let todo = target.saturating_sub(cp.instr);
+        if todo > 0 {
+            self.run_steps(todo, &mut minivm::NullTool);
+        }
+        self.replayed_instructions() - cp.instr
+    }
+
+    /// Replays at most `n` further instructions. Returns
+    /// [`ReplayStatus::Paused`] when the budget is exhausted with log left.
+    pub fn run_steps(&mut self, n: u64, tool: &mut dyn Tool) -> ReplayStatus {
+        struct Bounded<'a> {
+            left: u64,
+            inner: &'a mut dyn Tool,
+        }
+        impl Tool for Bounded<'_> {
+            fn on_event(&mut self, ev: &minivm::InsEvent) -> ToolControl {
+                let control = self.inner.on_event(ev);
+                self.left -= 1;
+                if self.left == 0 || control == ToolControl::Stop {
+                    ToolControl::Stop
+                } else {
+                    ToolControl::Continue
+                }
+            }
+        }
+        if n == 0 {
+            return if self.finished() {
+                ReplayStatus::Completed
+            } else {
+                ReplayStatus::Paused
+            };
+        }
+        self.run(&mut Bounded {
+            left: n,
+            inner: tool,
+        })
+    }
+
+    /// Replays (uninstrumented) until the log position reaches event index
+    /// `target`, leaving the replayer exactly at that event boundary —
+    /// trailing zero-instruction events (`Skip`/`Inject`) before `target`
+    /// are consumed too, so [`Replayer::checkpoint`] taken here has
+    /// `pos == target` and `done_in_event == 0`. This is how the container
+    /// captures its embedded chunk-boundary checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on replay divergence, as [`Replayer::run`].
+    pub fn run_to_event(&mut self, target: usize) -> ReplayStatus {
+        let target = target.min(self.events.len());
+        while self.pos < target {
+            match &self.events[self.pos] {
+                ReplayEvent::Skip { tid, to_pc, regs } => {
+                    for (r, v) in regs {
+                        self.exec.inject_reg(*tid, *r, *v);
+                    }
+                    self.exec.set_pc(*tid, *to_pc);
+                    self.pos += 1;
+                }
+                ReplayEvent::Inject { mems } => {
+                    for (a, v) in mems {
+                        self.exec.inject_mem(*a, *v);
+                    }
+                    self.pos += 1;
+                }
+                ReplayEvent::Run { tid, steps } => {
+                    if self.done_in_event >= *steps {
+                        self.pos += 1;
+                        self.done_in_event = 0;
+                        continue;
+                    }
+                    let tid = *tid;
+                    match self.exec.step(tid, &mut self.env) {
+                        Ok(_) => self.done_in_event += 1,
+                        Err((_, e)) => {
+                            self.done_in_event += 1;
+                            assert_eq!(
+                                self.expected_exit,
+                                RecordedExit::Trap(e),
+                                "replay divergence: unexpected trap {e}"
+                            );
+                            return ReplayStatus::Trapped(e);
+                        }
+                    }
+                }
+            }
+        }
+        if self.pos >= self.events.len() {
+            ReplayStatus::Completed
+        } else {
+            ReplayStatus::Paused
+        }
+    }
+
+    /// Repositions the replay at exactly `target` retired instructions,
+    /// using the cheapest available path: roll forward from the current
+    /// position, restore the nearest preceding embedded checkpoint and
+    /// replay the tail chunk, or — only when seeking backwards past every
+    /// checkpoint — restart from the region snapshot. This is what turns
+    /// cyclic-debugging re-runs from O(region) into O(chunk).
+    ///
+    /// `container` must hold the same pinball this replayer was built from.
+    pub fn seek_to(&mut self, container: &PinballContainer, target: u64) -> SeekOutcome {
+        let current = self.replayed_instructions();
+        let best = container.nearest_checkpoint(target);
+        let usable = best.filter(|cp| current > target || cp.instr > current);
+        if let Some(cp) = usable {
+            let replayed = self.run_from_checkpoint(cp, target);
+            return SeekOutcome {
+                target,
+                restored_from: Some(cp.instr),
+                full_restart: false,
+                replayed,
+            };
+        }
+        if current <= target {
+            self.run_steps(target - current, &mut minivm::NullTool);
+            return SeekOutcome {
+                target,
+                restored_from: None,
+                full_restart: false,
+                replayed: self.replayed_instructions() - current,
+            };
+        }
+        // Seeking backwards with no checkpoint to land on: full restart.
+        *self = Replayer::new(Arc::clone(self.exec.program()), &container.pinball);
+        self.run_steps(target, &mut minivm::NullTool);
+        SeekOutcome {
+            target,
+            restored_from: None,
+            full_restart: true,
+            replayed: self.replayed_instructions(),
+        }
     }
 
     /// Replays exactly one instruction (the debugger's `stepi`), skipping
@@ -349,6 +526,99 @@ mod tests {
         merged.extend(got1);
         merged.sort_unstable_by_key(|ev| ev.seq);
         assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let (program, pinball) = record();
+        // Reference: full replay.
+        let mut reference = Replayer::new(Arc::clone(&program), &pinball);
+        reference.run(&mut NullTool);
+
+        // Checkpoint mid-replay, finish, rewind, finish again.
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        let total = pinball.logged_instructions();
+        rep.run_steps(total / 2, &mut NullTool);
+        let cp = rep.checkpoint();
+        assert_eq!(cp.instr, total / 2);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        let final_snapshot = rep.exec().snapshot();
+        assert_eq!(final_snapshot, reference.exec().snapshot());
+
+        rep.restore_checkpoint(&cp);
+        assert_eq!(rep.replayed_instructions(), total / 2);
+        assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
+        assert_eq!(
+            rep.exec().snapshot(),
+            final_snapshot,
+            "replay after rewind is bit-identical"
+        );
+        assert_eq!(rep.exec().seq(), reference.exec().seq());
+    }
+
+    #[test]
+    fn run_to_event_lands_on_exact_boundaries() {
+        let (program, pinball) = record();
+        for target in [1, pinball.events.len() / 2, pinball.events.len()] {
+            let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+            rep.run_to_event(target);
+            let cp = rep.checkpoint();
+            assert_eq!(cp.pos, target);
+            assert_eq!(cp.done_in_event, 0);
+            let expected: u64 = pinball.events[..target]
+                .iter()
+                .map(|e| match e {
+                    ReplayEvent::Run { steps, .. } => *steps,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(cp.instr, expected);
+        }
+    }
+
+    #[test]
+    fn seek_to_matches_full_replay_everywhere() {
+        let (program, pinball) = record();
+        let total = pinball.logged_instructions();
+        let container =
+            PinballContainer::with_checkpoints(pinball.clone(), &program, total.max(8) / 4);
+        assert!(!container.checkpoints.is_empty());
+        for target in [0, 1, total / 3, total / 2, total - 1, total] {
+            // Reference state at `target` via plain bounded replay.
+            let mut reference = Replayer::new(Arc::clone(&program), &pinball);
+            reference.run_steps(target, &mut NullTool);
+
+            // Forward seek from scratch.
+            let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+            let out = rep.seek_to(&container, target);
+            assert_eq!(rep.replayed_instructions(), target);
+            assert_eq!(rep.exec().snapshot(), reference.exec().snapshot());
+            assert!(out.replayed <= target);
+
+            // Backward seek from the end exercises checkpoint restore.
+            let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+            rep.run(&mut NullTool);
+            let out = rep.seek_to(&container, target);
+            assert_eq!(rep.replayed_instructions(), target);
+            assert_eq!(rep.exec().snapshot(), reference.exec().snapshot());
+            if let Some(from) = out.restored_from {
+                assert!(from <= target);
+                assert_eq!(out.replayed, target - from, "only the tail chunk replays");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_backwards_without_checkpoints_restarts() {
+        let (program, pinball) = record();
+        let total = pinball.logged_instructions();
+        let container = PinballContainer::new(pinball.clone());
+        let mut rep = Replayer::new(Arc::clone(&program), &pinball);
+        rep.run(&mut NullTool);
+        let out = rep.seek_to(&container, total / 2);
+        assert!(out.full_restart);
+        assert_eq!(out.replayed, total / 2);
+        assert_eq!(rep.replayed_instructions(), total / 2);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property tests for the v2 pinball container.
+//!
+//! Over randomized multi-threaded recordings (worker count, per-worker
+//! loop length, scheduler seed and quantum, checkpoint interval all
+//! drawn by proptest):
+//!
+//! 1. **Byte-identical round-trip** — `to_bytes` → `from_bytes` →
+//!    `to_bytes` reproduces the exact container bytes. Chunk boundaries,
+//!    embedded checkpoints, and the footer index are all deterministic
+//!    functions of the log, so a load/save cycle is the identity.
+//! 2. **Seek equivalence** — restoring any embedded checkpoint via
+//!    `Replayer::seek_to` and replaying to the end retires the same
+//!    instruction count and lands on bit-identical final state as a
+//!    cold replay of the whole region.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use minivm::{assemble, LiveEnv, NullTool, Program, RandomSched};
+use pinplay::{record_whole_program, Pinball, PinballContainer, ReplayStatus, Replayer};
+
+/// A main thread plus `workers` xadd-looping threads over one shared
+/// word: enough cross-thread scheduling to make the replay log
+/// multi-chunk and order-sensitive.
+fn workload(workers: usize, iters: u64) -> Arc<Program> {
+    let mut src = String::from(
+        "
+        .data
+        acc: .word 0
+        .text
+        .func main
+        ",
+    );
+    for w in 0..workers {
+        src.push_str(&format!(
+            "    movi r1, {w}\n    spawn r{}, worker, r1\n",
+            w + 2
+        ));
+    }
+    for w in 0..workers {
+        src.push_str(&format!("    join r{}\n", w + 2));
+    }
+    src.push_str(
+        "    la r4, acc
+             load r5, r4, 0
+             print r5
+             halt
+        .endfunc
+        .func worker
+        ",
+    );
+    src.push_str(&format!("    movi r3, {iters}\n"));
+    src.push_str(
+        "loop:
+            la r1, acc
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, loop
+            halt
+        .endfunc
+        ",
+    );
+    Arc::new(assemble(&src).expect("workload assembles"))
+}
+
+fn record(
+    workers: usize,
+    iters: u64,
+    sched_seed: u64,
+    quantum: u32,
+    env_seed: u64,
+) -> (Arc<Program>, Pinball) {
+    let program = workload(workers, iters);
+    let rec = record_whole_program(
+        &program,
+        &mut RandomSched::new(sched_seed, quantum),
+        &mut LiveEnv::new(env_seed),
+        1_000_000,
+        "container-prop",
+    )
+    .expect("records");
+    (program, rec.pinball)
+}
+
+fn final_state(r: &mut Replayer) -> (ReplayStatus, u64, minivm::ExecState) {
+    let status = r.run(&mut NullTool);
+    (status, r.replayed_instructions(), r.exec().save_state())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn v2_save_load_is_byte_identical(
+        workers in 1usize..4,
+        iters in 5u64..60,
+        sched_seed in any::<u64>(),
+        quantum in 1u32..16,
+        env_seed in any::<u64>(),
+        interval in 8u64..200,
+    ) {
+        let (program, pinball) = record(workers, iters, sched_seed, quantum, env_seed);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+        let bytes = container.to_bytes().expect("serializes");
+        let reloaded = PinballContainer::from_bytes(&bytes).expect("loads");
+        prop_assert_eq!(&reloaded, &container, "container round-trips");
+        let rebytes = reloaded.to_bytes().expect("re-serializes");
+        prop_assert_eq!(rebytes, bytes, "load -> save is byte-identical");
+    }
+
+    #[test]
+    fn seek_then_replay_matches_full_replay_at_every_chunk_boundary(
+        workers in 1usize..4,
+        iters in 5u64..40,
+        sched_seed in any::<u64>(),
+        quantum in 1u32..16,
+        interval in 8u64..100,
+    ) {
+        let (program, pinball) = record(workers, iters, sched_seed, quantum, 7);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+
+        let mut cold = Replayer::new(Arc::clone(&program), &container.pinball);
+        let want = final_state(&mut cold);
+
+        // Every embedded checkpoint sits on a chunk boundary; seeking to
+        // each and replaying the remainder must converge on `want`.
+        let boundaries: Vec<u64> =
+            container.checkpoints.iter().map(|cp| cp.instr).collect();
+        for boundary in boundaries {
+            let mut r = Replayer::new(Arc::clone(&program), &container.pinball);
+            let outcome = r.seek_to(&container, boundary);
+            prop_assert_eq!(
+                outcome.restored_from, Some(boundary),
+                "boundary {} restores exactly", boundary
+            );
+            prop_assert_eq!(outcome.replayed, 0, "no tail inside a boundary seek");
+            prop_assert_eq!(r.replayed_instructions(), boundary);
+            let got = final_state(&mut r);
+            prop_assert_eq!(&got.0, &want.0, "same terminal status");
+            prop_assert_eq!(got.1, want.1, "same instruction count");
+            prop_assert_eq!(&got.2, &want.2, "bit-identical final state");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! CRC-32 (ISO-HDLC / zlib polynomial) integrity checksums.
+//!
+//! Pinball container frames carry a CRC over their compressed payload so a
+//! flipped bit or a truncated tail is detected *per chunk*: the loader can
+//! name the damaged chunk and still recover the intact prefix, instead of
+//! losing the whole recording the way a single-blob format does.
+
+/// The reflected generator polynomial of CRC-32/ISO-HDLC (the zlib/PNG
+/// variant).
+const POLY: u32 = 0xedb8_8320;
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data` (initial value and final xor `0xffffffff`,
+/// matching zlib's `crc32()`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    crc ^ u32::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0x5au8; 1024];
+        let base = crc32(&data);
+        for i in [0usize, 100, 1023] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_crc() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let base = crc32(&data);
+        assert_ne!(crc32(&data[..999]), base);
+    }
+}

@@ -10,10 +10,19 @@
 //!
 //! [LZSS]: lzss::compress
 //! [varint]: varint::write_u64
+//!
+//! The [`frame`] module layers a chunked, checksummed container on top:
+//! each frame is independently compressed and carries a [`crc32()`] of
+//! its compressed payload, which is what the v2 pinball container uses to
+//! detect and localize corruption without losing the intact prefix.
 
 #![warn(missing_docs)]
 
+pub mod crc32;
+pub mod frame;
 pub mod lzss;
 pub mod varint;
 
+pub use crc32::crc32;
+pub use frame::{read_frame, read_frame_at, write_frame, Frame, FrameError};
 pub use lzss::{compress, decompress, DecodeError};

@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "captured pinball: {} instructions, {} bytes",
         pinball.logged_instructions(),
-        pinball.size_bytes()
+        pinball.size_bytes().expect("pinball serializes")
     );
 
     // Phase 2: cyclic debugging off the pinball.

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "recorded {} instructions; pinball is {} bytes",
         exposure.recording.region_instructions,
-        exposure.recording.pinball.size_bytes()
+        exposure
+            .recording
+            .pinball
+            .size_bytes()
+            .expect("pinball serializes")
     );
 
     // The pinball replays the crash every time — hand it to the debugger.

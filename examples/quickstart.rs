@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "recorded {} instructions into a {}-byte pinball",
         recording.region_instructions,
-        recording.pinball.size_bytes()
+        recording.pinball.size_bytes().expect("pinball serializes")
     );
 
     // 2. Debug session #1: break after the atomic add, inspect state.

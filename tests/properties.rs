@@ -402,7 +402,7 @@ proptest! {
             1_000_000,
             "prop",
         ).expect("records");
-        let bytes = rec.pinball.to_bytes();
+        let bytes = rec.pinball.to_bytes().expect("serializes");
         let back = pinplay::Pinball::from_bytes(&bytes).expect("roundtrips");
         prop_assert_eq!(back, rec.pinball);
     }

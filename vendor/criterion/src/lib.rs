@@ -147,14 +147,27 @@ impl Bencher {
     }
 }
 
+/// True when the harness was invoked as `cargo bench -- --test`: run each
+/// benchmark once to prove it executes, skipping warm-up and sampling.
+/// Mirrors upstream criterion's smoke-test mode, which CI uses to keep
+/// benches compiling and running without paying for full measurement.
+fn smoke_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
-    // Warm-up: one untimed run.
     let mut bencher = Bencher {
         elapsed: Duration::ZERO,
     };
+    if smoke_test_mode() {
+        f(&mut bencher);
+        println!("{label:<50} smoke-tested (1 iteration, --test mode)");
+        return;
+    }
+    // Warm-up: one untimed run.
     f(&mut bencher);
 
     let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
