@@ -1,0 +1,122 @@
+//! drserve throughput and slice-cache latency over the loopback transport.
+//!
+//! Measures the serving layer itself, with the network removed: requests
+//! per second for the cheap ops (stats, seek) through a real framed
+//! client/server exchange, and the cold-compute versus cache-hit latency
+//! of `ComputeSlice` — the number that makes cyclic debugging over a
+//! server worthwhile. Medians land in `target/bench/serve.json` for the
+//! CI trend line.
+
+use std::time::{Duration, Instant};
+
+use bench::exp::record_needle;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drserve::{ServeConfig, Server, SliceAt};
+use slicer::SliceOptions;
+
+const ITERS: u64 = 2_000;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (program, pinball) = record_needle(ITERS);
+    let total = pinball.logged_instructions();
+
+    let server = Server::new(ServeConfig::default());
+    let mut client = server.loopback_client();
+    let up = client.upload(&program, &pinball).expect("upload");
+    let session = client.open(up.digest).expect("open");
+    client.seek(session, total / 2).expect("seek");
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Request/response round-trip floor: the cheapest op end to end.
+    group.bench_function("stats-roundtrip", |b| {
+        b.iter(|| client.stats().expect("stats"))
+    });
+
+    // A session-touching op (pool checkout + checkpoint-assisted seek).
+    group.bench_function("seek-roundtrip", |b| {
+        b.iter(|| client.seek(session, total / 2).expect("seek"))
+    });
+
+    // Slice: cold compute vs content-addressed cache hit. The cold side
+    // re-opens a fresh session per iteration so the trace collection is
+    // paid every time, as a first-ever request would pay it; the options
+    // alternate prune keys so each cold compute misses the cache.
+    group.bench_function("slice-cache-hit", |b| {
+        b.iter(|| {
+            let reply = client
+                .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+                .expect("slice");
+            assert!(reply.cached || reply.micros > 0);
+            reply.slice.len()
+        })
+    });
+    group.finish();
+
+    // Separately measured medians for the JSON record.
+    let stats_rt = median_of(20, || {
+        client.stats().expect("stats");
+    });
+    let seek_rt = median_of(10, || {
+        client.seek(session, total / 2).expect("seek");
+    });
+
+    // Cold slice: a fresh server per sample so both the slice cache and
+    // the session's collected trace start empty.
+    let cold = median_of(3, || {
+        let server = Server::new(ServeConfig::default());
+        let mut c = server.loopback_client();
+        let up = c.upload(&program, &pinball).expect("upload");
+        let s = c.open(up.digest).expect("open");
+        c.compute_slice(s, SliceAt::Failure, SliceOptions::default())
+            .expect("slice");
+    });
+    // Warm: same request against the long-lived server — a pure cache hit.
+    let warm = median_of(20, || {
+        let reply = client
+            .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+            .expect("slice");
+        assert!(reply.cached, "warm request must hit the cache");
+    });
+    let final_stats = client.stats().expect("stats");
+
+    let report = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"workload\": \"four_thread_needle\",\n  \
+         \"iters\": {ITERS},\n  \"total_instructions\": {total},\n  \
+         \"stats_roundtrip_ns\": {},\n  \"seek_roundtrip_ns\": {},\n  \
+         \"stats_requests_per_sec\": {:.0},\n  \
+         \"slice_cold_ns\": {},\n  \"slice_cache_hit_ns\": {},\n  \
+         \"cache_speedup\": {:.2},\n  \"cache_hit_rate_percent\": {}\n}}\n",
+        stats_rt.as_nanos(),
+        seek_rt.as_nanos(),
+        1.0 / stats_rt.as_secs_f64().max(1e-12),
+        cold.as_nanos(),
+        warm.as_nanos(),
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+        final_stats.cache.hit_rate_percent(),
+    );
+    let dir = std::path::Path::new("target/bench");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("serve.json");
+        match std::fs::write(&path, report) {
+            Ok(()) => println!("serve bench report written to {}", path.display()),
+            Err(e) => eprintln!("serve bench report not written: {e}"),
+        }
+    }
+}
+
+criterion_group!(serve, bench_serve);
+criterion_main!(serve);

@@ -16,6 +16,11 @@
 //! Cases: `pbzip2`, `aget`, `mozilla` (Table 1), `fig5` (the paper's §3
 //! example), `fig8` (the §5.2 save/restore example — no bug, breaks at
 //! `compute_w` instead).
+//!
+//! `--save <path>` writes the recorded container to disk; `--pinball
+//! <path>` replays a saved container instead of recording. Loading never
+//! panics: a missing file exits cleanly, and a damaged container names
+//! the broken chunk and salvages the intact prefix when possible.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -23,7 +28,9 @@ use std::sync::Arc;
 use drdebug::{CommandInterpreter, DebugSession, LiveSession, LiveStop};
 use maple::{expose_iroot, ExposeOptions, IRoot};
 use minivm::{LiveEnv, Program, RoundRobin};
-use pinplay::{record_whole_program, Pinball, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
+use pinplay::{
+    record_whole_program, Pinball, PinballContainer, PinballError, DEFAULT_CHECKPOINT_INTERVAL,
+};
 
 fn record_case(name: &str) -> Result<(Arc<Program>, Pinball), String> {
     let bug_case = |case: workloads::BugCase| -> Result<(Arc<Program>, Pinball), String> {
@@ -64,6 +71,66 @@ fn record_case(name: &str) -> Result<(Arc<Program>, Pinball), String> {
             "unknown case `{other}`; expected pbzip2|aget|mozilla|fig5|fig8"
         )),
     }
+}
+
+/// The case's program without recording anything — for replaying a
+/// pinball loaded from disk.
+fn case_program(name: &str) -> Result<Arc<Program>, String> {
+    match name {
+        "pbzip2" => Ok(workloads::pbzip2_like().program),
+        "aget" => Ok(workloads::aget_like().program),
+        "mozilla" => Ok(workloads::mozilla_like().program),
+        "fig5" => Ok(workloads::fig5_race()),
+        "fig8" => Ok(workloads::fig8_save_restore()),
+        other => Err(format!(
+            "unknown case `{other}`; expected pbzip2|aget|mozilla|fig5|fig8"
+        )),
+    }
+}
+
+/// Loads a pinball container from disk without ever panicking: a missing
+/// file or unrecognizable blob is a clean error, and chunk-level damage
+/// is reported by chunk through the typed lossy decoder, salvaging the
+/// intact prefix when there is one.
+fn load_container(path: &str) -> Result<PinballContainer, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read pinball `{path}`: {e}"))?;
+    match PinballContainer::from_bytes(&bytes) {
+        Ok(container) => Ok(container),
+        Err(first) => {
+            let lossy = PinballContainer::from_bytes_lossy(&bytes)
+                .map_err(|e| format!("pinball `{path}` is unreadable: {e}"))?;
+            match &lossy.damage {
+                Some(PinballError::Chunk {
+                    chunk,
+                    kind,
+                    reason,
+                }) => eprintln!(
+                    "[drdebug] pinball `{path}`: chunk {chunk} ({kind}) is damaged: {reason}"
+                ),
+                Some(other) => eprintln!("[drdebug] pinball `{path}` is damaged: {other}"),
+                None => eprintln!("[drdebug] pinball `{path}` failed to load: {first}"),
+            }
+            if lossy.events_recovered == 0 {
+                return Err(format!(
+                    "pinball `{path}`: nothing salvageable ({} events lost)",
+                    lossy.events_expected
+                ));
+            }
+            eprintln!(
+                "[drdebug] continuing with the salvaged prefix: {}/{} events intact",
+                lossy.events_recovered, lossy.events_expected
+            );
+            Ok(lossy.container)
+        }
+    }
+}
+
+/// The value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .zip(args.iter().skip(1))
+        .find(|(f, _)| f.as_str() == flag)
+        .map(|(_, v)| v.as_str())
 }
 
 /// Live-capture mode: run the case's program live with record on/off
@@ -143,49 +210,81 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(case) = args.first() else {
         eprintln!(
-            "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--ckpt <n>] [--cmd '<command>']..."
+            "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--ckpt <n>] \
+             [--pinball <path>] [--save <path>] [--cmd '<command>']..."
         );
         std::process::exit(2);
     };
-    let (program, pinball) = if args.iter().any(|a| a == "--live") {
-        // Live mode uses the case's program but captures interactively.
-        let program = match record_case(case) {
-            Ok((p, _)) => p,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
-        match live_mode(program) {
-            Some(captured) => captured,
-            None => return,
-        }
-    } else {
-        match record_case(case) {
+    let (program, container) = if let Some(path) = flag_value(&args, "--pinball") {
+        // Replay a previously saved container: no recording. Missing and
+        // damaged files exit cleanly with the damage named by chunk.
+        let program = match case_program(case) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
+        };
+        match load_container(path) {
+            Ok(container) => (program, container),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
+    } else {
+        let (program, pinball) = if args.iter().any(|a| a == "--live") {
+            // Live mode uses the case's program but captures interactively.
+            let program = match record_case(case) {
+                Ok((p, _)) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match live_mode(program) {
+                Some(captured) => captured,
+                None => return,
+            }
+        } else {
+            match record_case(case) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        eprintln!(
+            "[drdebug] pinball: {} instructions, {} bytes compressed",
+            pinball.logged_instructions(),
+            pinball.size_bytes().expect("pinball serializes")
+        );
+        // Embed checkpoints every `--ckpt N` retired instructions (default
+        // DEFAULT_CHECKPOINT_INTERVAL) so `seek` restores in O(chunk).
+        let interval = flag_value(&args, "--ckpt")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_CHECKPOINT_INTERVAL);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+        eprintln!(
+            "[drdebug] container: {} embedded checkpoints (interval {interval})",
+            container.checkpoints.len()
+        );
+        (program, container)
     };
+    if let Some(path) = flag_value(&args, "--save") {
+        match container.save(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("[drdebug] container saved to `{path}`"),
+            Err(e) => {
+                eprintln!("error: cannot save pinball to `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
-        "[drdebug] pinball: {} instructions, {} bytes compressed",
-        pinball.logged_instructions(),
-        pinball.size_bytes().expect("pinball serializes")
-    );
-    // Embed checkpoints every `--ckpt N` retired instructions (default
-    // DEFAULT_CHECKPOINT_INTERVAL) so `seek` restores in O(chunk).
-    let interval = args
-        .iter()
-        .zip(args.iter().skip(1))
-        .find(|(flag, _)| flag.as_str() == "--ckpt")
-        .and_then(|(_, v)| v.parse::<u64>().ok())
-        .unwrap_or(DEFAULT_CHECKPOINT_INTERVAL);
-    let container = PinballContainer::with_checkpoints(pinball, &program, interval);
-    eprintln!(
-        "[drdebug] container: {} embedded checkpoints (interval {interval})",
-        container.checkpoints.len()
+        "[drdebug] replaying {} instructions (digest {})",
+        container.pinball.logged_instructions(),
+        container.digest()
     );
     let mut dbg = CommandInterpreter::new(DebugSession::with_container(program, container));
 
@@ -223,5 +322,54 @@ fn main() {
             continue;
         }
         println!("{}", dbg.execute(line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("drdebug_cli_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn missing_pinball_path_is_a_clean_error() {
+        let err = load_container("/nonexistent/no-such-pinball.drpb").unwrap_err();
+        assert!(err.contains("cannot read pinball"), "{err}");
+    }
+
+    #[test]
+    fn unrecognizable_blob_is_a_clean_error() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"this is not a pinball at all").unwrap();
+        let err = load_container(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("unreadable"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_container_salvages_the_intact_prefix() {
+        let program = workloads::fig8_save_restore();
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::with_inputs(0, [1]),
+            100_000,
+            "cli-test",
+        )
+        .expect("records");
+        let container = PinballContainer::with_checkpoints(rec.pinball, &program, 64);
+        let mut bytes = container.to_bytes().expect("serializes");
+        let cut = bytes.len() * 3 / 4;
+        bytes.truncate(cut); // tail damage: prefix chunks stay intact
+        let path = temp_path("damaged");
+        std::fs::write(&path, &bytes).unwrap();
+        let salvaged = load_container(path.to_str().unwrap()).expect("prefix salvaged");
+        assert!(!salvaged.pinball.events.is_empty());
+        assert!(salvaged.pinball.events.len() <= container.pinball.events.len());
+        std::fs::remove_file(&path).ok();
     }
 }

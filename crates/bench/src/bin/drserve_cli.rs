@@ -1,0 +1,156 @@
+//! drserve command line: serve pinballs over TCP, or drive a server as a
+//! client.
+//!
+//! ```text
+//! # terminal 1: start a server
+//! cargo run --release -p bench --bin drserve_cli -- serve --addr 127.0.0.1:7070
+//!
+//! # terminal 2: record a workload, upload it, seek, slice (twice)
+//! cargo run --release -p bench --bin drserve_cli -- client --addr 127.0.0.1:7070
+//!
+//! # or everything in one process over the in-memory loopback transport
+//! cargo run --release -p bench --bin drserve_cli -- demo --clients 4
+//! ```
+//!
+//! The client records the four-thread needle workload, uploads it
+//! (content-addressed — a second client uploading the same recording
+//! dedupes), opens a pooled session, seeks to the middle of the region,
+//! and computes the failure slice twice to show the cold-compute versus
+//! cache-hit latency. It finishes by printing the server's stats block.
+
+use std::io::{Read, Write};
+
+use bench::exp::record_needle;
+use drserve::{Client, ServeConfig, Server, SliceAt};
+use slicer::SliceOptions;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .zip(args.iter().skip(1))
+        .find(|(f, _)| f.as_str() == flag)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config_from(args: &[String]) -> ServeConfig {
+    ServeConfig {
+        max_sessions: parsed_flag(args, "--max-sessions", 8),
+        cache_capacity: parsed_flag(args, "--cache", 256),
+        ..ServeConfig::default()
+    }
+}
+
+/// One full debug iteration against a connected server; prints what the
+/// cache did for the repeat request.
+fn drive<S: Read + Write>(client: &mut Client<S>, iters: u64, tag: &str) -> Result<(), String> {
+    let (program, pinball) = record_needle(iters);
+    let up = client
+        .upload(&program, &pinball)
+        .map_err(|e| format!("upload: {e}"))?;
+    println!(
+        "[{tag}] uploaded {} instructions as {} ({})",
+        up.instructions,
+        up.digest,
+        if up.deduped { "deduped" } else { "stored" }
+    );
+    let session = client.open(up.digest).map_err(|e| format!("open: {e}"))?;
+    let (_, position) = client
+        .seek(session, up.instructions / 2)
+        .map_err(|e| format!("seek: {e}"))?;
+    println!("[{tag}] session {session} seeked to instruction {position}");
+    let cold = client
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .map_err(|e| format!("slice: {e}"))?;
+    let warm = client
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .map_err(|e| format!("slice: {e}"))?;
+    println!(
+        "[{tag}] failure slice: {} records; cold {} us ({}), repeat {} us ({})",
+        cold.slice.len(),
+        cold.micros,
+        if cold.cached { "cache hit" } else { "computed" },
+        warm.micros,
+        if warm.cached { "cache hit" } else { "computed" },
+    );
+    client.close(session).map_err(|e| format!("close: {e}"))?;
+    Ok(())
+}
+
+fn print_stats<S: Read + Write>(client: &mut Client<S>) {
+    match client.stats() {
+        Ok(stats) => println!("--- server stats ---\n{stats}"),
+        Err(e) => eprintln!("stats: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let iters = parsed_flag(&args, "--iters", 400);
+    match mode {
+        Some("serve") => {
+            let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+            let server = Server::new(config_from(&args));
+            let handle = match server.listen(addr) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: cannot listen on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("[drserve] listening on {}", handle.addr());
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some("client") => {
+            let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+            let mut client = match drserve::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = drive(&mut client, iters, "client") {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            print_stats(&mut client);
+        }
+        Some("demo") => {
+            let clients: usize = parsed_flag(&args, "--clients", 4);
+            let server = Server::new(config_from(&args));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|i| {
+                        let mut client = server.loopback_client();
+                        scope.spawn(move || drive(&mut client, iters, &format!("demo-{i}")))
+                    })
+                    .collect();
+                for handle in handles {
+                    if let Err(e) = handle.join().expect("client thread") {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            });
+            let mut client = server.loopback_client();
+            print_stats(&mut client);
+        }
+        _ => {
+            eprintln!(
+                "usage: drserve_cli serve [--addr <host:port>] [--max-sessions <n>] [--cache <n>]\n\
+                 \x20      drserve_cli client [--addr <host:port>] [--iters <n>]\n\
+                 \x20      drserve_cli demo [--clients <n>] [--iters <n>]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Acceptance: a warm slice-cache hit answers at least 10× faster than a
+//! cold compute.
+//!
+//! The whole point of the content-addressed cache is that the second
+//! debug iteration asking the same question skips trace collection and
+//! graph traversal entirely — the server answers from the canonical
+//! cached slice. "Cold" here is honest: a fresh server per sample, so
+//! the request pays collection plus slicing, as any first-ever request
+//! does. "Warm" is the same request against a long-lived server whose
+//! cache already holds the answer.
+
+use std::time::{Duration, Instant};
+
+use bench::exp::record_needle;
+use drserve::{ServeConfig, Server, SliceAt};
+use slicer::SliceOptions;
+
+const ITERS: u64 = 3_000;
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn warm_cache_hit_is_at_least_10x_faster_than_cold_compute() {
+    let (program, pinball) = record_needle(ITERS);
+
+    let cold = median_of(3, || {
+        let server = Server::new(ServeConfig::default());
+        let mut client = server.loopback_client();
+        let up = client.upload(&program, &pinball).expect("upload");
+        let session = client.open(up.digest).expect("open");
+        let reply = client
+            .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+            .expect("slice");
+        assert!(!reply.cached, "fresh server cannot have this slice cached");
+    });
+
+    let server = Server::new(ServeConfig::default());
+    let mut client = server.loopback_client();
+    let up = client.upload(&program, &pinball).expect("upload");
+    let session = client.open(up.digest).expect("open");
+    let first = client
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .expect("slice");
+    assert!(!first.cached, "first request computes and fills the cache");
+
+    let warm = median_of(15, || {
+        let reply = client
+            .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+            .expect("slice");
+        assert!(reply.cached, "warm request must be served from the cache");
+        assert_eq!(
+            reply.slice.canonical_bytes(),
+            first.slice.canonical_bytes(),
+            "cached slice is byte-identical to the computed one"
+        );
+    });
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+    println!(
+        "cold compute {:?} vs warm cache hit {:?}: {speedup:.1}x \
+         (required {REQUIRED_SPEEDUP}x)",
+        cold, warm
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "cache hit not fast enough: cold {cold:?} / warm {warm:?} = {speedup:.1}x, \
+         need {REQUIRED_SPEEDUP}x"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.cache.hits >= 15,
+        "hits recorded: {}",
+        stats.cache.hits
+    );
+    assert_eq!(stats.cache.entries, 1, "one distinct question asked");
+}

@@ -730,34 +730,46 @@ impl DebugSession {
         self.slicer.as_ref()
     }
 
+    /// The trace record id of the current stop point, if the session is
+    /// stopped somewhere the collected trace covers. Collects the trace on
+    /// first use.
+    pub fn record_at_stop(&mut self) -> Option<slicer::RecordId> {
+        let site = self.stopped_at()?;
+        let slicer = self.slicer();
+        slicer
+            .trace()
+            .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)
+            .map(|r| r.id)
+    }
+
+    /// Computes a slice for an explicit criterion under explicit options —
+    /// the server-side entry point: a pooled session serves criteria that
+    /// arrive over the wire rather than from the interactive stop point.
+    /// Timing is folded into [`DebugSession::metrics`] like every other
+    /// slice request.
+    pub fn slice_criterion(&mut self, criterion: Criterion, opts: SliceOptions) -> Slice {
+        self.slicer(); // ensure collected
+        let started = Instant::now();
+        let slice = self
+            .slicer
+            .as_ref()
+            .expect("collected above")
+            .slice_with(criterion, opts);
+        self.timed(slice, started)
+    }
+
     /// Computes a slice for the value of `key` at the current stop point —
     /// the `slice` command of paper Fig. 9 ("Thread Id / Line Num /
     /// Variable" fields).
     pub fn slice_here(&mut self, key: LocKey) -> Option<Slice> {
-        let site = self.stopped_at()?;
-        let slicer = self.slicer();
-        let id = slicer
-            .trace()
-            .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
-            .id;
-        let opts = self.slice_options();
-        let started = Instant::now();
-        let slice = self.slicer().slice_with(Criterion::Value { id, key }, opts);
-        Some(self.timed(slice, started))
+        let id = self.record_at_stop()?;
+        Some(self.slice_criterion(Criterion::Value { id, key }, self.slice_options()))
     }
 
     /// Computes a slice for everything used at the current stop point.
     pub fn slice_here_record(&mut self) -> Option<Slice> {
-        let site = self.stopped_at()?;
-        let slicer = self.slicer();
-        let id = slicer
-            .trace()
-            .rfind(|r| r.tid == site.tid && r.pc == site.pc && r.instance == site.instance)?
-            .id;
-        let opts = self.slice_options();
-        let started = Instant::now();
-        let slice = self.slicer().slice_with(Criterion::Record { id }, opts);
-        Some(self.timed(slice, started))
+        let id = self.record_at_stop()?;
+        Some(self.slice_criterion(Criterion::Record { id }, self.slice_options()))
     }
 
     /// Computes a slice for a value at the last execution of a *source
@@ -772,22 +784,17 @@ impl DebugSession {
             .filter(|r| r.line == line)
             .max_by_key(|r| r.id)?;
         let id = rec.id;
-        let opts = self.slice_options();
-        let started = Instant::now();
-        let slice = match key {
-            Some(key) => self.slicer().slice_with(Criterion::Value { id, key }, opts),
-            None => self.slicer().slice_with(Criterion::Record { id }, opts),
+        let criterion = match key {
+            Some(key) => Criterion::Value { id, key },
+            None => Criterion::Record { id },
         };
-        Some(self.timed(slice, started))
+        Some(self.slice_criterion(criterion, self.slice_options()))
     }
 
     /// Computes a slice at the failure point (last record of the trace).
     pub fn slice_failure(&mut self) -> Option<Slice> {
-        let opts = self.slice_options();
         let id = self.slicer().failure_record()?.id;
-        let started = Instant::now();
-        let slice = self.slicer().slice_with(Criterion::Record { id }, opts);
-        Some(self.timed(slice, started))
+        Some(self.slice_criterion(Criterion::Record { id }, self.slice_options()))
     }
 
     /// Saves a slice for later slice-pinball generation; returns its index.

@@ -1,0 +1,245 @@
+//! Content-addressed slice cache.
+//!
+//! Cyclic debugging recomputes the same slices over and over: every debug
+//! iteration replays the same pinball and asks about the same failure
+//! point. The cache exploits that shape. A result is keyed by *content*,
+//! never by session: the pinball's [`PinballDigest`] (a fold of its chunk
+//! CRCs), the resolved [`Criterion`], and the
+//! [`SliceOptions::fingerprint`](slicer::SliceOptions::fingerprint). Two
+//! different clients debugging two uploads of the identical pinball
+//! therefore share entries, and reopening a session after an LRU eviction
+//! loses no cached work.
+//!
+//! Eviction is LRU by lookup order with a fixed entry capacity; all
+//! counters are surfaced through [`CacheStats`] on the `Stats` path.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pinplay::PinballDigest;
+use slicer::{Criterion, LocKey, RecordId};
+
+use crate::proto::{CacheStats, WireSlice};
+
+/// Hashable form of a [`Criterion`] (which does not itself derive `Hash`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CriterionKey {
+    Record(RecordId),
+    Value(RecordId, LocKey),
+}
+
+impl From<Criterion> for CriterionKey {
+    fn from(c: Criterion) -> CriterionKey {
+        match c {
+            Criterion::Record { id } => CriterionKey::Record(id),
+            Criterion::Value { id, key } => CriterionKey::Value(id, key),
+        }
+    }
+}
+
+/// Full cache key: what was sliced, where, under which options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    digest: PinballDigest,
+    criterion: CriterionKey,
+    options: u64,
+}
+
+struct Entry {
+    slice: Arc<WireSlice>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic lookup clock driving LRU order.
+    tick: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe, content-addressed store of canonical slices.
+pub struct SliceCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl SliceCache {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> SliceCache {
+        SliceCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a slice, counting a hit or miss and refreshing LRU order.
+    pub fn get(
+        &self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options_fingerprint: u64,
+    ) -> Option<Arc<WireSlice>> {
+        let key = CacheKey {
+            digest,
+            criterion: criterion.into(),
+            options: options_fingerprint,
+        };
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let slice = Arc::clone(&entry.slice);
+                inner.hits += 1;
+                Some(slice)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a computed slice, evicting the least recently used entry if
+    /// the cache is full. Re-inserting an existing key refreshes it.
+    pub fn insert(
+        &self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options_fingerprint: u64,
+        slice: Arc<WireSlice>,
+    ) {
+        let key = CacheKey {
+            digest,
+            criterion: criterion.into(),
+            options: options_fingerprint,
+        };
+        let bytes = slice.canonical_bytes().len() as u64;
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.map.len() >= self.capacity {
+            // O(entries) scan; the capacity is a configuration-sized bound,
+            // not a dataset.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("map non-empty while over capacity");
+            let evicted = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                slice,
+                bytes,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Counter snapshot for the `Stats` path.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer::SliceStats;
+
+    fn slice(id: RecordId) -> Arc<WireSlice> {
+        Arc::new(WireSlice {
+            criterion: Criterion::Record { id },
+            records: vec![id],
+            data_edges: Vec::new(),
+            control_edges: Vec::new(),
+            stats: SliceStats::default(),
+        })
+    }
+
+    const D: PinballDigest = PinballDigest(0xfeed);
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = SliceCache::new(4);
+        let c = Criterion::Record { id: 1 };
+        assert!(cache.get(D, c, 0).is_none());
+        cache.insert(D, c, 0, slice(1));
+        let got = cache.get(D, c, 0).expect("hit");
+        assert_eq!(got.records, vec![1]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = SliceCache::new(8);
+        let c = Criterion::Record { id: 1 };
+        cache.insert(D, c, 0, slice(1));
+        assert!(cache.get(PinballDigest(0xbeef), c, 0).is_none(), "digest");
+        assert!(
+            cache.get(D, Criterion::Record { id: 2 }, 0).is_none(),
+            "criterion"
+        );
+        assert!(cache.get(D, c, 1).is_none(), "options");
+        assert!(
+            cache
+                .get(
+                    D,
+                    Criterion::Value {
+                        id: 1,
+                        key: LocKey::Mem(0)
+                    },
+                    0
+                )
+                .is_none(),
+            "record vs value"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = SliceCache::new(2);
+        let a = Criterion::Record { id: 1 };
+        let b = Criterion::Record { id: 2 };
+        let c = Criterion::Record { id: 3 };
+        cache.insert(D, a, 0, slice(1));
+        cache.insert(D, b, 0, slice(2));
+        cache.get(D, a, 0).expect("a cached"); // refresh a; b is now LRU
+        cache.insert(D, c, 0, slice(3)); // evicts b
+        assert!(cache.get(D, a, 0).is_some(), "recently used survives");
+        assert!(cache.get(D, b, 0).is_none(), "LRU evicted");
+        assert!(cache.get(D, c, 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

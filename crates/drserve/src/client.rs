@@ -1,0 +1,260 @@
+//! Typed client for the drserve wire protocol.
+//!
+//! [`Client`] wraps any `Read + Write` stream — a `TcpStream` from
+//! [`crate::connect`] or a loopback pipe from
+//! [`crate::Server::loopback_client`] — and exposes one method per
+//! request. Each method writes a single request frame, reads a single
+//! response frame, and converts protocol-level [`ServeError`]s and
+//! unexpected response shapes into a typed [`ClientError`].
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use minivm::{Pc, Program, Tid};
+use pinplay::{Pinball, PinballContainer, PinballDigest};
+use slicer::SliceOptions;
+
+use crate::proto::{
+    self, RecvError, Request, Response, ServeError, ServeStats, SessionId, SliceAt, WireSlice,
+    WireStop, REQUEST_KIND, RESPONSE_KIND,
+};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The stream failed or delivered an undecodable frame.
+    Transport(RecvError),
+    /// The server answered with a typed error.
+    Server(ServeError),
+    /// The server answered with a response that does not match the
+    /// request (a protocol bug, not a user error).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> ClientError {
+        ClientError::Transport(e)
+    }
+}
+
+/// Result of a successful upload.
+#[derive(Debug, Clone, Copy)]
+pub struct Uploaded {
+    /// Content digest — the handle for [`Client::open`].
+    pub digest: PinballDigest,
+    /// Instructions the pinball's replay retires.
+    pub instructions: u64,
+    /// Whether the server already held an identical pinball.
+    pub deduped: bool,
+}
+
+/// Result of a slice request.
+#[derive(Debug, Clone)]
+pub struct SliceReply {
+    /// The slice in canonical wire form.
+    pub slice: WireSlice,
+    /// Whether the content-addressed cache served it.
+    pub cached: bool,
+    /// Server-side handling time, microseconds.
+    pub micros: u64,
+}
+
+/// A connected protocol client. One outstanding request at a time.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Client<S> {
+        Client { stream }
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on stream failure.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        proto::write_message(&mut self.stream, REQUEST_KIND, request)
+            .map_err(|e| ClientError::Transport(RecvError::Io(e.to_string())))?;
+        Ok(proto::read_message(&mut self.stream, RESPONSE_KIND)?)
+    }
+
+    /// Uploads serialized container bytes alongside the program they replay.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ServeError::Pinball`] when the
+    /// container is damaged; transport errors as usual.
+    pub fn upload_bytes(
+        &mut self,
+        program: &Program,
+        container: Vec<u8>,
+    ) -> Result<Uploaded, ClientError> {
+        match self.call(&Request::UploadPinball {
+            program: program.clone(),
+            container,
+        })? {
+            Response::Uploaded {
+                digest,
+                instructions,
+                deduped,
+            } => Ok(Uploaded {
+                digest,
+                instructions,
+                deduped,
+            }),
+            other => Err(unexpected("Uploaded", &other)),
+        }
+    }
+
+    /// Convenience: wraps a pinball in a v2 container and uploads it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::upload_bytes`]; serialization failures surface as
+    /// [`ClientError::Protocol`].
+    pub fn upload(
+        &mut self,
+        program: &Program,
+        pinball: &Pinball,
+    ) -> Result<Uploaded, ClientError> {
+        let bytes = PinballContainer::new(pinball.clone())
+            .to_bytes()
+            .map_err(|e| ClientError::Protocol(format!("container encode: {e}")))?;
+        self.upload_bytes(program, bytes)
+    }
+
+    /// Opens a pooled debug session over an uploaded pinball.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownPinball`] if the digest was never uploaded;
+    /// [`ServeError::Busy`] under backpressure.
+    pub fn open(&mut self, digest: PinballDigest) -> Result<SessionId, ClientError> {
+        match self.call(&Request::OpenSession { digest })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Err(unexpected("SessionOpened", &other)),
+        }
+    }
+
+    /// Sets a breakpoint, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead session handle.
+    pub fn add_breakpoint(
+        &mut self,
+        session: SessionId,
+        pc: Pc,
+        tid: Option<Tid>,
+    ) -> Result<u32, ClientError> {
+        match self.call(&Request::Break { session, pc, tid })? {
+            Response::BreakpointSet { id } => Ok(id),
+            other => Err(unexpected("BreakpointSet", &other)),
+        }
+    }
+
+    /// Continues replay to the next stop event.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead session handle.
+    pub fn run(&mut self, session: SessionId) -> Result<(WireStop, u64), ClientError> {
+        match self.call(&Request::Run { session })? {
+            Response::Stopped { reason, position } => Ok((reason, position)),
+            other => Err(unexpected("Stopped", &other)),
+        }
+    }
+
+    /// Seeks to the state after `target` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead session handle.
+    pub fn seek(
+        &mut self,
+        session: SessionId,
+        target: u64,
+    ) -> Result<(WireStop, u64), ClientError> {
+        match self.call(&Request::Seek { session, target })? {
+            Response::Stopped { reason, position } => Ok((reason, position)),
+            other => Err(unexpected("Stopped", &other)),
+        }
+    }
+
+    /// Computes (or fetches from the server's cache) a dynamic slice.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `at` cannot be resolved (e.g.
+    /// `Here` while not stopped); [`ServeError::UnknownSession`] for a
+    /// dead session handle.
+    pub fn compute_slice(
+        &mut self,
+        session: SessionId,
+        at: SliceAt,
+        options: SliceOptions,
+    ) -> Result<SliceReply, ClientError> {
+        match self.call(&Request::ComputeSlice {
+            session,
+            at,
+            options,
+        })? {
+            Response::Slice {
+                slice,
+                cached,
+                micros,
+            } => Ok(SliceReply {
+                slice,
+                cached,
+                micros,
+            }),
+            other => Err(unexpected("Slice", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Closes a session, freeing its pool slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if it is already gone.
+    pub fn close(&mut self, session: SessionId) -> Result<(), ClientError> {
+        match self.call(&Request::CloseSession { session })? {
+            Response::Closed { .. } => Ok(()),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error(e) => ClientError::Server(e.clone()),
+        other => ClientError::Protocol(format!("expected {want}, got {other:?}")),
+    }
+}

@@ -1,0 +1,96 @@
+//! Server-side request metrics.
+//!
+//! Every handled request is observed once — op name, wall-clock latency,
+//! whether it errored — and the aggregate is snapshotted on demand by the
+//! `Stats` request. Counters are plain atomics; per-op latency lives
+//! behind a short-lived mutex keyed by the static op name.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::proto::{OpStats, ServeStats};
+
+/// Accumulates request counts and per-operation latency.
+pub struct ServeMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    per_op: Mutex<HashMap<&'static str, OpStats>>,
+}
+
+impl ServeMetrics {
+    /// Starts the uptime clock.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            per_op: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, op: &'static str, elapsed: Duration, errored: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if errored {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = elapsed.as_micros() as u64;
+        let mut per_op = self.per_op.lock().expect("metrics lock");
+        let entry = per_op.entry(op).or_default();
+        entry.count += 1;
+        entry.total_micros += micros;
+        entry.max_micros = entry.max_micros.max(micros);
+    }
+
+    /// Snapshots the request-side numbers (ops sorted by name for stable
+    /// output); the caller fills in cache/session/pinball state.
+    pub fn snapshot(&self) -> ServeStats {
+        let mut per_op: Vec<(String, OpStats)> = self
+            .per_op
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, stats)| (name.to_string(), *stats))
+            .collect();
+        per_op.sort_by(|a, b| a.0.cmp(&b.0));
+        ServeStats {
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            per_op,
+            ..ServeStats::default()
+        }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_aggregate_per_op() {
+        let m = ServeMetrics::new();
+        m.observe("slice", Duration::from_micros(100), false);
+        m.observe("slice", Duration::from_micros(300), false);
+        m.observe("open", Duration::from_micros(5), true);
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 1);
+        let slice = snap.op("slice").expect("slice observed");
+        assert_eq!(slice.count, 2);
+        assert_eq!(slice.total_micros, 400);
+        assert_eq!(slice.max_micros, 300);
+        assert_eq!(slice.mean_micros(), 200);
+        assert_eq!(snap.op("open").expect("open observed").count, 1);
+        assert!(snap.op("seek").is_none());
+    }
+}

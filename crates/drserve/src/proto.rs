@@ -1,0 +1,723 @@
+//! The drserve wire protocol: length-prefixed, checksummed, typed.
+//!
+//! Every message — request or response — is one [`pinzip::frame`] frame on
+//! the stream:
+//!
+//! ```text
+//! +------+----------------+------------+------------------------+
+//! | kind | varint(c_len)  | crc32 (LE) | payload (c_len bytes)  |
+//! | 1 B  | 1..10 B        | 4 B        | LZSS-compressed JSON   |
+//! +------+----------------+------------+------------------------+
+//! ```
+//!
+//! `kind` is [`REQUEST_KIND`] (`'Q'`) client→server and [`RESPONSE_KIND`]
+//! (`'R'`) server→client; the payload is the JSON encoding of [`Request`]
+//! or [`Response`]. Reusing the pinball container's framing means the same
+//! guarantees apply on the wire as on disk: the CRC is verified before
+//! decompression, a flipped bit or truncated tail surfaces as a typed
+//! [`RecvError`] naming what went wrong — never a panic — and the reader
+//! bounds the declared length ([`MAX_MESSAGE`]) before allocating.
+//!
+//! The protocol is strictly request/response: the client writes one
+//! request frame, the server answers with exactly one response frame.
+//! Errors travel as an ordinary [`Response::Error`] carrying a typed
+//! [`ServeError`], so clients can distinguish backpressure
+//! ([`ServeError::Busy`], with a retry hint) from misuse
+//! ([`ServeError::UnknownSession`]) from damage
+//! ([`ServeError::Pinball`], naming the damaged chunk).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use minivm::{Pc, Program, Tid};
+use pinplay::PinballDigest;
+use slicer::{Criterion, LocKey, RecordId, Slice, SliceOptions, SliceStats};
+
+/// Frame kind tag for client→server messages (`'Q'`).
+pub const REQUEST_KIND: u8 = b'Q';
+/// Frame kind tag for server→client messages (`'R'`).
+pub const RESPONSE_KIND: u8 = b'R';
+/// Upper bound on one message's *compressed* payload. A frame declaring
+/// more is rejected before any allocation — a four-byte length field must
+/// never convince the server to reserve gigabytes.
+pub const MAX_MESSAGE: usize = 64 << 20;
+
+/// Server-assigned handle of one pooled debug session.
+pub type SessionId = u64;
+
+/// A client→server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Store a pinball (v2 container bytes) and the program it replays.
+    /// Identical pinballs — by content digest — dedupe server-side.
+    UploadPinball {
+        /// The program the pinball was recorded from.
+        program: Program,
+        /// Serialized v2 container ([`pinplay::PinballContainer::to_bytes`]).
+        container: Vec<u8>,
+    },
+    /// Open a pooled [`drdebug::DebugSession`] over an uploaded pinball.
+    OpenSession {
+        /// Content digest returned by a prior upload.
+        digest: PinballDigest,
+    },
+    /// Set a breakpoint in a session.
+    Break {
+        /// The session to mutate.
+        session: SessionId,
+        /// Program point to stop at.
+        pc: Pc,
+        /// Restrict to one thread (`None` = any).
+        tid: Option<Tid>,
+    },
+    /// Continue replay until a stop event (breakpoint, trap, region end).
+    Run {
+        /// The session to advance.
+        session: SessionId,
+    },
+    /// Seek the session to the state after `target` retired instructions.
+    Seek {
+        /// The session to reposition.
+        session: SessionId,
+        /// Target position in retired instructions.
+        target: u64,
+    },
+    /// Compute (or fetch from the content-addressed cache) a dynamic slice.
+    ComputeSlice {
+        /// The session whose pinball is sliced.
+        session: SessionId,
+        /// Where to anchor the slice.
+        at: SliceAt,
+        /// Traversal options; part of the cache key via
+        /// [`SliceOptions::fingerprint`].
+        options: SliceOptions,
+    },
+    /// Fetch server metrics: per-op latency, cache hit rate, pool state.
+    Stats,
+    /// Close a session, returning its pool slot.
+    CloseSession {
+        /// The session to close.
+        session: SessionId,
+    },
+}
+
+impl Request {
+    /// Short operation name, used as the metrics key.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::UploadPinball { .. } => "upload",
+            Request::OpenSession { .. } => "open",
+            Request::Break { .. } => "break",
+            Request::Run { .. } => "run",
+            Request::Seek { .. } => "seek",
+            Request::ComputeSlice { .. } => "slice",
+            Request::Stats => "stats",
+            Request::CloseSession { .. } => "close",
+        }
+    }
+}
+
+/// Where a [`Request::ComputeSlice`] anchors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SliceAt {
+    /// The failure point: the last record of the trace.
+    Failure,
+    /// The session's current stop point — `None` slices on everything the
+    /// stopped statement used, `Some(key)` on one location's value.
+    Here {
+        /// The location to explain, if any.
+        key: Option<LocKey>,
+    },
+    /// An explicit criterion (record id already known to the client).
+    Criterion {
+        /// The criterion to slice for.
+        criterion: Criterion,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Upload accepted (or deduped against an identical prior upload).
+    Uploaded {
+        /// Content digest — the handle for [`Request::OpenSession`].
+        digest: PinballDigest,
+        /// Instructions the pinball's replay retires.
+        instructions: u64,
+        /// Whether an identical pinball was already stored.
+        deduped: bool,
+    },
+    /// Session opened.
+    SessionOpened {
+        /// Handle for subsequent session-scoped requests.
+        session: SessionId,
+    },
+    /// Breakpoint set.
+    BreakpointSet {
+        /// Breakpoint id within the session.
+        id: u32,
+    },
+    /// The session stopped (after [`Request::Run`] or [`Request::Seek`]).
+    Stopped {
+        /// Why it stopped.
+        reason: WireStop,
+        /// Instructions retired at the stop.
+        position: u64,
+    },
+    /// A computed (or cached) slice.
+    Slice {
+        /// The slice in canonical wire form.
+        slice: WireSlice,
+        /// Whether the content-addressed cache served it.
+        cached: bool,
+        /// Server-side time spent answering, in microseconds.
+        micros: u64,
+    },
+    /// Server statistics snapshot.
+    Stats(ServeStats),
+    /// Session closed.
+    Closed {
+        /// The session that was closed.
+        session: SessionId,
+    },
+    /// The request failed; the connection stays usable (except after
+    /// [`ServeError::Malformed`], which is followed by disconnect because
+    /// framing may be out of sync).
+    Error(ServeError),
+}
+
+/// Why a session stopped — [`drdebug::StopReason`] in serializable form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireStop {
+    /// A breakpoint was hit.
+    Breakpoint {
+        /// Breakpoint id.
+        id: u32,
+        /// Thread that hit it.
+        tid: Tid,
+        /// The breakpoint's pc.
+        pc: Pc,
+    },
+    /// A watchpoint was hit.
+    Watchpoint {
+        /// Watchpoint id.
+        id: u32,
+        /// Writing thread.
+        tid: Tid,
+        /// The writing instruction's pc.
+        pc: Pc,
+        /// Value written.
+        value: i64,
+    },
+    /// The session is at the region entry.
+    ReplayStart,
+    /// One instruction retired (seek/step landings).
+    Stepped {
+        /// Thread that stepped.
+        tid: Tid,
+        /// The stepped instruction's pc.
+        pc: Pc,
+    },
+    /// The replay log is exhausted.
+    ReplayEnd,
+    /// The recorded trap reproduced.
+    Trapped {
+        /// Human-readable trap description.
+        error: String,
+    },
+}
+
+impl From<drdebug::StopReason> for WireStop {
+    fn from(r: drdebug::StopReason) -> WireStop {
+        use drdebug::StopReason as S;
+        match r {
+            S::Breakpoint { id, tid, pc } => WireStop::Breakpoint { id, tid, pc },
+            S::Watchpoint { id, tid, pc, value } => WireStop::Watchpoint { id, tid, pc, value },
+            S::ReplayStart => WireStop::ReplayStart,
+            S::Stepped { tid, pc } => WireStop::Stepped { tid, pc },
+            S::ReplayEnd => WireStop::ReplayEnd,
+            S::Trapped(e) => WireStop::Trapped {
+                error: format!("{e:?}"),
+            },
+        }
+    }
+}
+
+/// A dynamic slice in canonical wire form: every collection sorted, so two
+/// computations of the same slice serialize byte-identically regardless of
+/// traversal order or hash-set iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSlice {
+    /// The criterion the slice was computed for.
+    pub criterion: Criterion,
+    /// Included record ids, ascending.
+    pub records: Vec<RecordId>,
+    /// Data-dependence edges `(user, def, key)`, sorted.
+    pub data_edges: Vec<(RecordId, RecordId, LocKey)>,
+    /// Control-dependence edges `(dependent, branch)`, sorted.
+    pub control_edges: Vec<(RecordId, RecordId)>,
+    /// Traversal statistics of the compute that produced this slice. On a
+    /// cache hit these describe the *original* compute.
+    pub stats: SliceStats,
+}
+
+impl WireSlice {
+    /// Canonicalizes a freshly computed [`Slice`].
+    pub fn from_slice(slice: &Slice) -> WireSlice {
+        let mut records: Vec<RecordId> = slice.records.iter().copied().collect();
+        records.sort_unstable();
+        let mut data_edges: Vec<(RecordId, RecordId, LocKey)> = slice
+            .data_edges
+            .iter()
+            .map(|e| (e.user, e.def, e.key))
+            .collect();
+        data_edges.sort_unstable();
+        data_edges.dedup();
+        let mut control_edges = slice.control_edges.clone();
+        control_edges.sort_unstable();
+        control_edges.dedup();
+        WireSlice {
+            criterion: slice.criterion,
+            records,
+            data_edges,
+            control_edges,
+            stats: slice.stats,
+        }
+    }
+
+    /// The canonical byte encoding — what "byte-identical slice results"
+    /// means across server and local computation.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("wire slice JSON-serializes")
+    }
+
+    /// Number of statement instances in the slice.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the slice is empty (it never is: the criterion is included).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A typed protocol-level failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeError {
+    /// The request frame or its payload could not be decoded. The server
+    /// answers with this and then disconnects (framing may be out of sync).
+    Malformed {
+        /// What failed to decode.
+        reason: String,
+    },
+    /// No pinball with this digest has been uploaded.
+    UnknownPinball {
+        /// The digest that missed.
+        digest: PinballDigest,
+    },
+    /// No such session (never opened, closed, or evicted).
+    UnknownSession {
+        /// The missing session id.
+        session: SessionId,
+    },
+    /// The pool is at capacity with every session in use — backpressure,
+    /// not a queue. Retry after the hinted delay.
+    Busy {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The uploaded pinball container is damaged or unreadable.
+    Pinball {
+        /// Damaged frame ordinal, when the damage is chunk-localized.
+        chunk: Option<u64>,
+        /// What the damaged frame holds (`"header"`, `"events"`, ...).
+        kind: Option<String>,
+        /// Decoder message.
+        reason: String,
+    },
+    /// The request is well-formed but cannot be served (e.g. slicing
+    /// `Here` while not stopped anywhere).
+    BadRequest {
+        /// Why the request cannot be served.
+        reason: String,
+    },
+}
+
+impl From<pinplay::PinballError> for ServeError {
+    fn from(e: pinplay::PinballError) -> ServeError {
+        match e {
+            pinplay::PinballError::Chunk {
+                chunk,
+                kind,
+                reason,
+            } => ServeError::Pinball {
+                chunk: Some(chunk as u64),
+                kind: Some(kind.to_string()),
+                reason,
+            },
+            other => ServeError::Pinball {
+                chunk: None,
+                kind: None,
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Malformed { reason } => write!(f, "malformed request: {reason}"),
+            ServeError::UnknownPinball { digest } => write!(f, "unknown pinball {digest}"),
+            ServeError::UnknownSession { session } => write!(f, "unknown session {session}"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            ServeError::Pinball {
+                chunk,
+                kind,
+                reason,
+            } => match (chunk, kind) {
+                (Some(c), Some(k)) => write!(f, "bad pinball: chunk {c} ({k}) damaged: {reason}"),
+                _ => write!(f, "bad pinball: {reason}"),
+            },
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Accumulated latency of one operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Requests observed.
+    pub count: u64,
+    /// Total handling time, microseconds.
+    pub total_micros: u64,
+    /// Worst single request, microseconds.
+    pub max_micros: u64,
+}
+
+impl OpStats {
+    /// Mean handling time in microseconds (0 when no requests).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Slice-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Canonical bytes currently cached.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hits per lookup, in percent (0 when no lookups).
+    pub fn hit_rate_percent(&self) -> u64 {
+        (self.hits * 100)
+            .checked_div(self.hits + self.misses)
+            .unwrap_or(0)
+    }
+}
+
+/// Session-pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Sessions currently open.
+    pub open: u64,
+    /// Sessions opened over the server's lifetime.
+    pub opened_total: u64,
+    /// Sessions evicted (least recently used) to admit new ones.
+    pub evicted_lru: u64,
+    /// Sessions expired by the idle timeout.
+    pub expired_idle: u64,
+    /// Opens rejected with [`ServeError::Busy`].
+    pub rejected_busy: u64,
+}
+
+/// One snapshot of the server's metrics — the payload of
+/// [`Response::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Total requests handled (including errors).
+    pub requests: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// Per-operation latency, keyed by [`Request::op`] name.
+    pub per_op: Vec<(String, OpStats)>,
+    /// Slice-cache counters.
+    pub cache: CacheStats,
+    /// Session-pool counters.
+    pub sessions: SessionStats,
+    /// Distinct pinballs stored.
+    pub pinballs: u64,
+}
+
+impl ServeStats {
+    /// Requests per second over the server's uptime.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.uptime_micros == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e6 / self.uptime_micros as f64
+        }
+    }
+
+    /// The stats for one op, if it was ever requested.
+    pub fn op(&self, name: &str) -> Option<&OpStats> {
+        self.per_op.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests         {:>8}  ({} errors, {:.1} req/s over {:.1}s)",
+            self.requests,
+            self.errors,
+            self.requests_per_sec(),
+            self.uptime_micros as f64 / 1e6,
+        )?;
+        for (name, op) in &self.per_op {
+            writeln!(
+                f,
+                "  {name:<14} {:>8}  mean {:>7} us  max {:>7} us",
+                op.count,
+                op.mean_micros(),
+                op.max_micros
+            )?;
+        }
+        writeln!(
+            f,
+            "slice cache      {:>8} hits / {} misses ({}% hit rate), {} entries, {} evictions",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate_percent(),
+            self.cache.entries,
+            self.cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "sessions         {:>8} open  ({} total, {} lru-evicted, {} idle-expired, {} busy-rejected)",
+            self.sessions.open,
+            self.sessions.opened_total,
+            self.sessions.evicted_lru,
+            self.sessions.expired_idle,
+            self.sessions.rejected_busy,
+        )?;
+        write!(f, "pinballs stored  {:>8}", self.pinballs)
+    }
+}
+
+/// Why a message could not be read from the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The peer closed the stream at a message boundary — a clean
+    /// disconnect, not an error.
+    Disconnected,
+    /// The stream failed mid-message.
+    Io(String),
+    /// The frame was present but undecodable: truncated, failed its CRC,
+    /// oversized, the wrong kind, or carrying invalid JSON.
+    Frame {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Disconnected => f.write_str("peer disconnected"),
+            RecvError::Io(e) => write!(f, "stream error: {e}"),
+            RecvError::Frame { reason } => write!(f, "bad frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+fn frame_err(reason: impl fmt::Display) -> RecvError {
+    RecvError::Frame {
+        reason: reason.to_string(),
+    }
+}
+
+/// Serializes `value` as one protocol frame and writes it to the stream.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the stream fails.
+pub fn write_message<W: Write + ?Sized, T: Serialize>(
+    w: &mut W,
+    kind: u8,
+    value: &T,
+) -> std::io::Result<()> {
+    let payload =
+        serde_json::to_vec(value).map_err(|e| std::io::Error::other(format!("encode: {e}")))?;
+    let mut buf = Vec::new();
+    pinzip::frame::write_frame(&mut buf, kind, &payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads exactly one protocol frame of the expected kind from the stream
+/// and decodes its JSON payload.
+///
+/// The header is consumed byte-wise (kind, LEB128 length, CRC), the
+/// declared length is bounded by [`MAX_MESSAGE`] *before* the payload is
+/// allocated, and the reassembled frame goes through
+/// [`pinzip::frame::read_frame`] so the CRC is verified ahead of
+/// decompression — the same order the pinball container uses.
+///
+/// # Errors
+///
+/// [`RecvError::Disconnected`] on EOF at a message boundary;
+/// [`RecvError::Io`] on mid-message stream failure; [`RecvError::Frame`]
+/// on anything undecodable.
+pub fn read_message<R: Read + ?Sized, T: serde::Deserialize>(
+    r: &mut R,
+    expect_kind: u8,
+) -> Result<T, RecvError> {
+    let mut frame_buf: Vec<u8> = Vec::with_capacity(64);
+
+    // Kind byte: EOF here is a clean disconnect.
+    let mut byte = [0u8; 1];
+    match r.read(&mut byte) {
+        Ok(0) => return Err(RecvError::Disconnected),
+        Ok(_) => frame_buf.push(byte[0]),
+        Err(e) => return Err(RecvError::Io(e.to_string())),
+    }
+    if byte[0] != expect_kind {
+        return Err(frame_err(format!(
+            "unexpected frame kind {:#04x} (want {expect_kind:#04x})",
+            byte[0]
+        )));
+    }
+
+    // LEB128 compressed length, one byte at a time (10 bytes max for u64).
+    let clen = {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            read_exact(r, &mut byte)?;
+            frame_buf.push(byte[0]);
+            if shift >= 64 {
+                return Err(frame_err("length varint overflows u64"));
+            }
+            v |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                break v;
+            }
+            shift += 7;
+        }
+    };
+    if clen > MAX_MESSAGE as u64 {
+        return Err(frame_err(format!(
+            "declared payload of {clen} bytes exceeds the {MAX_MESSAGE}-byte message cap"
+        )));
+    }
+
+    // CRC + payload, then verify/decompress through the shared frame reader.
+    let start = frame_buf.len();
+    frame_buf.resize(start + 4 + clen as usize, 0);
+    read_exact(r, &mut frame_buf[start..])?;
+    let mut pos = 0;
+    let frame = pinzip::frame::read_frame(&frame_buf, &mut pos).map_err(frame_err)?;
+    serde_json::from_slice(&frame.payload).map_err(|e| frame_err(format!("bad payload: {e}")))
+}
+
+fn read_exact<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<(), RecvError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            frame_err("frame truncated")
+        } else {
+            RecvError::Io(e.to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_roundtrip() {
+        let req = Request::Seek {
+            session: 7,
+            target: 4096,
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, REQUEST_KIND, &req).unwrap();
+        let mut cursor = &buf[..];
+        let back: Request = read_message(&mut cursor, REQUEST_KIND).unwrap();
+        assert!(matches!(
+            back,
+            Request::Seek {
+                session: 7,
+                target: 4096
+            }
+        ));
+        assert!(cursor.is_empty(), "message fully consumed");
+    }
+
+    #[test]
+    fn eof_at_boundary_is_disconnect_elsewhere_truncation() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, REQUEST_KIND, &Request::Stats).unwrap();
+        let mut empty: &[u8] = &[];
+        assert_eq!(
+            read_message::<_, Request>(&mut empty, REQUEST_KIND).unwrap_err(),
+            RecvError::Disconnected
+        );
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            let err = read_message::<_, Request>(&mut cursor, REQUEST_KIND).unwrap_err();
+            assert!(
+                matches!(err, RecvError::Frame { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, RESPONSE_KIND, &Request::Stats).unwrap();
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_message::<_, Request>(&mut cursor, REQUEST_KIND).unwrap_err(),
+            RecvError::Frame { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_without_allocation() {
+        // kind + varint declaring ~2^40 bytes.
+        let mut buf = vec![REQUEST_KIND];
+        pinzip::varint::write_u64(&mut buf, 1 << 40);
+        buf.extend_from_slice(&[0u8; 4]);
+        let mut cursor = &buf[..];
+        let err = read_message::<_, Request>(&mut cursor, REQUEST_KIND).unwrap_err();
+        assert!(
+            matches!(&err, RecvError::Frame { reason } if reason.contains("message cap")),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! The drserve server: transport-free request handling plus the TCP and
+//! loopback front ends.
+//!
+//! [`Server::handle`] is the whole protocol — one `Request` in, one
+//! `Response` out, no I/O — so the same code path serves TCP sockets,
+//! in-process loopback pipes, and direct unit tests. The transports are
+//! thin: [`Server::serve_stream`] frames requests off any `Read + Write`,
+//! [`Server::listen`] accepts TCP connections onto per-connection
+//! threads, and [`Server::loopback_client`] wires a [`Client`] to the
+//! server through an in-memory pipe.
+//!
+//! Shared state is one `Arc`: the pinball store (content-addressed by
+//! [`PinballDigest`]), the session pool, the slice cache, and the
+//! metrics. Cloning a `Server` clones the handle, not the state.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use minivm::Program;
+use pinplay::{PinballContainer, PinballDigest};
+use slicer::Criterion;
+
+use crate::cache::SliceCache;
+use crate::client::Client;
+use crate::loopback::{pipe, LoopbackStream};
+use crate::metrics::ServeMetrics;
+use crate::pool::SessionManager;
+use crate::proto::{
+    self, RecvError, Request, Response, ServeError, ServeStats, SliceAt, WireSlice, REQUEST_KIND,
+    RESPONSE_KIND,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum live debug sessions (pool capacity).
+    pub max_sessions: usize,
+    /// Idle time after which a session may be reclaimed.
+    pub idle_timeout: Duration,
+    /// Maximum cached slices.
+    pub cache_capacity: usize,
+    /// Back-off hint attached to [`ServeError::Busy`] rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_sessions: 8,
+            idle_timeout: Duration::from_secs(300),
+            cache_capacity: 256,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One uploaded pinball: the program it replays plus the parsed container.
+struct Stored {
+    program: Arc<Program>,
+    container: PinballContainer,
+}
+
+struct ServerState {
+    store: Mutex<HashMap<PinballDigest, Stored>>,
+    pool: SessionManager,
+    cache: SliceCache,
+    metrics: ServeMetrics,
+}
+
+/// A replay-and-slice server. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Server {
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Creates a server with the given tuning.
+    pub fn new(config: ServeConfig) -> Server {
+        Server {
+            state: Arc::new(ServerState {
+                store: Mutex::new(HashMap::new()),
+                pool: SessionManager::new(
+                    config.max_sessions,
+                    config.idle_timeout,
+                    config.retry_after_ms,
+                ),
+                cache: SliceCache::new(config.cache_capacity),
+                metrics: ServeMetrics::new(),
+            }),
+        }
+    }
+
+    /// Handles one request. Never panics on bad input: every failure is a
+    /// typed [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        let op = request.op();
+        let started = Instant::now();
+        let response = self.dispatch(request);
+        self.state.metrics.observe(
+            op,
+            started.elapsed(),
+            matches!(response, Response::Error(_)),
+        );
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        match self.try_dispatch(request) {
+            Ok(response) => response,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn try_dispatch(&self, request: Request) -> Result<Response, ServeError> {
+        match request {
+            Request::UploadPinball { program, container } => {
+                let container = PinballContainer::from_bytes(&container)?;
+                let digest = container.digest();
+                let instructions = container.pinball.logged_instructions();
+                let mut store = self.state.store.lock().expect("store lock");
+                let deduped = store.contains_key(&digest);
+                if !deduped {
+                    store.insert(
+                        digest,
+                        Stored {
+                            program: Arc::new(program),
+                            container,
+                        },
+                    );
+                }
+                Ok(Response::Uploaded {
+                    digest,
+                    instructions,
+                    deduped,
+                })
+            }
+            Request::OpenSession { digest } => {
+                // Clone what the session needs while holding the store
+                // lock, then build it outside.
+                let (program, container) = {
+                    let store = self.state.store.lock().expect("store lock");
+                    let stored = store
+                        .get(&digest)
+                        .ok_or(ServeError::UnknownPinball { digest })?;
+                    (Arc::clone(&stored.program), stored.container.clone())
+                };
+                let session = self.state.pool.open(digest, move || {
+                    drdebug::DebugSession::with_container(program, container)
+                })?;
+                Ok(Response::SessionOpened { session })
+            }
+            Request::Break { session, pc, tid } => {
+                let (slot, _) = self.state.pool.checkout(session)?;
+                let id = slot.lock().expect("session lock").add_breakpoint(pc, tid);
+                Ok(Response::BreakpointSet { id })
+            }
+            Request::Run { session } => {
+                let (slot, _) = self.state.pool.checkout(session)?;
+                let mut guard = slot.lock().expect("session lock");
+                let reason = guard.cont();
+                Ok(Response::Stopped {
+                    reason: reason.into(),
+                    position: guard.position(),
+                })
+            }
+            Request::Seek { session, target } => {
+                let (slot, _) = self.state.pool.checkout(session)?;
+                let mut guard = slot.lock().expect("session lock");
+                let reason = guard.seek_to(target);
+                Ok(Response::Stopped {
+                    reason: reason.into(),
+                    position: guard.position(),
+                })
+            }
+            Request::ComputeSlice {
+                session,
+                at,
+                options,
+            } => {
+                let started = Instant::now();
+                let (slot, digest) = self.state.pool.checkout(session)?;
+                let criterion = resolve_criterion(&slot, at)?;
+                let fingerprint = options.fingerprint();
+                if let Some(hit) = self.state.cache.get(digest, criterion, fingerprint) {
+                    return Ok(Response::Slice {
+                        slice: (*hit).clone(),
+                        cached: true,
+                        micros: started.elapsed().as_micros() as u64,
+                    });
+                }
+                let slice = slot
+                    .lock()
+                    .expect("session lock")
+                    .slice_criterion(criterion, options);
+                let wire = Arc::new(WireSlice::from_slice(&slice));
+                self.state
+                    .cache
+                    .insert(digest, criterion, fingerprint, Arc::clone(&wire));
+                Ok(Response::Slice {
+                    slice: (*wire).clone(),
+                    cached: false,
+                    micros: started.elapsed().as_micros() as u64,
+                })
+            }
+            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::CloseSession { session } => {
+                self.state.pool.close(session)?;
+                Ok(Response::Closed { session })
+            }
+        }
+    }
+
+    /// Current metrics snapshot (also served as [`Response::Stats`]).
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.state.metrics.snapshot();
+        stats.cache = self.state.cache.stats();
+        stats.sessions = self.state.pool.stats();
+        stats.pinballs = self.state.store.lock().expect("store lock").len() as u64;
+        stats
+    }
+
+    /// Serves one connection until the peer disconnects, the stream
+    /// fails, or a malformed frame forces a close. Frame errors are
+    /// answered with [`ServeError::Malformed`] and then the connection is
+    /// dropped, because framing may be out of sync.
+    pub fn serve_stream<S: Read + Write>(&self, mut stream: S) {
+        loop {
+            match proto::read_message::<S, Request>(&mut stream, REQUEST_KIND) {
+                Ok(request) => {
+                    let response = self.handle(request);
+                    if proto::write_message(&mut stream, RESPONSE_KIND, &response).is_err() {
+                        return;
+                    }
+                }
+                Err(RecvError::Disconnected) | Err(RecvError::Io(_)) => return,
+                Err(RecvError::Frame { reason }) => {
+                    self.state
+                        .metrics
+                        .observe("malformed", Duration::ZERO, true);
+                    let response = Response::Error(ServeError::Malformed { reason });
+                    let _ = proto::write_message(&mut stream, RESPONSE_KIND, &response);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Binds a TCP listener and serves connections on background threads
+    /// until [`ServerHandle::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn listen<A: ToSocketAddrs>(&self, addr: A) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let server = self.clone();
+        let accept = thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((socket, _peer)) => {
+                        let _ = socket.set_nodelay(true);
+                        let server = server.clone();
+                        conns.push(thread::spawn(move || {
+                            // Blocking per-connection I/O; the accept
+                            // socket's non-blocking flag is not inherited
+                            // as semantics we rely on, so reset it.
+                            let _ = socket.set_nonblocking(false);
+                            server.serve_stream(socket);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            for conn in conns {
+                let _ = conn.join();
+            }
+        });
+        Ok(ServerHandle {
+            addr: local_addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// Connects a [`Client`] to this server through an in-process pipe —
+    /// the full wire protocol with no sockets. The serving thread exits
+    /// when the client is dropped.
+    pub fn loopback_client(&self) -> Client<LoopbackStream> {
+        let (client_end, server_end) = pipe();
+        let server = self.clone();
+        thread::spawn(move || server.serve_stream(server_end));
+        Client::new(client_end)
+    }
+}
+
+/// Resolves where a slice anchors into a concrete [`Criterion`].
+fn resolve_criterion(
+    slot: &Arc<Mutex<drdebug::DebugSession>>,
+    at: SliceAt,
+) -> Result<Criterion, ServeError> {
+    match at {
+        SliceAt::Criterion { criterion } => Ok(criterion),
+        SliceAt::Failure => {
+            let mut guard = slot.lock().expect("session lock");
+            let id =
+                guard
+                    .slicer()
+                    .failure_record()
+                    .map(|r| r.id)
+                    .ok_or(ServeError::BadRequest {
+                        reason: "trace is empty; nothing to slice".to_string(),
+                    })?;
+            Ok(Criterion::Record { id })
+        }
+        SliceAt::Here { key } => {
+            let mut guard = slot.lock().expect("session lock");
+            let id = guard.record_at_stop().ok_or(ServeError::BadRequest {
+                reason: "session is not stopped at a sliceable record".to_string(),
+            })?;
+            Ok(match key {
+                Some(key) => Criterion::Value { id, key },
+                None => Criterion::Record { id },
+            })
+        }
+    }
+}
+
+/// A running TCP front end. Dropping the handle shuts the listener down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight connections, joins the
+    /// accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Connects a TCP [`Client`] to a listening server.
+///
+/// # Errors
+///
+/// Returns the connect error if the server is unreachable.
+pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client<TcpStream>> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    Ok(Client::new(stream))
+}

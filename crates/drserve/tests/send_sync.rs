@@ -1,0 +1,140 @@
+//! Thread-safety audit for the types the server shares across threads.
+//!
+//! The pool hands `Arc<Mutex<DebugSession>>` to per-connection threads,
+//! the cache shares `Arc<WireSlice>`, and `Server` itself is cloned into
+//! every serving thread — all of which requires `Send` (and for the
+//! shared readers, `Sync`) on the underlying types. These are static
+//! assertions: a regression (say, an `Rc` slipping into a session field)
+//! fails compilation here, not intermittently at runtime. The smoke
+//! tests then actually exercise the two patterns the server relies on.
+
+use std::sync::Arc;
+use std::thread;
+
+use drdebug::DebugSession;
+use minivm::{assemble, LiveEnv, Program, RoundRobin};
+use pinplay::{record_whole_program, Pinball, PinballContainer};
+use slicer::{Criterion, SliceOptions, SliceSession, SlicerOptions};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn replay_and_slice_types_are_send_and_sync() {
+    // Moved into per-connection threads (pool slots, serve threads).
+    assert_send::<DebugSession>();
+    assert_send::<SliceSession>();
+    assert_send::<PinballContainer>();
+    assert_send::<Pinball>();
+
+    // Shared behind Arc by the pool, cache, and store.
+    assert_sync::<DebugSession>();
+    assert_sync::<SliceSession>();
+    assert_sync::<PinballContainer>();
+
+    // The server handle and both client transports cross threads.
+    assert_send::<drserve::Server>();
+    assert_sync::<drserve::Server>();
+    assert_send::<drserve::Client<drserve::LoopbackStream>>();
+    assert_send::<drserve::Client<std::net::TcpStream>>();
+    assert_send::<drserve::WireSlice>();
+    assert_sync::<drserve::WireSlice>();
+}
+
+fn recorded() -> (Arc<Program>, Pinball) {
+    let program = Arc::new(
+        assemble(
+            r"
+            .data
+            acc: .word 0
+            .text
+            .func main
+                movi r1, 1
+                spawn r2, worker, r1
+                movi r1, 2
+                spawn r3, worker, r1
+                join r2
+                join r3
+                la r4, acc
+                load r5, r4, 0
+                halt
+            .endfunc
+            .func worker
+                movi r3, 12
+            loop:
+                la r1, acc
+                xadd r2, r1, r0
+                subi r3, r3, 1
+                bgti r3, 0, loop
+                halt
+            .endfunc
+            ",
+        )
+        .expect("assembles"),
+    );
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(5),
+        &mut LiveEnv::new(3),
+        1_000_000,
+        "send-sync",
+    )
+    .expect("records");
+    (program, rec.pinball)
+}
+
+#[test]
+fn debug_session_migrates_across_threads() {
+    let (program, pinball) = recorded();
+    let total = pinball.logged_instructions();
+
+    // Thread 1 builds the session and replays halfway.
+    let mut session = DebugSession::new(Arc::clone(&program), pinball);
+    let session = thread::spawn(move || {
+        session.seek_to(total / 2);
+        session
+    })
+    .join()
+    .expect("no panic on thread 1");
+
+    // Thread 2 picks the same session up where thread 1 left it.
+    let mut session = session;
+    let handle = thread::spawn(move || {
+        assert!(session.position() >= total / 2);
+        session.seek_to(total);
+        let slice = session.slice_failure().expect("failure slice");
+        slice.records.len()
+    });
+    assert!(handle.join().expect("no panic on thread 2") > 0);
+}
+
+#[test]
+fn slice_session_is_shared_by_concurrent_readers() {
+    let (program, pinball) = recorded();
+    let session = Arc::new(SliceSession::collect(
+        Arc::clone(&program),
+        &pinball,
+        SlicerOptions::default(),
+    ));
+    let failure = session.failure_record().expect("trace non-empty").id;
+
+    // Two threads slice the same collected trace concurrently — the
+    // pattern behind concurrent cache misses on one pooled session.
+    let sizes: Vec<usize> = thread::scope(|scope| {
+        (0..2)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    let slice = session
+                        .slice_with(Criterion::Record { id: failure }, SliceOptions::default());
+                    slice.records.len()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    assert_eq!(sizes[0], sizes[1], "concurrent slices agree");
+    assert!(sizes[0] > 0);
+}

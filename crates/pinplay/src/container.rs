@@ -57,6 +57,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use minivm::{ExecState, Program, Snapshot};
+use pinzip::crc32::crc32;
 use pinzip::frame::{read_frame, write_frame};
 
 use crate::pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent};
@@ -111,6 +112,40 @@ fn kind_of(byte: u8) -> ChunkKind {
         _ => ChunkKind::Unknown,
     }
 }
+
+/// Content address of a pinball: a fold of the CRC-32s of its canonical
+/// chunk payloads.
+///
+/// The digest covers everything replay depends on — metadata, the entry
+/// snapshot, the syscall queues, the exit, and every events chunk (split at
+/// the canonical [`DEFAULT_CHECKPOINT_INTERVAL`] cadence regardless of the
+/// container's own interval) — and deliberately excludes embedded
+/// checkpoints. Two containers holding the same recording therefore share a
+/// digest even when one carries checkpoints and the other does not, which
+/// is what lets a content-addressed store (the `drserve` pinball store and
+/// slice cache) dedupe repeated uploads of the same pinball.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PinballDigest(pub u64);
+
+impl fmt::Display for PinballDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over a byte stream — the digest's CRC combiner.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Serialized replayer state at a known log position: restoring one and
 /// replaying forward reproduces the execution exactly, because the VM is
@@ -223,6 +258,13 @@ impl PinballContainer {
         }
     }
 
+    /// The container's content digest — see [`PinballDigest`]. Embedded
+    /// checkpoints do not contribute: a checkpointed and a checkpoint-free
+    /// container over the same recording digest identically.
+    pub fn digest(&self) -> PinballDigest {
+        digest_pinball(&self.pinball)
+    }
+
     /// The checkpoint with the greatest `instr` not exceeding `target`, if
     /// any.
     pub fn nearest_checkpoint(&self, target: u64) -> Option<&ReplayCheckpoint> {
@@ -320,6 +362,50 @@ pub fn migrate_v1(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
         ));
     }
     PinballContainer::new(Pinball::from_bytes_v1(bytes)?).to_bytes()
+}
+
+/// Computes a pinball's content digest: the CRC-32 of each canonical chunk
+/// payload (header fields, then every events chunk at the
+/// [`DEFAULT_CHECKPOINT_INTERVAL`] cadence), folded with FNV-1a.
+///
+/// Chunking is recomputed at the canonical interval rather than taken from
+/// any particular container, so the digest is a function of the recording
+/// alone. Serialization of these plain data types cannot fail (the same
+/// encoding backs [`Pinball::to_bytes`]), so the digest is infallible.
+pub(crate) fn digest_pinball(pinball: &Pinball) -> PinballDigest {
+    let part = |value: &dyn erased_ser::ErasedSer| -> u32 {
+        crc32(&value.to_json().expect("pinball fields JSON-serialize"))
+    };
+    let mut h = FNV_OFFSET;
+    for crc in [
+        part(&pinball.meta),
+        part(&pinball.snapshot),
+        part(&pinball.syscalls),
+        part(&pinball.exit),
+    ] {
+        h = fnv1a(h, &crc.to_le_bytes());
+    }
+    for (start_ev, end_ev, _) in chunk_ranges(&pinball.events, DEFAULT_CHECKPOINT_INTERVAL) {
+        let crc = part(&&pinball.events[start_ev..end_ev]);
+        h = fnv1a(h, &crc.to_le_bytes());
+    }
+    PinballDigest(h)
+}
+
+/// Object-safe serialization shim so [`digest_pinball`] can CRC
+/// heterogeneous fields through one closure.
+mod erased_ser {
+    use serde::Serialize;
+
+    pub(crate) trait ErasedSer {
+        fn to_json(&self) -> Result<Vec<u8>, serde_json::Error>;
+    }
+
+    impl<T: Serialize> ErasedSer for T {
+        fn to_json(&self) -> Result<Vec<u8>, serde_json::Error> {
+            serde_json::to_vec(self)
+        }
+    }
 }
 
 /// Splits the log into chunks of at least `interval` retired instructions,
@@ -706,6 +792,34 @@ mod tests {
         let mut rep = Replayer::new(Arc::clone(&program), &loaded.container.pinball);
         assert_eq!(rep.run(&mut NullTool), ReplayStatus::Completed);
         assert!(rep.replayed_instructions() <= total_instrs);
+    }
+
+    #[test]
+    fn digest_is_checkpoint_and_interval_independent() {
+        let (program, pinball) = record();
+        let plain = PinballContainer::new(pinball.clone());
+        let ckpt_a = PinballContainer::with_checkpoints(pinball.clone(), &program, 64);
+        let ckpt_b = PinballContainer::with_checkpoints(pinball.clone(), &program, 256);
+        assert_eq!(plain.digest(), ckpt_a.digest());
+        assert_eq!(ckpt_a.digest(), ckpt_b.digest());
+        assert_eq!(plain.digest(), pinball.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_different_recordings() {
+        let (_, pinball) = record();
+        let base = pinball.digest();
+        // Any content change — metadata, log, syscalls — moves the digest.
+        let mut renamed = pinball.clone();
+        renamed.meta.region = "elsewhere".into();
+        assert_ne!(base, renamed.digest());
+        let mut shorter = pinball.clone();
+        shorter.events.pop();
+        assert_ne!(base, shorter.digest());
+        // And a round-trip through the v2 format preserves it.
+        let bytes = PinballContainer::new(pinball).to_bytes().unwrap();
+        let reloaded = PinballContainer::from_bytes(&bytes).unwrap();
+        assert_eq!(base, reloaded.digest());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod relog;
 pub mod replay;
 
 pub use container::{
-    migrate_v1, ChunkKind, LossyLoad, PinballContainer, ReplayCheckpoint,
+    migrate_v1, ChunkKind, LossyLoad, PinballContainer, PinballDigest, ReplayCheckpoint,
     DEFAULT_CHECKPOINT_INTERVAL, MAGIC,
 };
 pub use logger::{record_region, record_whole_program, LogError, Recording};

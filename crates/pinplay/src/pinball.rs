@@ -91,6 +91,12 @@ pub struct Pinball {
 }
 
 impl Pinball {
+    /// The pinball's content digest — see
+    /// [`PinballDigest`](crate::PinballDigest).
+    pub fn digest(&self) -> crate::PinballDigest {
+        crate::container::digest_pinball(self)
+    }
+
     /// Total instructions the replay log retires.
     pub fn logged_instructions(&self) -> u64 {
         self.events

@@ -74,7 +74,7 @@ pub struct DataEdge {
 }
 
 /// Statistics from one slicing traversal.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SliceStats {
     /// Blocks visited (scanned record by record).
     pub blocks_visited: usize,
@@ -147,7 +147,7 @@ impl Slice {
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
 /// Options controlling a slicing traversal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliceOptions {
     /// Apply save/restore bypass pruning (§5.2). On by default.
     pub prune_save_restore: bool,
@@ -184,6 +184,46 @@ impl SliceOptions {
     pub fn prune_key(mut self, key: LocKey) -> SliceOptions {
         self.prune_keys.insert(key);
         self
+    }
+
+    /// A stable fingerprint of the options, for content-addressed caching
+    /// of slice results: two option sets fingerprint equally exactly when
+    /// they request the same traversal *output*.
+    ///
+    /// The prune set is hashed in sorted order (its in-memory iteration
+    /// order is not deterministic), and `parallel_threshold` is folded to a
+    /// single bit — the sparse and LP paths produce identical slices, so
+    /// only "pruning on/off and which keys" can change the result. The
+    /// exception is the stats the traversal reports, which do depend on the
+    /// path taken; callers caching stats alongside the slice should treat
+    /// them as advisory.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(&[self.prune_save_restore as u8]);
+        let mut keys: Vec<LocKey> = self.prune_keys.iter().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            match key {
+                LocKey::Reg(tid, reg) => {
+                    mix(b"r");
+                    mix(&tid.to_le_bytes());
+                    mix(&reg.0.to_le_bytes());
+                }
+                LocKey::Mem(addr) => {
+                    mix(b"m");
+                    mix(&addr.to_le_bytes());
+                }
+            }
+        }
+        h
     }
 }
 
@@ -1343,5 +1383,34 @@ mod prune_vars_tests {
         let pcs = lp.pcs(session.trace());
         assert!(!pcs.contains(&0), "r1's def pruned");
         assert!(pcs.contains(&1), "r2's def kept");
+    }
+
+    #[test]
+    fn options_fingerprint_is_stable_and_output_sensitive() {
+        use minivm::Reg;
+
+        let base = SliceOptions::new();
+        assert_eq!(base.fingerprint(), SliceOptions::new().fingerprint());
+
+        // Insertion order of prune keys must not matter.
+        let ab = SliceOptions::new()
+            .prune_key(LocKey::Reg(0, Reg(1)))
+            .prune_key(LocKey::Mem(0x40));
+        let ba = SliceOptions::new()
+            .prune_key(LocKey::Mem(0x40))
+            .prune_key(LocKey::Reg(0, Reg(1)));
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        assert_ne!(base.fingerprint(), ab.fingerprint());
+
+        // The traversal path (sparse vs LP) does not change the slice, so
+        // it does not change the fingerprint either.
+        let mut lp_forced = ab.clone();
+        lp_forced.parallel_threshold = usize::MAX;
+        assert_eq!(ab.fingerprint(), lp_forced.fingerprint());
+
+        // But §5.2 pruning does change the output.
+        let mut no_sr = ab.clone();
+        no_sr.prune_save_restore = false;
+        assert_ne!(ab.fingerprint(), no_sr.fingerprint());
     }
 }

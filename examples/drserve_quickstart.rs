@@ -1,0 +1,120 @@
+//! drserve quickstart: record once, then debug the same execution from
+//! many clients through a shared replay-and-slice server.
+//!
+//! ```sh
+//! cargo run --example drserve_quickstart
+//! ```
+//!
+//! Everything runs in this one process over the in-memory loopback
+//! transport, but the bytes on the "wire" are exactly what a TCP client
+//! would send (`Server::listen` / `drserve::connect` serve the same
+//! protocol over sockets).
+
+use std::sync::Arc;
+
+use drserve::{ServeConfig, Server, SliceAt};
+use minivm::{assemble, LiveEnv, RoundRobin};
+use pinplay::record_whole_program;
+use slicer::SliceOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Record a small racy accumulator once. The pinball captures the
+    //    exact interleaving; every replay reproduces it bit-for-bit.
+    let program = Arc::new(assemble(
+        r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            join r2
+            join r3
+            la r4, acc
+            load r5, r4, 0
+            print r5
+            halt
+        .endfunc
+        .func worker
+            movi r3, 6
+        loop:
+            la r1, acc
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, loop
+            halt
+        .endfunc
+        ",
+    )?);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(5),
+        &mut LiveEnv::new(3),
+        1_000_000,
+        "drserve-quickstart",
+    )?;
+    println!(
+        "recorded {} instructions",
+        rec.pinball.logged_instructions()
+    );
+
+    // 2. Start a server and connect two clients. Each client is its own
+    //    connection with its own pooled debug session.
+    let server = Server::new(ServeConfig::default());
+    let mut alice = server.loopback_client();
+    let mut bob = server.loopback_client();
+
+    // 3. Both clients upload the same recording. Uploads are
+    //    content-addressed: the second one dedupes against the first.
+    let up_a = alice.upload(&program, &rec.pinball)?;
+    let up_b = bob.upload(&program, &rec.pinball)?;
+    println!(
+        "alice uploaded digest {} (deduped: {})",
+        up_a.digest, up_a.deduped
+    );
+    println!(
+        "bob   uploaded digest {} (deduped: {})",
+        up_b.digest, up_b.deduped
+    );
+    assert_eq!(up_a.digest, up_b.digest);
+
+    // 4. Alice debugs: open a session, seek halfway, ask why the final
+    //    accumulator value is what it is (the failure slice).
+    let session_a = alice.open(up_a.digest)?;
+    let (_, position) = alice.seek(session_a, up_a.instructions / 2)?;
+    println!("alice seeked to instruction {position}");
+    let first = alice.compute_slice(session_a, SliceAt::Failure, SliceOptions::default())?;
+    println!(
+        "alice's slice: {} statement instances in {} us (cached: {})",
+        first.slice.len(),
+        first.micros,
+        first.cached
+    );
+
+    // 5. Bob asks the same question about the same pinball. The cache is
+    //    keyed by content — digest, criterion, options — not by session,
+    //    so bob's answer comes from alice's computation, byte-identical.
+    let session_b = bob.open(up_b.digest)?;
+    let second = bob.compute_slice(session_b, SliceAt::Failure, SliceOptions::default())?;
+    println!(
+        "bob's   slice: {} statement instances in {} us (cached: {})",
+        second.slice.len(),
+        second.micros,
+        second.cached
+    );
+    assert_eq!(
+        first.slice.canonical_bytes(),
+        second.slice.canonical_bytes(),
+        "content-addressed cache serves byte-identical results"
+    );
+
+    // 6. The Stats request shows what the server did for us.
+    let stats = alice.stats()?;
+    println!("\n{stats}");
+
+    alice.close(session_a)?;
+    bob.close(session_b)?;
+    Ok(())
+}
