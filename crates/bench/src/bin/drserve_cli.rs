@@ -8,6 +8,9 @@
 //! # terminal 2: record a workload, upload it, seek, slice (twice)
 //! cargo run --release -p bench --bin drserve_cli -- client --addr 127.0.0.1:7070
 //!
+//! # ask a running server for its stats block (caches, sessions) only
+//! cargo run --release -p bench --bin drserve_cli -- client stats --addr 127.0.0.1:7070
+//!
 //! # or everything in one process over the in-memory loopback transport
 //! cargo run --release -p bench --bin drserve_cli -- demo --clients 4
 //! ```
@@ -118,9 +121,13 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            if let Err(e) = drive(&mut client, iters, "client") {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+            // `client stats` only queries the server: print the stats
+            // block (slice cache, index cache, sessions) and exit.
+            if args.get(1).map(String::as_str) != Some("stats") {
+                if let Err(e) = drive(&mut client, iters, "client") {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
             }
             print_stats(&mut client);
         }
@@ -148,6 +155,7 @@ fn main() {
             eprintln!(
                 "usage: drserve_cli serve [--addr <host:port>] [--max-sessions <n>] [--cache <n>]\n\
                  \x20      drserve_cli client [--addr <host:port>] [--iters <n>]\n\
+                 \x20      drserve_cli client stats [--addr <host:port>]\n\
                  \x20      drserve_cli demo [--clients <n>] [--iters <n>]"
             );
             std::process::exit(2);

@@ -258,6 +258,89 @@ pub fn needle_session(iters: u64, options: SlicerOptions) -> (SliceSession, Crit
     (session, Criterion::Record { id })
 }
 
+/// A four-thread "churn" workload: every thread loops `iters` calls to a
+/// helper that saves r1, clobbers it, and restores it — a deep chain of
+/// §5.2 save/restore pairs. The final instruction uses r1, whose real
+/// definition precedes the loop, so resolving it must bypass all `iters`
+/// pairs. The resulting slice is tiny, but an index-free traversal
+/// re-walks the whole bypass chain on every query — the dependence
+/// index's precomputed resolution collapses it to one lookup.
+pub fn four_thread_churn(iters: u64) -> Arc<Program> {
+    Arc::new(
+        assemble(&format!(
+            r"
+            .text
+            .func main
+                movi r1, 3          ; the real definition the slice chases to
+                movi r2, {iters}
+                spawn r10, worker, r2
+                spawn r11, worker, r2
+                spawn r12, worker, r2
+                mov r0, r2
+                call churn_loop
+                join r10
+                join r11
+                join r12
+                addi r5, r1, 7      ; criterion: bypasses {iters} pairs
+                halt
+            .endfunc
+            .func worker
+                call churn_loop
+                halt
+            .endfunc
+            .func churn_loop
+            loop:
+                call helper
+                subi r0, r0, 1
+                bgti r0, 0, loop
+                ret
+            .endfunc
+            .func helper
+                push r1
+                movi r1, 9
+                pop r1
+                ret
+            .endfunc
+            ",
+        ))
+        .expect("churn workload assembles"),
+    )
+}
+
+/// Records and collects a [`four_thread_churn`] trace, returning the
+/// session and the criterion at main's final r1 use (the `addi` whose
+/// resolution bypasses every save/restore pair).
+///
+/// # Panics
+///
+/// Panics when the recording exceeds its step budget (never for sane
+/// `iters`).
+pub fn churn_session(iters: u64, options: SlicerOptions) -> (SliceSession, Criterion) {
+    let program = four_thread_churn(iters);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(13),
+        &mut LiveEnv::new(ENV_SEED),
+        iters * 50 + 100_000,
+        "churn",
+    )
+    .expect("churn capture succeeds");
+    let session = SliceSession::collect(Arc::clone(&program), &rec.pinball, options);
+    let id = session
+        .trace()
+        .records()
+        .iter()
+        .rev()
+        .find(|r| {
+            r.tid == 0
+                && r.use_keys(false)
+                    .any(|(k, _)| k == slicer::LocKey::Reg(0, minivm::Reg(1)))
+        })
+        .expect("main uses r1 after the churn loop")
+        .id;
+    (session, Criterion::Record { id })
+}
+
 /// Full execution-slice pipeline for one slice: exclusion regions →
 /// relogging → slice pinball, returning the pinball and its replay time.
 pub fn slice_pinball_replay(

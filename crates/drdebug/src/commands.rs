@@ -367,7 +367,14 @@ impl CommandInterpreter {
     fn cmd_metrics(&mut self) -> String {
         let seek = format!("seek metrics:\n{}", self.session.seek_metrics());
         match self.session.metrics() {
-            Some(m) => format!("pipeline stage metrics:\n{m}\n{seek}"),
+            Some(m) => {
+                let index = match self.session.last_slice_warm_index() {
+                    Some(true) => "last slice: answered from a warm dependence index\n",
+                    Some(false) => "last slice: built the dependence index (cold)\n",
+                    None => "",
+                };
+                format!("pipeline stage metrics:\n{m}\n{index}{seek}")
+            }
             None => format!("no trace collected yet (run a slice command first)\n{seek}"),
         }
     }
@@ -794,6 +801,18 @@ mod tests {
         assert!(out.contains("collect"), "{out}");
         assert!(out.contains("traverse"), "{out}");
         assert!(out.contains("blocks visited"), "{out}");
+        assert!(out.contains("cold (built)"), "{out}");
+        assert!(
+            out.contains("built the dependence index"),
+            "first slice is a cold index build: {out}"
+        );
+        d.execute("slice r3");
+        let out = d.execute("metrics");
+        assert!(out.contains("warm (reused)"), "{out}");
+        assert!(
+            out.contains("answered from a warm dependence index"),
+            "repeat slice hits the warm index: {out}"
+        );
     }
 
     #[test]

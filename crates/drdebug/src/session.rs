@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 use minivm::{Addr, Pc, Program, Reg, Tid, ToolControl, VmError};
 use pinplay::{Pinball, PinballContainer, ReplayStatus, Replayer};
 use slicer::{
-    Criterion, LocKey, Slice, SliceMetrics, SliceOptions, SliceSession, SliceStats, SlicerOptions,
+    compute_slice_indexed, Criterion, DepIndex, LocKey, Slice, SliceMetrics, SliceOptions,
+    SliceSession, SliceStats, SlicerOptions,
 };
 
 /// A breakpoint on a program point, optionally filtered by thread.
@@ -167,6 +168,15 @@ pub struct DebugSession {
     /// Statistics and wall time of the most recent slice traversal, folded
     /// into [`DebugSession::metrics`].
     last_traversal: Option<(SliceStats, Duration)>,
+    /// The reusable dependence index, keyed by the
+    /// [`SliceOptions::fingerprint`] it was built for. Built on the first
+    /// slice request and reused across `slice`/`restart`/seek cycles;
+    /// invalidated when the options fingerprint changes (prune keys, §5.2
+    /// toggle) or the slicer configuration is replaced.
+    dep_index: Option<(u64, Arc<DepIndex>)>,
+    /// Index usage of the most recent slice: (build wall, edges built,
+    /// answered from a warm index), folded into [`DebugSession::metrics`].
+    last_index: Option<(Duration, u64, bool)>,
 }
 
 impl std::fmt::Debug for DebugSession {
@@ -210,6 +220,8 @@ impl DebugSession {
             prune_keys: std::collections::HashSet::new(),
             saved_slices: Vec::new(),
             last_traversal: None,
+            dep_index: None,
+            last_index: None,
         }
     }
 
@@ -235,6 +247,7 @@ impl DebugSession {
     pub fn set_slicer_options(&mut self, options: SlicerOptions) {
         self.slicer_options = options;
         self.slicer = None;
+        self.dep_index = None;
     }
 
     /// Adds a location to the "Prune Vars" set (paper Fig. 9): subsequent
@@ -270,10 +283,20 @@ impl DebugSession {
     /// request collects the trace.
     pub fn metrics(&self) -> Option<SliceMetrics> {
         let base = *self.slicer.as_ref()?.metrics();
+        let base = match self.last_index {
+            Some((wall, edges, warm)) => base.with_index(wall, edges, warm),
+            None => base,
+        };
         Some(match self.last_traversal {
             Some((stats, wall)) => base.with_traversal(&stats, wall),
             None => base,
         })
+    }
+
+    /// Whether the most recent slice was answered from a warm dependence
+    /// index (`None` until a slice has been computed).
+    pub fn last_slice_warm_index(&self) -> Option<bool> {
+        self.last_index.map(|(_, _, warm)| warm)
     }
 
     /// Records a traversal's statistics for [`DebugSession::metrics`] and
@@ -748,14 +771,54 @@ impl DebugSession {
     /// Timing is folded into [`DebugSession::metrics`] like every other
     /// slice request.
     pub fn slice_criterion(&mut self, criterion: Criterion, opts: SliceOptions) -> Slice {
-        self.slicer(); // ensure collected
-        let started = Instant::now();
-        let slice = self
-            .slicer
+        let fingerprint = opts.fingerprint();
+        let warm = self
+            .dep_index
             .as_ref()
-            .expect("collected above")
-            .slice_with(criterion, opts);
+            .is_some_and(|&(f, _)| f == fingerprint);
+        let index = self.dep_index_for(&opts);
+        self.last_index = Some(if warm {
+            (Duration::ZERO, 0, true)
+        } else {
+            (index.stats().wall, index.stats().edges as u64, false)
+        });
+        let started = Instant::now();
+        let slice = compute_slice_indexed(&index, criterion);
         self.timed(slice, started)
+    }
+
+    /// The dependence index for `opts`, built (and cached for subsequent
+    /// queries) if absent or built for a different options fingerprint.
+    /// Collects the trace on first use.
+    pub fn dep_index_for(&mut self, opts: &SliceOptions) -> Arc<DepIndex> {
+        let fingerprint = opts.fingerprint();
+        if let Some((f, idx)) = &self.dep_index {
+            if *f == fingerprint {
+                return Arc::clone(idx);
+            }
+        }
+        self.slicer(); // ensure collected
+        let slicer = self.slicer.as_ref().expect("collected above");
+        let index = Arc::new(DepIndex::build(slicer.trace(), slicer.pairs(), opts));
+        self.dep_index = Some((fingerprint, Arc::clone(&index)));
+        index
+    }
+
+    /// The cached dependence index, if any, with the options fingerprint it
+    /// was built for.
+    pub fn dep_index(&self) -> Option<(u64, Arc<DepIndex>)> {
+        self.dep_index
+            .as_ref()
+            .map(|(f, idx)| (*f, Arc::clone(idx)))
+    }
+
+    /// Installs a dependence index built elsewhere (the server shares one
+    /// index across every pooled session of a pinball digest — replay
+    /// determinism makes their traces identical). Subsequent
+    /// [`DebugSession::slice_criterion`] calls under options with the same
+    /// fingerprint are answered from it without rebuilding.
+    pub fn install_dep_index(&mut self, fingerprint: u64, index: Arc<DepIndex>) {
+        self.dep_index = Some((fingerprint, index));
     }
 
     /// Computes a slice for the value of `key` at the current stop point —
@@ -920,6 +983,43 @@ mod tests {
         let pcs = slice.pcs(slicer.trace());
         // r3 at pc 4 comes from load (3) <- store (2) <- movi (0), la (1).
         assert!(pcs.contains(&3) && pcs.contains(&2) && pcs.contains(&0));
+    }
+
+    #[test]
+    fn dep_index_reused_across_slices_and_invalidated_on_option_change() {
+        let mut s = session();
+        s.cont();
+        let first = s.slice_failure().expect("slice");
+        assert_eq!(
+            s.last_slice_warm_index(),
+            Some(false),
+            "first build is cold"
+        );
+        let second = s.slice_failure().expect("slice again");
+        assert_eq!(s.last_slice_warm_index(), Some(true), "index reused");
+        assert_eq!(first.records, second.records);
+        assert_eq!(first.data_edges, second.data_edges);
+        let m = s.metrics().expect("metrics");
+        assert!(m.warm_index);
+        assert_eq!(
+            m.index_build.wall,
+            Duration::ZERO,
+            "warm reuse builds nothing"
+        );
+        // A different criterion still hits the same warm index.
+        s.restart();
+        s.add_breakpoint(4, None);
+        s.cont();
+        let _ = s.slice_here(LocKey::Reg(0, Reg(3))).expect("slice here");
+        assert_eq!(s.last_slice_warm_index(), Some(true));
+        // Changing the prune set changes the fingerprint: cold again.
+        s.add_prune_key(LocKey::Reg(0, Reg(1)));
+        let _ = s.slice_failure().expect("slice with pruning");
+        assert_eq!(
+            s.last_slice_warm_index(),
+            Some(false),
+            "fingerprint change invalidates"
+        );
     }
 
     #[test]

@@ -12,12 +12,21 @@
 //!
 //! Eviction is LRU by lookup order with a fixed entry capacity; all
 //! counters are surfaced through [`CacheStats`] on the `Stats` path.
+//!
+//! Alongside the slice cache sits the [`IndexCache`]: the same
+//! content-addressed idea one level down. A [`DepIndex`] is keyed by
+//! (pinball digest, options fingerprint) only — *not* by criterion — so
+//! every criterion a client asks about on one uploaded pinball shares a
+//! single index build. Lookups are single-flight: concurrent requests for
+//! the same key serialize on a per-entry lock, so eight clients racing on
+//! a cold key produce exactly one build while the other seven wait and
+//! reuse it.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use pinplay::PinballDigest;
-use slicer::{Criterion, LocKey, RecordId};
+use slicer::{Criterion, DepIndex, LocKey, RecordId};
 
 use crate::proto::{CacheStats, WireSlice};
 
@@ -170,6 +179,146 @@ impl SliceCache {
     }
 }
 
+/// Cache key for a dependence index: which pinball, under which options.
+/// The criterion is deliberately absent — one index answers all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct IndexKey {
+    digest: PinballDigest,
+    options: u64,
+}
+
+struct IndexEntry {
+    /// Single-flight slot: the builder fills it while holding the lock;
+    /// concurrent requesters for the same key block here instead of
+    /// building their own copy.
+    slot: Arc<Mutex<Option<Arc<DepIndex>>>>,
+    /// `DepIndex::approx_bytes` once built, 0 while the build is in flight.
+    bytes: u64,
+    last_used: u64,
+}
+
+struct IndexInner {
+    map: HashMap<IndexKey, IndexEntry>,
+    tick: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe cache of [`DepIndex`]es keyed by
+/// (pinball digest, options fingerprint), with single-flight builds.
+///
+/// A *miss* is counted when a key is first requested and this caller
+/// becomes its builder; every later request for the key — including ones
+/// that arrive while the build is still running and wait for it — counts
+/// as a *hit*, because it did not trigger a second build.
+pub struct IndexCache {
+    inner: Mutex<IndexInner>,
+    capacity: usize,
+}
+
+impl IndexCache {
+    /// Creates a cache holding at most `capacity` indexes (min 1).
+    pub fn new(capacity: usize) -> IndexCache {
+        IndexCache {
+            inner: Mutex::new(IndexInner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached index for `(digest, fingerprint)`, building it
+    /// with `build` exactly once per cache residency. Concurrent callers
+    /// for the same key block until the one build finishes; callers for
+    /// different keys proceed independently (the outer map lock is never
+    /// held across a build).
+    pub fn get_or_build<F>(
+        &self,
+        digest: PinballDigest,
+        options_fingerprint: u64,
+        build: F,
+    ) -> Arc<DepIndex>
+    where
+        F: FnOnce() -> Arc<DepIndex>,
+    {
+        let key = IndexKey {
+            digest,
+            options: options_fingerprint,
+        };
+        let slot = {
+            let mut inner = self.inner.lock().expect("index cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                let slot = Arc::clone(&entry.slot);
+                inner.hits += 1;
+                slot
+            } else {
+                inner.misses += 1;
+                while inner.map.len() >= self.capacity {
+                    // O(entries) scan; capacity is a configuration-sized
+                    // bound, not a dataset.
+                    let victim = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| *k)
+                        .expect("map non-empty while over capacity");
+                    let evicted = inner.map.remove(&victim).expect("victim present");
+                    inner.bytes -= evicted.bytes;
+                    inner.evictions += 1;
+                }
+                let slot = Arc::new(Mutex::new(None));
+                inner.map.insert(
+                    key,
+                    IndexEntry {
+                        slot: Arc::clone(&slot),
+                        bytes: 0,
+                        last_used: tick,
+                    },
+                );
+                slot
+            }
+        };
+        let mut guard = slot.lock().expect("index slot lock");
+        if let Some(index) = guard.as_ref() {
+            return Arc::clone(index);
+        }
+        let index = build();
+        *guard = Some(Arc::clone(&index));
+        let bytes = index.approx_bytes();
+        let mut inner = self.inner.lock().expect("index cache lock");
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // The entry may have been evicted while the build ran; only a
+            // still-resident entry contributes to the byte count.
+            let delta = bytes - entry.bytes;
+            entry.bytes = bytes;
+            inner.bytes += delta;
+        }
+        index
+    }
+
+    /// Counter snapshot for the `Stats` path.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("index cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +390,84 @@ mod tests {
         assert!(cache.get(D, c, 0).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    /// A real (tiny) dependence index, so byte accounting is exercised
+    /// against `DepIndex::approx_bytes` rather than a stub.
+    fn tiny_index() -> Arc<DepIndex> {
+        let program = Arc::new(
+            minivm::assemble(
+                r"
+                .text
+                .func main
+                    movi r1, 2
+                    addi r1, r1, 3
+                    halt
+                .endfunc
+                ",
+            )
+            .expect("assembles"),
+        );
+        let rec = pinplay::record_whole_program(
+            &program,
+            &mut minivm::RoundRobin::new(4),
+            &mut minivm::LiveEnv::new(0),
+            10_000,
+            "index-cache-test",
+        )
+        .expect("records");
+        let mut session = drdebug::DebugSession::new(program, rec.pinball);
+        session.dep_index_for(&slicer::SliceOptions::default())
+    }
+
+    #[test]
+    fn index_cache_single_flight_builds_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let index = tiny_index();
+        let cache = IndexCache::new(4);
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let builds = &builds;
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    let got = cache.get_or_build(D, 7, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: the other threads must
+                        // wait on the slot, not build their own.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        index
+                    });
+                    assert!(!got.is_empty(), "waiters get the built index");
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-flight");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (1, 7, 1));
+        assert_eq!(s.bytes, index.approx_bytes());
+    }
+
+    #[test]
+    fn index_cache_keys_on_fingerprint_and_evicts_lru() {
+        let index = tiny_index();
+        let cache = IndexCache::new(1);
+        let mut builds = 0;
+        let mut build = |cache: &IndexCache, fp: u64| {
+            cache.get_or_build(D, fp, || {
+                builds += 1;
+                Arc::clone(&index)
+            });
+        };
+        build(&cache, 1); // miss, build
+        build(&cache, 1); // hit
+        build(&cache, 2); // different options: miss, evicts fp 1
+        build(&cache, 1); // miss again after eviction
+        assert_eq!(builds, 3);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.evictions, s.entries), (3, 1, 2, 1));
+        assert_eq!(s.bytes, index.approx_bytes(), "evicted bytes freed");
     }
 }

@@ -21,6 +21,11 @@
 //!   debug iteration that asks "why is this value wrong" gets its answer
 //!   without re-collecting the trace. Entries are canonical
 //!   ([`WireSlice`]): byte-identical to a local computation.
+//! - **Index cache** ([`cache::IndexCache`]) — dependence indexes
+//!   ([`slicer::DepIndex`]) are cached by (pinball digest, options
+//!   fingerprint) with single-flight builds, so *distinct* criteria on
+//!   one pinball — which all miss the slice cache — still share a single
+//!   index build and answer in time proportional to the slice.
 //! - **Wire protocol** ([`proto`]) — length-prefixed, CRC-checked frames
 //!   reusing the pinball container's own [`pinzip::frame`] encoding.
 //!   Malformed input yields a typed error or a clean disconnect, never a

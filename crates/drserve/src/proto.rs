@@ -462,6 +462,10 @@ pub struct ServeStats {
     pub per_op: Vec<(String, OpStats)>,
     /// Slice-cache counters.
     pub cache: CacheStats,
+    /// Dependence-index cache counters. A miss is one index *build*; hits
+    /// are queries (any criterion, same pinball and options) answered by
+    /// an already-built index.
+    pub index_cache: CacheStats,
     /// Session-pool counters.
     pub sessions: SessionStats,
     /// Distinct pinballs stored.
@@ -511,6 +515,16 @@ impl fmt::Display for ServeStats {
             self.cache.hit_rate_percent(),
             self.cache.entries,
             self.cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "index cache      {:>8} hits / {} misses ({}% hit rate), {} entries, {} evictions, {} bytes",
+            self.index_cache.hits,
+            self.index_cache.misses,
+            self.index_cache.hit_rate_percent(),
+            self.index_cache.entries,
+            self.index_cache.evictions,
+            self.index_cache.bytes,
         )?;
         writeln!(
             f,

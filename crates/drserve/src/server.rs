@@ -25,7 +25,7 @@ use minivm::Program;
 use pinplay::{PinballContainer, PinballDigest};
 use slicer::Criterion;
 
-use crate::cache::SliceCache;
+use crate::cache::{IndexCache, SliceCache};
 use crate::client::Client;
 use crate::loopback::{pipe, LoopbackStream};
 use crate::metrics::ServeMetrics;
@@ -44,6 +44,9 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Maximum cached slices.
     pub cache_capacity: usize,
+    /// Maximum cached dependence indexes (one per pinball digest and
+    /// options fingerprint; each costs memory proportional to the trace).
+    pub index_cache_capacity: usize,
     /// Back-off hint attached to [`ServeError::Busy`] rejections.
     pub retry_after_ms: u64,
 }
@@ -54,6 +57,7 @@ impl Default for ServeConfig {
             max_sessions: 8,
             idle_timeout: Duration::from_secs(300),
             cache_capacity: 256,
+            index_cache_capacity: 32,
             retry_after_ms: 50,
         }
     }
@@ -69,6 +73,7 @@ struct ServerState {
     store: Mutex<HashMap<PinballDigest, Stored>>,
     pool: SessionManager,
     cache: SliceCache,
+    index_cache: IndexCache,
     metrics: ServeMetrics,
 }
 
@@ -90,6 +95,7 @@ impl Server {
                     config.retry_after_ms,
                 ),
                 cache: SliceCache::new(config.cache_capacity),
+                index_cache: IndexCache::new(config.index_cache_capacity),
                 metrics: ServeMetrics::new(),
             }),
         }
@@ -193,10 +199,22 @@ impl Server {
                         micros: started.elapsed().as_micros() as u64,
                     });
                 }
-                let slice = slot
-                    .lock()
-                    .expect("session lock")
-                    .slice_criterion(criterion, options);
+                // One dependence index answers every criterion on this
+                // pinball under these options: fetch it from the shared
+                // cache (building at most once, even under concurrency)
+                // and install it into the session so the traversal below
+                // runs warm.
+                let index = self
+                    .state
+                    .index_cache
+                    .get_or_build(digest, fingerprint, || {
+                        slot.lock().expect("session lock").dep_index_for(&options)
+                    });
+                let slice = {
+                    let mut guard = slot.lock().expect("session lock");
+                    guard.install_dep_index(fingerprint, index);
+                    guard.slice_criterion(criterion, options)
+                };
                 let wire = Arc::new(WireSlice::from_slice(&slice));
                 self.state
                     .cache
@@ -219,6 +237,7 @@ impl Server {
     pub fn stats(&self) -> ServeStats {
         let mut stats = self.state.metrics.snapshot();
         stats.cache = self.state.cache.stats();
+        stats.index_cache = self.state.index_cache.stats();
         stats.sessions = self.state.pool.stats();
         stats.pinballs = self.state.store.lock().expect("store lock").len() as u64;
         stats

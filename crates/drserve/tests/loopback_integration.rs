@@ -12,7 +12,7 @@ use drdebug::DebugSession;
 use drserve::{ClientError, ServeConfig, ServeError, Server, SliceAt, WireSlice, WireStop};
 use minivm::{LiveEnv, Program, RoundRobin};
 use pinplay::{record_whole_program, Pinball, PinballContainer, PinballDigest};
-use slicer::{Criterion, SliceOptions};
+use slicer::{Criterion, RecordId, SliceOptions};
 
 fn recorded() -> (Arc<Program>, Pinball) {
     let program = workloads::parsec::blackscholes(3);
@@ -110,6 +110,82 @@ fn eight_concurrent_clients_get_byte_identical_slices() {
         stats.cache.hits
     );
     assert_eq!(stats.errors, 0, "clean run: {stats}");
+}
+
+#[test]
+fn distinct_criteria_share_one_index_build() {
+    let (program, pinball) = recorded();
+
+    // Eight *distinct* criteria spread across the trace — every one will
+    // miss the slice cache, so only the shared dependence index can save
+    // work. Compute the expected answers locally first.
+    let mut local = DebugSession::new(Arc::clone(&program), pinball.clone());
+    let ids: Vec<RecordId> = {
+        let records = local.slicer().trace().records();
+        let n = records.len();
+        assert!(n >= 8, "workload too small: {n} records");
+        (0..8).map(|i| records[n - 1 - i * (n / 8)].id).collect()
+    };
+    let expected: Vec<Vec<u8>> = ids
+        .iter()
+        .map(|&id| {
+            let slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+            WireSlice::from_slice(&slice).canonical_bytes()
+        })
+        .collect();
+
+    let server = Server::new(ServeConfig {
+        max_sessions: 8,
+        ..ServeConfig::default()
+    });
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut client = server.loopback_client();
+                let program = Arc::clone(&program);
+                let pinball = &pinball;
+                let expected = &expected[i];
+                scope.spawn(move || {
+                    let up = client.upload(&program, pinball).expect("upload");
+                    let session = client.open(up.digest).expect("open");
+                    let reply = client
+                        .compute_slice(
+                            session,
+                            SliceAt::Criterion {
+                                criterion: Criterion::Record { id },
+                            },
+                            SliceOptions::default(),
+                        )
+                        .expect("slice");
+                    assert!(!reply.cached, "criterion {id} is distinct, cannot hit");
+                    assert_eq!(
+                        &reply.slice.canonical_bytes(),
+                        expected,
+                        "client {i}: server slice differs from local computation"
+                    );
+                    client.close(session).expect("close");
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0, "clean run: {stats}");
+    assert_eq!(stats.cache.misses, 8, "every distinct criterion computes");
+    assert_eq!(stats.cache.hits, 0);
+    assert_eq!(
+        stats.index_cache.misses, 1,
+        "exactly one index build across all eight clients: {stats}"
+    );
+    assert_eq!(stats.index_cache.hits, 7, "the other seven reuse it");
+    assert_eq!(stats.index_cache.entries, 1);
+    assert!(stats.index_cache.bytes > 0, "built index is accounted");
 }
 
 #[test]

@@ -11,6 +11,10 @@
 //! * [`slice`](mod@slice) — backward traversal of the global trace with Limited
 //!   Preprocessing block skipping (step iii), producing the dynamic
 //!   dependence graph the DrDebug GUI lets users navigate;
+//! * [`index`] — the reusable dependence index: the full dependence graph
+//!   built once per `(GlobalTrace, SliceOptions)`, answering every
+//!   subsequent slice criterion with a pure BFS (the cyclic-debugging hot
+//!   path);
 //! * [`control`] — dynamic control dependences via the Xin–Zhang online
 //!   algorithm over a CFG refined with observed indirect-jump targets
 //!   (§5.1's precision fix);
@@ -58,6 +62,7 @@
 pub mod collect;
 pub mod control;
 pub mod global;
+pub mod index;
 pub mod metrics;
 pub mod pairs;
 pub mod regions;
@@ -70,6 +75,7 @@ pub use control::ControlTracker;
 pub use global::{
     is_valid_topological_order, BlockSummary, BuildMetrics, GlobalTrace, DEFAULT_BLOCK_SIZE,
 };
+pub use index::{compute_slice_indexed, DepIndex, IndexBuildStats};
 pub use metrics::{SliceMetrics, StageMetrics};
 pub use pairs::{PairCandidates, PairDetector};
 pub use regions::{exclusion_regions, is_force_included, ExclusionStats, OPEN_END_PC};

@@ -44,6 +44,13 @@ pub struct SliceMetrics {
     pub merge: StageMetrics,
     /// LP block summaries and the per-key definition index.
     pub summarize: StageMetrics,
+    /// Dependence-index construction for the most recent slice (zero when
+    /// the query was answered from a warm index — the build cost is paid at
+    /// most once per option fingerprint).
+    pub index_build: StageMetrics,
+    /// Whether the most recent slice reused a cached dependence index
+    /// instead of building one.
+    pub warm_index: bool,
     /// The most recent backward traversal (zero until a slice is computed).
     pub traverse: StageMetrics,
     /// Collector threads used (1 = serial collection).
@@ -73,6 +80,15 @@ impl SliceMetrics {
         self.bypasses = stats.bypasses;
         self
     }
+
+    /// Returns a copy describing the most recent query's index usage:
+    /// `wall`/`edges` are the build cost (both zero on a warm reuse), and
+    /// `warm` records whether a cached index answered the query.
+    pub fn with_index(mut self, wall: Duration, edges: u64, warm: bool) -> SliceMetrics {
+        self.index_build = StageMetrics::new(wall, edges);
+        self.warm_index = warm;
+        self
+    }
 }
 
 impl fmt::Display for SliceMetrics {
@@ -91,6 +107,17 @@ impl fmt::Display for SliceMetrics {
             f,
             "summarize  {:>12?}  {:>10} records  {} worker(s)",
             self.summarize.wall, self.summarize.records, self.summary_workers
+        )?;
+        writeln!(
+            f,
+            "index      {:>12?}  {:>10} edges  {}",
+            self.index_build.wall,
+            self.index_build.records,
+            if self.warm_index {
+                "warm (reused)"
+            } else {
+                "cold (built)"
+            }
         )?;
         writeln!(
             f,
@@ -133,5 +160,19 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("collect"));
         assert!(text.contains("dependences pruned 1"));
+    }
+
+    #[test]
+    fn index_stage_folds_in_and_reports_warmth() {
+        let cold = SliceMetrics::default().with_index(Duration::from_micros(120), 9000, false);
+        assert_eq!(cold.index_build.records, 9000);
+        assert!(!cold.warm_index);
+        assert!(cold.to_string().contains("cold (built)"));
+
+        let warm = cold.with_index(Duration::ZERO, 0, true);
+        assert!(warm.warm_index);
+        let text = warm.to_string();
+        assert!(text.contains("warm (reused)"));
+        assert!(text.contains("traverse"), "stage rows intact");
     }
 }

@@ -122,22 +122,32 @@ impl Slice {
         })
     }
 
-    /// The distinct program points (pcs) in the slice — what the GUI
-    /// highlights in yellow.
-    pub fn pcs(&self, trace: &GlobalTrace) -> HashSet<Pc> {
-        self.records
+    /// The distinct program points (pcs) in the slice, sorted ascending —
+    /// what the GUI highlights in yellow. Returned as a deduplicated `Vec`
+    /// so the CLI render path can binary-search or iterate without
+    /// rebuilding a hash set per frame.
+    pub fn pcs(&self, trace: &GlobalTrace) -> Vec<Pc> {
+        let mut pcs: Vec<Pc> = self
+            .records
             .iter()
             .filter_map(|&id| trace.record(id).map(|r| r.pc))
-            .collect()
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        pcs
     }
 
-    /// The distinct source lines in the slice.
-    pub fn lines(&self, trace: &GlobalTrace) -> HashSet<u32> {
-        self.records
+    /// The distinct source lines in the slice, sorted ascending.
+    pub fn lines(&self, trace: &GlobalTrace) -> Vec<u32> {
+        let mut lines: Vec<u32> = self
+            .records
             .iter()
             .filter_map(|&id| trace.record(id).map(|r| r.line))
             .filter(|&l| l != 0)
-            .collect()
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
     }
 }
 
@@ -1148,20 +1158,93 @@ mod tests {
             // Slice at every executed record, both criteria kinds where
             // applicable, with pruning on and off.
             for prune in [true, false] {
+                let opts = SliceOptions {
+                    prune_save_restore: prune,
+                    ..SliceOptions::new()
+                };
+                let index = crate::index::DepIndex::build(&trace, &pairs, &opts);
                 for r in trace.records() {
                     let crit = Criterion::Record { id: r.id };
-                    let opts = SliceOptions {
-                        prune_save_restore: prune,
-                        ..SliceOptions::new()
-                    };
                     let lp = compute_slice_lp(&trace, crit, &pairs, opts.clone());
-                    let sparse = compute_slice_sparse(&trace, crit, &pairs, opts);
+                    let sparse = compute_slice_sparse(&trace, crit, &pairs, opts.clone());
+                    let indexed = crate::index::compute_slice_indexed(&index, crit);
                     assert_eq!(lp.records, sparse.records, "scenario {i} records");
                     assert_eq!(lp.data_edges, sparse.data_edges, "scenario {i} data edges");
                     assert_eq!(
                         lp.control_edges, sparse.control_edges,
                         "scenario {i} control edges"
                     );
+                    assert_eq!(
+                        sparse.records, indexed.records,
+                        "scenario {i} indexed records"
+                    );
+                    assert_eq!(
+                        sparse.data_edges, indexed.data_edges,
+                        "scenario {i} indexed data edges"
+                    );
+                    assert_eq!(
+                        sparse.control_edges, indexed.control_edges,
+                        "scenario {i} indexed control edges"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The indexed path agrees with sparse on `Value` criteria and pruned
+    /// keys too, and repeated queries against one index are deterministic
+    /// (stats included).
+    #[test]
+    fn indexed_value_criteria_and_prune_keys_match_sparse() {
+        let (trace, pairs) = collect(
+            r"
+            .text
+            .func q
+                push r1
+                movi r1, 5
+                addi r5, r1, 1
+                pop r1
+                ret
+            .endfunc
+            .func main
+                read r0
+                movi r1, 7
+                beqi r0, 0, skip
+                call q
+            skip:
+                add r2, r1, r1
+                halt
+            .endfunc
+            ",
+        );
+        let prune_sets: Vec<SliceOptions> = vec![
+            SliceOptions::new(),
+            SliceOptions::new().prune_key(LocKey::Reg(0, minivm::Reg(1))),
+            SliceOptions {
+                prune_save_restore: false,
+                ..SliceOptions::new()
+            },
+        ];
+        for opts in prune_sets {
+            let index = crate::index::DepIndex::build(&trace, &pairs, &opts);
+            assert_eq!(index.options_fingerprint(), opts.fingerprint());
+            for r in trace.records() {
+                let mut criteria = vec![Criterion::Record { id: r.id }];
+                for (k, _) in r.use_keys(false) {
+                    criteria.push(Criterion::Value { id: r.id, key: k });
+                }
+                for crit in criteria {
+                    let sparse = compute_slice_sparse(&trace, crit, &pairs, opts.clone());
+                    let indexed = crate::index::compute_slice_indexed(&index, crit);
+                    assert_eq!(sparse.records, indexed.records, "{crit:?} records");
+                    assert_eq!(sparse.data_edges, indexed.data_edges, "{crit:?} data edges");
+                    assert_eq!(
+                        sparse.control_edges, indexed.control_edges,
+                        "{crit:?} control edges"
+                    );
+                    let again = crate::index::compute_slice_indexed(&index, crit);
+                    assert_eq!(indexed.records, again.records);
+                    assert_eq!(indexed.stats, again.stats, "indexed stats deterministic");
                 }
             }
         }
@@ -1266,7 +1349,7 @@ mod tests {
         );
         let s = slice_at_last(&trace, &pairs, 2, SliceOptions::default());
         let pcs = s.pcs(&trace);
-        assert_eq!(pcs, [0u32, 1, 2].into_iter().collect());
+        assert_eq!(pcs, vec![0u32, 1, 2]);
     }
 }
 

@@ -90,11 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slice = dbg.slice_failure().expect("slice");
     let slicer = dbg.slicer();
     let pcs = slice.pcs(slicer.trace());
-    println!("\nfailure slice covers pcs: {:?}", {
-        let mut v: Vec<_> = pcs.iter().copied().collect();
-        v.sort_unstable();
-        v
-    });
+    println!("\nfailure slice covers pcs: {pcs:?}");
     assert!(pcs.contains(&4), "the rand() draw is in the slice");
     assert!(pcs.contains(&5), "the bad mask is in the slice");
     println!("root cause: the index mask at pc 5 admits out-of-range indices");
