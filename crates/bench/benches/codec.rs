@@ -1,0 +1,129 @@
+//! Binary record codec vs JSON: container serialize/deserialize
+//! throughput across formats and pipelines.
+//!
+//! The v3 pinball container swaps the per-chunk JSON payloads for the
+//! `pinzip::binser` varint codec and fans chunk encode/decode across a
+//! worker pool with ordered reassembly. This bench measures the four
+//! corners — {v2 JSON, v3 binser} x {save, load} — plus the serial v3
+//! reference (same bytes, no pool), on a quantum-1
+//! [`four_thread_needle`](bench::exp::four_thread_needle) recording
+//! where the event log dominates. Medians land in
+//! `target/bench/codec.json` for the CI trend line.
+
+use std::time::{Duration, Instant};
+
+use bench::exp::{four_thread_needle, ENV_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minivm::{LiveEnv, RoundRobin};
+use pinplay::{record_whole_program, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
+
+const ITERS: u64 = 2_000;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let program = four_thread_needle(ITERS);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(1),
+        &mut LiveEnv::new(ENV_SEED),
+        ITERS * 60 + 200_000,
+        "codec-bench",
+    )
+    .expect("codec workload records");
+    let events = rec.pinball.events.len();
+    let container =
+        PinballContainer::with_checkpoints(rec.pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
+    let v2 = container.to_bytes_v2().expect("v2 encodes");
+    let v3 = container.to_bytes().expect("v3 encodes");
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+    group.bench_function("save/v2-json", |b| {
+        b.iter(|| container.to_bytes_v2().expect("v2 encodes").len())
+    });
+    group.bench_function("save/v3-binser-serial", |b| {
+        b.iter(|| container.to_bytes_serial().expect("v3 encodes").len())
+    });
+    group.bench_function("save/v3-binser-parallel", |b| {
+        b.iter(|| container.to_bytes().expect("v3 encodes").len())
+    });
+    group.bench_function("load/v2-json", |b| {
+        b.iter(|| {
+            PinballContainer::from_bytes(&v2)
+                .expect("v2 loads")
+                .pinball
+                .events
+                .len()
+        })
+    });
+    group.bench_function("load/v3-binser", |b| {
+        b.iter(|| {
+            PinballContainer::from_bytes(&v3)
+                .expect("v3 loads")
+                .pinball
+                .events
+                .len()
+        })
+    });
+    group.finish();
+
+    // Separately measured medians for the JSON record (the vendored
+    // criterion prints but does not persist timings).
+    let save_v2 = median_of(5, || {
+        container.to_bytes_v2().expect("v2 encodes");
+    });
+    let save_v3_serial = median_of(5, || {
+        container.to_bytes_serial().expect("v3 encodes");
+    });
+    let save_v3 = median_of(5, || {
+        container.to_bytes().expect("v3 encodes");
+    });
+    let load_v2 = median_of(5, || {
+        PinballContainer::from_bytes(&v2).expect("v2 loads");
+    });
+    let load_v3 = median_of(5, || {
+        PinballContainer::from_bytes(&v3).expect("v3 loads");
+    });
+    let roundtrip_speedup =
+        (save_v2 + load_v2).as_secs_f64() / (save_v3 + load_v3).as_secs_f64().max(1e-12);
+
+    let report = format!(
+        "{{\n  \"bench\": \"codec\",\n  \"workload\": \"four_thread_needle(quantum=1)\",\n  \
+         \"iters\": {ITERS},\n  \"events\": {events},\n  \
+         \"v2_bytes\": {},\n  \"v3_bytes\": {},\n  \
+         \"save_v2_json_ns\": {},\n  \"save_v3_binser_serial_ns\": {},\n  \
+         \"save_v3_binser_parallel_ns\": {},\n  \
+         \"load_v2_json_ns\": {},\n  \"load_v3_binser_ns\": {},\n  \
+         \"roundtrip_speedup\": {:.2}\n}}\n",
+        v2.len(),
+        v3.len(),
+        save_v2.as_nanos(),
+        save_v3_serial.as_nanos(),
+        save_v3.as_nanos(),
+        load_v2.as_nanos(),
+        load_v3.as_nanos(),
+        roundtrip_speedup,
+    );
+    let dir = std::path::Path::new("target/bench");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("codec.json");
+        match std::fs::write(&path, report) {
+            Ok(()) => println!("codec bench report written to {}", path.display()),
+            Err(e) => eprintln!("codec bench report not written: {e}"),
+        }
+    }
+}
+
+criterion_group!(codec, bench_codec);
+criterion_main!(codec);

@@ -1,7 +1,7 @@
-//! Cold full-replay vs embedded-checkpoint seek on the v2 container.
+//! Cold full-replay vs embedded-checkpoint seek on the pinball container.
 //!
 //! The paper's cyclic-debugging loop repeatedly re-executes the region
-//! from its entry; the v2 pinball container instead embeds serialized
+//! from its entry; the pinball container instead embeds serialized
 //! replayer checkpoints every `checkpoint_interval` retired
 //! instructions, so `Replayer::seek_to` restores the nearest preceding
 //! checkpoint and replays only the tail chunk — O(chunk) rather than

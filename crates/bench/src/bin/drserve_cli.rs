@@ -19,7 +19,8 @@
 //! (content-addressed — a second client uploading the same recording
 //! dedupes), opens a pooled session, seeks to the middle of the region,
 //! and computes the failure slice twice to show the cold-compute versus
-//! cache-hit latency. It finishes by printing the server's stats block.
+//! cache-hit latency. It finishes by printing the server's stats block
+//! and this connection's wire counters (requests, bytes each way).
 
 use std::io::{Read, Write};
 
@@ -89,6 +90,14 @@ fn print_stats<S: Read + Write>(client: &mut Client<S>) {
         Ok(stats) => println!("--- server stats ---\n{stats}"),
         Err(e) => eprintln!("stats: {e}"),
     }
+    let wire = client.wire_stats();
+    println!(
+        "--- wire (this connection) ---\n\
+         requests        {:>8}\n\
+         bytes sent      {:>8}\n\
+         bytes received  {:>8}",
+        wire.requests, wire.bytes_sent, wire.bytes_received
+    );
 }
 
 fn main() {

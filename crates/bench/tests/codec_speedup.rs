@@ -1,0 +1,79 @@
+//! Acceptance gate for the binary record codec: on a >=100k-event
+//! four-thread pinball, a v3 save + load cycle (binser payloads,
+//! parallel chunk pipeline) must be at least 3x faster than the v2
+//! cycle (JSON payloads), emit no more bytes, and round-trip the
+//! container exactly.
+
+use std::time::{Duration, Instant};
+
+use bench::exp::{four_thread_needle, ENV_SEED};
+use minivm::{LiveEnv, RoundRobin};
+use pinplay::{record_whole_program, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
+
+const ITERS: u64 = 4_500;
+
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+#[test]
+fn v3_save_load_is_at_least_3x_faster_than_v2() {
+    // Quantum 1 forces a scheduling decision per instruction, so the
+    // event log grows with the instruction count: the worst case for
+    // container i/o and the reason the codec exists.
+    let program = four_thread_needle(ITERS);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(1),
+        &mut LiveEnv::new(ENV_SEED),
+        ITERS * 60 + 200_000,
+        "codec-gate",
+    )
+    .expect("codec workload records");
+    let events = rec.pinball.events.len();
+    assert!(
+        events >= 100_000,
+        "need a >= 100k-event pinball, got {events}"
+    );
+    let container =
+        PinballContainer::with_checkpoints(rec.pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
+
+    // Correctness before speed: both formats round-trip exactly, and the
+    // binary encoding is never larger than the JSON one.
+    let v3 = container.to_bytes().expect("v3 encodes");
+    let v2 = container.to_bytes_v2().expect("v2 encodes");
+    assert!(
+        v3.len() <= v2.len(),
+        "v3 must not be larger: v3 {} bytes vs v2 {} bytes",
+        v3.len(),
+        v2.len()
+    );
+    let loaded = PinballContainer::from_bytes(&v3).expect("v3 loads");
+    assert_eq!(loaded, container, "v3 load must reproduce the container");
+    assert_eq!(
+        PinballContainer::from_bytes(&v2).expect("v2 loads"),
+        container,
+        "v2 load must reproduce the container"
+    );
+
+    let v2_time = best_of(3, || {
+        let bytes = container.to_bytes_v2().expect("v2 encodes");
+        std::hint::black_box(PinballContainer::from_bytes(&bytes).expect("v2 loads"));
+    });
+    let v3_time = best_of(3, || {
+        let bytes = container.to_bytes().expect("v3 encodes");
+        std::hint::black_box(PinballContainer::from_bytes(&bytes).expect("v3 loads"));
+    });
+    assert!(
+        v2_time >= v3_time * 3,
+        "v3 save+load must be >= 3x faster on {events} events: \
+         v2 {v2_time:?} vs v3 {v3_time:?}"
+    );
+}

@@ -254,7 +254,19 @@ impl CommandInterpreter {
                     fmt_list(&session)
                 )
             }
-            _ => "usage: info breakpoints|watchpoints|threads|checkpoints".to_owned(),
+            Some("container") => {
+                // Report the session's container as encoded by the current
+                // (v3) writer: version, per-frame codecs, compression.
+                let bytes = match self.session.container().to_bytes() {
+                    Ok(bytes) => bytes,
+                    Err(e) => return format!("cannot encode container: {e}"),
+                };
+                match pinplay::inspect(&bytes) {
+                    Ok(report) => report.to_string(),
+                    Err(e) => format!("cannot inspect container: {e}"),
+                }
+            }
+            _ => "usage: info breakpoints|watchpoints|threads|checkpoints|container".to_owned(),
         }
     }
 
@@ -648,6 +660,7 @@ DrDebug commands:
   break <pc|func|label[+off]> [tid]   set a breakpoint
   delete|enable|disable <id>    manage breakpoints
   info breakpoints|threads|checkpoints   inspect session state
+  info container                container format report (frames, codecs, sizes)
   continue | c                  replay until breakpoint/trap/end
   stepi [n] | si                step n instructions
   reverse-stepi | rsi           step one instruction BACKWARDS
@@ -846,6 +859,18 @@ mod tests {
         assert!(out.contains("= 5"), "{out}");
         let out = d.execute("info threads");
         assert!(out.contains("runnable") || out.contains("halted"), "{out}");
+    }
+
+    #[test]
+    fn info_container_reports_frames_and_codecs() {
+        let mut d = interp(PROG);
+        let out = d.execute("info container");
+        assert!(out.contains("container v3"), "{out}");
+        assert!(out.contains("binary"), "{out}");
+        assert!(out.contains("header"), "{out}");
+        assert!(out.contains("index"), "{out}");
+        let usage = d.execute("info nonsense");
+        assert!(usage.contains("container"), "{usage}");
     }
 }
 

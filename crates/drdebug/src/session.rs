@@ -107,7 +107,7 @@ pub struct SeekMetrics {
     /// Seeks served by a session-local (in-memory) checkpoint clone.
     pub session_restores: u64,
     /// Seeks that had to restart replay from the region entry — the
-    /// O(region) fallback the v2 container exists to avoid.
+    /// O(region) fallback the chunked container exists to avoid.
     pub full_restarts: u64,
     /// `continue` calls answered from the hop cache (cyclic-debugging
     /// re-runs with an unchanged breakpoint set).
@@ -137,7 +137,7 @@ impl std::fmt::Display for SeekMetrics {
 /// An interactive, replay-based debugging session over one pinball.
 pub struct DebugSession {
     program: Arc<Program>,
-    /// The pinball plus any checkpoints embedded in its v2 container.
+    /// The pinball plus any checkpoints embedded in its container.
     container: PinballContainer,
     replayer: Replayer,
     breakpoints: BTreeMap<u32, Breakpoint>,
@@ -196,7 +196,7 @@ impl DebugSession {
         DebugSession::with_container(program, PinballContainer::new(pinball))
     }
 
-    /// Opens a session over a v2 container: its embedded checkpoints seed
+    /// Opens a session over a chunked container: its embedded checkpoints seed
     /// the session's checkpoint set, so reverse execution and `seek` are
     /// O(chunk) from the first command instead of only after a forward
     /// `continue` has dropped in-memory checkpoints.
@@ -528,7 +528,7 @@ impl DebugSession {
 
     /// Seeks the replay to the state after exactly `target` instructions
     /// have retired, restoring the nearest earlier checkpoint — an
-    /// in-memory session checkpoint or one embedded in the v2 container,
+    /// in-memory session checkpoint or one embedded in the container,
     /// whichever is closer — and replaying only the tail. This is the
     /// paper §8 recipe ("recording multiple pinballs and then replaying
     /// forward using the right pinball", via user-level checkpointing),

@@ -71,15 +71,73 @@ pub struct SliceReply {
     pub micros: u64,
 }
 
+/// Wire-level counters of one client connection: how many exchanges ran
+/// and how many encoded bytes crossed the stream in each direction
+/// (frame headers included). Surfaced by [`Client::wire_stats`] so tools
+/// can report what the binary wire codec actually costs per call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Request/response exchanges completed or attempted.
+    pub requests: u64,
+    /// Bytes written to the stream (request frames).
+    pub bytes_sent: u64,
+    /// Bytes read from the stream (response frames).
+    pub bytes_received: u64,
+}
+
+/// A `Read + Write` adapter that counts the bytes crossing it.
+struct Counting<S> {
+    inner: S,
+    sent: u64,
+    received: u64,
+}
+
+impl<S: Read> Read for Counting<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.received += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for Counting<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.sent += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// A connected protocol client. One outstanding request at a time.
 pub struct Client<S: Read + Write> {
-    stream: S,
+    stream: Counting<S>,
+    requests: u64,
 }
 
 impl<S: Read + Write> Client<S> {
     /// Wraps an already-connected stream.
     pub fn new(stream: S) -> Client<S> {
-        Client { stream }
+        Client {
+            stream: Counting {
+                inner: stream,
+                sent: 0,
+                received: 0,
+            },
+            requests: 0,
+        }
+    }
+
+    /// Wire-level byte counters accumulated since the client connected.
+    pub fn wire_stats(&self) -> WireStats {
+        WireStats {
+            requests: self.requests,
+            bytes_sent: self.stream.sent,
+            bytes_received: self.stream.received,
+        }
     }
 
     /// One request/response exchange.
@@ -88,6 +146,7 @@ impl<S: Read + Write> Client<S> {
     ///
     /// [`ClientError::Transport`] on stream failure.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.requests += 1;
         proto::write_message(&mut self.stream, REQUEST_KIND, request)
             .map_err(|e| ClientError::Transport(RecvError::Io(e.to_string())))?;
         Ok(proto::read_message(&mut self.stream, RESPONSE_KIND)?)
@@ -121,7 +180,8 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
-    /// Convenience: wraps a pinball in a v2 container and uploads it.
+    /// Convenience: wraps a pinball in a container (current format) and
+    /// uploads it.
     ///
     /// # Errors
     ///

@@ -6,17 +6,20 @@
 //! ```text
 //! +------+----------------+------------+------------------------+
 //! | kind | varint(c_len)  | crc32 (LE) | payload (c_len bytes)  |
-//! | 1 B  | 1..10 B        | 4 B        | LZSS-compressed JSON   |
+//! | 1 B  | 1..10 B        | 4 B        | LZSS-compressed binser |
 //! +------+----------------+------------+------------------------+
 //! ```
 //!
 //! `kind` is [`REQUEST_KIND`] (`'Q'`) client→server and [`RESPONSE_KIND`]
-//! (`'R'`) server→client; the payload is the JSON encoding of [`Request`]
-//! or [`Response`]. Reusing the pinball container's framing means the same
-//! guarantees apply on the wire as on disk: the CRC is verified before
-//! decompression, a flipped bit or truncated tail surfaces as a typed
-//! [`RecvError`] naming what went wrong — never a panic — and the reader
-//! bounds the declared length ([`MAX_MESSAGE`]) before allocating.
+//! (`'R'`) server→client; the payload is the [`pinzip::binser`] binary
+//! encoding of [`Request`] or [`Response`] — the same record codec the v3
+//! pinball container uses on disk, so large messages (pinball uploads,
+//! slice responses) skip JSON text entirely. Reusing the pinball
+//! container's framing means the same guarantees apply on the wire as on
+//! disk: the CRC is verified before decompression, a flipped bit or
+//! truncated tail surfaces as a typed [`RecvError`] naming what went
+//! wrong — never a panic — and the reader bounds the declared length
+//! ([`MAX_MESSAGE`]) before allocating.
 //!
 //! The protocol is strictly request/response: the client writes one
 //! request frame, the server answers with exactly one response frame.
@@ -50,12 +53,14 @@ pub type SessionId = u64;
 /// A client→server message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
-    /// Store a pinball (v2 container bytes) and the program it replays.
-    /// Identical pinballs — by content digest — dedupe server-side.
+    /// Store a pinball (container bytes, any supported version) and the
+    /// program it replays. Identical pinballs — by content digest — dedupe
+    /// server-side.
     UploadPinball {
         /// The program the pinball was recorded from.
         program: Program,
-        /// Serialized v2 container ([`pinplay::PinballContainer::to_bytes`]).
+        /// Serialized container ([`pinplay::PinballContainer::to_bytes`];
+        /// v1/v2/v3 auto-detect server-side).
         container: Vec<u8>,
     },
     /// Open a pooled [`drdebug::DebugSession`] over an uploaded pinball.
@@ -288,9 +293,12 @@ impl WireSlice {
     }
 
     /// The canonical byte encoding — what "byte-identical slice results"
-    /// means across server and local computation.
+    /// means across server and local computation. Uses the same
+    /// [`pinzip::binser`] codec as the wire frames; the encoding is
+    /// deterministic (interned strings in first-appearance order, sorted
+    /// collections), so equal slices encode to equal bytes.
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("wire slice JSON-serializes")
+        pinzip::binser::to_vec(self)
     }
 
     /// Number of statement instances in the slice.
@@ -548,7 +556,7 @@ pub enum RecvError {
     /// The stream failed mid-message.
     Io(String),
     /// The frame was present but undecodable: truncated, failed its CRC,
-    /// oversized, the wrong kind, or carrying invalid JSON.
+    /// oversized, the wrong kind, or carrying an invalid payload.
     Frame {
         /// What was wrong with it.
         reason: String,
@@ -583,8 +591,7 @@ pub fn write_message<W: Write + ?Sized, T: Serialize>(
     kind: u8,
     value: &T,
 ) -> std::io::Result<()> {
-    let payload =
-        serde_json::to_vec(value).map_err(|e| std::io::Error::other(format!("encode: {e}")))?;
+    let payload = pinzip::binser::to_vec(value);
     let mut buf = Vec::new();
     pinzip::frame::write_frame(&mut buf, kind, &payload);
     w.write_all(&buf)?;
@@ -592,7 +599,7 @@ pub fn write_message<W: Write + ?Sized, T: Serialize>(
 }
 
 /// Reads exactly one protocol frame of the expected kind from the stream
-/// and decodes its JSON payload.
+/// and decodes its binary payload.
 ///
 /// The header is consumed byte-wise (kind, LEB128 length, CRC), the
 /// declared length is bounded by [`MAX_MESSAGE`] *before* the payload is
@@ -654,7 +661,7 @@ pub fn read_message<R: Read + ?Sized, T: serde::Deserialize>(
     read_exact(r, &mut frame_buf[start..])?;
     let mut pos = 0;
     let frame = pinzip::frame::read_frame(&frame_buf, &mut pos).map_err(frame_err)?;
-    serde_json::from_slice(&frame.payload).map_err(|e| frame_err(format!("bad payload: {e}")))
+    pinzip::binser::from_slice(&frame.payload).map_err(|e| frame_err(format!("bad payload: {e}")))
 }
 
 fn read_exact<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<(), RecvError> {

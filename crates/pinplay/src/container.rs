@@ -1,8 +1,8 @@
-//! The v2 pinball container: chunked, checksummed, seekable.
+//! The chunked, checksummed, seekable pinball container (v2 and v3).
 //!
 //! The v1 format compresses the whole pinball as one LZSS blob, so any
 //! damage loses the entire recording and every seek restarts replay from
-//! the region snapshot. The v2 container fixes both:
+//! the region snapshot. The chunked container fixes both:
 //!
 //! * the replay log is split into **frames** (see [`pinzip::frame`]), each
 //!   independently compressed and protected by a CRC-32 of its compressed
@@ -19,7 +19,7 @@
 //! # Wire layout
 //!
 //! ```text
-//! +--------+          magic  b"DRPB2\n"                     (6 bytes)
+//! +--------+          magic  b"DRPB2\n" (v2) / b"DRPB3\n" (v3)  (6 bytes)
 //! | magic  |
 //! +--------+
 //! | frame  |  kind 1: header — meta, snapshot, syscalls,
@@ -37,34 +37,64 @@
 //! +--------+
 //! ```
 //!
-//! Each frame is `[kind u8][varint clen][crc32 LE][LZSS payload]`; payloads
-//! are JSON. Chunk boundaries fall on *event* boundaries (a chunk closes
-//! once it has retired `checkpoint_interval` instructions), computed
-//! deterministically from the log alone — so load → save round-trips
-//! byte-identically, and a plain [`Pinball::to_bytes`] (no checkpoints)
-//! emits the same chunking a checkpointed container uses.
+//! A v2 frame is `[kind u8][varint clen][crc32 LE][LZSS payload]` with a
+//! JSON payload. A v3 frame adds one **codec byte** after the kind —
+//! `[kind][codec][varint clen][crc32 LE][LZSS payload]` — naming how the
+//! payload was serialized before compression (see [`PayloadCodec`]): 0 is
+//! JSON, 1 is the [`pinzip::binser`] binary record codec. The v3 writer
+//! emits binser payloads (smaller before compression, and much faster to
+//! encode and parse than JSON text); the reader dispatches per frame, so a
+//! future writer could mix codecs within one file.
 //!
-//! # v1 compatibility
+//! Chunk boundaries fall on *event* boundaries (a chunk closes once it has
+//! retired `checkpoint_interval` instructions), computed deterministically
+//! from the log alone — so load → save round-trips byte-identically, and a
+//! plain [`Pinball::to_bytes`] (no checkpoints) emits the same chunking a
+//! checkpointed container uses.
+//!
+//! # The parallel chunk pipeline
+//!
+//! Because every frame is self-contained, the expensive per-chunk work
+//! parallelizes. The v3 writer fans chunk encoding (binser serialize →
+//! LZSS compress → CRC) across a worker pool and reassembles the frames in
+//! order, so the output is **byte-identical** to the serial reference
+//! encoder ([`PinballContainer::to_bytes_serial`]). The reader walks frame
+//! *headers* sequentially with [`pinzip::frame::peek_frame`] (cheap — no
+//! payload bytes touched), then fans the CRC verify + decompress +
+//! deserialize of every body frame across the pool, and reassembles in
+//! order with earliest-damage-wins semantics so the error taxonomy matches
+//! the serial scan exactly.
+//!
+//! # Compatibility
 //!
 //! [`PinballContainer::from_bytes`] (and [`Pinball::from_bytes`])
-//! auto-detect the format by the magic: bytes without it take the v1
-//! single-blob path. [`migrate_v1`] rewrites a v1 blob as a v2 container;
-//! [`Pinball::to_bytes_v1`] still writes the old format.
+//! auto-detect the format by the magic: v3, v2, then the v1 single-blob
+//! fallback — see [`detect_version`]. [`migrate`] rewrites any older
+//! format as v3 (preserving embedded checkpoints); [`migrate_v1`] still
+//! rewrites a v1 blob as v2 for tooling pinned to that format, and
+//! [`Pinball::to_bytes_v1`] / [`PinballContainer::to_bytes_v2`] still
+//! write the old formats. The content digest ([`PinballDigest`]) is a
+//! function of the recording alone, so the same pinball digests
+//! identically whichever container version holds it.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use minivm::{ExecState, Program, Snapshot};
+use pinzip::binser;
 use pinzip::crc32::crc32;
-use pinzip::frame::{read_frame, write_frame};
+use pinzip::frame::{decode_payload, peek_frame, write_coded_frame, write_frame, RawFrame};
 
 use crate::pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent};
 use crate::replay::Replayer;
 
 /// Magic bytes opening a v2 container.
 pub const MAGIC: &[u8; 6] = b"DRPB2\n";
+/// Magic bytes opening a v3 container.
+pub const MAGIC_V3: &[u8; 6] = b"DRPB3\n";
 /// Magic bytes closing the 12-byte trailer.
 pub const TRAILER_MAGIC: &[u8; 4] = b"PBIX";
 /// Default checkpoint cadence, in retired instructions per chunk.
@@ -74,6 +104,84 @@ const KIND_HEADER: u8 = 1;
 const KIND_EVENTS: u8 = 2;
 const KIND_CHECKPOINT: u8 = 3;
 const KIND_INDEX: u8 = 4;
+
+/// Container format generations, as detected from leading bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerVersion {
+    /// Single LZSS blob over the JSON pinball (no magic).
+    V1,
+    /// Chunked frames with JSON payloads, magic `DRPB2\n`.
+    V2,
+    /// Chunked frames with a per-frame codec byte, magic `DRPB3\n`.
+    V3,
+}
+
+impl fmt::Display for ContainerVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContainerVersion::V1 => "v1",
+            ContainerVersion::V2 => "v2",
+            ContainerVersion::V3 => "v3",
+        })
+    }
+}
+
+/// Detects the container generation from the magic bytes. Anything without
+/// a container magic is assumed to be a v1 blob (the v1 format has no
+/// magic of its own).
+pub fn detect_version(bytes: &[u8]) -> ContainerVersion {
+    if bytes.starts_with(MAGIC_V3) {
+        ContainerVersion::V3
+    } else if bytes.starts_with(MAGIC) {
+        ContainerVersion::V2
+    } else {
+        ContainerVersion::V1
+    }
+}
+
+/// True when `bytes` open with a chunked-container magic (v2 or v3).
+pub(crate) fn has_container_magic(bytes: &[u8]) -> bool {
+    detect_version(bytes) != ContainerVersion::V1
+}
+
+/// How a frame's payload was serialized before LZSS compression — the v3
+/// codec byte. v2 frames carry no codec byte and are implicitly
+/// [`PayloadCodec::Json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadCodec {
+    /// JSON text (codec byte 0).
+    Json,
+    /// [`pinzip::binser`] binary records (codec byte 1).
+    Binary,
+}
+
+impl PayloadCodec {
+    /// The wire byte naming this codec in a v3 frame header.
+    pub const fn byte(self) -> u8 {
+        match self {
+            PayloadCodec::Json => 0,
+            PayloadCodec::Binary => 1,
+        }
+    }
+
+    /// Parses a wire codec byte; `None` for unassigned values.
+    pub fn from_byte(b: u8) -> Option<PayloadCodec> {
+        match b {
+            0 => Some(PayloadCodec::Json),
+            1 => Some(PayloadCodec::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PayloadCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PayloadCodec::Json => "json",
+            PayloadCodec::Binary => "binary",
+        })
+    }
+}
 
 /// What a container frame holds — used by [`PinballError::Chunk`] to name
 /// the damaged frame.
@@ -123,7 +231,9 @@ fn kind_of(byte: u8) -> ChunkKind {
 /// checkpoints. Two containers holding the same recording therefore share a
 /// digest even when one carries checkpoints and the other does not, which
 /// is what lets a content-addressed store (the `drserve` pinball store and
-/// slice cache) dedupe repeated uploads of the same pinball.
+/// slice cache) dedupe repeated uploads of the same pinball. The digest is
+/// also container-version independent: the canonical payloads are always
+/// JSON, so a v2 and a v3 file of the same recording digest identically.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
@@ -191,9 +301,9 @@ pub struct IndexEntry {
     pub instr: u64,
 }
 
-/// A pinball plus its embedded checkpoints — the in-memory form of a v2
-/// container. Loading preserves the checkpoints, so a load → save cycle is
-/// byte-identical without replaying anything.
+/// A pinball plus its embedded checkpoints — the in-memory form of a
+/// chunked container. Loading preserves the checkpoints, so a load → save
+/// cycle is byte-identical without replaying anything.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PinballContainer {
     /// The recorded region.
@@ -274,26 +384,63 @@ impl PinballContainer {
             .last()
     }
 
-    /// Serializes the container (v2 format).
+    /// Serializes the container (v3 format, binser payloads), encoding
+    /// chunks on a worker pool when more than one core is available. The
+    /// output is byte-identical to [`PinballContainer::to_bytes_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (the binary codec cannot fail on these
+    /// types); the `Result` is kept for API stability with the fallible v2
+    /// path.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
+        Ok(write_container_v3(
+            &self.pinball,
+            &self.checkpoints,
+            self.checkpoint_interval,
+            true,
+        ))
+    }
+
+    /// The serial reference encoder: identical output to
+    /// [`PinballContainer::to_bytes`], produced on the calling thread with
+    /// no pipeline. Exists so tests (and suspicious tools) can verify the
+    /// parallel encoder byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`PinballContainer::to_bytes`].
+    pub fn to_bytes_serial(&self) -> Result<Vec<u8>, PinballError> {
+        Ok(write_container_v3(
+            &self.pinball,
+            &self.checkpoints,
+            self.checkpoint_interval,
+            false,
+        ))
+    }
+
+    /// Serializes the container in the legacy v2 format (JSON payloads,
+    /// serial encoder). Kept for compatibility tooling; new files should
+    /// use [`PinballContainer::to_bytes`].
     ///
     /// # Errors
     ///
     /// Returns [`PinballError::Serialize`] when JSON encoding fails.
-    pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
-        write_container(&self.pinball, &self.checkpoints, self.checkpoint_interval)
+    pub fn to_bytes_v2(&self) -> Result<Vec<u8>, PinballError> {
+        write_container_v2(&self.pinball, &self.checkpoints, self.checkpoint_interval)
     }
 
-    /// Deserializes a container, auto-detecting the format: v2 bytes load
-    /// strictly (any damaged frame is an error naming the chunk); v1 blobs
-    /// load as a container with no checkpoints.
+    /// Deserializes a container, auto-detecting the format: v3 and v2
+    /// bytes load strictly (any damaged frame is an error naming the
+    /// chunk); v1 blobs load as a container with no checkpoints.
     ///
     /// # Errors
     ///
     /// Returns a typed [`PinballError`]: [`PinballError::Chunk`] for a
-    /// damaged v2 frame, [`PinballError::Format`] for structural problems,
+    /// damaged frame, [`PinballError::Format`] for structural problems,
     /// or the v1 errors for v1 blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<PinballContainer, PinballError> {
-        if !bytes.starts_with(MAGIC) {
+        if !has_container_magic(bytes) {
             return Ok(PinballContainer::new(Pinball::from_bytes_v1(bytes)?));
         }
         let loaded = scan(bytes)?;
@@ -314,7 +461,7 @@ impl PinballContainer {
     /// header frame itself is damaged (or the bytes are a damaged v1 blob,
     /// which has no intact prefix to salvage).
     pub fn from_bytes_lossy(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
-        if !bytes.starts_with(MAGIC) {
+        if !has_container_magic(bytes) {
             let pinball = Pinball::from_bytes_v1(bytes)?;
             let expected = pinball.events.len();
             return Ok(LossyLoad {
@@ -337,7 +484,7 @@ impl PinballContainer {
         std::fs::write(path, self.to_bytes()?).map_err(|e| PinballError::Io(e.to_string()))
     }
 
-    /// Reads a container from a file (v1 or v2, auto-detected).
+    /// Reads a container from a file (v1, v2, or v3, auto-detected).
     ///
     /// # Errors
     ///
@@ -348,20 +495,39 @@ impl PinballContainer {
     }
 }
 
-/// Rewrites a v1 single-blob pinball as a v2 container (no checkpoints —
-/// replay it through [`PinballContainer::with_checkpoints`] to add them).
+/// Rewrites a v1 single-blob pinball as a **v2** container (no checkpoints
+/// — replay it through [`PinballContainer::with_checkpoints`] to add
+/// them). Kept for tooling pinned to the v2 format; [`migrate`] targets
+/// the current format instead.
 ///
 /// # Errors
 ///
 /// Returns the v1 decode errors, or [`PinballError::Format`] when `bytes`
-/// is already a v2 container.
+/// is already a chunked container.
 pub fn migrate_v1(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
-    if bytes.starts_with(MAGIC) {
+    if has_container_magic(bytes) {
         return Err(PinballError::Format(
-            "already a v2 container; nothing to migrate".into(),
+            "already a chunked container; nothing to migrate".into(),
         ));
     }
-    PinballContainer::new(Pinball::from_bytes_v1(bytes)?).to_bytes()
+    PinballContainer::new(Pinball::from_bytes_v1(bytes)?).to_bytes_v2()
+}
+
+/// Rewrites a v1 or v2 pinball as a v3 container, preserving any embedded
+/// checkpoints and the checkpoint interval. The recording's
+/// [`PinballDigest`] is unchanged by migration.
+///
+/// # Errors
+///
+/// Returns the load errors of the source format, or
+/// [`PinballError::Format`] when `bytes` is already a v3 container.
+pub fn migrate(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
+    if detect_version(bytes) == ContainerVersion::V3 {
+        return Err(PinballError::Format(
+            "already a v3 container; nothing to migrate".into(),
+        ));
+    }
+    PinballContainer::from_bytes(bytes)?.to_bytes()
 }
 
 /// Computes a pinball's content digest: the CRC-32 of each canonical chunk
@@ -437,10 +603,67 @@ fn ser<T: Serialize>(value: &T) -> Result<Vec<u8>, PinballError> {
     serde_json::to_vec(value).map_err(|e| PinballError::Serialize(e.to_string()))
 }
 
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// How many workers to spin up for `jobs` independent chunk jobs: bounded
+/// by the core count and the job count, and capped so a huge container
+/// does not oversubscribe the machine.
+fn worker_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(jobs).min(8)
+}
+
+/// Runs `f(0..n)` across a scoped worker pool and returns the results in
+/// index order — the ordered-reassembly primitive both pipeline directions
+/// share. Work is distributed by an atomic cursor (dynamic load balancing:
+/// chunk sizes vary, so static striping would leave workers idle). With
+/// one core, one job, or `parallel = false`, everything runs inline on the
+/// calling thread — same results, no threads spawned.
+fn run_ordered<T, F>(n: usize, parallel: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if !parallel || workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("slot lock") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
 /// Serializes a pinball (plus optional checkpoints) into v2 container
 /// bytes. A checkpoint is emitted immediately before the events chunk
 /// whose start position equals its `pos`.
-pub(crate) fn write_container(
+pub(crate) fn write_container_v2(
     pinball: &Pinball,
     checkpoints: &[ReplayCheckpoint],
     interval: u64,
@@ -503,6 +726,110 @@ pub(crate) fn write_container(
     Ok(out)
 }
 
+/// One planned frame of a v3 container — the unit of parallel encoding.
+enum FramePlan<'a> {
+    Header(&'a ContainerHeader),
+    Checkpoint(&'a ReplayCheckpoint),
+    Events {
+        events: &'a [ReplayEvent],
+        start_instr: u64,
+    },
+}
+
+/// Encodes one complete coded frame (binser serialize → LZSS → CRC →
+/// header) into a standalone byte vector, ready for in-order concatenation.
+fn encode_plan(plan: &FramePlan<'_>) -> (ChunkKind, u64, Vec<u8>) {
+    let (kind_byte, kind, instr, payload) = match plan {
+        FramePlan::Header(h) => (KIND_HEADER, ChunkKind::Header, 0, binser::to_vec(*h)),
+        FramePlan::Checkpoint(cp) => (
+            KIND_CHECKPOINT,
+            ChunkKind::Checkpoint,
+            cp.instr,
+            binser::to_vec(*cp),
+        ),
+        FramePlan::Events {
+            events,
+            start_instr,
+        } => (
+            KIND_EVENTS,
+            ChunkKind::Events,
+            *start_instr,
+            binser::to_vec(*events),
+        ),
+    };
+    let mut bytes = Vec::new();
+    write_coded_frame(&mut bytes, kind_byte, PayloadCodec::Binary.byte(), &payload);
+    (kind, instr, bytes)
+}
+
+/// Serializes a pinball (plus optional checkpoints) into v3 container
+/// bytes: coded frames with binser payloads. With `parallel`, chunk
+/// encoding fans out across a worker pool; reassembly is in frame order,
+/// so the output is byte-identical either way. Infallible: the binary
+/// codec cannot fail on these plain data types.
+pub(crate) fn write_container_v3(
+    pinball: &Pinball,
+    checkpoints: &[ReplayCheckpoint],
+    interval: u64,
+    parallel: bool,
+) -> Vec<u8> {
+    let interval = interval.max(1);
+    let header = ContainerHeader {
+        meta: pinball.meta.clone(),
+        snapshot: pinball.snapshot.clone(),
+        syscalls: pinball.syscalls.clone(),
+        exit: pinball.exit,
+        num_events: pinball.events.len() as u64,
+        checkpoint_interval: interval,
+    };
+    let mut plans = vec![FramePlan::Header(&header)];
+    for (start_ev, end_ev, start_instr) in chunk_ranges(&pinball.events, interval) {
+        if let Some(cp) = checkpoints.iter().find(|cp| cp.pos == start_ev) {
+            plans.push(FramePlan::Checkpoint(cp));
+        }
+        plans.push(FramePlan::Events {
+            events: &pinball.events[start_ev..end_ev],
+            start_instr,
+        });
+    }
+
+    let encoded = run_ordered(plans.len(), parallel, |i| encode_plan(&plans[i]));
+
+    let total: usize = encoded.iter().map(|(_, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(MAGIC_V3.len() + total + 64 + 32 * encoded.len());
+    out.extend_from_slice(MAGIC_V3);
+    let mut index = Vec::with_capacity(encoded.len() + 1);
+    for (chunk, (kind, instr, bytes)) in encoded.iter().enumerate() {
+        index.push(IndexEntry {
+            chunk,
+            kind: *kind,
+            offset: out.len() as u64,
+            instr: *instr,
+        });
+        out.extend_from_slice(bytes);
+    }
+    let index_off = out.len() as u64;
+    index.push(IndexEntry {
+        chunk: encoded.len(),
+        kind: ChunkKind::Index,
+        offset: index_off,
+        instr: 0,
+    });
+    write_coded_frame(
+        &mut out,
+        KIND_INDEX,
+        PayloadCodec::Binary.byte(),
+        &binser::to_vec(&index),
+    );
+    out.extend_from_slice(&index_off.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
 fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> PinballError {
     PinballError::Chunk {
         chunk,
@@ -511,78 +838,92 @@ fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> Pinbal
     }
 }
 
-/// Sequentially scans a v2 container, verifying every frame's CRC, and
-/// returns the recovered prefix plus the first damage found (as
+/// Deserializes one frame payload according to its codec byte: absent
+/// (v2 frame) or 0 means JSON, 1 means binser.
+fn decode_by_codec<T: Deserialize>(payload: &[u8], codec: Option<u8>) -> Result<T, String> {
+    match codec {
+        None => serde_json::from_slice(payload).map_err(|e| e.to_string()),
+        Some(b) => match PayloadCodec::from_byte(b) {
+            Some(PayloadCodec::Json) => serde_json::from_slice(payload).map_err(|e| e.to_string()),
+            Some(PayloadCodec::Binary) => binser::from_slice(payload).map_err(|e| e.to_string()),
+            None => Err(format!("unknown payload codec {b}")),
+        },
+    }
+}
+
+/// A decoded body frame of the scan pipeline.
+enum BodyPayload {
+    Events(Vec<ReplayEvent>),
+    Checkpoint(ReplayCheckpoint),
+}
+
+/// Scans a v2 or v3 container, verifying every frame's CRC, and returns
+/// the recovered prefix plus the first damage found (as
 /// [`LossyLoad::damage`]). The header frame must be intact — without it
 /// there is no snapshot to replay from, so damage there is a hard error.
+///
+/// The walk over frame *headers* is sequential (frame lengths chain), but
+/// the expensive per-frame work — CRC verify, LZSS decompress, payload
+/// deserialize — fans out across a worker pool and reassembles in order.
+/// Damage is attributed to the earliest damaged chunk, exactly as a serial
+/// front-to-back scan would report it, and only events from chunks before
+/// that point are kept.
 fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
+    let has_codec = detect_version(bytes) == ContainerVersion::V3;
     let mut pos = MAGIC.len();
-    let mut chunk = 0usize;
 
-    // Header frame: required.
+    // Header frame: required, decoded strictly before anything else.
     let header: ContainerHeader = {
-        let frame = read_frame(bytes, &mut pos)
-            .map_err(|e| chunk_err(0, peek_kind(bytes, MAGIC.len()), e))?;
-        if frame.kind != KIND_HEADER {
+        let raw = peek_frame(bytes, pos, has_codec)
+            .map_err(|e| chunk_err(0, peek_kind(bytes, pos), e))?;
+        if raw.kind != KIND_HEADER {
             return Err(chunk_err(
                 0,
-                kind_of(frame.kind),
+                kind_of(raw.kind),
                 "first frame is not the container header",
             ));
         }
-        serde_json::from_slice(&frame.payload)
+        let payload =
+            decode_payload(bytes, &raw).map_err(|e| chunk_err(0, ChunkKind::Header, e))?;
+        pos += raw.encoded_len;
+        decode_by_codec(&payload, raw.codec)
             .map_err(|e| chunk_err(0, ChunkKind::Header, format!("bad header payload: {e}")))?
     };
-    chunk += 1;
 
-    let mut events: Vec<ReplayEvent> = Vec::new();
-    let mut checkpoints: Vec<ReplayCheckpoint> = Vec::new();
-    let mut damage: Option<PinballError> = None;
-    let mut index_frame_off: Option<usize> = None;
-
-    while damage.is_none() {
+    // Sequential header walk: collect body frames without touching their
+    // payload bytes. Stops at the index frame or the first structural
+    // damage; a CRC-damaged body frame passes through here (its header is
+    // intact) and is caught by the decode stage below, at the same chunk
+    // ordinal a serial scan would report.
+    let mut chunk = 1usize;
+    let mut body: Vec<(usize, RawFrame)> = Vec::new();
+    let mut index_frame: Option<(usize, RawFrame, usize)> = None;
+    let mut walk_damage: Option<PinballError> = None;
+    loop {
         if pos >= bytes.len() {
-            damage = Some(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
+            walk_damage = Some(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
             break;
         }
         let frame_off = pos;
-        let frame = match read_frame(bytes, &mut pos) {
-            Ok(f) => f,
+        let raw = match peek_frame(bytes, pos, has_codec) {
+            Ok(r) => r,
             Err(e) => {
-                damage = Some(chunk_err(chunk, peek_kind(bytes, frame_off), e));
+                walk_damage = Some(chunk_err(chunk, peek_kind(bytes, frame_off), e));
                 break;
             }
         };
-        match frame.kind {
-            KIND_EVENTS => match serde_json::from_slice::<Vec<ReplayEvent>>(&frame.payload) {
-                Ok(mut evs) => events.append(&mut evs),
-                Err(e) => {
-                    damage = Some(chunk_err(
-                        chunk,
-                        ChunkKind::Events,
-                        format!("bad events payload: {e}"),
-                    ));
-                    break;
-                }
-            },
-            KIND_CHECKPOINT => match serde_json::from_slice::<ReplayCheckpoint>(&frame.payload) {
-                Ok(cp) => checkpoints.push(cp),
-                Err(e) => {
-                    damage = Some(chunk_err(
-                        chunk,
-                        ChunkKind::Checkpoint,
-                        format!("bad checkpoint payload: {e}"),
-                    ));
-                    break;
-                }
-            },
-            KIND_INDEX => {
-                index_frame_off = Some(frame_off);
+        pos += raw.encoded_len;
+        match raw.kind {
+            KIND_EVENTS | KIND_CHECKPOINT => {
+                body.push((chunk, raw));
                 chunk += 1;
+            }
+            KIND_INDEX => {
+                index_frame = Some((chunk, raw, frame_off));
                 break;
             }
             other => {
-                damage = Some(chunk_err(
+                walk_damage = Some(chunk_err(
                     chunk,
                     kind_of(other),
                     format!("unexpected frame kind {other}"),
@@ -590,24 +931,87 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
                 break;
             }
         }
-        chunk += 1;
     }
 
-    // Trailer: index offset + magic. Only meaningful when the scan reached
-    // the index frame.
+    // Parallel decode: CRC verify + decompress + deserialize each body
+    // frame independently; reassemble in order below.
+    let decoded = run_ordered(body.len(), true, |i| {
+        let (chunk, raw) = &body[i];
+        let payload =
+            decode_payload(bytes, raw).map_err(|e| chunk_err(*chunk, kind_of(raw.kind), e))?;
+        if raw.kind == KIND_EVENTS {
+            decode_by_codec::<Vec<ReplayEvent>>(&payload, raw.codec)
+                .map(BodyPayload::Events)
+                .map_err(|e| {
+                    chunk_err(
+                        *chunk,
+                        ChunkKind::Events,
+                        format!("bad events payload: {e}"),
+                    )
+                })
+        } else {
+            decode_by_codec::<ReplayCheckpoint>(&payload, raw.codec)
+                .map(BodyPayload::Checkpoint)
+                .map_err(|e| {
+                    chunk_err(
+                        *chunk,
+                        ChunkKind::Checkpoint,
+                        format!("bad checkpoint payload: {e}"),
+                    )
+                })
+        }
+    });
+
+    // Ordered reassembly, earliest damage wins: body frames precede any
+    // walk damage in the file, so a decode failure at chunk j overrides
+    // walk damage at chunk k > j, and events stop accumulating at the
+    // first damaged chunk — identical to a serial front-to-back scan.
+    let mut events: Vec<ReplayEvent> = Vec::new();
+    let mut checkpoints: Vec<ReplayCheckpoint> = Vec::new();
+    let mut damage: Option<PinballError> = None;
+    for res in decoded {
+        match res {
+            Ok(BodyPayload::Events(mut evs)) => events.append(&mut evs),
+            Ok(BodyPayload::Checkpoint(cp)) => checkpoints.push(cp),
+            Err(e) => {
+                damage = Some(e);
+                break;
+            }
+        }
+    }
     if damage.is_none() {
-        if let Some(index_off) = index_frame_off {
-            let trailer = &bytes[pos..];
-            let ok = trailer.len() == 12
-                && &trailer[8..] == TRAILER_MAGIC
-                && u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"))
-                    == index_off as u64;
-            if !ok {
+        damage = walk_damage;
+    }
+
+    // Index frame and trailer: the index contents are advisory (offsets
+    // for random access — nothing above depends on them), but the frame
+    // must verify and parse, and the trailer must check out, for the file
+    // to count as intact. Parsing per codec also catches a damaged codec
+    // byte, which the CRC (covering only the payload) cannot see.
+    if damage.is_none() {
+        if let Some((ichunk, ref raw, frame_off)) = index_frame {
+            let index_ok = decode_payload(bytes, raw)
+                .map_err(|e| e.to_string())
+                .and_then(|payload| decode_by_codec::<Vec<IndexEntry>>(&payload, raw.codec));
+            if let Err(e) = index_ok {
                 damage = Some(chunk_err(
-                    chunk.saturating_sub(1),
+                    ichunk,
                     ChunkKind::Index,
-                    "bad trailer (index offset or magic mismatch)",
+                    format!("bad index payload: {e}"),
                 ));
+            } else {
+                let trailer = &bytes[pos..];
+                let ok = trailer.len() == 12
+                    && &trailer[8..] == TRAILER_MAGIC
+                    && u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"))
+                        == frame_off as u64;
+                if !ok {
+                    damage = Some(chunk_err(
+                        ichunk,
+                        ChunkKind::Index,
+                        "bad trailer (index offset or magic mismatch)",
+                    ));
+                }
             }
         }
     }
@@ -649,6 +1053,198 @@ fn peek_kind(bytes: &[u8], offset: usize) -> ChunkKind {
     bytes
         .get(offset)
         .map_or(ChunkKind::Unknown, |&b| kind_of(b))
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+/// Size and codec facts about one frame of a container, from [`inspect`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameReport {
+    /// Frame ordinal in the file (0 = header).
+    pub chunk: usize,
+    /// What the frame holds.
+    pub kind: ChunkKind,
+    /// How the payload is serialized (v2 frames are implicitly JSON).
+    pub codec: PayloadCodec,
+    /// LZSS-compressed payload size on disk, in bytes.
+    pub compressed_len: usize,
+    /// Decompressed payload size, in bytes.
+    pub uncompressed_len: usize,
+}
+
+/// A structural report over a pinball file: version, per-frame codec and
+/// sizes, and totals. Produced by [`inspect`]; rendered by the `drdebug`
+/// CLI's `info container`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerReport {
+    /// Detected container generation.
+    pub version: ContainerVersion,
+    /// Total file size in bytes.
+    pub file_len: usize,
+    /// Events the header promises (v1: the actual event count).
+    pub num_events: u64,
+    /// Embedded checkpoint frames.
+    pub checkpoints: usize,
+    /// Chunk cadence in retired instructions.
+    pub checkpoint_interval: u64,
+    /// Per-frame facts, in file order (v1: one pseudo-frame for the blob).
+    pub frames: Vec<FrameReport>,
+}
+
+impl ContainerReport {
+    /// Sum of compressed payload sizes across all frames.
+    pub fn compressed_total(&self) -> usize {
+        self.frames.iter().map(|f| f.compressed_len).sum()
+    }
+
+    /// Sum of decompressed payload sizes across all frames.
+    pub fn uncompressed_total(&self) -> usize {
+        self.frames.iter().map(|f| f.uncompressed_len).sum()
+    }
+
+    /// Compression ratio, uncompressed : compressed, in percent of space
+    /// saved (0 when empty).
+    pub fn ratio_percent(&self) -> u32 {
+        let unc = self.uncompressed_total();
+        if unc == 0 {
+            return 0;
+        }
+        let saved = unc.saturating_sub(self.compressed_total());
+        (saved * 100 / unc) as u32
+    }
+}
+
+impl fmt::Display for ContainerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "container {}: {} bytes, {} events, {} checkpoints, interval {}",
+            self.version,
+            self.file_len,
+            self.num_events,
+            self.checkpoints,
+            self.checkpoint_interval
+        )?;
+        writeln!(
+            f,
+            "payloads: {} compressed / {} uncompressed ({}% saved)",
+            self.compressed_total(),
+            self.uncompressed_total(),
+            self.ratio_percent()
+        )?;
+        writeln!(
+            f,
+            "{:>5}  {:<10}  {:<6}  {:>10}  {:>12}",
+            "chunk", "kind", "codec", "compressed", "uncompressed"
+        )?;
+        for fr in &self.frames {
+            writeln!(
+                f,
+                "{:>5}  {:<10}  {:<6}  {:>10}  {:>12}",
+                fr.chunk,
+                fr.kind.to_string(),
+                fr.codec.to_string(),
+                fr.compressed_len,
+                fr.uncompressed_len
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Walks a pinball file and reports its version, per-frame codecs, and
+/// compressed/uncompressed sizes. Strict: a damaged frame is an error (use
+/// [`PinballContainer::from_bytes_lossy`] to salvage damaged files).
+///
+/// # Errors
+///
+/// Returns [`PinballError::Chunk`] for a damaged frame,
+/// [`PinballError::Format`] for structural problems, and the v1 errors for
+/// v1 blobs.
+pub fn inspect(bytes: &[u8]) -> Result<ContainerReport, PinballError> {
+    let version = detect_version(bytes);
+    if version == ContainerVersion::V1 {
+        let pinball = Pinball::from_bytes_v1(bytes)?;
+        let json = ser(&pinball)?;
+        return Ok(ContainerReport {
+            version,
+            file_len: bytes.len(),
+            num_events: pinball.events.len() as u64,
+            checkpoints: 0,
+            checkpoint_interval: 0,
+            frames: vec![FrameReport {
+                chunk: 0,
+                kind: ChunkKind::Unknown,
+                codec: PayloadCodec::Json,
+                compressed_len: bytes.len(),
+                uncompressed_len: json.len(),
+            }],
+        });
+    }
+
+    let has_codec = version == ContainerVersion::V3;
+    let mut pos = MAGIC.len();
+    let mut chunk = 0usize;
+    let mut frames = Vec::new();
+    let mut header: Option<ContainerHeader> = None;
+    let mut checkpoints = 0usize;
+    loop {
+        if pos >= bytes.len() {
+            return Err(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
+        }
+        let raw = peek_frame(bytes, pos, has_codec)
+            .map_err(|e| chunk_err(chunk, peek_kind(bytes, pos), e))?;
+        let payload =
+            decode_payload(bytes, &raw).map_err(|e| chunk_err(chunk, kind_of(raw.kind), e))?;
+        let codec = match raw.codec {
+            None => PayloadCodec::Json,
+            Some(b) => PayloadCodec::from_byte(b).ok_or_else(|| {
+                chunk_err(
+                    chunk,
+                    kind_of(raw.kind),
+                    format!("unknown payload codec {b}"),
+                )
+            })?,
+        };
+        if chunk == 0 {
+            if raw.kind != KIND_HEADER {
+                return Err(chunk_err(
+                    0,
+                    kind_of(raw.kind),
+                    "first frame is not the container header",
+                ));
+            }
+            header = Some(decode_by_codec(&payload, raw.codec).map_err(|e| {
+                chunk_err(0, ChunkKind::Header, format!("bad header payload: {e}"))
+            })?);
+        }
+        if raw.kind == KIND_CHECKPOINT {
+            checkpoints += 1;
+        }
+        frames.push(FrameReport {
+            chunk,
+            kind: kind_of(raw.kind),
+            codec,
+            compressed_len: raw.payload.len(),
+            uncompressed_len: payload.len(),
+        });
+        pos += raw.encoded_len;
+        chunk += 1;
+        if raw.kind == KIND_INDEX {
+            break;
+        }
+    }
+    let header = header.expect("loop decoded the header before breaking");
+    Ok(ContainerReport {
+        version,
+        file_len: bytes.len(),
+        num_events: header.num_events,
+        checkpoints,
+        checkpoint_interval: header.checkpoint_interval,
+        frames,
+    })
 }
 
 #[cfg(test)]
@@ -717,31 +1313,74 @@ mod tests {
     }
 
     #[test]
-    fn v2_roundtrip_preserves_pinball_and_checkpoints() {
+    fn v3_roundtrip_preserves_pinball_and_checkpoints() {
         let (program, pinball) = record();
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
         assert!(!c.checkpoints.is_empty());
         let bytes = c.to_bytes().unwrap();
+        assert!(bytes.starts_with(MAGIC_V3));
+        let d = PinballContainer::from_bytes(&bytes).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_pinball_and_checkpoints() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        let bytes = c.to_bytes_v2().unwrap();
         assert!(bytes.starts_with(MAGIC));
         let d = PinballContainer::from_bytes(&bytes).unwrap();
         assert_eq!(c, d);
     }
 
     #[test]
+    fn parallel_and_serial_encoders_agree() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        assert_eq!(c.to_bytes().unwrap(), c.to_bytes_serial().unwrap());
+    }
+
+    #[test]
+    fn v3_is_smaller_than_v2() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        let v3 = c.to_bytes().unwrap();
+        let v2 = c.to_bytes_v2().unwrap();
+        assert!(
+            v3.len() <= v2.len(),
+            "v3 ({}) should not exceed v2 ({})",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
     fn load_save_is_byte_identical() {
         let (program, pinball) = record();
-        let bytes = PinballContainer::with_checkpoints(pinball, &program, 256)
-            .to_bytes()
-            .unwrap();
-        let reloaded = PinballContainer::from_bytes(&bytes).unwrap();
-        assert_eq!(reloaded.to_bytes().unwrap(), bytes);
+        let container = PinballContainer::with_checkpoints(pinball, &program, 256);
+        let v3 = container.to_bytes().unwrap();
+        assert_eq!(
+            PinballContainer::from_bytes(&v3)
+                .unwrap()
+                .to_bytes()
+                .unwrap(),
+            v3
+        );
+        let v2 = container.to_bytes_v2().unwrap();
+        assert_eq!(
+            PinballContainer::from_bytes(&v2)
+                .unwrap()
+                .to_bytes_v2()
+                .unwrap(),
+            v2
+        );
     }
 
     #[test]
     fn v1_blob_autodetects() {
         let (_, pinball) = record();
         let v1 = pinball.to_bytes_v1().unwrap();
-        assert!(!v1.starts_with(MAGIC));
+        assert_eq!(detect_version(&v1), ContainerVersion::V1);
         let c = PinballContainer::from_bytes(&v1).unwrap();
         assert_eq!(c.pinball, pinball);
         assert!(c.checkpoints.is_empty());
@@ -758,19 +1397,49 @@ mod tests {
     }
 
     #[test]
+    fn migrate_upgrades_v1_and_v2_to_v3() {
+        let (program, pinball) = record();
+        let digest = pinball.digest();
+
+        let v1 = pinball.to_bytes_v1().unwrap();
+        let from_v1 = migrate(&v1).unwrap();
+        assert_eq!(detect_version(&from_v1), ContainerVersion::V3);
+        assert_eq!(
+            PinballContainer::from_bytes(&from_v1).unwrap().pinball,
+            pinball
+        );
+
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        let v2 = c.to_bytes_v2().unwrap();
+        let from_v2 = migrate(&v2).unwrap();
+        assert_eq!(detect_version(&from_v2), ContainerVersion::V3);
+        let upgraded = PinballContainer::from_bytes(&from_v2).unwrap();
+        assert_eq!(upgraded, c, "migration preserves checkpoints and interval");
+        assert_eq!(upgraded.digest(), digest);
+
+        assert!(matches!(migrate(&from_v2), Err(PinballError::Format(_))));
+    }
+
+    #[test]
     fn corrupt_chunk_is_named() {
         let (program, pinball) = record();
-        let bytes = PinballContainer::with_checkpoints(pinball, &program, 128)
-            .to_bytes()
-            .unwrap();
-        // Flip a bit well past the header frame.
-        let mut bad = bytes.clone();
-        let target = bytes.len() * 3 / 4;
-        bad[target] ^= 0x10;
-        let err = PinballContainer::from_bytes(&bad).unwrap_err();
-        match err {
-            PinballError::Chunk { chunk, .. } => assert!(chunk > 0),
-            other => panic!("expected Chunk error, got {other:?}"),
+        for bytes in [
+            PinballContainer::with_checkpoints(pinball.clone(), &program, 128)
+                .to_bytes()
+                .unwrap(),
+            PinballContainer::with_checkpoints(pinball, &program, 128)
+                .to_bytes_v2()
+                .unwrap(),
+        ] {
+            // Flip a bit well past the header frame.
+            let mut bad = bytes.clone();
+            let target = bytes.len() * 3 / 4;
+            bad[target] ^= 0x10;
+            let err = PinballContainer::from_bytes(&bad).unwrap_err();
+            match err {
+                PinballError::Chunk { chunk, .. } => assert!(chunk > 0),
+                other => panic!("expected Chunk error, got {other:?}"),
+            }
         }
     }
 
@@ -806,6 +1475,17 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_container_version_independent() {
+        let (program, pinball) = record();
+        let base = pinball.digest();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        let via_v2 = PinballContainer::from_bytes(&c.to_bytes_v2().unwrap()).unwrap();
+        let via_v3 = PinballContainer::from_bytes(&c.to_bytes().unwrap()).unwrap();
+        assert_eq!(via_v2.digest(), base);
+        assert_eq!(via_v3.digest(), base);
+    }
+
+    #[test]
     fn digest_distinguishes_different_recordings() {
         let (_, pinball) = record();
         let base = pinball.digest();
@@ -816,7 +1496,7 @@ mod tests {
         let mut shorter = pinball.clone();
         shorter.events.pop();
         assert_ne!(base, shorter.digest());
-        // And a round-trip through the v2 format preserves it.
+        // And a round-trip through the container format preserves it.
         let bytes = PinballContainer::new(pinball).to_bytes().unwrap();
         let reloaded = PinballContainer::from_bytes(&bytes).unwrap();
         assert_eq!(base, reloaded.digest());
@@ -829,5 +1509,72 @@ mod tests {
         let c = PinballContainer::new(pinball);
         let bytes = c.to_bytes().unwrap();
         assert_eq!(PinballContainer::from_bytes(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn inspect_reports_frames_and_codecs() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+
+        let v3 = c.to_bytes().unwrap();
+        let report = inspect(&v3).unwrap();
+        assert_eq!(report.version, ContainerVersion::V3);
+        assert_eq!(report.file_len, v3.len());
+        assert_eq!(report.num_events, c.pinball.events.len() as u64);
+        assert_eq!(report.checkpoints, c.checkpoints.len());
+        assert!(report.frames.len() > 3);
+        assert_eq!(report.frames[0].kind, ChunkKind::Header);
+        assert_eq!(report.frames.last().unwrap().kind, ChunkKind::Index);
+        assert!(report
+            .frames
+            .iter()
+            .all(|fr| fr.codec == PayloadCodec::Binary));
+        assert!(report.uncompressed_total() > report.compressed_total());
+        let rendered = report.to_string();
+        assert!(rendered.contains("container v3"));
+        assert!(rendered.contains("binary"));
+
+        let v2 = c.to_bytes_v2().unwrap();
+        let report2 = inspect(&v2).unwrap();
+        assert_eq!(report2.version, ContainerVersion::V2);
+        assert!(report2
+            .frames
+            .iter()
+            .all(|fr| fr.codec == PayloadCodec::Json));
+        assert_eq!(report2.num_events, report.num_events);
+
+        let v1 = c.pinball.to_bytes_v1().unwrap();
+        let report1 = inspect(&v1).unwrap();
+        assert_eq!(report1.version, ContainerVersion::V1);
+        assert_eq!(report1.frames.len(), 1);
+    }
+
+    #[test]
+    fn inspect_rejects_damage() {
+        let (_, pinball) = record();
+        let mut bytes = PinballContainer::new(pinball).to_bytes().unwrap();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x04;
+        assert!(matches!(
+            inspect(&bytes),
+            Err(PinballError::Chunk { .. }) | Err(PinballError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn detect_version_distinguishes_formats() {
+        assert_eq!(detect_version(b"DRPB2\nrest"), ContainerVersion::V2);
+        assert_eq!(detect_version(b"DRPB3\nrest"), ContainerVersion::V3);
+        assert_eq!(detect_version(b"anything else"), ContainerVersion::V1);
+        assert_eq!(detect_version(b""), ContainerVersion::V1);
+    }
+
+    #[test]
+    fn run_ordered_preserves_order() {
+        for parallel in [false, true] {
+            let out = run_ordered(37, parallel, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_ordered(0, true, |i| i).is_empty());
     }
 }

@@ -57,8 +57,9 @@ pub mod relog;
 pub mod replay;
 
 pub use container::{
-    migrate_v1, ChunkKind, LossyLoad, PinballContainer, PinballDigest, ReplayCheckpoint,
-    DEFAULT_CHECKPOINT_INTERVAL, MAGIC,
+    detect_version, inspect, migrate, migrate_v1, ChunkKind, ContainerReport, ContainerVersion,
+    FrameReport, LossyLoad, PayloadCodec, PinballContainer, PinballDigest, ReplayCheckpoint,
+    DEFAULT_CHECKPOINT_INTERVAL, MAGIC, MAGIC_V3,
 };
 pub use logger::{record_region, record_whole_program, LogError, Recording};
 pub use pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent, ScheduleBuilder};

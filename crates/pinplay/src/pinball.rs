@@ -118,16 +118,23 @@ impl Pinball {
             .saturating_sub(1)
     }
 
-    /// Serializes the pinball in the chunked v2 container format (the bytes
+    /// Serializes the pinball in the chunked v3 container format (the bytes
     /// written by [`Pinball::save`]), without embedded checkpoints — use
     /// [`PinballContainer::with_checkpoints`](crate::PinballContainer) to
-    /// add those.
+    /// add those. Chunks are encoded on a worker pool when more than one
+    /// core is available; the output is byte-identical either way.
     ///
     /// # Errors
     ///
-    /// Returns [`PinballError::Serialize`] when JSON encoding fails.
+    /// Infallible in practice; the `Result` is kept for API stability with
+    /// the fallible JSON-backed paths.
     pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
-        crate::container::write_container(self, &[], crate::container::DEFAULT_CHECKPOINT_INTERVAL)
+        Ok(crate::container::write_container_v3(
+            self,
+            &[],
+            crate::container::DEFAULT_CHECKPOINT_INTERVAL,
+            true,
+        ))
     }
 
     /// Serializes in the legacy v1 format: one LZSS blob over the whole
@@ -143,17 +150,17 @@ impl Pinball {
         Ok(pinzip::compress(&json))
     }
 
-    /// Deserializes a pinball, auto-detecting the v2 container magic and
-    /// falling back to the v1 single-blob format. Embedded checkpoints are
-    /// dropped — load a [`PinballContainer`](crate::PinballContainer) to
-    /// keep them.
+    /// Deserializes a pinball, auto-detecting the container magic (v3 or
+    /// v2) and falling back to the v1 single-blob format. Embedded
+    /// checkpoints are dropped — load a
+    /// [`PinballContainer`](crate::PinballContainer) to keep them.
     ///
     /// # Errors
     ///
     /// Returns [`PinballError`] when decompression, a chunk checksum, or
     /// deserialization fails.
     pub fn from_bytes(bytes: &[u8]) -> Result<Pinball, PinballError> {
-        if bytes.starts_with(crate::container::MAGIC) {
+        if crate::container::has_container_magic(bytes) {
             return Ok(crate::container::PinballContainer::from_bytes(bytes)?.pinball);
         }
         Pinball::from_bytes_v1(bytes)
@@ -211,8 +218,8 @@ pub enum PinballError {
     Decompress(pinzip::DecodeError),
     /// The decompressed payload is not a valid pinball.
     Format(String),
-    /// A specific frame of a v2 container is damaged. Chunks before it are
-    /// intact and recoverable via
+    /// A specific frame of a chunked container (v2/v3) is damaged. Chunks
+    /// before it are intact and recoverable via
     /// [`PinballContainer::from_bytes_lossy`](crate::PinballContainer::from_bytes_lossy).
     Chunk {
         /// Frame ordinal in the file (0 = header frame).

@@ -1,14 +1,19 @@
-//! Property tests for the v2 pinball container.
+//! Property tests for the chunked pinball containers (v2 and v3).
 //!
 //! Over randomized multi-threaded recordings (worker count, per-worker
 //! loop length, scheduler seed and quantum, checkpoint interval all
 //! drawn by proptest):
 //!
 //! 1. **Byte-identical round-trip** — `to_bytes` → `from_bytes` →
-//!    `to_bytes` reproduces the exact container bytes. Chunk boundaries,
-//!    embedded checkpoints, and the footer index are all deterministic
-//!    functions of the log, so a load/save cycle is the identity.
-//! 2. **Seek equivalence** — restoring any embedded checkpoint via
+//!    `to_bytes` reproduces the exact container bytes, in both formats.
+//!    Chunk boundaries, embedded checkpoints, and the footer index are
+//!    all deterministic functions of the log, so a load/save cycle is
+//!    the identity.
+//! 2. **Differential encoders** — the parallel v3 chunk pipeline emits
+//!    bytes identical to the serial reference encoder, and the v2 and v3
+//!    serializations of one container load back to equal containers with
+//!    equal digests.
+//! 3. **Seek equivalence** — restoring any embedded checkpoint via
 //!    `Replayer::seek_to` and replaying to the end retires the same
 //!    instruction count and lands on bit-identical final state as a
 //!    cold replay of the whole region.
@@ -92,7 +97,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn v2_save_load_is_byte_identical(
+    fn save_load_is_byte_identical_in_both_formats(
         workers in 1usize..4,
         iters in 5u64..60,
         sched_seed in any::<u64>(),
@@ -102,11 +107,52 @@ proptest! {
     ) {
         let (program, pinball) = record(workers, iters, sched_seed, quantum, env_seed);
         let container = PinballContainer::with_checkpoints(pinball, &program, interval);
-        let bytes = container.to_bytes().expect("serializes");
-        let reloaded = PinballContainer::from_bytes(&bytes).expect("loads");
-        prop_assert_eq!(&reloaded, &container, "container round-trips");
-        let rebytes = reloaded.to_bytes().expect("re-serializes");
-        prop_assert_eq!(rebytes, bytes, "load -> save is byte-identical");
+
+        let v3 = container.to_bytes().expect("v3 serializes");
+        let reloaded = PinballContainer::from_bytes(&v3).expect("v3 loads");
+        prop_assert_eq!(&reloaded, &container, "v3 round-trips");
+        prop_assert_eq!(
+            reloaded.to_bytes().expect("re-serializes"),
+            v3,
+            "v3 load -> save is byte-identical"
+        );
+
+        let v2 = container.to_bytes_v2().expect("v2 serializes");
+        let reloaded2 = PinballContainer::from_bytes(&v2).expect("v2 loads");
+        prop_assert_eq!(&reloaded2, &container, "v2 round-trips");
+        prop_assert_eq!(
+            reloaded2.to_bytes_v2().expect("re-serializes"),
+            v2,
+            "v2 load -> save is byte-identical"
+        );
+    }
+
+    #[test]
+    fn parallel_encoder_matches_serial_reference(
+        workers in 1usize..4,
+        iters in 5u64..60,
+        sched_seed in any::<u64>(),
+        quantum in 1u32..16,
+        interval in 8u64..200,
+    ) {
+        let (program, pinball) = record(workers, iters, sched_seed, quantum, 7);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+
+        let parallel = container.to_bytes().expect("parallel serializes");
+        let serial = container.to_bytes_serial().expect("serial serializes");
+        prop_assert_eq!(&parallel, &serial, "pipeline output is byte-identical");
+
+        // The two container generations carry the same recording: equal
+        // containers, equal digests, and the binary format never larger.
+        let v2 = container.to_bytes_v2().expect("v2 serializes");
+        let via_v2 = PinballContainer::from_bytes(&v2).expect("v2 loads");
+        let via_v3 = PinballContainer::from_bytes(&parallel).expect("v3 loads");
+        prop_assert_eq!(&via_v2, &via_v3, "formats agree on contents");
+        prop_assert_eq!(via_v2.digest(), via_v3.digest(), "formats agree on digest");
+        prop_assert!(
+            parallel.len() <= v2.len(),
+            "v3 ({}) must not exceed v2 ({})", parallel.len(), v2.len()
+        );
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! Corruption fuzzing for the v2 pinball container.
+//! Corruption fuzzing for the chunked pinball containers (v2 and v3).
 //!
 //! Every single-bit flip and every truncation of a container must
 //! surface as a typed [`PinballError`] — never a panic — and flips
 //! inside the framed region must name the damaged chunk. Truncations
 //! additionally exercise lossy loading: the intact prefix must still
-//! replay deterministically.
+//! replay deterministically. Both container generations run through the
+//! same harness: v3 adds a per-frame codec byte and binary payloads, and
+//! must be exactly as tamper-evident as the v2 format it replaces.
 
 use std::sync::Arc;
 
 use minivm::{assemble, LiveEnv, NullTool, Program, RoundRobin};
 use pinplay::{
-    record_whole_program, PinballContainer, PinballError, ReplayStatus, Replayer, MAGIC,
+    detect_version, migrate, record_whole_program, ContainerVersion, PinballContainer,
+    PinballError, ReplayStatus, Replayer,
 };
 
 fn record() -> (Arc<Program>, PinballContainer) {
@@ -61,29 +64,43 @@ fn record() -> (Arc<Program>, PinballContainer) {
     (program, container)
 }
 
+/// The two chunked serializations of one container, tagged for messages.
+fn encodings(container: &PinballContainer) -> [(&'static str, Vec<u8>); 2] {
+    [
+        ("v3", container.to_bytes().expect("v3 serializes")),
+        ("v2", container.to_bytes_v2().expect("v2 serializes")),
+    ]
+}
+
+const MAGIC_LEN: usize = 6;
+
 #[test]
 fn every_single_bit_flip_is_a_typed_error() {
     let (_, container) = record();
-    let bytes = container.to_bytes().expect("serializes");
-    assert!(bytes.len() > 256, "fuzz target too small to be interesting");
+    for (tag, bytes) in encodings(&container) {
+        assert!(
+            bytes.len() > 256,
+            "{tag} target too small to be interesting"
+        );
 
-    for offset in 0..bytes.len() {
-        for bit in 0..8 {
-            let mut bad = bytes.clone();
-            bad[offset] ^= 1 << bit;
-            // Must return (not panic), and a flip anywhere must be
-            // detected: CRCs guard every payload, varint/kind/trailer
-            // damage trips structural checks, and magic damage falls
-            // back to the (failing) v1 decoder.
-            let err = PinballContainer::from_bytes(&bad).expect_err(&format!(
-                "flip at byte {offset} bit {bit} must not load cleanly"
-            ));
-            if offset >= MAGIC.len() {
-                assert!(
-                    matches!(err, PinballError::Chunk { .. }),
-                    "flip at byte {offset} bit {bit}: expected a chunk-naming \
-                     error, got {err}"
-                );
+        for offset in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[offset] ^= 1 << bit;
+                // Must return (not panic), and a flip anywhere must be
+                // detected: CRCs guard every payload, varint/kind/codec/
+                // trailer damage trips structural checks, and magic damage
+                // falls back to the (failing) v1 decoder.
+                let err = PinballContainer::from_bytes(&bad).expect_err(&format!(
+                    "{tag}: flip at byte {offset} bit {bit} must not load cleanly"
+                ));
+                if offset >= MAGIC_LEN {
+                    assert!(
+                        matches!(err, PinballError::Chunk { .. }),
+                        "{tag}: flip at byte {offset} bit {bit}: expected a \
+                         chunk-naming error, got {err}"
+                    );
+                }
             }
         }
     }
@@ -92,58 +109,79 @@ fn every_single_bit_flip_is_a_typed_error() {
 #[test]
 fn chunk_errors_name_a_plausible_chunk() {
     let (_, container) = record();
-    let bytes = container.to_bytes().expect("serializes");
-    // Count frames: header + per-chunk (checkpoint?) + events + index.
-    let mut max_seen = 0usize;
-    for offset in MAGIC.len()..bytes.len() {
-        let mut bad = bytes.clone();
-        bad[offset] ^= 0x10;
-        match PinballContainer::from_bytes(&bad) {
-            Err(PinballError::Chunk { chunk, .. }) => max_seen = max_seen.max(chunk),
-            Err(other) => panic!("offset {offset}: unexpected error {other}"),
-            Ok(_) => panic!("offset {offset}: corrupt container loaded cleanly"),
+    for (tag, bytes) in encodings(&container) {
+        let mut max_seen = 0usize;
+        for offset in MAGIC_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x10;
+            match PinballContainer::from_bytes(&bad) {
+                Err(PinballError::Chunk { chunk, .. }) => max_seen = max_seen.max(chunk),
+                Err(other) => panic!("{tag} offset {offset}: unexpected error {other}"),
+                Ok(_) => panic!("{tag} offset {offset}: corrupt container loaded cleanly"),
+            }
         }
+        assert!(
+            max_seen > 1,
+            "{tag}: damage deep in the file should be attributed to later \
+             chunks, best was chunk {max_seen}"
+        );
     }
-    assert!(
-        max_seen > 1,
-        "damage deep in the file should be attributed to later chunks, \
-         best was chunk {max_seen}"
-    );
 }
 
 #[test]
 fn every_truncation_is_typed_and_lossy_load_replays_the_prefix() {
     let (program, container) = record();
-    let bytes = container.to_bytes().expect("serializes");
     let total_events = container.pinball.events.len();
+    for (tag, bytes) in encodings(&container) {
+        for len in 0..bytes.len() {
+            let cut = &bytes[..len];
+            if len < MAGIC_LEN {
+                // Not recognizably a container: both decoders may reject
+                // it, but must do so with a typed error, not a panic.
+                let _ = PinballContainer::from_bytes(cut)
+                    .expect_err(&format!("{tag}: truncated blob loads"));
+                continue;
+            }
+            PinballContainer::from_bytes(cut).expect_err(&format!(
+                "{tag}: truncation to {len} bytes must not load cleanly"
+            ));
 
-    for len in 0..bytes.len() {
-        let cut = &bytes[..len];
-        if len < MAGIC.len() || !cut.starts_with(MAGIC) {
-            // Not recognizably v2: both decoders may reject it, but must
-            // do so with a typed error, not a panic.
-            let _ = PinballContainer::from_bytes(cut).expect_err("truncated blob loads");
-            continue;
+            // Lossy loading either salvages the intact prefix or reports
+            // the header itself as unusable; a salvaged prefix must replay.
+            let Ok(lossy) = PinballContainer::from_bytes_lossy(cut) else {
+                continue;
+            };
+            assert!(
+                lossy.damage.is_some(),
+                "{tag}: truncation to {len} bytes must record damage"
+            );
+            assert!(lossy.events_recovered <= lossy.events_expected);
+            assert_eq!(lossy.events_expected, total_events);
+            let mut r = Replayer::new(Arc::clone(&program), &lossy.container.pinball);
+            let status = r.run(&mut NullTool);
+            assert!(
+                matches!(status, ReplayStatus::Completed),
+                "{tag}: salvaged prefix of {len} bytes must replay to its \
+                 end, got {status:?}"
+            );
         }
-        PinballContainer::from_bytes(cut)
-            .expect_err(&format!("truncation to {len} bytes must not load cleanly"));
-
-        // Lossy loading either salvages the intact prefix or reports the
-        // header itself as unusable; a salvaged prefix must replay.
-        let Ok(lossy) = PinballContainer::from_bytes_lossy(cut) else {
-            continue;
-        };
-        assert!(
-            lossy.damage.is_some(),
-            "truncation to {len} bytes must record damage"
-        );
-        assert!(lossy.events_recovered <= lossy.events_expected);
-        assert_eq!(lossy.events_expected, total_events);
-        let mut r = Replayer::new(Arc::clone(&program), &lossy.container.pinball);
-        let status = r.run(&mut NullTool);
-        assert!(
-            matches!(status, ReplayStatus::Completed),
-            "salvaged prefix of {len} bytes must replay to its end, got {status:?}"
-        );
     }
+}
+
+#[test]
+fn migrate_v2_to_v3_roundtrips_exactly() {
+    let (_, container) = record();
+    let v2 = container.to_bytes_v2().expect("v2 serializes");
+    let v3 = migrate(&v2).expect("v2 migrates to v3");
+    assert_eq!(detect_version(&v3), ContainerVersion::V3);
+
+    // Migration preserves the whole container — events, checkpoints,
+    // interval — and lands on the same bytes a direct v3 save produces.
+    let upgraded = PinballContainer::from_bytes(&v3).expect("migrated container loads");
+    assert_eq!(upgraded, container);
+    assert_eq!(upgraded.digest(), container.digest());
+    assert_eq!(v3, container.to_bytes().expect("v3 serializes"));
+
+    // Migrating twice is a typed error, not a silent rewrite.
+    assert!(matches!(migrate(&v3), Err(PinballError::Format(_))));
 }

@@ -1,0 +1,427 @@
+//! Compact binary serialization for every `Serialize`/`Deserialize` type.
+//!
+//! JSON is a fine interchange format but a poor hot-path one: integers
+//! become decimal text, field names repeat at every occurrence, and both
+//! directions walk the bytes one character at a time. `binser` encodes the
+//! same [`serde::Value`] tree the JSON codec uses — so *any* type the
+//! workspace serializes works unchanged — but as varint-coded,
+//! length-prefixed binary with an interned string table:
+//!
+//! ```text
+//! +------------------+--------------------------------+------------+
+//! | varint n_strings | n × (varint len || utf-8 bytes) | value tree |
+//! +------------------+--------------------------------+------------+
+//! ```
+//!
+//! Every distinct string — field names above all — is stored once in the
+//! table (first-appearance order, so encoding is byte-deterministic) and
+//! referenced by varint index from the tree. Tree nodes are one tag byte
+//! followed by their content:
+//!
+//! | tag | node  | content                                   |
+//! |-----|-------|-------------------------------------------|
+//! | 0   | null  | —                                         |
+//! | 1   | false | —                                         |
+//! | 2   | true  | —                                         |
+//! | 3   | int   | zigzag varint (full `i128` range)         |
+//! | 4   | str   | varint string-table index                 |
+//! | 5   | seq   | varint count, then `count` nodes          |
+//! | 6   | map   | varint count, then `count` × (key index, node) |
+//!
+//! The decoder treats its input as hostile: every count is bounded by the
+//! bytes actually remaining before anything is allocated, string indices
+//! are range-checked, nesting depth is capped, and trailing bytes are an
+//! error — malformed input yields a typed [`Error`], never a panic.
+//!
+//! ```
+//! let bytes = pinzip::binser::to_vec(&vec![(1u64, "tid".to_string()); 3]);
+//! let back: Vec<(u64, String)> = pinzip::binser::from_slice(&bytes).unwrap();
+//! assert_eq!(back.len(), 3);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::varint;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_SEQ: u8 = 5;
+const TAG_MAP: u8 = 6;
+
+/// Maximum tree nesting the decoder accepts. The workspace's types nest a
+/// handful of levels; the cap only exists so crafted input cannot recurse
+/// the decoder off the stack.
+const MAX_DEPTH: usize = 96;
+
+/// Why a buffer could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A node carried an unknown tag byte.
+    BadTag(u8),
+    /// A string reference pointed past the string table.
+    BadStringIndex(u64),
+    /// A string table entry was not valid UTF-8.
+    BadUtf8,
+    /// A declared count exceeded what the remaining bytes could hold.
+    BadCount,
+    /// The tree nested deeper than the decoder depth limit.
+    TooDeep,
+    /// Bytes remained after the value tree ended.
+    TrailingBytes,
+    /// The tree decoded but did not match the requested type's shape.
+    Shape(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => f.write_str("binser input truncated"),
+            Error::BadTag(t) => write!(f, "binser unknown tag {t:#04x}"),
+            Error::BadStringIndex(i) => write!(f, "binser string index {i} out of range"),
+            Error::BadUtf8 => f.write_str("binser string table entry is not utf-8"),
+            Error::BadCount => f.write_str("binser count exceeds remaining input"),
+            Error::TooDeep => f.write_str("binser value nests too deeply"),
+            Error::TrailingBytes => f.write_str("binser trailing bytes after value"),
+            Error::Shape(e) => write!(f, "binser shape mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes any [`Serialize`] type to compact binary bytes.
+///
+/// Encoding cannot fail: every `Value` shape has an encoding.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    value_to_vec(&value.to_value())
+}
+
+/// Deserializes any [`Deserialize`] type from [`to_vec`] bytes.
+///
+/// # Errors
+///
+/// Returns a typed [`Error`] on malformed input or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let v = value_from_slice(bytes)?;
+    T::from_value(&v).map_err(|e| Error::Shape(e.0))
+}
+
+/// Encodes a [`Value`] tree directly.
+pub fn value_to_vec(value: &Value) -> Vec<u8> {
+    let mut enc = Encoder {
+        table: Vec::new(),
+        index: HashMap::new(),
+        tree: Vec::new(),
+    };
+    enc.encode(value);
+    // Assemble: string table first (the decoder needs it before the tree),
+    // then the already-encoded tree.
+    let strings_len: usize = enc.table.iter().map(|s| s.len() + 10).sum();
+    let mut out = Vec::with_capacity(strings_len + enc.tree.len() + 10);
+    varint::write_u64(&mut out, enc.table.len() as u64);
+    for s in &enc.table {
+        varint::write_u64(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&enc.tree);
+    out
+}
+
+/// Decodes a [`Value`] tree from [`value_to_vec`] bytes.
+///
+/// # Errors
+///
+/// Returns a typed [`Error`] on malformed input.
+pub fn value_from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(bytes, &mut pos).ok_or(Error::Truncated)? as usize;
+    // Each table entry needs at least its one-byte length varint, so a
+    // count beyond the remaining bytes is structurally impossible.
+    if n > bytes.len() - pos {
+        return Err(Error::BadCount);
+    }
+    let mut table: Vec<String> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = varint::read_u64(bytes, &mut pos).ok_or(Error::Truncated)? as usize;
+        let slice = bytes.get(pos..pos + len).ok_or(Error::Truncated)?;
+        pos += len;
+        table.push(String::from_utf8(slice.to_vec()).map_err(|_| Error::BadUtf8)?);
+    }
+    let v = decode_value(bytes, &mut pos, &table, 0)?;
+    if pos != bytes.len() {
+        return Err(Error::TrailingBytes);
+    }
+    Ok(v)
+}
+
+struct Encoder<'v> {
+    table: Vec<&'v str>,
+    index: HashMap<&'v str, u64>,
+    tree: Vec<u8>,
+}
+
+impl<'v> Encoder<'v> {
+    fn intern(&mut self, s: &'v str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.table.len() as u64;
+        self.table.push(s);
+        self.index.insert(s, i);
+        i
+    }
+
+    fn encode(&mut self, value: &'v Value) {
+        match value {
+            Value::Null => self.tree.push(TAG_NULL),
+            Value::Bool(false) => self.tree.push(TAG_FALSE),
+            Value::Bool(true) => self.tree.push(TAG_TRUE),
+            Value::Int(n) => {
+                self.tree.push(TAG_INT);
+                varint::write_i128(&mut self.tree, *n);
+            }
+            Value::Str(s) => {
+                let i = self.intern(s);
+                self.tree.push(TAG_STR);
+                varint::write_u64(&mut self.tree, i);
+            }
+            Value::Seq(items) => {
+                self.tree.push(TAG_SEQ);
+                varint::write_u64(&mut self.tree, items.len() as u64);
+                for item in items {
+                    self.encode(item);
+                }
+            }
+            Value::Map(entries) => {
+                self.tree.push(TAG_MAP);
+                varint::write_u64(&mut self.tree, entries.len() as u64);
+                for (key, item) in entries {
+                    let i = self.intern(key);
+                    varint::write_u64(&mut self.tree, i);
+                    self.encode(item);
+                }
+            }
+        }
+    }
+}
+
+fn decode_value(
+    bytes: &[u8],
+    pos: &mut usize,
+    table: &[String],
+    depth: usize,
+) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::TooDeep);
+    }
+    let tag = *bytes.get(*pos).ok_or(Error::Truncated)?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(
+            varint::read_i128(bytes, pos).ok_or(Error::Truncated)?,
+        )),
+        TAG_STR => {
+            let i = varint::read_u64(bytes, pos).ok_or(Error::Truncated)?;
+            let s = table
+                .get(i as usize)
+                .ok_or(Error::BadStringIndex(i))?
+                .clone();
+            Ok(Value::Str(s))
+        }
+        TAG_SEQ => {
+            let n = varint::read_u64(bytes, pos).ok_or(Error::Truncated)? as usize;
+            // Every element costs at least one tag byte, so a count larger
+            // than the remaining input is corrupt — reject it before the
+            // allocation it would otherwise size.
+            if n > bytes.len() - *pos {
+                return Err(Error::BadCount);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(bytes, pos, table, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let n = varint::read_u64(bytes, pos).ok_or(Error::Truncated)? as usize;
+            if n > bytes.len() - *pos {
+                return Err(Error::BadCount);
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = varint::read_u64(bytes, pos).ok_or(Error::Truncated)?;
+                let key = table
+                    .get(i as usize)
+                    .ok_or(Error::BadStringIndex(i))?
+                    .clone();
+                entries.push((key, decode_value(bytes, pos, table, depth + 1)?));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(Error::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let bytes = value_to_vec(&v);
+        assert_eq!(value_from_slice(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Bool(false));
+        for n in [0i128, 1, -1, i64::MAX as i128, i64::MIN as i128, 1 << 100] {
+            roundtrip_value(Value::Int(n));
+        }
+        roundtrip_value(Value::Str(String::new()));
+        roundtrip_value(Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn typed_roundtrips() {
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into()), (3, "a".into())];
+        assert_eq!(from_slice::<Vec<(u64, String)>>(&to_vec(&v)).unwrap(), v);
+        let opt: Option<i64> = None;
+        assert_eq!(from_slice::<Option<i64>>(&to_vec(&opt)).unwrap(), opt);
+        let nested: Vec<Vec<i64>> = vec![vec![], vec![1, -2, 3]];
+        assert_eq!(
+            from_slice::<Vec<Vec<i64>>>(&to_vec(&nested)).unwrap(),
+            nested
+        );
+    }
+
+    #[test]
+    fn repeated_strings_are_interned_once() {
+        let many: Vec<String> = vec!["needle".to_string(); 100];
+        let once: Vec<String> = vec!["needle".to_string()];
+        let d = to_vec(&many).len() - to_vec(&once).len();
+        // 99 extra occurrences cost only a tag + index each, not 99 copies
+        // of the string bytes.
+        assert!(d < 100 * 3, "interning failed: {d} extra bytes");
+    }
+
+    #[test]
+    fn smaller_than_json_on_structured_data() {
+        let v: Vec<(String, u64, i64)> = (0..200)
+            .map(|i| (format!("field{}", i % 4), i, -(i as i64) * 1000))
+            .collect();
+        let bin = to_vec(&v).len();
+        let json = serde_json::to_vec(&v).unwrap().len();
+        assert!(bin * 2 < json, "binser {bin} vs json {json}");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v: Vec<(String, u64)> = vec![("b".into(), 1), ("a".into(), 2), ("b".into(), 3)];
+        assert_eq!(to_vec(&v), to_vec(&v));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let v: Vec<(String, i64)> = vec![("alpha".into(), -7), ("beta".into(), 1 << 40)];
+        let bytes = to_vec(&v);
+        for len in 0..bytes.len() {
+            assert!(
+                from_slice::<Vec<(String, i64)>>(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A seq claiming u64::MAX elements in a 12-byte buffer.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0); // empty string table
+        bytes.push(TAG_SEQ);
+        varint::write_u64(&mut bytes, u64::MAX);
+        assert_eq!(value_from_slice(&bytes), Err(Error::BadCount));
+        // Same for the string table count.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, u64::MAX);
+        assert_eq!(value_from_slice(&bytes), Err(Error::BadCount));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0);
+        for _ in 0..10_000 {
+            bytes.push(TAG_SEQ);
+            bytes.push(1); // one element, which is the next seq
+        }
+        bytes.push(TAG_NULL);
+        assert_eq!(value_from_slice(&bytes), Err(Error::TooDeep));
+    }
+
+    #[test]
+    fn bad_string_index_is_typed() {
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1);
+        varint::write_u64(&mut bytes, 2);
+        bytes.extend_from_slice(b"hi");
+        bytes.push(TAG_STR);
+        varint::write_u64(&mut bytes, 5);
+        assert_eq!(value_from_slice(&bytes), Err(Error::BadStringIndex(5)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_vec(&7u64);
+        bytes.push(0);
+        assert_eq!(from_slice::<u64>(&bytes), Err(Error::TrailingBytes));
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let bytes = to_vec(&"text");
+        assert!(matches!(from_slice::<u64>(&bytes), Err(Error::Shape(_))));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::{from_slice, to_vec, value_from_slice};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn roundtrip_vec_of_tuples(
+            raw in proptest::collection::vec((any::<i64>(), any::<u64>(), any::<bool>()), 0..64)
+        ) {
+            // Derive strings from the u64 so the tuples exercise the
+            // string table with a mix of repeats and fresh entries.
+            let data: Vec<(i64, String, bool)> = raw
+                .into_iter()
+                .map(|(n, s, b)| (n, format!("s{}", s % 7), b))
+                .collect();
+            let bytes = to_vec(&data);
+            prop_assert_eq!(from_slice::<Vec<(i64, String, bool)>>(&bytes).unwrap(), data);
+        }
+
+        #[test]
+        fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = value_from_slice(&data); // may Err, must not panic
+        }
+    }
+}

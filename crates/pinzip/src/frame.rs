@@ -17,8 +17,26 @@
 //! | 1 B  | 1..10 B        | 4 B        | LZSS-compressed       |
 //! +------+----------------+------------+----------------------+
 //! ```
+//!
+//! *Coded* frames (the v3 pinball container) add one **codec byte** after
+//! the kind, naming how the payload was serialized *before* compression —
+//! so a reader can dispatch JSON vs [`crate::binser`] per frame:
+//!
+//! ```text
+//! +------+-------+----------------+------------+----------------------+
+//! | kind | codec | varint(c_len)  | crc32 (LE) | payload (c_len bytes) |
+//! | 1 B  | 1 B   | 1..10 B        | 4 B        | LZSS-compressed       |
+//! +------+-------+----------------+------------+----------------------+
+//! ```
+//!
+//! Both layouts decode in two stages, which is what lets the container
+//! pipeline multi-chunk work across threads: [`peek_frame`] walks frame
+//! *headers* without touching payload bytes (cheap, strictly sequential),
+//! and [`decode_payload`] does the expensive CRC verify + decompress for
+//! one frame in isolation (freely parallel).
 
 use std::fmt;
+use std::ops::Range;
 
 use crate::crc32::crc32;
 use crate::lzss;
@@ -66,11 +84,42 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// A decoded *coded* frame: kind, payload codec, and decompressed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedFrame {
+    /// Application-defined kind tag.
+    pub kind: u8,
+    /// Application-defined payload codec tag.
+    pub codec: u8,
+    /// Decompressed payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A frame header scanned without decoding its payload: where the
+/// compressed bytes sit and what CRC they must hash to. Produced by
+/// [`peek_frame`]; consumed by [`decode_payload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// Application-defined kind tag.
+    pub kind: u8,
+    /// Payload codec byte (`None` for codec-less frames).
+    pub codec: Option<u8>,
+    /// CRC-32 the header records for the compressed payload.
+    pub crc: u32,
+    /// Byte range of the compressed payload within the scanned buffer.
+    pub payload: Range<usize>,
+    /// Total encoded frame size (header + payload).
+    pub encoded_len: usize,
+}
+
 /// Compresses `payload` and appends a complete frame to `out`, returning
 /// the byte offset at which the frame starts.
 pub fn write_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> usize {
     let offset = out.len();
     let compressed = lzss::compress(payload);
+    // Header is at most kind + codec + 10-byte varint + CRC; reserving
+    // once keeps multi-frame writers from reallocating per frame.
+    out.reserve(compressed.len() + 16);
     out.push(kind);
     varint::write_u64(out, compressed.len() as u64);
     out.extend_from_slice(&crc32(&compressed).to_le_bytes());
@@ -78,11 +127,83 @@ pub fn write_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> usize {
     offset
 }
 
-/// Reads the frame starting at `*pos`, advancing `*pos` past it.
+/// Compresses `payload` and appends a complete coded frame (kind + codec
+/// byte) to `out`, returning the byte offset at which the frame starts.
+pub fn write_coded_frame(out: &mut Vec<u8>, kind: u8, codec: u8, payload: &[u8]) -> usize {
+    let offset = out.len();
+    let compressed = lzss::compress(payload);
+    out.reserve(compressed.len() + 16);
+    out.push(kind);
+    out.push(codec);
+    varint::write_u64(out, compressed.len() as u64);
+    out.extend_from_slice(&crc32(&compressed).to_le_bytes());
+    out.extend_from_slice(&compressed);
+    offset
+}
+
+/// Scans one frame header starting at `offset` without verifying or
+/// decompressing the payload. `has_codec` selects the coded layout (kind +
+/// codec byte) over the plain one.
 ///
-/// The CRC is verified against the compressed payload before decompression,
-/// so any bit flip inside the frame is caught even when the flipped stream
+/// # Errors
+///
+/// Returns [`FrameError::Truncated`] when the buffer ends inside the
+/// header or before the declared payload end.
+pub fn peek_frame(buf: &[u8], offset: usize, has_codec: bool) -> Result<RawFrame, FrameError> {
+    let mut pos = offset;
+    let kind = *buf.get(pos).ok_or(FrameError::Truncated)?;
+    pos += 1;
+    let codec = if has_codec {
+        let c = *buf.get(pos).ok_or(FrameError::Truncated)?;
+        pos += 1;
+        Some(c)
+    } else {
+        None
+    };
+    let clen = varint::read_u64(buf, &mut pos).ok_or(FrameError::Truncated)? as usize;
+    let crc_bytes: [u8; 4] = buf
+        .get(pos..pos + 4)
+        .ok_or(FrameError::Truncated)?
+        .try_into()
+        .expect("4-byte slice");
+    let crc = u32::from_le_bytes(crc_bytes);
+    pos += 4;
+    if buf.get(pos..pos + clen).is_none() {
+        return Err(FrameError::Truncated);
+    }
+    let payload = pos..pos + clen;
+    Ok(RawFrame {
+        kind,
+        codec,
+        crc,
+        payload: payload.clone(),
+        encoded_len: payload.end - offset,
+    })
+}
+
+/// Verifies a scanned frame's CRC against the buffer it was scanned from
+/// and decompresses its payload.
+///
+/// The CRC is checked over the *compressed* bytes before decompression, so
+/// any bit flip inside the frame is caught even when the flipped stream
 /// still happens to decompress.
+///
+/// # Errors
+///
+/// Returns [`FrameError::CrcMismatch`] or a decompression failure.
+pub fn decode_payload(buf: &[u8], raw: &RawFrame) -> Result<Vec<u8>, FrameError> {
+    let compressed = &buf[raw.payload.clone()];
+    let computed = crc32(compressed);
+    if computed != raw.crc {
+        return Err(FrameError::CrcMismatch {
+            stored: raw.crc,
+            computed,
+        });
+    }
+    lzss::decompress(compressed).map_err(FrameError::Payload)
+}
+
+/// Reads the frame starting at `*pos`, advancing `*pos` past it.
 ///
 /// # Errors
 ///
@@ -101,25 +222,31 @@ pub fn read_frame(buf: &[u8], pos: &mut usize) -> Result<Frame, FrameError> {
 ///
 /// See [`read_frame`].
 pub fn read_frame_at(buf: &[u8], offset: usize) -> Result<(Frame, usize), FrameError> {
-    let mut pos = offset;
-    let kind = *buf.get(pos).ok_or(FrameError::Truncated)?;
-    pos += 1;
-    let clen = varint::read_u64(buf, &mut pos).ok_or(FrameError::Truncated)? as usize;
-    let crc_bytes: [u8; 4] = buf
-        .get(pos..pos + 4)
-        .ok_or(FrameError::Truncated)?
-        .try_into()
-        .expect("4-byte slice");
-    let stored = u32::from_le_bytes(crc_bytes);
-    pos += 4;
-    let compressed = buf.get(pos..pos + clen).ok_or(FrameError::Truncated)?;
-    pos += clen;
-    let computed = crc32(compressed);
-    if computed != stored {
-        return Err(FrameError::CrcMismatch { stored, computed });
-    }
-    let payload = lzss::decompress(compressed).map_err(FrameError::Payload)?;
-    Ok((Frame { kind, payload }, pos - offset))
+    let raw = peek_frame(buf, offset, false)?;
+    let payload = decode_payload(buf, &raw)?;
+    Ok((
+        Frame {
+            kind: raw.kind,
+            payload,
+        },
+        raw.encoded_len,
+    ))
+}
+
+/// Reads the coded frame starting at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_coded_frame(buf: &[u8], pos: &mut usize) -> Result<CodedFrame, FrameError> {
+    let raw = peek_frame(buf, *pos, true)?;
+    let payload = decode_payload(buf, &raw)?;
+    *pos += raw.encoded_len;
+    Ok(CodedFrame {
+        kind: raw.kind,
+        codec: raw.codec.expect("coded frame carries a codec byte"),
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -142,6 +269,34 @@ mod tests {
         assert_eq!(f1.kind, 2);
         assert!(f1.payload.is_empty());
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn coded_frame_roundtrip() {
+        let mut buf = Vec::new();
+        let off0 = write_coded_frame(&mut buf, 1, 0, b"json-ish payload payload");
+        let off1 = write_coded_frame(&mut buf, 2, 1, b"binary payload");
+        assert_eq!(off0, 0);
+        let mut pos = 0;
+        let f0 = read_coded_frame(&buf, &mut pos).unwrap();
+        assert_eq!((f0.kind, f0.codec), (1, 0));
+        assert_eq!(f0.payload, b"json-ish payload payload");
+        assert_eq!(pos, off1);
+        let f1 = read_coded_frame(&buf, &mut pos).unwrap();
+        assert_eq!((f1.kind, f1.codec), (2, 1));
+        assert_eq!(f1.payload, b"binary payload");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn peek_then_decode_equals_read() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, &vec![3u8; 900]);
+        let raw = peek_frame(&buf, 0, false).unwrap();
+        assert_eq!(raw.kind, 7);
+        assert_eq!(raw.codec, None);
+        assert_eq!(raw.encoded_len, buf.len());
+        assert_eq!(decode_payload(&buf, &raw).unwrap(), vec![3u8; 900]);
     }
 
     #[test]
@@ -180,6 +335,25 @@ mod tests {
     }
 
     #[test]
+    fn every_coded_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        write_coded_frame(&mut buf, 3, 1, b"some payload with enough bytes to matter");
+        // Skip kind (byte 0) and codec (byte 1): flips there change the
+        // tags but keep the frame structurally valid.
+        for i in 2..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[i] ^= 1 << bit;
+                let mut pos = 0;
+                match read_coded_frame(&bad, &mut pos) {
+                    Err(_) => {}
+                    Ok(f) => panic!("flip at byte {i} bit {bit} went undetected: {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn truncation_is_detected_at_every_length() {
         let mut buf = Vec::new();
         write_frame(&mut buf, 1, &vec![42u8; 300]);
@@ -188,6 +362,15 @@ mod tests {
             assert!(
                 read_frame(&buf[..len], &mut pos).is_err(),
                 "truncation to {len} bytes went undetected"
+            );
+        }
+        let mut coded = Vec::new();
+        write_coded_frame(&mut coded, 1, 1, &vec![42u8; 300]);
+        for len in 0..coded.len() {
+            let mut pos = 0;
+            assert!(
+                read_coded_frame(&coded[..len], &mut pos).is_err(),
+                "coded truncation to {len} bytes went undetected"
             );
         }
     }

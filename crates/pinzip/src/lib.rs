@@ -13,16 +13,25 @@
 //!
 //! The [`frame`] module layers a chunked, checksummed container on top:
 //! each frame is independently compressed and carries a [`crc32()`] of
-//! its compressed payload, which is what the v2 pinball container uses to
+//! its compressed payload, which is what the chunked pinball container uses to
 //! detect and localize corruption without losing the intact prefix.
+//!
+//! The [`binser`] module is the compact binary record codec (container
+//! format v3, the drserve wire protocol, and slice files): the same
+//! `Serialize`/`Deserialize` types, varint-coded and length-prefixed with
+//! an interned string table instead of JSON text.
 
 #![warn(missing_docs)]
 
+pub mod binser;
 pub mod crc32;
 pub mod frame;
 pub mod lzss;
 pub mod varint;
 
-pub use crc32::crc32;
-pub use frame::{read_frame, read_frame_at, write_frame, Frame, FrameError};
+pub use crc32::{crc32, crc32_bytewise};
+pub use frame::{
+    decode_payload, peek_frame, read_coded_frame, read_frame, read_frame_at, write_coded_frame,
+    write_frame, CodedFrame, Frame, FrameError, RawFrame,
+};
 pub use lzss::{compress, decompress, DecodeError};

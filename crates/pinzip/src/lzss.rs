@@ -23,7 +23,10 @@ const MAX_PROBES: usize = 32;
 /// Compresses `input`, returning a self-describing buffer for
 /// [`decompress`].
 pub fn compress(input: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Worst case (incompressible input) is all literals: one control byte
+    // per 8 tokens plus the varint length header. Reserving that up front
+    // means the output vector never reallocates, whatever the input.
+    let mut out = Vec::with_capacity(input.len() + input.len() / 8 + 11);
     varint::write_u64(&mut out, input.len() as u64);
 
     // head[h] = most recent position with hash h; prev[i % WINDOW] = previous

@@ -46,6 +46,59 @@ pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
     read_u64(buf, pos).map(unzigzag)
 }
 
+/// Appends `v` to `out` in LEB128 (up to 19 bytes for a full `u128`).
+pub fn write_u128(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed 128-bit value using zigzag encoding.
+pub fn write_i128(out: &mut Vec<u8>, v: i128) {
+    write_u128(out, zigzag128(v));
+}
+
+/// Reads a LEB128 `u128` from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncated input or a value overflowing 128 bits.
+pub fn read_u128(buf: &[u8], pos: &mut usize) -> Option<u128> {
+    let mut v: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 128 {
+            return None;
+        }
+        v |= u128::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a zigzag-encoded signed 128-bit value.
+pub fn read_i128(buf: &[u8], pos: &mut usize) -> Option<i128> {
+    read_u128(buf, pos).map(unzigzag128)
+}
+
+/// Maps signed 128-bit to unsigned so small-magnitude values stay small.
+pub fn zigzag128(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+/// Inverse of [`zigzag128`].
+pub fn unzigzag128(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
 /// Maps signed to unsigned so small-magnitude values stay small.
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -88,6 +141,36 @@ mod tests {
         assert_eq!(zigzag(1), 2);
         assert_eq!(zigzag(-2), 3);
         assert_eq!(unzigzag(zigzag(-123456)), -123456);
+    }
+
+    #[test]
+    fn u128_roundtrip_corners() {
+        for v in [0u128, 1, 127, 128, u64::MAX as u128, u128::MAX] {
+            let mut buf = Vec::new();
+            write_u128(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u128(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i128_roundtrip_corners() {
+        for v in [0i128, 1, -1, i64::MIN as i128, i128::MAX, i128::MIN] {
+            let mut buf = Vec::new();
+            write_i128(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i128(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_u128_returns_none() {
+        let mut buf = Vec::new();
+        write_u128(&mut buf, u128::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u128(&buf, &mut pos), None);
     }
 
     #[test]

@@ -83,5 +83,5 @@ pub use slice::{
     compute_slice, compute_slice_lp, compute_slice_naive, compute_slice_sparse, Criterion,
     DataEdge, Slice, SliceOptions, SliceStats, DEFAULT_PARALLEL_THRESHOLD,
 };
-pub use slicefile::{SliceFile, SliceFileError, SliceStatement};
+pub use slicefile::{SliceFile, SliceFileError, SliceStatement, SLICE_MAGIC};
 pub use trace::{LocKey, RecordId, TraceRecord};

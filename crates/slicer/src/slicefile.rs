@@ -19,6 +19,10 @@ use pinplay::ExclusionRegion;
 use crate::slice::{Criterion, DataEdge, Slice, SliceStats};
 use crate::trace::RecordId;
 
+/// Magic bytes opening a binser-encoded slice file. Legacy slice files
+/// (compressed JSON) have no magic and are auto-detected by its absence.
+pub const SLICE_MAGIC: &[u8; 6] = b"DRSF1\n";
+
 /// A statement instance of the slice, self-describing (usable without the
 /// original trace in memory).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,18 +104,30 @@ impl SliceFile {
         }
     }
 
-    /// Serializes the slice file (compressed, like pinballs).
+    /// Serializes the slice file: the [`SLICE_MAGIC`] prefix, then the
+    /// LZSS-compressed [`pinzip::binser`] encoding — the same binary
+    /// record codec the v3 pinball container and the drserve wire use.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let json = serde_json::to_vec(self).expect("slice file serializes");
-        pinzip::compress(&json)
+        let payload = pinzip::binser::to_vec(self);
+        let compressed = pinzip::compress(&payload);
+        let mut out = Vec::with_capacity(SLICE_MAGIC.len() + compressed.len());
+        out.extend_from_slice(SLICE_MAGIC);
+        out.extend_from_slice(&compressed);
+        out
     }
 
-    /// Deserializes a slice file.
+    /// Deserializes a slice file, auto-detecting the format: bytes opening
+    /// with [`SLICE_MAGIC`] decode as compressed binser; anything else
+    /// takes the legacy path (compressed JSON, the pre-magic format).
     ///
     /// # Errors
     ///
     /// Returns [`SliceFileError`] on corrupt input.
     pub fn from_bytes(bytes: &[u8]) -> Result<SliceFile, SliceFileError> {
+        if let Some(rest) = bytes.strip_prefix(SLICE_MAGIC) {
+            let payload = pinzip::decompress(rest).map_err(|e| SliceFileError(e.to_string()))?;
+            return pinzip::binser::from_slice(&payload).map_err(|e| SliceFileError(e.to_string()));
+        }
         let json = pinzip::decompress(bytes).map_err(|e| SliceFileError(e.to_string()))?;
         serde_json::from_slice(&json).map_err(|e| SliceFileError(e.to_string()))
     }
@@ -240,5 +256,24 @@ mod tests {
     #[test]
     fn corrupt_bytes_rejected() {
         assert!(SliceFile::from_bytes(&[9, 9, 9]).is_err());
+        // A magic prefix followed by garbage must also fail typed.
+        let mut bad = SLICE_MAGIC.to_vec();
+        bad.extend_from_slice(&[9, 9, 9]);
+        assert!(SliceFile::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn legacy_json_slice_files_still_load() {
+        let (session, slice) = session_and_slice();
+        let (exclusions, _) = session.exclusion_regions(&slice);
+        let sf = SliceFile::build("demo", &slice, session.trace(), exclusions);
+        // The pre-magic format: LZSS over the JSON encoding.
+        let legacy = pinzip::compress(&serde_json::to_vec(&sf).unwrap());
+        assert!(!legacy.starts_with(SLICE_MAGIC));
+        assert_eq!(SliceFile::from_bytes(&legacy).unwrap(), sf);
+        // And the current format is both tagged and smaller.
+        let current = sf.to_bytes();
+        assert!(current.starts_with(SLICE_MAGIC));
+        assert_eq!(SliceFile::from_bytes(&current).unwrap(), sf);
     }
 }
