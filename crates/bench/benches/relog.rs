@@ -1,0 +1,94 @@
+//! Execution-slice relogging: slice-pinball replay vs full-region
+//! replay, plus the relog (exclusion regions → injection rewrite) cost
+//! itself.
+//!
+//! The workload is the 100k-record
+//! [`four_thread_churn`](bench::exp::four_thread_churn) region whose
+//! slice excludes almost everything, so the slice pinball retires a tiny
+//! fraction of the region — the paper's "execution slice" payoff that the
+//! `relog_speedup` CI gate holds at ≥10×. Medians land in
+//! `target/bench/relog.json` for the CI trend line.
+
+use std::time::{Duration, Instant};
+
+use bench::exp::{churn_parts, replay_time, slice_pinball_replay};
+use criterion::{criterion_group, criterion_main, Criterion};
+use slicer::{compute_slice_indexed, DepIndex, SliceOptions, SlicerOptions};
+
+const ITERS: u64 = 4_000;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_relog(c: &mut Criterion) {
+    let (pinball, session, criterion) = churn_parts(ITERS, SlicerOptions::default());
+    let opts = SliceOptions::default();
+    let index = DepIndex::build(session.trace(), session.pairs(), &opts);
+    let slice = compute_slice_indexed(&index, criterion);
+    let program = session.program();
+    let (slice_pb, _) = slice_pinball_replay(&session, &pinball, &slice);
+    let full_instructions = pinball.logged_instructions();
+    let kept = slice_pb.logged_instructions();
+
+    let mut group = c.benchmark_group("relog");
+    group.sample_size(10);
+    group.bench_function("replay/full-region", |b| {
+        b.iter(|| replay_time(program, &pinball))
+    });
+    group.bench_function("replay/slice-pinball", |b| {
+        b.iter(|| replay_time(program, &slice_pb))
+    });
+    group.bench_function("relog/make-slice-pinball", |b| {
+        b.iter(|| {
+            let (pb, _, _) = session.make_slice_pinball(&pinball, &slice);
+            pb.logged_instructions()
+        })
+    });
+    group.finish();
+
+    // Separately measured medians for the JSON record (the vendored
+    // criterion prints but does not persist timings).
+    let full = median_of(5, || {
+        replay_time(program, &pinball);
+    });
+    let sliced = median_of(5, || {
+        replay_time(program, &slice_pb);
+    });
+    let relog = median_of(5, || {
+        session.make_slice_pinball(&pinball, &slice);
+    });
+    let replay_speedup = full.as_secs_f64() / sliced.as_secs_f64().max(1e-12);
+
+    let report = format!(
+        "{{\n  \"bench\": \"relog\",\n  \"workload\": \"four_thread_churn\",\n  \
+         \"iters\": {ITERS},\n  \"full_instructions\": {full_instructions},\n  \
+         \"kept_instructions\": {kept},\n  \"slice_records\": {},\n  \
+         \"replay_full_ns\": {},\n  \"replay_slice_pinball_ns\": {},\n  \
+         \"relog_ns\": {},\n  \"replay_speedup\": {:.2}\n}}\n",
+        slice.records.len(),
+        full.as_nanos(),
+        sliced.as_nanos(),
+        relog.as_nanos(),
+        replay_speedup,
+    );
+    let dir = std::path::Path::new("target/bench");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("relog.json");
+        match std::fs::write(&path, report) {
+            Ok(()) => println!("relog bench report written to {}", path.display()),
+            Err(e) => eprintln!("relog bench report not written: {e}"),
+        }
+    }
+}
+
+criterion_group!(relog, bench_relog);
+criterion_main!(relog);

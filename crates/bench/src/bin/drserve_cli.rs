@@ -18,9 +18,11 @@
 //! The client records the four-thread needle workload, uploads it
 //! (content-addressed — a second client uploading the same recording
 //! dedupes), opens a pooled session, seeks to the middle of the region,
-//! and computes the failure slice twice to show the cold-compute versus
-//! cache-hit latency. It finishes by printing the server's stats block
-//! and this connection's wire counters (requests, bytes each way).
+//! computes the failure slice twice to show the cold-compute versus
+//! cache-hit latency, and relogs the slice into a server-stored slice
+//! pinball whose digest it reopens and slices like any upload. It
+//! finishes by printing the server's stats block and this connection's
+//! wire counters (requests, bytes each way).
 
 use std::io::{Read, Write};
 
@@ -81,7 +83,31 @@ fn drive<S: Read + Write>(client: &mut Client<S>, iters: u64, tag: &str) -> Resu
         warm.micros,
         if warm.cached { "cache hit" } else { "computed" },
     );
+    let relog = client
+        .relog(session, SliceAt::Failure, SliceOptions::default())
+        .map_err(|e| format!("relog: {e}"))?;
+    println!(
+        "[{tag}] relogged into slice pinball {} ({} of {} instructions kept, {} excluded; {} us, {})",
+        relog.digest,
+        relog.kept,
+        up.instructions,
+        relog.excluded,
+        relog.micros,
+        if relog.cached { "cache hit" } else { "built" },
+    );
     client.close(session).map_err(|e| format!("close: {e}"))?;
+    // The relogged digest is an ordinary stored pinball: open and slice it.
+    let sliced = client
+        .open(relog.digest)
+        .map_err(|e| format!("open slice pinball: {e}"))?;
+    let again = client
+        .compute_slice(sliced, SliceAt::Failure, SliceOptions::default())
+        .map_err(|e| format!("slice the slice pinball: {e}"))?;
+    println!(
+        "[{tag}] slice pinball slices like any upload: {} records",
+        again.slice.len()
+    );
+    client.close(sliced).map_err(|e| format!("close: {e}"))?;
     Ok(())
 }
 

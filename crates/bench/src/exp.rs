@@ -316,6 +316,19 @@ pub fn four_thread_churn(iters: u64) -> Arc<Program> {
 /// Panics when the recording exceeds its step budget (never for sane
 /// `iters`).
 pub fn churn_session(iters: u64, options: SlicerOptions) -> (SliceSession, Criterion) {
+    let (_, session, criterion) = churn_parts(iters, options);
+    (session, criterion)
+}
+
+/// Like [`churn_session`], but also returns the region pinball the
+/// session was collected from — the full-replay baseline that relogging
+/// (slice-pinball replay) is measured against.
+///
+/// # Panics
+///
+/// Panics when the recording exceeds its step budget (never for sane
+/// `iters`).
+pub fn churn_parts(iters: u64, options: SlicerOptions) -> (Pinball, SliceSession, Criterion) {
     let program = four_thread_churn(iters);
     let rec = record_whole_program(
         &program,
@@ -338,7 +351,7 @@ pub fn churn_session(iters: u64, options: SlicerOptions) -> (SliceSession, Crite
         })
         .expect("main uses r1 after the churn loop")
         .id;
-    (session, Criterion::Record { id })
+    (rec.pinball, session, Criterion::Record { id })
 }
 
 /// Full execution-slice pipeline for one slice: exclusion regions →

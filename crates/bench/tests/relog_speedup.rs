@@ -1,0 +1,83 @@
+//! Acceptance: replaying a *slice pinball* — the relogged recording that
+//! keeps only the slice statements plus forced synchronization — is at
+//! least 10× faster than replaying the full region it was cut from, on a
+//! 100k-record, four-thread trace.
+//!
+//! The workload is [`four_thread_churn`]: every thread runs thousands of
+//! save/restore pairs the slice excludes, so the relog turns almost the
+//! entire event log into injections and the slice pinball retires a tiny
+//! fraction of the region's instructions. The correctness half lives in
+//! the same test as the timing gate: the slice pinball must replay to
+//! completion retiring exactly the kept instruction count, so the speed
+//! cannot come from a truncated or diverging replay.
+//!
+//! [`four_thread_churn`]: bench::exp::four_thread_churn
+
+use std::time::{Duration, Instant};
+
+use bench::exp::{churn_parts, replay_time, slice_pinball_replay};
+use slicer::{compute_slice_indexed, DepIndex, SliceOptions, SlicerOptions};
+
+const ITERS: u64 = 4_000;
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn slice_pinball_replays_at_least_10x_faster_than_the_full_region() {
+    let (pinball, session, criterion) = churn_parts(ITERS, SlicerOptions::default());
+    let records = session.trace().records().len();
+    let threads: std::collections::HashSet<_> =
+        session.trace().records().iter().map(|r| r.tid).collect();
+    assert!(records >= 100_000, "trace too small: {records} records");
+    assert_eq!(threads.len(), 4, "churn is a four-thread workload");
+
+    let opts = SliceOptions::default();
+    let index = DepIndex::build(session.trace(), session.pairs(), &opts);
+    let slice = compute_slice_indexed(&index, criterion);
+    assert!(!slice.records.is_empty());
+
+    let program = session.program();
+    let full_instructions = pinball.logged_instructions();
+    let (slice_pb, _first_replay) = slice_pinball_replay(&session, &pinball, &slice);
+    let kept = slice_pb.logged_instructions();
+    assert!(
+        kept * 10 <= full_instructions,
+        "relog keeps a small fraction: {kept} of {full_instructions}"
+    );
+
+    // Correctness before speed: the slice pinball replays to completion
+    // retiring exactly the kept count (a diverging replay would trap).
+    let mut rep = pinplay::Replayer::new(std::sync::Arc::clone(program), &slice_pb);
+    rep.run(&mut minivm::NullTool);
+    assert!(rep.finished(), "slice pinball replays to completion");
+    assert_eq!(rep.replayed_instructions(), kept);
+
+    let full = median_of(3, || {
+        replay_time(program, &pinball);
+    });
+    let sliced = median_of(3, || {
+        replay_time(program, &slice_pb);
+    });
+
+    let speedup = full.as_secs_f64() / sliced.as_secs_f64().max(1e-12);
+    println!(
+        "full region {full:?} ({full_instructions} instr) vs slice pinball {sliced:?} \
+         ({kept} instr): {speedup:.1}x (required {REQUIRED_SPEEDUP}x)"
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "slice pinball not fast enough: full {full:?} / sliced {sliced:?} = {speedup:.1}x, \
+         need {REQUIRED_SPEEDUP}x"
+    );
+}

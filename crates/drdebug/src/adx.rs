@@ -15,10 +15,10 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use minivm::{Addr, Pc, Program, Reg, Tid};
-use pinplay::Pinball;
+use pinplay::{Pinball, PinballContainer};
 use slicer::LocKey;
 
-use crate::session::{DebugSession, StopReason};
+use crate::session::{DebugSession, RelogReport, StopReason};
 
 /// Requests the front end sends to the engine.
 #[derive(Debug, Clone)]
@@ -79,6 +79,13 @@ pub enum AdxRequest {
         /// Saved-slice index.
         index: usize,
     },
+    /// Relog a saved slice into a content-addressed v3 slice-pinball
+    /// container with embedded checkpoints; responds
+    /// [`AdxResponse::Relogged`] or `Error`.
+    Relog {
+        /// Saved-slice index.
+        index: usize,
+    },
     /// Shut the engine down; responds `Ok` and ends the thread.
     Shutdown,
 }
@@ -105,6 +112,14 @@ pub enum AdxResponse {
     },
     /// The generated slice pinball.
     SlicePinball(Box<Pinball>),
+    /// The relogged slice-pinball container and its summary (digest,
+    /// instruction counts).
+    Relogged {
+        /// The v3 container: slice pinball plus embedded checkpoints.
+        container: Box<PinballContainer>,
+        /// Digest and kept/excluded accounting.
+        report: RelogReport,
+    },
     /// The request failed.
     Error(String),
 }
@@ -163,12 +178,22 @@ impl Drop for AdxClient {
     }
 }
 
-/// Starts the engine thread over a debug session and returns the client.
+/// Starts the engine thread over a bare pinball (no embedded checkpoints)
+/// and returns the client. Prefer [`spawn_engine_container`] when the
+/// pinball came from a v3 container: its embedded checkpoints make reverse
+/// execution and `seek` O(chunk) from the first command.
 pub fn spawn_engine(program: Arc<Program>, pinball: Pinball) -> AdxClient {
+    spawn_engine_container(program, PinballContainer::new(pinball))
+}
+
+/// Starts the engine thread over a chunked container and returns the
+/// client. The engine session is seeded with the container's embedded
+/// checkpoints, exactly like [`DebugSession::with_container`].
+pub fn spawn_engine_container(program: Arc<Program>, container: PinballContainer) -> AdxClient {
     let (req_tx, req_rx) = bounded::<AdxRequest>(1);
     let (resp_tx, resp_rx) = bounded::<AdxResponse>(1);
     let engine = std::thread::spawn(move || {
-        let mut session = DebugSession::new(program, pinball);
+        let mut session = DebugSession::with_container(program, container);
         while let Ok(req) = req_rx.recv() {
             let resp = handle(&mut session, &req);
             let shutdown = matches!(req, AdxRequest::Shutdown);
@@ -228,6 +253,17 @@ fn handle(session: &mut DebugSession, req: &AdxRequest) -> AdxResponse {
         AdxRequest::MakeSlicePinball { index } => {
             if index < session.saved_slices().len() {
                 AdxResponse::SlicePinball(Box::new(session.make_slice_pinball(index)))
+            } else {
+                AdxResponse::Error(format!("no saved slice {index}"))
+            }
+        }
+        AdxRequest::Relog { index } => {
+            if index < session.saved_slices().len() {
+                let (container, report) = session.relog_slice(index);
+                AdxResponse::Relogged {
+                    container: Box::new(container),
+                    report,
+                }
             } else {
                 AdxResponse::Error(format!("no saved slice {index}"))
             }
@@ -324,6 +360,30 @@ mod tests {
         assert!(pb.meta.is_slice);
         assert!(matches!(
             c.request(AdxRequest::MakeSlicePinball { index: 99 }),
+            AdxResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn relog_over_the_wire_is_content_addressed() {
+        let (_, c) = client();
+        c.cont();
+        let AdxResponse::SliceSaved { index, .. } = c.request(AdxRequest::SliceFailure) else {
+            panic!("expected slice")
+        };
+        let AdxResponse::Relogged { container, report } = c.request(AdxRequest::Relog { index })
+        else {
+            panic!("expected relogged container")
+        };
+        assert!(container.pinball.meta.is_slice);
+        assert_eq!(container.digest(), report.digest);
+        assert_eq!(report.instructions, report.kept);
+        assert_eq!(
+            report.kept + report.excluded,
+            container.pinball.logged_instructions() + report.excluded,
+        );
+        assert!(matches!(
+            c.request(AdxRequest::Relog { index: 99 }),
             AdxResponse::Error(_)
         ));
     }

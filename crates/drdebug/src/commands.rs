@@ -67,7 +67,7 @@ impl CommandInterpreter {
                 self.report_stop(stop)
             }
             "stepi" | "si" => self.cmd_stepi(&args),
-            "reverse-stepi" | "rsi" => {
+            "reverse-stepi" | "reverse-step" | "rsi" => {
                 let stop = self.session.reverse_stepi();
                 self.report_stop(stop)
             }
@@ -102,6 +102,7 @@ impl CommandInterpreter {
             "save-slice-file" => self.cmd_save_slice_file(&args),
             "load-slice-file" => self.cmd_load_slice_file(&args),
             "replay-slice" => self.cmd_replay_slice(&args),
+            "relog" => self.cmd_relog(&args),
             "step-slice" => self.cmd_step_slice(),
             "restart-slice" => self.cmd_restart_slice(),
             other => format!("unknown command `{other}` (try `help`)"),
@@ -616,6 +617,40 @@ impl CommandInterpreter {
         format!("slice pinball generated ({kept} instructions kept); use step-slice")
     }
 
+    fn cmd_relog(&mut self, args: &[&str]) -> String {
+        let Some(idx) = args.first().and_then(|s| s.parse::<usize>().ok()) else {
+            return "usage: relog <saved-slice-index> [path]".to_owned();
+        };
+        if idx >= self.session.saved_slices().len() {
+            return format!("no saved slice {idx}");
+        }
+        let (container, report) = self.session.relog_slice(idx);
+        let mut out = format!(
+            "relogged slice {idx} into slice pinball {}: {} instructions kept \
+             ({} slice statements + {} forced sync), {} excluded, \
+             {} embedded checkpoints",
+            report.digest,
+            report.kept,
+            report.in_slice,
+            report.forced,
+            report.excluded,
+            container.checkpoints.len(),
+        );
+        if let Some(path) = args.get(1) {
+            match container.to_bytes() {
+                Ok(bytes) => match std::fs::write(path, &bytes) {
+                    Ok(()) => out.push_str(&format!(
+                        "\nslice pinball written to {path} ({} bytes)",
+                        bytes.len()
+                    )),
+                    Err(e) => out.push_str(&format!("\ncannot write {path}: {e}")),
+                },
+                Err(e) => out.push_str(&format!("\ncannot encode container: {e}")),
+            }
+        }
+        out
+    }
+
     fn cmd_restart_slice(&mut self) -> String {
         match self.stepper.as_mut() {
             Some(stepper) => {
@@ -663,7 +698,7 @@ DrDebug commands:
   info container                container format report (frames, codecs, sizes)
   continue | c                  replay until breakpoint/trap/end
   stepi [n] | si                step n instructions
-  reverse-stepi | rsi           step one instruction BACKWARDS
+  reverse-stepi | reverse-step | rsi   step one instruction BACKWARDS
   reverse-continue | rc         run backwards to the previous break/watch hit
   seek <n>                      jump to instruction n (O(chunk) w/ checkpoints)
   watch <addr|sym>              stop when a memory word is written
@@ -684,6 +719,8 @@ DrDebug commands:
   save-slice-file <path>        write the slice + exclusion regions to disk
   load-slice-file <path>        load a slice saved by a previous session
   replay-slice <idx>            build + load the slice pinball
+  relog <idx> [path]            relog a saved slice into a content-addressed
+                                v3 slice-pinball container (optionally to disk)
   step-slice                    run to the next slice statement
   restart-slice                 replay the slice pinball from the start
 ";
@@ -798,7 +835,44 @@ mod tests {
         assert!(d.execute("frobnicate").contains("unknown command"));
         assert!(d.execute("help").contains("step-slice"));
         assert!(d.execute("help").contains("metrics"));
+        assert!(d.execute("help").contains("relog"));
+        assert!(d.execute("help").contains("reverse-step"));
         assert_eq!(d.execute(""), "");
+    }
+
+    #[test]
+    fn relog_writes_a_loadable_slice_pinball_container() {
+        let mut d = interp(PROG);
+        d.execute("break 5");
+        d.execute("continue");
+        d.execute("slice r3");
+        d.execute("save-slice");
+        assert!(d.execute("relog 9").contains("no saved slice 9"));
+        let path = std::env::temp_dir().join("drdebug-relog-cmd-test.pb3");
+        let path_s = path.to_str().unwrap().to_owned();
+        let out = d.execute(&format!("relog 0 {path_s}"));
+        assert!(out.contains("relogged slice 0"), "{out}");
+        assert!(out.contains("instructions kept"), "{out}");
+        assert!(out.contains("slice pinball written"), "{out}");
+        // The written container round-trips and replays as a new session.
+        let bytes = std::fs::read(&path).unwrap();
+        let container = pinplay::PinballContainer::from_bytes(&bytes).unwrap();
+        assert!(container.pinball.meta.is_slice);
+        let program = std::sync::Arc::clone(d.session().program());
+        let mut d2 = CommandInterpreter::new(DebugSession::with_container(program, container));
+        let out = d2.execute("continue");
+        assert!(out.contains("replay finished"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reverse_step_alias_matches_reverse_stepi() {
+        let mut d = interp(PROG);
+        d.execute("stepi 4");
+        let out = d.execute("reverse-step");
+        assert!(out.contains("stepped"), "{out}");
+        let back = d.execute("print x");
+        assert!(back.contains("x = 0"), "store rolled back: {back}");
     }
 
     #[test]

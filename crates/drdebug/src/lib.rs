@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adx;
 pub mod browse;
 pub mod commands;
@@ -58,9 +60,11 @@ pub mod live;
 pub mod session;
 pub mod stepper;
 
-pub use adx::{spawn_engine, AdxClient, AdxRequest, AdxResponse};
+pub use adx::{spawn_engine, spawn_engine_container, AdxClient, AdxRequest, AdxResponse};
 pub use browse::{DepEdge, SliceBrowser};
 pub use commands::CommandInterpreter;
 pub use live::{LiveSession, LiveStop};
-pub use session::{Breakpoint, DebugSession, SeekMetrics, StopReason, StopSite};
+pub use session::{
+    Breakpoint, DebugSession, RelogReport, SeekMetrics, StopReason, StopSite, Watchpoint,
+};
 pub use stepper::{SliceStep, SliceStepper};

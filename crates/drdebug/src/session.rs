@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use minivm::{Addr, Pc, Program, Reg, Tid, ToolControl, VmError};
-use pinplay::{Pinball, PinballContainer, ReplayStatus, Replayer};
+use pinplay::{Pinball, PinballContainer, PinballDigest, ReplayStatus, Replayer};
 use slicer::{
     compute_slice_indexed, Criterion, DepIndex, LocKey, Slice, SliceMetrics, SliceOptions,
     SliceSession, SliceStats, SlicerOptions,
@@ -618,62 +618,148 @@ impl DebugSession {
         self.seek(cur - 1)
     }
 
+    /// rr-style name for [`DebugSession::reverse_stepi`]: restores the
+    /// nearest earlier checkpoint and replays forward to the state exactly
+    /// one instruction back.
+    pub fn reverse_step(&mut self) -> StopReason {
+        self.reverse_stepi()
+    }
+
+    /// Steps `n` instructions forward, stopping early at a trap or the end
+    /// of the region. Returns the last stop reason (`ReplayStart` when
+    /// `n == 0`).
+    pub fn run_steps(&mut self, n: u64) -> StopReason {
+        let mut last = StopReason::ReplayStart;
+        for _ in 0..n {
+            last = self.stepi();
+            if matches!(last, StopReason::ReplayEnd | StopReason::Trapped(_)) {
+                break;
+            }
+        }
+        last
+    }
+
+    /// A digest of the complete replay state at the current position
+    /// (machine state, syscall queues, log cursor — see
+    /// [`Replayer::state_digest`]). Replay determinism makes this a pure
+    /// function of the position: `reverse_step` after `run_steps(n)` lands
+    /// on exactly the hash observed at step `n - 1`, however the seek was
+    /// served (session checkpoint, container checkpoint, or full restart).
+    pub fn state_hash(&self) -> u64 {
+        self.replayer.state_digest()
+    }
+
+    /// A replayer positioned at exactly `base` retired instructions, restored
+    /// from the cheapest matching checkpoint (session clone, then embedded
+    /// container checkpoint, then the region entry). Reverse execution uses
+    /// this to probe one checkpoint window at a time.
+    fn probe_at(&mut self, base: u64) -> Replayer {
+        if let Some((_, r)) = self.checkpoints.iter().rev().find(|&&(s, _)| s == base) {
+            self.seek_metrics.session_restores += 1;
+            return r.clone();
+        }
+        if let Some(cp) = self.container.nearest_checkpoint(base) {
+            if cp.instr == base {
+                self.seek_metrics.container_restores += 1;
+                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                r.restore_checkpoint(cp);
+                return r;
+            }
+        }
+        self.seek_metrics.full_restarts += 1;
+        Replayer::new(Arc::clone(&self.program), &self.container.pinball)
+    }
+
     /// Runs *backwards* to the most recent breakpoint/watchpoint hit before
-    /// the current position (or to the region entry if none).
+    /// the current position (or to the region entry if none) — the rr
+    /// recipe: restore the nearest checkpoint and replay forward through its
+    /// window looking for the *last* hit, widening to the previous
+    /// checkpoint only when the window contains none. The scan therefore
+    /// replays O(window) instructions when the hit is recent — the common
+    /// cyclic-debugging case — instead of always rescanning from the region
+    /// entry.
     pub fn reverse_continue(&mut self) -> StopReason {
         let cur = self.replayer.replayed_instructions();
         if cur == 0 {
             return StopReason::ReplayStart;
         }
-        // Forward scan from the region entry, remembering the last hit
-        // strictly before the current position.
-        let bps = &self.breakpoints;
-        let wps = &self.watchpoints;
-        let mut probe = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
-        let mut best: Option<(u64, StopReason)> = None;
-        let mut tool = |ev: &minivm::InsEvent| {
-            let after = ev.seq + 1;
-            if after >= cur {
-                return ToolControl::Stop;
+        let started = Instant::now();
+        // Candidate window bases: the region entry plus every checkpoint
+        // (embedded or session-local) strictly before the current position.
+        let mut bases: Vec<u64> = std::iter::once(0)
+            .chain(self.container.checkpoints.iter().map(|c| c.instr))
+            .chain(self.checkpoints.iter().map(|&(s, _)| s))
+            .filter(|&s| s < cur)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        // Windows cover stop positions in (base, upper], youngest first; a
+        // stop position `p` means "after `p` instructions retired", and the
+        // search is capped at `cur - 1` so the hit is strictly in the past.
+        let mut upper = cur;
+        for i in (0..bases.len()).rev() {
+            let base = bases[i];
+            let stop_at = upper.min(cur - 1);
+            if stop_at <= base {
+                upper = base;
+                continue;
             }
-            for (&id, bp) in bps.iter() {
-                if bp.enabled && bp.pc == ev.pc && bp.tid.is_none_or(|t| t == ev.tid) {
-                    best = Some((
-                        after,
-                        StopReason::Breakpoint {
-                            id,
-                            tid: ev.tid,
-                            pc: ev.pc,
-                        },
-                    ));
+            let mut probe = self.probe_at(base);
+            let probe_base = probe.replayed_instructions();
+            let bps = &self.breakpoints;
+            let wps = &self.watchpoints;
+            let mut best: Option<(u64, StopReason)> = None;
+            let mut tool = |ev: &minivm::InsEvent| {
+                let after = ev.seq + 1;
+                if after > stop_at {
+                    return ToolControl::Stop;
                 }
-            }
-            for (&id, wp) in wps.iter() {
-                if !wp.enabled {
-                    continue;
+                for (&id, bp) in bps.iter() {
+                    if bp.enabled && bp.pc == ev.pc && bp.tid.is_none_or(|t| t == ev.tid) {
+                        best = Some((
+                            after,
+                            StopReason::Breakpoint {
+                                id,
+                                tid: ev.tid,
+                                pc: ev.pc,
+                            },
+                        ));
+                    }
                 }
-                if let Some(value) = ev.defs.value_of(minivm::Loc::Mem(wp.addr)) {
-                    best = Some((
-                        after,
-                        StopReason::Watchpoint {
-                            id,
-                            tid: ev.tid,
-                            pc: ev.pc,
-                            value,
-                        },
-                    ));
+                for (&id, wp) in wps.iter() {
+                    if !wp.enabled {
+                        continue;
+                    }
+                    if let Some(value) = ev.defs.value_of(minivm::Loc::Mem(wp.addr)) {
+                        best = Some((
+                            after,
+                            StopReason::Watchpoint {
+                                id,
+                                tid: ev.tid,
+                                pc: ev.pc,
+                                value,
+                            },
+                        ));
+                    }
                 }
+                if after == stop_at {
+                    ToolControl::Stop
+                } else {
+                    ToolControl::Continue
+                }
+            };
+            let _ = probe.run(&mut tool);
+            self.seek_metrics.instructions_replayed +=
+                probe.replayed_instructions().saturating_sub(probe_base);
+            if let Some((pos, reason)) = best {
+                self.seek_metrics.wall += started.elapsed();
+                self.seek(pos);
+                return reason;
             }
-            ToolControl::Continue
-        };
-        let _ = probe.run(&mut tool);
-        match best {
-            Some((seq, reason)) => {
-                self.seek(seq);
-                reason
-            }
-            None => self.seek(0),
+            upper = base;
         }
+        self.seek_metrics.wall += started.elapsed();
+        self.seek(0)
     }
 
     /// Steps one instruction of the replay.
@@ -884,6 +970,72 @@ impl DebugSession {
         let (pb, _, _) = slicer.make_slice_pinball(&self.container.pinball, slice);
         pb
     }
+
+    /// Relogs a saved slice into a v3 slice-pinball *container*: the slice
+    /// pinball of [`DebugSession::make_slice_pinball`], packaged with
+    /// embedded checkpoints at the session's checkpoint interval and
+    /// content-addressed by its digest — ready to be written to disk,
+    /// uploaded to drserve, or opened as a fresh [`DebugSession`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn relog_slice(&mut self, index: usize) -> (PinballContainer, RelogReport) {
+        assert!(index < self.saved_slices.len(), "no saved slice {index}");
+        let slice = self.saved_slices[index].clone();
+        self.relog_of(&slice)
+    }
+
+    /// Computes a slice for an explicit criterion and relogs it in one step
+    /// — the server-side `Relog` entry point. The slice itself is not
+    /// retained in the saved-slice list.
+    pub fn relog_criterion(
+        &mut self,
+        criterion: Criterion,
+        opts: SliceOptions,
+    ) -> (PinballContainer, RelogReport) {
+        let slice = self.slice_criterion(criterion, opts);
+        self.relog_of(&slice)
+    }
+
+    fn relog_of(&mut self, slice: &Slice) -> (PinballContainer, RelogReport) {
+        self.slicer(); // ensure collected
+        let slicer = self.slicer.as_ref().expect("collected above");
+        let (pb, relog_stats, excl_stats) =
+            slicer.make_slice_pinball(&self.container.pinball, slice);
+        let instructions = pb.logged_instructions();
+        let container =
+            PinballContainer::with_checkpoints(pb, &self.program, self.checkpoint_interval);
+        let report = RelogReport {
+            digest: container.digest(),
+            instructions,
+            kept: relog_stats.included,
+            excluded: relog_stats.excluded,
+            in_slice: excl_stats.in_slice,
+            forced: excl_stats.forced,
+        };
+        (container, report)
+    }
+}
+
+/// Summary of a relogging pass: the content digest of the resulting v3
+/// slice-pinball container plus how much of the region it kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelogReport {
+    /// Content digest of the slice-pinball container (its upload identity
+    /// under drserve).
+    pub digest: PinballDigest,
+    /// Instructions in the slice pinball's replay log.
+    pub instructions: u64,
+    /// Region instructions kept (slice statements plus forced sync).
+    pub kept: u64,
+    /// Region instructions excluded (side effects became injections).
+    pub excluded: u64,
+    /// Kept instances that are slice statements.
+    pub in_slice: u64,
+    /// Kept instances force-included only for schedule validity
+    /// (synchronization and thread-lifecycle instructions).
+    pub forced: u64,
 }
 
 #[cfg(test)]

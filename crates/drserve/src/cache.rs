@@ -319,6 +319,161 @@ impl IndexCache {
     }
 }
 
+/// What one relog produced: the handle and counters a repeat request can
+/// answer with, without touching the session again. The slice-pinball
+/// container itself lives in the server's content-addressed store under
+/// `digest`; the cache only remembers that it exists.
+#[derive(Debug, Clone, Copy)]
+pub struct RelogOutcome {
+    /// Content digest of the slice pinball in the store.
+    pub digest: PinballDigest,
+    /// The debugger's relog report (kept/excluded/forced counters).
+    pub report: drdebug::RelogReport,
+    /// Serialized size of the stored container, for byte accounting.
+    pub bytes: u64,
+}
+
+/// Cache key for a relog: which pinball, sliced where, under which
+/// options. Unlike [`IndexKey`] the criterion *is* part of the key — each
+/// criterion relogs to a different slice pinball.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RelogKey {
+    digest: PinballDigest,
+    criterion: CriterionKey,
+    options: u64,
+}
+
+struct RelogEntry {
+    /// Single-flight slot, exactly as in [`IndexCache`]: the builder
+    /// fills it under the lock; concurrent requesters for the same key
+    /// block here instead of relogging twice.
+    slot: Arc<Mutex<Option<Arc<RelogOutcome>>>>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct RelogInner {
+    map: HashMap<RelogKey, RelogEntry>,
+    tick: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe cache of relog outcomes keyed by
+/// (pinball digest, criterion, options fingerprint), with single-flight
+/// builds mirroring [`IndexCache`]: concurrent relog requests for the
+/// same slice produce exactly one slice pinball.
+pub struct RelogCache {
+    inner: Mutex<RelogInner>,
+    capacity: usize,
+}
+
+impl RelogCache {
+    /// Creates a cache holding at most `capacity` outcomes (min 1).
+    pub fn new(capacity: usize) -> RelogCache {
+        RelogCache {
+            inner: Mutex::new(RelogInner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached outcome for the key, building it with `build`
+    /// exactly once per cache residency. The second element is `true`
+    /// when the cache answered without running `build` — the wire-level
+    /// `cached` flag. Concurrent callers for the same key block until the
+    /// one build finishes; the outer map lock is never held across a
+    /// build.
+    pub fn get_or_build<F>(
+        &self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options_fingerprint: u64,
+        build: F,
+    ) -> (Arc<RelogOutcome>, bool)
+    where
+        F: FnOnce() -> Arc<RelogOutcome>,
+    {
+        let key = RelogKey {
+            digest,
+            criterion: criterion.into(),
+            options: options_fingerprint,
+        };
+        let slot = {
+            let mut inner = self.inner.lock().expect("relog cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                let slot = Arc::clone(&entry.slot);
+                inner.hits += 1;
+                slot
+            } else {
+                inner.misses += 1;
+                while inner.map.len() >= self.capacity {
+                    // O(entries) scan; capacity is a configuration-sized
+                    // bound, not a dataset.
+                    let victim = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| *k)
+                        .expect("map non-empty while over capacity");
+                    let evicted = inner.map.remove(&victim).expect("victim present");
+                    inner.bytes -= evicted.bytes;
+                    inner.evictions += 1;
+                }
+                let slot = Arc::new(Mutex::new(None));
+                inner.map.insert(
+                    key,
+                    RelogEntry {
+                        slot: Arc::clone(&slot),
+                        bytes: 0,
+                        last_used: tick,
+                    },
+                );
+                slot
+            }
+        };
+        let mut guard = slot.lock().expect("relog slot lock");
+        if let Some(outcome) = guard.as_ref() {
+            return (Arc::clone(outcome), true);
+        }
+        let outcome = build();
+        *guard = Some(Arc::clone(&outcome));
+        let bytes = outcome.bytes;
+        let mut inner = self.inner.lock().expect("relog cache lock");
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // The entry may have been evicted while the build ran; only a
+            // still-resident entry contributes to the byte count.
+            let delta = bytes - entry.bytes;
+            entry.bytes = bytes;
+            inner.bytes += delta;
+        }
+        (outcome, false)
+    }
+
+    /// Counter snapshot for the `Stats` path.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("relog cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +624,59 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.misses, s.hits, s.evictions, s.entries), (3, 1, 2, 1));
         assert_eq!(s.bytes, index.approx_bytes(), "evicted bytes freed");
+    }
+
+    fn outcome(tag: u64) -> Arc<RelogOutcome> {
+        Arc::new(RelogOutcome {
+            digest: PinballDigest(tag),
+            report: drdebug::RelogReport::default(),
+            bytes: 100,
+        })
+    }
+
+    #[test]
+    fn relog_cache_single_flight_and_cached_flag() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let cache = RelogCache::new(4);
+        let c = Criterion::Record { id: 1 };
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let builds = &builds;
+                scope.spawn(move || {
+                    let (got, _cached) = cache.get_or_build(D, c, 0, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        outcome(0xabc)
+                    });
+                    assert_eq!(got.digest, PinballDigest(0xabc));
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-flight");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries, s.bytes), (1, 7, 1, 100));
+        // The builder's own call reports uncached; a later call is cached.
+        let (_, cached) = cache.get_or_build(D, c, 0, || outcome(0xabc));
+        assert!(cached, "repeat relog is served from the cache");
+    }
+
+    #[test]
+    fn relog_cache_keys_on_criterion_and_options() {
+        let cache = RelogCache::new(8);
+        let a = Criterion::Record { id: 1 };
+        let b = Criterion::Record { id: 2 };
+        let (_, cached) = cache.get_or_build(D, a, 0, || outcome(1));
+        assert!(!cached, "cold key builds");
+        let (_, cached) = cache.get_or_build(D, b, 0, || outcome(2));
+        assert!(!cached, "different criterion is a different slice pinball");
+        let (_, cached) = cache.get_or_build(D, a, 9, || outcome(3));
+        assert!(!cached, "different options relog differently");
+        let (got, cached) = cache.get_or_build(D, a, 0, || outcome(4));
+        assert!(cached);
+        assert_eq!(got.digest, PinballDigest(1), "original outcome retained");
+        assert_eq!(cache.stats().misses, 3);
     }
 }

@@ -71,6 +71,24 @@ pub struct SliceReply {
     pub micros: u64,
 }
 
+/// Result of a relog request: the slice pinball's identity and size.
+#[derive(Debug, Clone, Copy)]
+pub struct RelogReply {
+    /// Content digest of the slice pinball — pass to [`Client::open`] to
+    /// debug it or [`Client::fetch`] to download it.
+    pub digest: PinballDigest,
+    /// Instructions the slice pinball's replay retires.
+    pub instructions: u64,
+    /// Region instructions kept (slice statements + forced sync).
+    pub kept: u64,
+    /// Region instructions the relog excluded.
+    pub excluded: u64,
+    /// Whether the server's relog cache served it without rebuilding.
+    pub cached: bool,
+    /// Server-side handling time, microseconds.
+    pub micros: u64,
+}
+
 /// Wire-level counters of one client connection: how many exchanges ran
 /// and how many encoded bytes crossed the stream in each direction
 /// (frame headers included). Surfaced by [`Client::wire_stats`] so tools
@@ -284,6 +302,59 @@ impl<S: Read + Write> Client<S> {
                 micros,
             }),
             other => Err(unexpected("Slice", &other)),
+        }
+    }
+
+    /// Relogs a dynamic slice into a server-stored *slice pinball* and
+    /// returns its content digest. The result is cached server-side by
+    /// (pinball, criterion, options), so repeating the request answers
+    /// from the cache with the same digest.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `at` cannot be resolved;
+    /// [`ServeError::UnknownSession`] for a dead session handle.
+    pub fn relog(
+        &mut self,
+        session: SessionId,
+        at: SliceAt,
+        options: SliceOptions,
+    ) -> Result<RelogReply, ClientError> {
+        match self.call(&Request::Relog {
+            session,
+            at,
+            options,
+        })? {
+            Response::Relogged {
+                digest,
+                instructions,
+                kept,
+                excluded,
+                cached,
+                micros,
+            } => Ok(RelogReply {
+                digest,
+                instructions,
+                kept,
+                excluded,
+                cached,
+                micros,
+            }),
+            other => Err(unexpected("Relogged", &other)),
+        }
+    }
+
+    /// Downloads a stored pinball container (an upload or a relogged
+    /// slice pinball) as serialized bytes, loadable with
+    /// [`PinballContainer::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownPinball`] if the digest is not stored.
+    pub fn fetch(&mut self, digest: PinballDigest) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::FetchPinball { digest })? {
+            Response::PinballData { container, .. } => Ok(container),
+            other => Err(unexpected("PinballData", &other)),
         }
     }
 

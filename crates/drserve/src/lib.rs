@@ -81,7 +81,8 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, SliceReply, Uploaded, WireStats};
+pub use cache::RelogOutcome;
+pub use client::{Client, ClientError, RelogReply, SliceReply, Uploaded, WireStats};
 pub use loopback::{pipe, LoopbackStream};
 pub use proto::{
     CacheStats, OpStats, RecvError, Request, Response, ServeError, ServeStats, SessionId,

@@ -99,6 +99,27 @@ pub enum Request {
         /// [`SliceOptions::fingerprint`].
         options: SliceOptions,
     },
+    /// Relog a dynamic slice into a *slice pinball*: a v3 container that
+    /// replays only the slice statements (plus forced synchronization).
+    /// The result is stored server-side under its own content digest —
+    /// downloadable with [`Request::FetchPinball`] and sliceable like any
+    /// upload — and cached by (pinball digest, criterion, options
+    /// fingerprint) with single-flight dedup.
+    Relog {
+        /// The session whose pinball is relogged.
+        session: SessionId,
+        /// Where to anchor the slice being relogged.
+        at: SliceAt,
+        /// Traversal options; part of the cache key via
+        /// [`SliceOptions::fingerprint`].
+        options: SliceOptions,
+    },
+    /// Download a stored pinball container (an upload or a relogged slice
+    /// pinball) as serialized bytes.
+    FetchPinball {
+        /// Content digest of the container to fetch.
+        digest: PinballDigest,
+    },
     /// Fetch server metrics: per-op latency, cache hit rate, pool state.
     Stats,
     /// Close a session, returning its pool slot.
@@ -118,6 +139,8 @@ impl Request {
             Request::Run { .. } => "run",
             Request::Seek { .. } => "seek",
             Request::ComputeSlice { .. } => "slice",
+            Request::Relog { .. } => "relog",
+            Request::FetchPinball { .. } => "fetch",
             Request::Stats => "stats",
             Request::CloseSession { .. } => "close",
         }
@@ -179,6 +202,31 @@ pub enum Response {
         cached: bool,
         /// Server-side time spent answering, in microseconds.
         micros: u64,
+    },
+    /// A slice pinball was produced (or served from the relog cache).
+    Relogged {
+        /// Content digest of the slice pinball — open it with
+        /// [`Request::OpenSession`] or download it with
+        /// [`Request::FetchPinball`].
+        digest: PinballDigest,
+        /// Instructions the slice pinball's replay retires.
+        instructions: u64,
+        /// Instructions kept by the relog (slice statements + forced
+        /// synchronization); always equals `instructions`.
+        kept: u64,
+        /// Instructions of the original region the relog skipped.
+        excluded: u64,
+        /// Whether the relog cache served it without rebuilding.
+        cached: bool,
+        /// Server-side time spent answering, in microseconds.
+        micros: u64,
+    },
+    /// Serialized container bytes for a [`Request::FetchPinball`].
+    PinballData {
+        /// The digest that was fetched.
+        digest: PinballDigest,
+        /// Container bytes ([`pinplay::PinballContainer::to_bytes`]).
+        container: Vec<u8>,
     },
     /// Server statistics snapshot.
     Stats(ServeStats),
@@ -474,6 +522,10 @@ pub struct ServeStats {
     /// are queries (any criterion, same pinball and options) answered by
     /// an already-built index.
     pub index_cache: CacheStats,
+    /// Relog-cache counters. A miss is one slice-pinball build; hits are
+    /// repeat relog requests (same pinball, criterion, and options)
+    /// answered by the stored digest.
+    pub relog_cache: CacheStats,
     /// Session-pool counters.
     pub sessions: SessionStats,
     /// Distinct pinballs stored.
@@ -533,6 +585,16 @@ impl fmt::Display for ServeStats {
             self.index_cache.entries,
             self.index_cache.evictions,
             self.index_cache.bytes,
+        )?;
+        writeln!(
+            f,
+            "relog cache      {:>8} hits / {} misses ({}% hit rate), {} entries, {} evictions, {} bytes",
+            self.relog_cache.hits,
+            self.relog_cache.misses,
+            self.relog_cache.hit_rate_percent(),
+            self.relog_cache.entries,
+            self.relog_cache.evictions,
+            self.relog_cache.bytes,
         )?;
         writeln!(
             f,

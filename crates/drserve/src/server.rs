@@ -25,7 +25,7 @@ use minivm::Program;
 use pinplay::{PinballContainer, PinballDigest};
 use slicer::Criterion;
 
-use crate::cache::{IndexCache, SliceCache};
+use crate::cache::{IndexCache, RelogCache, RelogOutcome, SliceCache};
 use crate::client::Client;
 use crate::loopback::{pipe, LoopbackStream};
 use crate::metrics::ServeMetrics;
@@ -47,6 +47,10 @@ pub struct ServeConfig {
     /// Maximum cached dependence indexes (one per pinball digest and
     /// options fingerprint; each costs memory proportional to the trace).
     pub index_cache_capacity: usize,
+    /// Maximum cached relog outcomes (one per pinball digest, criterion,
+    /// and options fingerprint; the slice pinballs themselves live in the
+    /// content-addressed store).
+    pub relog_cache_capacity: usize,
     /// Back-off hint attached to [`ServeError::Busy`] rejections.
     pub retry_after_ms: u64,
 }
@@ -58,6 +62,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(300),
             cache_capacity: 256,
             index_cache_capacity: 32,
+            relog_cache_capacity: 32,
             retry_after_ms: 50,
         }
     }
@@ -74,6 +79,7 @@ struct ServerState {
     pool: SessionManager,
     cache: SliceCache,
     index_cache: IndexCache,
+    relog_cache: RelogCache,
     metrics: ServeMetrics,
 }
 
@@ -96,6 +102,7 @@ impl Server {
                 ),
                 cache: SliceCache::new(config.cache_capacity),
                 index_cache: IndexCache::new(config.index_cache_capacity),
+                relog_cache: RelogCache::new(config.relog_cache_capacity),
                 metrics: ServeMetrics::new(),
             }),
         }
@@ -225,6 +232,75 @@ impl Server {
                     micros: started.elapsed().as_micros() as u64,
                 })
             }
+            Request::Relog {
+                session,
+                at,
+                options,
+            } => {
+                let started = Instant::now();
+                let (slot, digest) = self.state.pool.checkout(session)?;
+                let criterion = resolve_criterion(&slot, at)?;
+                let fingerprint = options.fingerprint();
+                let (outcome, cached) =
+                    self.state
+                        .relog_cache
+                        .get_or_build(digest, criterion, fingerprint, || {
+                            // Resolve the dependence index through the
+                            // shared cache (one build per pinball and
+                            // options), relog under the session lock, then
+                            // publish the slice pinball into the
+                            // content-addressed store so it is open-able,
+                            // fetchable, and sliceable like any upload.
+                            let index =
+                                self.state
+                                    .index_cache
+                                    .get_or_build(digest, fingerprint, || {
+                                        slot.lock().expect("session lock").dep_index_for(&options)
+                                    });
+                            let (container, report) = {
+                                let mut guard = slot.lock().expect("session lock");
+                                guard.install_dep_index(fingerprint, index);
+                                guard.relog_criterion(criterion, options)
+                            };
+                            let slice_digest = container.digest();
+                            let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
+                            let mut store = self.state.store.lock().expect("store lock");
+                            if let Some(program) =
+                                store.get(&digest).map(|s| Arc::clone(&s.program))
+                            {
+                                store
+                                    .entry(slice_digest)
+                                    .or_insert(Stored { program, container });
+                            }
+                            Arc::new(RelogOutcome {
+                                digest: slice_digest,
+                                report,
+                                bytes,
+                            })
+                        });
+                Ok(Response::Relogged {
+                    digest: outcome.digest,
+                    instructions: outcome.report.instructions,
+                    kept: outcome.report.kept,
+                    excluded: outcome.report.excluded,
+                    cached,
+                    micros: started.elapsed().as_micros() as u64,
+                })
+            }
+            Request::FetchPinball { digest } => {
+                let container = {
+                    let store = self.state.store.lock().expect("store lock");
+                    let stored = store
+                        .get(&digest)
+                        .ok_or(ServeError::UnknownPinball { digest })?;
+                    stored.container.clone()
+                };
+                let bytes = container.to_bytes()?;
+                Ok(Response::PinballData {
+                    digest,
+                    container: bytes,
+                })
+            }
             Request::Stats => Ok(Response::Stats(self.stats())),
             Request::CloseSession { session } => {
                 self.state.pool.close(session)?;
@@ -238,6 +314,7 @@ impl Server {
         let mut stats = self.state.metrics.snapshot();
         stats.cache = self.state.cache.stats();
         stats.index_cache = self.state.index_cache.stats();
+        stats.relog_cache = self.state.relog_cache.stats();
         stats.sessions = self.state.pool.stats();
         stats.pinballs = self.state.store.lock().expect("store lock").len() as u64;
         stats

@@ -261,6 +261,70 @@ fn typed_errors_for_misuse() {
     assert_eq!(stats.errors, 4);
 }
 
+/// Relog round-trip: the server turns a failure slice into a
+/// content-addressed slice pinball; the digest opens and slices like any
+/// upload, the container downloads and slices identically in a local
+/// session, and a repeat relog answers from the single-flight cache.
+#[test]
+fn relog_round_trip_slices_identically_on_server_and_locally() {
+    let (program, pinball) = recorded();
+    let server = Server::new(ServeConfig::default());
+    let mut client = server.loopback_client();
+    let up = client.upload(&program, &pinball).expect("upload");
+    let session = client.open(up.digest).expect("open");
+
+    let relog = client
+        .relog(session, SliceAt::Failure, SliceOptions::default())
+        .expect("relog");
+    assert!(!relog.cached, "cold relog builds");
+    assert_eq!(relog.instructions, relog.kept);
+    assert_eq!(
+        relog.kept + relog.excluded,
+        up.instructions,
+        "every region instruction is either kept or excluded"
+    );
+    assert_ne!(relog.digest, up.digest, "the slice pinball is a new object");
+
+    // The identical request again is served from the relog cache with the
+    // same content digest.
+    let again = client
+        .relog(session, SliceAt::Failure, SliceOptions::default())
+        .expect("relog again");
+    assert!(again.cached, "repeat relog hits the cache");
+    assert_eq!(again.digest, relog.digest);
+
+    // The relogged digest opens and slices like any upload ...
+    let sliced_session = client.open(relog.digest).expect("open slice pinball");
+    let server_slice = client
+        .compute_slice(sliced_session, SliceAt::Failure, SliceOptions::default())
+        .expect("slice the slice pinball");
+
+    // ... and the downloaded container slices identically locally.
+    let bytes = client.fetch(relog.digest).expect("fetch slice pinball");
+    let container = PinballContainer::from_bytes(&bytes).expect("downloaded container loads");
+    assert_eq!(container.digest(), relog.digest, "content-addressed bytes");
+    assert_eq!(container.pinball.logged_instructions(), relog.instructions);
+    let mut local = DebugSession::with_container(Arc::clone(&program), container);
+    let id = local.slicer().failure_record().expect("trace non-empty").id;
+    let slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+    assert_eq!(
+        WireSlice::from_slice(&slice).canonical_bytes(),
+        server_slice.slice.canonical_bytes(),
+        "server and local slices of the slice pinball are byte-identical"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0, "clean run: {stats}");
+    assert_eq!(stats.relog_cache.misses, 1, "one slice-pinball build");
+    assert_eq!(stats.relog_cache.hits, 1, "the repeat request hit");
+    assert!(stats.relog_cache.bytes > 0, "stored container is accounted");
+    assert_eq!(
+        stats.pinballs, 2,
+        "the slice pinball is stored alongside the upload"
+    );
+    assert!(stats.op("relog").is_some(), "relog op is metered");
+}
+
 #[test]
 fn seek_then_slice_here_matches_run_position() {
     let (program, pinball) = recorded();

@@ -259,6 +259,10 @@ impl std::error::Error for PinballError {}
 #[derive(Debug, Default)]
 pub struct ScheduleBuilder {
     events: Vec<ReplayEvent>,
+    // Address → slot in the currently-open `Inject` event (the log's last
+    // event). Valid only while that event stays last; `inject` rebuilds it
+    // whenever a new `Inject` run opens.
+    inject_slots: std::collections::HashMap<Addr, usize>,
 }
 
 impl ScheduleBuilder {
@@ -285,11 +289,25 @@ impl ScheduleBuilder {
 
     /// Appends a memory injection at the current position, merging into a
     /// preceding `Inject` when possible (relogger only).
+    ///
+    /// Consecutive injections with no intervening schedule entry are
+    /// unobservable individually — no included instruction runs between
+    /// them — so a repeated address overwrites its earlier slot instead of
+    /// growing the event: each `Inject` carries at most one (final) value
+    /// per address, keeping slice pinballs proportional to the *locations*
+    /// excluded code touched, not the writes it performed.
     pub fn inject(&mut self, addr: Addr, value: i64) {
         if let Some(ReplayEvent::Inject { mems }) = self.events.last_mut() {
-            mems.push((addr, value));
+            if let Some(&slot) = self.inject_slots.get(&addr) {
+                mems[slot] = (addr, value);
+            } else {
+                self.inject_slots.insert(addr, mems.len());
+                mems.push((addr, value));
+            }
             return;
         }
+        self.inject_slots.clear();
+        self.inject_slots.insert(addr, 0);
         self.events.push(ReplayEvent::Inject {
             mems: vec![(addr, value)],
         });

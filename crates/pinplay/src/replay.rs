@@ -214,6 +214,25 @@ impl Replayer {
         self.done_in_event = cp.done_in_event;
     }
 
+    /// A 64-bit digest (FNV-1a over the serialized [`ReplayCheckpoint`]) of
+    /// the complete replay state at the current position: machine state,
+    /// remaining syscall queues, and log cursor. Replay determinism makes
+    /// the state a pure function of the pinball and the retired-instruction
+    /// count, so two replayers of the same pinball that retired the same
+    /// number of instructions digest identically — however they got there
+    /// (straight-line replay, checkpoint restore, or a seek). The
+    /// reverse-execution property tests use this to assert that a backward
+    /// step lands on exactly the corresponding forward state.
+    pub fn state_digest(&self) -> u64 {
+        let bytes = serde_json::to_vec(&self.checkpoint()).expect("checkpoint serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Restores `cp` and replays forward to `target` retired instructions
     /// (uninstrumented). Returns the number of instructions replayed.
     pub fn run_from_checkpoint(&mut self, cp: &ReplayCheckpoint, target: u64) -> u64 {
