@@ -115,13 +115,9 @@ fn bench_codec(c: &mut Criterion) {
         load_v3.as_nanos(),
         roundtrip_speedup,
     );
-    let dir = std::path::Path::new("target/bench");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("codec.json");
-        match std::fs::write(&path, report) {
-            Ok(()) => println!("codec bench report written to {}", path.display()),
-            Err(e) => eprintln!("codec bench report not written: {e}"),
-        }
+    match bench::report::write_report("codec.json", &report) {
+        Ok(path) => println!("codec bench report written to {}", path.display()),
+        Err(e) => eprintln!("codec bench report not written: {e}"),
     }
 }
 

@@ -112,13 +112,9 @@ fn bench_incremental(c: &mut Bencher) {
         build.as_nanos(),
         index.stats().edges,
     );
-    let dir = std::path::Path::new("target/bench");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("incremental.json");
-        match std::fs::write(&path, report) {
-            Ok(()) => println!("incremental bench report written to {}", path.display()),
-            Err(e) => eprintln!("incremental bench report not written: {e}"),
-        }
+    match bench::report::write_report("incremental.json", &report) {
+        Ok(path) => println!("incremental bench report written to {}", path.display()),
+        Err(e) => eprintln!("incremental bench report not written: {e}"),
     }
 }
 

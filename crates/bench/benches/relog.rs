@@ -80,13 +80,9 @@ fn bench_relog(c: &mut Criterion) {
         relog.as_nanos(),
         replay_speedup,
     );
-    let dir = std::path::Path::new("target/bench");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("relog.json");
-        match std::fs::write(&path, report) {
-            Ok(()) => println!("relog bench report written to {}", path.display()),
-            Err(e) => eprintln!("relog bench report not written: {e}"),
-        }
+    match bench::report::write_report("relog.json", &report) {
+        Ok(path) => println!("relog bench report written to {}", path.display()),
+        Err(e) => eprintln!("relog bench report not written: {e}"),
     }
 }
 

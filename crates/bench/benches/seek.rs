@@ -94,13 +94,9 @@ fn bench_seek(c: &mut Criterion) {
         container.checkpoints.len(),
         points.join(",\n    "),
     );
-    let dir = std::path::Path::new("target/bench");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("seek.json");
-        match std::fs::write(&path, report) {
-            Ok(()) => println!("seek bench report written to {}", path.display()),
-            Err(e) => eprintln!("seek bench report not written: {e}"),
-        }
+    match bench::report::write_report("seek.json", &report) {
+        Ok(path) => println!("seek bench report written to {}", path.display()),
+        Err(e) => eprintln!("seek bench report not written: {e}"),
     }
 }
 

@@ -108,13 +108,9 @@ fn bench_serve(c: &mut Criterion) {
         cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
         final_stats.cache.hit_rate_percent(),
     );
-    let dir = std::path::Path::new("target/bench");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("serve.json");
-        match std::fs::write(&path, report) {
-            Ok(()) => println!("serve bench report written to {}", path.display()),
-            Err(e) => eprintln!("serve bench report not written: {e}"),
-        }
+    match bench::report::write_report("serve.json", &report) {
+        Ok(path) => println!("serve bench report written to {}", path.display()),
+        Err(e) => eprintln!("serve bench report not written: {e}"),
     }
 }
 

@@ -47,6 +47,11 @@ fn config_from(args: &[String]) -> ServeConfig {
     ServeConfig {
         max_sessions: parsed_flag(args, "--max-sessions", 8),
         cache_capacity: parsed_flag(args, "--cache", 256),
+        // 0 = auto-size to the machine (one shard per CPU, capped).
+        shards: parsed_flag(args, "--shards", 0),
+        dispatchers: parsed_flag(args, "--dispatchers", 0),
+        queue_capacity: parsed_flag(args, "--queue", 512),
+        batch_max: parsed_flag(args, "--batch", 32),
         ..ServeConfig::default()
     }
 }
@@ -141,7 +146,11 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            println!("[drserve] listening on {}", handle.addr());
+            println!(
+                "[drserve] listening on {} ({} worker shards)",
+                handle.addr(),
+                server.service().shard_count()
+            );
             // Serve until the process is killed.
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -189,9 +198,16 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: drserve_cli serve [--addr <host:port>] [--max-sessions <n>] [--cache <n>]\n\
+                 \x20                     [--shards <n>] [--dispatchers <n>] [--queue <n>] [--batch <n>]\n\
                  \x20      drserve_cli client [--addr <host:port>] [--iters <n>]\n\
                  \x20      drserve_cli client stats [--addr <host:port>]\n\
-                 \x20      drserve_cli demo [--clients <n>] [--iters <n>]"
+                 \x20      drserve_cli demo [--clients <n>] [--iters <n>] [--shards <n>]\n\
+                 \n\
+                 --shards 0 (default) sizes one worker shard per CPU; each shard owns its\n\
+                 own session pool and caches. --queue bounds each shard's admission queue\n\
+                 (overload answers Busy with a backlog-scaled retry hint); --batch caps how\n\
+                 many queued requests one worker wakeup drains. The stats block printed by\n\
+                 `client stats` and `demo` includes the per-shard breakdown."
             );
             std::process::exit(2);
         }

@@ -5,6 +5,8 @@
 //! at the repository root for the paper-vs-measured record.
 
 pub mod exp;
+pub mod report;
+pub mod serveload;
 pub mod tables;
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,138 @@
+//! CI gate for the sharded server's saturation behavior.
+//!
+//! Three properties must hold, or the sharding/batching refactor has
+//! regressed:
+//!
+//! 1. **Throughput**: a pipelined fleet sustains a large multiple of the
+//!    single-client ping-pong baseline, with bounded window latency.
+//!    Thresholds are relaxed under `cfg(debug_assertions)` — unoptimized
+//!    builds measure the compiler, not the server.
+//! 2. **No silent loss**: the fleet config admits the entire in-flight
+//!    volume, so zero requests may be shed, every reply must arrive, and
+//!    the cross-shard rollup must equal the sum of the per-shard stats.
+//! 3. **Correctness under the new path**: a slice computed through the
+//!    sharded server — cold, then warm from the cache — is byte-identical
+//!    to the same slice computed by a local [`drdebug::DebugSession`].
+
+use std::sync::Arc;
+
+use bench::exp::record_needle;
+use bench::serveload::{fleet_config, run_saturation};
+use drdebug::DebugSession;
+use drserve::{ServeConfig, Server, SliceAt};
+use slicer::{Criterion, SliceOptions};
+
+#[cfg(not(debug_assertions))]
+const MIN_SPEEDUP: f64 = 10.0;
+#[cfg(not(debug_assertions))]
+const MAX_P99_MICROS: u128 = 10_000;
+#[cfg(debug_assertions)]
+const MIN_SPEEDUP: f64 = 3.0;
+#[cfg(debug_assertions)]
+const MAX_P99_MICROS: u128 = 50_000;
+
+#[test]
+fn saturated_fleet_beats_pingpong_baseline_without_shedding() {
+    let (connections, depth, rounds) = if cfg!(debug_assertions) {
+        (16, 8, 20)
+    } else {
+        (32, 8, 50)
+    };
+    let report = run_saturation(connections, depth, rounds);
+    eprintln!(
+        "saturation gate: baseline {:.0} req/s, fleet {:.0} req/s ({:.1}x), \
+         p99 window {} us, {} shards, {} batches, {} shed",
+        report.baseline_rps,
+        report.fleet_rps,
+        report.speedup,
+        report.p99.as_micros(),
+        report.stats.shards.len(),
+        report.stats.shards.iter().map(|s| s.batches).sum::<u64>(),
+        report.stats.shed,
+    );
+
+    assert!(
+        report.speedup >= MIN_SPEEDUP,
+        "fleet throughput {:.0} req/s is only {:.1}x the {:.0} req/s baseline (need {MIN_SPEEDUP}x)",
+        report.fleet_rps,
+        report.speedup,
+        report.baseline_rps,
+    );
+    assert!(
+        report.p99.as_micros() < MAX_P99_MICROS,
+        "p99 window latency {} us exceeds {MAX_P99_MICROS} us",
+        report.p99.as_micros(),
+    );
+
+    // No silent loss: everything was admitted and answered. The measured
+    // rounds count reply frames without decoding them, so the server's own
+    // error counter is the witness that every answer was a real response.
+    assert_eq!(report.stats.shed, 0, "fleet config must admit everything");
+    assert_eq!(report.stats.errors, 0, "no request may error under load");
+    assert_eq!(
+        report.total_requests,
+        (rounds * connections * depth) as u64,
+        "every request must be answered"
+    );
+
+    // The rollup is an exact sum of the per-shard breakdown.
+    let s = &report.stats;
+    assert!(!s.shards.is_empty(), "per-shard breakdown must be attached");
+    assert_eq!(s.requests, s.shards.iter().map(|x| x.requests).sum::<u64>());
+    assert_eq!(s.errors, s.shards.iter().map(|x| x.errors).sum::<u64>());
+    assert_eq!(s.shed, s.shards.iter().map(|x| x.shed).sum::<u64>());
+    assert_eq!(
+        s.sessions.opened_total,
+        s.shards
+            .iter()
+            .map(|x| x.sessions.opened_total)
+            .sum::<u64>()
+    );
+    assert!(
+        s.shards.iter().map(|x| x.batches).sum::<u64>() > 0,
+        "the fleet must have been batch-drained"
+    );
+}
+
+#[test]
+fn sharded_server_slices_byte_identical_to_local_session() {
+    let (program, pinball) = record_needle(300);
+
+    // Local ground truth.
+    let mut local = DebugSession::new(Arc::clone(&program), pinball.clone());
+    let id = local
+        .slicer()
+        .failure_record()
+        .map(|r| r.id)
+        .expect("trace non-empty");
+    let local_slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+    let local_bytes = drserve::WireSlice::from_slice(&local_slice).canonical_bytes();
+
+    // Through the sharded server: cold compute, then a warm cache hit.
+    let server = Server::new(ServeConfig {
+        shards: 4,
+        ..fleet_config(4, 4)
+    });
+    let mut client = server.loopback_client();
+    let up = client.upload(&program, &pinball).expect("upload");
+    let session = client.open(up.digest).expect("open");
+    let cold = client
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .expect("cold slice");
+    assert!(!cold.cached, "first request computes");
+    let warm = client
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .expect("warm slice");
+    assert!(warm.cached, "second identical request hits the cache");
+
+    assert_eq!(
+        cold.slice.canonical_bytes(),
+        local_bytes,
+        "cold server slice must be byte-identical to the local computation"
+    );
+    assert_eq!(
+        warm.slice.canonical_bytes(),
+        local_bytes,
+        "warm-cache server slice must be byte-identical to the local computation"
+    );
+}

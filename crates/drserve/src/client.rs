@@ -9,15 +9,63 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::thread;
+use std::time::Duration;
 
 use minivm::{Pc, Program, Tid};
 use pinplay::{Pinball, PinballContainer, PinballDigest};
 use slicer::SliceOptions;
 
 use crate::proto::{
-    self, RecvError, Request, Response, ServeError, ServeStats, SessionId, SliceAt, WireSlice,
-    WireStop, REQUEST_KIND, RESPONSE_KIND,
+    self, RecvError, Request, Response, ServeError, ServeStats, SessionId, SliceAt, WireBreakpoint,
+    WireSlice, WireStop, REQUEST_KIND, RESPONSE_KIND,
 };
+
+/// Bounded retry-with-backoff for [`ServeError::Busy`] answers.
+///
+/// The protocol is strictly request/response and a `Busy` rejection means
+/// the request was *never executed* (it was shed at admission or at the
+/// session pool), so resending is always safe. The server's
+/// `retry_after_ms` hint scales with the rejecting shard's backlog; the
+/// client honors it, capped by `max_backoff_ms`, and gives up after
+/// `attempts` retries — bounded pressure, never a retry storm.
+///
+/// The default policy is **no retries**: `Busy` surfaces as
+/// [`ClientError::Server`] so callers that want to see backpressure
+/// (tests, load generators) see it. Opt in with [`Client::set_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Resends after the first `Busy` answer (0 = surface immediately).
+    pub attempts: u32,
+    /// Upper bound on one backoff sleep, milliseconds (the server hint is
+    /// clamped to this).
+    pub max_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Never retry; surface `Busy` to the caller. The default.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            max_backoff_ms: 0,
+        }
+    }
+
+    /// Retry up to `attempts` times, sleeping the server's hint clamped
+    /// to `max_backoff_ms` between sends.
+    pub fn new(attempts: u32, max_backoff_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            max_backoff_ms,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +149,9 @@ pub struct WireStats {
     pub bytes_sent: u64,
     /// Bytes read from the stream (response frames).
     pub bytes_received: u64,
+    /// Exchanges resent after a [`ServeError::Busy`] answer under the
+    /// client's [`RetryPolicy`].
+    pub busy_retries: u64,
 }
 
 /// A `Read + Write` adapter that counts the bytes crossing it.
@@ -134,6 +185,8 @@ impl<S: Write> Write for Counting<S> {
 pub struct Client<S: Read + Write> {
     stream: Counting<S>,
     requests: u64,
+    busy_retries: u64,
+    retry: RetryPolicy,
 }
 
 impl<S: Read + Write> Client<S> {
@@ -146,7 +199,21 @@ impl<S: Read + Write> Client<S> {
                 received: 0,
             },
             requests: 0,
+            busy_retries: 0,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Sets how [`Client::call`] reacts to [`ServeError::Busy`] answers.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Builder-style [`Client::set_retry`].
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client<S> {
+        self.retry = policy;
+        self
     }
 
     /// Wire-level byte counters accumulated since the client connected.
@@ -155,19 +222,36 @@ impl<S: Read + Write> Client<S> {
             requests: self.requests,
             bytes_sent: self.stream.sent,
             bytes_received: self.stream.received,
+            busy_retries: self.busy_retries,
         }
     }
 
-    /// One request/response exchange.
+    /// One request/response exchange. A [`ServeError::Busy`] answer is
+    /// resent under the client's [`RetryPolicy`] (default: never),
+    /// sleeping the server's backlog-scaled hint between sends; resending
+    /// is safe because a shed request was never executed.
     ///
     /// # Errors
     ///
     /// [`ClientError::Transport`] on stream failure.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.requests += 1;
-        proto::write_message(&mut self.stream, REQUEST_KIND, request)
-            .map_err(|e| ClientError::Transport(RecvError::Io(e.to_string())))?;
-        Ok(proto::read_message(&mut self.stream, RESPONSE_KIND)?)
+        let mut attempt = 0u32;
+        loop {
+            self.requests += 1;
+            proto::write_message(&mut self.stream, REQUEST_KIND, request)
+                .map_err(|e| ClientError::Transport(RecvError::Io(e.to_string())))?;
+            let response: Response = proto::read_message(&mut self.stream, RESPONSE_KIND)?;
+            if let Response::Error(ServeError::Busy { retry_after_ms }) = &response {
+                if attempt < self.retry.attempts {
+                    attempt += 1;
+                    self.busy_retries += 1;
+                    let backoff = (*retry_after_ms).min(self.retry.max_backoff_ms).max(1);
+                    thread::sleep(Duration::from_millis(backoff));
+                    continue;
+                }
+            }
+            return Ok(response);
+        }
     }
 
     /// Uploads serialized container bytes alongside the program they replay.
@@ -355,6 +439,18 @@ impl<S: Read + Write> Client<S> {
         match self.call(&Request::FetchPinball { digest })? {
             Response::PinballData { container, .. } => Ok(container),
             other => Err(unexpected("PinballData", &other)),
+        }
+    }
+
+    /// Lists the breakpoints set in a session, ascending by id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead session handle.
+    pub fn break_list(&mut self, session: SessionId) -> Result<Vec<WireBreakpoint>, ClientError> {
+        match self.call(&Request::BreakList { session })? {
+            Response::Breakpoints { breakpoints, .. } => Ok(breakpoints),
+            other => Err(unexpected("Breakpoints", &other)),
         }
     }
 

@@ -11,11 +11,18 @@
 //!   [`PinballDigest`](pinplay::PinballDigest) (a fold over the
 //!   container's chunk CRCs), so ten clients uploading the same recording
 //!   store it once.
+//! - **Sharded execution** ([`service::Service`]) — requests execute on N
+//!   shared-nothing worker shards routed by pinball digest (session ids
+//!   encode their home shard), behind bounded queues with queue-depth
+//!   admission control: overload answers [`ServeError::Busy`] with a
+//!   backlog-scaled retry hint ([`retry_hint`]) instead of queueing
+//!   without bound, and batched `Stats` requests share one rollup and
+//!   one encoded frame per batch.
 //! - **Session pool** ([`pool::SessionManager`]) — live
-//!   [`drdebug::DebugSession`]s are pooled with LRU eviction, idle
-//!   expiry, and a hard cap: when every slot is mid-request the server
-//!   answers [`ServeError::Busy`] with a retry hint instead of queueing
-//!   forever.
+//!   [`drdebug::DebugSession`]s are pooled *per shard* with LRU
+//!   eviction, idle expiry, and a hard cap: when every slot is
+//!   mid-request the server answers [`ServeError::Busy`] with a retry
+//!   hint instead of queueing forever.
 //! - **Slice cache** ([`cache::SliceCache`]) — slices are cached by
 //!   (pinball digest, criterion, options fingerprint), so the second
 //!   debug iteration that asks "why is this value wrong" gets its answer
@@ -31,11 +38,12 @@
 //!   Malformed input yields a typed error or a clean disconnect, never a
 //!   panic.
 //!
-//! Transports are interchangeable: TCP ([`Server::listen`] /
-//! [`connect`]) and an in-process loopback pipe
-//! ([`Server::loopback_client`]) drive the identical framing and
-//! dispatch, so tests and benchmarks exercise the real protocol without
-//! sockets.
+//! Transports are interchangeable: nonblocking TCP ([`Server::listen`]
+//! / [`connect`]) and an in-process loopback pipe
+//! ([`Server::loopback_client`]) are multiplexed onto the same
+//! dispatcher threads, so tests and benchmarks exercise the real
+//! framing, routing, and admission path without sockets. Clients may
+//! pipeline: replies always arrive in request order.
 //!
 //! ```
 //! use drserve::{Server, ServeConfig, SliceAt};
@@ -80,12 +88,17 @@ pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod service;
+pub mod store;
 
 pub use cache::RelogOutcome;
-pub use client::{Client, ClientError, RelogReply, SliceReply, Uploaded, WireStats};
+pub use client::{Client, ClientError, RelogReply, RetryPolicy, SliceReply, Uploaded, WireStats};
 pub use loopback::{pipe, LoopbackStream};
 pub use proto::{
     CacheStats, OpStats, RecvError, Request, Response, ServeError, ServeStats, SessionId,
-    SessionStats, SliceAt, WireSlice, WireStop, MAX_MESSAGE, REQUEST_KIND, RESPONSE_KIND,
+    SessionStats, ShardStats, SliceAt, WireBreakpoint, WireSlice, WireStop, MAX_MESSAGE,
+    REQUEST_KIND, RESPONSE_KIND,
 };
 pub use server::{connect, ServeConfig, Server, ServerHandle};
+pub use service::{retry_hint, Service};
+pub use store::PinballStore;

@@ -46,16 +46,34 @@ pub struct SessionManager {
     max_sessions: usize,
     idle_timeout: Duration,
     retry_after_ms: u64,
+    id_stride: u64,
 }
 
 impl SessionManager {
     /// Creates a pool admitting at most `max_sessions` (min 1) live
     /// sessions, expiring those idle longer than `idle_timeout`.
     pub fn new(max_sessions: usize, idle_timeout: Duration, retry_after_ms: u64) -> SessionManager {
+        SessionManager::with_ids(max_sessions, idle_timeout, retry_after_ms, 1, 1)
+    }
+
+    /// Like [`SessionManager::new`], but allocating session ids from the
+    /// arithmetic sequence `first, first + stride, first + 2·stride, …`.
+    ///
+    /// A sharded server gives shard `s` of `n` the sequence starting at
+    /// `n + s` with stride `n`, so every id this pool hands out satisfies
+    /// `id % n == s` — the dispatcher can route a session-scoped request
+    /// to the owning shard from the id alone, with no shared lookup table.
+    pub fn with_ids(
+        max_sessions: usize,
+        idle_timeout: Duration,
+        retry_after_ms: u64,
+        first_id: SessionId,
+        id_stride: u64,
+    ) -> SessionManager {
         SessionManager {
             inner: Mutex::new(PoolInner {
                 slots: HashMap::new(),
-                next_id: 1,
+                next_id: first_id.max(1),
                 opened_total: 0,
                 evicted_lru: 0,
                 expired_idle: 0,
@@ -64,6 +82,7 @@ impl SessionManager {
             max_sessions: max_sessions.max(1),
             idle_timeout,
             retry_after_ms,
+            id_stride: id_stride.max(1),
         }
     }
 
@@ -88,7 +107,7 @@ impl SessionManager {
             });
         }
         let id = inner.next_id;
-        inner.next_id += 1;
+        inner.next_id += self.id_stride;
         inner.opened_total += 1;
         inner.slots.insert(
             id,
@@ -269,6 +288,17 @@ mod tests {
         drop(held);
         pool.open(D, tiny_session)
             .expect("idle session now evictable");
+    }
+
+    #[test]
+    fn strided_ids_encode_their_shard() {
+        // Shard 2 of 4: ids must always satisfy id % 4 == 2.
+        let pool = SessionManager::with_ids(8, Duration::from_secs(300), 25, 4 + 2, 4);
+        let ids: Vec<SessionId> = (0..5)
+            .map(|_| pool.open(D, tiny_session).unwrap())
+            .collect();
+        assert_eq!(ids, vec![6, 10, 14, 18, 22]);
+        assert!(ids.iter().all(|id| id % 4 == 2));
     }
 
     #[test]

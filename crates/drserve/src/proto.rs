@@ -120,6 +120,13 @@ pub enum Request {
         /// Content digest of the container to fetch.
         digest: PinballDigest,
     },
+    /// List the breakpoints set in a session. A small, read-only request —
+    /// like [`Request::Stats`] it is batch-drained by the worker shard
+    /// (several queued requests answered per channel wakeup).
+    BreakList {
+        /// The session to inspect.
+        session: SessionId,
+    },
     /// Fetch server metrics: per-op latency, cache hit rate, pool state.
     Stats,
     /// Close a session, returning its pool slot.
@@ -141,6 +148,7 @@ impl Request {
             Request::ComputeSlice { .. } => "slice",
             Request::Relog { .. } => "relog",
             Request::FetchPinball { .. } => "fetch",
+            Request::BreakList { .. } => "breaklist",
             Request::Stats => "stats",
             Request::CloseSession { .. } => "close",
         }
@@ -221,6 +229,13 @@ pub enum Response {
         /// Server-side time spent answering, in microseconds.
         micros: u64,
     },
+    /// The breakpoints currently set in a session.
+    Breakpoints {
+        /// The session that was inspected.
+        session: SessionId,
+        /// Every breakpoint, ascending by id.
+        breakpoints: Vec<WireBreakpoint>,
+    },
     /// Serialized container bytes for a [`Request::FetchPinball`].
     PinballData {
         /// The digest that was fetched.
@@ -239,6 +254,20 @@ pub enum Response {
     /// [`ServeError::Malformed`], which is followed by disconnect because
     /// framing may be out of sync).
     Error(ServeError),
+}
+
+/// One breakpoint in serializable form — the payload of
+/// [`Response::Breakpoints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireBreakpoint {
+    /// Breakpoint id within the session.
+    pub id: u32,
+    /// Program point it stops at.
+    pub pc: Pc,
+    /// Thread restriction (`None` = any thread).
+    pub tid: Option<Tid>,
+    /// Disabled breakpoints are kept but never hit.
+    pub enabled: bool,
 }
 
 /// Why a session stopped — [`drdebug::StopReason`] in serializable form.
@@ -504,6 +533,42 @@ pub struct SessionStats {
     pub rejected_busy: u64,
 }
 
+/// One worker shard's private counters. The server routes every request
+/// to a shard by pinball digest (or session id, which encodes its shard);
+/// each shard owns its own session pool, slice cache, index cache, relog
+/// cache, and metrics, so these numbers are contention-free to collect.
+/// The `Stats` op rolls all shards up into one [`ServeStats`] and attaches
+/// the per-shard breakdown in [`ServeStats::shards`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// Requests this shard executed (including errors).
+    pub requests: u64,
+    /// Requests this shard answered with [`Response::Error`].
+    pub errors: u64,
+    /// Requests load-shed at admission with [`ServeError::Busy`] because
+    /// this shard's queue was at capacity. Shed requests are rejected by
+    /// the dispatcher and never enter the queue; they are counted in
+    /// `requests`/`errors` too.
+    pub shed: u64,
+    /// Queue depth (admitted, not yet completed) at snapshot time.
+    pub depth: u64,
+    /// Highest queue depth ever observed.
+    pub peak_depth: u64,
+    /// Batches drained from the queue (each batch is one channel wakeup
+    /// answering up to `batch_max` requests).
+    pub batches: u64,
+    /// Session-pool counters of this shard.
+    pub sessions: SessionStats,
+    /// Slice-cache counters of this shard.
+    pub cache: CacheStats,
+    /// Dependence-index cache counters of this shard.
+    pub index_cache: CacheStats,
+    /// Relog-cache counters of this shard.
+    pub relog_cache: CacheStats,
+}
+
 /// One snapshot of the server's metrics — the payload of
 /// [`Response::Stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -530,6 +595,13 @@ pub struct ServeStats {
     pub sessions: SessionStats,
     /// Distinct pinballs stored.
     pub pinballs: u64,
+    /// Requests load-shed at admission across every shard (each one
+    /// answered with a typed [`ServeError::Busy`] carrying a
+    /// backlog-scaled retry hint).
+    pub shed: u64,
+    /// Per-shard breakdown. The rollup fields above are exact sums over
+    /// these entries (caches, sessions, requests, errors, shed).
+    pub shards: Vec<ShardStats>,
 }
 
 impl ServeStats {
@@ -605,7 +677,23 @@ impl fmt::Display for ServeStats {
             self.sessions.expired_idle,
             self.sessions.rejected_busy,
         )?;
-        write!(f, "pinballs stored  {:>8}", self.pinballs)
+        writeln!(f, "pinballs stored  {:>8}", self.pinballs)?;
+        write!(f, "shed at admission{:>8}", self.shed)?;
+        for s in &self.shards {
+            write!(
+                f,
+                "\n  shard {:<3} {:>8} reqs  {:>4} errors  {:>4} shed  depth {:>3} (peak {:>3})  {:>5} batches  {:>3} sessions",
+                s.shard,
+                s.requests,
+                s.errors,
+                s.shed,
+                s.depth,
+                s.peak_depth,
+                s.batches,
+                s.sessions.open,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -726,6 +814,76 @@ pub fn read_message<R: Read + ?Sized, T: serde::Deserialize>(
     pinzip::binser::from_slice(&frame.payload).map_err(|e| frame_err(format!("bad payload: {e}")))
 }
 
+/// How far one frame extends into `buf`, without decoding its payload.
+///
+/// The nonblocking dispatcher accumulates bytes from a socket and needs to
+/// know when a whole frame has arrived. Returns `Ok(None)` while `buf`
+/// holds only a prefix (read more and retry), `Ok(Some(total))` when
+/// `buf[..total]` is exactly one frame, and [`RecvError::Frame`] when the
+/// header is already provably invalid (wrong kind byte, varint overflow,
+/// or a declared length beyond [`MAX_MESSAGE`]) — detectable before the
+/// rest of the frame arrives, so oversized garbage is rejected early.
+pub fn frame_extent(buf: &[u8], expect_kind: u8) -> Result<Option<usize>, RecvError> {
+    let Some(&kind) = buf.first() else {
+        return Ok(None);
+    };
+    if kind != expect_kind {
+        return Err(frame_err(format!(
+            "unexpected frame kind {kind:#04x} (want {expect_kind:#04x})"
+        )));
+    }
+    let mut clen: u64 = 0;
+    let mut shift = 0u32;
+    let mut at = 1usize;
+    loop {
+        let Some(&byte) = buf.get(at) else {
+            return Ok(None);
+        };
+        at += 1;
+        if shift >= 64 {
+            return Err(frame_err("length varint overflows u64"));
+        }
+        clen |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if clen > MAX_MESSAGE as u64 {
+        return Err(frame_err(format!(
+            "declared payload of {clen} bytes exceeds the {MAX_MESSAGE}-byte message cap"
+        )));
+    }
+    let total = at + 4 + clen as usize;
+    Ok(if buf.len() >= total {
+        Some(total)
+    } else {
+        None
+    })
+}
+
+/// Decodes one message from the front of `buf` if a complete frame is
+/// present, returning the value and the bytes consumed. `Ok(None)` means
+/// "keep reading"; errors are as for [`read_message`].
+///
+/// # Errors
+///
+/// [`RecvError::Frame`] on an invalid header, failed CRC, or undecodable
+/// payload.
+pub fn try_decode<T: serde::Deserialize>(
+    buf: &[u8],
+    expect_kind: u8,
+) -> Result<Option<(T, usize)>, RecvError> {
+    match frame_extent(buf, expect_kind)? {
+        None => Ok(None),
+        Some(total) => {
+            let mut cursor = &buf[..total];
+            let value = read_message(&mut cursor, expect_kind)?;
+            Ok(Some((value, total)))
+        }
+    }
+}
+
 fn read_exact<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<(), RecvError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -787,6 +945,59 @@ mod tests {
         assert!(matches!(
             read_message::<_, Request>(&mut cursor, REQUEST_KIND).unwrap_err(),
             RecvError::Frame { .. }
+        ));
+    }
+
+    #[test]
+    fn try_decode_handles_partial_complete_and_pipelined_frames() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, REQUEST_KIND, &Request::Stats).unwrap();
+        let one = buf.len();
+        write_message(
+            &mut buf,
+            REQUEST_KIND,
+            &Request::Seek {
+                session: 3,
+                target: 99,
+            },
+        )
+        .unwrap();
+        // Every strict prefix of the first frame wants more bytes.
+        for cut in 0..one {
+            assert_eq!(
+                frame_extent(&buf[..cut], REQUEST_KIND).unwrap(),
+                None,
+                "cut at {cut}"
+            );
+        }
+        // Two pipelined frames decode front-to-back.
+        let (first, used) = try_decode::<Request>(&buf, REQUEST_KIND).unwrap().unwrap();
+        assert!(matches!(first, Request::Stats));
+        assert_eq!(used, one);
+        let (second, used2) = try_decode::<Request>(&buf[used..], REQUEST_KIND)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            second,
+            Request::Seek {
+                session: 3,
+                target: 99
+            }
+        ));
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn frame_extent_rejects_bad_headers_early() {
+        assert!(matches!(
+            frame_extent(b"X", REQUEST_KIND),
+            Err(RecvError::Frame { .. })
+        ));
+        let mut oversized = vec![REQUEST_KIND];
+        pinzip::varint::write_u64(&mut oversized, 1 << 40);
+        assert!(matches!(
+            frame_extent(&oversized, REQUEST_KIND),
+            Err(RecvError::Frame { reason }) if reason.contains("message cap")
         ));
     }
 

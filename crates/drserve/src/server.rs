@@ -1,58 +1,75 @@
-//! The drserve server: transport-free request handling plus the TCP and
-//! loopback front ends.
+//! The drserve front end: nonblocking transports over the sharded
+//! [`Service`].
 //!
-//! [`Server::handle`] is the whole protocol — one `Request` in, one
-//! `Response` out, no I/O — so the same code path serves TCP sockets,
-//! in-process loopback pipes, and direct unit tests. The transports are
-//! thin: [`Server::serve_stream`] frames requests off any `Read + Write`,
-//! [`Server::listen`] accepts TCP connections onto per-connection
-//! threads, and [`Server::loopback_client`] wires a [`Client`] to the
-//! server through an in-memory pipe.
+//! The server is two layers. The [`Service`] (in [`crate::service`]) is
+//! the whole protocol — sharded workers, admission control, batching — and
+//! never touches a socket. This module is the I/O in front of it: a
+//! nonblocking accept loop hands connections to a small pool of
+//! *dispatcher* threads, each multiplexing many connections: it reads
+//! whatever bytes arrived, carves complete request frames out with
+//! [`proto::frame_extent`], submits them to the service (which routes each
+//! to its shard), and writes replies back in request order as the shards
+//! finish — so one slow slice on a connection never parks a thread, and a
+//! pipelined client can have many requests in flight.
 //!
-//! Shared state is one `Arc`: the pinball store (content-addressed by
-//! [`PinballDigest`]), the session pool, the slice cache, and the
-//! metrics. Cloning a `Server` clones the handle, not the state.
+//! Both transports — TCP ([`Server::listen`] / [`connect`]) and the
+//! in-process loopback pipe ([`Server::loopback_client`] /
+//! [`Server::loopback_connect`]) — feed the same dispatchers through the
+//! `NonblockStream` trait, so tests and benchmarks exercise the real
+//! multiplexing without sockets. [`Server::serve_stream`] remains a
+//! blocking one-connection loop over the same service for callers that
+//! bring their own thread.
 
-use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use minivm::Program;
-use pinplay::{PinballContainer, PinballDigest};
-use slicer::Criterion;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
-use crate::cache::{IndexCache, RelogCache, RelogOutcome, SliceCache};
 use crate::client::Client;
 use crate::loopback::{pipe, LoopbackStream};
-use crate::metrics::ServeMetrics;
-use crate::pool::SessionManager;
 use crate::proto::{
-    self, RecvError, Request, Response, ServeError, ServeStats, SliceAt, WireSlice, REQUEST_KIND,
-    RESPONSE_KIND,
+    self, RecvError, Request, Response, ServeError, ServeStats, REQUEST_KIND, RESPONSE_KIND,
 };
+use crate::service::{Reply, Service};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Maximum live debug sessions (pool capacity).
+    /// Maximum live debug sessions *per shard* (pool capacity).
     pub max_sessions: usize,
     /// Idle time after which a session may be reclaimed.
     pub idle_timeout: Duration,
-    /// Maximum cached slices.
+    /// Maximum cached slices per shard.
     pub cache_capacity: usize,
-    /// Maximum cached dependence indexes (one per pinball digest and
-    /// options fingerprint; each costs memory proportional to the trace).
+    /// Maximum cached dependence indexes per shard (one per pinball digest
+    /// and options fingerprint; each costs memory proportional to the
+    /// trace).
     pub index_cache_capacity: usize,
-    /// Maximum cached relog outcomes (one per pinball digest, criterion,
-    /// and options fingerprint; the slice pinballs themselves live in the
-    /// content-addressed store).
+    /// Maximum cached relog outcomes per shard (one per pinball digest,
+    /// criterion, and options fingerprint; the slice pinballs themselves
+    /// live in the content-addressed store).
     pub relog_cache_capacity: usize,
-    /// Back-off hint attached to [`ServeError::Busy`] rejections.
+    /// Base back-off hint attached to [`ServeError::Busy`] rejections; the
+    /// admission controller scales it up to 5× with queue depth
+    /// ([`crate::service::retry_hint`]).
     pub retry_after_ms: u64,
+    /// Worker shards, each with its own session pool, caches, and metrics.
+    /// `0` (the default) sizes to the machine: one per CPU, capped at 8.
+    pub shards: usize,
+    /// Dispatcher threads multiplexing connection I/O. `0` (the default)
+    /// sizes to the machine.
+    pub dispatchers: usize,
+    /// Per-shard queue bound: admitted-but-unfinished requests beyond this
+    /// are load-shed with [`ServeError::Busy`] instead of queueing.
+    pub queue_capacity: usize,
+    /// Most requests one worker wakeup drains. Requests batched together
+    /// share one `Stats` rollup and one encoded response frame.
+    pub batch_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,280 +81,365 @@ impl Default for ServeConfig {
             index_cache_capacity: 32,
             relog_cache_capacity: 32,
             retry_after_ms: 50,
+            shards: 0,
+            dispatchers: 0,
+            queue_capacity: 512,
+            batch_max: 32,
         }
     }
 }
 
-/// One uploaded pinball: the program it replays plus the parsed container.
-struct Stored {
-    program: Arc<Program>,
-    container: PinballContainer,
+/// A byte stream the dispatcher can poll without blocking. Both real
+/// sockets and the in-process loopback pipe qualify.
+trait NonblockStream: Read + Write + Send {
+    /// Switches the stream between blocking and nonblocking reads.
+    fn set_nonblocking_mode(&self, nonblocking: bool) -> io::Result<()>;
 }
 
-struct ServerState {
-    store: Mutex<HashMap<PinballDigest, Stored>>,
-    pool: SessionManager,
-    cache: SliceCache,
-    index_cache: IndexCache,
-    relog_cache: RelogCache,
-    metrics: ServeMetrics,
+impl NonblockStream for TcpStream {
+    fn set_nonblocking_mode(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
+    }
 }
 
-/// A replay-and-slice server. Cheap to clone; all clones share state.
+impl NonblockStream for LoopbackStream {
+    fn set_nonblocking_mode(&self, nonblocking: bool) -> io::Result<()> {
+        LoopbackStream::set_nonblocking(self, nonblocking)
+    }
+}
+
+/// A reply slot in a connection's in-order response queue.
+// One slot per pipelined request; boxing the ready response to shrink
+// the enum would cost an allocation on the shed/malformed path.
+#[allow(clippy::large_enum_variant)]
+enum Pending {
+    /// Answered at submit time (admission shed, malformed frame).
+    Ready(Response),
+    /// In flight on a worker shard.
+    Wait(Receiver<Reply>),
+}
+
+/// One multiplexed connection: buffered reads, buffered writes, and the
+/// in-order queue of outstanding replies. Replies are written strictly in
+/// request order even though shards finish out of order.
+struct Conn {
+    stream: Box<dyn NonblockStream>,
+    rd: Vec<u8>,
+    wr: Vec<u8>,
+    /// Bytes of `wr` already flushed to the stream.
+    wr_at: usize,
+    pending: VecDeque<Pending>,
+    /// Stop reading (peer EOF or framing desync); drop the connection once
+    /// every pending reply has been written out.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: Box<dyn NonblockStream>) -> Conn {
+        Conn {
+            stream,
+            rd: Vec::new(),
+            wr: Vec::new(),
+            wr_at: 0,
+            pending: VecDeque::new(),
+            closing: false,
+        }
+    }
+
+    /// One poll round: harvest finished replies, flush, read, decode,
+    /// submit. Returns `false` when the connection should be dropped;
+    /// sets `progress` when any byte or reply moved.
+    fn poll(&mut self, service: &Service, scratch: &mut [u8], progress: &mut bool) -> bool {
+        // Move completed replies — strictly from the front, preserving
+        // request order — into the write buffer.
+        loop {
+            match self.pending.front_mut() {
+                Some(Pending::Ready(_)) => {
+                    let Some(Pending::Ready(response)) = self.pending.pop_front() else {
+                        unreachable!("front was Ready");
+                    };
+                    let _ = proto::write_message(&mut self.wr, RESPONSE_KIND, &response);
+                    *progress = true;
+                }
+                Some(Pending::Wait(rx)) => match rx.try_recv() {
+                    Ok(Reply::Response(response)) => {
+                        self.pending.pop_front();
+                        let _ = proto::write_message(&mut self.wr, RESPONSE_KIND, &response);
+                        *progress = true;
+                    }
+                    Ok(Reply::Frame(frame)) => {
+                        self.pending.pop_front();
+                        self.wr.extend_from_slice(&frame);
+                        *progress = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    // Worker gone mid-request: service shutdown.
+                    Err(TryRecvError::Disconnected) => return false,
+                },
+                None => break,
+            }
+        }
+        // Flush as much of the write buffer as the stream accepts.
+        while self.wr_at < self.wr.len() {
+            match self.stream.write(&self.wr[self.wr_at..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.wr_at += n;
+                    *progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wr_at == self.wr.len() && self.wr_at > 0 {
+            self.wr.clear();
+            self.wr_at = 0;
+        }
+        if self.closing {
+            // Linger only until every reply is out.
+            return !(self.pending.is_empty() && self.wr.is_empty());
+        }
+        // Read whatever arrived.
+        loop {
+            match self.stream.read(scratch) {
+                // EOF: answer what is already in flight, then drop.
+                Ok(0) => {
+                    self.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rd.extend_from_slice(&scratch[..n]);
+                    *progress = true;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        // Carve out and submit every complete frame — a pipelining client
+        // gets all of them in flight across the shards at once.
+        let mut consumed = 0;
+        loop {
+            match proto::try_decode::<Request>(&self.rd[consumed..], REQUEST_KIND) {
+                Ok(None) => break,
+                Ok(Some((request, used))) => {
+                    consumed += used;
+                    *progress = true;
+                    match service.submit(request, true) {
+                        Ok(rx) => self.pending.push_back(Pending::Wait(rx)),
+                        // Shed at admission: the typed Busy goes out in
+                        // order like any other reply.
+                        Err(e) => self.pending.push_back(Pending::Ready(Response::Error(e))),
+                    }
+                }
+                Err(RecvError::Frame { reason }) | Err(RecvError::Io(reason)) => {
+                    // Framing is out of sync: answer, flush, disconnect.
+                    service.observe_malformed();
+                    self.pending.push_back(Pending::Ready(Response::Error(
+                        ServeError::Malformed { reason },
+                    )));
+                    self.closing = true;
+                    self.rd.clear();
+                    consumed = 0;
+                    *progress = true;
+                    break;
+                }
+                Err(RecvError::Disconnected) => {
+                    self.closing = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            self.rd.drain(..consumed);
+        }
+        true
+    }
+}
+
+/// The dispatcher pool: D threads, each polling its own set of
+/// connections. New connections are dealt round-robin.
+struct DispatchPool {
+    txs: Vec<Sender<Box<dyn NonblockStream>>>,
+    rr: AtomicUsize,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl DispatchPool {
+    fn new(service: Service, dispatchers: usize) -> DispatchPool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut txs = Vec::with_capacity(dispatchers);
+        let mut threads = Vec::with_capacity(dispatchers);
+        for _ in 0..dispatchers {
+            let (tx, rx) = unbounded::<Box<dyn NonblockStream>>();
+            txs.push(tx);
+            let service = service.clone();
+            let stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || dispatcher_loop(&service, &rx, &stop)));
+        }
+        DispatchPool {
+            txs,
+            rr: AtomicUsize::new(0),
+            stop,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Assigns a connection to a dispatcher.
+    fn register(&self, stream: Box<dyn NonblockStream>) {
+        let ix = self.rr.fetch_add(1, Ordering::Relaxed) % self.txs.len();
+        let _ = self.txs[ix].send(stream);
+    }
+}
+
+impl Drop for DispatchPool {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.txs.clear();
+        for handle in self
+            .threads
+            .lock()
+            .expect("dispatch handles lock")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One dispatcher thread: accept handed-off connections, poll them all,
+/// back off briefly when nothing moves.
+fn dispatcher_loop(
+    service: &Service,
+    incoming: &Receiver<Box<dyn NonblockStream>>,
+    stop: &AtomicBool,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    // Spin-then-sleep idle ladder: a handful of yields keeps single-client
+    // round-trip latency low (the reply is usually ready within
+    // microseconds); persistent idleness drops to a short sleep so an idle
+    // server costs ~no CPU.
+    let mut idle_rounds = 0u32;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        loop {
+            match incoming.try_recv() {
+                Ok(stream) => {
+                    let _ = stream.set_nonblocking_mode(true);
+                    conns.push(Conn::new(stream));
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        return;
+                    }
+                    break;
+                }
+            }
+        }
+        let mut progress = false;
+        conns.retain_mut(|conn| conn.poll(service, &mut scratch, &mut progress));
+        if progress {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds < 64 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// A replay-and-slice server: the sharded [`Service`] plus its dispatcher
+/// pool. Cheap to clone; all clones share state.
+///
+/// Field order is load-bearing for shutdown: dispatchers drop (and join)
+/// first, releasing their `Service` clones, then the service's own drop
+/// joins the worker shards.
 #[derive(Clone)]
 pub struct Server {
-    state: Arc<ServerState>,
+    dispatch: Arc<DispatchPool>,
+    service: Service,
 }
 
 impl Server {
-    /// Creates a server with the given tuning.
+    /// Creates a server with the given tuning: one worker thread per
+    /// shard, plus the dispatcher pool.
     pub fn new(config: ServeConfig) -> Server {
-        Server {
-            state: Arc::new(ServerState {
-                store: Mutex::new(HashMap::new()),
-                pool: SessionManager::new(
-                    config.max_sessions,
-                    config.idle_timeout,
-                    config.retry_after_ms,
-                ),
-                cache: SliceCache::new(config.cache_capacity),
-                index_cache: IndexCache::new(config.index_cache_capacity),
-                relog_cache: RelogCache::new(config.relog_cache_capacity),
-                metrics: ServeMetrics::new(),
-            }),
-        }
+        let dispatchers = if config.dispatchers > 0 {
+            config.dispatchers
+        } else {
+            (thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                / 2)
+            .clamp(1, 4)
+        };
+        let service = Service::new(config);
+        let dispatch = Arc::new(DispatchPool::new(service.clone(), dispatchers));
+        Server { dispatch, service }
     }
 
-    /// Handles one request. Never panics on bad input: every failure is a
-    /// typed [`Response::Error`].
+    /// The sharded service behind this server.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Handles one request on the calling thread's behalf — submitted to
+    /// the owning shard like any other request, blocking until the worker
+    /// answers. Never panics on bad input: every failure (including an
+    /// admission shed) is a typed [`Response::Error`].
     pub fn handle(&self, request: Request) -> Response {
-        let op = request.op();
-        let started = Instant::now();
-        let response = self.dispatch(request);
-        self.state.metrics.observe(
-            op,
-            started.elapsed(),
-            matches!(response, Response::Error(_)),
-        );
-        response
+        self.service.call(request)
     }
 
-    fn dispatch(&self, request: Request) -> Response {
-        match self.try_dispatch(request) {
-            Ok(response) => response,
-            Err(e) => Response::Error(e),
-        }
-    }
-
-    fn try_dispatch(&self, request: Request) -> Result<Response, ServeError> {
-        match request {
-            Request::UploadPinball { program, container } => {
-                let container = PinballContainer::from_bytes(&container)?;
-                let digest = container.digest();
-                let instructions = container.pinball.logged_instructions();
-                let mut store = self.state.store.lock().expect("store lock");
-                let deduped = store.contains_key(&digest);
-                if !deduped {
-                    store.insert(
-                        digest,
-                        Stored {
-                            program: Arc::new(program),
-                            container,
-                        },
-                    );
-                }
-                Ok(Response::Uploaded {
-                    digest,
-                    instructions,
-                    deduped,
-                })
-            }
-            Request::OpenSession { digest } => {
-                // Clone what the session needs while holding the store
-                // lock, then build it outside.
-                let (program, container) = {
-                    let store = self.state.store.lock().expect("store lock");
-                    let stored = store
-                        .get(&digest)
-                        .ok_or(ServeError::UnknownPinball { digest })?;
-                    (Arc::clone(&stored.program), stored.container.clone())
-                };
-                let session = self.state.pool.open(digest, move || {
-                    drdebug::DebugSession::with_container(program, container)
-                })?;
-                Ok(Response::SessionOpened { session })
-            }
-            Request::Break { session, pc, tid } => {
-                let (slot, _) = self.state.pool.checkout(session)?;
-                let id = slot.lock().expect("session lock").add_breakpoint(pc, tid);
-                Ok(Response::BreakpointSet { id })
-            }
-            Request::Run { session } => {
-                let (slot, _) = self.state.pool.checkout(session)?;
-                let mut guard = slot.lock().expect("session lock");
-                let reason = guard.cont();
-                Ok(Response::Stopped {
-                    reason: reason.into(),
-                    position: guard.position(),
-                })
-            }
-            Request::Seek { session, target } => {
-                let (slot, _) = self.state.pool.checkout(session)?;
-                let mut guard = slot.lock().expect("session lock");
-                let reason = guard.seek_to(target);
-                Ok(Response::Stopped {
-                    reason: reason.into(),
-                    position: guard.position(),
-                })
-            }
-            Request::ComputeSlice {
-                session,
-                at,
-                options,
-            } => {
-                let started = Instant::now();
-                let (slot, digest) = self.state.pool.checkout(session)?;
-                let criterion = resolve_criterion(&slot, at)?;
-                let fingerprint = options.fingerprint();
-                if let Some(hit) = self.state.cache.get(digest, criterion, fingerprint) {
-                    return Ok(Response::Slice {
-                        slice: (*hit).clone(),
-                        cached: true,
-                        micros: started.elapsed().as_micros() as u64,
-                    });
-                }
-                // One dependence index answers every criterion on this
-                // pinball under these options: fetch it from the shared
-                // cache (building at most once, even under concurrency)
-                // and install it into the session so the traversal below
-                // runs warm.
-                let index = self
-                    .state
-                    .index_cache
-                    .get_or_build(digest, fingerprint, || {
-                        slot.lock().expect("session lock").dep_index_for(&options)
-                    });
-                let slice = {
-                    let mut guard = slot.lock().expect("session lock");
-                    guard.install_dep_index(fingerprint, index);
-                    guard.slice_criterion(criterion, options)
-                };
-                let wire = Arc::new(WireSlice::from_slice(&slice));
-                self.state
-                    .cache
-                    .insert(digest, criterion, fingerprint, Arc::clone(&wire));
-                Ok(Response::Slice {
-                    slice: (*wire).clone(),
-                    cached: false,
-                    micros: started.elapsed().as_micros() as u64,
-                })
-            }
-            Request::Relog {
-                session,
-                at,
-                options,
-            } => {
-                let started = Instant::now();
-                let (slot, digest) = self.state.pool.checkout(session)?;
-                let criterion = resolve_criterion(&slot, at)?;
-                let fingerprint = options.fingerprint();
-                let (outcome, cached) =
-                    self.state
-                        .relog_cache
-                        .get_or_build(digest, criterion, fingerprint, || {
-                            // Resolve the dependence index through the
-                            // shared cache (one build per pinball and
-                            // options), relog under the session lock, then
-                            // publish the slice pinball into the
-                            // content-addressed store so it is open-able,
-                            // fetchable, and sliceable like any upload.
-                            let index =
-                                self.state
-                                    .index_cache
-                                    .get_or_build(digest, fingerprint, || {
-                                        slot.lock().expect("session lock").dep_index_for(&options)
-                                    });
-                            let (container, report) = {
-                                let mut guard = slot.lock().expect("session lock");
-                                guard.install_dep_index(fingerprint, index);
-                                guard.relog_criterion(criterion, options)
-                            };
-                            let slice_digest = container.digest();
-                            let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
-                            let mut store = self.state.store.lock().expect("store lock");
-                            if let Some(program) =
-                                store.get(&digest).map(|s| Arc::clone(&s.program))
-                            {
-                                store
-                                    .entry(slice_digest)
-                                    .or_insert(Stored { program, container });
-                            }
-                            Arc::new(RelogOutcome {
-                                digest: slice_digest,
-                                report,
-                                bytes,
-                            })
-                        });
-                Ok(Response::Relogged {
-                    digest: outcome.digest,
-                    instructions: outcome.report.instructions,
-                    kept: outcome.report.kept,
-                    excluded: outcome.report.excluded,
-                    cached,
-                    micros: started.elapsed().as_micros() as u64,
-                })
-            }
-            Request::FetchPinball { digest } => {
-                let container = {
-                    let store = self.state.store.lock().expect("store lock");
-                    let stored = store
-                        .get(&digest)
-                        .ok_or(ServeError::UnknownPinball { digest })?;
-                    stored.container.clone()
-                };
-                let bytes = container.to_bytes()?;
-                Ok(Response::PinballData {
-                    digest,
-                    container: bytes,
-                })
-            }
-            Request::Stats => Ok(Response::Stats(self.stats())),
-            Request::CloseSession { session } => {
-                self.state.pool.close(session)?;
-                Ok(Response::Closed { session })
-            }
-        }
-    }
-
-    /// Current metrics snapshot (also served as [`Response::Stats`]).
+    /// Current metrics snapshot (also served as [`Response::Stats`]):
+    /// the cross-shard rollup with the per-shard breakdown attached.
     pub fn stats(&self) -> ServeStats {
-        let mut stats = self.state.metrics.snapshot();
-        stats.cache = self.state.cache.stats();
-        stats.index_cache = self.state.index_cache.stats();
-        stats.relog_cache = self.state.relog_cache.stats();
-        stats.sessions = self.state.pool.stats();
-        stats.pinballs = self.state.store.lock().expect("store lock").len() as u64;
-        stats
+        self.service.stats()
     }
 
-    /// Serves one connection until the peer disconnects, the stream
-    /// fails, or a malformed frame forces a close. Frame errors are
-    /// answered with [`ServeError::Malformed`] and then the connection is
-    /// dropped, because framing may be out of sync.
+    /// Serves one connection on the calling thread until the peer
+    /// disconnects, the stream fails, or a malformed frame forces a close.
+    /// Frame errors are answered with [`ServeError::Malformed`] and then
+    /// the connection is dropped, because framing may be out of sync.
     pub fn serve_stream<S: Read + Write>(&self, mut stream: S) {
         loop {
             match proto::read_message::<S, Request>(&mut stream, REQUEST_KIND) {
                 Ok(request) => {
-                    let response = self.handle(request);
-                    if proto::write_message(&mut stream, RESPONSE_KIND, &response).is_err() {
+                    let done = match self.service.submit(request, true) {
+                        Ok(rx) => match rx.recv() {
+                            Ok(Reply::Frame(frame)) => stream
+                                .write_all(&frame)
+                                .and_then(|()| stream.flush())
+                                .is_err(),
+                            Ok(Reply::Response(response)) => {
+                                proto::write_message(&mut stream, RESPONSE_KIND, &response).is_err()
+                            }
+                            Err(_) => true, // service shut down
+                        },
+                        Err(e) => {
+                            proto::write_message(&mut stream, RESPONSE_KIND, &Response::Error(e))
+                                .is_err()
+                        }
+                    };
+                    if done {
                         return;
                     }
                 }
                 Err(RecvError::Disconnected) | Err(RecvError::Io(_)) => return,
                 Err(RecvError::Frame { reason }) => {
-                    self.state
-                        .metrics
-                        .observe("malformed", Duration::ZERO, true);
+                    self.service.observe_malformed();
                     let response = Response::Error(ServeError::Malformed { reason });
                     let _ = proto::write_message(&mut stream, RESPONSE_KIND, &response);
                     return;
@@ -346,8 +448,9 @@ impl Server {
         }
     }
 
-    /// Binds a TCP listener and serves connections on background threads
-    /// until [`ServerHandle::shutdown`].
+    /// Binds a TCP listener and serves connections through the dispatcher
+    /// pool until [`ServerHandle::shutdown`]. The accept loop is
+    /// nonblocking; accepted sockets are multiplexed, not given threads.
     ///
     /// # Errors
     ///
@@ -358,31 +461,19 @@ impl Server {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
-        let server = self.clone();
+        let dispatch = Arc::clone(&self.dispatch);
         let accept = thread::spawn(move || {
-            let mut conns: Vec<JoinHandle<()>> = Vec::new();
             while !accept_stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((socket, _peer)) => {
                         let _ = socket.set_nodelay(true);
-                        let server = server.clone();
-                        conns.push(thread::spawn(move || {
-                            // Blocking per-connection I/O; the accept
-                            // socket's non-blocking flag is not inherited
-                            // as semantics we rely on, so reset it.
-                            let _ = socket.set_nonblocking(false);
-                            server.serve_stream(socket);
-                        }));
+                        dispatch.register(Box::new(socket));
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(5));
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
                     }
                     Err(_) => break,
                 }
-                conns.retain(|h| !h.is_finished());
-            }
-            for conn in conns {
-                let _ = conn.join();
             }
         });
         Ok(ServerHandle {
@@ -392,46 +483,22 @@ impl Server {
         })
     }
 
-    /// Connects a [`Client`] to this server through an in-process pipe —
-    /// the full wire protocol with no sockets. The serving thread exits
-    /// when the client is dropped.
-    pub fn loopback_client(&self) -> Client<LoopbackStream> {
+    /// Opens a raw in-process connection to this server: the returned
+    /// stream speaks the full wire protocol against the dispatcher pool.
+    /// Unlike [`Server::loopback_client`] there is no typed client in the
+    /// way, so callers can pipeline many request frames before reading
+    /// replies — the saturation benchmark's load generator.
+    pub fn loopback_connect(&self) -> LoopbackStream {
         let (client_end, server_end) = pipe();
-        let server = self.clone();
-        thread::spawn(move || server.serve_stream(server_end));
-        Client::new(client_end)
+        self.dispatch.register(Box::new(server_end));
+        client_end
     }
-}
 
-/// Resolves where a slice anchors into a concrete [`Criterion`].
-fn resolve_criterion(
-    slot: &Arc<Mutex<drdebug::DebugSession>>,
-    at: SliceAt,
-) -> Result<Criterion, ServeError> {
-    match at {
-        SliceAt::Criterion { criterion } => Ok(criterion),
-        SliceAt::Failure => {
-            let mut guard = slot.lock().expect("session lock");
-            let id =
-                guard
-                    .slicer()
-                    .failure_record()
-                    .map(|r| r.id)
-                    .ok_or(ServeError::BadRequest {
-                        reason: "trace is empty; nothing to slice".to_string(),
-                    })?;
-            Ok(Criterion::Record { id })
-        }
-        SliceAt::Here { key } => {
-            let mut guard = slot.lock().expect("session lock");
-            let id = guard.record_at_stop().ok_or(ServeError::BadRequest {
-                reason: "session is not stopped at a sliceable record".to_string(),
-            })?;
-            Ok(match key {
-                Some(key) => Criterion::Value { id, key },
-                None => Criterion::Record { id },
-            })
-        }
+    /// Connects a [`Client`] to this server through an in-process pipe —
+    /// the full wire protocol, multiplexed by the dispatcher pool exactly
+    /// like a TCP connection.
+    pub fn loopback_client(&self) -> Client<LoopbackStream> {
+        Client::new(self.loopback_connect())
     }
 }
 
@@ -448,8 +515,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, waits for in-flight connections, joins the
-    /// accept thread.
+    /// Stops accepting and joins the accept thread. Connections already
+    /// handed to the dispatchers keep being served until the server
+    /// itself drops.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }

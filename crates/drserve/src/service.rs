@@ -1,0 +1,712 @@
+//! The transport-agnostic service layer: sharded request execution with
+//! queue-depth admission control and small-request batching.
+//!
+//! [`Service`] is what [`crate::Server`] used to be, minus every byte of
+//! I/O. It owns N worker *shards* (default: one per CPU), each a single
+//! worker thread with its own [`SessionManager`], [`SliceCache`],
+//! [`IndexCache`], [`RelogCache`], and [`ServeMetrics`] — shared-nothing,
+//! so a slice computation on one shard never contends with another
+//! shard's locks. The only cross-shard state is the content-addressed
+//! [`PinballStore`] (lock-striped) and the `Stats` rollup.
+//!
+//! **Routing** is deterministic and stateless: requests naming a pinball
+//! digest go to shard `digest % N`; session ids are allocated so that
+//! `id % N` recovers the owning shard (see [`SessionManager::with_ids`]);
+//! uploads and `Stats` round-robin (uploads only touch the global store).
+//! The same digest therefore always lands on the same shard, which is
+//! what keeps the single-flight index/relog caches effective: all clients
+//! asking about one pinball funnel into one shard and share one build.
+//!
+//! **Admission control** is a per-shard depth counter checked *before*
+//! the bounded queue: a submit that would exceed `queue_capacity` is
+//! rejected immediately with [`ServeError::Busy`] whose
+//! `retry_after_ms` hint scales with the backlog ([`retry_hint`]) —
+//! load-shedding with a typed answer, never a blocked dispatcher or an
+//! unbounded queue.
+//!
+//! **Batching**: a worker wakes up, takes everything queued (up to
+//! `batch_max`), and answers the batch in one pass. Small read-only
+//! requests benefit the most — every `Stats` in a batch shares one
+//! metrics rollup and one *encoded response frame* (an `Arc<Vec<u8>>`
+//! written verbatim to each connection), so a fleet polling stats costs
+//! one snapshot + one encode per batch instead of per request.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use pinplay::PinballContainer;
+use slicer::Criterion;
+
+use crate::cache::{IndexCache, RelogCache, RelogOutcome, SliceCache};
+use crate::metrics::ServeMetrics;
+use crate::pool::SessionManager;
+use crate::proto::{
+    self, OpStats, Request, Response, ServeError, ServeStats, ShardStats, SliceAt, WireBreakpoint,
+    WireSlice, RESPONSE_KIND,
+};
+use crate::server::ServeConfig;
+use crate::store::PinballStore;
+
+/// Computes the [`ServeError::Busy`] back-off hint for a shard whose
+/// queue holds `depth` admitted requests out of `capacity`.
+///
+/// The hint is `base` when the queue is empty and grows linearly to
+/// `5 × base` at capacity — monotonically non-decreasing in `depth`, so a
+/// client can read the hint as a direct signal of how backed up its shard
+/// is and space retries accordingly.
+pub fn retry_hint(base_ms: u64, depth: u64, capacity: u64) -> u64 {
+    let base = base_ms.max(1);
+    let cap = capacity.max(1);
+    base + (4 * base * depth.min(cap)) / cap
+}
+
+/// A reply traveling from a worker shard back to the transport.
+// One short-lived value per in-flight request; boxing the response to
+// shrink the enum would cost an allocation on every reply.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Reply {
+    /// A response the transport must encode itself.
+    Response(Response),
+    /// An already-encoded response frame, shared across a batch; the
+    /// transport writes the bytes verbatim.
+    Frame(Arc<Vec<u8>>),
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    /// Whether the submitter can write a pre-encoded [`Reply::Frame`]
+    /// directly to its stream. `false` for in-process callers that need a
+    /// typed [`Response`] back.
+    frame_ok: bool,
+    reply: Sender<Reply>,
+}
+
+/// One worker shard's private state.
+pub(crate) struct Shard {
+    id: usize,
+    pool: SessionManager,
+    cache: SliceCache,
+    index_cache: IndexCache,
+    relog_cache: RelogCache,
+    metrics: ServeMetrics,
+    /// Admitted-but-not-completed requests (the admission counter).
+    depth: AtomicUsize,
+    peak_depth: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// State shared by every worker and every `Service` clone.
+struct ServiceState {
+    shards: Vec<Arc<Shard>>,
+    store: PinballStore,
+    started: Instant,
+    config: ServeConfig,
+}
+
+struct QueueHandle {
+    tx: Sender<Job>,
+    shard: Arc<Shard>,
+    capacity: usize,
+}
+
+struct ServiceInner {
+    state: Arc<ServiceState>,
+    queues: Vec<QueueHandle>,
+    rr: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for ServiceInner {
+    fn drop(&mut self) {
+        // Dropping the senders disconnects every worker's receive loop;
+        // join so no worker outlives the service.
+        self.queues.clear();
+        for handle in self.workers.lock().expect("worker handles lock").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The sharded, transport-agnostic request executor. Cheap to clone; all
+/// clones share the shards. Dropping the last clone shuts the workers
+/// down.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Builds the shards and spawns one worker thread per shard.
+    pub fn new(config: ServeConfig) -> Service {
+        let nshards = resolved_shards(&config);
+        let capacity = config.queue_capacity.max(1);
+        let batch_max = config.batch_max.max(1);
+        let shards: Vec<Arc<Shard>> = (0..nshards)
+            .map(|id| {
+                Arc::new(Shard {
+                    id,
+                    // Shard `id` allocates session ids n+id, 2n+id, … so
+                    // `session % nshards` recovers the owning shard.
+                    pool: SessionManager::with_ids(
+                        config.max_sessions,
+                        config.idle_timeout,
+                        config.retry_after_ms,
+                        nshards as u64 + id as u64,
+                        nshards as u64,
+                    ),
+                    cache: SliceCache::new(config.cache_capacity),
+                    index_cache: IndexCache::new(config.index_cache_capacity),
+                    relog_cache: RelogCache::new(config.relog_cache_capacity),
+                    metrics: ServeMetrics::new(),
+                    depth: AtomicUsize::new(0),
+                    peak_depth: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    batches: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let state = Arc::new(ServiceState {
+            shards,
+            store: PinballStore::new(nshards * 4),
+            started: Instant::now(),
+            config,
+        });
+        let mut queues = Vec::with_capacity(nshards);
+        let mut workers = Vec::with_capacity(nshards);
+        for shard in &state.shards {
+            let (tx, rx) = bounded::<Job>(capacity);
+            queues.push(QueueHandle {
+                tx,
+                shard: Arc::clone(shard),
+                capacity,
+            });
+            let state = Arc::clone(&state);
+            let shard = Arc::clone(shard);
+            workers.push(thread::spawn(move || {
+                worker_loop(&state, &shard, &rx, batch_max)
+            }));
+        }
+        Service {
+            inner: Arc::new(ServiceInner {
+                state,
+                queues,
+                rr: AtomicUsize::new(0),
+                workers: Mutex::new(workers),
+            }),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.state.shards.len()
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.state.config
+    }
+
+    /// Which shard a request routes to.
+    fn route(&self, request: &Request) -> usize {
+        let n = self.inner.state.shards.len() as u64;
+        let ix = match request {
+            Request::OpenSession { digest } | Request::FetchPinball { digest } => digest.0 % n,
+            Request::Break { session, .. }
+            | Request::Run { session }
+            | Request::Seek { session, .. }
+            | Request::ComputeSlice { session, .. }
+            | Request::Relog { session, .. }
+            | Request::BreakList { session }
+            | Request::CloseSession { session } => session % n,
+            // Uploads only touch the global store and Stats rolls up every
+            // shard: spread them round-robin.
+            Request::UploadPinball { .. } | Request::Stats => {
+                self.inner.rr.fetch_add(1, Ordering::Relaxed) as u64 % n
+            }
+        };
+        ix as usize
+    }
+
+    /// Admits a request onto its shard's queue, or sheds it.
+    ///
+    /// On admission the returned receiver yields exactly one [`Reply`].
+    /// `frame_ok` tells the worker the caller can write a pre-encoded
+    /// response frame verbatim (transports can; in-process callers
+    /// cannot).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] with a backlog-scaled retry hint when the
+    /// shard's queue is at capacity — the request was never enqueued.
+    pub(crate) fn submit(
+        &self,
+        request: Request,
+        frame_ok: bool,
+    ) -> Result<Receiver<Reply>, ServeError> {
+        let queue = &self.inner.queues[self.route(&request)];
+        let shard = &queue.shard;
+        let prev = shard.depth.fetch_add(1, Ordering::AcqRel);
+        if prev >= queue.capacity {
+            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            shard.shed.fetch_add(1, Ordering::Relaxed);
+            shard.metrics.observe(request.op(), Duration::ZERO, true);
+            return Err(ServeError::Busy {
+                retry_after_ms: retry_hint(
+                    self.inner.state.config.retry_after_ms,
+                    prev as u64,
+                    queue.capacity as u64,
+                ),
+            });
+        }
+        shard
+            .peak_depth
+            .fetch_max(prev as u64 + 1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        match queue.tx.try_send(Job {
+            request,
+            frame_ok,
+            reply: reply_tx,
+        }) {
+            Ok(()) => Ok(reply_rx),
+            // The channel bound equals the admission capacity, so `Full`
+            // is unreachable; `Disconnected` means the service is
+            // shutting down.
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                shard.depth.fetch_sub(1, Ordering::AcqRel);
+                Err(ServeError::Busy {
+                    retry_after_ms: self.inner.state.config.retry_after_ms,
+                })
+            }
+        }
+    }
+
+    /// Executes one request to completion, blocking the caller. Every
+    /// failure — including admission shed — is a typed
+    /// [`Response::Error`].
+    pub fn call(&self, request: Request) -> Response {
+        match self.submit(request, false) {
+            Ok(rx) => match rx.recv() {
+                Ok(Reply::Response(response)) => response,
+                // Workers never send frames to `frame_ok: false` callers.
+                Ok(Reply::Frame(_)) | Err(_) => Response::Error(ServeError::BadRequest {
+                    reason: "service shut down mid-request".to_string(),
+                }),
+            },
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Counts one malformed frame against the metrics (transports call
+    /// this when framing fails before a request exists to route).
+    pub(crate) fn observe_malformed(&self) {
+        let n = self.inner.state.shards.len();
+        let ix = self.inner.rr.fetch_add(1, Ordering::Relaxed) % n;
+        self.inner.state.shards[ix]
+            .metrics
+            .observe("malformed", Duration::ZERO, true);
+    }
+
+    /// Rolls every shard up into one [`ServeStats`] snapshot, with the
+    /// per-shard breakdown attached.
+    pub fn stats(&self) -> ServeStats {
+        rollup(&self.inner.state)
+    }
+}
+
+fn resolved_shards(config: &ServeConfig) -> usize {
+    if config.shards > 0 {
+        config.shards
+    } else {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// One worker shard's main loop: drain a batch, answer it, repeat.
+fn worker_loop(state: &ServiceState, shard: &Shard, rx: &Receiver<Job>, batch_max: usize) {
+    let mut batch: Vec<Job> = Vec::with_capacity(batch_max);
+    loop {
+        match rx.recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => return, // all senders gone: shutdown
+        }
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        // Every `Stats` in the batch shares one rollup — and, for
+        // transports that can take it, one already-encoded frame.
+        let mut stats_snapshot: Option<ServeStats> = None;
+        let mut stats_frame: Option<Arc<Vec<u8>>> = None;
+        for job in batch.drain(..) {
+            let op = job.request.op();
+            let started = Instant::now();
+            let reply = if matches!(job.request, Request::Stats) {
+                if job.frame_ok {
+                    let frame = stats_frame.get_or_insert_with(|| {
+                        let stats = stats_snapshot.get_or_insert_with(|| rollup(state)).clone();
+                        Arc::new(encode_response(&Response::Stats(stats)))
+                    });
+                    Reply::Frame(Arc::clone(frame))
+                } else {
+                    let stats = stats_snapshot.get_or_insert_with(|| rollup(state)).clone();
+                    Reply::Response(Response::Stats(stats))
+                }
+            } else {
+                Reply::Response(execute(state, shard, job.request))
+            };
+            let errored = matches!(&reply, Reply::Response(Response::Error(_)));
+            shard.metrics.observe(op, started.elapsed(), errored);
+            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            // A dropped receiver (disconnected client) is not an error.
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+fn encode_response(response: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // Writing into a Vec cannot fail.
+    let _ = proto::write_message(&mut buf, RESPONSE_KIND, response);
+    buf
+}
+
+fn execute(state: &ServiceState, shard: &Shard, request: Request) -> Response {
+    match try_execute(state, shard, request) {
+        Ok(response) => response,
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn try_execute(
+    state: &ServiceState,
+    shard: &Shard,
+    request: Request,
+) -> Result<Response, ServeError> {
+    match request {
+        Request::UploadPinball { program, container } => {
+            let container = PinballContainer::from_bytes(&container)?;
+            let digest = container.digest();
+            let instructions = container.pinball.logged_instructions();
+            let deduped = state
+                .store
+                .insert_if_absent(digest, Arc::new(program), container);
+            Ok(Response::Uploaded {
+                digest,
+                instructions,
+                deduped,
+            })
+        }
+        Request::OpenSession { digest } => {
+            let (program, container) = state
+                .store
+                .get(digest)
+                .ok_or(ServeError::UnknownPinball { digest })?;
+            let session = shard.pool.open(digest, move || {
+                drdebug::DebugSession::with_container(program, container)
+            })?;
+            Ok(Response::SessionOpened { session })
+        }
+        Request::Break { session, pc, tid } => {
+            let (slot, _) = shard.pool.checkout(session)?;
+            let id = slot.lock().expect("session lock").add_breakpoint(pc, tid);
+            Ok(Response::BreakpointSet { id })
+        }
+        Request::BreakList { session } => {
+            let (slot, _) = shard.pool.checkout(session)?;
+            let guard = slot.lock().expect("session lock");
+            let mut breakpoints: Vec<WireBreakpoint> = guard
+                .breakpoints()
+                .map(|(id, bp)| WireBreakpoint {
+                    id,
+                    pc: bp.pc,
+                    tid: bp.tid,
+                    enabled: bp.enabled,
+                })
+                .collect();
+            breakpoints.sort_by_key(|b| b.id);
+            Ok(Response::Breakpoints {
+                session,
+                breakpoints,
+            })
+        }
+        Request::Run { session } => {
+            let (slot, _) = shard.pool.checkout(session)?;
+            let mut guard = slot.lock().expect("session lock");
+            let reason = guard.cont();
+            Ok(Response::Stopped {
+                reason: reason.into(),
+                position: guard.position(),
+            })
+        }
+        Request::Seek { session, target } => {
+            let (slot, _) = shard.pool.checkout(session)?;
+            let mut guard = slot.lock().expect("session lock");
+            let reason = guard.seek_to(target);
+            Ok(Response::Stopped {
+                reason: reason.into(),
+                position: guard.position(),
+            })
+        }
+        Request::ComputeSlice {
+            session,
+            at,
+            options,
+        } => {
+            let started = Instant::now();
+            let (slot, digest) = shard.pool.checkout(session)?;
+            let criterion = resolve_criterion(&slot, at)?;
+            let fingerprint = options.fingerprint();
+            if let Some(hit) = shard.cache.get(digest, criterion, fingerprint) {
+                return Ok(Response::Slice {
+                    slice: (*hit).clone(),
+                    cached: true,
+                    micros: started.elapsed().as_micros() as u64,
+                });
+            }
+            // One dependence index answers every criterion on this
+            // pinball under these options. Same-digest requests always
+            // route to this shard, so the shard-local cache still builds
+            // at most once across all clients.
+            let index = shard.index_cache.get_or_build(digest, fingerprint, || {
+                slot.lock().expect("session lock").dep_index_for(&options)
+            });
+            let slice = {
+                let mut guard = slot.lock().expect("session lock");
+                guard.install_dep_index(fingerprint, index);
+                guard.slice_criterion(criterion, options)
+            };
+            let wire = Arc::new(WireSlice::from_slice(&slice));
+            shard
+                .cache
+                .insert(digest, criterion, fingerprint, Arc::clone(&wire));
+            Ok(Response::Slice {
+                slice: (*wire).clone(),
+                cached: false,
+                micros: started.elapsed().as_micros() as u64,
+            })
+        }
+        Request::Relog {
+            session,
+            at,
+            options,
+        } => {
+            let started = Instant::now();
+            let (slot, digest) = shard.pool.checkout(session)?;
+            let criterion = resolve_criterion(&slot, at)?;
+            let fingerprint = options.fingerprint();
+            let (outcome, cached) =
+                shard
+                    .relog_cache
+                    .get_or_build(digest, criterion, fingerprint, || {
+                        // Resolve the dependence index through the shard
+                        // cache (one build per pinball and options), relog
+                        // under the session lock, then publish the slice
+                        // pinball into the global content-addressed store
+                        // so any shard can open, fetch, and slice it.
+                        let index = shard.index_cache.get_or_build(digest, fingerprint, || {
+                            slot.lock().expect("session lock").dep_index_for(&options)
+                        });
+                        let (container, report) = {
+                            let mut guard = slot.lock().expect("session lock");
+                            guard.install_dep_index(fingerprint, index);
+                            guard.relog_criterion(criterion, options)
+                        };
+                        let slice_digest = container.digest();
+                        let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
+                        if let Some(program) = state.store.program_of(digest) {
+                            state
+                                .store
+                                .insert_if_absent(slice_digest, program, container);
+                        }
+                        Arc::new(RelogOutcome {
+                            digest: slice_digest,
+                            report,
+                            bytes,
+                        })
+                    });
+            Ok(Response::Relogged {
+                digest: outcome.digest,
+                instructions: outcome.report.instructions,
+                kept: outcome.report.kept,
+                excluded: outcome.report.excluded,
+                cached,
+                micros: started.elapsed().as_micros() as u64,
+            })
+        }
+        Request::FetchPinball { digest } => {
+            let (_, container) = state
+                .store
+                .get(digest)
+                .ok_or(ServeError::UnknownPinball { digest })?;
+            let bytes = container.to_bytes()?;
+            Ok(Response::PinballData {
+                digest,
+                container: bytes,
+            })
+        }
+        // Batched in the worker loop; this arm only serves direct calls.
+        Request::Stats => Ok(Response::Stats(rollup(state))),
+        Request::CloseSession { session } => {
+            shard.pool.close(session)?;
+            Ok(Response::Closed { session })
+        }
+    }
+}
+
+/// Resolves where a slice anchors into a concrete [`Criterion`].
+fn resolve_criterion(
+    slot: &Arc<Mutex<drdebug::DebugSession>>,
+    at: SliceAt,
+) -> Result<Criterion, ServeError> {
+    match at {
+        SliceAt::Criterion { criterion } => Ok(criterion),
+        SliceAt::Failure => {
+            let mut guard = slot.lock().expect("session lock");
+            let id =
+                guard
+                    .slicer()
+                    .failure_record()
+                    .map(|r| r.id)
+                    .ok_or(ServeError::BadRequest {
+                        reason: "trace is empty; nothing to slice".to_string(),
+                    })?;
+            Ok(Criterion::Record { id })
+        }
+        SliceAt::Here { key } => {
+            let mut guard = slot.lock().expect("session lock");
+            let id = guard.record_at_stop().ok_or(ServeError::BadRequest {
+                reason: "session is not stopped at a sliceable record".to_string(),
+            })?;
+            Ok(match key {
+                Some(key) => Criterion::Value { id, key },
+                None => Criterion::Record { id },
+            })
+        }
+    }
+}
+
+/// Sums every shard into one rollup, attaching the per-shard breakdown.
+fn rollup(state: &ServiceState) -> ServeStats {
+    let mut total = ServeStats {
+        uptime_micros: state.started.elapsed().as_micros() as u64,
+        ..ServeStats::default()
+    };
+    let mut per_op: HashMap<String, OpStats> = HashMap::new();
+    for shard in &state.shards {
+        let snap = shard.metrics.snapshot();
+        for (name, op) in &snap.per_op {
+            let entry = per_op.entry(name.clone()).or_default();
+            entry.count += op.count;
+            entry.total_micros += op.total_micros;
+            entry.max_micros = entry.max_micros.max(op.max_micros);
+        }
+        let s = ShardStats {
+            shard: shard.id as u64,
+            requests: snap.requests,
+            errors: snap.errors,
+            shed: shard.shed.load(Ordering::Relaxed),
+            depth: shard.depth.load(Ordering::Relaxed) as u64,
+            peak_depth: shard.peak_depth.load(Ordering::Relaxed),
+            batches: shard.batches.load(Ordering::Relaxed),
+            sessions: shard.pool.stats(),
+            cache: shard.cache.stats(),
+            index_cache: shard.index_cache.stats(),
+            relog_cache: shard.relog_cache.stats(),
+        };
+        total.requests += s.requests;
+        total.errors += s.errors;
+        total.shed += s.shed;
+        add_cache(&mut total.cache, &s.cache);
+        add_cache(&mut total.index_cache, &s.index_cache);
+        add_cache(&mut total.relog_cache, &s.relog_cache);
+        add_sessions(&mut total.sessions, &s.sessions);
+        total.shards.push(s);
+    }
+    let mut per_op: Vec<(String, OpStats)> = per_op.into_iter().collect();
+    per_op.sort_by(|a, b| a.0.cmp(&b.0));
+    total.per_op = per_op;
+    total.pinballs = state.store.len();
+    total
+}
+
+fn add_cache(total: &mut proto::CacheStats, s: &proto::CacheStats) {
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.bytes += s.bytes;
+}
+
+fn add_sessions(total: &mut proto::SessionStats, s: &proto::SessionStats) {
+    total.open += s.open;
+    total.opened_total += s.opened_total;
+    total.evicted_lru += s.evicted_lru;
+    total.expired_idle += s.expired_idle;
+    total.rejected_busy += s.rejected_busy;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_is_monotone_and_bounded() {
+        let base = 50;
+        let cap = 16;
+        let mut last = 0;
+        for depth in 0..=cap {
+            let hint = retry_hint(base, depth, cap);
+            assert!(hint >= last, "hint must not decrease with backlog");
+            assert!((base..=5 * base).contains(&hint), "hint {hint} out of band");
+            last = hint;
+        }
+        assert_eq!(retry_hint(base, 0, cap), base, "empty queue hints base");
+        assert_eq!(retry_hint(base, cap, cap), 5 * base, "full queue hints 5x");
+        // Past-capacity depths (races) clamp instead of overflowing.
+        assert_eq!(retry_hint(base, cap * 10, cap), 5 * base);
+        // Degenerate inputs are defensively clamped.
+        assert!(retry_hint(0, 0, 0) >= 1);
+    }
+
+    #[test]
+    fn stats_route_round_robins_and_digests_are_sticky() {
+        let service = Service::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        });
+        assert_eq!(service.shard_count(), 4);
+        let d = pinplay::PinballDigest(10);
+        let first = service.route(&Request::OpenSession { digest: d });
+        for _ in 0..8 {
+            assert_eq!(
+                service.route(&Request::OpenSession { digest: d }),
+                first,
+                "same digest must always route to the same shard"
+            );
+        }
+        assert_eq!(first, 10 % 4);
+        // Session ids route to the shard that allocated them.
+        for session in [4u64, 5, 6, 7, 9, 14] {
+            assert_eq!(
+                service.route(&Request::Run { session }),
+                (session % 4) as usize
+            );
+        }
+        // Stats spreads across shards.
+        let hits: std::collections::HashSet<usize> =
+            (0..8).map(|_| service.route(&Request::Stats)).collect();
+        assert_eq!(hits.len(), 4, "round-robin touches every shard");
+    }
+}

@@ -1,0 +1,159 @@
+//! Content-addressed pinball store, lock-striped for sharded access.
+//!
+//! The store is the only piece of server state every shard shares:
+//! uploads must dedupe globally (ten clients uploading one recording
+//! store it once, whichever shards their requests land on), and a relog
+//! on one shard publishes a slice pinball that any shard may open later.
+//! To keep that sharing off the hot path, the map is split into
+//! power-of-two stripes, each behind its own mutex, indexed by the
+//! digest's low bits — two shards touching different pinballs never
+//! contend.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use minivm::Program;
+use pinplay::{PinballContainer, PinballDigest};
+
+/// One stored pinball: the program it replays plus the parsed container.
+pub struct Stored {
+    /// The program the pinball was recorded from.
+    pub program: Arc<Program>,
+    /// The parsed container (cloned out per open/fetch).
+    pub container: PinballContainer,
+}
+
+/// A striped, content-addressed map from [`PinballDigest`] to [`Stored`].
+pub struct PinballStore {
+    stripes: Vec<Mutex<HashMap<PinballDigest, Stored>>>,
+    /// `stripes.len() - 1`; stripe count is a power of two so the mask is
+    /// a cheap digest → stripe map.
+    mask: u64,
+}
+
+impl PinballStore {
+    /// Creates a store with at least `stripes` lock stripes (rounded up
+    /// to a power of two, min 1).
+    pub fn new(stripes: usize) -> PinballStore {
+        let n = stripes.max(1).next_power_of_two();
+        PinballStore {
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    fn stripe(&self, digest: PinballDigest) -> &Mutex<HashMap<PinballDigest, Stored>> {
+        &self.stripes[(digest.0 & self.mask) as usize]
+    }
+
+    /// Stores `(program, container)` under `digest` unless an identical
+    /// pinball is already present. Returns `true` when the insert was
+    /// deduped against an existing entry.
+    pub fn insert_if_absent(
+        &self,
+        digest: PinballDigest,
+        program: Arc<Program>,
+        container: PinballContainer,
+    ) -> bool {
+        let mut stripe = self.stripe(digest).lock().expect("store stripe lock");
+        match stripe.entry(digest) {
+            Entry::Occupied(_) => true,
+            Entry::Vacant(slot) => {
+                slot.insert(Stored { program, container });
+                false
+            }
+        }
+    }
+
+    /// Clones out the program and container stored under `digest`.
+    pub fn get(&self, digest: PinballDigest) -> Option<(Arc<Program>, PinballContainer)> {
+        let stripe = self.stripe(digest).lock().expect("store stripe lock");
+        stripe
+            .get(&digest)
+            .map(|s| (Arc::clone(&s.program), s.container.clone()))
+    }
+
+    /// The program stored under `digest`, without cloning the container.
+    pub fn program_of(&self, digest: PinballDigest) -> Option<Arc<Program>> {
+        let stripe = self.stripe(digest).lock().expect("store stripe lock");
+        stripe.get(&digest).map(|s| Arc::clone(&s.program))
+    }
+
+    /// Distinct pinballs stored, summed across stripes.
+    pub fn len(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("store stripe lock").len() as u64)
+            .sum()
+    }
+
+    /// Whether the store holds no pinballs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minivm::assemble;
+    use pinplay::{record_whole_program, Pinball};
+
+    fn tiny() -> (Arc<Program>, Pinball) {
+        let program: Arc<Program> = Arc::new(
+            assemble(
+                r"
+            .text
+            .func main
+                movi r1, 5
+                halt
+            .endfunc
+        ",
+            )
+            .expect("assembles"),
+        );
+        let rec = record_whole_program(
+            &program,
+            &mut minivm::RoundRobin::new(8),
+            &mut minivm::LiveEnv::new(0),
+            10_000,
+            "store-test",
+        )
+        .expect("records");
+        (program, rec.pinball)
+    }
+
+    #[test]
+    fn insert_dedupes_and_lookup_round_trips() {
+        let (program, pinball) = tiny();
+        let container = PinballContainer::new(pinball);
+        let digest = container.digest();
+        let store = PinballStore::new(8);
+        assert!(store.get(digest).is_none());
+        assert!(!store.insert_if_absent(digest, Arc::clone(&program), container.clone()));
+        assert!(store.insert_if_absent(digest, Arc::clone(&program), container.clone()));
+        assert_eq!(store.len(), 1);
+        let (got_program, got_container) = store.get(digest).expect("stored");
+        assert!(Arc::ptr_eq(&got_program, &program), "same program handle");
+        assert_eq!(got_container.digest(), digest);
+        assert!(store.program_of(digest).is_some());
+    }
+
+    #[test]
+    fn distinct_digests_spread_across_stripes() {
+        let (program, pinball) = tiny();
+        let container = PinballContainer::new(pinball);
+        let store = PinballStore::new(4);
+        // Synthetic digests exercise every stripe; the container bytes are
+        // irrelevant to striping.
+        for d in 0..16u64 {
+            store.insert_if_absent(PinballDigest(d), Arc::clone(&program), container.clone());
+        }
+        assert_eq!(store.len(), 16);
+        assert!(!store.is_empty());
+        for d in 0..16u64 {
+            assert!(store.get(PinballDigest(d)).is_some());
+        }
+    }
+}

@@ -76,6 +76,33 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full; the message is
+        /// handed back.
+        Full(T),
+        /// Every receiver has been dropped; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +145,29 @@ pub mod channel {
                         inner = self.chan.not_full.wait(inner).expect("channel lock");
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Delivers `msg` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel has no room;
+        /// [`TrySendError::Disconnected`] when every receiver has been
+        /// dropped. The message is handed back in both cases.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = inner.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
@@ -316,6 +366,17 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(9));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnect() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
 
         #[test]
