@@ -20,6 +20,18 @@ use std::path::PathBuf;
 /// Headline metrics: (report, key, label, unit).
 const HEADLINES: &[(&str, &str, &str, &str)] = &[
     (
+        "stream",
+        "incremental_speedup",
+        "Streaming incremental-index speedup",
+        "x",
+    ),
+    (
+        "stream",
+        "absorb_mb_per_s",
+        "Stream absorb throughput",
+        "MB/s",
+    ),
+    (
         "saturation",
         "saturation_speedup",
         "Saturation speedup (fleet vs ping-pong)",

@@ -21,16 +21,31 @@
 //! <path>` replays a saved container instead of recording. Loading never
 //! panics: a missing file exits cleanly, and a damaged container names
 //! the broken chunk and salvages the intact prefix when possible.
+//!
+//! `--emit-test <name>` promotes the recording into a committed golden
+//! fixture under `crates/bench/tests/corpus/<name>/` (container bytes +
+//! expected failure slice + replay state hash) that the `corpus_golden`
+//! integration test re-verifies on every run.
+//!
+//! `--tail <stream> --addr <host:port>` live-tails a streaming upload
+//! another process is writing to a drserve server (see `drserve_cli
+//! stream`): it polls the server's `Tail` op, printing chunk/event
+//! progress — and, with `--slice-live`, slicing the absorbed prefix
+//! mid-upload — then fetches the sealed pinball and drops into the
+//! replay debugger. `needle` is accepted as the case name in this mode
+//! (the workload `drserve_cli stream` uploads; match its `--iters`).
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
 use drdebug::{CommandInterpreter, DebugSession, LiveSession, LiveStop};
+use drserve::{ClientError, ServeError, SliceAt};
 use maple::{expose_iroot, ExposeOptions, IRoot};
 use minivm::{LiveEnv, Program, RoundRobin};
 use pinplay::{
     record_whole_program, Pinball, PinballContainer, PinballError, DEFAULT_CHECKPOINT_INTERVAL,
 };
+use slicer::SliceOptions;
 
 fn record_case(name: &str) -> Result<(Arc<Program>, Pinball), String> {
     let bug_case = |case: workloads::BugCase| -> Result<(Arc<Program>, Pinball), String> {
@@ -125,6 +140,70 @@ fn load_container(path: &str) -> Result<PinballContainer, String> {
     }
 }
 
+/// Live-tails a stream another process is uploading to a drserve server:
+/// polls `Tail` until the stream seals — optionally slicing the absorbed
+/// prefix on each poll — then fetches the published pinball for replay.
+fn tail_mode(
+    program: Arc<Program>,
+    stream: u64,
+    addr: &str,
+    poll_ms: u64,
+    slice_live: bool,
+) -> Result<(Arc<Program>, PinballContainer), String> {
+    let mut client =
+        drserve::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut last = (u32::MAX, u64::MAX);
+    let digest = loop {
+        match client.tail(stream) {
+            Ok(t) => {
+                if (t.chunks, t.events) != last {
+                    last = (t.chunks, t.events);
+                    let expected = if t.expected_events == 0 {
+                        "?".to_string()
+                    } else {
+                        t.expected_events.to_string()
+                    };
+                    eprintln!(
+                        "[tail] stream {stream}: {} chunks, {}/{expected} events, \
+                         {} instructions{}",
+                        t.chunks,
+                        t.events,
+                        t.instructions,
+                        if t.sealed { ", sealed" } else { "" },
+                    );
+                    if slice_live && t.events > 0 && !t.sealed {
+                        // Slices of the absorbed prefix are served from an
+                        // incrementally-maintained index while the upload
+                        // is still in flight.
+                        match client.slice_stream(stream, SliceAt::Failure, SliceOptions::default())
+                        {
+                            Ok(reply) => eprintln!(
+                                "[tail] live slice of the absorbed prefix: {} records ({} us)",
+                                reply.slice.len(),
+                                reply.micros
+                            ),
+                            Err(e) => eprintln!("[tail] live slice unavailable: {e}"),
+                        }
+                    }
+                }
+                if t.sealed {
+                    break t.digest.ok_or("sealed stream reported no digest")?;
+                }
+            }
+            Err(ClientError::Server(ServeError::UnknownStream { .. })) => {
+                eprintln!("[tail] stream {stream} not started yet; waiting");
+            }
+            Err(e) => return Err(format!("tail: {e}")),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    };
+    eprintln!("[tail] stream sealed as {digest}; fetching for replay");
+    let bytes = client.fetch(digest).map_err(|e| format!("fetch: {e}"))?;
+    let container = PinballContainer::from_bytes(&bytes)
+        .map_err(|e| format!("fetched container does not parse: {e}"))?;
+    Ok((program, container))
+}
+
 /// The value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -211,11 +290,47 @@ fn main() {
     let Some(case) = args.first() else {
         eprintln!(
             "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--ckpt <n>] \
-             [--pinball <path>] [--save <path>] [--cmd '<command>']..."
+             [--pinball <path>] [--save <path>] [--emit-test <name>] [--cmd '<command>']...\n\
+             \x20      drdebug_cli <case|needle> --tail <stream> [--addr <host:port>] \
+             [--poll-ms <n>] [--slice-live] [--iters <n>]"
         );
         std::process::exit(2);
     };
-    let (program, container) = if let Some(path) = flag_value(&args, "--pinball") {
+    let (program, container) = if let Some(stream) = flag_value(&args, "--tail") {
+        // Live-tail a stream another process is uploading, then debug it.
+        let Ok(stream) = stream.parse::<u64>() else {
+            eprintln!("error: --tail takes a numeric stream id");
+            std::process::exit(2);
+        };
+        let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+        let poll_ms = flag_value(&args, "--poll-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let program = if case == "needle" {
+            // The workload `drserve_cli stream` uploads; the program is
+            // parameterized by the writer's --iters.
+            let iters = flag_value(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(400);
+            bench::exp::four_thread_needle(iters)
+        } else {
+            match case_program(case) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        let slice_live = args.iter().any(|a| a == "--slice-live");
+        match tail_mode(program, stream, addr, poll_ms, slice_live) {
+            Ok(pc) => pc,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(path) = flag_value(&args, "--pinball") {
         // Replay a previously saved container: no recording. Missing and
         // damaged files exit cleanly with the damage named by chunk.
         let program = match case_program(case) {
@@ -277,6 +392,28 @@ fn main() {
             Ok(()) => eprintln!("[drdebug] container saved to `{path}`"),
             Err(e) => {
                 eprintln!("error: cannot save pinball to `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(name) = flag_value(&args, "--emit-test") {
+        // Promote the recording into a committed golden fixture that the
+        // corpus_golden test re-verifies: container bytes, expected
+        // failure slice, and the replayer's end-of-log state digest.
+        if bench::corpus::corpus_program(case).is_none() {
+            eprintln!(
+                "error: `{case}` recordings cannot be re-verified offline; \
+                 corpus cases: pbzip2|aget|mozilla|fig5|fig8"
+            );
+            std::process::exit(1);
+        }
+        match bench::corpus::emit_fixture(name, case, &program, &container) {
+            Ok(dir) => {
+                eprintln!("[drdebug] golden fixture written to `{}`", dir.display());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: cannot emit fixture `{name}`: {e}");
                 std::process::exit(1);
             }
         }

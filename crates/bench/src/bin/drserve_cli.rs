@@ -13,6 +13,11 @@
 //!
 //! # or everything in one process over the in-memory loopback transport
 //! cargo run --release -p bench --bin drserve_cli -- demo --clients 4
+//!
+//! # stream a recording up in chunks (resumable; pair with
+//! # `drdebug_cli needle --tail <stream>` in another terminal)
+//! cargo run --release -p bench --bin drserve_cli -- stream --addr 127.0.0.1:7070 \
+//!     --stream 42 --chunks 8 --delay-ms 300
 //! ```
 //!
 //! The client records the four-thread needle workload, uploads it
@@ -28,6 +33,7 @@ use std::io::{Read, Write};
 
 use bench::exp::record_needle;
 use drserve::{Client, ServeConfig, Server, SliceAt};
+use pinplay::{PinballContainer, StreamWriter, DEFAULT_CHECKPOINT_INTERVAL};
 use slicer::SliceOptions;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -116,6 +122,66 @@ fn drive<S: Read + Write>(client: &mut Client<S>, iters: u64, tag: &str) -> Resu
     Ok(())
 }
 
+/// Streams a recorded needle workload up in `chunks` self-delimiting
+/// pieces with `delay_ms` between sends, so a tailing client in another
+/// terminal (`drdebug_cli needle --tail <stream>`) can watch the prefix
+/// grow. Resumable: rerunning with the same `--stream` id resends only
+/// the chunks the server has not absorbed, and a digest probe on begin
+/// skips the body entirely when the server already stores the pinball.
+fn stream_up<S: Read + Write>(
+    client: &mut Client<S>,
+    iters: u64,
+    stream_id: Option<u64>,
+    chunks: usize,
+    delay_ms: u64,
+) -> Result<(), String> {
+    let (program, pinball) = record_needle(iters);
+    let container =
+        PinballContainer::with_checkpoints(pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
+    let writer = StreamWriter::new(&container).map_err(|e| format!("container encode: {e}"))?;
+    let digest = writer.digest();
+    let stream = stream_id.unwrap_or(digest.0);
+    let ack = client
+        .begin_stream(stream, &program, Some(digest))
+        .map_err(|e| format!("begin: {e}"))?;
+    if ack.already_have {
+        println!("[stream] server already has {digest}; nothing to send (deduped)");
+        return Ok(());
+    }
+    let pieces = writer.chunks(chunks);
+    println!(
+        "[stream] stream {stream}: {} chunks, {} bytes, {} instructions \
+         (resuming from chunk {})",
+        pieces.len(),
+        writer.sealed_bytes().len(),
+        writer.instructions(),
+        ack.next_seq,
+    );
+    for (seq, piece) in pieces.iter().enumerate() {
+        if (seq as u32) < ack.next_seq {
+            continue; // absorbed before a reconnect: never resent
+        }
+        let ack = client
+            .append_chunk(stream, seq as u32, piece.to_vec())
+            .map_err(|e| format!("chunk {seq}: {e}"))?;
+        println!(
+            "[stream] chunk {seq} acked: {} events absorbed server-side",
+            ack.events
+        );
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    }
+    let up = client
+        .seal_stream(stream, writer.footer().to_vec())
+        .map_err(|e| format!("seal: {e}"))?;
+    println!(
+        "[stream] sealed: {} instructions published as {} ({})",
+        up.instructions,
+        up.digest,
+        if up.deduped { "deduped" } else { "stored" }
+    );
+    Ok(())
+}
+
 fn print_stats<S: Read + Write>(client: &mut Client<S>) {
     match client.stats() {
         Ok(stats) => println!("--- server stats ---\n{stats}"),
@@ -175,6 +241,23 @@ fn main() {
             }
             print_stats(&mut client);
         }
+        Some("stream") => {
+            let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+            let chunks: usize = parsed_flag(&args, "--chunks", 8);
+            let delay_ms: u64 = parsed_flag(&args, "--delay-ms", 200);
+            let stream_id = flag_value(&args, "--stream").and_then(|v| v.parse().ok());
+            let mut client = match drserve::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = stream_up(&mut client, iters, stream_id, chunks, delay_ms) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
         Some("demo") => {
             let clients: usize = parsed_flag(&args, "--clients", 4);
             let server = Server::new(config_from(&args));
@@ -201,6 +284,8 @@ fn main() {
                  \x20                     [--shards <n>] [--dispatchers <n>] [--queue <n>] [--batch <n>]\n\
                  \x20      drserve_cli client [--addr <host:port>] [--iters <n>]\n\
                  \x20      drserve_cli client stats [--addr <host:port>]\n\
+                 \x20      drserve_cli stream [--addr <host:port>] [--iters <n>] [--chunks <n>]\n\
+                 \x20                         [--delay-ms <n>] [--stream <id>]\n\
                  \x20      drserve_cli demo [--clients <n>] [--iters <n>] [--shards <n>]\n\
                  \n\
                  --shards 0 (default) sizes one worker shard per CPU; each shard owns its\n\

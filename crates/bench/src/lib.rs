@@ -4,6 +4,7 @@
 //! `benches/` reuse the same helpers at smaller sizes. See `EXPERIMENTS.md`
 //! at the repository root for the paper-vs-measured record.
 
+pub mod corpus;
 pub mod exp;
 pub mod report;
 pub mod serveload;

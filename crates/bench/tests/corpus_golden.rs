@@ -1,0 +1,67 @@
+//! Golden-fixture corpus regression gate.
+//!
+//! Every fixture committed under `tests/corpus/<name>/` (written by
+//! `drdebug_cli <case> --emit-test <name>`) must keep parsing, replay to
+//! the same state digest, and re-slice to byte-identical canonical wire
+//! bytes. A failure here means the container codec, the replayer, or the
+//! slicer changed observable behaviour on a real recording.
+
+use std::sync::Arc;
+
+use bench::corpus::{corpus_dir, emit_fixture_in, verify_fixture_in};
+use minivm::{LiveEnv, RoundRobin};
+use pinplay::{record_whole_program, PinballContainer};
+
+#[test]
+fn committed_fixtures_replay_and_slice_byte_identically() {
+    let dir = corpus_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "the corpus holds at least the fig8 fixture"
+    );
+    for name in &names {
+        verify_fixture_in(&dir, name).unwrap_or_else(|e| panic!("golden fixture drifted: {e}"));
+    }
+    println!("verified {} golden fixtures: {names:?}", names.len());
+}
+
+#[test]
+fn emit_then_verify_roundtrips_and_catches_tampering() {
+    // A fresh fig8 recording — the same deterministic capture drdebug_cli
+    // performs — emitted into a scratch directory.
+    let program = workloads::fig8_save_restore();
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(8),
+        &mut LiveEnv::with_inputs(0, [1]),
+        100_000,
+        "fig8",
+    )
+    .expect("fig8 records");
+    let container = PinballContainer::with_checkpoints(rec.pinball, &Arc::clone(&program), 64);
+    let mut base = std::env::temp_dir();
+    base.push(format!("drdebug_corpus_test_{}", std::process::id()));
+    let name = "fig8-scratch";
+    let dir = emit_fixture_in(&base, name, "fig8", &program, &container).expect("fixture emits");
+    verify_fixture_in(&base, name).expect("a freshly emitted fixture verifies");
+
+    // Tampering with any committed byte is caught and named, not ignored.
+    let pinball_path = dir.join("pinball.drpb");
+    let mut bytes = std::fs::read(&pinball_path).expect("fixture container reads");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&pinball_path, &bytes).expect("tampered container writes");
+    let err = verify_fixture_in(&base, name).expect_err("tampering is detected");
+    assert!(
+        err.contains("no longer parses") || err.contains("drifted"),
+        "unexpected tamper report: {err}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

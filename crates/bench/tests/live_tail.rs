@@ -1,0 +1,127 @@
+//! Live-tail integration: one client streams a recording up while a
+//! second client tails it — over the in-process loopback transport and
+//! over real TCP.
+//!
+//! The writer thread appends chunks with a delay; the tailer polls the
+//! `Tail` op and must observe monotone chunk/event/instruction progress,
+//! at least one update while the stream is still unsealed (a channel
+//! handshake guarantees the overlap), and finally the sealed digest —
+//! which it then fetches, opens, and slices like any batch upload.
+
+use std::io::{Read, Write};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use bench::exp::record_needle;
+use drserve::{Client, ServeConfig, Server, SliceAt, Uploaded};
+use pinplay::{PinballContainer, StreamWriter};
+use slicer::SliceOptions;
+
+const STREAM: u64 = 11;
+const CHUNKS: usize = 8;
+
+/// Drives one writer + one tailer against whatever transport the two
+/// clients are connected through.
+fn run_live_tail<W, T>(mut writer: Client<W>, mut tailer: Client<T>)
+where
+    W: Read + Write + Send + 'static,
+    T: Read + Write,
+{
+    let (program, pinball) = record_needle(300);
+    // A dense checkpoint interval gives the writer plenty of chunk
+    // groups to split across.
+    let container = PinballContainer::with_checkpoints(pinball, &program, 256);
+    let expected_digest = container.digest();
+    let stream_writer = StreamWriter::new(&container).expect("container streams");
+    let sealed_bytes = stream_writer.sealed_bytes().to_vec();
+    let expected_instructions = stream_writer.instructions();
+
+    // Open the stream before the writer thread exists, so the tailer
+    // never races UnknownStream.
+    writer
+        .begin_stream(STREAM, &program, None)
+        .expect("stream opens");
+
+    let (watching_tx, watching_rx) = mpsc::channel::<()>();
+    let handle = thread::spawn(move || -> Uploaded {
+        // Do not send a byte until the tailer has seen the empty stream:
+        // this guarantees at least one mid-upload observation.
+        watching_rx.recv().expect("tailer signals");
+        let w = StreamWriter::new(&container).expect("container streams");
+        for (seq, piece) in w.chunks(CHUNKS).iter().enumerate() {
+            writer
+                .append_chunk(STREAM, seq as u32, piece.to_vec())
+                .expect("chunk lands");
+            thread::sleep(Duration::from_millis(10));
+        }
+        writer
+            .seal_stream(STREAM, w.footer().to_vec())
+            .expect("stream seals")
+    });
+
+    let mut last = (0u32, 0u64, 0u64);
+    let mut unsealed_updates = 0u32;
+    let mut watching = Some(watching_tx);
+    let final_update = loop {
+        let t = tailer.tail(STREAM).expect("tail answers");
+        assert!(
+            t.chunks >= last.0 && t.events >= last.1 && t.instructions >= last.2,
+            "tail progress is monotone: {last:?} then ({}, {}, {})",
+            t.chunks,
+            t.events,
+            t.instructions,
+        );
+        last = (t.chunks, t.events, t.instructions);
+        if t.sealed {
+            break t;
+        }
+        unsealed_updates += 1;
+        assert_eq!(t.digest, None, "no digest before sealing");
+        if let Some(tx) = watching.take() {
+            tx.send(()).expect("writer waits for the tailer");
+        }
+        thread::sleep(Duration::from_millis(5));
+    };
+    let up = handle.join().expect("writer thread");
+
+    assert!(
+        unsealed_updates >= 1,
+        "the tailer watched the stream mid-upload"
+    );
+    assert_eq!(up.digest, expected_digest, "streamed == batch digest");
+    assert_eq!(final_update.digest, Some(expected_digest));
+    assert_eq!(final_update.chunks as usize, CHUNKS);
+    assert_eq!(final_update.instructions, expected_instructions);
+    assert_eq!(
+        final_update.events, final_update.expected_events,
+        "a sealed stream absorbed every event the header promised"
+    );
+
+    // The published pinball is an ordinary stored upload: byte-identical
+    // fetch, and it opens and slices.
+    let fetched = tailer.fetch(expected_digest).expect("published fetches");
+    assert_eq!(fetched, sealed_bytes, "fetched bytes == batch to_bytes");
+    let session = tailer.open(expected_digest).expect("published opens");
+    let reply = tailer
+        .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+        .expect("published slices");
+    assert!(!reply.slice.is_empty(), "failure slice is non-trivial");
+}
+
+#[test]
+fn live_tail_over_loopback() {
+    let server = Server::new(ServeConfig::default());
+    run_live_tail(server.loopback_client(), server.loopback_client());
+}
+
+#[test]
+fn live_tail_over_tcp() {
+    let server = Server::new(ServeConfig::default());
+    let handle = server
+        .listen("127.0.0.1:0")
+        .expect("listens on an ephemeral port");
+    let writer = drserve::connect(handle.addr()).expect("writer connects");
+    let tailer = drserve::connect(handle.addr()).expect("tailer connects");
+    run_live_tail(writer, tailer);
+}

@@ -13,7 +13,7 @@ use std::thread;
 use std::time::Duration;
 
 use minivm::{Pc, Program, Tid};
-use pinplay::{Pinball, PinballContainer, PinballDigest};
+use pinplay::{Pinball, PinballContainer, PinballDigest, StreamWriter};
 use slicer::SliceOptions;
 
 use crate::proto::{
@@ -106,6 +106,43 @@ pub struct Uploaded {
     pub instructions: u64,
     /// Whether the server already held an identical pinball.
     pub deduped: bool,
+}
+
+/// Absorption state of a streaming upload, as acknowledged by the server.
+#[derive(Debug, Clone)]
+pub struct StreamAck {
+    /// The stream this describes.
+    pub stream: u64,
+    /// High-water mark: every chunk with `seq < next_seq` is absorbed.
+    /// A resuming client resends from here.
+    pub next_seq: u32,
+    /// Out-of-order chunks buffered beyond a gap, ascending by seq.
+    pub pending: Vec<u32>,
+    /// Replay events decoded from the absorbed prefix.
+    pub events: u64,
+    /// A [`Client::begin_stream`] `expect_digest` matched a stored
+    /// pinball: the body need not be sent.
+    pub already_have: bool,
+}
+
+/// Live-tail progress of a stream another process is still writing.
+#[derive(Debug, Clone, Copy)]
+pub struct TailReply {
+    /// The stream this describes.
+    pub stream: u64,
+    /// Contiguous chunks absorbed (the high-water mark).
+    pub chunks: u32,
+    /// Replay events decoded from the absorbed prefix.
+    pub events: u64,
+    /// Instructions the absorbed prefix retires when replayed.
+    pub instructions: u64,
+    /// Total events the sealed container will hold (0 before the header
+    /// chunk arrives).
+    pub expected_events: u64,
+    /// Whether the stream has been sealed and published.
+    pub sealed: bool,
+    /// The published content digest, once sealed.
+    pub digest: Option<PinballDigest>,
 }
 
 /// Result of a slice request.
@@ -476,6 +513,207 @@ impl<S: Read + Write> Client<S> {
             Response::Closed { .. } => Ok(()),
             other => Err(unexpected("Closed", &other)),
         }
+    }
+
+    /// Asks whether the server already stores a pinball with `digest` —
+    /// the digest-first dedupe probe a client sends before paying to
+    /// transfer the body.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn probe(&mut self, digest: PinballDigest) -> Result<bool, ClientError> {
+        match self.call(&Request::ProbePinball { digest })? {
+            Response::Probed { known, .. } => Ok(known),
+            other => Err(unexpected("Probed", &other)),
+        }
+    }
+
+    /// Opens — or, after a reconnect, resumes — a streaming upload. The
+    /// ack's `next_seq` is the high-water mark to resend from; its
+    /// `already_have` means `expect_digest` matched a stored pinball and
+    /// the body can be skipped.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; [`ServeError::Busy`] under backpressure.
+    pub fn begin_stream(
+        &mut self,
+        stream: u64,
+        program: &Program,
+        expect_digest: Option<PinballDigest>,
+    ) -> Result<StreamAck, ClientError> {
+        expect_ack(self.call(&Request::BeginStream {
+            stream,
+            program: program.clone(),
+            expect_digest,
+        })?)
+    }
+
+    /// Appends one chunk at `seq`. Out-of-order sends are buffered
+    /// server-side; duplicates below the acked high-water mark are
+    /// acknowledged idempotently, so blind resends after a reconnect are
+    /// safe.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] when the stream was never begun (or
+    /// was dropped after damage); [`ServeError::Pinball`] when the chunk
+    /// bytes fail to decode.
+    pub fn append_chunk(
+        &mut self,
+        stream: u64,
+        seq: u32,
+        bytes: Vec<u8>,
+    ) -> Result<StreamAck, ClientError> {
+        expect_ack(self.call(&Request::AppendChunk { stream, seq, bytes })?)
+    }
+
+    /// Seals a stream: the server absorbs the footer, validates the
+    /// reassembled container, and publishes it under its content digest.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] while chunks are still missing;
+    /// [`ServeError::Pinball`] when validation fails.
+    pub fn seal_stream(&mut self, stream: u64, footer: Vec<u8>) -> Result<Uploaded, ClientError> {
+        match self.call(&Request::SealStream { stream, footer })? {
+            Response::Uploaded {
+                digest,
+                instructions,
+                deduped,
+            } => Ok(Uploaded {
+                digest,
+                instructions,
+                deduped,
+            }),
+            other => Err(unexpected("Uploaded", &other)),
+        }
+    }
+
+    /// Reports a stream's absorption state without changing it — the
+    /// reconnect probe a resuming uploader sends first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] when the stream does not exist.
+    pub fn stream_status(&mut self, stream: u64) -> Result<StreamAck, ClientError> {
+        expect_ack(self.call(&Request::StreamStatus { stream })?)
+    }
+
+    /// Polls live-tail progress of a stream another process is writing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] when the stream does not exist.
+    pub fn tail(&mut self, stream: u64) -> Result<TailReply, ClientError> {
+        match self.call(&Request::Tail { stream })? {
+            Response::TailUpdate {
+                stream,
+                chunks,
+                events,
+                instructions,
+                expected_events,
+                sealed,
+                digest,
+            } => Ok(TailReply {
+                stream,
+                chunks,
+                events,
+                instructions,
+                expected_events,
+                sealed,
+                digest,
+            }),
+            other => Err(unexpected("TailUpdate", &other)),
+        }
+    }
+
+    /// Slices the prefix of a stream absorbed so far, without waiting for
+    /// the seal. The server grows its dependence index incrementally, so
+    /// repeated slices as the stream fills pay only for the new suffix.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the criterion is not yet in the
+    /// absorbed prefix; [`ServeError::UnknownStream`] as usual.
+    pub fn slice_stream(
+        &mut self,
+        stream: u64,
+        at: SliceAt,
+        options: SliceOptions,
+    ) -> Result<SliceReply, ClientError> {
+        match self.call(&Request::SliceStream {
+            stream,
+            at,
+            options,
+        })? {
+            Response::Slice {
+                slice,
+                cached,
+                micros,
+            } => Ok(SliceReply {
+                slice,
+                cached,
+                micros,
+            }),
+            other => Err(unexpected("Slice", &other)),
+        }
+    }
+
+    /// Streams a container to the server in `chunks` resumable pieces:
+    /// digest-first dedupe (a known digest skips the body entirely),
+    /// resume from the server's high-water mark, then seal. Returns the
+    /// same [`Uploaded`] a batch [`Client::upload_bytes`] would — and the
+    /// same digest, byte for byte. The stream id is the digest itself, so
+    /// a client retrying after a crash resumes its own upload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::upload_bytes`]; serialization failures surface as
+    /// [`ClientError::Protocol`].
+    pub fn upload_streamed(
+        &mut self,
+        program: &Program,
+        container: &PinballContainer,
+        chunks: usize,
+    ) -> Result<Uploaded, ClientError> {
+        let writer = StreamWriter::new(container)
+            .map_err(|e| ClientError::Protocol(format!("container encode: {e}")))?;
+        let digest = writer.digest();
+        let stream = digest.0;
+        let ack = self.begin_stream(stream, program, Some(digest))?;
+        if ack.already_have {
+            return Ok(Uploaded {
+                digest,
+                instructions: writer.instructions(),
+                deduped: true,
+            });
+        }
+        let pieces = writer.chunks(chunks);
+        for (seq, piece) in pieces.iter().enumerate().skip(ack.next_seq as usize) {
+            self.append_chunk(stream, seq as u32, piece.to_vec())?;
+        }
+        self.seal_stream(stream, writer.footer().to_vec())
+    }
+}
+
+fn expect_ack(response: Response) -> Result<StreamAck, ClientError> {
+    match response {
+        Response::StreamAck {
+            stream,
+            next_seq,
+            pending,
+            events,
+            already_have,
+        } => Ok(StreamAck {
+            stream,
+            next_seq,
+            pending,
+            events,
+            already_have,
+        }),
+        other => Err(unexpected("StreamAck", &other)),
     }
 }
 

@@ -92,7 +92,10 @@ pub mod service;
 pub mod store;
 
 pub use cache::RelogOutcome;
-pub use client::{Client, ClientError, RelogReply, RetryPolicy, SliceReply, Uploaded, WireStats};
+pub use client::{
+    Client, ClientError, RelogReply, RetryPolicy, SliceReply, StreamAck, TailReply, Uploaded,
+    WireStats,
+};
 pub use loopback::{pipe, LoopbackStream};
 pub use proto::{
     CacheStats, OpStats, RecvError, Request, Response, ServeError, ServeStats, SessionId,

@@ -134,6 +134,80 @@ pub enum Request {
         /// The session to close.
         session: SessionId,
     },
+    /// Ask whether a pinball with this content digest is already stored —
+    /// the digest-first dedupe probe. A client that hashes its container
+    /// locally asks this before paying to send the body; a `known` answer
+    /// means the upload can be skipped entirely.
+    ProbePinball {
+        /// Content digest the client is about to upload.
+        digest: PinballDigest,
+    },
+    /// Open — or, after a reconnect, resume — a streaming upload. The
+    /// server answers [`Response::StreamAck`] with the high-water mark,
+    /// so a resuming client learns which chunks to resend. Every op
+    /// naming this `stream` id routes to the same shard.
+    BeginStream {
+        /// Client-chosen stream id (the upload's digest makes a good,
+        /// resumable choice); routing key for every stream op.
+        stream: u64,
+        /// The program the streamed pinball replays.
+        program: Program,
+        /// The container's content digest, when the client knows it up
+        /// front. A match against the store short-circuits the upload:
+        /// the server answers with `already_have` set and the client
+        /// skips the body.
+        expect_digest: Option<PinballDigest>,
+    },
+    /// Append one chunk of container bytes at sequence `seq`. Chunks may
+    /// arrive out of order (buffered until the gap fills) and duplicates
+    /// below the high-water mark are acknowledged idempotently, so a
+    /// client may blindly resend after a reconnect.
+    AppendChunk {
+        /// The stream to extend.
+        stream: u64,
+        /// Zero-based chunk sequence number
+        /// ([`pinplay::StreamWriter::chunks`] order).
+        seq: u32,
+        /// Raw container bytes of this chunk.
+        bytes: Vec<u8>,
+    },
+    /// Seal a stream: absorb the footer (index frame + `PBIX` trailer),
+    /// verify the reassembled container, and publish it into the
+    /// content-addressed store under its digest — from then on it is an
+    /// ordinary upload, openable with [`Request::OpenSession`].
+    SealStream {
+        /// The stream to seal.
+        stream: u64,
+        /// Footer bytes ([`pinplay::StreamWriter::footer`]).
+        footer: Vec<u8>,
+    },
+    /// Report a stream's absorption state without changing it — the
+    /// reconnect probe a resuming uploader sends first.
+    StreamStatus {
+        /// The stream to inspect.
+        stream: u64,
+    },
+    /// Live-tail progress of a stream: chunks and instructions absorbed
+    /// so far, and the published digest once sealed. A second process
+    /// polls this to follow a recording while it is still uploading.
+    Tail {
+        /// The stream to follow.
+        stream: u64,
+    },
+    /// Compute a dynamic slice over the prefix of a stream absorbed so
+    /// far — without waiting for the seal. The server maintains the
+    /// dependence index incrementally ([`slicer::DepIndex::append`]), so
+    /// repeated slices as the stream grows pay only for the new suffix.
+    SliceStream {
+        /// The stream whose absorbed prefix is sliced.
+        stream: u64,
+        /// Where to anchor the slice ([`SliceAt::Here`] is meaningless
+        /// without a stopped session and is rejected).
+        at: SliceAt,
+        /// Traversal options; changing them mid-stream rebuilds the
+        /// incremental index.
+        options: SliceOptions,
+    },
 }
 
 impl Request {
@@ -151,6 +225,13 @@ impl Request {
             Request::BreakList { .. } => "breaklist",
             Request::Stats => "stats",
             Request::CloseSession { .. } => "close",
+            Request::ProbePinball { .. } => "probe",
+            Request::BeginStream { .. } => "beginstream",
+            Request::AppendChunk { .. } => "appendchunk",
+            Request::SealStream { .. } => "sealstream",
+            Request::StreamStatus { .. } => "streamstatus",
+            Request::Tail { .. } => "tail",
+            Request::SliceStream { .. } => "slicestream",
         }
     }
 }
@@ -249,6 +330,49 @@ pub enum Response {
     Closed {
         /// The session that was closed.
         session: SessionId,
+    },
+    /// Answer to [`Request::ProbePinball`].
+    Probed {
+        /// The digest that was probed.
+        digest: PinballDigest,
+        /// Whether the store already holds a pinball with this digest.
+        known: bool,
+    },
+    /// Absorption state of a streaming upload — the answer to
+    /// [`Request::BeginStream`], [`Request::AppendChunk`], and
+    /// [`Request::StreamStatus`].
+    StreamAck {
+        /// The stream this describes.
+        stream: u64,
+        /// High-water mark: every chunk with `seq < next_seq` has been
+        /// absorbed contiguously. A resuming client resends from here.
+        next_seq: u32,
+        /// Out-of-order chunks buffered beyond a gap, ascending by seq —
+        /// a resuming client skips these when filling the gap.
+        pending: Vec<u32>,
+        /// Replay events decoded from the absorbed prefix.
+        events: u64,
+        /// Set on a [`Request::BeginStream`] whose `expect_digest`
+        /// matched a stored pinball: the body need not be sent.
+        already_have: bool,
+    },
+    /// Live-tail progress — the answer to [`Request::Tail`].
+    TailUpdate {
+        /// The stream this describes.
+        stream: u64,
+        /// Contiguous chunks absorbed (the high-water mark).
+        chunks: u32,
+        /// Replay events decoded from the absorbed prefix.
+        events: u64,
+        /// Instructions the absorbed prefix retires when replayed.
+        instructions: u64,
+        /// Total events the sealed container will hold (from the
+        /// container header), or 0 before the header chunk arrives.
+        expected_events: u64,
+        /// Whether the stream has been sealed and published.
+        sealed: bool,
+        /// The published content digest, once sealed.
+        digest: Option<PinballDigest>,
     },
     /// The request failed; the connection stays usable (except after
     /// [`ServeError::Malformed`], which is followed by disconnect because
@@ -408,6 +532,13 @@ pub enum ServeError {
         /// The missing session id.
         session: SessionId,
     },
+    /// No streaming upload with this id exists on its shard (never begun,
+    /// or the server restarted). Resume by re-sending
+    /// [`Request::BeginStream`] and every chunk.
+    UnknownStream {
+        /// The missing stream id.
+        stream: u64,
+    },
     /// The pool is at capacity with every session in use — backpressure,
     /// not a queue. Retry after the hinted delay.
     Busy {
@@ -458,6 +589,7 @@ impl fmt::Display for ServeError {
             ServeError::Malformed { reason } => write!(f, "malformed request: {reason}"),
             ServeError::UnknownPinball { digest } => write!(f, "unknown pinball {digest}"),
             ServeError::UnknownSession { session } => write!(f, "unknown session {session}"),
+            ServeError::UnknownStream { stream } => write!(f, "unknown stream {stream}"),
             ServeError::Busy { retry_after_ms } => {
                 write!(f, "server busy; retry after {retry_after_ms} ms")
             }

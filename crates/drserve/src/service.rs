@@ -31,15 +31,18 @@
 //! written verbatim to each connection), so a fleet polling stats costs
 //! one snapshot + one encode per batch instead of per request.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use pinplay::PinballContainer;
-use slicer::Criterion;
+use minivm::Program;
+use pinplay::{PinballContainer, PinballDigest, StreamReader};
+use slicer::{
+    compute_slice_indexed, Criterion, DepIndex, GlobalTrace, SliceSession, SlicerOptions,
+};
 
 use crate::cache::{IndexCache, RelogCache, RelogOutcome, SliceCache};
 use crate::metrics::ServeMetrics;
@@ -94,11 +97,56 @@ pub(crate) struct Shard {
     index_cache: IndexCache,
     relog_cache: RelogCache,
     metrics: ServeMetrics,
+    /// In-progress streaming uploads, keyed by client-chosen stream id.
+    /// Every op naming a stream routes `stream % N`, so a stream lives
+    /// entirely on one shard; the shard's single worker thread means the
+    /// mutex is uncontended in practice.
+    streams: Mutex<HashMap<u64, StreamState>>,
     /// Admitted-but-not-completed requests (the admission counter).
     depth: AtomicUsize,
     peak_depth: AtomicU64,
     shed: AtomicU64,
     batches: AtomicU64,
+}
+
+/// One in-progress streaming upload, owned by its routing shard.
+struct StreamState {
+    program: Arc<Program>,
+    reader: StreamReader,
+    /// Chunks that arrived ahead of the high-water mark, buffered until
+    /// the gap before them fills.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// High-water mark: chunks `0..next_seq` are absorbed contiguously.
+    next_seq: u32,
+    /// The store digest once the stream sealed and published.
+    published: Option<PinballDigest>,
+    /// Incremental slicing state, invalidated when the slice options
+    /// fingerprint changes.
+    slicing: Option<StreamSlicing>,
+}
+
+/// The incrementally-grown trace and dependence index of one stream.
+///
+/// Each `SliceStream` replays the absorbed prefix to re-collect its
+/// records (replay is deterministic, so previously seen records come back
+/// unchanged), then extends the cached trace and appends to the cached
+/// index — paying index-build cost only for the new suffix.
+struct StreamSlicing {
+    fingerprint: u64,
+    trace: GlobalTrace,
+    index: DepIndex,
+}
+
+/// The absorption-state ack shared by `BeginStream`, `AppendChunk`, and
+/// `StreamStatus`.
+fn stream_ack(stream: u64, st: &StreamState, already_have: bool) -> Response {
+    Response::StreamAck {
+        stream,
+        next_seq: st.next_seq,
+        pending: st.pending.keys().copied().collect(),
+        events: st.reader.events_absorbed() as u64,
+        already_have,
+    }
 }
 
 /// State shared by every worker and every `Service` clone.
@@ -164,6 +212,7 @@ impl Service {
                     index_cache: IndexCache::new(config.index_cache_capacity),
                     relog_cache: RelogCache::new(config.relog_cache_capacity),
                     metrics: ServeMetrics::new(),
+                    streams: Mutex::new(HashMap::new()),
                     depth: AtomicUsize::new(0),
                     peak_depth: AtomicU64::new(0),
                     shed: AtomicU64::new(0),
@@ -216,7 +265,17 @@ impl Service {
     fn route(&self, request: &Request) -> usize {
         let n = self.inner.state.shards.len() as u64;
         let ix = match request {
-            Request::OpenSession { digest } | Request::FetchPinball { digest } => digest.0 % n,
+            Request::OpenSession { digest }
+            | Request::FetchPinball { digest }
+            | Request::ProbePinball { digest } => digest.0 % n,
+            // A stream lives entirely on one shard: its reader, pending
+            // chunks, and incremental index are all shard-local.
+            Request::BeginStream { stream, .. }
+            | Request::AppendChunk { stream, .. }
+            | Request::SealStream { stream, .. }
+            | Request::StreamStatus { stream }
+            | Request::Tail { stream }
+            | Request::SliceStream { stream, .. } => stream % n,
             Request::Break { session, .. }
             | Request::Run { session }
             | Request::Seek { session, .. }
@@ -561,6 +620,236 @@ fn try_execute(
         Request::CloseSession { session } => {
             shard.pool.close(session)?;
             Ok(Response::Closed { session })
+        }
+        Request::ProbePinball { digest } => Ok(Response::Probed {
+            digest,
+            known: state.store.program_of(digest).is_some(),
+        }),
+        Request::BeginStream {
+            stream,
+            program,
+            expect_digest,
+        } => {
+            // Digest-first dedupe: when the client already knows the
+            // container's digest and the store holds it, the body never
+            // has to cross the wire.
+            if let Some(digest) = expect_digest {
+                if state.store.program_of(digest).is_some() {
+                    return Ok(Response::StreamAck {
+                        stream,
+                        next_seq: 0,
+                        pending: Vec::new(),
+                        events: 0,
+                        already_have: true,
+                    });
+                }
+            }
+            let mut streams = shard.streams.lock().expect("streams lock");
+            let st = streams.entry(stream).or_insert_with(|| StreamState {
+                program: Arc::new(program),
+                reader: StreamReader::new(),
+                pending: BTreeMap::new(),
+                next_seq: 0,
+                published: None,
+                slicing: None,
+            });
+            // Re-sending BeginStream for an existing stream is the resume
+            // path: the ack carries the high-water mark, so a reconnected
+            // client learns exactly which chunks to resend.
+            Ok(stream_ack(stream, st, false))
+        }
+        Request::AppendChunk { stream, seq, bytes } => {
+            let mut streams = shard.streams.lock().expect("streams lock");
+            let st = streams
+                .get_mut(&stream)
+                .ok_or(ServeError::UnknownStream { stream })?;
+            // Duplicates below the high-water mark (a reconnected client
+            // blindly resending) and stragglers after sealing are
+            // acknowledged idempotently without touching the reader.
+            if st.published.is_none() && seq >= st.next_seq {
+                if seq == st.next_seq {
+                    let absorbed = st.reader.absorb(&bytes).and_then(|()| {
+                        st.next_seq += 1;
+                        // The new chunk may have filled the gap in front
+                        // of buffered out-of-order arrivals.
+                        while let Some(buffered) = st.pending.remove(&st.next_seq) {
+                            st.reader.absorb(&buffered)?;
+                            st.next_seq += 1;
+                        }
+                        Ok(())
+                    });
+                    if let Err(e) = absorbed {
+                        // The reader holds undecodable bytes and can never
+                        // make progress; drop the stream so a retry
+                        // starts clean.
+                        streams.remove(&stream);
+                        return Err(e.into());
+                    }
+                } else {
+                    st.pending.insert(seq, bytes);
+                }
+            }
+            let st = streams.get(&stream).expect("stream still present");
+            Ok(stream_ack(stream, st, false))
+        }
+        Request::SealStream { stream, footer } => {
+            let mut streams = shard.streams.lock().expect("streams lock");
+            let st = streams
+                .get_mut(&stream)
+                .ok_or(ServeError::UnknownStream { stream })?;
+            if let Some(digest) = st.published {
+                // Duplicate seal (the ack was lost to a reconnect):
+                // answer idempotently.
+                return Ok(Response::Uploaded {
+                    digest,
+                    instructions: st.reader.instructions_absorbed(),
+                    deduped: true,
+                });
+            }
+            if !st.pending.is_empty() {
+                return Err(ServeError::BadRequest {
+                    reason: format!(
+                        "stream {stream} cannot seal: waiting for chunk {} \
+                         ({} buffered beyond the gap)",
+                        st.next_seq,
+                        st.pending.len()
+                    ),
+                });
+            }
+            if let Err(e) = st.reader.absorb(&footer) {
+                // Event counts or the trailer failed to validate — chunks
+                // are missing or damaged, and the buffered bytes cannot
+                // be repaired. Drop the stream so a retry starts clean.
+                streams.remove(&stream);
+                return Err(e.into());
+            }
+            if !st.reader.is_sealed() {
+                return Err(ServeError::BadRequest {
+                    reason: "footer bytes are incomplete; stream is still unsealed".to_string(),
+                });
+            }
+            let bytes = st.reader.sealed_bytes().expect("sealed reader has bytes");
+            // Re-parsing the reassembled bytes guarantees the published
+            // container — and its digest — is exactly what a batch
+            // upload of the same file would have stored.
+            let container = PinballContainer::from_bytes(bytes)?;
+            let digest = container.digest();
+            let instructions = container.pinball.logged_instructions();
+            let deduped = state
+                .store
+                .insert_if_absent(digest, Arc::clone(&st.program), container);
+            st.published = Some(digest);
+            Ok(Response::Uploaded {
+                digest,
+                instructions,
+                deduped,
+            })
+        }
+        Request::StreamStatus { stream } => {
+            let streams = shard.streams.lock().expect("streams lock");
+            let st = streams
+                .get(&stream)
+                .ok_or(ServeError::UnknownStream { stream })?;
+            Ok(stream_ack(stream, st, false))
+        }
+        Request::Tail { stream } => {
+            let streams = shard.streams.lock().expect("streams lock");
+            let st = streams
+                .get(&stream)
+                .ok_or(ServeError::UnknownStream { stream })?;
+            Ok(Response::TailUpdate {
+                stream,
+                chunks: st.next_seq,
+                events: st.reader.events_absorbed() as u64,
+                instructions: st.reader.instructions_absorbed(),
+                expected_events: st.reader.events_expected().unwrap_or(0),
+                sealed: st.reader.is_sealed(),
+                digest: st.published,
+            })
+        }
+        Request::SliceStream {
+            stream,
+            at,
+            options,
+        } => {
+            let started = Instant::now();
+            let mut streams = shard.streams.lock().expect("streams lock");
+            let st = streams
+                .get_mut(&stream)
+                .ok_or(ServeError::UnknownStream { stream })?;
+            if st.reader.events_absorbed() == 0 {
+                return Err(ServeError::BadRequest {
+                    reason: "stream has no replay events yet; nothing to slice".to_string(),
+                });
+            }
+            // Replay the absorbed prefix to collect its records. Replay
+            // is deterministic, so the records seen on earlier requests
+            // come back unchanged and the cached trace/index below only
+            // pay for the new suffix.
+            let container = st.reader.partial_container()?;
+            let collect_opts = SlicerOptions {
+                // Appends must keep prefix positions stable.
+                cluster: false,
+                ..SlicerOptions::default()
+            };
+            let session =
+                SliceSession::collect(Arc::clone(&st.program), &container.pinball, collect_opts);
+            let fingerprint = options.fingerprint();
+            match &mut st.slicing {
+                Some(s) if s.fingerprint == fingerprint => {
+                    let done = s.trace.records().len();
+                    s.trace.extend(session.trace().records()[done..].to_vec());
+                    s.index.append(&s.trace, session.pairs(), &options);
+                }
+                slot => {
+                    let trace = GlobalTrace::build_with(
+                        session.trace().records().to_vec(),
+                        collect_opts.block_size,
+                        collect_opts.track_sp,
+                        false,
+                    );
+                    let index = DepIndex::build(&trace, session.pairs(), &options);
+                    *slot = Some(StreamSlicing {
+                        fingerprint,
+                        trace,
+                        index,
+                    });
+                }
+            }
+            let slicing = st.slicing.as_ref().expect("slicing state installed");
+            let criterion = match at {
+                SliceAt::Criterion { criterion } => criterion,
+                SliceAt::Failure => Criterion::Record {
+                    id: session
+                        .failure_record()
+                        .map(|r| r.id)
+                        .ok_or(ServeError::BadRequest {
+                            reason: "trace is empty; nothing to slice".to_string(),
+                        })?,
+                },
+                SliceAt::Here { .. } => {
+                    return Err(ServeError::BadRequest {
+                        reason: "SliceAt::Here needs a stopped session; \
+                                 a stream is not stopped anywhere"
+                            .to_string(),
+                    })
+                }
+            };
+            if slicing.trace.position(criterion.record_id()).is_none() {
+                return Err(ServeError::BadRequest {
+                    reason: format!(
+                        "criterion record is not in the absorbed prefix \
+                         ({} events so far)",
+                        st.reader.events_absorbed()
+                    ),
+                });
+            }
+            let slice = compute_slice_indexed(&slicing.index, criterion);
+            Ok(Response::Slice {
+                slice: WireSlice::from_slice(&slice),
+                cached: false,
+                micros: started.elapsed().as_micros() as u64,
+            })
         }
     }
 }

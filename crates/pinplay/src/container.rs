@@ -100,10 +100,10 @@ pub const TRAILER_MAGIC: &[u8; 4] = b"PBIX";
 /// Default checkpoint cadence, in retired instructions per chunk.
 pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4096;
 
-const KIND_HEADER: u8 = 1;
-const KIND_EVENTS: u8 = 2;
-const KIND_CHECKPOINT: u8 = 3;
-const KIND_INDEX: u8 = 4;
+pub(crate) const KIND_HEADER: u8 = 1;
+pub(crate) const KIND_EVENTS: u8 = 2;
+pub(crate) const KIND_CHECKPOINT: u8 = 3;
+pub(crate) const KIND_INDEX: u8 = 4;
 
 /// Container format generations, as detected from leading bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -211,7 +211,7 @@ impl fmt::Display for ChunkKind {
     }
 }
 
-fn kind_of(byte: u8) -> ChunkKind {
+pub(crate) fn kind_of(byte: u8) -> ChunkKind {
     match byte {
         KIND_HEADER => ChunkKind::Header,
         KIND_EVENTS => ChunkKind::Events,
@@ -278,13 +278,13 @@ pub struct ReplayCheckpoint {
 
 /// The header frame's payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct ContainerHeader {
-    meta: PinballMeta,
-    snapshot: Snapshot,
-    syscalls: Vec<Vec<i64>>,
-    exit: RecordedExit,
-    num_events: u64,
-    checkpoint_interval: u64,
+pub(crate) struct ContainerHeader {
+    pub(crate) meta: PinballMeta,
+    pub(crate) snapshot: Snapshot,
+    pub(crate) syscalls: Vec<Vec<i64>>,
+    pub(crate) exit: RecordedExit,
+    pub(crate) num_events: u64,
+    pub(crate) checkpoint_interval: u64,
 }
 
 /// One entry of the footer index: where a frame lives and what it covers.
@@ -830,7 +830,7 @@ pub(crate) fn write_container_v3(
 // Reader
 // ---------------------------------------------------------------------------
 
-fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> PinballError {
+pub(crate) fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> PinballError {
     PinballError::Chunk {
         chunk,
         kind,
@@ -840,7 +840,10 @@ fn chunk_err(chunk: usize, kind: ChunkKind, reason: impl fmt::Display) -> Pinbal
 
 /// Deserializes one frame payload according to its codec byte: absent
 /// (v2 frame) or 0 means JSON, 1 means binser.
-fn decode_by_codec<T: Deserialize>(payload: &[u8], codec: Option<u8>) -> Result<T, String> {
+pub(crate) fn decode_by_codec<T: Deserialize>(
+    payload: &[u8],
+    codec: Option<u8>,
+) -> Result<T, String> {
     match codec {
         None => serde_json::from_slice(payload).map_err(|e| e.to_string()),
         Some(b) => match PayloadCodec::from_byte(b) {
@@ -901,7 +904,14 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
     let mut walk_damage: Option<PinballError> = None;
     loop {
         if pos >= bytes.len() {
-            walk_damage = Some(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
+            // A clean walk to end-of-file with no index frame: the file is
+            // a valid but unsealed prefix (a stream still being written).
+            // The recovered count is patched after reassembly below; decode
+            // damage in an earlier chunk still overrides this marker.
+            walk_damage = Some(PinballError::Unsealed {
+                events_recovered: 0,
+                events_expected: header.num_events as usize,
+            });
             break;
         }
         let frame_off = pos;
@@ -981,6 +991,12 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
     }
     if damage.is_none() {
         damage = walk_damage;
+    }
+    if let Some(PinballError::Unsealed {
+        events_recovered, ..
+    }) = &mut damage
+    {
+        *events_recovered = events.len();
     }
 
     // Index frame and trailer: the index contents are advisory (offsets

@@ -57,6 +57,7 @@ pub mod pinball;
 pub mod region;
 pub mod relog;
 pub mod replay;
+pub mod stream;
 
 pub use container::{
     detect_version, inspect, migrate, migrate_v1, ChunkKind, ContainerReport, ContainerVersion,
@@ -68,3 +69,4 @@ pub use pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent,
 pub use region::{EndTrigger, EndWatch, RegionSpec, StartTrigger, StartWatch};
 pub use relog::{relog, relog_container, ExclusionRegion, RelogStats};
 pub use replay::{ReplayStatus, Replayer, SeekOutcome};
+pub use stream::{StreamReader, StreamWriter};

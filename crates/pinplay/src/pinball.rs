@@ -229,6 +229,20 @@ pub enum PinballError {
         /// Why it could not be read.
         reason: String,
     },
+    /// The container is a valid but *unsealed* prefix: every frame present
+    /// verifies, yet the footer index frame and `PBIX` trailer are missing
+    /// — a stream still being written, or an upload killed before
+    /// [`StreamWriter::footer`](crate::StreamWriter::footer) was appended.
+    /// Unlike [`PinballError::Chunk`] nothing is damaged; the prefix
+    /// replays deterministically via
+    /// [`PinballContainer::from_bytes_lossy`](crate::PinballContainer::from_bytes_lossy)
+    /// or a [`StreamReader`](crate::StreamReader).
+    Unsealed {
+        /// Events recovered from the intact prefix.
+        events_recovered: usize,
+        /// Events the header promises for the sealed container.
+        events_expected: usize,
+    },
 }
 
 impl fmt::Display for PinballError {
@@ -246,6 +260,16 @@ impl fmt::Display for PinballError {
                 write!(
                     f,
                     "pinball container chunk {chunk} ({kind}) damaged: {reason}"
+                )
+            }
+            PinballError::Unsealed {
+                events_recovered,
+                events_expected,
+            } => {
+                write!(
+                    f,
+                    "pinball container is unsealed: missing footer index frame and PBIX \
+                     trailer ({events_recovered}/{events_expected} events present)"
                 )
             }
         }

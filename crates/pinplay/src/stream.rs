@@ -1,0 +1,626 @@
+//! Streaming capture: chunked, resumable pinball transport over the v3
+//! frame format.
+//!
+//! The batch pipeline serializes a whole [`PinballContainer`] with
+//! [`PinballContainer::to_bytes`] and ships it as one message. That caps
+//! pinball size at the transport's message limit and forces the consumer
+//! to wait for the entire recording. The streaming pair in this module
+//! removes both constraints while keeping the wire format *identical* to
+//! the batch container:
+//!
+//! * [`StreamWriter`] plans a container as a sequence of self-delimiting
+//!   **chunks** — each a contiguous byte slice covering whole v3 frames
+//!   (checkpoint frames travel with the events frame they precede) — plus
+//!   a **footer** (the index frame and `PBIX` trailer). Concatenating
+//!   every chunk and the footer reproduces the batch
+//!   [`PinballContainer::to_bytes`] output byte for byte, so the sealed
+//!   stream has the same [`PinballDigest`] as a batch save. Chunks are
+//!   pure slices of a precomputed buffer: re-sending one after a crash or
+//!   reconnect is always safe, which is what makes uploads resumable.
+//! * [`StreamReader`] absorbs bytes in arbitrary increments and decodes
+//!   each frame as soon as it is complete, without re-reading the prefix.
+//!   At any moment [`StreamReader::partial_container`] yields the intact
+//!   prefix as a replayable [`PinballContainer`] — this is what lets a
+//!   consumer slice or live-tail a recording that is still uploading.
+//!   Absorbing the footer seals the stream after validating the index
+//!   frame, the trailer, and the header's event count.
+//!
+//! A partial file on disk (valid prefix, no footer) is recognized by the
+//! strict loader as [`PinballError::Unsealed`] — typed, never a panic —
+//! while [`PinballContainer::from_bytes_lossy`] recovers the prefix.
+
+use std::ops::Range;
+
+use pinzip::frame::{decode_payload, peek_frame, FrameError};
+
+use crate::container::{
+    chunk_err, decode_by_codec, detect_version, kind_of, ChunkKind, ContainerHeader,
+    ContainerVersion, PinballContainer, PinballDigest, KIND_CHECKPOINT, KIND_EVENTS, KIND_HEADER,
+    KIND_INDEX, MAGIC, MAGIC_V3, TRAILER_MAGIC,
+};
+use crate::pinball::{Pinball, PinballError, ReplayEvent};
+
+/// Plans a container as resumable chunks plus a sealing footer.
+///
+/// The writer serializes once (via the parallel v3 encoder) and then
+/// *slices* the result at frame-group boundaries, so every chunk is a
+/// deterministic, re-requestable view into the same buffer and the
+/// concatenation of all chunks plus [`StreamWriter::footer`] is
+/// byte-identical to [`PinballContainer::to_bytes`].
+#[derive(Debug, Clone)]
+pub struct StreamWriter {
+    bytes: Vec<u8>,
+    /// Byte ranges of the natural chunk groups. Group 0 starts at byte 0
+    /// and carries the magic and header frame; each group ends after an
+    /// events frame (any checkpoint frame travels with the events frame
+    /// that follows it).
+    groups: Vec<Range<usize>>,
+    /// Offset where the footer (index frame + trailer) begins.
+    footer_at: usize,
+    digest: PinballDigest,
+    instructions: u64,
+}
+
+impl StreamWriter {
+    /// Plans `container` for streaming. The serialized form is the v3
+    /// container, so sealing reproduces a batch save exactly.
+    pub fn new(container: &PinballContainer) -> Result<StreamWriter, PinballError> {
+        let bytes = container.to_bytes()?;
+        let digest = container.digest();
+        let instructions = container.pinball.logged_instructions();
+
+        // Walk frame headers to find group boundaries. The buffer was
+        // produced by our own encoder, so any walk failure is a bug, but
+        // errors stay typed rather than panicking.
+        let mut groups: Vec<Range<usize>> = Vec::new();
+        let mut footer_at = None;
+        let mut group_start = 0usize;
+        let mut pos = MAGIC.len();
+        let mut frame = 0usize;
+        while footer_at.is_none() {
+            if pos >= bytes.len() {
+                return Err(chunk_err(
+                    frame,
+                    ChunkKind::Unknown,
+                    "planned container ends before its index frame",
+                ));
+            }
+            let raw = peek_frame(&bytes, pos, true)
+                .map_err(|e| chunk_err(frame, ChunkKind::Unknown, e))?;
+            match raw.kind {
+                KIND_HEADER | KIND_CHECKPOINT => {}
+                KIND_EVENTS => {
+                    groups.push(group_start..pos + raw.encoded_len);
+                    group_start = pos + raw.encoded_len;
+                }
+                KIND_INDEX => footer_at = Some(pos),
+                other => {
+                    return Err(chunk_err(
+                        frame,
+                        kind_of(other),
+                        format!("unexpected frame kind {other} while planning chunks"),
+                    ));
+                }
+            }
+            pos += raw.encoded_len;
+            frame += 1;
+        }
+        let footer_at = footer_at.expect("loop exits only once the index frame is found");
+        if groups.is_empty() {
+            // Empty log: the lone group is the magic + header frame.
+            groups.push(0..footer_at);
+        }
+
+        Ok(StreamWriter {
+            bytes,
+            groups,
+            footer_at,
+            digest,
+            instructions,
+        })
+    }
+
+    /// Number of natural chunk groups (at least one; group 0 carries the
+    /// magic and header frame).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The bytes of group `seq`, or `None` past the end.
+    pub fn group(&self, seq: usize) -> Option<&[u8]> {
+        self.groups.get(seq).map(|r| &self.bytes[r.clone()])
+    }
+
+    /// Splits the body into at most `n` contiguous chunks of nearly equal
+    /// group count, in order. Concatenating them yields every byte before
+    /// the footer. `n` is clamped to at least 1; fewer groups than `n`
+    /// yields one chunk per group.
+    pub fn chunks(&self, n: usize) -> Vec<&[u8]> {
+        let n = n.max(1).min(self.groups.len());
+        let g = self.groups.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = self.groups[i * g / n].start;
+            let end = self.groups[(i + 1) * g / n - 1].end;
+            out.push(&self.bytes[start..end]);
+        }
+        out
+    }
+
+    /// The sealing footer: index frame plus the 12-byte `PBIX` trailer.
+    pub fn footer(&self) -> &[u8] {
+        &self.bytes[self.footer_at..]
+    }
+
+    /// The complete sealed container — identical to
+    /// [`PinballContainer::to_bytes`].
+    pub fn sealed_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Content digest of the planned recording (identical to the digest of
+    /// a batch save of the same pinball).
+    pub fn digest(&self) -> PinballDigest {
+        self.digest
+    }
+
+    /// Total instructions the recording retires.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+/// Incrementally decodes a container from appended byte slices.
+///
+/// Feed bytes in any increments with [`StreamReader::absorb`]; the reader
+/// decodes each frame exactly once, as soon as it is complete, keeping
+/// only an undecoded tail pending. [`StreamReader::partial_container`]
+/// exposes the intact prefix as a replayable container at any point;
+/// absorbing the footer validates and seals the stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReader {
+    buf: Vec<u8>,
+    /// Offset of the first byte not yet consumed as a complete frame.
+    parsed: usize,
+    /// Frame ordinal for error attribution (0 = header frame).
+    frames: usize,
+    /// `Some(has_codec)` once the magic has been validated.
+    has_codec: Option<bool>,
+    header: Option<ContainerHeader>,
+    events: Vec<ReplayEvent>,
+    checkpoints: Vec<crate::container::ReplayCheckpoint>,
+    instructions: u64,
+    sealed: bool,
+}
+
+impl StreamReader {
+    /// An empty reader awaiting the stream prologue.
+    pub fn new() -> StreamReader {
+        StreamReader::default()
+    }
+
+    /// Appends `bytes` to the stream and decodes every newly completed
+    /// frame. Incomplete tails are kept pending for the next call; real
+    /// damage (bad magic, CRC mismatch, undecodable payload, data after
+    /// the trailer) is a typed error.
+    pub fn absorb(&mut self, bytes: &[u8]) -> Result<(), PinballError> {
+        if self.sealed && !bytes.is_empty() {
+            return Err(PinballError::Format(
+                "data appended after the sealed trailer".into(),
+            ));
+        }
+        self.buf.extend_from_slice(bytes);
+        self.advance()
+    }
+
+    fn advance(&mut self) -> Result<(), PinballError> {
+        let has_codec = match self.has_codec {
+            Some(h) => h,
+            None => {
+                if self.buf.len() < MAGIC.len() {
+                    return Ok(());
+                }
+                let h = match detect_version(&self.buf) {
+                    ContainerVersion::V3 => true,
+                    ContainerVersion::V2 => false,
+                    ContainerVersion::V1 => {
+                        return Err(PinballError::Format(format!(
+                            "stream does not open with a container magic ({:?} or {:?})",
+                            MAGIC, MAGIC_V3
+                        )));
+                    }
+                };
+                self.has_codec = Some(h);
+                self.parsed = MAGIC.len();
+                h
+            }
+        };
+
+        while !self.sealed && self.parsed < self.buf.len() {
+            let frame_off = self.parsed;
+            let raw = match peek_frame(&self.buf, frame_off, has_codec) {
+                Ok(r) => r,
+                // An incomplete frame header or payload: wait for more
+                // bytes. Streaming cannot distinguish a pending tail from
+                // a truncated file — sealing is what settles it.
+                Err(FrameError::Truncated) => return Ok(()),
+                Err(e) => {
+                    return Err(chunk_err(self.frames, self.peek_kind(frame_off), e));
+                }
+            };
+            match raw.kind {
+                KIND_HEADER if self.frames == 0 => {
+                    let payload = decode_payload(&self.buf, &raw)
+                        .map_err(|e| chunk_err(0, ChunkKind::Header, e))?;
+                    let header: ContainerHeader =
+                        decode_by_codec(&payload, raw.codec).map_err(|e| {
+                            chunk_err(0, ChunkKind::Header, format!("bad header payload: {e}"))
+                        })?;
+                    self.header = Some(header);
+                }
+                KIND_EVENTS if self.frames > 0 => {
+                    let payload = decode_payload(&self.buf, &raw)
+                        .map_err(|e| chunk_err(self.frames, ChunkKind::Events, e))?;
+                    let evs: Vec<ReplayEvent> =
+                        decode_by_codec(&payload, raw.codec).map_err(|e| {
+                            chunk_err(
+                                self.frames,
+                                ChunkKind::Events,
+                                format!("bad events payload: {e}"),
+                            )
+                        })?;
+                    self.instructions += evs
+                        .iter()
+                        .map(|e| match e {
+                            ReplayEvent::Run { steps, .. } => *steps,
+                            _ => 0,
+                        })
+                        .sum::<u64>();
+                    self.events.extend(evs);
+                }
+                KIND_CHECKPOINT if self.frames > 0 => {
+                    let payload = decode_payload(&self.buf, &raw)
+                        .map_err(|e| chunk_err(self.frames, ChunkKind::Checkpoint, e))?;
+                    let cp = decode_by_codec(&payload, raw.codec).map_err(|e| {
+                        chunk_err(
+                            self.frames,
+                            ChunkKind::Checkpoint,
+                            format!("bad checkpoint payload: {e}"),
+                        )
+                    })?;
+                    self.checkpoints.push(cp);
+                }
+                KIND_INDEX if self.frames > 0 => {
+                    // The trailer must follow the index frame; wait until
+                    // all 12 bytes are present before consuming either.
+                    let end = frame_off + raw.encoded_len;
+                    if self.buf.len() < end + 12 {
+                        return Ok(());
+                    }
+                    self.seal(&raw, frame_off, end)?;
+                    return Ok(());
+                }
+                _ if self.frames == 0 => {
+                    return Err(chunk_err(
+                        0,
+                        kind_of(raw.kind),
+                        "first frame is not the container header",
+                    ));
+                }
+                other => {
+                    return Err(chunk_err(
+                        self.frames,
+                        kind_of(other),
+                        format!("unexpected frame kind {other}"),
+                    ));
+                }
+            }
+            self.parsed = frame_off + raw.encoded_len;
+            self.frames += 1;
+        }
+        Ok(())
+    }
+
+    fn seal(
+        &mut self,
+        raw: &pinzip::frame::RawFrame,
+        frame_off: usize,
+        end: usize,
+    ) -> Result<(), PinballError> {
+        let ichunk = self.frames;
+        let payload =
+            decode_payload(&self.buf, raw).map_err(|e| chunk_err(ichunk, ChunkKind::Index, e))?;
+        decode_by_codec::<Vec<crate::container::IndexEntry>>(&payload, raw.codec)
+            .map_err(|e| chunk_err(ichunk, ChunkKind::Index, format!("bad index payload: {e}")))?;
+        let trailer = &self.buf[end..];
+        let ok = trailer.len() == 12
+            && &trailer[8..] == TRAILER_MAGIC
+            && u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"))
+                == frame_off as u64;
+        if !ok {
+            return Err(chunk_err(
+                ichunk,
+                ChunkKind::Index,
+                "bad trailer (index offset or magic mismatch)",
+            ));
+        }
+        let expected = self
+            .header
+            .as_ref()
+            .expect("frame 0 is always the header")
+            .num_events;
+        if self.events.len() as u64 != expected {
+            return Err(PinballError::Format(format!(
+                "event count mismatch: header promises {expected}, chunks hold {}",
+                self.events.len()
+            )));
+        }
+        self.parsed = end + 12;
+        self.frames += 1;
+        self.sealed = true;
+        Ok(())
+    }
+
+    fn peek_kind(&self, offset: usize) -> ChunkKind {
+        self.buf
+            .get(offset)
+            .map_or(ChunkKind::Unknown, |&b| kind_of(b))
+    }
+
+    /// Whether the footer has been absorbed and validated.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Whether the header frame has been decoded (a prefix container is
+    /// only available after this).
+    pub fn has_header(&self) -> bool {
+        self.header.is_some()
+    }
+
+    /// Events decoded so far.
+    pub fn events_absorbed(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events the header promises for the sealed container (once the
+    /// header has arrived).
+    pub fn events_expected(&self) -> Option<u64> {
+        self.header.as_ref().map(|h| h.num_events)
+    }
+
+    /// Instructions retired by the events decoded so far.
+    pub fn instructions_absorbed(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Frames decoded so far (including the header frame).
+    pub fn frames_absorbed(&self) -> usize {
+        self.frames
+    }
+
+    /// Total bytes appended so far (decoded or pending).
+    pub fn bytes_absorbed(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The raw sealed container bytes, once sealed.
+    pub fn sealed_bytes(&self) -> Option<&[u8]> {
+        self.sealed.then_some(&self.buf[..])
+    }
+
+    /// The intact prefix as a replayable container. Before sealing this is
+    /// the partial recording absorbed so far (the typed
+    /// [`PinballError::Unsealed`] state on disk); after sealing it is the
+    /// complete recording. Errors until the header frame has arrived.
+    pub fn partial_container(&self) -> Result<PinballContainer, PinballError> {
+        let header = self
+            .header
+            .as_ref()
+            .ok_or_else(|| PinballError::Format("stream header not yet absorbed".to_string()))?;
+        let mut checkpoints = self.checkpoints.clone();
+        checkpoints.retain(|cp| cp.pos <= self.events.len());
+        Ok(PinballContainer {
+            pinball: Pinball {
+                meta: header.meta.clone(),
+                snapshot: header.snapshot.clone(),
+                events: self.events.clone(),
+                syscalls: header.syscalls.clone(),
+                exit: header.exit,
+            },
+            checkpoints,
+            checkpoint_interval: header.checkpoint_interval.max(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use minivm::{assemble, LiveEnv, Program, RoundRobin};
+
+    use crate::logger::record_whole_program;
+    use crate::replay::{ReplayStatus, Replayer};
+    use minivm::NullTool;
+
+    const PROG: &str = r"
+        .data
+        acc: .word 0
+        .text
+        .func main
+            movi r1, 1
+            spawn r2, worker, r1
+            movi r1, 2
+            spawn r3, worker, r1
+            join r2
+            join r3
+            la r4, acc
+            load r5, r4, 0
+            print r5
+            halt
+        .endfunc
+        .func worker
+            movi r3, 150
+        loop:
+            la r1, acc
+            xadd r2, r1, r0
+            subi r3, r3, 1
+            bgti r3, 0, loop
+            halt
+        .endfunc
+        ";
+
+    fn record() -> (Arc<Program>, PinballContainer) {
+        let program = Arc::new(assemble(PROG).expect("assembles"));
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(7),
+            &mut LiveEnv::new(42),
+            1_000_000,
+            "stream-demo",
+        )
+        .expect("records");
+        let container = PinballContainer::with_checkpoints(rec.pinball, &program, 64);
+        (program, container)
+    }
+
+    #[test]
+    fn chunks_plus_footer_equal_batch_bytes() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        assert!(writer.num_groups() > 4, "workload should span many groups");
+        for n in [1, 2, 3, writer.num_groups(), writer.num_groups() + 5] {
+            let mut assembled = Vec::new();
+            for chunk in writer.chunks(n) {
+                assembled.extend_from_slice(chunk);
+            }
+            assembled.extend_from_slice(writer.footer());
+            assert_eq!(assembled, container.to_bytes().expect("batch"));
+        }
+    }
+
+    #[test]
+    fn reader_absorbs_any_split_and_seals() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let sealed = writer.sealed_bytes();
+        // Absorb in awkward fixed-size increments that straddle every
+        // frame boundary.
+        for step in [1usize, 7, 64, 1021, sealed.len()] {
+            let mut reader = StreamReader::new();
+            for piece in sealed.chunks(step) {
+                reader.absorb(piece).expect("absorbs cleanly");
+            }
+            assert!(reader.is_sealed());
+            assert_eq!(reader.events_absorbed(), container.pinball.events.len());
+            assert_eq!(
+                reader.instructions_absorbed(),
+                container.pinball.logged_instructions()
+            );
+            let got = reader.partial_container().expect("container");
+            assert_eq!(got, container);
+            assert_eq!(got.digest(), writer.digest());
+        }
+    }
+
+    #[test]
+    fn partial_prefix_replays_to_completion() {
+        let (program, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let chunks = writer.chunks(4);
+        let mut reader = StreamReader::new();
+        reader.absorb(chunks[0]).expect("absorbs");
+        reader.absorb(chunks[1]).expect("absorbs");
+        assert!(!reader.is_sealed());
+        assert!(reader.events_absorbed() > 0);
+        assert!(reader.events_absorbed() < container.pinball.events.len());
+        let partial = reader.partial_container().expect("prefix container");
+        let mut replayer = Replayer::new(program, &partial.pinball);
+        let status = replayer.run(&mut NullTool);
+        assert_eq!(status, ReplayStatus::Completed);
+    }
+
+    #[test]
+    fn unsealed_file_is_a_typed_error_and_lossy_recoverable() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let chunks = writer.chunks(4);
+        let mut partial: Vec<u8> = Vec::new();
+        partial.extend_from_slice(chunks[0]);
+        partial.extend_from_slice(chunks[1]);
+        let err = PinballContainer::from_bytes(&partial).expect_err("unsealed");
+        match err {
+            PinballError::Unsealed {
+                events_recovered,
+                events_expected,
+            } => {
+                assert!(events_recovered > 0);
+                assert_eq!(events_expected, container.pinball.events.len());
+                assert!(events_recovered < events_expected);
+            }
+            other => panic!("expected Unsealed, got {other:?}"),
+        }
+        let lossy = PinballContainer::from_bytes_lossy(&partial).expect("salvages");
+        assert!(matches!(lossy.damage, Some(PinballError::Unsealed { .. })));
+        assert!(lossy.events_recovered > 0);
+    }
+
+    #[test]
+    fn resumed_upload_converges_to_the_same_digest() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let chunks = writer.chunks(6);
+        // Simulate a killed upload: a fresh reader re-receives the prefix
+        // from the start (chunks are pure slices, so the resend is
+        // byte-identical) and then the remainder.
+        for kill_at in 0..chunks.len() {
+            let mut reader = StreamReader::new();
+            for chunk in chunks.iter().take(kill_at) {
+                reader.absorb(chunk).expect("first attempt");
+            }
+            let mut resumed = StreamReader::new();
+            for chunk in &chunks {
+                resumed.absorb(chunk).expect("second attempt");
+            }
+            resumed.absorb(writer.footer()).expect("footer");
+            assert!(resumed.is_sealed());
+            let got = resumed.partial_container().expect("container");
+            assert_eq!(got.digest(), writer.digest());
+            assert_eq!(
+                resumed.sealed_bytes().expect("sealed"),
+                writer.sealed_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn data_after_the_trailer_is_rejected() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let mut reader = StreamReader::new();
+        reader.absorb(writer.sealed_bytes()).expect("absorbs");
+        assert!(reader.is_sealed());
+        let err = reader.absorb(b"x").expect_err("rejects trailing data");
+        assert!(matches!(err, PinballError::Format(_)));
+    }
+
+    #[test]
+    fn empty_log_streams_as_a_single_group() {
+        let (_, recorded) = record();
+        let mut pinball = recorded.pinball;
+        pinball.events.clear();
+        let container = PinballContainer::new(pinball);
+        let writer = StreamWriter::new(&container).expect("plans");
+        assert_eq!(writer.num_groups(), 1);
+        let mut reader = StreamReader::new();
+        reader
+            .absorb(writer.group(0).expect("group 0"))
+            .expect("absorbs");
+        assert!(!reader.is_sealed());
+        reader.absorb(writer.footer()).expect("footer");
+        assert!(reader.is_sealed());
+        assert_eq!(reader.partial_container().expect("container"), container);
+    }
+}

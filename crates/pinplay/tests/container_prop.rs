@@ -23,7 +23,10 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use minivm::{assemble, LiveEnv, NullTool, Program, RandomSched};
-use pinplay::{record_whole_program, Pinball, PinballContainer, ReplayStatus, Replayer};
+use pinplay::{
+    record_whole_program, Pinball, PinballContainer, ReplayStatus, Replayer, StreamReader,
+    StreamWriter,
+};
 
 /// A main thread plus `workers` xadd-looping threads over one shared
 /// word: enough cross-thread scheduling to make the replay log
@@ -153,6 +156,56 @@ proptest! {
             parallel.len() <= v2.len(),
             "v3 ({}) must not exceed v2 ({})", parallel.len(), v2.len()
         );
+    }
+
+    #[test]
+    fn streamed_upload_reseals_byte_identically_and_resume_converges(
+        workers in 1usize..4,
+        iters in 5u64..60,
+        sched_seed in any::<u64>(),
+        quantum in 1u32..16,
+        interval in 8u64..200,
+        n_chunks in 1usize..12,
+        kill_at in 0usize..12,
+    ) {
+        let (program, pinball) = record(workers, iters, sched_seed, quantum, 7);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+        let batch = container.to_bytes().expect("serializes");
+        let writer = StreamWriter::new(&container).expect("container streams");
+        let pieces = writer.chunks(n_chunks);
+
+        // First attempt dies after `kill_at` chunks. Whatever prefix it
+        // leaves behind is an unsealed container whose recovered events
+        // replay deterministically.
+        let kill = kill_at.min(pieces.len());
+        let mut first = StreamReader::default();
+        for piece in &pieces[..kill] {
+            first.absorb(piece).expect("chunk absorbs");
+        }
+        prop_assert!(!first.is_sealed(), "no footer, no seal");
+        if first.has_header() {
+            let partial = first.partial_container().expect("prefix collects");
+            let mut r = Replayer::new(Arc::clone(&program), &partial.pinball);
+            let status = r.run(&mut NullTool);
+            prop_assert!(
+                matches!(status, ReplayStatus::Completed),
+                "killed upload's prefix must replay, got {:?}", status
+            );
+        }
+
+        // Resume from scratch — what a client does after re-checking the
+        // server's `next_seq` — and seal: byte-identical to the batch
+        // serialization, so the digest and every downstream consumer agree.
+        let mut resumed = StreamReader::default();
+        for piece in &pieces {
+            resumed.absorb(piece).expect("chunk absorbs");
+        }
+        resumed.absorb(writer.footer()).expect("footer absorbs");
+        prop_assert!(resumed.is_sealed());
+        let sealed = resumed.sealed_bytes().expect("sealed bytes available");
+        prop_assert_eq!(sealed, batch.as_slice(), "seal == batch to_bytes");
+        let reloaded = PinballContainer::from_bytes(sealed).expect("sealed loads");
+        prop_assert_eq!(reloaded.digest(), container.digest());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use minivm::{assemble, LiveEnv, NullTool, Program, RoundRobin};
 use pinplay::{
     detect_version, migrate, record_whole_program, ContainerVersion, PinballContainer,
-    PinballError, ReplayStatus, Replayer,
+    PinballError, ReplayStatus, Replayer, StreamWriter,
 };
 
 fn record() -> (Arc<Program>, PinballContainer) {
@@ -184,4 +184,67 @@ fn migrate_v2_to_v3_roundtrips_exactly() {
 
     // Migrating twice is a typed error, not a silent rewrite.
     assert!(matches!(migrate(&v3), Err(PinballError::Format(_))));
+}
+
+#[test]
+fn unsealed_prefixes_are_typed_and_flips_in_them_stay_typed() {
+    let (program, container) = record();
+    let writer = StreamWriter::new(&container).expect("container streams");
+    let sealed = writer.sealed_bytes();
+    let total_events = container.pinball.events.len();
+    let pieces = writer.chunks(writer.num_groups());
+    assert!(pieces.len() > 2, "fuzz target should span several groups");
+
+    // Every chunk-group prefix — a stream killed before the footer — is a
+    // valid but unsealed container: the strict loader names the missing
+    // footer via `PinballError::Unsealed`, and the lossy loader salvages a
+    // prefix that replays deterministically to its end.
+    let mut cut = 0usize;
+    for piece in &pieces {
+        cut += piece.len();
+        let prefix = &sealed[..cut];
+        match PinballContainer::from_bytes(prefix) {
+            Err(PinballError::Unsealed {
+                events_recovered,
+                events_expected,
+            }) => {
+                assert_eq!(events_expected, total_events);
+                assert!(events_recovered <= events_expected);
+            }
+            other => panic!("prefix of {cut} bytes: expected Unsealed, got {other:?}"),
+        }
+        let lossy = PinballContainer::from_bytes_lossy(prefix).expect("prefix salvages");
+        assert!(matches!(lossy.damage, Some(PinballError::Unsealed { .. })));
+        let mut r = Replayer::new(Arc::clone(&program), &lossy.container.pinball);
+        let status = r.run(&mut NullTool);
+        assert!(
+            matches!(status, ReplayStatus::Completed),
+            "unsealed prefix of {cut} bytes must replay, got {status:?}"
+        );
+    }
+
+    // Every single-bit flip of a mid-stream prefix is still a typed error,
+    // never a panic: CRC or structural damage names the chunk, a clean
+    // walk to end-of-file names the missing footer.
+    let mid: usize = pieces[..pieces.len() / 2].iter().map(|p| p.len()).sum();
+    let prefix = &sealed[..mid];
+    for offset in 0..prefix.len() {
+        for bit in 0..8 {
+            let mut bad = prefix.to_vec();
+            bad[offset] ^= 1 << bit;
+            let err = PinballContainer::from_bytes(&bad).expect_err(&format!(
+                "flip at byte {offset} bit {bit} of an unsealed prefix must not load cleanly"
+            ));
+            if offset >= MAGIC_LEN {
+                assert!(
+                    matches!(
+                        err,
+                        PinballError::Chunk { .. } | PinballError::Unsealed { .. }
+                    ),
+                    "flip at byte {offset} bit {bit}: expected chunk or unsealed \
+                     error, got {err}"
+                );
+            }
+        }
+    }
 }

@@ -54,7 +54,7 @@ pub struct BuildMetrics {
 }
 
 /// Summary of one LP block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockSummary {
     /// Position range `[start, end)` in the globally ordered trace.
     pub start: usize,
@@ -144,6 +144,57 @@ impl GlobalTrace {
                 summary_workers,
             },
         )
+    }
+
+    /// Appends `new_records` to the trace without disturbing the positions
+    /// of existing records — the incremental path for a recording that is
+    /// still streaming in.
+    ///
+    /// The suffix is appended in the given order, so the result equals a
+    /// batch [`GlobalTrace::build_with`] of the full record list only when
+    /// clustering is off (`cluster = false` keeps the raw interleaving,
+    /// which appending preserves; the clustering merge may interleave new
+    /// records among old positions). Block summaries are re-derived for
+    /// the trailing partial block plus the new records, and the per-key
+    /// definition index grows in place — both byte-identical to a batch
+    /// build of the concatenation.
+    pub fn extend(&mut self, new_records: Vec<TraceRecord>) {
+        if new_records.is_empty() {
+            return;
+        }
+        let old_n = self.records.len();
+        for (i, r) in new_records.iter().enumerate() {
+            let prev = self.pos_of.insert(r.id, old_n + i);
+            debug_assert!(prev.is_none(), "appended record id already in the trace");
+        }
+        self.records.extend(new_records);
+
+        // The batch build pushes (key, position) pairs in block order, and
+        // blocks in position order — so per-key position lists grow exactly
+        // as an in-order append does.
+        for pos in old_n..self.records.len() {
+            for (k, _) in self.records[pos].def_keys(self.track_sp) {
+                self.def_index.entry(k).or_default().push(pos);
+            }
+        }
+
+        // Re-summarize from the start of the trailing partial block (its
+        // summary covers new records now); full blocks before it are
+        // untouched.
+        let resummarize_from = old_n - (old_n % self.block_size);
+        self.blocks.truncate(resummarize_from / self.block_size);
+        let mut start = resummarize_from;
+        while start < self.records.len() {
+            let end = (start + self.block_size).min(self.records.len());
+            let mut defs = HashSet::new();
+            for r in &self.records[start..end] {
+                for (k, _) in r.def_keys(self.track_sp) {
+                    defs.insert(k);
+                }
+            }
+            self.blocks.push(BlockSummary { start, end, defs });
+            start = end;
+        }
     }
 
     /// Whether stack-pointer registers participate in dependence tracking.
@@ -635,6 +686,43 @@ mod tests {
         assert_eq!(serial_index, par_index);
         for positions in par_index.values() {
             assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn extend_matches_batch_build_at_every_prefix() {
+        let collected: Vec<TraceRecord> = (0..300usize)
+            .map(|i| {
+                let def = match i % 3 {
+                    0 => (Loc::Reg(Reg((i % 7) as u8 + 1)), i as i64),
+                    1 => (Loc::Mem(0x1000 + (i % 11) as u64 * 8), i as i64),
+                    _ => (Loc::Reg(Reg(9)), i as i64),
+                };
+                let uses = if i % 5 == 0 {
+                    vec![(Loc::Mem(0x1000 + (i % 11) as u64 * 8), i as i64)]
+                } else {
+                    vec![]
+                };
+                let mut r = rec(i as RecordId, 0, &uses, &[def]);
+                if i % 13 == 0 {
+                    r.cd_parent = i.checked_sub(4).map(|p| p as RecordId);
+                }
+                r
+            })
+            .collect();
+        // Awkward split points: straddle block boundaries (block size 32).
+        for split in [0usize, 1, 31, 32, 33, 150, 299, 300] {
+            let mut grown = GlobalTrace::build_with(collected[..split].to_vec(), 32, false, false);
+            grown.extend(collected[split..].to_vec());
+            let batch = GlobalTrace::build_with(collected.clone(), 32, false, false);
+            assert_eq!(grown.records(), batch.records());
+            assert_eq!(grown.blocks(), batch.blocks());
+            for r in &collected {
+                assert_eq!(grown.position(r.id), batch.position(r.id));
+                for (k, _) in r.def_keys(false) {
+                    assert_eq!(grown.def_positions(&k), batch.def_positions(&k));
+                }
+            }
         }
     }
 

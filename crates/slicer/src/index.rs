@@ -340,6 +340,291 @@ impl DepIndex {
         index
     }
 
+    /// Extends the index over the suffix of `trace` it does not yet cover,
+    /// without recomputing the prefix — the incremental path for a
+    /// recording that is still streaming in.
+    ///
+    /// `trace` must be the old trace grown in place by
+    /// [`GlobalTrace::extend`] (prefix positions unchanged — built with
+    /// clustering off), under the *same* options the index was built with,
+    /// and `pairs` must cover the full trace. The result is then identical
+    /// in every array to a batch [`DepIndex::build`] over the full trace:
+    /// key interning is in trace order, so the prefix of the key table is
+    /// unchanged; a definition's bypass resolution chases strictly earlier
+    /// definitions, so prefix slots resolve identically; and a use at
+    /// position `p` depends only on definitions below `p`, so prefix edge
+    /// rows are already correct and only suffix rows are filled. The
+    /// per-key definition CSR is re-laid-out (rows must stay contiguous),
+    /// but old rows are copied rather than re-resolved — the append pays
+    /// O(copy + suffix), never the full build's resolution cost. Only
+    /// [`DepIndex::stats`] differs from the batch build (it reports the
+    /// append, not a full build); [`DepIndex::same_graph`] checks exactly
+    /// this equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is shorter than the index, its block size or the
+    /// options fingerprint disagree with the build, or the full trace no
+    /// longer fits u32 positions.
+    pub fn append(
+        &mut self,
+        trace: &GlobalTrace,
+        pairs: &HashMap<RecordId, RecordId>,
+        options: &SliceOptions,
+    ) {
+        let started = Instant::now();
+        let records = trace.records();
+        let old_n = self.record_ids.len();
+        let n = records.len();
+        assert!(
+            (n as u64) < NONE as u64,
+            "trace too large for a u32-packed index"
+        );
+        assert!(n >= old_n, "trace shrank under the index");
+        assert_eq!(
+            options.fingerprint(),
+            self.options_fingerprint,
+            "append under different options than the build"
+        );
+        assert_eq!(
+            trace.block_size(),
+            self.block_size,
+            "append under a different block size than the build"
+        );
+        debug_assert!(
+            records[..old_n]
+                .iter()
+                .zip(&self.record_ids)
+                .all(|(r, &id)| r.id == id),
+            "trace prefix changed under the index"
+        );
+        if n == old_n {
+            return;
+        }
+        let track_sp = trace.track_sp();
+
+        // Suffix interning: prefix records are unchanged, so their
+        // encounter order — and therefore the prefix of the key table —
+        // is exactly the batch build's.
+        self.record_ids.reserve(n - old_n);
+        for (pos, r) in records[old_n..].iter().enumerate() {
+            let pos = old_n + pos;
+            self.record_ids.push(r.id);
+            self.pos_of.insert(r.id, pos as u32);
+            for (k, _) in r.def_keys(track_sp).chain(r.use_keys(track_sp)) {
+                self.key_ids.entry(k).or_insert_with(|| {
+                    self.keys.push(k);
+                    (self.keys.len() - 1) as u32
+                });
+            }
+        }
+        // A control parent always precedes its dependent in the unclustered
+        // order, so prefix rows cannot gain a parent from the suffix.
+        for r in &records[old_n..] {
+            let cd = r
+                .cd_parent
+                .and_then(|cd| trace.position(cd))
+                .map_or(NONE, |p| p as u32);
+            self.cd_parent_pos.push(cd);
+        }
+
+        // Grow the per-key definition CSR. Per-key rows must stay
+        // contiguous as definitions land in old keys' rows, so the flat
+        // arrays are rebuilt — but prefix slots are identical to the batch
+        // build's (bypass chains only chase earlier definitions), so old
+        // rows are copied verbatim and only definitions landing in the
+        // suffix pay resolution. This keeps the append's CSR cost at
+        // O(copy + suffix), not O(re-resolving every definition): on a
+        // long stream the copy is a few memmoves while re-resolution
+        // would approach the full-build cost it exists to avoid.
+        let old_keys = self.key_def_offsets.len().saturating_sub(1);
+        let mut key_def_offsets: Vec<u32> = Vec::with_capacity(self.keys.len() + 1);
+        let mut key_defs: Vec<u32> = Vec::with_capacity(self.key_defs.len());
+        let mut key_resolved: Vec<u32> = Vec::with_capacity(self.key_resolved.len());
+        let mut key_hops: Vec<u32> = Vec::with_capacity(self.key_hops.len());
+        let mut bypass_links: u64 = 0;
+        key_def_offsets.push(0);
+        for (kid, &key) in self.keys.iter().enumerate() {
+            let defs = trace.def_positions(&key);
+            let base = key_defs.len();
+            let copied = if kid < old_keys {
+                let row =
+                    self.key_def_offsets[kid] as usize..self.key_def_offsets[kid + 1] as usize;
+                key_defs.extend_from_slice(&self.key_defs[row.clone()]);
+                key_resolved.extend_from_slice(&self.key_resolved[row.clone()]);
+                key_hops.extend_from_slice(&self.key_hops[row]);
+                key_defs.len() - base
+            } else {
+                0
+            };
+            debug_assert_eq!(
+                copied,
+                defs.partition_point(|&p| p < old_n),
+                "old CSR row length disagrees with the prefix's definitions"
+            );
+            for (i, &p) in defs.iter().enumerate().skip(copied) {
+                let r = &records[p];
+                let bypass_to = if options.prune_save_restore && matches!(key, LocKey::Reg(..)) {
+                    pairs
+                        .get(&r.id)
+                        .and_then(|&save| trace.position(save))
+                        .filter(|&sp| sp < p)
+                } else {
+                    None
+                };
+                match bypass_to {
+                    Some(save_pos) => {
+                        let limit = save_pos.saturating_sub(1) + 1;
+                        let j = defs[..i].partition_point(|&q| q < limit);
+                        if j == 0 {
+                            key_defs.push(p as u32);
+                            key_resolved.push(NONE);
+                            key_hops.push(1);
+                        } else {
+                            key_defs.push(p as u32);
+                            key_resolved.push(key_resolved[base + j - 1]);
+                            key_hops.push(1 + key_hops[base + j - 1]);
+                        }
+                        bypass_links += 1;
+                    }
+                    None => {
+                        key_defs.push(p as u32);
+                        key_resolved.push(p as u32);
+                        key_hops.push(0);
+                    }
+                }
+            }
+            key_def_offsets.push(key_defs.len() as u32);
+        }
+        self.key_def_offsets = key_def_offsets;
+        self.key_defs = key_defs;
+        self.key_resolved = key_resolved;
+        self.key_hops = key_hops;
+
+        // Edge fill restricted to the suffix — the expensive stage the
+        // incremental path avoids re-running over the prefix. A use at
+        // position `p` resolves against definitions strictly below `p`
+        // only, so prefix rows are already exactly what a batch build
+        // would produce.
+        let suffix = n - old_n;
+        let workers = if suffix >= PAR_INDEX_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .clamp(1, MAX_INDEX_WORKERS)
+        } else {
+            1
+        };
+        let n_shards = suffix.div_ceil(INDEX_SHARD).max(1);
+        type ShardEdges = (Vec<u32>, Vec<(u32, u32, u32)>);
+        let index = &*self;
+        let fill_shard = |shard: usize| -> ShardEdges {
+            let start = old_n + shard * INDEX_SHARD;
+            let end = (start + INDEX_SHARD).min(n);
+            let mut rows: Vec<u32> = Vec::with_capacity(end - start);
+            let mut flat: Vec<(u32, u32, u32)> = Vec::new();
+            for (pos, r) in records[start..end].iter().enumerate() {
+                let pos = start + pos;
+                let before = flat.len();
+                for (k, _) in r.use_keys(track_sp) {
+                    if options.prune_keys.contains(&k) {
+                        continue;
+                    }
+                    if let Some((def, hops)) = index.resolve_interned(&k, pos) {
+                        flat.push((def, index.key_ids[&k], hops));
+                    }
+                }
+                rows.push((flat.len() - before) as u32);
+            }
+            (rows, flat)
+        };
+
+        let mut per_shard: Vec<Option<ShardEdges>> = (0..n_shards).map(|_| None).collect();
+        if workers <= 1 {
+            for (s, slot) in per_shard.iter_mut().enumerate() {
+                *slot = Some(fill_shard(s));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let partials = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let shard = next.fetch_add(1, Ordering::Relaxed);
+                                if shard >= n_shards {
+                                    break;
+                                }
+                                mine.push((shard, fill_shard(shard)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("index worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (s, result) in partials {
+                per_shard[s] = Some(result);
+            }
+        }
+
+        let mut edge_offsets = std::mem::take(&mut self.edge_offsets);
+        let mut edges = std::mem::take(&mut self.edges);
+        let mut edge_keys = std::mem::take(&mut self.edge_keys);
+        let mut edge_hops = std::mem::take(&mut self.edge_hops);
+        for slot in per_shard {
+            let (rows, flat) = slot.expect("every shard filled");
+            for len in rows {
+                edge_offsets.push(edge_offsets.last().copied().unwrap_or(0) + len);
+            }
+            for (def, kid, hops) in flat {
+                edges.push(def);
+                edge_keys.push(kid);
+                edge_hops.push(hops);
+            }
+        }
+        debug_assert_eq!(edge_offsets.len(), n + 1);
+        debug_assert_eq!(*edge_offsets.last().unwrap() as usize, edges.len());
+        self.edge_offsets = edge_offsets;
+        self.edges = edges;
+        self.edge_keys = edge_keys;
+        self.edge_hops = edge_hops;
+
+        self.stats = IndexBuildStats {
+            wall: started.elapsed(),
+            keys: self.keys.len(),
+            edges: self.edges.len(),
+            bypass_links,
+            workers,
+        };
+    }
+
+    /// Whether two indexes hold the same dependence graph: every array and
+    /// map compared, except the advisory build [`DepIndex::stats`]. This is
+    /// the differential check that an [`DepIndex::append`]-grown index
+    /// equals a batch [`DepIndex::build`].
+    pub fn same_graph(&self, other: &DepIndex) -> bool {
+        self.record_ids == other.record_ids
+            && self.pos_of == other.pos_of
+            && self.cd_parent_pos == other.cd_parent_pos
+            && self.keys == other.keys
+            && self.key_ids == other.key_ids
+            && self.edge_offsets == other.edge_offsets
+            && self.edges == other.edges
+            && self.edge_keys == other.edge_keys
+            && self.edge_hops == other.edge_hops
+            && self.key_def_offsets == other.key_def_offsets
+            && self.key_defs == other.key_defs
+            && self.key_resolved == other.key_resolved
+            && self.key_hops == other.key_hops
+            && self.block_size == other.block_size
+            && self.options_fingerprint == other.options_fingerprint
+    }
+
     /// Resolves the reaching definition of `key` strictly below `limit`,
     /// with bypass chains applied: the (position, bypass hops) pair, or
     /// `None` when no definition reaches.
