@@ -1,13 +1,16 @@
-//! Binary record codec vs JSON: container serialize/deserialize
-//! throughput across formats and pipelines.
+//! Container codec generations: serialize/deserialize throughput across
+//! formats and pipelines.
 //!
 //! The v3 pinball container swaps the per-chunk JSON payloads for the
 //! `pinzip::binser` varint codec and fans chunk encode/decode across a
-//! worker pool with ordered reassembly. This bench measures the four
-//! corners — {v2 JSON, v3 binser} x {save, load} — plus the serial v3
-//! reference (same bytes, no pool), on a quantum-1
-//! [`four_thread_needle`](bench::exp::four_thread_needle) recording
-//! where the event log dominates. Medians land in
+//! worker pool with ordered reassembly; v4 re-encodes events as varint
+//! columns behind a shared LZSS dictionary and loads without
+//! materializing an owned event tree. This bench measures the corners —
+//! {v2 JSON, v3 binser, v4 columnar} x {save, load} — plus the serial v4
+//! reference (same bytes, no pool), the zero-copy
+//! [`ContainerView`] load, and the paged `open_mapped` load, on a
+//! quantum-1 [`four_thread_needle`](bench::exp::four_thread_needle)
+//! recording where the event log dominates. Medians land in
 //! `target/bench/codec.json` for the CI trend line.
 
 use std::time::{Duration, Instant};
@@ -15,7 +18,7 @@ use std::time::{Duration, Instant};
 use bench::exp::{four_thread_needle, ENV_SEED};
 use criterion::{criterion_group, criterion_main, Criterion};
 use minivm::{LiveEnv, RoundRobin};
-use pinplay::{record_whole_program, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
+use pinplay::{record_whole_program, ContainerView, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
 
 const ITERS: u64 = 2_000;
 
@@ -45,18 +48,25 @@ fn bench_codec(c: &mut Criterion) {
     let container =
         PinballContainer::with_checkpoints(rec.pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
     let v2 = container.to_bytes_v2().expect("v2 encodes");
-    let v3 = container.to_bytes().expect("v3 encodes");
+    let v3 = container.to_bytes_v3().expect("v3 encodes");
+    let v4 = container.to_bytes().expect("v4 encodes");
+    let mapped_path =
+        std::env::temp_dir().join(format!("pinplay-codec-bench-{}.drpb", std::process::id()));
+    std::fs::write(&mapped_path, &v4).expect("writes mapped bench file");
 
     let mut group = c.benchmark_group("codec");
     group.sample_size(10);
     group.bench_function("save/v2-json", |b| {
         b.iter(|| container.to_bytes_v2().expect("v2 encodes").len())
     });
-    group.bench_function("save/v3-binser-serial", |b| {
-        b.iter(|| container.to_bytes_serial().expect("v3 encodes").len())
+    group.bench_function("save/v3-binser", |b| {
+        b.iter(|| container.to_bytes_v3().expect("v3 encodes").len())
     });
-    group.bench_function("save/v3-binser-parallel", |b| {
-        b.iter(|| container.to_bytes().expect("v3 encodes").len())
+    group.bench_function("save/v4-columnar-serial", |b| {
+        b.iter(|| container.to_bytes_serial().expect("v4 encodes").len())
+    });
+    group.bench_function("save/v4-columnar-parallel", |b| {
+        b.iter(|| container.to_bytes().expect("v4 encodes").len())
     });
     group.bench_function("load/v2-json", |b| {
         b.iter(|| {
@@ -76,6 +86,29 @@ fn bench_codec(c: &mut Criterion) {
                 .len()
         })
     });
+    group.bench_function("load/v4-owned", |b| {
+        b.iter(|| {
+            PinballContainer::from_bytes(&v4)
+                .expect("v4 loads")
+                .pinball
+                .events
+                .len()
+        })
+    });
+    group.bench_function("load/v4-view", |b| {
+        b.iter(|| {
+            ContainerView::from_bytes(&v4)
+                .expect("v4 view loads")
+                .num_events()
+        })
+    });
+    group.bench_function("load/v4-mapped-open", |b| {
+        b.iter(|| {
+            PinballContainer::open_mapped(&mapped_path)
+                .expect("v4 maps")
+                .num_events()
+        })
+    });
     group.finish();
 
     // Separately measured medians for the JSON record (the vendored
@@ -83,11 +116,14 @@ fn bench_codec(c: &mut Criterion) {
     let save_v2 = median_of(5, || {
         container.to_bytes_v2().expect("v2 encodes");
     });
-    let save_v3_serial = median_of(5, || {
-        container.to_bytes_serial().expect("v3 encodes");
-    });
     let save_v3 = median_of(5, || {
-        container.to_bytes().expect("v3 encodes");
+        container.to_bytes_v3().expect("v3 encodes");
+    });
+    let save_v4_serial = median_of(5, || {
+        container.to_bytes_serial().expect("v4 encodes");
+    });
+    let save_v4 = median_of(5, || {
+        container.to_bytes().expect("v4 encodes");
     });
     let load_v2 = median_of(5, || {
         PinballContainer::from_bytes(&v2).expect("v2 loads");
@@ -95,25 +131,44 @@ fn bench_codec(c: &mut Criterion) {
     let load_v3 = median_of(5, || {
         PinballContainer::from_bytes(&v3).expect("v3 loads");
     });
+    let load_v4_owned = median_of(5, || {
+        PinballContainer::from_bytes(&v4).expect("v4 loads");
+    });
+    let load_v4_view = median_of(5, || {
+        ContainerView::from_bytes(&v4).expect("v4 view loads");
+    });
+    let load_v4_mapped = median_of(5, || {
+        PinballContainer::open_mapped(&mapped_path).expect("v4 maps");
+    });
+    std::fs::remove_file(&mapped_path).ok();
     let roundtrip_speedup =
         (save_v2 + load_v2).as_secs_f64() / (save_v3 + load_v3).as_secs_f64().max(1e-12);
+    let view_load_speedup = load_v3.as_secs_f64() / load_v4_view.as_secs_f64().max(1e-12);
 
     let report = format!(
         "{{\n  \"bench\": \"codec\",\n  \"workload\": \"four_thread_needle(quantum=1)\",\n  \
          \"iters\": {ITERS},\n  \"events\": {events},\n  \
-         \"v2_bytes\": {},\n  \"v3_bytes\": {},\n  \
-         \"save_v2_json_ns\": {},\n  \"save_v3_binser_serial_ns\": {},\n  \
-         \"save_v3_binser_parallel_ns\": {},\n  \
+         \"v2_bytes\": {},\n  \"v3_bytes\": {},\n  \"v4_bytes\": {},\n  \
+         \"save_v2_json_ns\": {},\n  \"save_v3_binser_ns\": {},\n  \
+         \"save_v4_columnar_serial_ns\": {},\n  \"save_v4_columnar_parallel_ns\": {},\n  \
          \"load_v2_json_ns\": {},\n  \"load_v3_binser_ns\": {},\n  \
-         \"roundtrip_speedup\": {:.2}\n}}\n",
+         \"load_v4_owned_ns\": {},\n  \"load_v4_view_ns\": {},\n  \
+         \"load_v4_mapped_open_ns\": {},\n  \
+         \"roundtrip_speedup\": {:.2},\n  \"view_load_speedup\": {:.2}\n}}\n",
         v2.len(),
         v3.len(),
+        v4.len(),
         save_v2.as_nanos(),
-        save_v3_serial.as_nanos(),
         save_v3.as_nanos(),
+        save_v4_serial.as_nanos(),
+        save_v4.as_nanos(),
         load_v2.as_nanos(),
         load_v3.as_nanos(),
+        load_v4_owned.as_nanos(),
+        load_v4_view.as_nanos(),
+        load_v4_mapped.as_nanos(),
         roundtrip_speedup,
+        view_load_speedup,
     );
     match bench::report::write_report("codec.json", &report) {
         Ok(path) => println!("codec bench report written to {}", path.display()),

@@ -204,6 +204,45 @@ fn tail_mode(
     Ok((program, container))
 }
 
+/// `drdebug_cli migrate --to v4 <in> <out>`: upgrade a container on disk
+/// to the requested generation in place of debugging. The digest is
+/// format-independent, so the upgraded file stays content-addressed to
+/// the same recording; the CLI prints both sizes and the digest so the
+/// caller can verify nothing drifted.
+fn migrate_mode(args: &[String]) -> Result<(), String> {
+    let to = flag_value(args, "--to").unwrap_or("v4");
+    let mut paths = args
+        .iter()
+        .skip(1) // the `migrate` word itself
+        .filter(|a| !a.starts_with("--"))
+        .skip_while(|a| flag_value(args, "--to") == Some(a.as_str()));
+    let (input, output) = match (paths.next(), paths.next()) {
+        (Some(i), Some(o)) => (i.as_str(), o.as_str()),
+        _ => return Err("usage: drdebug_cli migrate --to v4 <in> <out>".to_string()),
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read pinball `{input}`: {e}"))?;
+    let from = pinplay::detect_version(&bytes);
+    let upgraded = match to {
+        "v4" => pinplay::migrate(&bytes).map_err(|e| format!("cannot migrate `{input}`: {e}"))?,
+        "v3" => PinballContainer::from_bytes(&bytes)
+            .and_then(|c| c.to_bytes_v3())
+            .map_err(|e| format!("cannot migrate `{input}`: {e}"))?,
+        other => return Err(format!("unknown target `{other}`; expected v3|v4")),
+    };
+    let container = PinballContainer::from_bytes(&upgraded)
+        .map_err(|e| format!("migrated container does not parse: {e}"))?;
+    std::fs::write(output, &upgraded)
+        .map_err(|e| format!("cannot write pinball `{output}`: {e}"))?;
+    eprintln!(
+        "[drdebug] migrated `{input}` ({from:?}, {} bytes) -> `{output}` ({to}, {} bytes), \
+         digest {}",
+        bytes.len(),
+        upgraded.len(),
+        container.digest()
+    );
+    Ok(())
+}
+
 /// The value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -292,10 +331,18 @@ fn main() {
             "usage: drdebug_cli <pbzip2|aget|mozilla|fig5|fig8> [--live] [--ckpt <n>] \
              [--pinball <path>] [--save <path>] [--emit-test <name>] [--cmd '<command>']...\n\
              \x20      drdebug_cli <case|needle> --tail <stream> [--addr <host:port>] \
-             [--poll-ms <n>] [--slice-live] [--iters <n>]"
+             [--poll-ms <n>] [--slice-live] [--iters <n>]\n\
+             \x20      drdebug_cli migrate --to v4 <in> <out>"
         );
         std::process::exit(2);
     };
+    if case == "migrate" {
+        if let Err(e) = migrate_mode(&args) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let (program, container) = if let Some(stream) = flag_value(&args, "--tail") {
         // Live-tail a stream another process is uploading, then debug it.
         let Ok(stream) = stream.parse::<u64>() else {
@@ -485,6 +532,46 @@ mod tests {
         let err = load_container(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("unreadable"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn migrate_mode_upgrades_v3_files_to_v4() {
+        let program = workloads::fig8_save_restore();
+        let rec = record_whole_program(
+            &program,
+            &mut RoundRobin::new(8),
+            &mut LiveEnv::with_inputs(0, [1]),
+            100_000,
+            "cli-migrate-test",
+        )
+        .expect("records");
+        let container = PinballContainer::with_checkpoints(rec.pinball, &program, 64);
+        let input = temp_path("migrate-in");
+        let output = temp_path("migrate-out");
+        std::fs::write(&input, container.to_bytes_v3().unwrap()).unwrap();
+
+        let args: Vec<String> = [
+            "migrate",
+            "--to",
+            "v4",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        migrate_mode(&args).expect("migrates");
+
+        let upgraded = std::fs::read(&output).unwrap();
+        assert_eq!(
+            pinplay::detect_version(&upgraded),
+            pinplay::ContainerVersion::V4
+        );
+        let loaded = PinballContainer::from_bytes(&upgraded).expect("v4 output loads");
+        assert_eq!(loaded, container, "migration preserves the container");
+        assert_eq!(loaded.digest(), container.digest(), "digest is format-free");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
     }
 
     #[test]

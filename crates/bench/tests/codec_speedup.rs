@@ -1,14 +1,23 @@
-//! Acceptance gate for the binary record codec: on a >=100k-event
-//! four-thread pinball, a v3 save + load cycle (binser payloads,
-//! parallel chunk pipeline) must be at least 3x faster than the v2
-//! cycle (JSON payloads), emit no more bytes, and round-trip the
-//! container exactly.
+//! Acceptance gates for the container codecs: on a >=100k-event
+//! four-thread pinball,
+//!
+//! - a v3 save + load cycle (binser payloads, parallel chunk pipeline)
+//!   must be at least 3x faster than the v2 cycle (JSON payloads), and
+//! - a v4 zero-copy load ([`ContainerView::from_bytes`]: columnar
+//!   events, shared dictionary, no owned event tree) must be at least
+//!   5x faster than the v3 full decode, with v4 emitting no more bytes
+//!   than v3.
+//!
+//! Correctness rides along: every generation round-trips the container
+//! exactly and the content digest is identical across v2, v3, v4, the
+//! zero-copy view, and the paged (mapped) loader — the digest is a
+//! property of the recording, never of the encoding.
 
 use std::time::{Duration, Instant};
 
 use bench::exp::{four_thread_needle, ENV_SEED};
 use minivm::{LiveEnv, RoundRobin};
-use pinplay::{record_whole_program, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
+use pinplay::{record_whole_program, ContainerView, PinballContainer, DEFAULT_CHECKPOINT_INTERVAL};
 
 const ITERS: u64 = 4_500;
 
@@ -24,10 +33,10 @@ fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
 }
 
 #[test]
-fn v3_save_load_is_at_least_3x_faster_than_v2() {
+fn codec_generations_hold_their_speed_and_size_gates() {
     // Quantum 1 forces a scheduling decision per instruction, so the
     // event log grows with the instruction count: the worst case for
-    // container i/o and the reason the codec exists.
+    // container i/o and the reason the codecs exist.
     let program = four_thread_needle(ITERS);
     let rec = record_whole_program(
         &program,
@@ -45,9 +54,10 @@ fn v3_save_load_is_at_least_3x_faster_than_v2() {
     let container =
         PinballContainer::with_checkpoints(rec.pinball, &program, DEFAULT_CHECKPOINT_INTERVAL);
 
-    // Correctness before speed: both formats round-trip exactly, and the
-    // binary encoding is never larger than the JSON one.
-    let v3 = container.to_bytes().expect("v3 encodes");
+    // Correctness before speed: every generation round-trips exactly and
+    // each rewrite of the wire format must not grow the file.
+    let v4 = container.to_bytes().expect("v4 encodes");
+    let v3 = container.to_bytes_v3().expect("v3 encodes");
     let v2 = container.to_bytes_v2().expect("v2 encodes");
     assert!(
         v3.len() <= v2.len(),
@@ -55,25 +65,61 @@ fn v3_save_load_is_at_least_3x_faster_than_v2() {
         v3.len(),
         v2.len()
     );
-    let loaded = PinballContainer::from_bytes(&v3).expect("v3 loads");
-    assert_eq!(loaded, container, "v3 load must reproduce the container");
-    assert_eq!(
-        PinballContainer::from_bytes(&v2).expect("v2 loads"),
-        container,
-        "v2 load must reproduce the container"
+    assert!(
+        v4.len() <= v3.len(),
+        "v4 must not be larger: v4 {} bytes vs v3 {} bytes",
+        v4.len(),
+        v3.len()
     );
+    let digest = container.digest();
+    for (tag, bytes) in [("v4", &v4), ("v3", &v3), ("v2", &v2)] {
+        let loaded = PinballContainer::from_bytes(bytes).expect("chunked container loads");
+        assert_eq!(loaded, container, "{tag} load must reproduce the container");
+        assert_eq!(loaded.digest(), digest, "{tag} digest must be format-free");
+    }
 
+    // The zero-copy view and the paged loader agree too: same digest,
+    // no materialized event tree in the way.
+    let view = ContainerView::from_bytes(&v4).expect("v4 view loads");
+    assert_eq!(view.digest(), digest, "view digest must be format-free");
+    let mapped_path =
+        std::env::temp_dir().join(format!("pinplay-codec-gate-{}.drpb", std::process::id()));
+    std::fs::write(&mapped_path, &v4).expect("writes mapped gate file");
+    let mapped = PinballContainer::open_mapped(&mapped_path).expect("v4 maps");
+    assert_eq!(
+        mapped.digest().expect("mapped digest"),
+        digest,
+        "mapped digest must be format-free"
+    );
+    std::fs::remove_file(&mapped_path).ok();
+
+    // Gate 1: the binser rewrite. v3 save+load >= 3x faster than v2.
     let v2_time = best_of(3, || {
         let bytes = container.to_bytes_v2().expect("v2 encodes");
         std::hint::black_box(PinballContainer::from_bytes(&bytes).expect("v2 loads"));
     });
     let v3_time = best_of(3, || {
-        let bytes = container.to_bytes().expect("v3 encodes");
+        let bytes = container.to_bytes_v3().expect("v3 encodes");
         std::hint::black_box(PinballContainer::from_bytes(&bytes).expect("v3 loads"));
     });
     assert!(
         v2_time >= v3_time * 3,
         "v3 save+load must be >= 3x faster on {events} events: \
          v2 {v2_time:?} vs v3 {v3_time:?}"
+    );
+
+    // Gate 2: the columnar rewrite. Loading a v4 container into the
+    // zero-copy view — the path the replayer, slicer, and relogger now
+    // consume — must be >= 5x faster than fully decoding the v3 bytes.
+    let v3_load = best_of(5, || {
+        std::hint::black_box(PinballContainer::from_bytes(&v3).expect("v3 loads"));
+    });
+    let v4_load = best_of(5, || {
+        std::hint::black_box(ContainerView::from_bytes(&v4).expect("v4 view loads"));
+    });
+    assert!(
+        v3_load >= v4_load * 5,
+        "v4 zero-copy load must be >= 5x faster than the v3 decode on \
+         {events} events: v3 {v3_load:?} vs v4 {v4_load:?}"
     );
 }

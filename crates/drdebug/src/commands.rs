@@ -939,10 +939,16 @@ mod tests {
     fn info_container_reports_frames_and_codecs() {
         let mut d = interp(PROG);
         let out = d.execute("info container");
-        assert!(out.contains("container v3"), "{out}");
+        assert!(out.contains("container v4"), "{out}");
         assert!(out.contains("binary"), "{out}");
         assert!(out.contains("header"), "{out}");
         assert!(out.contains("index"), "{out}");
+        // v4-specific rows: the shared dictionary frame, the columnar
+        // events codec, and the per-column size breakdown.
+        assert!(out.contains("dict"), "{out}");
+        assert!(out.contains("columnar"), "{out}");
+        assert!(out.contains("shared dictionary:"), "{out}");
+        assert!(out.contains("event columns (encoded):"), "{out}");
         let usage = d.execute("info nonsense");
         assert!(usage.contains("container"), "{usage}");
     }

@@ -137,8 +137,11 @@ impl std::fmt::Display for SeekMetrics {
 /// An interactive, replay-based debugging session over one pinball.
 pub struct DebugSession {
     program: Arc<Program>,
-    /// The pinball plus any checkpoints embedded in its container.
-    container: PinballContainer,
+    /// The pinball plus any checkpoints embedded in its container. Shared
+    /// (never cloned) so every internal replayer reads the same event log
+    /// through [`Replayer::shared`], and a server can hand the same parsed
+    /// container to many sessions.
+    container: Arc<PinballContainer>,
     replayer: Replayer,
     breakpoints: BTreeMap<u32, Breakpoint>,
     watchpoints: BTreeMap<u32, Watchpoint>,
@@ -201,7 +204,18 @@ impl DebugSession {
     /// O(chunk) from the first command instead of only after a forward
     /// `continue` has dropped in-memory checkpoints.
     pub fn with_container(program: Arc<Program>, container: PinballContainer) -> DebugSession {
-        let replayer = Replayer::new(Arc::clone(&program), &container.pinball);
+        DebugSession::with_shared_container(program, Arc::new(container))
+    }
+
+    /// As [`DebugSession::with_container`], but over an already-shared
+    /// container: the session keeps the `Arc` and every replayer it builds
+    /// borrows the event log through it — opening a session over a stored
+    /// multi-GiB pinball copies no events.
+    pub fn with_shared_container(
+        program: Arc<Program>,
+        container: Arc<PinballContainer>,
+    ) -> DebugSession {
+        let replayer = Replayer::shared(Arc::clone(&program), Arc::clone(&container));
         let checkpoints = vec![(0, replayer.clone())];
         DebugSession {
             program,
@@ -401,7 +415,7 @@ impl DebugSession {
     /// cyclic debugging. Breakpoints and saved slices are kept; the
     /// observed execution is guaranteed identical.
     pub fn restart(&mut self) {
-        self.replayer = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+        self.replayer = Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container));
         self.last_event = None;
     }
 
@@ -553,7 +567,8 @@ impl DebugSession {
         let mut rep = match (session_base, container_base) {
             (Some((s, _)), Some(cp)) if cp.instr > s => {
                 self.seek_metrics.container_restores += 1;
-                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                let mut r =
+                    Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container));
                 r.restore_checkpoint(cp);
                 r
             }
@@ -563,13 +578,14 @@ impl DebugSession {
             }
             (None, Some(cp)) => {
                 self.seek_metrics.container_restores += 1;
-                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                let mut r =
+                    Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container));
                 r.restore_checkpoint(cp);
                 r
             }
             (None, None) => {
                 self.seek_metrics.full_restarts += 1;
-                Replayer::new(Arc::clone(&self.program), &self.container.pinball)
+                Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container))
             }
         };
         let base_instr = rep.replayed_instructions();
@@ -661,13 +677,14 @@ impl DebugSession {
         if let Some(cp) = self.container.nearest_checkpoint(base) {
             if cp.instr == base {
                 self.seek_metrics.container_restores += 1;
-                let mut r = Replayer::new(Arc::clone(&self.program), &self.container.pinball);
+                let mut r =
+                    Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container));
                 r.restore_checkpoint(cp);
                 return r;
             }
         }
         self.seek_metrics.full_restarts += 1;
-        Replayer::new(Arc::clone(&self.program), &self.container.pinball)
+        Replayer::shared(Arc::clone(&self.program), Arc::clone(&self.container))
     }
 
     /// Runs *backwards* to the most recent breakpoint/watchpoint hit before

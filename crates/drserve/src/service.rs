@@ -455,7 +455,7 @@ fn try_execute(
 ) -> Result<Response, ServeError> {
     match request {
         Request::UploadPinball { program, container } => {
-            let container = PinballContainer::from_bytes(&container)?;
+            let container = Arc::new(PinballContainer::from_bytes(&container)?);
             let digest = container.digest();
             let instructions = container.pinball.logged_instructions();
             let deduped = state
@@ -473,7 +473,7 @@ fn try_execute(
                 .get(digest)
                 .ok_or(ServeError::UnknownPinball { digest })?;
             let session = shard.pool.open(digest, move || {
-                drdebug::DebugSession::with_container(program, container)
+                drdebug::DebugSession::with_shared_container(program, container)
             })?;
             Ok(Response::SessionOpened { session })
         }
@@ -585,9 +585,11 @@ fn try_execute(
                         let slice_digest = container.digest();
                         let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
                         if let Some(program) = state.store.program_of(digest) {
-                            state
-                                .store
-                                .insert_if_absent(slice_digest, program, container);
+                            state.store.insert_if_absent(
+                                slice_digest,
+                                program,
+                                Arc::new(container),
+                            );
                         }
                         Arc::new(RelogOutcome {
                             digest: slice_digest,
@@ -732,7 +734,7 @@ fn try_execute(
             // Re-parsing the reassembled bytes guarantees the published
             // container — and its digest — is exactly what a batch
             // upload of the same file would have stored.
-            let container = PinballContainer::from_bytes(bytes)?;
+            let container = Arc::new(PinballContainer::from_bytes(bytes)?);
             let digest = container.digest();
             let instructions = container.pinball.logged_instructions();
             let deduped = state

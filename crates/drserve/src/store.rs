@@ -20,8 +20,9 @@ use pinplay::{PinballContainer, PinballDigest};
 pub struct Stored {
     /// The program the pinball was recorded from.
     pub program: Arc<Program>,
-    /// The parsed container (cloned out per open/fetch).
-    pub container: PinballContainer,
+    /// The parsed container. Shared, never cloned: every open session and
+    /// fetch gets an `Arc` handle onto the same decoded event log.
+    pub container: Arc<PinballContainer>,
 }
 
 /// A striped, content-addressed map from [`PinballDigest`] to [`Stored`].
@@ -54,7 +55,7 @@ impl PinballStore {
         &self,
         digest: PinballDigest,
         program: Arc<Program>,
-        container: PinballContainer,
+        container: Arc<PinballContainer>,
     ) -> bool {
         let mut stripe = self.stripe(digest).lock().expect("store stripe lock");
         match stripe.entry(digest) {
@@ -66,12 +67,14 @@ impl PinballStore {
         }
     }
 
-    /// Clones out the program and container stored under `digest`.
-    pub fn get(&self, digest: PinballDigest) -> Option<(Arc<Program>, PinballContainer)> {
+    /// Hands out shared handles to the program and container stored under
+    /// `digest` — two `Arc` bumps, no event copy, regardless of pinball
+    /// size.
+    pub fn get(&self, digest: PinballDigest) -> Option<(Arc<Program>, Arc<PinballContainer>)> {
         let stripe = self.stripe(digest).lock().expect("store stripe lock");
         stripe
             .get(&digest)
-            .map(|s| (Arc::clone(&s.program), s.container.clone()))
+            .map(|s| (Arc::clone(&s.program), Arc::clone(&s.container)))
     }
 
     /// The program stored under `digest`, without cloning the container.
@@ -127,15 +130,19 @@ mod tests {
     #[test]
     fn insert_dedupes_and_lookup_round_trips() {
         let (program, pinball) = tiny();
-        let container = PinballContainer::new(pinball);
+        let container = Arc::new(PinballContainer::new(pinball));
         let digest = container.digest();
         let store = PinballStore::new(8);
         assert!(store.get(digest).is_none());
-        assert!(!store.insert_if_absent(digest, Arc::clone(&program), container.clone()));
-        assert!(store.insert_if_absent(digest, Arc::clone(&program), container.clone()));
+        assert!(!store.insert_if_absent(digest, Arc::clone(&program), Arc::clone(&container)));
+        assert!(store.insert_if_absent(digest, Arc::clone(&program), Arc::clone(&container)));
         assert_eq!(store.len(), 1);
         let (got_program, got_container) = store.get(digest).expect("stored");
         assert!(Arc::ptr_eq(&got_program, &program), "same program handle");
+        assert!(
+            Arc::ptr_eq(&got_container, &container),
+            "lookup shares the stored container, no clone"
+        );
         assert_eq!(got_container.digest(), digest);
         assert!(store.program_of(digest).is_some());
     }
@@ -143,12 +150,16 @@ mod tests {
     #[test]
     fn distinct_digests_spread_across_stripes() {
         let (program, pinball) = tiny();
-        let container = PinballContainer::new(pinball);
+        let container = Arc::new(PinballContainer::new(pinball));
         let store = PinballStore::new(4);
         // Synthetic digests exercise every stripe; the container bytes are
         // irrelevant to striping.
         for d in 0..16u64 {
-            store.insert_if_absent(PinballDigest(d), Arc::clone(&program), container.clone());
+            store.insert_if_absent(
+                PinballDigest(d),
+                Arc::clone(&program),
+                Arc::clone(&container),
+            );
         }
         assert_eq!(store.len(), 16);
         assert!(!store.is_empty());

@@ -1,0 +1,698 @@
+//! Columnar replay-log storage — the v4 container's event representation.
+//!
+//! Container v3 stores each [`ReplayEvent`] as an owned `binser` record, so
+//! every load materializes a tree per event. v4 instead stores the log as
+//! parallel columns — one array per field — which decode with a handful of
+//! bulk varint scans and are *borrowed* by the replayer, the slicer's trace
+//! builds, and the relogger via [`EventRef`] without ever materializing
+//! `Vec<ReplayEvent>` (the iReplayer "read the recorded bytes in place"
+//! principle, PAPERS.md).
+//!
+//! Column layout, per event `i`:
+//!
+//! | column      | type  | meaning                                          |
+//! |-------------|-------|--------------------------------------------------|
+//! | `kinds[i]`  | `u8`  | 0 = `Run`, 1 = `Skip`, 2 = `Inject`              |
+//! | `tids[i]`   | `u32` | scheduled thread (`0` for `Inject`)              |
+//! | `args[i]`   | `u64` | `Run`: steps · `Skip`: `to_pc` · `Inject`: 0     |
+//! | `pair_ends[i]` | `u32` | end offset of this event's pairs             |
+//!
+//! and two shared pair columns indexed by `pair_ends[i-1]..pair_ends[i]`:
+//! `pair_keys` (`Skip`: register number, `Inject`: address) and `pair_vals`
+//! (the injected value). The wire encoding is varint-packed (kinds raw,
+//! ends delta-coded, values zigzagged), so an events frame is both smaller
+//! than the v3 record stream *and* cheaper to decode.
+
+use pinzip::varint;
+use serde::{Deserialize, Serialize};
+
+use minivm::{Addr, Pc, Reg, Tid};
+
+use crate::pinball::ReplayEvent;
+
+/// Column code for [`ReplayEvent::Run`].
+pub const KIND_RUN: u8 = 0;
+/// Column code for [`ReplayEvent::Skip`].
+pub const KIND_SKIP: u8 = 1;
+/// Column code for [`ReplayEvent::Inject`].
+pub const KIND_INJECT: u8 = 2;
+
+/// A replay log stored as parallel columns (see module docs for layout).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventColumns {
+    /// Event kind codes ([`KIND_RUN`] / [`KIND_SKIP`] / [`KIND_INJECT`]).
+    pub kinds: Vec<u8>,
+    /// Scheduled thread per event (0 for `Inject`).
+    pub tids: Vec<Tid>,
+    /// `Run` steps or `Skip` target pc, per event.
+    pub args: Vec<u64>,
+    /// Exclusive end offset of each event's pair range.
+    pub pair_ends: Vec<u32>,
+    /// Pair keys: register number (`Skip`) or address (`Inject`).
+    pub pair_keys: Vec<u64>,
+    /// Pair values.
+    pub pair_vals: Vec<i64>,
+}
+
+impl EventColumns {
+    /// Creates an empty column set.
+    pub fn new() -> EventColumns {
+        EventColumns::default()
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Builds columns from an owned event slice.
+    pub fn from_events(events: &[ReplayEvent]) -> EventColumns {
+        let mut c = EventColumns::new();
+        c.kinds.reserve(events.len());
+        c.tids.reserve(events.len());
+        c.args.reserve(events.len());
+        c.pair_ends.reserve(events.len());
+        for e in events {
+            c.push_event(e);
+        }
+        c
+    }
+
+    /// Appends one event.
+    pub fn push_event(&mut self, event: &ReplayEvent) {
+        match event {
+            ReplayEvent::Run { tid, steps } => {
+                self.kinds.push(KIND_RUN);
+                self.tids.push(*tid);
+                self.args.push(*steps);
+            }
+            ReplayEvent::Skip { tid, to_pc, regs } => {
+                self.kinds.push(KIND_SKIP);
+                self.tids.push(*tid);
+                self.args.push(u64::from(*to_pc));
+                for (r, v) in regs {
+                    self.pair_keys.push(u64::from(r.0));
+                    self.pair_vals.push(*v);
+                }
+            }
+            ReplayEvent::Inject { mems } => {
+                self.kinds.push(KIND_INJECT);
+                self.tids.push(0);
+                self.args.push(0);
+                for (a, v) in mems {
+                    self.pair_keys.push(*a);
+                    self.pair_vals.push(*v);
+                }
+            }
+        }
+        self.pair_ends.push(self.pair_keys.len() as u32);
+    }
+
+    /// Borrows event `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()` — same contract as slice indexing.
+    pub fn get(&self, i: usize) -> EventRef<'_> {
+        let end = self.pair_ends[i] as usize;
+        let start = if i == 0 {
+            0
+        } else {
+            self.pair_ends[i - 1] as usize
+        };
+        let pairs = PairsRef::Split {
+            keys: &self.pair_keys[start..end],
+            vals: &self.pair_vals[start..end],
+        };
+        match self.kinds[i] {
+            KIND_RUN => EventRef::Run {
+                tid: self.tids[i],
+                steps: self.args[i],
+            },
+            KIND_SKIP => EventRef::Skip {
+                tid: self.tids[i],
+                to_pc: self.args[i] as Pc,
+                regs: pairs,
+            },
+            _ => EventRef::Inject { mems: pairs },
+        }
+    }
+
+    /// Iterates all events as borrows.
+    pub fn iter(&self) -> impl Iterator<Item = EventRef<'_>> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Materializes the owned event vector (the v3-compatible view).
+    pub fn to_events(&self) -> Vec<ReplayEvent> {
+        (0..self.len()).map(|i| self.get(i).to_owned()).collect()
+    }
+
+    /// Number of threads the schedule log mentions (highest scheduled tid
+    /// plus one; 1 for an empty or inject-only log).
+    pub fn thread_count(&self) -> usize {
+        self.tids.iter().max().map_or(1, |t| *t as usize + 1)
+    }
+
+    /// Total instructions the log retires (sum of `Run` steps).
+    pub fn instructions(&self) -> u64 {
+        self.kinds
+            .iter()
+            .zip(&self.args)
+            .filter(|(k, _)| **k == KIND_RUN)
+            .map(|(_, a)| *a)
+            .sum()
+    }
+
+    /// Appends all of `other`'s events, re-basing its pair offsets.
+    pub fn extend_from(&mut self, other: &EventColumns) {
+        let base = self.pair_keys.len() as u32;
+        self.kinds.extend_from_slice(&other.kinds);
+        self.tids.extend_from_slice(&other.tids);
+        self.args.extend_from_slice(&other.args);
+        self.pair_ends
+            .extend(other.pair_ends.iter().map(|e| base + e));
+        self.pair_keys.extend_from_slice(&other.pair_keys);
+        self.pair_vals.extend_from_slice(&other.pair_vals);
+    }
+
+    /// Varint-packs the columns into `out` (the v4 `Columnar` frame payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        varint::write_u64(out, self.pair_keys.len() as u64);
+        out.extend_from_slice(&self.kinds);
+        for t in &self.tids {
+            varint::write_u64(out, u64::from(*t));
+        }
+        for a in &self.args {
+            varint::write_u64(out, *a);
+        }
+        let mut prev = 0u32;
+        for e in &self.pair_ends {
+            varint::write_u64(out, u64::from(e - prev));
+            prev = *e;
+        }
+        for k in &self.pair_keys {
+            varint::write_u64(out, *k);
+        }
+        for v in &self.pair_vals {
+            varint::write_i64(out, *v);
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() * 3 + self.pair_keys.len() * 6 + 10);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a varint-packed column payload, validating every field:
+    /// unknown kind codes, non-monotonic or overflowing offsets, truncated
+    /// varints, and trailing garbage all return `Err` — never panic.
+    pub fn decode(buf: &[u8]) -> Result<EventColumns, String> {
+        use pinzip::column::{
+            read_byte_column, read_i64_column, read_prefix_sum_column, read_u32_column,
+            read_u64_column, ColumnError,
+        };
+
+        let mut pos = 0usize;
+        let n = varint::read_u64(buf, &mut pos).ok_or("truncated event count")? as usize;
+        let npairs = varint::read_u64(buf, &mut pos).ok_or("truncated pair count")? as usize;
+        // Each event costs at least 1 kind byte; each pair at least 2 varint
+        // bytes. Reject counts the buffer cannot possibly hold before
+        // allocating.
+        if n > buf.len().saturating_sub(pos) {
+            return Err(format!("event count {n} exceeds payload size"));
+        }
+        if npairs > buf.len() {
+            return Err(format!("pair count {npairs} exceeds payload size"));
+        }
+        // Bulk column decodes — one pinzip call per column keeps the hot
+        // varint loops inside the codec crate.
+        let kinds = read_byte_column(buf, &mut pos, n, KIND_INJECT).map_err(|e| match e {
+            ColumnError::Truncated { .. } => "truncated kind column".to_string(),
+            ColumnError::Range { index, value } => {
+                format!("event {index}: unknown kind code {value}")
+            }
+        })?;
+        let tids = read_u32_column(buf, &mut pos, n).map_err(|e| match e {
+            ColumnError::Truncated { index } => format!("event {index}: truncated tid column"),
+            ColumnError::Range { index, value } => {
+                format!("event {index}: tid {value} overflows u32")
+            }
+        })?;
+        let args = read_u64_column(buf, &mut pos, n)
+            .map_err(|e| format!("event {}: truncated arg column", truncated_index(e)))?;
+        let pair_ends =
+            read_prefix_sum_column(buf, &mut pos, n, npairs as u64).map_err(|e| match e {
+                ColumnError::Truncated { index } => {
+                    format!("event {index}: truncated pair-end column")
+                }
+                ColumnError::Range { index, .. } => {
+                    format!("event {index}: pair offset exceeds pair count {npairs}")
+                }
+            })?;
+        let end = pair_ends.last().copied().unwrap_or(0);
+        if u64::from(end) != npairs as u64 {
+            return Err(format!(
+                "pair columns hold {npairs} entries but events claim {end}"
+            ));
+        }
+        let pair_keys = read_u64_column(buf, &mut pos, npairs)
+            .map_err(|e| format!("pair {}: truncated key column", truncated_index(e)))?;
+        let pair_vals = read_i64_column(buf, &mut pos, npairs)
+            .map_err(|e| format!("pair {}: truncated value column", truncated_index(e)))?;
+        if pos != buf.len() {
+            return Err(format!("{} trailing bytes after columns", buf.len() - pos));
+        }
+
+        // Cross-column semantic checks, one pass: runs carry no pairs,
+        // skip targets are pcs, skip pair keys are register numbers.
+        let mut prev = 0u32;
+        for i in 0..n {
+            match kinds[i] {
+                KIND_RUN if pair_ends[i] != prev => {
+                    let d = pair_ends[i] - prev;
+                    return Err(format!("event {i}: run event carries {d} pairs"));
+                }
+                KIND_SKIP => {
+                    if u32::try_from(args[i]).is_err() {
+                        return Err(format!(
+                            "event {i}: skip target pc {} overflows u32",
+                            args[i]
+                        ));
+                    }
+                    for (j, k) in pair_keys[prev as usize..pair_ends[i] as usize]
+                        .iter()
+                        .enumerate()
+                    {
+                        if u8::try_from(*k).is_err() {
+                            return Err(format!("event {i} pair {j}: register {k} overflows u8"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            prev = pair_ends[i];
+        }
+
+        Ok(EventColumns {
+            kinds,
+            tids,
+            args,
+            pair_ends,
+            pair_keys,
+            pair_vals,
+        })
+    }
+}
+
+/// The element index out of a [`pinzip::ColumnError`] whose only
+/// possible variant here is `Truncated`.
+fn truncated_index(e: pinzip::ColumnError) -> usize {
+    match e {
+        pinzip::ColumnError::Truncated { index } | pinzip::ColumnError::Range { index, .. } => {
+            index
+        }
+    }
+}
+
+/// Encoded byte size of each column of a columnar events payload — the
+/// per-column rows of the CLI's `info container` report for v4 files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSizes {
+    /// Kind column (1 raw byte per event).
+    pub kinds: usize,
+    /// Thread-id column (varint).
+    pub tids: usize,
+    /// Steps / target-pc column (varint).
+    pub args: usize,
+    /// Pair-end offset column (delta varint).
+    pub pair_ends: usize,
+    /// Pair key column (varint).
+    pub pair_keys: usize,
+    /// Pair value column (zigzag varint).
+    pub pair_vals: usize,
+}
+
+impl ColumnSizes {
+    /// Sum over all columns (excludes the two leading count varints).
+    pub fn total(&self) -> usize {
+        self.kinds + self.tids + self.args + self.pair_ends + self.pair_keys + self.pair_vals
+    }
+
+    /// Accumulates another frame's column sizes into this one.
+    pub fn add(&mut self, other: &ColumnSizes) {
+        self.kinds += other.kinds;
+        self.tids += other.tids;
+        self.args += other.args;
+        self.pair_ends += other.pair_ends;
+        self.pair_keys += other.pair_keys;
+        self.pair_vals += other.pair_vals;
+    }
+}
+
+/// Encoded length of `v` as a varint.
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros().min(63) as usize;
+    bits.max(1).div_ceil(7)
+}
+
+impl EventColumns {
+    /// Computes the encoded byte size of each column, as
+    /// [`EventColumns::encode`] would write them.
+    pub fn column_sizes(&self) -> ColumnSizes {
+        let mut prev = 0u32;
+        let mut pair_ends = 0usize;
+        for e in &self.pair_ends {
+            pair_ends += varint_len(u64::from(e - prev));
+            prev = *e;
+        }
+        ColumnSizes {
+            kinds: self.kinds.len(),
+            tids: self.tids.iter().map(|t| varint_len(u64::from(*t))).sum(),
+            args: self.args.iter().map(|a| varint_len(*a)).sum(),
+            pair_ends,
+            pair_keys: self.pair_keys.iter().map(|k| varint_len(*k)).sum(),
+            pair_vals: self
+                .pair_vals
+                .iter()
+                .map(|v| varint_len(pinzip::varint::zigzag(*v)))
+                .sum(),
+        }
+    }
+}
+
+/// A borrowed view of one replay event — field-for-field the same data as
+/// [`ReplayEvent`], but the pair lists alias the backing store instead of
+/// being owned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventRef<'a> {
+    /// Thread `tid` retires `steps` instructions.
+    Run {
+        /// Scheduled thread.
+        tid: Tid,
+        /// Instructions to retire.
+        steps: u64,
+    },
+    /// Thread `tid` skips an excluded region to `to_pc`, restoring `regs`.
+    Skip {
+        /// Thread whose region is skipped.
+        tid: Tid,
+        /// First pc after the excluded region.
+        to_pc: Pc,
+        /// `(register, value)` side effects.
+        regs: PairsRef<'a>,
+    },
+    /// Memory side effects of excluded code, injected in place.
+    Inject {
+        /// `(address, value)` writes, in recorded order.
+        mems: PairsRef<'a>,
+    },
+}
+
+impl EventRef<'_> {
+    /// Borrows an owned [`ReplayEvent`] as an [`EventRef`] (free — no copy).
+    pub fn of(event: &ReplayEvent) -> EventRef<'_> {
+        match event {
+            ReplayEvent::Run { tid, steps } => EventRef::Run {
+                tid: *tid,
+                steps: *steps,
+            },
+            ReplayEvent::Skip { tid, to_pc, regs } => EventRef::Skip {
+                tid: *tid,
+                to_pc: *to_pc,
+                regs: PairsRef::RegTuples(regs),
+            },
+            ReplayEvent::Inject { mems } => EventRef::Inject {
+                mems: PairsRef::AddrTuples(mems),
+            },
+        }
+    }
+
+    /// Materializes the owned event.
+    pub fn to_owned(&self) -> ReplayEvent {
+        match self {
+            EventRef::Run { tid, steps } => ReplayEvent::Run {
+                tid: *tid,
+                steps: *steps,
+            },
+            EventRef::Skip { tid, to_pc, regs } => ReplayEvent::Skip {
+                tid: *tid,
+                to_pc: *to_pc,
+                regs: regs.iter().map(|(k, v)| (Reg(k as u8), v)).collect(),
+            },
+            EventRef::Inject { mems } => ReplayEvent::Inject {
+                mems: mems.iter().collect(),
+            },
+        }
+    }
+}
+
+/// A borrowed `(key, value)` pair list — either split columns (the v4
+/// layout) or the owned tuple vectors inside a [`ReplayEvent`].
+///
+/// Equality is logical (same pairs in the same order), not representational
+/// — a `Split` view and a tuple view of the same pairs compare equal.
+#[derive(Debug, Clone, Copy)]
+pub enum PairsRef<'a> {
+    /// Parallel key/value columns (columnar store).
+    Split {
+        /// Keys: register number or address.
+        keys: &'a [u64],
+        /// Values.
+        vals: &'a [i64],
+    },
+    /// Register tuples borrowed from an owned `Skip` event.
+    RegTuples(&'a [(Reg, i64)]),
+    /// Address tuples borrowed from an owned `Inject` event.
+    AddrTuples(&'a [(Addr, i64)]),
+}
+
+impl PartialEq for PairsRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PairsRef<'_> {}
+
+impl<'a> PairsRef<'a> {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        match self {
+            PairsRef::Split { keys, .. } => keys.len(),
+            PairsRef::RegTuples(t) => t.len(),
+            PairsRef::AddrTuples(t) => t.len(),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pair `i` as `(key, value)` — registers widen to `u64`.
+    pub fn get(&self, i: usize) -> (u64, i64) {
+        match self {
+            PairsRef::Split { keys, vals } => (keys[i], vals[i]),
+            PairsRef::RegTuples(t) => (u64::from(t[i].0 .0), t[i].1),
+            PairsRef::AddrTuples(t) => (t[i].0, t[i].1),
+        }
+    }
+
+    /// Iterates pairs as `(key, value)`.
+    pub fn iter(&self) -> PairsIter<'a> {
+        PairsIter {
+            pairs: *self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a [`PairsRef`].
+#[derive(Debug, Clone)]
+pub struct PairsIter<'a> {
+    pairs: PairsRef<'a>,
+    next: usize,
+}
+
+impl Iterator for PairsIter<'_> {
+    type Item = (u64, i64);
+
+    fn next(&mut self) -> Option<(u64, i64)> {
+        if self.next >= self.pairs.len() {
+            return None;
+        }
+        let p = self.pairs.get(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.pairs.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PairsIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ReplayEvent> {
+        vec![
+            ReplayEvent::Run { tid: 0, steps: 10 },
+            ReplayEvent::Skip {
+                tid: 1,
+                to_pc: 99,
+                regs: vec![(Reg(2), -5), (Reg(7), 1 << 40)],
+            },
+            ReplayEvent::Inject {
+                mems: vec![(0x1000, 42), (0xffff_ffff_0000, -1)],
+            },
+            ReplayEvent::Run { tid: 3, steps: 1 },
+            ReplayEvent::Skip {
+                tid: 0,
+                to_pc: 0,
+                regs: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn columns_roundtrip_events() {
+        let events = sample_events();
+        let c = EventColumns::from_events(&events);
+        assert_eq!(c.len(), events.len());
+        assert_eq!(c.to_events(), events);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(c.get(i).to_owned(), *e);
+            assert_eq!(c.get(i), EventRef::of(e), "borrowed views compare equal");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = EventColumns::from_events(&sample_events());
+        let bytes = c.encode_to_vec();
+        let d = EventColumns::decode(&bytes).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = EventColumns::new();
+        let d = EventColumns::decode(&c.encode_to_vec()).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.to_events(), Vec::<ReplayEvent>::new());
+    }
+
+    #[test]
+    fn instructions_counts_run_steps() {
+        let c = EventColumns::from_events(&sample_events());
+        assert_eq!(c.instructions(), 11);
+    }
+
+    #[test]
+    fn extend_rebases_pair_offsets() {
+        let events = sample_events();
+        let mut a = EventColumns::from_events(&events[..2]);
+        let b = EventColumns::from_events(&events[2..]);
+        a.extend_from(&b);
+        assert_eq!(a.to_events(), events);
+        assert_eq!(a, EventColumns::from_events(&events));
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        let bytes = EventColumns::from_events(&sample_events()).encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(
+                EventColumns::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_bit_flips() {
+        let bytes = EventColumns::from_events(&sample_events()).encode_to_vec();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[i] ^= 1 << bit;
+                // Either a typed error or a successful decode of different
+                // (but structurally valid) columns — never a panic.
+                let _ = EventColumns::decode(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_counts() {
+        let mut bytes = Vec::new();
+        pinzip::varint::write_u64(&mut bytes, u64::MAX);
+        assert!(EventColumns::decode(&bytes).is_err());
+        let mut bytes = Vec::new();
+        pinzip::varint::write_u64(&mut bytes, 0);
+        pinzip::varint::write_u64(&mut bytes, u64::MAX);
+        assert!(EventColumns::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_run_with_pairs() {
+        // n=1, npairs=1, kind=Run, tid=0, arg=0, delta=1, key=0, val=0.
+        let mut bytes = Vec::new();
+        for v in [1u64, 1, 0] {
+            pinzip::varint::write_u64(&mut bytes, v);
+        }
+        bytes.insert(2, KIND_RUN); // kinds column sits after the two counts
+        pinzip::varint::write_u64(&mut bytes, 0); // arg
+        pinzip::varint::write_u64(&mut bytes, 1); // pair delta
+        pinzip::varint::write_u64(&mut bytes, 0); // key
+        pinzip::varint::write_i64(&mut bytes, 0); // val
+        let err = EventColumns::decode(&bytes).unwrap_err();
+        assert!(err.contains("run event carries"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = EventColumns::from_events(&sample_events()).encode_to_vec();
+        bytes.push(0);
+        let err = EventColumns::decode(&bytes).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn column_sizes_account_for_every_encoded_byte() {
+        let c = EventColumns::from_events(&sample_events());
+        let encoded = c.encode_to_vec();
+        let counts = varint_len(c.len() as u64) + varint_len(c.pair_keys.len() as u64);
+        assert_eq!(c.column_sizes().total() + counts, encoded.len());
+    }
+
+    #[test]
+    fn pairs_iter_views_agree() {
+        let e = ReplayEvent::Skip {
+            tid: 0,
+            to_pc: 5,
+            regs: vec![(Reg(1), 10), (Reg(2), 20)],
+        };
+        let c = EventColumns::from_events(std::slice::from_ref(&e));
+        let (col, own) = (c.get(0), EventRef::of(&e));
+        let pairs = |r: EventRef<'_>| match r {
+            EventRef::Skip { regs, .. } => regs.iter().collect::<Vec<_>>(),
+            _ => panic!("expected skip"),
+        };
+        assert_eq!(pairs(col), vec![(1, 10), (2, 20)]);
+        assert_eq!(pairs(col), pairs(own));
+    }
+}

@@ -1,4 +1,4 @@
-//! The chunked, checksummed, seekable pinball container (v2 and v3).
+//! The chunked, checksummed, seekable pinball container (v2, v3, and v4).
 //!
 //! The v1 format compresses the whole pinball as one LZSS blob, so any
 //! damage loses the entire recording and every seek restarts replay from
@@ -46,6 +46,33 @@
 //! encode and parse than JSON text); the reader dispatches per frame, so a
 //! future writer could mix codecs within one file.
 //!
+//! # v4: columnar events and the shared dictionary
+//!
+//! **v4** (`DRPB4\n`) keeps the v3 frame wire but changes what the frames
+//! hold on the hot path:
+//!
+//! * events chunks use [`PayloadCodec::Columnar`]: the chunk's events are
+//!   packed as parallel field columns (see [`EventColumns`]) rather than a
+//!   stream of per-record trees, so a load is a handful of bulk varint
+//!   scans and the replayer / slicer / relogger *borrow* records in place
+//!   via [`EventRef`](crate::columns::EventRef) — no owned-tree decode;
+//! * frame 1 is a [`ChunkKind::Dict`] frame holding the **shared LZSS
+//!   dictionary** (trained deterministically on the header strings plus a
+//!   prefix of the first chunk's columnar payload, capped at
+//!   [`pinzip::DICT_MAX`]); every `Columnar` frame is compressed against
+//!   it, clawing back the redundancy per-chunk framing loses. Non-events
+//!   frames (header, checkpoints, index, the dict itself) stay
+//!   plain-compressed so each decodes without the dictionary;
+//! * strings appear only in the header frame, interned once by the
+//!   [`pinzip::binser`] string table — event columns are pure integers.
+//!
+//! [`PinballContainer::open_mapped`] adds a paged load mode for v4 files:
+//! the trailer, index, header, and dictionary are read eagerly (all
+//! small), and events chunks are paged in on demand, so multi-GiB pinballs
+//! replay without ever holding the whole log in memory.
+//!
+//! [`EventColumns`]: crate::columns::EventColumns
+//!
 //! Chunk boundaries fall on *event* boundaries (a chunk closes once it has
 //! retired `checkpoint_interval` instructions), computed deterministically
 //! from the log alone — so load → save round-trips byte-identically, and a
@@ -86,8 +113,12 @@ use serde::{Deserialize, Serialize};
 use minivm::{ExecState, Program, Snapshot};
 use pinzip::binser;
 use pinzip::crc32::crc32;
-use pinzip::frame::{decode_payload, peek_frame, write_coded_frame, write_frame, RawFrame};
+use pinzip::frame::{
+    decode_payload, decode_payload_with_dict, peek_frame, write_coded_frame,
+    write_coded_frame_with_dict, write_frame, RawFrame,
+};
 
+use crate::columns::EventColumns;
 use crate::pinball::{Pinball, PinballError, PinballMeta, RecordedExit, ReplayEvent};
 use crate::replay::Replayer;
 
@@ -95,6 +126,8 @@ use crate::replay::Replayer;
 pub const MAGIC: &[u8; 6] = b"DRPB2\n";
 /// Magic bytes opening a v3 container.
 pub const MAGIC_V3: &[u8; 6] = b"DRPB3\n";
+/// Magic bytes opening a v4 container.
+pub const MAGIC_V4: &[u8; 6] = b"DRPB4\n";
 /// Magic bytes closing the 12-byte trailer.
 pub const TRAILER_MAGIC: &[u8; 4] = b"PBIX";
 /// Default checkpoint cadence, in retired instructions per chunk.
@@ -104,6 +137,7 @@ pub(crate) const KIND_HEADER: u8 = 1;
 pub(crate) const KIND_EVENTS: u8 = 2;
 pub(crate) const KIND_CHECKPOINT: u8 = 3;
 pub(crate) const KIND_INDEX: u8 = 4;
+pub(crate) const KIND_DICT: u8 = 5;
 
 /// Container format generations, as detected from leading bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +148,8 @@ pub enum ContainerVersion {
     V2,
     /// Chunked frames with a per-frame codec byte, magic `DRPB3\n`.
     V3,
+    /// Columnar events and a shared LZSS dictionary, magic `DRPB4\n`.
+    V4,
 }
 
 impl fmt::Display for ContainerVersion {
@@ -122,6 +158,7 @@ impl fmt::Display for ContainerVersion {
             ContainerVersion::V1 => "v1",
             ContainerVersion::V2 => "v2",
             ContainerVersion::V3 => "v3",
+            ContainerVersion::V4 => "v4",
         })
     }
 }
@@ -130,7 +167,9 @@ impl fmt::Display for ContainerVersion {
 /// a container magic is assumed to be a v1 blob (the v1 format has no
 /// magic of its own).
 pub fn detect_version(bytes: &[u8]) -> ContainerVersion {
-    if bytes.starts_with(MAGIC_V3) {
+    if bytes.starts_with(MAGIC_V4) {
+        ContainerVersion::V4
+    } else if bytes.starts_with(MAGIC_V3) {
         ContainerVersion::V3
     } else if bytes.starts_with(MAGIC) {
         ContainerVersion::V2
@@ -153,6 +192,10 @@ pub enum PayloadCodec {
     Json,
     /// [`pinzip::binser`] binary records (codec byte 1).
     Binary,
+    /// Varint-packed parallel field columns (codec byte 2, v4 events
+    /// frames) — see [`EventColumns`]. The
+    /// only codec compressed against the container's shared dictionary.
+    Columnar,
 }
 
 impl PayloadCodec {
@@ -161,6 +204,7 @@ impl PayloadCodec {
         match self {
             PayloadCodec::Json => 0,
             PayloadCodec::Binary => 1,
+            PayloadCodec::Columnar => 2,
         }
     }
 
@@ -169,6 +213,7 @@ impl PayloadCodec {
         match b {
             0 => Some(PayloadCodec::Json),
             1 => Some(PayloadCodec::Binary),
+            2 => Some(PayloadCodec::Columnar),
             _ => None,
         }
     }
@@ -179,6 +224,7 @@ impl fmt::Display for PayloadCodec {
         f.write_str(match self {
             PayloadCodec::Json => "json",
             PayloadCodec::Binary => "binary",
+            PayloadCodec::Columnar => "columnar",
         })
     }
 }
@@ -195,6 +241,8 @@ pub enum ChunkKind {
     Checkpoint,
     /// The footer index frame.
     Index,
+    /// The shared LZSS dictionary (v4, frame 1).
+    Dict,
     /// The frame was too damaged to tell (kind byte unreadable or invalid).
     Unknown,
 }
@@ -206,6 +254,7 @@ impl fmt::Display for ChunkKind {
             ChunkKind::Events => "events",
             ChunkKind::Checkpoint => "checkpoint",
             ChunkKind::Index => "index",
+            ChunkKind::Dict => "dict",
             ChunkKind::Unknown => "unknown",
         })
     }
@@ -217,6 +266,7 @@ pub(crate) fn kind_of(byte: u8) -> ChunkKind {
         KIND_EVENTS => ChunkKind::Events,
         KIND_CHECKPOINT => ChunkKind::Checkpoint,
         KIND_INDEX => ChunkKind::Index,
+        KIND_DICT => ChunkKind::Dict,
         _ => ChunkKind::Unknown,
     }
 }
@@ -384,17 +434,18 @@ impl PinballContainer {
             .last()
     }
 
-    /// Serializes the container (v3 format, binser payloads), encoding
-    /// chunks on a worker pool when more than one core is available. The
-    /// output is byte-identical to [`PinballContainer::to_bytes_serial`].
+    /// Serializes the container (v4 format: columnar events compressed
+    /// against the shared dictionary), encoding chunks on a worker pool
+    /// when more than one core is available. The output is byte-identical
+    /// to [`PinballContainer::to_bytes_serial`].
     ///
     /// # Errors
     ///
-    /// Infallible in practice (the binary codec cannot fail on these
-    /// types); the `Result` is kept for API stability with the fallible v2
-    /// path.
+    /// Infallible in practice (the columnar and binary codecs cannot fail
+    /// on these types); the `Result` is kept for API stability with the
+    /// fallible v2 path.
     pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
-        Ok(write_container_v3(
+        Ok(write_container_v4(
             &self.pinball,
             &self.checkpoints,
             self.checkpoint_interval,
@@ -411,11 +462,27 @@ impl PinballContainer {
     ///
     /// As [`PinballContainer::to_bytes`].
     pub fn to_bytes_serial(&self) -> Result<Vec<u8>, PinballError> {
-        Ok(write_container_v3(
+        Ok(write_container_v4(
             &self.pinball,
             &self.checkpoints,
             self.checkpoint_interval,
             false,
+        ))
+    }
+
+    /// Serializes the container in the v3 format (binser record payloads,
+    /// no dictionary). Kept for compatibility tooling and as the bench
+    /// baseline; new files should use [`PinballContainer::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice, as [`PinballContainer::to_bytes`].
+    pub fn to_bytes_v3(&self) -> Result<Vec<u8>, PinballError> {
+        Ok(write_container_v3(
+            &self.pinball,
+            &self.checkpoints,
+            self.checkpoint_interval,
+            true,
         ))
     }
 
@@ -484,7 +551,7 @@ impl PinballContainer {
         std::fs::write(path, self.to_bytes()?).map_err(|e| PinballError::Io(e.to_string()))
     }
 
-    /// Reads a container from a file (v1, v2, or v3, auto-detected).
+    /// Reads a container from a file (v1–v4, auto-detected).
     ///
     /// # Errors
     ///
@@ -492,6 +559,24 @@ impl PinballContainer {
     pub fn load(path: &std::path::Path) -> Result<PinballContainer, PinballError> {
         let bytes = std::fs::read(path).map_err(|e| PinballError::Io(e.to_string()))?;
         PinballContainer::from_bytes(&bytes)
+    }
+
+    /// Opens a v4 container file in paged (mapped) mode: the trailer,
+    /// index, header, and shared dictionary are read eagerly (all small);
+    /// events chunks and checkpoints are paged in on demand. This is the
+    /// load mode for pinballs too large to hold in memory — see
+    /// [`MappedContainer`](crate::view::MappedContainer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::Io`] on filesystem errors,
+    /// [`PinballError::Format`] for non-v4 files, and
+    /// [`PinballError::Chunk`] when the trailer, index, header, or
+    /// dictionary frame is damaged.
+    pub fn open_mapped(
+        path: &std::path::Path,
+    ) -> Result<crate::view::MappedContainer, PinballError> {
+        crate::view::MappedContainer::open(path)
     }
 }
 
@@ -513,18 +598,18 @@ pub fn migrate_v1(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
     PinballContainer::new(Pinball::from_bytes_v1(bytes)?).to_bytes_v2()
 }
 
-/// Rewrites a v1 or v2 pinball as a v3 container, preserving any embedded
-/// checkpoints and the checkpoint interval. The recording's
+/// Rewrites a v1, v2, or v3 pinball as a v4 container, preserving any
+/// embedded checkpoints and the checkpoint interval. The recording's
 /// [`PinballDigest`] is unchanged by migration.
 ///
 /// # Errors
 ///
 /// Returns the load errors of the source format, or
-/// [`PinballError::Format`] when `bytes` is already a v3 container.
+/// [`PinballError::Format`] when `bytes` is already a v4 container.
 pub fn migrate(bytes: &[u8]) -> Result<Vec<u8>, PinballError> {
-    if detect_version(bytes) == ContainerVersion::V3 {
+    if detect_version(bytes) == ContainerVersion::V4 {
         return Err(PinballError::Format(
-            "already a v3 container; nothing to migrate".into(),
+            "already a v4 container; nothing to migrate".into(),
         ));
     }
     PinballContainer::from_bytes(bytes)?.to_bytes()
@@ -826,6 +911,151 @@ pub(crate) fn write_container_v3(
     out
 }
 
+/// Builds the v4 shared dictionary, deterministically: the header strings
+/// (the container's interned string table contents) followed by a prefix
+/// of the first chunk's uncompressed columnar payload, capped at
+/// [`pinzip::DICT_MAX`]. Every chunk payload opens with the same column
+/// structure the first chunk does, so seeding the LZSS window with it lets
+/// later chunks match their leading columns against the dictionary instead
+/// of emitting literals.
+fn build_dict(meta: &PinballMeta, first_chunk_payload: Option<&[u8]>) -> Vec<u8> {
+    let mut dict = Vec::with_capacity(pinzip::DICT_MAX);
+    dict.extend_from_slice(meta.program.as_bytes());
+    dict.extend_from_slice(meta.region.as_bytes());
+    dict.truncate(pinzip::DICT_MAX);
+    if let Some(p) = first_chunk_payload {
+        let room = pinzip::DICT_MAX - dict.len();
+        dict.extend_from_slice(&p[..p.len().min(room)]);
+    }
+    dict
+}
+
+/// One planned frame of a v4 container. Unlike the v3 plan, events
+/// payloads are pre-encoded (the dictionary is trained on the first one),
+/// so the parallel stage is pure compress + frame.
+enum FramePlan4<'a> {
+    Header(Vec<u8>),
+    Dict,
+    Checkpoint(&'a ReplayCheckpoint),
+    Events { payload: Vec<u8>, start_instr: u64 },
+}
+
+/// Serializes a pinball (plus optional checkpoints) into v4 container
+/// bytes: columnar events frames compressed against a shared dictionary,
+/// everything else plain binser frames. With `parallel`, both the columnar
+/// packing and the per-frame compression fan out across a worker pool;
+/// reassembly is in frame order, so the output is byte-identical either
+/// way. Infallible: neither codec can fail on these plain data types.
+pub(crate) fn write_container_v4(
+    pinball: &Pinball,
+    checkpoints: &[ReplayCheckpoint],
+    interval: u64,
+    parallel: bool,
+) -> Vec<u8> {
+    let interval = interval.max(1);
+    let header = ContainerHeader {
+        meta: pinball.meta.clone(),
+        snapshot: pinball.snapshot.clone(),
+        syscalls: pinball.syscalls.clone(),
+        exit: pinball.exit,
+        num_events: pinball.events.len() as u64,
+        checkpoint_interval: interval,
+    };
+    let ranges = chunk_ranges(&pinball.events, interval);
+    // Stage 1: pack every chunk's events into columnar payloads.
+    let payloads = run_ordered(ranges.len(), parallel, |i| {
+        let (start_ev, end_ev, _) = ranges[i];
+        EventColumns::from_events(&pinball.events[start_ev..end_ev]).encode_to_vec()
+    });
+    let dict = build_dict(&pinball.meta, payloads.first().map(Vec::as_slice));
+
+    let mut plans = vec![
+        FramePlan4::Header(binser::to_vec(&header)),
+        FramePlan4::Dict,
+    ];
+    for ((start_ev, _, start_instr), payload) in ranges.iter().zip(payloads) {
+        if let Some(cp) = checkpoints.iter().find(|cp| cp.pos == *start_ev) {
+            plans.push(FramePlan4::Checkpoint(cp));
+        }
+        plans.push(FramePlan4::Events {
+            payload,
+            start_instr: *start_instr,
+        });
+    }
+
+    // Stage 2: compress + frame each plan independently.
+    let encoded = run_ordered(plans.len(), parallel, |i| {
+        let mut bytes = Vec::new();
+        match &plans[i] {
+            FramePlan4::Header(payload) => {
+                write_coded_frame(
+                    &mut bytes,
+                    KIND_HEADER,
+                    PayloadCodec::Binary.byte(),
+                    payload,
+                );
+                (ChunkKind::Header, 0, bytes)
+            }
+            FramePlan4::Dict => {
+                write_coded_frame(&mut bytes, KIND_DICT, PayloadCodec::Binary.byte(), &dict);
+                (ChunkKind::Dict, 0, bytes)
+            }
+            FramePlan4::Checkpoint(cp) => {
+                write_coded_frame(
+                    &mut bytes,
+                    KIND_CHECKPOINT,
+                    PayloadCodec::Binary.byte(),
+                    &binser::to_vec(*cp),
+                );
+                (ChunkKind::Checkpoint, cp.instr, bytes)
+            }
+            FramePlan4::Events {
+                payload,
+                start_instr,
+            } => {
+                write_coded_frame_with_dict(
+                    &mut bytes,
+                    KIND_EVENTS,
+                    PayloadCodec::Columnar.byte(),
+                    &dict,
+                    payload,
+                );
+                (ChunkKind::Events, *start_instr, bytes)
+            }
+        }
+    });
+
+    let total: usize = encoded.iter().map(|(_, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(MAGIC_V4.len() + total + 64 + 32 * encoded.len());
+    out.extend_from_slice(MAGIC_V4);
+    let mut index = Vec::with_capacity(encoded.len() + 1);
+    for (chunk, (kind, instr, bytes)) in encoded.iter().enumerate() {
+        index.push(IndexEntry {
+            chunk,
+            kind: *kind,
+            offset: out.len() as u64,
+            instr: *instr,
+        });
+        out.extend_from_slice(bytes);
+    }
+    let index_off = out.len() as u64;
+    index.push(IndexEntry {
+        chunk: encoded.len(),
+        kind: ChunkKind::Index,
+        offset: index_off,
+        instr: 0,
+    });
+    write_coded_frame(
+        &mut out,
+        KIND_INDEX,
+        PayloadCodec::Binary.byte(),
+        &binser::to_vec(&index),
+    );
+    out.extend_from_slice(&index_off.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
@@ -849,6 +1079,10 @@ pub(crate) fn decode_by_codec<T: Deserialize>(
         Some(b) => match PayloadCodec::from_byte(b) {
             Some(PayloadCodec::Json) => serde_json::from_slice(payload).map_err(|e| e.to_string()),
             Some(PayloadCodec::Binary) => binser::from_slice(payload).map_err(|e| e.to_string()),
+            Some(PayloadCodec::Columnar) => Err(
+                "columnar payloads are not record streams (only events frames may use codec 2)"
+                    .into(),
+            ),
             None => Err(format!("unknown payload codec {b}")),
         },
     }
@@ -872,7 +1106,8 @@ enum BodyPayload {
 /// front-to-back scan would report it, and only events from chunks before
 /// that point are kept.
 fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
-    let has_codec = detect_version(bytes) == ContainerVersion::V3;
+    let version = detect_version(bytes);
+    let has_codec = matches!(version, ContainerVersion::V3 | ContainerVersion::V4);
     let mut pos = MAGIC.len();
 
     // Header frame: required, decoded strictly before anything else.
@@ -902,7 +1137,50 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
     let mut body: Vec<(usize, RawFrame)> = Vec::new();
     let mut index_frame: Option<(usize, RawFrame, usize)> = None;
     let mut walk_damage: Option<PinballError> = None;
-    loop {
+
+    // v4: frame 1 is the shared dictionary, which every columnar events
+    // frame below decompresses against. Damage here is attributed to chunk
+    // 1 and ends the scan — without the dictionary no events are
+    // recoverable (the intact header still loads, with an empty log).
+    let mut dict: Vec<u8> = Vec::new();
+    if version == ContainerVersion::V4 {
+        if pos >= bytes.len() {
+            walk_damage = Some(PinballError::Unsealed {
+                events_recovered: 0,
+                events_expected: header.num_events as usize,
+            });
+        } else {
+            match peek_frame(bytes, pos, true) {
+                Ok(raw)
+                    if raw.kind == KIND_DICT && raw.codec != Some(PayloadCodec::Binary.byte()) =>
+                {
+                    walk_damage = Some(chunk_err(
+                        1,
+                        ChunkKind::Dict,
+                        "dictionary frame carries a non-binary codec byte",
+                    ));
+                }
+                Ok(raw) if raw.kind == KIND_DICT => match decode_payload(bytes, &raw) {
+                    Ok(d) => {
+                        dict = d;
+                        pos += raw.encoded_len;
+                        chunk = 2;
+                    }
+                    Err(e) => walk_damage = Some(chunk_err(1, ChunkKind::Dict, e)),
+                },
+                Ok(raw) => {
+                    walk_damage = Some(chunk_err(
+                        1,
+                        kind_of(raw.kind),
+                        "second frame is not the shared dictionary",
+                    ));
+                }
+                Err(e) => walk_damage = Some(chunk_err(1, peek_kind(bytes, pos), e)),
+            }
+        }
+    }
+
+    while walk_damage.is_none() {
         if pos >= bytes.len() {
             // A clean walk to end-of-file with no index frame: the file is
             // a valid but unsealed prefix (a stream still being written).
@@ -944,9 +1222,32 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
     }
 
     // Parallel decode: CRC verify + decompress + deserialize each body
-    // frame independently; reassemble in order below.
+    // frame independently; reassemble in order below. Columnar events
+    // frames (v4) decompress against the shared dictionary and decode as
+    // column arrays; the owned events are materialized from the columns —
+    // a bulk copy, not a per-record tree decode.
     let decoded = run_ordered(body.len(), true, |i| {
         let (chunk, raw) = &body[i];
+        if raw.codec == Some(PayloadCodec::Columnar.byte()) {
+            if raw.kind != KIND_EVENTS {
+                return Err(chunk_err(
+                    *chunk,
+                    kind_of(raw.kind),
+                    "columnar codec on a non-events frame",
+                ));
+            }
+            let payload = decode_payload_with_dict(bytes, raw, &dict)
+                .map_err(|e| chunk_err(*chunk, ChunkKind::Events, e))?;
+            return EventColumns::decode(&payload)
+                .map(|c| BodyPayload::Events(c.to_events()))
+                .map_err(|e| {
+                    chunk_err(
+                        *chunk,
+                        ChunkKind::Events,
+                        format!("bad events payload: {e}"),
+                    )
+                });
+        }
         let payload =
             decode_payload(bytes, raw).map_err(|e| chunk_err(*chunk, kind_of(raw.kind), e))?;
         if raw.kind == KIND_EVENTS {
@@ -1065,7 +1366,7 @@ fn scan(bytes: &[u8]) -> Result<LossyLoad, PinballError> {
 
 /// Best-effort kind of the frame starting at `offset` (for error reports
 /// when the frame itself cannot be read).
-fn peek_kind(bytes: &[u8], offset: usize) -> ChunkKind {
+pub(crate) fn peek_kind(bytes: &[u8], offset: usize) -> ChunkKind {
     bytes
         .get(offset)
         .map_or(ChunkKind::Unknown, |&b| kind_of(b))
@@ -1107,6 +1408,10 @@ pub struct ContainerReport {
     pub checkpoint_interval: u64,
     /// Per-frame facts, in file order (v1: one pseudo-frame for the blob).
     pub frames: Vec<FrameReport>,
+    /// Shared dictionary size in bytes (v4 only).
+    pub dict_len: Option<usize>,
+    /// Summed encoded column sizes across all events frames (v4 only).
+    pub columns: Option<crate::columns::ColumnSizes>,
 }
 
 impl ContainerReport {
@@ -1166,6 +1471,23 @@ impl fmt::Display for ContainerReport {
                 fr.uncompressed_len
             )?;
         }
+        if let Some(dict_len) = self.dict_len {
+            writeln!(f, "shared dictionary: {dict_len} bytes")?;
+        }
+        if let Some(cols) = &self.columns {
+            writeln!(
+                f,
+                "event columns (encoded): kinds {} tids {} args {} pair_ends {} \
+                 pair_keys {} pair_vals {} (total {})",
+                cols.kinds,
+                cols.tids,
+                cols.args,
+                cols.pair_ends,
+                cols.pair_keys,
+                cols.pair_vals,
+                cols.total()
+            )?;
+        }
         Ok(())
     }
 }
@@ -1197,23 +1519,26 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerReport, PinballError> {
                 compressed_len: bytes.len(),
                 uncompressed_len: json.len(),
             }],
+            dict_len: None,
+            columns: None,
         });
     }
 
-    let has_codec = version == ContainerVersion::V3;
+    let has_codec = matches!(version, ContainerVersion::V3 | ContainerVersion::V4);
     let mut pos = MAGIC.len();
     let mut chunk = 0usize;
     let mut frames = Vec::new();
     let mut header: Option<ContainerHeader> = None;
     let mut checkpoints = 0usize;
+    let mut dict: Vec<u8> = Vec::new();
+    let mut dict_len: Option<usize> = None;
+    let mut columns: Option<crate::columns::ColumnSizes> = None;
     loop {
         if pos >= bytes.len() {
             return Err(chunk_err(chunk, ChunkKind::Unknown, "missing index frame"));
         }
         let raw = peek_frame(bytes, pos, has_codec)
             .map_err(|e| chunk_err(chunk, peek_kind(bytes, pos), e))?;
-        let payload =
-            decode_payload(bytes, &raw).map_err(|e| chunk_err(chunk, kind_of(raw.kind), e))?;
         let codec = match raw.codec {
             None => PayloadCodec::Json,
             Some(b) => PayloadCodec::from_byte(b).ok_or_else(|| {
@@ -1224,6 +1549,24 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerReport, PinballError> {
                 )
             })?,
         };
+        let payload = if codec == PayloadCodec::Columnar {
+            decode_payload_with_dict(bytes, &raw, &dict)
+                .map_err(|e| chunk_err(chunk, kind_of(raw.kind), e))?
+        } else {
+            decode_payload(bytes, &raw).map_err(|e| chunk_err(chunk, kind_of(raw.kind), e))?
+        };
+        if codec == PayloadCodec::Columnar {
+            let cols = EventColumns::decode(&payload).map_err(|e| {
+                chunk_err(chunk, ChunkKind::Events, format!("bad events payload: {e}"))
+            })?;
+            columns
+                .get_or_insert_with(Default::default)
+                .add(&cols.column_sizes());
+        }
+        if raw.kind == KIND_DICT {
+            dict = payload.clone();
+            dict_len = Some(dict.len());
+        }
         if chunk == 0 {
             if raw.kind != KIND_HEADER {
                 return Err(chunk_err(
@@ -1260,6 +1603,8 @@ pub fn inspect(bytes: &[u8]) -> Result<ContainerReport, PinballError> {
         checkpoints,
         checkpoint_interval: header.checkpoint_interval,
         frames,
+        dict_len,
+        columns,
     })
 }
 
@@ -1329,11 +1674,22 @@ mod tests {
     }
 
     #[test]
-    fn v3_roundtrip_preserves_pinball_and_checkpoints() {
+    fn v4_roundtrip_preserves_pinball_and_checkpoints() {
         let (program, pinball) = record();
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
         assert!(!c.checkpoints.is_empty());
         let bytes = c.to_bytes().unwrap();
+        assert!(bytes.starts_with(MAGIC_V4));
+        let d = PinballContainer::from_bytes(&bytes).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_pinball_and_checkpoints() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        assert!(!c.checkpoints.is_empty());
+        let bytes = c.to_bytes_v3().unwrap();
         assert!(bytes.starts_with(MAGIC_V3));
         let d = PinballContainer::from_bytes(&bytes).unwrap();
         assert_eq!(c, d);
@@ -1360,7 +1716,7 @@ mod tests {
     fn v3_is_smaller_than_v2() {
         let (program, pinball) = record();
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
-        let v3 = c.to_bytes().unwrap();
+        let v3 = c.to_bytes_v3().unwrap();
         let v2 = c.to_bytes_v2().unwrap();
         assert!(
             v3.len() <= v2.len(),
@@ -1371,14 +1727,36 @@ mod tests {
     }
 
     #[test]
+    fn v4_is_not_larger_than_v3() {
+        let (program, pinball) = record();
+        let c = PinballContainer::with_checkpoints(pinball, &program, 128);
+        let v4 = c.to_bytes().unwrap();
+        let v3 = c.to_bytes_v3().unwrap();
+        assert!(
+            v4.len() <= v3.len(),
+            "v4 ({}) should not exceed v3 ({})",
+            v4.len(),
+            v3.len()
+        );
+    }
+
+    #[test]
     fn load_save_is_byte_identical() {
         let (program, pinball) = record();
         let container = PinballContainer::with_checkpoints(pinball, &program, 256);
-        let v3 = container.to_bytes().unwrap();
+        let v4 = container.to_bytes().unwrap();
+        assert_eq!(
+            PinballContainer::from_bytes(&v4)
+                .unwrap()
+                .to_bytes()
+                .unwrap(),
+            v4
+        );
+        let v3 = container.to_bytes_v3().unwrap();
         assert_eq!(
             PinballContainer::from_bytes(&v3)
                 .unwrap()
-                .to_bytes()
+                .to_bytes_v3()
                 .unwrap(),
             v3
         );
@@ -1413,13 +1791,13 @@ mod tests {
     }
 
     #[test]
-    fn migrate_upgrades_v1_and_v2_to_v3() {
+    fn migrate_upgrades_older_formats_to_v4() {
         let (program, pinball) = record();
         let digest = pinball.digest();
 
         let v1 = pinball.to_bytes_v1().unwrap();
         let from_v1 = migrate(&v1).unwrap();
-        assert_eq!(detect_version(&from_v1), ContainerVersion::V3);
+        assert_eq!(detect_version(&from_v1), ContainerVersion::V4);
         assert_eq!(
             PinballContainer::from_bytes(&from_v1).unwrap().pinball,
             pinball
@@ -1428,10 +1806,20 @@ mod tests {
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
         let v2 = c.to_bytes_v2().unwrap();
         let from_v2 = migrate(&v2).unwrap();
-        assert_eq!(detect_version(&from_v2), ContainerVersion::V3);
+        assert_eq!(detect_version(&from_v2), ContainerVersion::V4);
         let upgraded = PinballContainer::from_bytes(&from_v2).unwrap();
         assert_eq!(upgraded, c, "migration preserves checkpoints and interval");
         assert_eq!(upgraded.digest(), digest);
+
+        let v3 = c.to_bytes_v3().unwrap();
+        let from_v3 = migrate(&v3).unwrap();
+        assert_eq!(detect_version(&from_v3), ContainerVersion::V4);
+        assert_eq!(PinballContainer::from_bytes(&from_v3).unwrap(), c);
+        assert_eq!(
+            from_v3,
+            c.to_bytes().unwrap(),
+            "v3 -> v4 migrate round-trip"
+        );
 
         assert!(matches!(migrate(&from_v2), Err(PinballError::Format(_))));
     }
@@ -1496,9 +1884,11 @@ mod tests {
         let base = pinball.digest();
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
         let via_v2 = PinballContainer::from_bytes(&c.to_bytes_v2().unwrap()).unwrap();
-        let via_v3 = PinballContainer::from_bytes(&c.to_bytes().unwrap()).unwrap();
+        let via_v3 = PinballContainer::from_bytes(&c.to_bytes_v3().unwrap()).unwrap();
+        let via_v4 = PinballContainer::from_bytes(&c.to_bytes().unwrap()).unwrap();
         assert_eq!(via_v2.digest(), base);
         assert_eq!(via_v3.digest(), base);
+        assert_eq!(via_v4.digest(), base);
     }
 
     #[test]
@@ -1532,7 +1922,30 @@ mod tests {
         let (program, pinball) = record();
         let c = PinballContainer::with_checkpoints(pinball, &program, 128);
 
-        let v3 = c.to_bytes().unwrap();
+        let v4 = c.to_bytes().unwrap();
+        let report4 = inspect(&v4).unwrap();
+        assert_eq!(report4.version, ContainerVersion::V4);
+        assert_eq!(report4.file_len, v4.len());
+        assert_eq!(report4.num_events, c.pinball.events.len() as u64);
+        assert_eq!(report4.checkpoints, c.checkpoints.len());
+        assert_eq!(report4.frames[0].kind, ChunkKind::Header);
+        assert_eq!(report4.frames[1].kind, ChunkKind::Dict);
+        assert!(report4
+            .frames
+            .iter()
+            .filter(|fr| fr.kind == ChunkKind::Events)
+            .all(|fr| fr.codec == PayloadCodec::Columnar));
+        let dict_len = report4.dict_len.expect("v4 reports its dictionary");
+        assert!(dict_len > 0 && dict_len <= pinzip::DICT_MAX);
+        let cols = report4.columns.expect("v4 reports per-column sizes");
+        assert!(cols.kinds > 0 && cols.total() > 0);
+        let rendered4 = report4.to_string();
+        assert!(rendered4.contains("container v4"));
+        assert!(rendered4.contains("columnar"));
+        assert!(rendered4.contains("shared dictionary"));
+        assert!(rendered4.contains("event columns"));
+
+        let v3 = c.to_bytes_v3().unwrap();
         let report = inspect(&v3).unwrap();
         assert_eq!(report.version, ContainerVersion::V3);
         assert_eq!(report.file_len, v3.len());
@@ -1546,6 +1959,8 @@ mod tests {
             .iter()
             .all(|fr| fr.codec == PayloadCodec::Binary));
         assert!(report.uncompressed_total() > report.compressed_total());
+        assert_eq!(report.dict_len, None);
+        assert_eq!(report.columns, None);
         let rendered = report.to_string();
         assert!(rendered.contains("container v3"));
         assert!(rendered.contains("binary"));

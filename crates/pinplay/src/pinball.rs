@@ -118,7 +118,7 @@ impl Pinball {
             .saturating_sub(1)
     }
 
-    /// Serializes the pinball in the chunked v3 container format (the bytes
+    /// Serializes the pinball in the chunked v4 container format (the bytes
     /// written by [`Pinball::save`]), without embedded checkpoints — use
     /// [`PinballContainer::with_checkpoints`](crate::PinballContainer) to
     /// add those. Chunks are encoded on a worker pool when more than one
@@ -129,7 +129,7 @@ impl Pinball {
     /// Infallible in practice; the `Result` is kept for API stability with
     /// the fallible JSON-backed paths.
     pub fn to_bytes(&self) -> Result<Vec<u8>, PinballError> {
-        Ok(crate::container::write_container_v3(
+        Ok(crate::container::write_container_v4(
             self,
             &[],
             crate::container::DEFAULT_CHECKPOINT_INTERVAL,
@@ -218,7 +218,7 @@ pub enum PinballError {
     Decompress(pinzip::DecodeError),
     /// The decompressed payload is not a valid pinball.
     Format(String),
-    /// A specific frame of a chunked container (v2/v3) is damaged. Chunks
+    /// A specific frame of a chunked container (v2–v4) is damaged. Chunks
     /// before it are intact and recoverable via
     /// [`PinballContainer::from_bytes_lossy`](crate::PinballContainer::from_bytes_lossy).
     Chunk {

@@ -9,10 +9,65 @@
 
 use std::sync::Arc;
 
-use minivm::{Executor, Program, ScriptedEnv, Tool, ToolControl, VmError};
+use minivm::{Executor, Program, Reg, ScriptedEnv, Snapshot, Tool, ToolControl, VmError};
 
+use crate::columns::{EventColumns, EventRef};
 use crate::container::{PinballContainer, ReplayCheckpoint};
 use crate::pinball::{Pinball, RecordedExit, ReplayEvent};
+use crate::view::MappedEvents;
+
+/// Where a replayer reads its event log from.
+///
+/// Historically every `Replayer` cloned the pinball's `Vec<ReplayEvent>`;
+/// with the v4 columnar container the log can instead be *borrowed* from a
+/// shared container, a columnar chunk set, or a lazily-paged mapped file —
+/// the replayer reads events in place via [`EventRef`] and never owns them.
+#[derive(Debug, Clone)]
+pub enum EventLog {
+    /// An owned event vector (shared among clones of this replayer).
+    Owned(Arc<Vec<ReplayEvent>>),
+    /// Events borrowed from a shared loaded container — many replayers
+    /// (debug sessions, slicing collectors) read one copy of the log.
+    Shared(Arc<PinballContainer>),
+    /// Events read in place from columnar storage (v4 loads).
+    Columns(Arc<EventColumns>),
+    /// Events paged on demand from an on-disk v4 container
+    /// ([`PinballContainer::open_mapped`](crate::view::MappedContainer)).
+    Mapped(MappedEvents),
+}
+
+impl EventLog {
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        match self {
+            EventLog::Owned(v) => v.len(),
+            EventLog::Shared(c) => c.pinball.events.len(),
+            EventLog::Columns(c) => c.len(),
+            EventLog::Mapped(m) => m.len(),
+        }
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows event `i`. Takes `&mut self` because the mapped variant may
+    /// page in a chunk; the other variants never mutate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`, or (mapped) when the backing file has
+    /// been corrupted since `open_mapped` validated it.
+    pub fn get(&mut self, i: usize) -> EventRef<'_> {
+        match self {
+            EventLog::Owned(v) => EventRef::of(&v[i]),
+            EventLog::Shared(c) => EventRef::of(&c.pinball.events[i]),
+            EventLog::Columns(c) => c.get(i),
+            EventLog::Mapped(m) => m.get(i),
+        }
+    }
+}
 
 /// Why a replay stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +103,7 @@ pub struct SeekOutcome {
 #[derive(Debug, Clone)]
 pub struct Replayer {
     exec: Executor,
-    events: Vec<ReplayEvent>,
+    log: EventLog,
     expected_exit: RecordedExit,
     pos: usize,
     done_in_event: u64,
@@ -58,21 +113,54 @@ pub struct Replayer {
 impl Replayer {
     /// Prepares a replay of `pinball` for `program`.
     pub fn new(program: Arc<Program>, pinball: &Pinball) -> Replayer {
-        let exec = Executor::from_snapshot(program, &pinball.snapshot);
+        Replayer::from_parts(
+            program,
+            &pinball.snapshot,
+            &pinball.syscalls,
+            pinball.exit,
+            EventLog::Owned(Arc::new(pinball.events.clone())),
+        )
+    }
+
+    /// Prepares a replay that reads events from `log` — the zero-copy
+    /// constructor: the snapshot and syscall queues are still copied (both
+    /// small), but the event log, which dominates a pinball's size, is read
+    /// in place.
+    pub fn from_parts(
+        program: Arc<Program>,
+        snapshot: &Snapshot,
+        syscalls: &[Vec<i64>],
+        exit: RecordedExit,
+        log: EventLog,
+    ) -> Replayer {
+        let exec = Executor::from_snapshot(program, snapshot);
         let mut env = ScriptedEnv::new();
-        for (tid, results) in pinball.syscalls.iter().enumerate() {
+        for (tid, results) in syscalls.iter().enumerate() {
             for &v in results {
                 env.push(tid as u32, v);
             }
         }
         Replayer {
             exec,
-            events: pinball.events.clone(),
-            expected_exit: pinball.exit,
+            log,
+            expected_exit: exit,
             pos: 0,
             done_in_event: 0,
             env,
         }
+    }
+
+    /// Prepares a replay that borrows the event log from a shared container
+    /// — clones of the `Arc`, not of the log.
+    pub fn shared(program: Arc<Program>, container: Arc<PinballContainer>) -> Replayer {
+        let log = EventLog::Shared(Arc::clone(&container));
+        Replayer::from_parts(
+            program,
+            &container.pinball.snapshot,
+            &container.pinball.syscalls,
+            container.pinball.exit,
+            log,
+        )
     }
 
     /// The executor being replayed (for state inspection — the debugger's
@@ -83,7 +171,12 @@ impl Replayer {
 
     /// Whether the whole replay log has been consumed.
     pub fn finished(&self) -> bool {
-        self.pos >= self.events.len()
+        self.pos >= self.log.len()
+    }
+
+    /// The event log this replayer reads from.
+    pub fn log(&self) -> &EventLog {
+        &self.log
     }
 
     /// Instructions retired so far in this replay.
@@ -107,32 +200,31 @@ impl Replayer {
     /// indicates a broken pinball (or a bug in the logger) and must not be
     /// silently ignored: determinism is the tool's core guarantee.
     pub fn run(&mut self, tool: &mut dyn Tool) -> ReplayStatus {
-        while self.pos < self.events.len() {
-            match &self.events[self.pos] {
-                ReplayEvent::Skip { tid, to_pc, regs } => {
+        while self.pos < self.log.len() {
+            match self.log.get(self.pos) {
+                EventRef::Skip { tid, to_pc, regs } => {
                     // Excluded code region: teleport past it and restore its
                     // register side effects (paper Fig. 6(b)).
-                    for (r, v) in regs {
-                        self.exec.inject_reg(*tid, *r, *v);
+                    for (r, v) in regs.iter() {
+                        self.exec.inject_reg(tid, Reg(r as u8), v);
                     }
-                    self.exec.set_pc(*tid, *to_pc);
+                    self.exec.set_pc(tid, to_pc);
                     self.pos += 1;
                 }
-                ReplayEvent::Inject { mems } => {
+                EventRef::Inject { mems } => {
                     // Memory side effects of excluded code, at their
                     // original position in the global order.
-                    for (a, v) in mems {
-                        self.exec.inject_mem(*a, *v);
+                    for (a, v) in mems.iter() {
+                        self.exec.inject_mem(a, v);
                     }
                     self.pos += 1;
                 }
-                ReplayEvent::Run { tid, steps } => {
-                    if self.done_in_event >= *steps {
+                EventRef::Run { tid, steps } => {
+                    if self.done_in_event >= steps {
                         self.pos += 1;
                         self.done_in_event = 0;
                         continue;
                     }
-                    let tid = *tid;
                     match self.exec.step(tid, &mut self.env) {
                         Ok((ev, _)) => {
                             self.done_in_event += 1;
@@ -286,29 +378,28 @@ impl Replayer {
     ///
     /// Panics on replay divergence, as [`Replayer::run`].
     pub fn run_to_event(&mut self, target: usize) -> ReplayStatus {
-        let target = target.min(self.events.len());
+        let target = target.min(self.log.len());
         while self.pos < target {
-            match &self.events[self.pos] {
-                ReplayEvent::Skip { tid, to_pc, regs } => {
-                    for (r, v) in regs {
-                        self.exec.inject_reg(*tid, *r, *v);
+            match self.log.get(self.pos) {
+                EventRef::Skip { tid, to_pc, regs } => {
+                    for (r, v) in regs.iter() {
+                        self.exec.inject_reg(tid, Reg(r as u8), v);
                     }
-                    self.exec.set_pc(*tid, *to_pc);
+                    self.exec.set_pc(tid, to_pc);
                     self.pos += 1;
                 }
-                ReplayEvent::Inject { mems } => {
-                    for (a, v) in mems {
-                        self.exec.inject_mem(*a, *v);
+                EventRef::Inject { mems } => {
+                    for (a, v) in mems.iter() {
+                        self.exec.inject_mem(a, v);
                     }
                     self.pos += 1;
                 }
-                ReplayEvent::Run { tid, steps } => {
-                    if self.done_in_event >= *steps {
+                EventRef::Run { tid, steps } => {
+                    if self.done_in_event >= steps {
                         self.pos += 1;
                         self.done_in_event = 0;
                         continue;
                     }
-                    let tid = *tid;
                     match self.exec.step(tid, &mut self.env) {
                         Ok(_) => self.done_in_event += 1,
                         Err((_, e)) => {
@@ -324,7 +415,7 @@ impl Replayer {
                 }
             }
         }
-        if self.pos >= self.events.len() {
+        if self.pos >= self.log.len() {
             ReplayStatus::Completed
         } else {
             ReplayStatus::Paused
@@ -361,8 +452,15 @@ impl Replayer {
                 replayed: self.replayed_instructions() - current,
             };
         }
-        // Seeking backwards with no checkpoint to land on: full restart.
-        *self = Replayer::new(Arc::clone(self.exec.program()), &container.pinball);
+        // Seeking backwards with no checkpoint to land on: full restart —
+        // reuse the existing log handle rather than re-cloning the events.
+        *self = Replayer::from_parts(
+            Arc::clone(self.exec.program()),
+            &container.pinball.snapshot,
+            &container.pinball.syscalls,
+            container.pinball.exit,
+            self.log.clone(),
+        );
         self.run_steps(target, &mut minivm::NullTool);
         SeekOutcome {
             target,

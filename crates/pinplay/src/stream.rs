@@ -1,4 +1,4 @@
-//! Streaming capture: chunked, resumable pinball transport over the v3
+//! Streaming capture: chunked, resumable pinball transport over the v4
 //! frame format.
 //!
 //! The batch pipeline serializes a whole [`PinballContainer`] with
@@ -9,8 +9,9 @@
 //! the batch container:
 //!
 //! * [`StreamWriter`] plans a container as a sequence of self-delimiting
-//!   **chunks** — each a contiguous byte slice covering whole v3 frames
-//!   (checkpoint frames travel with the events frame they precede) — plus
+//!   **chunks** — each a contiguous byte slice covering whole v4 frames
+//!   (the shared-dictionary frame travels with the header; checkpoint
+//!   frames travel with the events frame they precede) — plus
 //!   a **footer** (the index frame and `PBIX` trailer). Concatenating
 //!   every chunk and the footer reproduces the batch
 //!   [`PinballContainer::to_bytes`] output byte for byte, so the sealed
@@ -19,6 +20,11 @@
 //!   reconnect is always safe, which is what makes uploads resumable.
 //! * [`StreamReader`] absorbs bytes in arbitrary increments and decodes
 //!   each frame as soon as it is complete, without re-reading the prefix.
+//!   Absorbed events accumulate in columnar form ([`EventColumns`]) — for
+//!   a v4 stream each events frame is one bulk column append with no
+//!   per-record tree decode, which is what lifted absorb throughput well
+//!   past the old v3 record-stream path (v2/v3 streams still absorb
+//!   through the owned-record decoder for compatibility).
 //!   At any moment [`StreamReader::partial_container`] yields the intact
 //!   prefix as a replayable [`PinballContainer`] — this is what lets a
 //!   consumer slice or live-tail a recording that is still uploading.
@@ -31,12 +37,13 @@
 
 use std::ops::Range;
 
-use pinzip::frame::{decode_payload, peek_frame, FrameError};
+use pinzip::frame::{decode_payload, decode_payload_with_dict, peek_frame, FrameError};
 
+use crate::columns::EventColumns;
 use crate::container::{
     chunk_err, decode_by_codec, detect_version, kind_of, ChunkKind, ContainerHeader,
-    ContainerVersion, PinballContainer, PinballDigest, KIND_CHECKPOINT, KIND_EVENTS, KIND_HEADER,
-    KIND_INDEX, MAGIC, MAGIC_V3, TRAILER_MAGIC,
+    ContainerVersion, PayloadCodec, PinballContainer, PinballDigest, KIND_CHECKPOINT, KIND_DICT,
+    KIND_EVENTS, KIND_HEADER, KIND_INDEX, MAGIC, MAGIC_V3, MAGIC_V4, TRAILER_MAGIC,
 };
 use crate::pinball::{Pinball, PinballError, ReplayEvent};
 
@@ -62,10 +69,20 @@ pub struct StreamWriter {
 }
 
 impl StreamWriter {
-    /// Plans `container` for streaming. The serialized form is the v3
+    /// Plans `container` for streaming. The serialized form is the v4
     /// container, so sealing reproduces a batch save exactly.
     pub fn new(container: &PinballContainer) -> Result<StreamWriter, PinballError> {
-        let bytes = container.to_bytes()?;
+        StreamWriter::plan(container, container.to_bytes()?)
+    }
+
+    /// Plans `container` as a v3 stream — the previous generation's wire
+    /// format, kept for compatibility tests and as the before/after
+    /// baseline in the absorb-throughput bench.
+    pub fn new_v3(container: &PinballContainer) -> Result<StreamWriter, PinballError> {
+        StreamWriter::plan(container, container.to_bytes_v3()?)
+    }
+
+    fn plan(container: &PinballContainer, bytes: Vec<u8>) -> Result<StreamWriter, PinballError> {
         let digest = container.digest();
         let instructions = container.pinball.logged_instructions();
 
@@ -88,7 +105,7 @@ impl StreamWriter {
             let raw = peek_frame(&bytes, pos, true)
                 .map_err(|e| chunk_err(frame, ChunkKind::Unknown, e))?;
             match raw.kind {
-                KIND_HEADER | KIND_CHECKPOINT => {}
+                KIND_HEADER | KIND_DICT | KIND_CHECKPOINT => {}
                 KIND_EVENTS => {
                     groups.push(group_start..pos + raw.encoded_len);
                     group_start = pos + raw.encoded_len;
@@ -184,13 +201,33 @@ pub struct StreamReader {
     parsed: usize,
     /// Frame ordinal for error attribution (0 = header frame).
     frames: usize,
-    /// `Some(has_codec)` once the magic has been validated.
-    has_codec: Option<bool>,
+    /// The container generation, once the magic has been validated.
+    version: Option<ContainerVersion>,
+    /// Shared LZSS dictionary (v4 streams; empty until the dict frame).
+    dict: Vec<u8>,
     header: Option<ContainerHeader>,
-    events: Vec<ReplayEvent>,
-    checkpoints: Vec<crate::container::ReplayCheckpoint>,
+    /// Absorbed events, accumulated columnar (bulk appends for v4 frames;
+    /// v2/v3 record streams are packed on arrival).
+    events: EventColumns,
+    /// Checkpoint payloads, CRC-checked and decompressed on arrival but
+    /// structurally decoded only when [`StreamReader::partial_container`]
+    /// asks for them. Live-tail consumers never touch checkpoints, so
+    /// absorb throughput should not pay for materializing every
+    /// [`ReplayCheckpoint`](crate::container::ReplayCheckpoint) (full
+    /// executor state each) on the upload path.
+    checkpoints: Vec<PendingCheckpoint>,
     instructions: u64,
     sealed: bool,
+}
+
+/// A checkpoint frame held in its decompressed wire form until a
+/// container is actually requested.
+#[derive(Debug, Clone)]
+struct PendingCheckpoint {
+    /// Frame ordinal, for error attribution at deferred-decode time.
+    frame: usize,
+    codec: Option<u8>,
+    payload: Vec<u8>,
 }
 
 impl StreamReader {
@@ -214,27 +251,25 @@ impl StreamReader {
     }
 
     fn advance(&mut self) -> Result<(), PinballError> {
-        let has_codec = match self.has_codec {
-            Some(h) => h,
+        let version = match self.version {
+            Some(v) => v,
             None => {
                 if self.buf.len() < MAGIC.len() {
                     return Ok(());
                 }
-                let h = match detect_version(&self.buf) {
-                    ContainerVersion::V3 => true,
-                    ContainerVersion::V2 => false,
-                    ContainerVersion::V1 => {
-                        return Err(PinballError::Format(format!(
-                            "stream does not open with a container magic ({:?} or {:?})",
-                            MAGIC, MAGIC_V3
-                        )));
-                    }
-                };
-                self.has_codec = Some(h);
+                let v = detect_version(&self.buf);
+                if v == ContainerVersion::V1 {
+                    return Err(PinballError::Format(format!(
+                        "stream does not open with a container magic ({:?}, {:?} or {:?})",
+                        MAGIC, MAGIC_V3, MAGIC_V4
+                    )));
+                }
+                self.version = Some(v);
                 self.parsed = MAGIC.len();
-                h
+                v
             }
         };
+        let has_codec = matches!(version, ContainerVersion::V3 | ContainerVersion::V4);
 
         while !self.sealed && self.parsed < self.buf.len() {
             let frame_off = self.parsed;
@@ -248,6 +283,14 @@ impl StreamReader {
                     return Err(chunk_err(self.frames, self.peek_kind(frame_off), e));
                 }
             };
+            let awaiting_dict = version == ContainerVersion::V4 && self.frames == 1;
+            if awaiting_dict && raw.kind != KIND_DICT {
+                return Err(chunk_err(
+                    1,
+                    kind_of(raw.kind),
+                    "second frame is not the shared dictionary",
+                ));
+            }
             match raw.kind {
                 KIND_HEADER if self.frames == 0 => {
                     let payload = decode_payload(&self.buf, &raw)
@@ -258,37 +301,62 @@ impl StreamReader {
                         })?;
                     self.header = Some(header);
                 }
+                KIND_DICT if awaiting_dict => {
+                    if raw.codec != Some(PayloadCodec::Binary.byte()) {
+                        return Err(chunk_err(
+                            1,
+                            ChunkKind::Dict,
+                            "dictionary frame carries a non-binary codec byte",
+                        ));
+                    }
+                    self.dict = decode_payload(&self.buf, &raw)
+                        .map_err(|e| chunk_err(1, ChunkKind::Dict, e))?;
+                }
                 KIND_EVENTS if self.frames > 0 => {
-                    let payload = decode_payload(&self.buf, &raw)
-                        .map_err(|e| chunk_err(self.frames, ChunkKind::Events, e))?;
-                    let evs: Vec<ReplayEvent> =
-                        decode_by_codec(&payload, raw.codec).map_err(|e| {
+                    if raw.codec == Some(PayloadCodec::Columnar.byte()) {
+                        // v4: one bulk column append, no per-record decode.
+                        let payload = decode_payload_with_dict(&self.buf, &raw, &self.dict)
+                            .map_err(|e| chunk_err(self.frames, ChunkKind::Events, e))?;
+                        let cols = EventColumns::decode(&payload).map_err(|e| {
                             chunk_err(
                                 self.frames,
                                 ChunkKind::Events,
                                 format!("bad events payload: {e}"),
                             )
                         })?;
-                    self.instructions += evs
-                        .iter()
-                        .map(|e| match e {
-                            ReplayEvent::Run { steps, .. } => *steps,
-                            _ => 0,
-                        })
-                        .sum::<u64>();
-                    self.events.extend(evs);
+                        self.instructions += cols.instructions();
+                        self.events.extend_from(&cols);
+                    } else {
+                        let payload = decode_payload(&self.buf, &raw)
+                            .map_err(|e| chunk_err(self.frames, ChunkKind::Events, e))?;
+                        let evs: Vec<ReplayEvent> =
+                            decode_by_codec(&payload, raw.codec).map_err(|e| {
+                                chunk_err(
+                                    self.frames,
+                                    ChunkKind::Events,
+                                    format!("bad events payload: {e}"),
+                                )
+                            })?;
+                        self.instructions += evs
+                            .iter()
+                            .map(|e| match e {
+                                ReplayEvent::Run { steps, .. } => *steps,
+                                _ => 0,
+                            })
+                            .sum::<u64>();
+                        for e in &evs {
+                            self.events.push_event(e);
+                        }
+                    }
                 }
                 KIND_CHECKPOINT if self.frames > 0 => {
                     let payload = decode_payload(&self.buf, &raw)
                         .map_err(|e| chunk_err(self.frames, ChunkKind::Checkpoint, e))?;
-                    let cp = decode_by_codec(&payload, raw.codec).map_err(|e| {
-                        chunk_err(
-                            self.frames,
-                            ChunkKind::Checkpoint,
-                            format!("bad checkpoint payload: {e}"),
-                        )
-                    })?;
-                    self.checkpoints.push(cp);
+                    self.checkpoints.push(PendingCheckpoint {
+                        frame: self.frames,
+                        codec: raw.codec,
+                        payload,
+                    });
                 }
                 KIND_INDEX if self.frames > 0 => {
                     // The trailer must follow the index frame; wait until
@@ -412,25 +480,45 @@ impl StreamReader {
     /// The intact prefix as a replayable container. Before sealing this is
     /// the partial recording absorbed so far (the typed
     /// [`PinballError::Unsealed`] state on disk); after sealing it is the
-    /// complete recording. Errors until the header frame has arrived.
+    /// complete recording. Errors until the header frame has arrived, or
+    /// if a deferred checkpoint payload turns out to be structurally
+    /// undecodable (its CRC and compression were already validated on
+    /// absorb).
     pub fn partial_container(&self) -> Result<PinballContainer, PinballError> {
         let header = self
             .header
             .as_ref()
             .ok_or_else(|| PinballError::Format("stream header not yet absorbed".to_string()))?;
-        let mut checkpoints = self.checkpoints.clone();
+        let mut checkpoints = Vec::with_capacity(self.checkpoints.len());
+        for pending in &self.checkpoints {
+            let cp: crate::container::ReplayCheckpoint =
+                decode_by_codec(&pending.payload, pending.codec).map_err(|e| {
+                    chunk_err(
+                        pending.frame,
+                        ChunkKind::Checkpoint,
+                        format!("bad checkpoint payload: {e}"),
+                    )
+                })?;
+            checkpoints.push(cp);
+        }
         checkpoints.retain(|cp| cp.pos <= self.events.len());
         Ok(PinballContainer {
             pinball: Pinball {
                 meta: header.meta.clone(),
                 snapshot: header.snapshot.clone(),
-                events: self.events.clone(),
+                events: self.events.to_events(),
                 syscalls: header.syscalls.clone(),
                 exit: header.exit,
             },
             checkpoints,
             checkpoint_interval: header.checkpoint_interval.max(1),
         })
+    }
+
+    /// The absorbed prefix of the event log in columnar form — the
+    /// zero-copy view streaming consumers index from directly.
+    pub fn columns(&self) -> &EventColumns {
+        &self.events
     }
 }
 
@@ -593,6 +681,34 @@ mod tests {
                 writer.sealed_bytes()
             );
         }
+    }
+
+    #[test]
+    fn v3_streams_still_absorb_and_seal() {
+        let (_, container) = record();
+        let writer = StreamWriter::new_v3(&container).expect("plans v3");
+        assert_eq!(writer.sealed_bytes(), container.to_bytes_v3().unwrap());
+        let mut reader = StreamReader::new();
+        for piece in writer.chunks(5) {
+            reader.absorb(piece).expect("absorbs");
+        }
+        reader.absorb(writer.footer()).expect("footer");
+        assert!(reader.is_sealed());
+        let got = reader.partial_container().expect("container");
+        assert_eq!(got, container);
+        assert_eq!(got.digest(), writer.digest());
+    }
+
+    #[test]
+    fn sealed_v4_stream_is_the_batch_v4_container() {
+        let (_, container) = record();
+        let writer = StreamWriter::new(&container).expect("plans");
+        let mut reader = StreamReader::new();
+        reader.absorb(writer.sealed_bytes()).expect("absorbs");
+        assert!(reader.is_sealed());
+        let sealed = reader.sealed_bytes().expect("sealed");
+        assert_eq!(&sealed[..6], crate::container::MAGIC_V4);
+        assert_eq!(sealed, container.to_bytes().unwrap());
     }
 
     #[test]

@@ -1,19 +1,22 @@
-//! Property tests for the chunked pinball containers (v2 and v3).
+//! Property tests for the chunked pinball containers (v2, v3, and v4).
 //!
 //! Over randomized multi-threaded recordings (worker count, per-worker
 //! loop length, scheduler seed and quantum, checkpoint interval all
 //! drawn by proptest):
 //!
 //! 1. **Byte-identical round-trip** — `to_bytes` → `from_bytes` →
-//!    `to_bytes` reproduces the exact container bytes, in both formats.
-//!    Chunk boundaries, embedded checkpoints, and the footer index are
-//!    all deterministic functions of the log, so a load/save cycle is
-//!    the identity.
-//! 2. **Differential encoders** — the parallel v3 chunk pipeline emits
-//!    bytes identical to the serial reference encoder, and the v2 and v3
-//!    serializations of one container load back to equal containers with
-//!    equal digests.
-//! 3. **Seek equivalence** — restoring any embedded checkpoint via
+//!    `to_bytes` reproduces the exact container bytes, in every format.
+//!    Chunk boundaries, embedded checkpoints, the shared dictionary, and
+//!    the footer index are all deterministic functions of the log, so a
+//!    load/save cycle is the identity.
+//! 2. **Differential encoders** — the parallel v4 chunk pipeline emits
+//!    bytes identical to the serial reference encoder, and the v2, v3,
+//!    and v4 serializations of one container load back to equal
+//!    containers with equal digests.
+//! 3. **Differential loaders** — the zero-copy [`ContainerView`], the
+//!    paged [`MappedContainer`], and the owned loader agree on every
+//!    recording, and `migrate` of v2/v3 bytes equals a direct v4 save.
+//! 4. **Seek equivalence** — restoring any embedded checkpoint via
 //!    `Replayer::seek_to` and replaying to the end retires the same
 //!    instruction count and lands on bit-identical final state as a
 //!    cold replay of the whole region.
@@ -24,8 +27,8 @@ use proptest::prelude::*;
 
 use minivm::{assemble, LiveEnv, NullTool, Program, RandomSched};
 use pinplay::{
-    record_whole_program, Pinball, PinballContainer, ReplayStatus, Replayer, StreamReader,
-    StreamWriter,
+    record_whole_program, ContainerView, Pinball, PinballContainer, ReplayStatus, Replayer,
+    StreamReader, StreamWriter,
 };
 
 /// A main thread plus `workers` xadd-looping threads over one shared
@@ -111,11 +114,20 @@ proptest! {
         let (program, pinball) = record(workers, iters, sched_seed, quantum, env_seed);
         let container = PinballContainer::with_checkpoints(pinball, &program, interval);
 
-        let v3 = container.to_bytes().expect("v3 serializes");
-        let reloaded = PinballContainer::from_bytes(&v3).expect("v3 loads");
-        prop_assert_eq!(&reloaded, &container, "v3 round-trips");
+        let v4 = container.to_bytes().expect("v4 serializes");
+        let reloaded = PinballContainer::from_bytes(&v4).expect("v4 loads");
+        prop_assert_eq!(&reloaded, &container, "v4 round-trips");
         prop_assert_eq!(
             reloaded.to_bytes().expect("re-serializes"),
+            v4,
+            "v4 load -> save is byte-identical"
+        );
+
+        let v3 = container.to_bytes_v3().expect("v3 serializes");
+        let reloaded3 = PinballContainer::from_bytes(&v3).expect("v3 loads");
+        prop_assert_eq!(&reloaded3, &container, "v3 round-trips");
+        prop_assert_eq!(
+            reloaded3.to_bytes_v3().expect("re-serializes"),
             v3,
             "v3 load -> save is byte-identical"
         );
@@ -145,17 +157,66 @@ proptest! {
         let serial = container.to_bytes_serial().expect("serial serializes");
         prop_assert_eq!(&parallel, &serial, "pipeline output is byte-identical");
 
-        // The two container generations carry the same recording: equal
-        // containers, equal digests, and the binary format never larger.
+        // The three container generations carry the same recording: equal
+        // containers, equal digests, and the binary formats never larger
+        // (v4 gets a fixed allowance for its dictionary frame, which tiny
+        // recordings cannot amortize; real workloads shrink — the codec
+        // speedup gate enforces v4 <= v3 at size).
         let v2 = container.to_bytes_v2().expect("v2 serializes");
+        let v3 = container.to_bytes_v3().expect("v3 serializes");
         let via_v2 = PinballContainer::from_bytes(&v2).expect("v2 loads");
-        let via_v3 = PinballContainer::from_bytes(&parallel).expect("v3 loads");
-        prop_assert_eq!(&via_v2, &via_v3, "formats agree on contents");
-        prop_assert_eq!(via_v2.digest(), via_v3.digest(), "formats agree on digest");
+        let via_v3 = PinballContainer::from_bytes(&v3).expect("v3 loads");
+        let via_v4 = PinballContainer::from_bytes(&parallel).expect("v4 loads");
+        prop_assert_eq!(&via_v2, &via_v3, "v2/v3 agree on contents");
+        prop_assert_eq!(&via_v3, &via_v4, "v3/v4 agree on contents");
+        prop_assert_eq!(via_v2.digest(), via_v3.digest(), "v2/v3 agree on digest");
+        prop_assert_eq!(via_v3.digest(), via_v4.digest(), "v3/v4 agree on digest");
         prop_assert!(
-            parallel.len() <= v2.len(),
-            "v3 ({}) must not exceed v2 ({})", parallel.len(), v2.len()
+            v3.len() <= v2.len(),
+            "v3 ({}) must not exceed v2 ({})", v3.len(), v2.len()
         );
+        prop_assert!(
+            parallel.len() <= v3.len() + pinzip::DICT_MAX + 64,
+            "v4 ({}) must not exceed v3 ({}) plus the dictionary allowance",
+            parallel.len(), v3.len()
+        );
+    }
+
+    #[test]
+    fn zero_copy_and_mapped_loads_agree_with_owned_and_migrate(
+        workers in 1usize..4,
+        iters in 5u64..60,
+        sched_seed in any::<u64>(),
+        quantum in 1u32..16,
+        interval in 8u64..200,
+    ) {
+        let (program, pinball) = record(workers, iters, sched_seed, quantum, 7);
+        let container = PinballContainer::with_checkpoints(pinball, &program, interval);
+        let v4 = container.to_bytes().expect("v4 serializes");
+
+        // Zero-copy view == owned load.
+        let view = ContainerView::from_bytes(&v4).expect("view loads");
+        prop_assert_eq!(view.num_events(), container.pinball.events.len());
+        prop_assert_eq!(&view.to_container(), &container, "view == owned");
+        prop_assert_eq!(view.digest(), container.digest());
+
+        // Paged load == bytes load.
+        let path = std::env::temp_dir().join(format!(
+            "pinplay-prop-{}-{:x}.pb", std::process::id(), sched_seed
+        ));
+        std::fs::write(&path, &v4).expect("writes temp container");
+        let mapped = PinballContainer::open_mapped(&path).expect("mapped opens");
+        let via_mapped = mapped.to_container().expect("mapped materializes");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&via_mapped, &container, "mapped == owned");
+
+        // Migrating older formats reproduces the direct v4 save exactly.
+        let from_v3 = pinplay::migrate(&container.to_bytes_v3().expect("v3"))
+            .expect("v3 migrates");
+        prop_assert_eq!(&from_v3, &v4, "migrate(v3) == to_bytes()");
+        let from_v2 = pinplay::migrate(&container.to_bytes_v2().expect("v2"))
+            .expect("v2 migrates");
+        prop_assert_eq!(&from_v2, &v4, "migrate(v2) == to_bytes()");
     }
 
     #[test]

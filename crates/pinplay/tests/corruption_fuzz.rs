@@ -1,12 +1,15 @@
-//! Corruption fuzzing for the chunked pinball containers (v2 and v3).
+//! Corruption fuzzing for the chunked pinball containers (v2, v3, v4).
 //!
 //! Every single-bit flip and every truncation of a container must
 //! surface as a typed [`PinballError`] — never a panic — and flips
 //! inside the framed region must name the damaged chunk. Truncations
 //! additionally exercise lossy loading: the intact prefix must still
-//! replay deterministically. Both container generations run through the
-//! same harness: v3 adds a per-frame codec byte and binary payloads, and
-//! must be exactly as tamper-evident as the v2 format it replaces.
+//! replay deterministically. All chunked container generations run
+//! through the same harness: v3 adds a per-frame codec byte and binary
+//! payloads, v4 adds the shared-dictionary frame and columnar events,
+//! and each must be exactly as tamper-evident as the format it replaces.
+//! The paged loader gets its own truncation sweep: a damaged or cut file
+//! must fail [`PinballContainer::open_mapped`] with a typed error too.
 
 use std::sync::Arc;
 
@@ -64,10 +67,11 @@ fn record() -> (Arc<Program>, PinballContainer) {
     (program, container)
 }
 
-/// The two chunked serializations of one container, tagged for messages.
-fn encodings(container: &PinballContainer) -> [(&'static str, Vec<u8>); 2] {
+/// The chunked serializations of one container, tagged for messages.
+fn encodings(container: &PinballContainer) -> [(&'static str, Vec<u8>); 3] {
     [
-        ("v3", container.to_bytes().expect("v3 serializes")),
+        ("v4", container.to_bytes().expect("v4 serializes")),
+        ("v3", container.to_bytes_v3().expect("v3 serializes")),
         ("v2", container.to_bytes_v2().expect("v2 serializes")),
     ]
 }
@@ -169,21 +173,77 @@ fn every_truncation_is_typed_and_lossy_load_replays_the_prefix() {
 }
 
 #[test]
-fn migrate_v2_to_v3_roundtrips_exactly() {
+fn migrate_upgrades_v2_and_v3_to_v4_roundtripping_exactly() {
     let (_, container) = record();
-    let v2 = container.to_bytes_v2().expect("v2 serializes");
-    let v3 = migrate(&v2).expect("v2 migrates to v3");
-    assert_eq!(detect_version(&v3), ContainerVersion::V3);
+    let direct = container.to_bytes().expect("v4 serializes");
+    for (tag, bytes) in [
+        ("v2", container.to_bytes_v2().expect("v2 serializes")),
+        ("v3", container.to_bytes_v3().expect("v3 serializes")),
+    ] {
+        let v4 = migrate(&bytes).unwrap_or_else(|e| panic!("{tag} migrates to v4: {e}"));
+        assert_eq!(detect_version(&v4), ContainerVersion::V4);
 
-    // Migration preserves the whole container — events, checkpoints,
-    // interval — and lands on the same bytes a direct v3 save produces.
-    let upgraded = PinballContainer::from_bytes(&v3).expect("migrated container loads");
-    assert_eq!(upgraded, container);
-    assert_eq!(upgraded.digest(), container.digest());
-    assert_eq!(v3, container.to_bytes().expect("v3 serializes"));
+        // Migration preserves the whole container — events, checkpoints,
+        // interval — and lands on the same bytes a direct v4 save produces.
+        let upgraded = PinballContainer::from_bytes(&v4).expect("migrated container loads");
+        assert_eq!(upgraded, container, "{tag} migration preserves contents");
+        assert_eq!(upgraded.digest(), container.digest());
+        assert_eq!(v4, direct, "{tag} migration == direct v4 save");
+    }
 
-    // Migrating twice is a typed error, not a silent rewrite.
-    assert!(matches!(migrate(&v3), Err(PinballError::Format(_))));
+    // Migrating a v4 container again is a typed error, not a silent rewrite.
+    assert!(matches!(migrate(&direct), Err(PinballError::Format(_))));
+}
+
+#[test]
+fn mapped_open_never_panics_on_truncation_or_tail_flips() {
+    let (_, container) = record();
+    let bytes = container.to_bytes().expect("v4 serializes");
+    let path = std::env::temp_dir().join(format!("pinplay-fuzz-mapped-{}.pb", std::process::id()));
+
+    // Every truncation must fail `open_mapped` with a typed error: the
+    // paged loader validates the trailer, index, header, and dictionary
+    // before returning, and a cut file always damages one of those.
+    for len in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..len]).expect("writes truncated file");
+        let err = PinballContainer::open_mapped(&path)
+            .map(|_| ())
+            .expect_err(&format!("truncation to {len} bytes must not open"));
+        assert!(
+            matches!(
+                err,
+                PinballError::Chunk { .. } | PinballError::Format(_) | PinballError::Io(_)
+            ),
+            "truncation to {len}: unexpected error {err}"
+        );
+    }
+
+    // Flips in the skeleton the loader touches eagerly (trailer, index,
+    // header, dictionary) must also surface as typed errors at open time.
+    let idx_off =
+        u64::from_le_bytes(bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap()) as usize;
+    for offset in (0..64).chain(idx_off..bytes.len()) {
+        for bit in 0..8 {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 1 << bit;
+            std::fs::write(&path, &bad).expect("writes damaged file");
+            // Damage may be caught at open (skeleton) or deferred to a
+            // chunk read (events bytes sharing the first 64 bytes); both
+            // must stay typed. `open_mapped` + full materialization covers
+            // both paths.
+            if let Ok(mapped) = PinballContainer::open_mapped(&path) {
+                let err = mapped
+                    .to_container()
+                    .map(|_| ())
+                    .expect_err(&format!("flip at {offset}.{bit} must not materialize"));
+                assert!(
+                    matches!(err, PinballError::Chunk { .. } | PinballError::Format(_)),
+                    "flip at {offset}.{bit}: unexpected error {err}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

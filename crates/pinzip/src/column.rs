@@ -1,0 +1,225 @@
+//! Bulk varint column readers — the hot loops behind columnar payloads.
+//!
+//! A columnar events frame is a handful of long homogeneous runs of
+//! varints (one per field). Decoding them element-at-a-time from an
+//! unoptimized caller dominates load time, so the loops live here in the
+//! codec crate next to [`varint`]: callers issue one call
+//! per *column* and get the whole vector back. Errors carry the index of
+//! the offending element so callers can produce precise diagnostics
+//! without paying for per-element error plumbing on the happy path.
+
+use crate::varint;
+
+/// Why a column failed to decode, pointing at the element responsible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnError {
+    /// The buffer ended while reading element `index`.
+    Truncated {
+        /// Index of the element that ran off the end of the buffer.
+        index: usize,
+    },
+    /// Element `index` decoded to `value`, which does not fit the
+    /// column's range (type width, cap, or running-sum bound).
+    Range {
+        /// Index of the out-of-range element.
+        index: usize,
+        /// The decoded value that violated the bound.
+        value: u64,
+    },
+}
+
+/// Reads `n` LEB128 values into a vector.
+///
+/// # Errors
+///
+/// [`ColumnError::Truncated`] naming the element the buffer ended in.
+pub fn read_u64_column(buf: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u64>, ColumnError> {
+    let mut out = Vec::with_capacity(n);
+    for index in 0..n {
+        let v = varint::read_u64(buf, pos).ok_or(ColumnError::Truncated { index })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Reads `n` LEB128 values that must each fit `u32`.
+///
+/// # Errors
+///
+/// [`ColumnError::Truncated`] on a short buffer, [`ColumnError::Range`]
+/// naming the first element exceeding `u32::MAX`.
+pub fn read_u32_column(buf: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u32>, ColumnError> {
+    let mut out = Vec::with_capacity(n);
+    for index in 0..n {
+        let v = varint::read_u64(buf, pos).ok_or(ColumnError::Truncated { index })?;
+        let v = u32::try_from(v).map_err(|_| ColumnError::Range { index, value: v })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Reads `n` zigzag-coded signed values.
+///
+/// # Errors
+///
+/// [`ColumnError::Truncated`] naming the element the buffer ended in.
+pub fn read_i64_column(buf: &[u8], pos: &mut usize, n: usize) -> Result<Vec<i64>, ColumnError> {
+    let mut out = Vec::with_capacity(n);
+    for index in 0..n {
+        let v = varint::read_i64(buf, pos).ok_or(ColumnError::Truncated { index })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Reads `n` delta-coded values and returns their running (prefix) sums,
+/// each bounded by `cap` — the shape of an exclusive-end-offset column.
+///
+/// # Errors
+///
+/// [`ColumnError::Truncated`] on a short buffer, [`ColumnError::Range`]
+/// carrying the delta that pushed the running sum past `cap` (or past
+/// `u64`).
+pub fn read_prefix_sum_column(
+    buf: &[u8],
+    pos: &mut usize,
+    n: usize,
+    cap: u64,
+) -> Result<Vec<u32>, ColumnError> {
+    let mut out = Vec::with_capacity(n);
+    let mut sum = 0u64;
+    for index in 0..n {
+        let d = varint::read_u64(buf, pos).ok_or(ColumnError::Truncated { index })?;
+        sum = sum
+            .checked_add(d)
+            .filter(|s| *s <= cap)
+            .ok_or(ColumnError::Range { index, value: d })?;
+        out.push(sum as u32);
+    }
+    Ok(out)
+}
+
+/// Reads `n` raw bytes as a column, each at most `max`.
+///
+/// # Errors
+///
+/// [`ColumnError::Truncated`] if fewer than `n` bytes remain (index `0`),
+/// [`ColumnError::Range`] naming the first byte exceeding `max`.
+pub fn read_byte_column(
+    buf: &[u8],
+    pos: &mut usize,
+    n: usize,
+    max: u8,
+) -> Result<Vec<u8>, ColumnError> {
+    let bytes = buf
+        .get(*pos..*pos + n)
+        .ok_or(ColumnError::Truncated { index: 0 })?;
+    if let Some(index) = bytes.iter().position(|b| *b > max) {
+        return Err(ColumnError::Range {
+            index,
+            value: u64::from(bytes[index]),
+        });
+    }
+    *pos += n;
+    Ok(bytes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_column_roundtrip() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 1 << 40, u64::MAX];
+        for v in vals {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(
+            read_u64_column(&buf, &mut pos, vals.len()).unwrap(),
+            vals.to_vec()
+        );
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_names_the_element() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 7);
+        varint::write_u64(&mut buf, 9);
+        let mut pos = 0;
+        assert_eq!(
+            read_u64_column(&buf, &mut pos, 3),
+            Err(ColumnError::Truncated { index: 2 })
+        );
+    }
+
+    #[test]
+    fn u32_column_rejects_wide_values() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 5);
+        varint::write_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut pos = 0;
+        assert_eq!(
+            read_u32_column(&buf, &mut pos, 2),
+            Err(ColumnError::Range {
+                index: 1,
+                value: u64::from(u32::MAX) + 1
+            })
+        );
+    }
+
+    #[test]
+    fn i64_column_roundtrips_negatives() {
+        let mut buf = Vec::new();
+        let vals = [0i64, -1, 1, i64::MIN, i64::MAX];
+        for v in vals {
+            varint::write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(
+            read_i64_column(&buf, &mut pos, vals.len()).unwrap(),
+            vals.to_vec()
+        );
+    }
+
+    #[test]
+    fn prefix_sums_accumulate_and_cap() {
+        let mut buf = Vec::new();
+        for d in [2u64, 0, 3, 1] {
+            varint::write_u64(&mut buf, d);
+        }
+        let mut pos = 0;
+        assert_eq!(
+            read_prefix_sum_column(&buf, &mut pos, 4, 6).unwrap(),
+            vec![2, 2, 5, 6]
+        );
+        let mut pos = 0;
+        assert_eq!(
+            read_prefix_sum_column(&buf, &mut pos, 4, 5),
+            Err(ColumnError::Range { index: 3, value: 1 })
+        );
+    }
+
+    #[test]
+    fn byte_column_validates_range_and_length() {
+        let buf = [0u8, 2, 1, 9];
+        let mut pos = 0;
+        assert_eq!(
+            read_byte_column(&buf, &mut pos, 3, 2).unwrap(),
+            vec![0, 2, 1]
+        );
+        assert_eq!(pos, 3);
+        let mut pos = 0;
+        assert_eq!(
+            read_byte_column(&buf, &mut pos, 4, 2),
+            Err(ColumnError::Range { index: 3, value: 9 })
+        );
+        let mut pos = 0;
+        assert_eq!(
+            read_byte_column(&buf, &mut pos, 5, 9),
+            Err(ColumnError::Truncated { index: 0 })
+        );
+    }
+}

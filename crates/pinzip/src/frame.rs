@@ -130,8 +130,23 @@ pub fn write_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> usize {
 /// Compresses `payload` and appends a complete coded frame (kind + codec
 /// byte) to `out`, returning the byte offset at which the frame starts.
 pub fn write_coded_frame(out: &mut Vec<u8>, kind: u8, codec: u8, payload: &[u8]) -> usize {
+    write_coded_frame_with_dict(out, kind, codec, &[], payload)
+}
+
+/// Like [`write_coded_frame`], but compresses the payload against a shared
+/// LZSS dictionary ([`lzss::compress_with_dict`]). The frame wire layout is
+/// unchanged — which frames use which dictionary is a container-level
+/// convention, recovered at read time via [`decode_payload_with_dict`]. An
+/// empty dictionary degenerates to [`write_coded_frame`].
+pub fn write_coded_frame_with_dict(
+    out: &mut Vec<u8>,
+    kind: u8,
+    codec: u8,
+    dict: &[u8],
+    payload: &[u8],
+) -> usize {
     let offset = out.len();
-    let compressed = lzss::compress(payload);
+    let compressed = lzss::compress_with_dict(dict, payload);
     out.reserve(compressed.len() + 16);
     out.push(kind);
     out.push(codec);
@@ -192,6 +207,22 @@ pub fn peek_frame(buf: &[u8], offset: usize, has_codec: bool) -> Result<RawFrame
 ///
 /// Returns [`FrameError::CrcMismatch`] or a decompression failure.
 pub fn decode_payload(buf: &[u8], raw: &RawFrame) -> Result<Vec<u8>, FrameError> {
+    decode_payload_with_dict(buf, raw, &[])
+}
+
+/// Like [`decode_payload`], but decompresses against the shared LZSS
+/// dictionary the frame was written with
+/// ([`write_coded_frame_with_dict`]). The CRC covers the compressed bytes
+/// and is dictionary-independent, so corruption detection is identical.
+///
+/// # Errors
+///
+/// Returns [`FrameError::CrcMismatch`] or a decompression failure.
+pub fn decode_payload_with_dict(
+    buf: &[u8],
+    raw: &RawFrame,
+    dict: &[u8],
+) -> Result<Vec<u8>, FrameError> {
     let compressed = &buf[raw.payload.clone()];
     let computed = crc32(compressed);
     if computed != raw.crc {
@@ -200,7 +231,7 @@ pub fn decode_payload(buf: &[u8], raw: &RawFrame) -> Result<Vec<u8>, FrameError>
             computed,
         });
     }
-    lzss::decompress(compressed).map_err(FrameError::Payload)
+    lzss::decompress_with_dict(dict, compressed).map_err(FrameError::Payload)
 }
 
 /// Reads the frame starting at `*pos`, advancing `*pos` past it.
@@ -308,6 +339,33 @@ mod tests {
         assert_eq!(f.kind, 9);
         assert_eq!(f.payload, b"target");
         assert_eq!(off + len, buf.len());
+    }
+
+    #[test]
+    fn dict_frame_roundtrip_and_corruption_detected() {
+        let dict: Vec<u8> = b"column column column ".repeat(40);
+        let payload: Vec<u8> = b"column ".repeat(30);
+        let mut buf = Vec::new();
+        write_coded_frame_with_dict(&mut buf, 2, 2, &dict, &payload);
+        let mut plain = Vec::new();
+        write_coded_frame(&mut plain, 2, 2, &payload);
+        assert!(buf.len() < plain.len(), "dict compresses similar payloads");
+        let raw = peek_frame(&buf, 0, true).unwrap();
+        assert_eq!(
+            decode_payload_with_dict(&buf, &raw, &dict).unwrap(),
+            payload
+        );
+        for i in 2..buf.len() {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[i] ^= 1 << bit;
+                let damaged = match peek_frame(&bad, 0, true) {
+                    Err(_) => true,
+                    Ok(r) => decode_payload_with_dict(&bad, &r, &dict).is_err(),
+                };
+                assert!(damaged, "flip at byte {i} bit {bit} went undetected");
+            }
+        }
     }
 
     #[test]

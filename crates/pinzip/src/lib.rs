@@ -24,14 +24,19 @@
 #![warn(missing_docs)]
 
 pub mod binser;
+pub mod column;
 pub mod crc32;
 pub mod frame;
 pub mod lzss;
 pub mod varint;
 
+pub use column::ColumnError;
 pub use crc32::{crc32, crc32_bytewise};
 pub use frame::{
-    decode_payload, peek_frame, read_coded_frame, read_frame, read_frame_at, write_coded_frame,
-    write_frame, CodedFrame, Frame, FrameError, RawFrame,
+    decode_payload, decode_payload_with_dict, peek_frame, read_coded_frame, read_frame,
+    read_frame_at, write_coded_frame, write_coded_frame_with_dict, write_frame, CodedFrame, Frame,
+    FrameError, RawFrame,
 };
-pub use lzss::{compress, decompress, DecodeError};
+pub use lzss::{
+    compress, compress_with_dict, decompress, decompress_with_dict, DecodeError, DICT_MAX,
+};

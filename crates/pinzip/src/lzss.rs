@@ -6,6 +6,14 @@
 //! `offset_hi:4 | len-MIN_MATCH:4` then `offset_lo:8`). Offsets are 1-based
 //! distances back into the already-decoded output, at most `WINDOW` (4096).
 //! The compressed stream is prefixed with the varint-coded original length.
+//!
+//! [`compress_with_dict`] / [`decompress_with_dict`] additionally seed the
+//! sliding window with a shared **dictionary**: matches may reach back into
+//! the dictionary bytes as if they had just been emitted, so short buffers
+//! that resemble the dictionary compress as well as if they were appended
+//! to one long stream. Both sides must present the same dictionary; only
+//! its last [`DICT_MAX`] bytes participate (the window cannot reach
+//! further back anyway).
 
 use std::fmt;
 
@@ -13,6 +21,9 @@ use crate::varint;
 
 /// Sliding-window size (12-bit offsets).
 const WINDOW: usize = 1 << 12;
+/// Longest usable dictionary: the window depth. Longer dictionaries are
+/// trimmed to their last `DICT_MAX` bytes.
+pub const DICT_MAX: usize = WINDOW;
 /// Shortest match worth encoding (a match token costs 2 bytes + control bit).
 const MIN_MATCH: usize = 3;
 /// Longest encodable match (4-bit length field).
@@ -23,11 +34,35 @@ const MAX_PROBES: usize = 32;
 /// Compresses `input`, returning a self-describing buffer for
 /// [`decompress`].
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    compress_seeded(input, 0)
+}
+
+/// Compresses `input` with the window pre-seeded by `dict` (the shared
+/// dictionary): match offsets may reach back into the dictionary bytes.
+/// Only the last [`DICT_MAX`] bytes of `dict` participate. The output
+/// decodes only with [`decompress_with_dict`] under the same dictionary;
+/// an empty dictionary degenerates to plain [`compress`].
+pub fn compress_with_dict(dict: &[u8], input: &[u8]) -> Vec<u8> {
+    let dict = &dict[dict.len().saturating_sub(DICT_MAX)..];
+    if dict.is_empty() {
+        return compress(input);
+    }
+    let mut ctx = Vec::with_capacity(dict.len() + input.len());
+    ctx.extend_from_slice(dict);
+    ctx.extend_from_slice(input);
+    compress_seeded(&ctx, dict.len())
+}
+
+/// The shared encoder: compresses `input[start..]` with `input[..start]`
+/// as an already-seen prefix (hash chains are seeded over it, and match
+/// offsets may point into it). `start = 0` is plain compression.
+fn compress_seeded(input: &[u8], start: usize) -> Vec<u8> {
+    let body_len = input.len() - start;
     // Worst case (incompressible input) is all literals: one control byte
     // per 8 tokens plus the varint length header. Reserving that up front
     // means the output vector never reallocates, whatever the input.
-    let mut out = Vec::with_capacity(input.len() + input.len() / 8 + 11);
-    varint::write_u64(&mut out, input.len() as u64);
+    let mut out = Vec::with_capacity(body_len + body_len / 8 + 11);
+    varint::write_u64(&mut out, body_len as u64);
 
     // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
     // position with the same hash as position i.
@@ -45,6 +80,17 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut group_ctrl_pos = 0usize;
     let mut group_bits = 0u8;
     let mut group_len = 0u8;
+
+    // Seed the chains over the dictionary prefix without emitting tokens,
+    // so the first body bytes can match straight into it.
+    while i < start {
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input, i);
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+        i += 1;
+    }
 
     macro_rules! begin_group_if_needed {
         () => {
@@ -162,19 +208,48 @@ impl std::error::Error for DecodeError {}
 ///
 /// Returns a [`DecodeError`] on truncated or corrupt input.
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    decompress_seeded(input, &[])
+}
+
+/// Decompresses a buffer produced by [`compress_with_dict`] under the
+/// same dictionary. Only the last [`DICT_MAX`] bytes of `dict`
+/// participate, mirroring the encoder.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn decompress_with_dict(dict: &[u8], input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let dict = &dict[dict.len().saturating_sub(DICT_MAX)..];
+    decompress_seeded(input, dict)
+}
+
+/// The shared decoder: output is seeded with `dict` (match offsets may
+/// reach into it), which is stripped from the returned buffer.
+fn decompress_seeded(input: &[u8], dict: &[u8]) -> Result<Vec<u8>, DecodeError> {
     let mut pos = 0usize;
-    let total = varint::read_u64(input, &mut pos).ok_or(DecodeError::BadHeader)? as usize;
+    let body = varint::read_u64(input, &mut pos).ok_or(DecodeError::BadHeader)? as usize;
     // The declared length is untrusted input: a corrupt header must not
     // trigger a huge up-front allocation. A compressed token produces at
-    // most MAX_MATCH bytes, so any stream shorter than total/MAX_MATCH
+    // most MAX_MATCH bytes, so any stream shorter than body/MAX_MATCH
     // tokens is truncated anyway; reject such headers before allocating.
-    if total > input.len().saturating_mul(MAX_MATCH) {
+    if body > input.len().saturating_mul(MAX_MATCH) {
         return Err(DecodeError::Truncated);
     }
+    let total = dict.len() + body;
     let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(dict);
     while out.len() < total {
         let ctrl = *input.get(pos).ok_or(DecodeError::Truncated)?;
         pos += 1;
+        if ctrl == 0 {
+            // All eight tokens are literals: copy them in one slice move
+            // (each remaining token produces exactly one byte).
+            let n = 8.min(total - out.len());
+            let lit = input.get(pos..pos + n).ok_or(DecodeError::Truncated)?;
+            out.extend_from_slice(lit);
+            pos += n;
+            continue;
+        }
         for bit in 0..8 {
             if out.len() >= total {
                 break;
@@ -190,9 +265,16 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
                     return Err(DecodeError::BadOffset);
                 }
                 let start = out.len() - dist;
-                for k in 0..len {
-                    let byte = out[start + k];
-                    out.push(byte);
+                if dist >= len {
+                    // Non-overlapping: one bulk copy out of the window.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping (RLE-style) matches must copy bytewise —
+                    // each byte may read one this match just produced.
+                    for k in 0..len {
+                        let byte = out[start + k];
+                        out.push(byte);
+                    }
                 }
             } else {
                 let b = *input.get(pos).ok_or(DecodeError::Truncated)?;
@@ -201,7 +283,11 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
             }
         }
     }
-    Ok(out)
+    if dict.is_empty() {
+        Ok(out)
+    } else {
+        Ok(out.split_off(dict.len()))
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +376,76 @@ mod tests {
     }
 
     #[test]
+    fn dict_roundtrip_and_shrinks_similar_data() {
+        let dict: Vec<u8> = b"kind tid addr value kind tid addr value "
+            .iter()
+            .cycle()
+            .take(2048)
+            .copied()
+            .collect();
+        let data: Vec<u8> = b"kind tid addr value "
+            .iter()
+            .cycle()
+            .take(400)
+            .copied()
+            .collect();
+        let with = compress_with_dict(&dict, &data);
+        let without = compress(&data);
+        assert_eq!(decompress_with_dict(&dict, &with).unwrap(), data);
+        assert!(
+            with.len() < without.len(),
+            "dict should help similar data: {} vs {}",
+            with.len(),
+            without.len()
+        );
+    }
+
+    #[test]
+    fn empty_dict_is_plain_compression() {
+        let data = b"plain old data plain old data";
+        assert_eq!(compress_with_dict(&[], data), compress(data));
+        let c = compress(data);
+        assert_eq!(decompress_with_dict(&[], &c).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn oversized_dict_trims_to_window() {
+        let mut dict = vec![0u8; DICT_MAX + 500];
+        dict[DICT_MAX + 100..].fill(7);
+        let data = vec![7u8; 300];
+        let c = compress_with_dict(&dict, &data);
+        assert_eq!(decompress_with_dict(&dict, &c).unwrap(), data);
+        // Only the tail participates: the same tail alone decodes it too.
+        let tail = &dict[dict.len() - DICT_MAX..];
+        assert_eq!(decompress_with_dict(tail, &c).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_dict_does_not_silently_succeed() {
+        let dict: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        // Data equal to a dict slice compresses to matches *into* the dict.
+        let data: Vec<u8> = dict[100..400].to_vec();
+        let c = compress_with_dict(&dict, &data);
+        assert!(c.len() < data.len() / 2, "encoder matched into the dict");
+        let wrong = vec![0u8; 1024];
+        // Decoding under a different dictionary either errors or yields
+        // different bytes — never the original data by accident.
+        if let Ok(got) = decompress_with_dict(&wrong, &c) {
+            assert_ne!(got, data);
+        }
+    }
+
+    #[test]
+    fn dict_decompress_never_panics_on_truncation() {
+        let dict = vec![42u8; 512];
+        let data: Vec<u8> = b"abcabcabc".iter().cycle().take(300).copied().collect();
+        let c = compress_with_dict(&dict, &data);
+        for len in 0..c.len() {
+            let _ = decompress_with_dict(&dict, &c[..len]); // may Err, must not panic
+        }
+    }
+
+    #[test]
     fn corrupt_offset_detected() {
         // Hand-built stream: declared length 3, one match token with a
         // 1-based distance into nothing.
@@ -306,10 +462,27 @@ mod tests {
 mod proptests {
     use proptest::prelude::*;
 
-    use super::{compress, decompress};
+    use super::{compress, compress_with_dict, decompress, decompress_with_dict};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn dict_roundtrip_arbitrary(
+            dict in proptest::collection::vec(any::<u8>(), 0..2048),
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let c = compress_with_dict(&dict, &data);
+            prop_assert_eq!(decompress_with_dict(&dict, &c).expect("valid stream"), data);
+        }
+
+        #[test]
+        fn dict_decompress_never_panics_on_garbage(
+            dict in proptest::collection::vec(any::<u8>(), 0..512),
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let _ = decompress_with_dict(&dict, &data); // may Err, must not panic
+        }
 
         #[test]
         fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {

@@ -25,6 +25,13 @@ pub fn write_i64(out: &mut Vec<u8>, v: i64) {
 ///
 /// Returns `None` on truncated input or a value overflowing 64 bits.
 pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    // Fast path: values below 128 (the overwhelming majority in event
+    // columns — thread ids, small run lengths, deltas) are one byte.
+    let byte = *buf.get(*pos)?;
+    if byte & 0x80 == 0 {
+        *pos += 1;
+        return Some(u64::from(byte));
+    }
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {

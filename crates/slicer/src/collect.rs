@@ -12,8 +12,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use minivm::{Program, ToolControl};
-use pinplay::{relog, ExclusionRegion, Pinball, RelogStats, Replayer};
+use minivm::{Program, Snapshot, ToolControl};
+use pinplay::{
+    relog, ContainerView, EventLog, ExclusionRegion, Pinball, RecordedExit, RelogStats, Replayer,
+};
 use repro_cfg::Cfg;
 
 use crate::control::ControlTracker;
@@ -91,6 +93,30 @@ pub struct SliceSession {
     metrics: SliceMetrics,
 }
 
+/// Where a collection pass reads its replay from: the event log (shared,
+/// never copied per pass — every replayer built from one source clones an
+/// `Arc`, not the events) plus the small entry state.
+struct ReplaySource<'a> {
+    snapshot: &'a Snapshot,
+    syscalls: &'a [Vec<i64>],
+    exit: RecordedExit,
+    log: EventLog,
+    threads: usize,
+    instructions: u64,
+}
+
+impl ReplaySource<'_> {
+    fn replayer(&self, program: &Arc<Program>) -> Replayer {
+        Replayer::from_parts(
+            Arc::clone(program),
+            self.snapshot,
+            self.syscalls,
+            self.exit,
+            self.log.clone(),
+        )
+    }
+}
+
 /// Builds one trace record from a replay event (shared by the serial and
 /// parallel collectors).
 fn make_record(
@@ -139,6 +165,44 @@ impl SliceSession {
         pinball: &Pinball,
         options: SlicerOptions,
     ) -> SliceSession {
+        // One Arc over the events, shared by every replay pass and every
+        // parallel shard — the single copy here is the only one made.
+        let source = ReplaySource {
+            snapshot: &pinball.snapshot,
+            syscalls: &pinball.syscalls,
+            exit: pinball.exit,
+            log: EventLog::Owned(Arc::new(pinball.events.clone())),
+            threads: pinball_thread_count(pinball),
+            instructions: pinball.logged_instructions(),
+        };
+        SliceSession::collect_source(program, source, options)
+    }
+
+    /// As [`SliceSession::collect`], but reading the replay log straight
+    /// out of a zero-copy [`ContainerView`] — no owned event vector is
+    /// ever materialized; every pass and shard borrows the one columnar
+    /// log the v4 load produced.
+    pub fn collect_view(
+        program: Arc<Program>,
+        view: &ContainerView,
+        options: SlicerOptions,
+    ) -> SliceSession {
+        let source = ReplaySource {
+            snapshot: &view.snapshot,
+            syscalls: &view.syscalls,
+            exit: view.exit,
+            log: EventLog::Columns(Arc::clone(&view.events)),
+            threads: view.events.thread_count(),
+            instructions: view.instructions(),
+        };
+        SliceSession::collect_source(program, source, options)
+    }
+
+    fn collect_source(
+        program: Arc<Program>,
+        source: ReplaySource<'_>,
+        options: SlicerOptions,
+    ) -> SliceSession {
         let collect_start = Instant::now();
         let mut cfg = Cfg::build(&program);
 
@@ -146,7 +210,7 @@ impl SliceSession {
         // CFG — and therefore the post-dominators the control-dependence
         // detection uses — reflects the whole region.
         if options.refine_indirect && options.two_pass_discovery {
-            let mut replayer = Replayer::new(Arc::clone(&program), pinball);
+            let mut replayer = source.replayer(&program);
             let mut observe = |ev: &minivm::InsEvent| {
                 if ev.instr.is_indirect_jump() {
                     cfg.observe_indirect(ev.pc, ev.next_pc);
@@ -157,16 +221,15 @@ impl SliceSession {
         }
 
         // Pass 2: full collection, sharded by thread when safe and worth it.
-        let n_threads = pinball_thread_count(pinball);
-        let shards = n_threads.min(MAX_COLLECTORS);
+        let shards = source.threads.min(MAX_COLLECTORS);
         let parallel_safe = !options.refine_indirect || options.two_pass_discovery;
         let use_parallel = options.parallel
             && parallel_safe
             && shards > 1
-            && pinball.logged_instructions() >= options.parallel_threshold as u64;
+            && source.instructions >= options.parallel_threshold as u64;
 
         let (records, pairs, cfg) = if use_parallel {
-            let (records, pairs) = collect_parallel(&program, pinball, &cfg, &options, shards);
+            let (records, pairs) = collect_parallel(&program, &source, &cfg, &options, shards);
             (records, pairs, cfg)
         } else {
             let mut tracker = ControlTracker::new(cfg, options.refine_indirect);
@@ -178,7 +241,7 @@ impl SliceSession {
                     records.push(make_record(&program2, &mut tracker, &mut detector, ev));
                     ToolControl::Continue
                 };
-                let mut replayer = Replayer::new(Arc::clone(&program), pinball);
+                let mut replayer = source.replayer(&program);
                 replayer.run(&mut collect);
             }
             (records, detector.finish(), tracker.into_cfg())
@@ -325,7 +388,7 @@ fn pinball_thread_count(pinball: &Pinball) -> usize {
 /// (pair state is per-thread), so their union is order-independent.
 fn collect_parallel(
     program: &Arc<Program>,
-    pinball: &Pinball,
+    source: &ReplaySource<'_>,
     cfg: &Cfg,
     options: &SlicerOptions,
     shards: usize,
@@ -351,7 +414,7 @@ fn collect_parallel(
                 (records, detector.finish())
             }));
         }
-        let mut replayer = Replayer::new(Arc::clone(program), pinball);
+        let mut replayer = source.replayer(program);
         replayer.run_streaming(&senders);
         drop(senders); // disconnect: collectors drain and finish
 
@@ -462,6 +525,42 @@ mod parallel_collection_tests {
         assert_eq!(s_slice.records, p_slice.records);
         assert_eq!(s_slice.data_edges, p_slice.data_edges);
         assert_eq!(s_slice.control_edges, p_slice.control_edges);
+    }
+
+    /// Collecting straight from a zero-copy v4 [`ContainerView`] must
+    /// reproduce the owned-pinball collection exactly — every trace
+    /// record, every pair, and every slice — in both the serial and the
+    /// parallel pipelines.
+    #[test]
+    fn view_collection_matches_pinball_collection() {
+        let (program, pinball) = record_mt();
+        let container = pinplay::PinballContainer::new(pinball.clone());
+        let bytes = container.to_bytes().unwrap();
+        let view = ContainerView::from_bytes(&bytes).unwrap();
+
+        for parallel in [false, true] {
+            let opts = SlicerOptions {
+                parallel,
+                parallel_threshold: 0,
+                ..SlicerOptions::default()
+            };
+            let owned = SliceSession::collect(Arc::clone(&program), &pinball, opts);
+            let viewed = SliceSession::collect_view(Arc::clone(&program), &view, opts);
+            assert_eq!(
+                owned.metrics().collector_threads,
+                viewed.metrics().collector_threads,
+                "both pipelines shard the same way (parallel={parallel})"
+            );
+            assert_eq!(owned.trace().records(), viewed.trace().records());
+            assert_eq!(owned.pairs(), viewed.pairs());
+
+            let fail = owned.failure_record().unwrap().id;
+            let a = owned.slice(Criterion::Record { id: fail });
+            let b = viewed.slice(Criterion::Record { id: fail });
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.data_edges, b.data_edges);
+            assert_eq!(a.control_edges, b.control_edges);
+        }
     }
 
     /// Online-only CFG refinement (no discovery pass) is the one
