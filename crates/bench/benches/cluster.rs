@@ -1,0 +1,208 @@
+//! Fleet latency: cache-peer forwarding, local peer-cache repeats, and
+//! the digest-aware one-hop path, against cold local recompute.
+//!
+//! Boots a real 3-node TCP fleet on loopback, uploads one hot pinball to
+//! its ring owner, warms the owner's caches, and measures the paths a
+//! fleet answer can take: a non-owner forwarding to the owner's warm
+//! cache (first ask), the non-owner's own peer cache (repeat ask), and a
+//! digest-aware [`FleetClient`] asking the owner directly (zero forward
+//! hops). Medians land in `target/bench/cluster.json` for the CI trend
+//! line; the hard gate lives in `tests/cluster_speedup.rs`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::exp::record_needle;
+use criterion::{criterion_group, criterion_main, Criterion as Bencher};
+use drdebug::DebugSession;
+use drserve::{connect, FleetClient, ServeConfig, Server, ServerHandle, SliceAt};
+use slicer::{Criterion, RecordId, SliceOptions};
+
+const ITERS: u64 = 2_000;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Node {
+    server: Server,
+    handle: ServerHandle,
+}
+
+impl Node {
+    fn addr(&self) -> String {
+        self.handle.addr().to_string()
+    }
+}
+
+fn fleet() -> Vec<Node> {
+    let base = ServeConfig {
+        shards: 2,
+        max_sessions: 16,
+        gossip_interval: Duration::from_millis(50),
+        peer_fail_after: Duration::from_millis(600),
+        ..ServeConfig::default()
+    };
+    let first = Server::new(ServeConfig {
+        cluster: true,
+        ..base.clone()
+    });
+    let handle = first.listen("127.0.0.1:0").expect("bind node 0");
+    let seed = handle.addr().to_string();
+    let mut nodes = vec![Node {
+        server: first,
+        handle,
+    }];
+    for i in 1..3 {
+        let server = Server::new(ServeConfig {
+            peers: vec![seed.clone()],
+            ..base.clone()
+        });
+        let handle = server
+            .listen("127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind node {i}: {e}"));
+        nodes.push(Node { server, handle });
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for (i, node) in nodes.iter().enumerate() {
+        while node.server.stats().cluster.nodes_alive < 3 {
+            assert!(
+                Instant::now() < deadline,
+                "node {i}: fleet failed to converge"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    nodes
+}
+
+fn at(id: RecordId) -> SliceAt {
+    SliceAt::Criterion {
+        criterion: Criterion::Record { id },
+    }
+}
+
+fn bench_cluster(c: &mut Bencher) {
+    let (program, pinball) = record_needle(ITERS);
+    let hot_id = {
+        let mut local = DebugSession::new(Arc::clone(&program), pinball.clone());
+        local.slicer().failure_record().expect("trace non-empty").id
+    };
+
+    // Cold: a fresh single node computes the hot slice from scratch.
+    let cold = median_of(3, || {
+        let server = Server::new(ServeConfig::default());
+        let mut client = server.loopback_client();
+        let up = client.upload(&program, &pinball).expect("upload");
+        let session = client.open(up.digest).expect("open");
+        client
+            .compute_slice(session, at(hot_id), SliceOptions::default())
+            .expect("slice");
+    });
+
+    let nodes = fleet();
+    let mut fc = FleetClient::connect(&nodes[0].addr()).expect("fleet connect");
+    let up = fc.upload(&program, &pinball).expect("upload");
+    let owner_addr = fc.owner_of(up.digest);
+    let owner_ix = nodes
+        .iter()
+        .position(|n| n.addr() == owner_addr)
+        .expect("owner in fleet");
+    let non_owners: Vec<usize> = (0..nodes.len()).filter(|&i| i != owner_ix).collect();
+
+    // Warm the owner (this is the fleet's one and only index build).
+    let warm_session = fc.open(up.digest).expect("open at owner");
+    fc.compute_slice(&warm_session, at(hot_id), SliceOptions::default())
+        .expect("warm owner");
+
+    // Forward: first ask at each non-owner hits the owner's warm cache
+    // over the wire. One sample per node — the answer caches locally —
+    // so record the slower of the two.
+    let mut forward = Duration::ZERO;
+    let mut repeat_client = None;
+    for &ix in &non_owners {
+        let mut client = connect(nodes[ix].addr()).expect("connect non-owner");
+        let session = client.open(up.digest).expect("open");
+        let started = Instant::now();
+        client
+            .compute_slice(session, at(hot_id), SliceOptions::default())
+            .expect("forwarded slice");
+        forward = forward.max(started.elapsed());
+        repeat_client = Some((client, session));
+    }
+    let (mut bc, bs) = repeat_client.expect("at least one non-owner");
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+
+    // Repeat ask at a non-owner: answered from its local peer cache.
+    group.bench_function("peer-cache-repeat", |b| {
+        b.iter(|| {
+            let reply = bc
+                .compute_slice(bs, at(hot_id), SliceOptions::default())
+                .expect("repeat");
+            assert!(reply.cached);
+            reply.slice.len()
+        })
+    });
+
+    // Digest-aware client: straight to the owner, zero forward hops.
+    group.bench_function("one-hop-owner-hit", |b| {
+        b.iter(|| {
+            let reply = fc
+                .compute_slice(&warm_session, at(hot_id), SliceOptions::default())
+                .expect("owner hit");
+            assert!(reply.cached);
+            reply.slice.len()
+        })
+    });
+    group.finish();
+
+    let peer_cache = median_of(20, || {
+        bc.compute_slice(bs, at(hot_id), SliceOptions::default())
+            .expect("repeat");
+    });
+    let one_hop = median_of(20, || {
+        fc.compute_slice(&warm_session, at(hot_id), SliceOptions::default())
+            .expect("owner hit");
+    });
+    fc.close(&warm_session).expect("close");
+
+    let builds: u64 = nodes
+        .iter()
+        .map(|n| n.server.stats().index_cache.misses)
+        .sum();
+    let forwards: u64 = nodes
+        .iter()
+        .map(|n| n.server.stats().cluster.forwards)
+        .sum();
+
+    let report = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"workload\": \"four_thread_needle\",\n  \
+         \"iters\": {ITERS},\n  \"nodes\": 3,\n  \
+         \"slice_cold_local_ns\": {},\n  \"forward_warm_ns\": {},\n  \
+         \"peer_cache_hit_ns\": {},\n  \"one_hop_owner_hit_ns\": {},\n  \
+         \"forward_speedup\": {:.2},\n  \"fleet_index_builds\": {builds},\n  \
+         \"fleet_forwards\": {forwards}\n}}\n",
+        cold.as_nanos(),
+        forward.as_nanos(),
+        peer_cache.as_nanos(),
+        one_hop.as_nanos(),
+        cold.as_secs_f64() / forward.as_secs_f64().max(1e-12),
+    );
+    match bench::report::write_report("cluster.json", &report) {
+        Ok(path) => println!("cluster bench report written to {}", path.display()),
+        Err(e) => eprintln!("cluster bench report not written: {e}"),
+    }
+}
+
+criterion_group!(cluster, bench_cluster);
+criterion_main!(cluster);

@@ -98,6 +98,24 @@ const HEADLINES: &[(&str, &str, &str, &str)] = &[
         "v4 mapped container open",
         "ns",
     ),
+    (
+        "cluster",
+        "forward_speedup",
+        "Fleet forward speedup (warm owner vs cold recompute)",
+        "x",
+    ),
+    (
+        "cluster",
+        "peer_cache_hit_ns",
+        "Fleet peer-cache repeat latency",
+        "ns",
+    ),
+    (
+        "cluster",
+        "fleet_index_builds",
+        "DepIndex builds fleet-wide (hot digest)",
+        "builds",
+    ),
 ];
 
 /// Splits the top level of a JSON object into `(key, raw value text)`

@@ -18,6 +18,12 @@
 //! # `drdebug_cli needle --tail <stream>` in another terminal)
 //! cargo run --release -p bench --bin drserve_cli -- stream --addr 127.0.0.1:7070 \
 //!     --stream 42 --chunks 8 --delay-ms 300
+//!
+//! # a 3-node fleet: one bootstrap, two joiners, then inspect the ring
+//! cargo run --release -p bench --bin drserve_cli -- serve --addr 127.0.0.1:7070 --cluster
+//! cargo run --release -p bench --bin drserve_cli -- serve --addr 127.0.0.1:7071 --peers 127.0.0.1:7070
+//! cargo run --release -p bench --bin drserve_cli -- serve --addr 127.0.0.1:7072 --peers 127.0.0.1:7070
+//! cargo run --release -p bench --bin drserve_cli -- cluster --addr 127.0.0.1:7070
 //! ```
 //!
 //! The client records the four-thread needle workload, uploads it
@@ -32,8 +38,8 @@
 use std::io::{Read, Write};
 
 use bench::exp::record_needle;
-use drserve::{Client, ServeConfig, Server, SliceAt};
-use pinplay::{PinballContainer, StreamWriter, DEFAULT_CHECKPOINT_INTERVAL};
+use drserve::{Client, FleetClient, ServeConfig, Server, SliceAt};
+use pinplay::{PinballContainer, PinballDigest, StreamWriter, DEFAULT_CHECKPOINT_INTERVAL};
 use slicer::SliceOptions;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -50,6 +56,18 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) ->
 }
 
 fn config_from(args: &[String]) -> ServeConfig {
+    // `--peers a,b,c` seeds the gossip mesh; `--advertise` is the address
+    // other fleet members dial back (defaults to the bound address).
+    // `--cluster` turns fleet mode on with no seeds — the bootstrap node.
+    let peers: Vec<String> = flag_value(args, "--peers")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
     ServeConfig {
         max_sessions: parsed_flag(args, "--max-sessions", 8),
         cache_capacity: parsed_flag(args, "--cache", 256),
@@ -58,6 +76,9 @@ fn config_from(args: &[String]) -> ServeConfig {
         dispatchers: parsed_flag(args, "--dispatchers", 0),
         queue_capacity: parsed_flag(args, "--queue", 512),
         batch_max: parsed_flag(args, "--batch", 32),
+        cluster: args.iter().any(|a| a == "--cluster"),
+        advertise: flag_value(args, "--advertise").map(str::to_string),
+        peers,
         ..ServeConfig::default()
     }
 }
@@ -212,11 +233,25 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            println!(
-                "[drserve] listening on {} ({} worker shards)",
-                handle.addr(),
-                server.service().shard_count()
-            );
+            let config = config_from(&args);
+            if config.cluster || !config.peers.is_empty() {
+                println!(
+                    "[drserve] listening on {} ({} worker shards; fleet mode, seeds: {})",
+                    handle.addr(),
+                    server.service().shard_count(),
+                    if config.peers.is_empty() {
+                        "none — bootstrap".to_string()
+                    } else {
+                        config.peers.join(", ")
+                    }
+                );
+            } else {
+                println!(
+                    "[drserve] listening on {} ({} worker shards)",
+                    handle.addr(),
+                    server.service().shard_count()
+                );
+            }
             // Serve until the process is killed.
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -258,6 +293,67 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("cluster") => {
+            let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+            let mut fc = match FleetClient::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot reach fleet via {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("--- peer map (via {addr}) ---");
+            for node in fc.nodes() {
+                println!(
+                    "{:<21} {:<5} incarnation {:<20} heartbeat {:<8} pinballs {}",
+                    node.addr,
+                    if node.alive { "alive" } else { "dead" },
+                    node.incarnation,
+                    node.heartbeat,
+                    node.pinballs,
+                );
+            }
+            println!("--- ring shares ---");
+            for (node, share) in fc.ring().shares() {
+                println!("{node:<21} {:>5.1}% of the keyspace", share * 100.0);
+            }
+            // `--digest <hex>` prints which node owns that pinball.
+            if let Some(raw) = flag_value(&args, "--digest") {
+                let raw = raw.trim_start_matches("0x");
+                match u64::from_str_radix(raw, 16) {
+                    Ok(bits) => {
+                        let digest = PinballDigest(bits);
+                        println!(
+                            "--- ownership ---\n{digest} is owned by {}",
+                            fc.owner_of(digest)
+                        );
+                    }
+                    Err(e) => eprintln!("error: --digest wants hex ({e})"),
+                }
+            }
+            match fc.stats_all() {
+                Ok(all) => {
+                    println!("--- per-node cache stats ---");
+                    for (node, stats) in all {
+                        println!(
+                            "{node:<21} slice cache {}/{} hits ({}% on {} entries), \
+                             index builds {}, forwards {}, peer-cache hits {}, \
+                             redirects {}, peer fetches {}",
+                            stats.cache.hits,
+                            stats.cache.hits + stats.cache.misses,
+                            stats.cache.hit_rate_percent(),
+                            stats.cache.entries,
+                            stats.index_cache.misses,
+                            stats.cluster.forwards,
+                            stats.cluster.peer_cache_hits,
+                            stats.cluster.redirects,
+                            stats.cluster.peer_fetches,
+                        );
+                    }
+                }
+                Err(e) => eprintln!("stats: {e}"),
+            }
+        }
         Some("demo") => {
             let clients: usize = parsed_flag(&args, "--clients", 4);
             let server = Server::new(config_from(&args));
@@ -282,8 +378,10 @@ fn main() {
             eprintln!(
                 "usage: drserve_cli serve [--addr <host:port>] [--max-sessions <n>] [--cache <n>]\n\
                  \x20                     [--shards <n>] [--dispatchers <n>] [--queue <n>] [--batch <n>]\n\
+                 \x20                     [--peers <addr,...>] [--advertise <host:port>] [--cluster]\n\
                  \x20      drserve_cli client [--addr <host:port>] [--iters <n>]\n\
                  \x20      drserve_cli client stats [--addr <host:port>]\n\
+                 \x20      drserve_cli cluster [--addr <host:port>] [--digest <hex>]\n\
                  \x20      drserve_cli stream [--addr <host:port>] [--iters <n>] [--chunks <n>]\n\
                  \x20                         [--delay-ms <n>] [--stream <id>]\n\
                  \x20      drserve_cli demo [--clients <n>] [--iters <n>] [--shards <n>]\n\
@@ -292,7 +390,13 @@ fn main() {
                  own session pool and caches. --queue bounds each shard's admission queue\n\
                  (overload answers Busy with a backlog-scaled retry hint); --batch caps how\n\
                  many queued requests one worker wakeup drains. The stats block printed by\n\
-                 `client stats` and `demo` includes the per-shard breakdown."
+                 `client stats` and `demo` includes the per-shard breakdown.\n\
+                 \n\
+                 Fleet mode: `serve --peers` joins an existing fleet (gossip seeds);\n\
+                 `serve --cluster` bootstraps a seedless first node; `--advertise` is the\n\
+                 address peers dial back when the bind address is not reachable as-is.\n\
+                 `cluster` prints the gossiped peer map, consistent-hash ring shares,\n\
+                 the owner of --digest, and each node's cache/forwarding counters."
             );
             std::process::exit(2);
         }

@@ -1,0 +1,231 @@
+//! Fleet acceptance gate: cache-peer forwarding beats local recompute
+//! and the whole fleet builds the dependence index exactly once.
+//!
+//! The scenario from the issue: 3 nodes, one hot digest owned by node A.
+//! The hot question — the failure slice, whose *compute* is expensive
+//! (trace collection + index build + traversal) but whose *answer* is
+//! small — asked of a non-owner must answer via forwarding to A's warm
+//! caches at least 10× faster than recomputing locally from scratch, and
+//! come back byte-identical to a local [`DebugSession`]. Then 8 clients
+//! fan 8 distinct criteria across all 3 nodes — and the fleet-wide count
+//! of `DepIndex` builds must still be exactly one, because every
+//! non-owner forwards criterion-keyed work to the owner instead of
+//! collecting and indexing its own copy.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::exp::record_needle;
+use drdebug::DebugSession;
+use drserve::{connect, FleetClient, ServeConfig, Server, ServerHandle, SliceAt, WireSlice};
+use minivm::Program;
+use pinplay::Pinball;
+use slicer::{Criterion, RecordId, SliceOptions};
+
+const ITERS: u64 = 3_000;
+const CRITERIA: usize = 8;
+const CLIENTS: usize = 8;
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn median_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Node {
+    server: Server,
+    handle: ServerHandle,
+}
+
+impl Node {
+    fn addr(&self) -> String {
+        self.handle.addr().to_string()
+    }
+}
+
+/// Boots a 3-node TCP fleet and blocks until gossip has melded the mesh.
+fn fleet() -> Vec<Node> {
+    let base = ServeConfig {
+        shards: 2,
+        max_sessions: 16,
+        gossip_interval: Duration::from_millis(50),
+        peer_fail_after: Duration::from_millis(600),
+        ..ServeConfig::default()
+    };
+    let first = Server::new(ServeConfig {
+        cluster: true,
+        ..base.clone()
+    });
+    let handle = first.listen("127.0.0.1:0").expect("bind node 0");
+    let seed = handle.addr().to_string();
+    let mut nodes = vec![Node {
+        server: first,
+        handle,
+    }];
+    for i in 1..3 {
+        let server = Server::new(ServeConfig {
+            peers: vec![seed.clone()],
+            ..base.clone()
+        });
+        let handle = server
+            .listen("127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind node {i}: {e}"));
+        nodes.push(Node { server, handle });
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for (i, node) in nodes.iter().enumerate() {
+        while node.server.stats().cluster.nodes_alive < 3 {
+            assert!(
+                Instant::now() < deadline,
+                "node {i}: fleet failed to converge"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    nodes
+}
+
+/// `CRITERIA` distinct record ids — the failure record (the hot
+/// question) plus early-trace records — each with its locally computed
+/// canonical slice bytes, the truth every fleet answer must match.
+fn local_truth(program: &Arc<Program>, pinball: &Pinball) -> Vec<(RecordId, Vec<u8>)> {
+    let mut local = DebugSession::new(Arc::clone(program), pinball.clone());
+    let records = local.slicer().trace().records();
+    let n = records.len();
+    assert!(n > CRITERIA * 32, "trace too short for {CRITERIA} criteria");
+    let step = n / 32;
+    let mut ids: Vec<RecordId> = vec![records[n - 1].id];
+    ids.extend((1..CRITERIA).map(|i| records[i * step].id));
+    ids.into_iter()
+        .map(|id| {
+            let slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+            (id, WireSlice::from_slice(&slice).canonical_bytes())
+        })
+        .collect()
+}
+
+fn at(id: RecordId) -> SliceAt {
+    SliceAt::Criterion {
+        criterion: Criterion::Record { id },
+    }
+}
+
+#[test]
+fn forwarded_slice_beats_local_recompute_and_fleet_builds_one_index() {
+    let (program, pinball) = record_needle(ITERS);
+    let truth = local_truth(&program, &pinball);
+    let (hot_id, hot_bytes) = (truth[0].0, truth[0].1.clone());
+
+    // Cold baseline: what a node pays to answer the hot question locally
+    // from scratch — fresh server per sample, so the request carries
+    // trace collection, the DepIndex build, and the traversal.
+    let cold = median_of(3, || {
+        let server = Server::new(ServeConfig::default());
+        let mut client = server.loopback_client();
+        let up = client.upload(&program, &pinball).expect("upload");
+        let session = client.open(up.digest).expect("open");
+        let reply = client
+            .compute_slice(session, at(hot_id), SliceOptions::default())
+            .expect("slice");
+        assert!(!reply.cached, "fresh server cannot have this cached");
+    });
+
+    let nodes = fleet();
+    let mut fc = FleetClient::connect(&nodes[0].addr()).expect("fleet connect");
+    let up = fc.upload(&program, &pinball).expect("upload");
+    let owner_addr = fc.owner_of(up.digest);
+    let owner_ix = nodes
+        .iter()
+        .position(|n| n.addr() == owner_addr)
+        .expect("owner in fleet");
+    let non_owners: Vec<usize> = (0..nodes.len()).filter(|&i| i != owner_ix).collect();
+
+    // Warm the owner for every criterion — the fleet's one index build.
+    let session = fc.open(up.digest).expect("open at owner");
+    for (id, expected) in &truth {
+        let reply = fc
+            .compute_slice(&session, at(*id), SliceOptions::default())
+            .expect("warm owner");
+        assert_eq!(&reply.slice.canonical_bytes(), expected);
+    }
+    fc.close(&session).expect("close");
+
+    // The hot question asked of each non-owner: the first ask forwards
+    // to the owner's warm cache. Every sample — even the slowest — must
+    // clear the bar against cold local recompute.
+    let mut slowest = Duration::ZERO;
+    for &ix in &non_owners {
+        let mut client = connect(nodes[ix].addr()).expect("connect non-owner");
+        let session = client.open(up.digest).expect("open (fetch-through)");
+        let started = Instant::now();
+        let reply = client
+            .compute_slice(session, at(hot_id), SliceOptions::default())
+            .expect("forwarded slice");
+        let forwarded = started.elapsed();
+        slowest = slowest.max(forwarded);
+        assert!(!reply.cached, "first ask at node {ix} forwards");
+        assert_eq!(
+            reply.slice.canonical_bytes(),
+            hot_bytes,
+            "forwarded slice differs from the local computation"
+        );
+        // Repeats answer from this node's own peer cache, no wire hop.
+        let forwards_before = nodes[ix].server.stats().cluster.forwards;
+        let repeat = client
+            .compute_slice(session, at(hot_id), SliceOptions::default())
+            .expect("repeat");
+        assert!(repeat.cached, "repeat must hit the local peer cache");
+        assert_eq!(repeat.slice.canonical_bytes(), hot_bytes);
+        assert_eq!(
+            nodes[ix].server.stats().cluster.forwards,
+            forwards_before,
+            "repeat must not forward"
+        );
+        client.close(session).expect("close");
+    }
+    let speedup = cold.as_secs_f64() / slowest.as_secs_f64().max(1e-12);
+    println!(
+        "cold local recompute {cold:?} vs slowest forwarded warm ask {slowest:?}: \
+         {speedup:.1}x (required {REQUIRED_SPEEDUP}x)"
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "forwarding not fast enough: cold {cold:?} / forward {slowest:?} = \
+         {speedup:.1}x, need {REQUIRED_SPEEDUP}x"
+    );
+
+    // Fan out: 8 clients × 8 criteria spread across all 3 nodes.
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let addr = nodes[c % nodes.len()].addr();
+            let truth = &truth;
+            let digest = up.digest;
+            scope.spawn(move || {
+                let mut client = connect(addr).expect("client connect");
+                let session = client.open(digest).expect("open");
+                for (id, expected) in truth {
+                    let reply = client
+                        .compute_slice(session, at(*id), SliceOptions::default())
+                        .expect("fanned slice");
+                    assert_eq!(&reply.slice.canonical_bytes(), expected);
+                }
+                client.close(session).expect("close");
+            });
+        }
+    });
+
+    // The headline invariant: 3 nodes × 8 clients × 8 criteria, and the
+    // dependence index was built exactly once anywhere in the fleet.
+    let builds: u64 = nodes
+        .iter()
+        .map(|n| n.server.stats().index_cache.misses)
+        .sum();
+    assert_eq!(builds, 1, "exactly one DepIndex build fleet-wide");
+}

@@ -461,6 +461,88 @@ impl RelogCache {
         (outcome, false)
     }
 
+    /// Looks up an outcome without installing a build slot, counting a
+    /// hit or miss — the peer-forward path, which obtains outcomes from a
+    /// digest's owner rather than building them here. A slot whose build
+    /// is still in flight counts as a miss.
+    pub fn peek(
+        &self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options_fingerprint: u64,
+    ) -> Option<Arc<RelogOutcome>> {
+        let key = RelogKey {
+            digest,
+            criterion: criterion.into(),
+            options: options_fingerprint,
+        };
+        let slot = {
+            let mut inner = self.inner.lock().expect("relog cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    Some(Arc::clone(&entry.slot))
+                }
+                None => None,
+            }
+        };
+        let found = slot.and_then(|slot| slot.lock().expect("relog slot lock").clone());
+        let mut inner = self.inner.lock().expect("relog cache lock");
+        match &found {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
+        found
+    }
+
+    /// Stores an outcome obtained elsewhere (a forwarded relog answered
+    /// by the digest's owner), evicting LRU entries to stay within
+    /// capacity. Re-inserting an existing key refreshes it.
+    pub fn insert(
+        &self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options_fingerprint: u64,
+        outcome: Arc<RelogOutcome>,
+    ) {
+        let key = RelogKey {
+            digest,
+            criterion: criterion.into(),
+            options: options_fingerprint,
+        };
+        let bytes = outcome.bytes;
+        let mut inner = self.inner.lock().expect("relog cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.map.len() >= self.capacity {
+            // O(entries) scan; capacity is a configuration-sized bound,
+            // not a dataset.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("map non-empty while over capacity");
+            let evicted = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            RelogEntry {
+                slot: Arc::new(Mutex::new(Some(outcome))),
+                bytes,
+                last_used: tick,
+            },
+        );
+    }
+
     /// Counter snapshot for the `Stats` path.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("relog cache lock");

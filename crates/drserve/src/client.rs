@@ -14,11 +14,11 @@ use std::time::Duration;
 
 use minivm::{Pc, Program, Tid};
 use pinplay::{Pinball, PinballContainer, PinballDigest, StreamWriter};
-use slicer::SliceOptions;
+use slicer::{Criterion, SliceOptions};
 
 use crate::proto::{
-    self, RecvError, Request, Response, ServeError, ServeStats, SessionId, SliceAt, WireBreakpoint,
-    WireSlice, WireStop, REQUEST_KIND, RESPONSE_KIND,
+    self, NodeInfo, RecvError, Request, Response, ServeError, ServeStats, SessionId, SliceAt,
+    WireBreakpoint, WireSlice, WireStop, REQUEST_KIND, RESPONSE_KIND,
 };
 
 /// Bounded retry-with-backoff for [`ServeError::Busy`] answers.
@@ -77,6 +77,14 @@ pub enum ClientError {
     /// The server answered with a response that does not match the
     /// request (a protocol bug, not a user error).
     Protocol(String),
+    /// The server is not the owner of the digest under the fleet's
+    /// consistent-hash ring and answered [`Response::Redirect`]: resend
+    /// the request to `addr`. [`crate::FleetClient`] follows these
+    /// automatically.
+    Redirected {
+        /// The owning node's advertised address.
+        addr: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -85,6 +93,7 @@ impl fmt::Display for ClientError {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
             ClientError::Server(e) => write!(f, "server: {e}"),
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Redirected { addr } => write!(f, "redirected to owner {addr}"),
         }
     }
 }
@@ -172,6 +181,19 @@ pub struct RelogReply {
     pub cached: bool,
     /// Server-side handling time, microseconds.
     pub micros: u64,
+}
+
+/// A fleet node's peer map: its own advertised address, the ring's
+/// virtual-node count, and everything it knows about its peers. The
+/// inputs a digest-aware client needs to rebuild the owner ring locally.
+#[derive(Debug, Clone)]
+pub struct PeerMapReply {
+    /// The answering node's advertised address.
+    pub self_addr: String,
+    /// Virtual nodes per member in the fleet's consistent-hash ring.
+    pub virtual_nodes: u64,
+    /// The answering node's view: itself first, then every known peer.
+    pub nodes: Vec<NodeInfo>,
 }
 
 /// Wire-level counters of one client connection: how many exchanges ran
@@ -529,6 +551,130 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
+    /// Fetches the node's peer map — the fleet membership view a
+    /// digest-aware client routes by. A standalone (non-fleet) node
+    /// answers with an empty view.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn peer_map(&mut self) -> Result<PeerMapReply, ClientError> {
+        expect_peer_view(self.call(&Request::PeerMap)?)
+    }
+
+    /// One anti-entropy exchange: offers `view` and returns the node's
+    /// merged view. Used by the gossip thread; exposed for tools that
+    /// want to inject membership (e.g. tests).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn gossip(&mut self, view: Vec<NodeInfo>) -> Result<PeerMapReply, ClientError> {
+        expect_peer_view(self.call(&Request::Gossip { view })?)
+    }
+
+    /// Peer-to-peer slice with a pre-resolved criterion, executed locally
+    /// by the receiver (never re-forwarded). Used by non-owner nodes to
+    /// forward to the digest's owner.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownPinball`] when the receiver does not store
+    /// the digest (the forwarder then pushes the container and retries).
+    pub fn peer_slice(
+        &mut self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options: SliceOptions,
+    ) -> Result<SliceReply, ClientError> {
+        match self.call(&Request::PeerSlice {
+            digest,
+            criterion,
+            options,
+        })? {
+            Response::Slice {
+                slice,
+                cached,
+                micros,
+            } => Ok(SliceReply {
+                slice,
+                cached,
+                micros,
+            }),
+            other => Err(unexpected("Slice", &other)),
+        }
+    }
+
+    /// Peer-to-peer relog with a pre-resolved criterion, executed locally
+    /// by the receiver (never re-forwarded).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::peer_slice`].
+    pub fn peer_relog(
+        &mut self,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options: SliceOptions,
+    ) -> Result<RelogReply, ClientError> {
+        match self.call(&Request::PeerRelog {
+            digest,
+            criterion,
+            options,
+        })? {
+            Response::Relogged {
+                digest,
+                instructions,
+                kept,
+                excluded,
+                cached,
+                micros,
+            } => Ok(RelogReply {
+                digest,
+                instructions,
+                kept,
+                excluded,
+                cached,
+                micros,
+            }),
+            other => Err(unexpected("Relogged", &other)),
+        }
+    }
+
+    /// Peer-to-peer store probe, answered from the receiver's local store
+    /// only (never forwarded) — the transfer-dedupe check a node runs
+    /// before pulling a container from a peer.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn peer_probe(&mut self, digest: PinballDigest) -> Result<bool, ClientError> {
+        match self.call(&Request::PeerProbe { digest })? {
+            Response::Probed { known, .. } => Ok(known),
+            other => Err(unexpected("Probed", &other)),
+        }
+    }
+
+    /// Downloads a stored pinball *with its program* from the receiver's
+    /// local store only (never forwarded) — the peer fetch-through and
+    /// re-warm primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownPinball`] when the receiver does not store
+    /// the digest locally.
+    pub fn fetch_stored(
+        &mut self,
+        digest: PinballDigest,
+    ) -> Result<(Program, Vec<u8>), ClientError> {
+        match self.call(&Request::FetchStored { digest })? {
+            Response::StoredData {
+                program, container, ..
+            } => Ok((program, container)),
+            other => Err(unexpected("StoredData", &other)),
+        }
+    }
+
     /// Opens — or, after a reconnect, resumes — a streaming upload. The
     /// ack's `next_seq` is the high-water mark to resend from; its
     /// `already_have` means `expect_digest` matched a stored pinball and
@@ -717,9 +863,25 @@ fn expect_ack(response: Response) -> Result<StreamAck, ClientError> {
     }
 }
 
+fn expect_peer_view(response: Response) -> Result<PeerMapReply, ClientError> {
+    match response {
+        Response::PeerView {
+            self_addr,
+            virtual_nodes,
+            nodes,
+        } => Ok(PeerMapReply {
+            self_addr,
+            virtual_nodes,
+            nodes,
+        }),
+        other => Err(unexpected("PeerView", &other)),
+    }
+}
+
 fn unexpected(want: &str, got: &Response) -> ClientError {
     match got {
         Response::Error(e) => ClientError::Server(e.clone()),
+        Response::Redirect { addr } => ClientError::Redirected { addr: addr.clone() },
         other => ClientError::Protocol(format!("expected {want}, got {other:?}")),
     }
 }

@@ -1,0 +1,1076 @@
+//! Fleet membership and digest routing: consistent hashing, gossip, and
+//! cache-peer forwarding.
+//!
+//! A single drserve node answers a warm slice in microseconds but pays
+//! the full trace-collection and index-build cost cold — and that warm
+//! state dies at the process boundary. This module makes the warm state
+//! *fleet-wide*: every node knows the **owner** of any pinball digest via
+//! a [`HashRing`] (consistent hashing with virtual nodes, so membership
+//! changes remap only ~1/N of the keyspace), and non-owners forward
+//! digest-keyed work to the owner over the ordinary wire protocol,
+//! caching the canonical answer locally so repeat questions never cross
+//! the wire again. The result: exactly one `DepIndex` build per (pinball,
+//! options) across the whole fleet, no matter which node a client asks.
+//!
+//! **Membership** is a gossiped peer map. Each node starts from seed
+//! addresses ([`crate::ServeConfig::peers`]) and runs periodic
+//! anti-entropy: once per interval it bumps its own heartbeat and
+//! exchanges full views ([`crate::Request::Gossip`] ↔
+//! [`crate::Response::PeerView`]) with one peer, merging by the
+//! incarnation/heartbeat precedence documented on
+//! [`NodeInfo`]. Failure detection is
+//! twofold: a connect or stream error marks the peer dead immediately
+//! (gossip spreads the claim), and a heartbeat that stops progressing
+//! times the peer out. A false positive revives on the next heartbeat
+//! it hears; a node that sees *itself* declared dead bumps its
+//! incarnation, so a restart rejoins cleanly under a fresh identity.
+//!
+//! **Forwarding** reuses [`Client`] + [`RetryPolicy`] over pooled,
+//! timeout-bounded TCP connections — one per peer, shared by the worker
+//! shards and the gossip thread. Forwarded ops are the peer-to-peer
+//! requests (`PeerSlice`, `PeerRelog`, `FetchStored`), which the receiver
+//! always executes locally: transient ring disagreement can cost an extra
+//! hop's *error*, never a forwarding cycle. Every in-flight failure
+//! surfaces as the typed, retryable
+//! [`ServeError::Peer`].
+//!
+//! **Clients** don't have to forward at all: [`FleetClient`] fetches the
+//! peer map once ([`crate::Request::PeerMap`]), builds the same ring, and
+//! sends every digest-keyed request straight to its owner — zero
+//! forwarding hops on the hot path — following
+//! [`Redirect`](crate::Response::Redirect) answers when its map is stale.
+
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant, SystemTime};
+
+use minivm::Program;
+use pinplay::{Pinball, PinballContainer, PinballDigest};
+use slicer::{Criterion, SliceOptions};
+
+use crate::client::{
+    Client, ClientError, PeerMapReply, RelogReply, RetryPolicy, SliceReply, Uploaded,
+};
+use crate::proto::{NodeInfo, RecvError, Response, ServeError, ServeStats, SessionId, SliceAt};
+use crate::server::ServeConfig;
+
+/// SplitMix64 finalizer: a cheap, well-distributed bijection on `u64`.
+/// Used to place both ring points and digests on the ring, so structured
+/// inputs (sequential digests, similar addresses) still spread uniformly.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// FNV-1a over the address bytes — the per-node seed for its ring points.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over pinball digests with virtual nodes.
+///
+/// Each member contributes `virtual_nodes` points at
+/// `mix64(fnv1a(addr) ^ mix64(v))`; a digest is owned by the member whose
+/// point is the first at or clockwise-after `mix64(digest)`. The ring is
+/// a pure function of the sorted member set and the virtual-node count,
+/// so every node (and every [`FleetClient`]) that agrees on membership
+/// agrees on ownership. With `V` virtual nodes the keyspace imbalance is
+/// bounded near `1/N + O(1/√(NV))`, and adding or removing one member
+/// remaps only that member's ~`1/N` share — both pinned by proptests.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring point, index into nodes)`, sorted by point.
+    points: Vec<(u64, u32)>,
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring over `nodes` (deduplicated, order-insensitive) with
+    /// `virtual_nodes` points per member (min 1).
+    pub fn new(mut nodes: Vec<String>, virtual_nodes: usize) -> HashRing {
+        nodes.sort();
+        nodes.dedup();
+        let v = virtual_nodes.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * v);
+        for (ix, addr) in nodes.iter().enumerate() {
+            let base = fnv1a(addr.as_bytes());
+            for vn in 0..v {
+                points.push((mix64(base ^ mix64(vn as u64 + 1)), ix as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, nodes }
+    }
+
+    /// The member that owns `digest`, or `None` on an empty ring.
+    pub fn owner(&self, digest: PinballDigest) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = mix64(digest.0);
+        let ix = self.points.partition_point(|&(p, _)| p < h);
+        let (_, node) = self.points[if ix == self.points.len() { 0 } else { ix }];
+        Some(&self.nodes[node as usize])
+    }
+
+    /// The sorted, deduplicated member list.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Exact keyspace share of every member: the fraction of the `u64`
+    /// circle whose owner lookup lands on it. Computed from ring-arc
+    /// lengths, not sampling, so the balance proptest is deterministic.
+    pub fn shares(&self) -> Vec<(String, f64)> {
+        let mut arc = vec![0u128; self.nodes.len()];
+        if let Some(&(last, _)) = self.points.last() {
+            let mut prev = last;
+            for &(p, node) in &self.points {
+                // Keys in (prev, p] belong to this point; the first point
+                // picks up the wraparound arc from the last one.
+                arc[node as usize] += u128::from(p.wrapping_sub(prev));
+                prev = p;
+            }
+        }
+        self.nodes
+            .iter()
+            .zip(arc)
+            .map(|(n, a)| (n.clone(), a as f64 / 2f64.powi(64)))
+            .collect()
+    }
+}
+
+/// A fresh incarnation nonce: strictly increasing across restarts of the
+/// same address (wall-clock nanoseconds), `max`-combined with any prior
+/// value when refuting a death claim.
+fn fresh_incarnation() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// What the node knows about one peer: its gossiped info plus local
+/// failure-detection state.
+struct PeerEntry {
+    info: NodeInfo,
+    /// When this node last saw evidence of life (direct contact, or a
+    /// merged heartbeat advance). `None` for seeds never heard from.
+    last_heard: Option<Instant>,
+}
+
+/// Membership + ring, mutated together so ownership lookups always see a
+/// ring consistent with the peer map.
+struct Members {
+    peers: HashMap<String, PeerEntry>,
+    ring: HashRing,
+}
+
+impl Members {
+    fn rebuild(&mut self, advertise: &str, virtual_nodes: usize) {
+        let mut alive: Vec<String> = self
+            .peers
+            .values()
+            .filter(|p| p.info.alive)
+            .map(|p| p.info.addr.clone())
+            .collect();
+        alive.push(advertise.to_string());
+        self.ring = HashRing::new(alive, virtual_nodes);
+    }
+}
+
+/// One pooled peer connection, lazily dialed and dropped on any
+/// transport error so the next use re-dials.
+type ConnSlot = Arc<Mutex<Option<Client<TcpStream>>>>;
+
+/// Node-global membership summary for the stats rollup.
+pub(crate) struct ClusterSummary {
+    pub(crate) alive: u64,
+    pub(crate) dead: u64,
+    pub(crate) rounds: u64,
+}
+
+/// This node's view of its fleet: the gossiped peer map, the consistent-
+/// hash ring derived from it, and the pooled peer connections forwarding
+/// rides on. Owned by the [`crate::Service`]; one per process.
+pub struct Cluster {
+    advertise: String,
+    virtual_nodes: usize,
+    gossip_interval: Duration,
+    peer_fail_after: Duration,
+    connect_timeout: Duration,
+    op_timeout: Duration,
+    incarnation: AtomicU64,
+    heartbeat: AtomicU64,
+    gossip_rounds: AtomicU64,
+    members: Mutex<Members>,
+    conns: Mutex<HashMap<String, ConnSlot>>,
+    stop: Arc<AtomicBool>,
+    gossip_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Builds the membership state (seeds start dead-until-heard) and
+    /// spawns the gossip thread. `pinballs` supplies the local store
+    /// summary gossiped in this node's [`NodeInfo`].
+    pub(crate) fn start(
+        advertise: String,
+        seeds: Vec<String>,
+        config: &ServeConfig,
+        pinballs: Box<dyn Fn() -> u64 + Send + Sync>,
+    ) -> Arc<Cluster> {
+        let mut peers = HashMap::new();
+        for seed in seeds {
+            if seed == advertise || seed.is_empty() {
+                continue;
+            }
+            peers.insert(
+                seed.clone(),
+                PeerEntry {
+                    info: NodeInfo {
+                        addr: seed,
+                        incarnation: 0,
+                        heartbeat: 0,
+                        alive: false,
+                        pinballs: 0,
+                    },
+                    last_heard: None,
+                },
+            );
+        }
+        let virtual_nodes = config.virtual_nodes.max(1);
+        let mut members = Members {
+            peers,
+            ring: HashRing::new(Vec::new(), virtual_nodes),
+        };
+        members.rebuild(&advertise, virtual_nodes);
+        let cluster = Arc::new(Cluster {
+            advertise,
+            virtual_nodes,
+            gossip_interval: config.gossip_interval.max(Duration::from_millis(10)),
+            peer_fail_after: config.peer_fail_after.max(Duration::from_millis(50)),
+            connect_timeout: config.peer_connect_timeout.max(Duration::from_millis(10)),
+            op_timeout: config.peer_op_timeout.max(Duration::from_millis(100)),
+            incarnation: AtomicU64::new(fresh_incarnation()),
+            heartbeat: AtomicU64::new(0),
+            gossip_rounds: AtomicU64::new(0),
+            members: Mutex::new(members),
+            conns: Mutex::new(HashMap::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            gossip_thread: Mutex::new(None),
+        });
+        let handle = {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || gossip_loop(&cluster, &pinballs))
+        };
+        *cluster.gossip_thread.lock().expect("gossip handle lock") = Some(handle);
+        cluster
+    }
+
+    /// Stops and joins the gossip thread. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self
+            .gossip_thread
+            .lock()
+            .expect("gossip handle lock")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+
+    /// The owner of `digest` when it is *not* this node.
+    pub(crate) fn remote_owner(&self, digest: PinballDigest) -> Option<String> {
+        let members = self.members.lock().expect("members lock");
+        match members.ring.owner(digest) {
+            Some(addr) if addr != self.advertise => Some(addr.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Alive peers (this node excluded), owner of `prefer` first — the
+    /// candidate order for fetch-through and re-warm.
+    pub(crate) fn fetch_candidates(&self, digest: PinballDigest) -> Vec<String> {
+        let members = self.members.lock().expect("members lock");
+        let owner = members
+            .ring
+            .owner(digest)
+            .filter(|a| *a != self.advertise)
+            .map(str::to_string);
+        let mut out: Vec<String> = Vec::new();
+        if let Some(owner) = owner {
+            out.push(owner);
+        }
+        for p in members.peers.values() {
+            if p.info.alive && !out.contains(&p.info.addr) {
+                out.push(p.info.addr.clone());
+            }
+        }
+        out
+    }
+
+    /// This node's current view — self first, then every known peer.
+    pub(crate) fn local_view(&self, pinballs: u64) -> Vec<NodeInfo> {
+        let members = self.members.lock().expect("members lock");
+        let mut view = Vec::with_capacity(1 + members.peers.len());
+        view.push(NodeInfo {
+            addr: self.advertise.clone(),
+            incarnation: self.incarnation.load(Ordering::SeqCst),
+            heartbeat: self.heartbeat.load(Ordering::SeqCst),
+            alive: true,
+            pinballs,
+        });
+        view.extend(members.peers.values().map(|p| p.info.clone()));
+        view
+    }
+
+    /// The [`Response::PeerView`] this node serves for `Gossip`/`PeerMap`.
+    pub(crate) fn peer_view(&self, pinballs: u64) -> Response {
+        Response::PeerView {
+            self_addr: self.advertise.clone(),
+            virtual_nodes: self.virtual_nodes as u64,
+            nodes: self.local_view(pinballs),
+        }
+    }
+
+    /// Node-global counters for the stats rollup.
+    pub(crate) fn summary(&self) -> ClusterSummary {
+        let members = self.members.lock().expect("members lock");
+        let alive = 1 + members.peers.values().filter(|p| p.info.alive).count() as u64;
+        let dead = members.peers.len() as u64 + 1 - alive;
+        ClusterSummary {
+            alive,
+            dead,
+            rounds: self.gossip_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Merges an incoming view under the incarnation/heartbeat precedence
+    /// rules ([`NodeInfo`]). `direct_from` names a peer this view arrived
+    /// from over a live connection — direct contact is proof of life.
+    pub(crate) fn merge(&self, view: &[NodeInfo], direct_from: Option<&str>) {
+        let now = Instant::now();
+        let mut members = self.members.lock().expect("members lock");
+        let mut changed = false;
+        for n in view {
+            if n.addr == self.advertise {
+                // Refute a death claim about ourselves: a fresh
+                // incarnation outranks every circulating dead entry.
+                if !n.alive && n.incarnation >= self.incarnation.load(Ordering::SeqCst) {
+                    self.incarnation
+                        .fetch_max(n.incarnation.max(fresh_incarnation()) + 1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            if n.addr.is_empty() {
+                continue;
+            }
+            match members.peers.get_mut(&n.addr) {
+                None => {
+                    changed |= n.alive;
+                    members.peers.insert(
+                        n.addr.clone(),
+                        PeerEntry {
+                            info: n.clone(),
+                            last_heard: n.alive.then_some(now),
+                        },
+                    );
+                }
+                Some(entry) => {
+                    let cur = &mut entry.info;
+                    if n.incarnation > cur.incarnation {
+                        changed |= cur.alive != n.alive;
+                        *cur = n.clone();
+                        entry.last_heard = Some(now);
+                    } else if n.incarnation == cur.incarnation {
+                        if n.heartbeat > cur.heartbeat {
+                            // Heartbeat progress: fresher evidence, adopt
+                            // its liveness verdict (this is what revives a
+                            // false positive).
+                            changed |= cur.alive != n.alive;
+                            cur.heartbeat = n.heartbeat;
+                            cur.pinballs = n.pinballs;
+                            cur.alive = n.alive;
+                            entry.last_heard = Some(now);
+                        } else if n.heartbeat == cur.heartbeat && !n.alive && cur.alive {
+                            // Same evidence, dead claim wins: only
+                            // heartbeat progress revives.
+                            cur.alive = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(addr) = direct_from {
+            if let Some(entry) = members.peers.get_mut(addr) {
+                entry.last_heard = Some(now);
+                if !entry.info.alive {
+                    entry.info.alive = true;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            members.rebuild(&self.advertise, self.virtual_nodes);
+        }
+    }
+
+    /// Marks a peer dead after a transport failure, so routing moves off
+    /// it immediately instead of waiting out the heartbeat timeout.
+    fn mark_dead(&self, addr: &str) {
+        let mut members = self.members.lock().expect("members lock");
+        if let Some(entry) = members.peers.get_mut(addr) {
+            if entry.info.alive {
+                entry.info.alive = false;
+                members.rebuild(&self.advertise, self.virtual_nodes);
+            }
+        }
+    }
+
+    /// Times out peers whose heartbeat stopped progressing.
+    fn sweep(&self) {
+        let mut members = self.members.lock().expect("members lock");
+        let mut changed = false;
+        for entry in members.peers.values_mut() {
+            if entry.info.alive
+                && entry
+                    .last_heard
+                    .is_none_or(|at| at.elapsed() > self.peer_fail_after)
+            {
+                entry.info.alive = false;
+                changed = true;
+            }
+        }
+        if changed {
+            members.rebuild(&self.advertise, self.virtual_nodes);
+        }
+    }
+
+    /// The next gossip partner: rotates over alive peers plus seeds never
+    /// contacted (so bootstrap keeps retrying a down seed).
+    fn pick_target(&self, round: u64) -> Option<String> {
+        let members = self.members.lock().expect("members lock");
+        let candidates: Vec<&String> = members
+            .peers
+            .iter()
+            .filter(|(_, p)| p.info.alive || p.info.incarnation == 0)
+            .map(|(addr, _)| addr)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Deterministic rotation; mix64 decorrelates it from the
+        // candidate count so two nodes with the same list don't sync up.
+        let ix =
+            (mix64(round ^ self.incarnation.load(Ordering::SeqCst)) as usize) % candidates.len();
+        Some(candidates[ix].clone())
+    }
+
+    fn dial(&self, addr: &str) -> Result<Client<TcpStream>, ServeError> {
+        let peer_err = |reason: String| ServeError::Peer {
+            addr: addr.to_string(),
+            reason,
+        };
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| peer_err(format!("resolve: {e}")))?
+            .next()
+            .ok_or_else(|| peer_err("resolve: no address".to_string()))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, self.connect_timeout)
+            .map_err(|e| peer_err(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.op_timeout));
+        let _ = stream.set_write_timeout(Some(self.op_timeout));
+        // Busy at the owner (its shard queue or pool is full) is absorbed
+        // by a short bounded retry before surfacing to our client.
+        Ok(Client::new(stream).with_retry(RetryPolicy::new(3, 100)))
+    }
+
+    /// Runs `f` on the pooled connection to `addr`, dialing if needed.
+    /// Transport failures drop the connection, mark the peer dead, and
+    /// surface as the retryable [`ServeError::Peer`]; typed server errors
+    /// pass through with the connection kept.
+    fn with_conn<T>(
+        &self,
+        addr: &str,
+        f: impl FnOnce(&mut Client<TcpStream>) -> Result<T, ClientError>,
+    ) -> Result<T, ServeError> {
+        let slot = {
+            let mut conns = self.conns.lock().expect("peer conns lock");
+            Arc::clone(conns.entry(addr.to_string()).or_default())
+        };
+        let mut guard = slot.lock().expect("peer conn lock");
+        if guard.is_none() {
+            match self.dial(addr) {
+                Ok(client) => *guard = Some(client),
+                Err(e) => {
+                    self.mark_dead(addr);
+                    return Err(e);
+                }
+            }
+        }
+        let client = guard.as_mut().expect("connection just ensured");
+        match f(client) {
+            Ok(v) => Ok(v),
+            Err(ClientError::Server(e)) => Err(e),
+            Err(e) => {
+                *guard = None;
+                drop(guard);
+                self.mark_dead(addr);
+                Err(ServeError::Peer {
+                    addr: addr.to_string(),
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+
+    /// One gossip exchange with `addr`: offer our view, merge the reply.
+    fn gossip_with(&self, addr: &str, view: Vec<NodeInfo>) {
+        // with_conn already marked the peer dead on transport failure.
+        if let Ok(reply) = self.with_conn(addr, |c| c.gossip(view)) {
+            self.merge(&reply.nodes, Some(addr));
+        }
+    }
+
+    /// Forwards a resolved slice request to the digest's owner. On the
+    /// owner's `UnknownPinball` (it restarted, or just took over the
+    /// range), pushes our stored container once and retries — the
+    /// re-warm path for rejoining owners.
+    pub(crate) fn forward_slice(
+        &self,
+        addr: &str,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options: &SliceOptions,
+        push: impl FnOnce() -> Option<(Program, Vec<u8>)>,
+    ) -> Result<SliceReply, ServeError> {
+        let mut push = Some(push);
+        loop {
+            let r = self.with_conn(addr, |c| c.peer_slice(digest, criterion, options.clone()));
+            match r {
+                Err(ServeError::UnknownPinball { .. }) if push.is_some() => {
+                    let supply = push.take().expect("push closure present");
+                    self.push_container(addr, digest, supply)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Forwards a resolved relog request, with the same push-and-retry
+    /// re-warm as [`Cluster::forward_slice`].
+    pub(crate) fn forward_relog(
+        &self,
+        addr: &str,
+        digest: PinballDigest,
+        criterion: Criterion,
+        options: &SliceOptions,
+        push: impl FnOnce() -> Option<(Program, Vec<u8>)>,
+    ) -> Result<RelogReply, ServeError> {
+        let mut push = Some(push);
+        loop {
+            let r = self.with_conn(addr, |c| c.peer_relog(digest, criterion, options.clone()));
+            match r {
+                Err(ServeError::UnknownPinball { .. }) if push.is_some() => {
+                    let supply = push.take().expect("push closure present");
+                    self.push_container(addr, digest, supply)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn push_container(
+        &self,
+        addr: &str,
+        digest: PinballDigest,
+        supply: impl FnOnce() -> Option<(Program, Vec<u8>)>,
+    ) -> Result<(), ServeError> {
+        let Some((program, bytes)) = supply() else {
+            return Err(ServeError::UnknownPinball { digest });
+        };
+        self.with_conn(addr, |c| c.upload_bytes(&program, bytes).map(|_| ()))
+    }
+
+    /// Forwards an upload to the digest's owner.
+    pub(crate) fn forward_upload(
+        &self,
+        addr: &str,
+        program: &Program,
+        bytes: Vec<u8>,
+    ) -> Result<Uploaded, ServeError> {
+        self.with_conn(addr, |c| c.upload_bytes(program, bytes))
+    }
+
+    /// Probes whether a peer's *local* store holds `digest` — the
+    /// transfer-dedupe check ahead of a fetch. Uses the peer-only op so
+    /// the receiver never forwards it onward.
+    pub(crate) fn forward_probe(
+        &self,
+        addr: &str,
+        digest: PinballDigest,
+    ) -> Result<bool, ServeError> {
+        self.with_conn(addr, |c| c.peer_probe(digest))
+    }
+
+    /// Pulls a stored pinball (program + container bytes) from a peer.
+    pub(crate) fn fetch_stored(
+        &self,
+        addr: &str,
+        digest: PinballDigest,
+    ) -> Result<(Program, Vec<u8>), ServeError> {
+        self.with_conn(addr, |c| c.fetch_stored(digest))
+    }
+}
+
+/// The gossip thread: once per interval, bump the heartbeat, time out
+/// silent peers, and run one anti-entropy exchange.
+fn gossip_loop(cluster: &Arc<Cluster>, pinballs: &(dyn Fn() -> u64 + Send + Sync)) {
+    let tick = Duration::from_millis(10);
+    loop {
+        let deadline = Instant::now() + cluster.gossip_interval;
+        while Instant::now() < deadline {
+            if cluster.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(tick.min(cluster.gossip_interval));
+        }
+        cluster.heartbeat.fetch_add(1, Ordering::SeqCst);
+        cluster.sweep();
+        let round = cluster.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        if let Some(target) = cluster.pick_target(round) {
+            let view = cluster.local_view(pinballs());
+            cluster.gossip_with(&target, view);
+        }
+    }
+}
+
+/// A session opened through a [`FleetClient`]: the owning node's address
+/// plus the per-node session id. Session ids are per-node counters, so
+/// the address is part of the handle.
+#[derive(Debug, Clone)]
+pub struct FleetSession {
+    /// The node the session lives on.
+    pub addr: String,
+    /// The session id on that node.
+    pub id: SessionId,
+}
+
+/// A digest-aware fleet client: fetches the peer map once, builds the
+/// same [`HashRing`] the servers use, and routes every digest-keyed
+/// request straight to its owner — zero forwarding hops on the hot path.
+/// Follows [`Redirect`](crate::Response::Redirect) answers (a stale map)
+/// and exposes [`FleetClient::refresh`] to re-fetch the map after
+/// membership changes. Against a standalone (non-fleet) node it
+/// degrades to a plain single-server client.
+pub struct FleetClient {
+    conns: HashMap<String, Client<TcpStream>>,
+    ring: HashRing,
+    nodes: Vec<NodeInfo>,
+    virtual_nodes: u64,
+    seed: String,
+}
+
+fn io_err(e: std::io::Error) -> ClientError {
+    ClientError::Transport(RecvError::Io(e.to_string()))
+}
+
+impl FleetClient {
+    /// Connects to any fleet node and learns the peer map from it.
+    ///
+    /// # Errors
+    ///
+    /// Connect and transport failures as [`ClientError::Transport`].
+    pub fn connect(seed: &str) -> Result<FleetClient, ClientError> {
+        let mut fc = FleetClient {
+            conns: HashMap::new(),
+            ring: HashRing::new(Vec::new(), 1),
+            nodes: Vec::new(),
+            virtual_nodes: 0,
+            seed: seed.to_string(),
+        };
+        fc.refresh()?;
+        Ok(fc)
+    }
+
+    /// Re-fetches the peer map from the seed (or the first reachable
+    /// known node) and rebuilds the routing ring.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when no node answers.
+    pub fn refresh(&mut self) -> Result<(), ClientError> {
+        let mut candidates: Vec<String> = vec![self.seed.clone()];
+        candidates.extend(
+            self.nodes
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| n.addr.clone()),
+        );
+        let mut last_err = None;
+        for addr in candidates {
+            match self.conn(&addr).and_then(|c| c.peer_map()) {
+                Ok(view) => {
+                    self.install(view);
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.conns.remove(&addr);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Protocol("no fleet nodes known".to_string())))
+    }
+
+    fn install(&mut self, view: PeerMapReply) {
+        let alive: Vec<String> = view
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.addr.clone())
+            .collect();
+        self.virtual_nodes = view.virtual_nodes;
+        self.ring = HashRing::new(alive, view.virtual_nodes.max(1) as usize);
+        self.nodes = view.nodes;
+        if !view.self_addr.is_empty() && view.self_addr != self.seed {
+            // Key the seed connection under its advertised name so ring
+            // lookups and the connection pool agree on addresses.
+            if let Some(c) = self.conns.remove(&self.seed) {
+                self.conns.entry(view.self_addr.clone()).or_insert(c);
+            }
+            self.seed = view.self_addr;
+        }
+    }
+
+    /// The fleet's current peer map as last fetched.
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// The routing ring built from the peer map.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The node that owns `digest` under the current map (the seed when
+    /// the fleet is a single standalone node).
+    pub fn owner_of(&self, digest: PinballDigest) -> String {
+        self.ring
+            .owner(digest)
+            .map(str::to_string)
+            .unwrap_or_else(|| self.seed.clone())
+    }
+
+    fn conn(&mut self, addr: &str) -> Result<&mut Client<TcpStream>, ClientError> {
+        if !self.conns.contains_key(addr) {
+            let client = crate::server::connect(addr).map_err(io_err)?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("connection just inserted"))
+    }
+
+    /// Uploads container bytes to the digest's owner.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::upload_bytes`].
+    pub fn upload_bytes(
+        &mut self,
+        program: &Program,
+        container: Vec<u8>,
+    ) -> Result<Uploaded, ClientError> {
+        let digest = PinballContainer::from_bytes(&container)
+            .map_err(|e| ClientError::Protocol(format!("container decode: {e}")))?
+            .digest();
+        let owner = self.owner_of(digest);
+        self.conn(&owner)?.upload_bytes(program, container)
+    }
+
+    /// Wraps a pinball in a container and uploads it to its owner.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FleetClient::upload_bytes`].
+    pub fn upload(
+        &mut self,
+        program: &Program,
+        pinball: &Pinball,
+    ) -> Result<Uploaded, ClientError> {
+        let bytes = PinballContainer::new(pinball.clone())
+            .to_bytes()
+            .map_err(|e| ClientError::Protocol(format!("container encode: {e}")))?;
+        self.upload_bytes(program, bytes)
+    }
+
+    /// Streams a container to the digest's owner in resumable chunks,
+    /// following one [`Redirect`](crate::Response::Redirect) if the local
+    /// map turns out stale.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::upload_streamed`].
+    pub fn upload_streamed(
+        &mut self,
+        program: &Program,
+        container: &PinballContainer,
+        chunks: usize,
+    ) -> Result<Uploaded, ClientError> {
+        let owner = self.owner_of(container.digest());
+        match self
+            .conn(&owner)?
+            .upload_streamed(program, container, chunks)
+        {
+            Err(ClientError::Redirected { addr }) => {
+                let moved = addr.clone();
+                self.conn(&moved)?
+                    .upload_streamed(program, container, chunks)
+            }
+            other => other,
+        }
+    }
+
+    /// Opens a session on the digest's owner.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::open`].
+    pub fn open(&mut self, digest: PinballDigest) -> Result<FleetSession, ClientError> {
+        let owner = self.owner_of(digest);
+        let id = self.conn(&owner)?.open(digest)?;
+        Ok(FleetSession { addr: owner, id })
+    }
+
+    /// Computes a slice on the session's node (the digest's owner, so the
+    /// request never forwards).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::compute_slice`].
+    pub fn compute_slice(
+        &mut self,
+        session: &FleetSession,
+        at: SliceAt,
+        options: SliceOptions,
+    ) -> Result<SliceReply, ClientError> {
+        let addr = session.addr.clone();
+        self.conn(&addr)?.compute_slice(session.id, at, options)
+    }
+
+    /// Relogs a slice pinball on the session's node.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::relog`].
+    pub fn relog(
+        &mut self,
+        session: &FleetSession,
+        at: SliceAt,
+        options: SliceOptions,
+    ) -> Result<RelogReply, ClientError> {
+        let addr = session.addr.clone();
+        self.conn(&addr)?.relog(session.id, at, options)
+    }
+
+    /// Closes a fleet session.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::close`].
+    pub fn close(&mut self, session: &FleetSession) -> Result<(), ClientError> {
+        let addr = session.addr.clone();
+        self.conn(&addr)?.close(session.id)
+    }
+
+    /// Downloads a stored container from the digest's owner.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::fetch`].
+    pub fn fetch(&mut self, digest: PinballDigest) -> Result<Vec<u8>, ClientError> {
+        let owner = self.owner_of(digest);
+        self.conn(&owner)?.fetch(digest)
+    }
+
+    /// Asks the digest's owner whether it stores the pinball.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::probe`].
+    pub fn probe(&mut self, digest: PinballDigest) -> Result<bool, ClientError> {
+        let owner = self.owner_of(digest);
+        self.conn(&owner)?.probe(digest)
+    }
+
+    /// One node's stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::stats`].
+    pub fn stats_of(&mut self, addr: &str) -> Result<ServeStats, ClientError> {
+        self.conn(addr)?.stats()
+    }
+
+    /// Stats of every alive node, keyed by address.
+    ///
+    /// # Errors
+    ///
+    /// The first node that fails to answer.
+    pub fn stats_all(&mut self) -> Result<Vec<(String, ServeStats)>, ClientError> {
+        let addrs: Vec<String> = if self.nodes.is_empty() {
+            vec![self.seed.clone()]
+        } else {
+            self.nodes
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| n.addr.clone())
+                .collect()
+        };
+        let mut out = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let stats = self.conn(&addr)?.stats()?;
+            out.push((addr, stats));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7070")).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_order_insensitive() {
+        let mut shuffled = addrs(5);
+        shuffled.reverse();
+        let a = HashRing::new(addrs(5), 64);
+        let b = HashRing::new(shuffled, 64);
+        for d in 0..200u64 {
+            assert_eq!(
+                a.owner(PinballDigest(d)),
+                b.owner(PinballDigest(d)),
+                "ownership must not depend on member order"
+            );
+        }
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn empty_and_single_rings() {
+        let empty = HashRing::new(Vec::new(), 64);
+        assert!(empty.is_empty());
+        assert_eq!(empty.owner(PinballDigest(1)), None);
+        assert!(empty.shares().is_empty());
+        let one = HashRing::new(vec!["a:1".to_string()], 64);
+        assert_eq!(one.len(), 1);
+        for d in [0u64, 1, u64::MAX] {
+            assert_eq!(one.owner(PinballDigest(d)), Some("a:1"));
+        }
+        let shares = one.shares();
+        assert!((shares[0].1 - 1.0).abs() < 1e-12, "single node owns all");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let ring = HashRing::new(addrs(4), 128);
+        let total: f64 = ring.shares().iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "arc shares cover the circle");
+    }
+
+    #[test]
+    fn merge_precedence_incarnation_then_heartbeat() {
+        let cluster = Cluster::start(
+            "10.0.0.0:1".to_string(),
+            Vec::new(),
+            &ServeConfig {
+                gossip_interval: Duration::from_secs(3600),
+                ..ServeConfig::default()
+            },
+            Box::new(|| 0),
+        );
+        let node = |inc: u64, hb: u64, alive: bool| NodeInfo {
+            addr: "10.0.0.9:1".to_string(),
+            incarnation: inc,
+            heartbeat: hb,
+            alive,
+            pinballs: 0,
+        };
+        cluster.merge(&[node(5, 1, true)], None);
+        assert_eq!(cluster.summary().alive, 2);
+        // Same incarnation, same heartbeat, dead claim: dead sticks.
+        cluster.merge(&[node(5, 1, false)], None);
+        assert_eq!(cluster.summary().alive, 1);
+        // Stale alive (no heartbeat progress) does not revive.
+        cluster.merge(&[node(5, 1, true)], None);
+        assert_eq!(cluster.summary().alive, 1);
+        // Heartbeat progress revives.
+        cluster.merge(&[node(5, 2, true)], None);
+        assert_eq!(cluster.summary().alive, 2);
+        // Higher incarnation wins outright, even marked dead.
+        cluster.merge(&[node(6, 0, false)], None);
+        assert_eq!(cluster.summary().alive, 1);
+        // Restart: fresh incarnation replaces the dead entry.
+        cluster.merge(&[node(7, 0, true)], None);
+        assert_eq!(cluster.summary().alive, 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn self_death_claim_bumps_incarnation() {
+        let cluster = Cluster::start(
+            "10.0.0.0:1".to_string(),
+            Vec::new(),
+            &ServeConfig {
+                gossip_interval: Duration::from_secs(3600),
+                ..ServeConfig::default()
+            },
+            Box::new(|| 0),
+        );
+        let before = cluster.incarnation.load(Ordering::SeqCst);
+        cluster.merge(
+            &[NodeInfo {
+                addr: "10.0.0.0:1".to_string(),
+                incarnation: before,
+                heartbeat: 99,
+                alive: false,
+                pinballs: 0,
+            }],
+            None,
+        );
+        assert!(
+            cluster.incarnation.load(Ordering::SeqCst) > before,
+            "a node seeing itself declared dead must refute with a fresh incarnation"
+        );
+        cluster.shutdown();
+    }
+}

@@ -83,6 +83,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod loopback;
 pub mod metrics;
 pub mod pool;
@@ -93,14 +94,15 @@ pub mod store;
 
 pub use cache::RelogOutcome;
 pub use client::{
-    Client, ClientError, RelogReply, RetryPolicy, SliceReply, StreamAck, TailReply, Uploaded,
-    WireStats,
+    Client, ClientError, PeerMapReply, RelogReply, RetryPolicy, SliceReply, StreamAck, TailReply,
+    Uploaded, WireStats,
 };
+pub use cluster::{FleetClient, FleetSession, HashRing};
 pub use loopback::{pipe, LoopbackStream};
 pub use proto::{
-    CacheStats, OpStats, RecvError, Request, Response, ServeError, ServeStats, SessionId,
-    SessionStats, ShardStats, SliceAt, WireBreakpoint, WireSlice, WireStop, MAX_MESSAGE,
-    REQUEST_KIND, RESPONSE_KIND,
+    CacheStats, ClusterStats, NodeInfo, OpStats, RecvError, Request, Response, ServeError,
+    ServeStats, SessionId, SessionStats, ShardStats, SliceAt, WireBreakpoint, WireSlice, WireStop,
+    MAX_MESSAGE, REQUEST_KIND, RESPONSE_KIND,
 };
 pub use server::{connect, ServeConfig, Server, ServerHandle};
 pub use service::{retry_hint, Service};

@@ -208,6 +208,62 @@ pub enum Request {
         /// incremental index.
         options: SliceOptions,
     },
+    /// One anti-entropy round of the fleet's gossip protocol: the sender
+    /// offers its whole peer view (including itself, so first contact is
+    /// also the introduction) and the receiver merges it and answers
+    /// [`Response::PeerView`] with *its* merged view — state flows both
+    /// ways in one exchange. Sent between fleet nodes, never by ordinary
+    /// clients.
+    Gossip {
+        /// Every node the sender knows about, liveness and store summary
+        /// included.
+        view: Vec<NodeInfo>,
+    },
+    /// Fetch the fleet's peer map and ring parameters. A digest-aware
+    /// client asks this once, builds the same consistent-hash ring the
+    /// servers use, and from then on sends every digest-keyed request
+    /// straight to its owner — zero forwarding hops on the hot path.
+    /// A node outside any fleet answers with an empty view.
+    PeerMap,
+    /// Peer-to-peer slice: compute (or serve from cache) a slice for a
+    /// digest this node *owns*, with no session handle in play. Sent by a
+    /// non-owner forwarding a client's `ComputeSlice`; always executed
+    /// locally by the receiver — never re-forwarded, so transient ring
+    /// disagreement cannot create forwarding cycles.
+    PeerSlice {
+        /// The owned pinball to slice.
+        digest: PinballDigest,
+        /// The already-resolved criterion (the forwarding node resolves
+        /// `SliceAt` against its local session first).
+        criterion: Criterion,
+        /// Traversal options; part of the cache key.
+        options: SliceOptions,
+    },
+    /// Peer-to-peer relog: like [`Request::PeerSlice`] but producing (or
+    /// serving from cache) a slice pinball. Never re-forwarded.
+    PeerRelog {
+        /// The owned pinball to relog.
+        digest: PinballDigest,
+        /// The already-resolved criterion.
+        criterion: Criterion,
+        /// Traversal options; part of the cache key.
+        options: SliceOptions,
+    },
+    /// Peer-to-peer fetch of a stored pinball *with its program* — what a
+    /// node needs to open sessions locally after pulling a digest from its
+    /// owner (peer-cache fill, or a rejoining node re-warming). Answered
+    /// from the local store only, never re-forwarded.
+    FetchStored {
+        /// Content digest of the container to fetch.
+        digest: PinballDigest,
+    },
+    /// Peer-to-peer store probe: like [`Request::ProbePinball`] but
+    /// answered from the receiver's local store only — never re-forwarded,
+    /// so transfer-dedupe probes between nodes cannot cycle.
+    PeerProbe {
+        /// Content digest to look up.
+        digest: PinballDigest,
+    },
 }
 
 impl Request {
@@ -232,8 +288,39 @@ impl Request {
             Request::StreamStatus { .. } => "streamstatus",
             Request::Tail { .. } => "tail",
             Request::SliceStream { .. } => "slicestream",
+            Request::Gossip { .. } => "gossip",
+            Request::PeerMap => "peermap",
+            Request::PeerSlice { .. } => "peerslice",
+            Request::PeerRelog { .. } => "peerrelog",
+            Request::FetchStored { .. } => "fetchstored",
+            Request::PeerProbe { .. } => "peerprobe",
         }
     }
+}
+
+/// One fleet node's liveness and store summary, as exchanged by gossip
+/// and served in [`Response::PeerView`].
+///
+/// Merge precedence when two views disagree about a node: a higher
+/// `incarnation` (chosen fresh at each process start) wins outright — how
+/// a restarted node replaces its dead former self. Within one
+/// incarnation, a higher `heartbeat` is fresher evidence and its `alive`
+/// flag is adopted; at equal heartbeats a dead claim sticks (only
+/// heartbeat progress, which a truly dead node cannot make, revives).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// The address the node advertises (and listens on).
+    pub addr: String,
+    /// Process-lifetime nonce; a restart picks a strictly higher one.
+    pub incarnation: u64,
+    /// Monotonic liveness counter, bumped once per gossip round.
+    pub heartbeat: u64,
+    /// Whether the fleet currently believes the node is serving. Only
+    /// alive nodes own ring segments.
+    pub alive: bool,
+    /// Distinct pinballs in the node's content-addressed store — the
+    /// gossiped store summary.
+    pub pinballs: u64,
 }
 
 /// Where a [`Request::ComputeSlice`] anchors.
@@ -373,6 +460,39 @@ pub enum Response {
         sealed: bool,
         /// The published content digest, once sealed.
         digest: Option<PinballDigest>,
+    },
+    /// The node's merged fleet view — the answer to both
+    /// [`Request::Gossip`] and [`Request::PeerMap`]. Empty (`self_addr`
+    /// blank, no nodes) on a node outside any fleet.
+    PeerView {
+        /// The answering node's advertised address.
+        self_addr: String,
+        /// Virtual nodes per member on the consistent-hash ring — a
+        /// client must build its ring with the same count to agree on
+        /// ownership.
+        virtual_nodes: u64,
+        /// Every known node, the answerer included.
+        nodes: Vec<NodeInfo>,
+    },
+    /// The request names a digest owned by another fleet node and must be
+    /// re-sent there — the answer to a [`Request::BeginStream`] whose
+    /// `expect_digest` hashes to a different owner. Streams transfer
+    /// chunk-by-chunk state, so they start at the owner rather than being
+    /// forwarded frame-by-frame.
+    Redirect {
+        /// Advertised address of the owning node.
+        addr: String,
+    },
+    /// Program plus container bytes for a [`Request::FetchStored`] — what
+    /// a peer needs to install the pinball in its own store and open
+    /// sessions over it.
+    StoredData {
+        /// The digest that was fetched.
+        digest: PinballDigest,
+        /// The program the pinball replays.
+        program: Program,
+        /// Container bytes ([`pinplay::PinballContainer::to_bytes`]).
+        container: Vec<u8>,
     },
     /// The request failed; the connection stays usable (except after
     /// [`ServeError::Malformed`], which is followed by disconnect because
@@ -560,6 +680,17 @@ pub enum ServeError {
         /// Why the request cannot be served.
         reason: String,
     },
+    /// A fleet forward failed in flight: the digest's owner was
+    /// unreachable or its connection broke mid-exchange. Retryable, like
+    /// [`ServeError::Busy`]: the forward either never executed or its
+    /// answer was lost, and once gossip reroutes ownership a resend
+    /// lands on a live owner.
+    Peer {
+        /// The owner that could not be reached.
+        addr: String,
+        /// What failed (connect, timeout, stream error).
+        reason: String,
+    },
 }
 
 impl From<pinplay::PinballError> for ServeError {
@@ -602,6 +733,9 @@ impl fmt::Display for ServeError {
                 _ => write!(f, "bad pinball: {reason}"),
             },
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Peer { addr, reason } => {
+                write!(f, "peer {addr} unreachable: {reason} (retryable)")
+            }
         }
     }
 }
@@ -665,6 +799,44 @@ pub struct SessionStats {
     pub rejected_busy: u64,
 }
 
+/// Fleet counters: gossip, forwarding, and peer-cache activity. In
+/// [`ServeStats::cluster`] the forwarded-op fields are exact sums over
+/// the per-shard entries ([`ShardStats::cluster`]); the membership and
+/// gossip fields (`nodes_alive`, `nodes_dead`, `gossip_rounds`) are
+/// node-global and attached only to the rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Whether this node is part of a fleet. Always `false` in per-shard
+    /// entries.
+    pub enabled: bool,
+    /// Fleet members currently believed alive, this node included.
+    pub nodes_alive: u64,
+    /// Known members currently believed dead (seeds never heard from
+    /// included).
+    pub nodes_dead: u64,
+    /// Anti-entropy gossip rounds completed.
+    pub gossip_rounds: u64,
+    /// Requests forwarded to a digest's owner (slice, relog, upload,
+    /// probe, peer fetches excluded — those are `peer_fetches`).
+    pub forwards: u64,
+    /// Forwards that failed in flight and surfaced as
+    /// [`ServeError::Peer`].
+    pub forward_errors: u64,
+    /// `BeginStream` requests answered with [`Response::Redirect`]
+    /// because the expected digest belongs to another node.
+    pub redirects: u64,
+    /// Digest-keyed requests for *remotely owned* digests answered from
+    /// this node's local caches — repeat questions that never crossed the
+    /// wire again.
+    pub peer_cache_hits: u64,
+    /// Containers pulled from peers into the local store (fetch-through
+    /// on open/fetch, and re-warm after a rejoin).
+    pub peer_fetches: u64,
+    /// Containers pushed to their owner (a sealed stream publishing from
+    /// a non-owner node).
+    pub peer_pushes: u64,
+}
+
 /// One worker shard's private counters. The server routes every request
 /// to a shard by pinball digest (or session id, which encodes its shard);
 /// each shard owns its own session pool, slice cache, index cache, relog
@@ -699,6 +871,9 @@ pub struct ShardStats {
     pub index_cache: CacheStats,
     /// Relog-cache counters of this shard.
     pub relog_cache: CacheStats,
+    /// Fleet forwarding counters of this shard (`enabled` and the
+    /// node-global gossip fields stay zero here).
+    pub cluster: ClusterStats,
 }
 
 /// One snapshot of the server's metrics — the payload of
@@ -731,6 +906,11 @@ pub struct ServeStats {
     /// answered with a typed [`ServeError::Busy`] carrying a
     /// backlog-scaled retry hint).
     pub shed: u64,
+    /// Fleet counters: membership, gossip rounds, forwards, redirects,
+    /// peer-cache hits. The forwarded-op fields are exact sums over
+    /// [`ShardStats::cluster`]; all zero (and `enabled` false) on a
+    /// standalone node.
+    pub cluster: ClusterStats,
     /// Per-shard breakdown. The rollup fields above are exact sums over
     /// these entries (caches, sessions, requests, errors, shed).
     pub shards: Vec<ShardStats>,
@@ -810,6 +990,21 @@ impl fmt::Display for ServeStats {
             self.sessions.rejected_busy,
         )?;
         writeln!(f, "pinballs stored  {:>8}", self.pinballs)?;
+        if self.cluster.enabled {
+            writeln!(
+                f,
+                "cluster          {:>8} alive / {} dead, {} gossip rounds, {} forwards ({} errors), {} redirects, {} peer hits, {} fetches, {} pushes",
+                self.cluster.nodes_alive,
+                self.cluster.nodes_dead,
+                self.cluster.gossip_rounds,
+                self.cluster.forwards,
+                self.cluster.forward_errors,
+                self.cluster.redirects,
+                self.cluster.peer_cache_hits,
+                self.cluster.peer_fetches,
+                self.cluster.peer_pushes,
+            )?;
+        }
         write!(f, "shed at admission{:>8}", self.shed)?;
         for s in &self.shards {
             write!(

@@ -70,6 +70,33 @@ pub struct ServeConfig {
     /// Most requests one worker wakeup drains. Requests batched together
     /// share one `Stats` rollup and one encoded response frame.
     pub batch_max: usize,
+    /// Seed peer addresses for fleet membership. Non-empty peers enable
+    /// cluster mode at [`Server::listen`] time: the node gossips with the
+    /// seeds, learns the full peer map, and joins the consistent-hash
+    /// ring over pinball digests.
+    pub peers: Vec<String>,
+    /// The address this node advertises to the fleet (what its ring
+    /// points hash from). `None` uses the actual bound address — fine on
+    /// one host; set it explicitly behind NAT or when binding `0.0.0.0`.
+    pub advertise: Option<String>,
+    /// Forces cluster mode on even with no seeds — the bootstrap node of
+    /// a fresh fleet, which has nobody to gossip with until peers dial in.
+    pub cluster: bool,
+    /// Virtual nodes per member on the consistent-hash ring. More points
+    /// flatten the keyspace imbalance (≈ `1/N + O(1/√(NV))`) at a small
+    /// ring-build cost.
+    pub virtual_nodes: usize,
+    /// Anti-entropy period: how often the gossip thread bumps its
+    /// heartbeat and exchanges views with one peer.
+    pub gossip_interval: Duration,
+    /// Liveness timeout: a peer whose heartbeat makes no progress for
+    /// this long is marked dead (transport failures mark it dead sooner).
+    pub peer_fail_after: Duration,
+    /// Connect timeout for pooled peer connections.
+    pub peer_connect_timeout: Duration,
+    /// Read/write timeout for one forwarded peer operation (a cold slice
+    /// at the owner can legitimately take a while).
+    pub peer_op_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +112,14 @@ impl Default for ServeConfig {
             dispatchers: 0,
             queue_capacity: 512,
             batch_max: 32,
+            peers: Vec::new(),
+            advertise: None,
+            cluster: false,
+            virtual_nodes: 64,
+            gossip_interval: Duration::from_millis(500),
+            peer_fail_after: Duration::from_millis(2500),
+            peer_connect_timeout: Duration::from_secs(1),
+            peer_op_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -452,6 +487,12 @@ impl Server {
     /// pool until [`ServerHandle::shutdown`]. The accept loop is
     /// nonblocking; accepted sockets are multiplexed, not given threads.
     ///
+    /// When the config names seed [`ServeConfig::peers`], an
+    /// [`ServeConfig::advertise`] address, or sets
+    /// [`ServeConfig::cluster`], the node joins the fleet here: the
+    /// advertise address defaults to the bound one, and the gossip thread
+    /// starts alongside the accept loop.
+    ///
     /// # Errors
     ///
     /// Returns the bind error if the address is unavailable.
@@ -459,6 +500,15 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let config = self.service.config();
+        if config.cluster || !config.peers.is_empty() || config.advertise.is_some() {
+            let advertise = config
+                .advertise
+                .clone()
+                .unwrap_or_else(|| local_addr.to_string());
+            let seeds = config.peers.clone();
+            self.service.enable_cluster(advertise, seeds);
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
         let dispatch = Arc::clone(&self.dispatch);

@@ -33,7 +33,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -41,15 +41,17 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use minivm::Program;
 use pinplay::{PinballContainer, PinballDigest, StreamReader};
 use slicer::{
-    compute_slice_indexed, Criterion, DepIndex, GlobalTrace, SliceSession, SlicerOptions,
+    compute_slice_indexed, Criterion, DepIndex, GlobalTrace, SliceOptions, SliceSession,
+    SlicerOptions,
 };
 
 use crate::cache::{IndexCache, RelogCache, RelogOutcome, SliceCache};
+use crate::cluster::Cluster;
 use crate::metrics::ServeMetrics;
 use crate::pool::SessionManager;
 use crate::proto::{
-    self, OpStats, Request, Response, ServeError, ServeStats, ShardStats, SliceAt, WireBreakpoint,
-    WireSlice, RESPONSE_KIND,
+    self, ClusterStats, OpStats, Request, Response, ServeError, ServeStats, ShardStats, SliceAt,
+    WireBreakpoint, WireSlice, RESPONSE_KIND,
 };
 use crate::server::ServeConfig;
 use crate::store::PinballStore;
@@ -107,6 +109,39 @@ pub(crate) struct Shard {
     peak_depth: AtomicU64,
     shed: AtomicU64,
     batches: AtomicU64,
+    /// Fleet-traffic counters (zero on a standalone node).
+    cluster: ClusterCounters,
+    /// Sessions serving peer-forwarded requests, keyed by digest. Kept
+    /// outside the client session pool so pool eviction never invalidates
+    /// a peer's in-flight work; bounded by periodic clearing (cheap —
+    /// the expensive artifacts live in the shard caches).
+    peer_sessions: Mutex<HashMap<PinballDigest, Arc<Mutex<drdebug::DebugSession>>>>,
+}
+
+/// Per-shard fleet counters. The node-global fields of [`ClusterStats`]
+/// (liveness, gossip rounds) are attached at rollup time.
+#[derive(Default)]
+struct ClusterCounters {
+    forwards: AtomicU64,
+    forward_errors: AtomicU64,
+    redirects: AtomicU64,
+    peer_cache_hits: AtomicU64,
+    peer_fetches: AtomicU64,
+    peer_pushes: AtomicU64,
+}
+
+impl ClusterCounters {
+    fn snapshot(&self) -> ClusterStats {
+        ClusterStats {
+            forwards: self.forwards.load(Ordering::Relaxed),
+            forward_errors: self.forward_errors.load(Ordering::Relaxed),
+            redirects: self.redirects.load(Ordering::Relaxed),
+            peer_cache_hits: self.peer_cache_hits.load(Ordering::Relaxed),
+            peer_fetches: self.peer_fetches.load(Ordering::Relaxed),
+            peer_pushes: self.peer_pushes.load(Ordering::Relaxed),
+            ..ClusterStats::default()
+        }
+    }
 }
 
 /// One in-progress streaming upload, owned by its routing shard.
@@ -155,6 +190,9 @@ struct ServiceState {
     store: PinballStore,
     started: Instant,
     config: ServeConfig,
+    /// Fleet membership + forwarding, installed once at listen time when
+    /// the config opts into cluster mode. `None` = standalone node.
+    cluster: OnceLock<Arc<Cluster>>,
 }
 
 struct QueueHandle {
@@ -172,6 +210,10 @@ struct ServiceInner {
 
 impl Drop for ServiceInner {
     fn drop(&mut self) {
+        // Stop gossiping first so no new forwards start mid-shutdown.
+        if let Some(cluster) = self.state.cluster.get() {
+            cluster.shutdown();
+        }
         // Dropping the senders disconnects every worker's receive loop;
         // join so no worker outlives the service.
         self.queues.clear();
@@ -217,6 +259,8 @@ impl Service {
                     peak_depth: AtomicU64::new(0),
                     shed: AtomicU64::new(0),
                     batches: AtomicU64::new(0),
+                    cluster: ClusterCounters::default(),
+                    peer_sessions: Mutex::new(HashMap::new()),
                 })
             })
             .collect();
@@ -225,6 +269,7 @@ impl Service {
             store: PinballStore::new(nshards * 4),
             started: Instant::now(),
             config,
+            cluster: OnceLock::new(),
         });
         let mut queues = Vec::with_capacity(nshards);
         let mut workers = Vec::with_capacity(nshards);
@@ -261,13 +306,37 @@ impl Service {
         &self.inner.state.config
     }
 
+    /// Joins the fleet: builds the membership state and starts the gossip
+    /// thread. Idempotent — the first call wins. Called by
+    /// [`crate::Server::listen`] once the bound address is known.
+    pub(crate) fn enable_cluster(&self, advertise: String, seeds: Vec<String>) {
+        // The gossip thread holds only a Weak back-reference, so the
+        // service's shutdown (which joins that thread) can still run.
+        let weak = Arc::downgrade(&self.inner.state);
+        self.inner.state.cluster.get_or_init(|| {
+            Cluster::start(
+                advertise,
+                seeds,
+                &self.inner.state.config,
+                Box::new(move || weak.upgrade().map_or(0, |s| s.store.len())),
+            )
+        });
+    }
+
     /// Which shard a request routes to.
     fn route(&self, request: &Request) -> usize {
         let n = self.inner.state.shards.len() as u64;
         let ix = match request {
+            // Peer-forwarded ops route by digest like their client-facing
+            // twins, so they land on the shard whose caches hold (or will
+            // hold) the answer.
             Request::OpenSession { digest }
             | Request::FetchPinball { digest }
-            | Request::ProbePinball { digest } => digest.0 % n,
+            | Request::ProbePinball { digest }
+            | Request::PeerSlice { digest, .. }
+            | Request::PeerRelog { digest, .. }
+            | Request::FetchStored { digest }
+            | Request::PeerProbe { digest } => digest.0 % n,
             // A stream lives entirely on one shard: its reader, pending
             // chunks, and incremental index are all shard-local.
             Request::BeginStream { stream, .. }
@@ -283,11 +352,13 @@ impl Service {
             | Request::Relog { session, .. }
             | Request::BreakList { session }
             | Request::CloseSession { session } => session % n,
-            // Uploads only touch the global store and Stats rolls up every
-            // shard: spread them round-robin.
-            Request::UploadPinball { .. } | Request::Stats => {
-                self.inner.rr.fetch_add(1, Ordering::Relaxed) as u64 % n
-            }
+            // Uploads only touch the global store, Stats rolls up every
+            // shard, and gossip only touches the cluster state: spread
+            // them round-robin.
+            Request::UploadPinball { .. }
+            | Request::Stats
+            | Request::Gossip { .. }
+            | Request::PeerMap => self.inner.rr.fetch_add(1, Ordering::Relaxed) as u64 % n,
         };
         ix as usize
     }
@@ -468,10 +539,7 @@ fn try_execute(
             })
         }
         Request::OpenSession { digest } => {
-            let (program, container) = state
-                .store
-                .get(digest)
-                .ok_or(ServeError::UnknownPinball { digest })?;
+            let (program, container) = fetch_into_store(state, shard, digest)?;
             let session = shard.pool.open(digest, move || {
                 drdebug::DebugSession::with_shared_container(program, container)
             })?;
@@ -525,34 +593,52 @@ fn try_execute(
         } => {
             let started = Instant::now();
             let (slot, digest) = shard.pool.checkout(session)?;
+            // The criterion resolves locally even when the digest is
+            // owned elsewhere — `SliceAt::Here`/`Failure` need *this*
+            // session's replay position, which only this node has. The
+            // owner receives the resolved criterion form.
             let criterion = resolve_criterion(&slot, at)?;
-            let fingerprint = options.fingerprint();
-            if let Some(hit) = shard.cache.get(digest, criterion, fingerprint) {
+            if let Some((cluster, owner)) = remote_owner(state, digest) {
+                let fingerprint = options.fingerprint();
+                // A hit here is a previously forwarded answer: repeat
+                // questions answer locally without touching the owner.
+                if let Some(hit) = shard.cache.get(digest, criterion, fingerprint) {
+                    shard
+                        .cluster
+                        .peer_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(Response::Slice {
+                        slice: (*hit).clone(),
+                        cached: true,
+                        micros: started.elapsed().as_micros() as u64,
+                    });
+                }
+                shard.cluster.forwards.fetch_add(1, Ordering::Relaxed);
+                let reply = cluster
+                    .forward_slice(
+                        &owner,
+                        digest,
+                        criterion,
+                        &options,
+                        push_supply(state, digest),
+                    )
+                    .inspect_err(|_| {
+                        shard.cluster.forward_errors.fetch_add(1, Ordering::Relaxed);
+                    })?;
+                let wire = Arc::new(reply.slice);
+                shard
+                    .cache
+                    .insert(digest, criterion, fingerprint, Arc::clone(&wire));
                 return Ok(Response::Slice {
-                    slice: (*hit).clone(),
-                    cached: true,
+                    slice: (*wire).clone(),
+                    cached: false,
                     micros: started.elapsed().as_micros() as u64,
                 });
             }
-            // One dependence index answers every criterion on this
-            // pinball under these options. Same-digest requests always
-            // route to this shard, so the shard-local cache still builds
-            // at most once across all clients.
-            let index = shard.index_cache.get_or_build(digest, fingerprint, || {
-                slot.lock().expect("session lock").dep_index_for(&options)
-            });
-            let slice = {
-                let mut guard = slot.lock().expect("session lock");
-                guard.install_dep_index(fingerprint, index);
-                guard.slice_criterion(criterion, options)
-            };
-            let wire = Arc::new(WireSlice::from_slice(&slice));
-            shard
-                .cache
-                .insert(digest, criterion, fingerprint, Arc::clone(&wire));
+            let (wire, cached) = slice_local(shard, &slot, digest, criterion, options);
             Ok(Response::Slice {
                 slice: (*wire).clone(),
-                cached: false,
+                cached,
                 micros: started.elapsed().as_micros() as u64,
             })
         }
@@ -564,39 +650,63 @@ fn try_execute(
             let started = Instant::now();
             let (slot, digest) = shard.pool.checkout(session)?;
             let criterion = resolve_criterion(&slot, at)?;
-            let fingerprint = options.fingerprint();
-            let (outcome, cached) =
-                shard
-                    .relog_cache
-                    .get_or_build(digest, criterion, fingerprint, || {
-                        // Resolve the dependence index through the shard
-                        // cache (one build per pinball and options), relog
-                        // under the session lock, then publish the slice
-                        // pinball into the global content-addressed store
-                        // so any shard can open, fetch, and slice it.
-                        let index = shard.index_cache.get_or_build(digest, fingerprint, || {
-                            slot.lock().expect("session lock").dep_index_for(&options)
-                        });
-                        let (container, report) = {
-                            let mut guard = slot.lock().expect("session lock");
-                            guard.install_dep_index(fingerprint, index);
-                            guard.relog_criterion(criterion, options)
-                        };
-                        let slice_digest = container.digest();
-                        let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
-                        if let Some(program) = state.store.program_of(digest) {
-                            state.store.insert_if_absent(
-                                slice_digest,
-                                program,
-                                Arc::new(container),
-                            );
-                        }
-                        Arc::new(RelogOutcome {
-                            digest: slice_digest,
-                            report,
-                            bytes,
-                        })
+            if let Some((cluster, owner)) = remote_owner(state, digest) {
+                let fingerprint = options.fingerprint();
+                if let Some(hit) = shard.relog_cache.peek(digest, criterion, fingerprint) {
+                    shard
+                        .cluster
+                        .peer_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(Response::Relogged {
+                        digest: hit.digest,
+                        instructions: hit.report.instructions,
+                        kept: hit.report.kept,
+                        excluded: hit.report.excluded,
+                        cached: true,
+                        micros: started.elapsed().as_micros() as u64,
                     });
+                }
+                shard.cluster.forwards.fetch_add(1, Ordering::Relaxed);
+                let r = cluster
+                    .forward_relog(
+                        &owner,
+                        digest,
+                        criterion,
+                        &options,
+                        push_supply(state, digest),
+                    )
+                    .inspect_err(|_| {
+                        shard.cluster.forward_errors.fetch_add(1, Ordering::Relaxed);
+                    })?;
+                // Cache the owner's verdict so repeats answer locally.
+                // The slice pinball itself stays at the owner; a local
+                // open/fetch of `r.digest` pulls it through the store.
+                shard.relog_cache.insert(
+                    digest,
+                    criterion,
+                    fingerprint,
+                    Arc::new(RelogOutcome {
+                        digest: r.digest,
+                        report: drdebug::RelogReport {
+                            digest: r.digest,
+                            instructions: r.instructions,
+                            kept: r.kept,
+                            excluded: r.excluded,
+                            ..drdebug::RelogReport::default()
+                        },
+                        bytes: 0,
+                    }),
+                );
+                return Ok(Response::Relogged {
+                    digest: r.digest,
+                    instructions: r.instructions,
+                    kept: r.kept,
+                    excluded: r.excluded,
+                    cached: false,
+                    micros: started.elapsed().as_micros() as u64,
+                });
+            }
+            let (outcome, cached) = relog_local(state, shard, &slot, digest, criterion, options);
             Ok(Response::Relogged {
                 digest: outcome.digest,
                 instructions: outcome.report.instructions,
@@ -607,10 +717,7 @@ fn try_execute(
             })
         }
         Request::FetchPinball { digest } => {
-            let (_, container) = state
-                .store
-                .get(digest)
-                .ok_or(ServeError::UnknownPinball { digest })?;
+            let (_, container) = fetch_into_store(state, shard, digest)?;
             let bytes = container.to_bytes()?;
             Ok(Response::PinballData {
                 digest,
@@ -623,10 +730,25 @@ fn try_execute(
             shard.pool.close(session)?;
             Ok(Response::Closed { session })
         }
-        Request::ProbePinball { digest } => Ok(Response::Probed {
-            digest,
-            known: state.store.program_of(digest).is_some(),
-        }),
+        Request::ProbePinball { digest } => {
+            let mut known = state.store.program_of(digest).is_some();
+            if !known {
+                // Ask the digest's owner before answering "no": the probe
+                // dedupes peer transfers exactly like it dedupes uploads.
+                // A dead owner degrades to "unknown" rather than erroring
+                // — the worst case is a redundant transfer.
+                if let Some((cluster, owner)) = remote_owner(state, digest) {
+                    shard.cluster.forwards.fetch_add(1, Ordering::Relaxed);
+                    match cluster.forward_probe(&owner, digest) {
+                        Ok(k) => known = k,
+                        Err(_) => {
+                            shard.cluster.forward_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Ok(Response::Probed { digest, known })
+        }
         Request::BeginStream {
             stream,
             program,
@@ -644,6 +766,14 @@ fn try_execute(
                         events: 0,
                         already_have: true,
                     });
+                }
+                // Fleet mode: a digest-announced stream belongs at its
+                // owner. Redirecting before any chunk arrives means the
+                // body crosses the wire once, straight to where digest
+                // routing will look for it.
+                if let Some((_, owner)) = remote_owner(state, digest) {
+                    shard.cluster.redirects.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Response::Redirect { addr: owner });
                 }
             }
             let mut streams = shard.streams.lock().expect("streams lock");
@@ -737,10 +867,23 @@ fn try_execute(
             let container = Arc::new(PinballContainer::from_bytes(bytes)?);
             let digest = container.digest();
             let instructions = container.pinball.logged_instructions();
+            // A stream that never announced its digest could not be
+            // redirected at `BeginStream`: push the published container
+            // to its owner (best effort, outside the streams lock) so
+            // digest routing finds it where the ring says it lives.
+            let push = remote_owner(state, digest)
+                .map(|(cluster, owner)| (cluster, owner, Arc::clone(&st.program), bytes.to_vec()));
             let deduped = state
                 .store
                 .insert_if_absent(digest, Arc::clone(&st.program), container);
             st.published = Some(digest);
+            drop(streams);
+            if let Some((cluster, owner, program, bytes)) = push {
+                shard.cluster.peer_pushes.fetch_add(1, Ordering::Relaxed);
+                if cluster.forward_upload(&owner, &program, bytes).is_err() {
+                    shard.cluster.forward_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             Ok(Response::Uploaded {
                 digest,
                 instructions,
@@ -853,7 +996,237 @@ fn try_execute(
                 micros: started.elapsed().as_micros() as u64,
             })
         }
+        Request::Gossip { view } => match state.cluster.get() {
+            Some(cluster) => {
+                cluster.merge(&view, None);
+                Ok(cluster.peer_view(state.store.len()))
+            }
+            None => Ok(empty_peer_view()),
+        },
+        Request::PeerMap => match state.cluster.get() {
+            Some(cluster) => Ok(cluster.peer_view(state.store.len())),
+            None => Ok(empty_peer_view()),
+        },
+        Request::PeerSlice {
+            digest,
+            criterion,
+            options,
+        } => {
+            let started = Instant::now();
+            let slot = peer_session(state, shard, digest)?;
+            let (wire, cached) = slice_local(shard, &slot, digest, criterion, options);
+            Ok(Response::Slice {
+                slice: (*wire).clone(),
+                cached,
+                micros: started.elapsed().as_micros() as u64,
+            })
+        }
+        Request::PeerRelog {
+            digest,
+            criterion,
+            options,
+        } => {
+            let started = Instant::now();
+            let slot = peer_session(state, shard, digest)?;
+            let (outcome, cached) = relog_local(state, shard, &slot, digest, criterion, options);
+            Ok(Response::Relogged {
+                digest: outcome.digest,
+                instructions: outcome.report.instructions,
+                kept: outcome.report.kept,
+                excluded: outcome.report.excluded,
+                cached,
+                micros: started.elapsed().as_micros() as u64,
+            })
+        }
+        Request::FetchStored { digest } => {
+            // Local store only — never forwarded, so peer fetch chains
+            // terminate after one hop.
+            let (program, container) = state
+                .store
+                .get(digest)
+                .ok_or(ServeError::UnknownPinball { digest })?;
+            Ok(Response::StoredData {
+                digest,
+                program: (*program).clone(),
+                container: container.to_bytes()?,
+            })
+        }
+        Request::PeerProbe { digest } => Ok(Response::Probed {
+            digest,
+            known: state.store.program_of(digest).is_some(),
+        }),
     }
+}
+
+/// The answer a standalone (cluster-less) node gives to gossip traffic.
+fn empty_peer_view() -> Response {
+    Response::PeerView {
+        self_addr: String::new(),
+        virtual_nodes: 0,
+        nodes: Vec::new(),
+    }
+}
+
+/// The cluster handle and owning peer when `digest` belongs to another
+/// node. `None` on a standalone node or when this node is the owner.
+fn remote_owner(state: &ServiceState, digest: PinballDigest) -> Option<(&Arc<Cluster>, String)> {
+    let cluster = state.cluster.get()?;
+    let owner = cluster.remote_owner(digest)?;
+    Some((cluster, owner))
+}
+
+/// The container supplier a forward hands to the cluster: on the owner's
+/// `UnknownPinball` (a restart, or a fresh owner after a ring change) the
+/// forwarder pushes its stored copy once and retries.
+fn push_supply(
+    state: &ServiceState,
+    digest: PinballDigest,
+) -> impl FnOnce() -> Option<(Program, Vec<u8>)> + '_ {
+    move || {
+        let (program, container) = state.store.get(digest)?;
+        let bytes = container.to_bytes().ok()?;
+        Some(((*program).clone(), bytes))
+    }
+}
+
+/// The session a peer-forwarded request runs under: reused per digest,
+/// outside the client pool so pool eviction can't interrupt peer work.
+fn peer_session(
+    state: &ServiceState,
+    shard: &Shard,
+    digest: PinballDigest,
+) -> Result<Arc<Mutex<drdebug::DebugSession>>, ServeError> {
+    let mut sessions = shard.peer_sessions.lock().expect("peer sessions lock");
+    if let Some(slot) = sessions.get(&digest) {
+        return Ok(Arc::clone(slot));
+    }
+    let (program, container) = state
+        .store
+        .get(digest)
+        .ok_or(ServeError::UnknownPinball { digest })?;
+    // Crude bound: sessions are cheap to rebuild (the expensive artifacts
+    // — index, slices, relogs — live in the shard caches), so wholesale
+    // clearing beats LRU bookkeeping here.
+    if sessions.len() >= state.config.max_sessions.max(1) * 4 {
+        sessions.clear();
+    }
+    let slot = Arc::new(Mutex::new(drdebug::DebugSession::with_shared_container(
+        program, container,
+    )));
+    sessions.insert(digest, Arc::clone(&slot));
+    Ok(slot)
+}
+
+/// Resolves a digest to its stored program + container, pulling it from a
+/// peer when the local store misses — the fetch-through behind `open` and
+/// `fetch`, and the re-warm path for a node that lost its store. Tries
+/// the digest's owner first, then any alive peer, probing before each
+/// transfer so no body crosses the wire speculatively.
+fn fetch_into_store(
+    state: &ServiceState,
+    shard: &Shard,
+    digest: PinballDigest,
+) -> Result<(Arc<Program>, Arc<PinballContainer>), ServeError> {
+    if let Some(found) = state.store.get(digest) {
+        return Ok(found);
+    }
+    let Some(cluster) = state.cluster.get() else {
+        return Err(ServeError::UnknownPinball { digest });
+    };
+    for addr in cluster.fetch_candidates(digest) {
+        if !matches!(cluster.forward_probe(&addr, digest), Ok(true)) {
+            continue;
+        }
+        let Ok((program, bytes)) = cluster.fetch_stored(&addr, digest) else {
+            continue;
+        };
+        let Ok(container) = PinballContainer::from_bytes(&bytes) else {
+            continue;
+        };
+        shard.cluster.peer_fetches.fetch_add(1, Ordering::Relaxed);
+        let program = Arc::new(program);
+        let container = Arc::new(container);
+        state
+            .store
+            .insert_if_absent(digest, Arc::clone(&program), Arc::clone(&container));
+        // Re-read so a concurrent insert and ours converge on one copy.
+        return Ok(state.store.get(digest).unwrap_or((program, container)));
+    }
+    Err(ServeError::UnknownPinball { digest })
+}
+
+/// Computes (or serves from the shard caches) a slice for a checked-out
+/// session — the shared tail of `ComputeSlice` and `PeerSlice`.
+fn slice_local(
+    shard: &Shard,
+    slot: &Arc<Mutex<drdebug::DebugSession>>,
+    digest: PinballDigest,
+    criterion: Criterion,
+    options: SliceOptions,
+) -> (Arc<WireSlice>, bool) {
+    let fingerprint = options.fingerprint();
+    if let Some(hit) = shard.cache.get(digest, criterion, fingerprint) {
+        return (hit, true);
+    }
+    // One dependence index answers every criterion on this pinball under
+    // these options. Same-digest requests always route to this shard, so
+    // the shard-local cache still builds at most once across all clients
+    // — and, with cluster forwarding, across the whole fleet.
+    let index = shard.index_cache.get_or_build(digest, fingerprint, || {
+        slot.lock().expect("session lock").dep_index_for(&options)
+    });
+    let slice = {
+        let mut guard = slot.lock().expect("session lock");
+        guard.install_dep_index(fingerprint, index);
+        guard.slice_criterion(criterion, options)
+    };
+    let wire = Arc::new(WireSlice::from_slice(&slice));
+    shard
+        .cache
+        .insert(digest, criterion, fingerprint, Arc::clone(&wire));
+    (wire, false)
+}
+
+/// Relogs (or serves from the relog cache) — the shared tail of `Relog`
+/// and `PeerRelog`. The slice pinball publishes into the global store.
+fn relog_local(
+    state: &ServiceState,
+    shard: &Shard,
+    slot: &Arc<Mutex<drdebug::DebugSession>>,
+    digest: PinballDigest,
+    criterion: Criterion,
+    options: SliceOptions,
+) -> (Arc<RelogOutcome>, bool) {
+    let fingerprint = options.fingerprint();
+    shard
+        .relog_cache
+        .get_or_build(digest, criterion, fingerprint, || {
+            // Resolve the dependence index through the shard cache (one
+            // build per pinball and options), relog under the session
+            // lock, then publish the slice pinball into the global
+            // content-addressed store so any shard can open, fetch, and
+            // slice it.
+            let index = shard.index_cache.get_or_build(digest, fingerprint, || {
+                slot.lock().expect("session lock").dep_index_for(&options)
+            });
+            let (container, report) = {
+                let mut guard = slot.lock().expect("session lock");
+                guard.install_dep_index(fingerprint, index);
+                guard.relog_criterion(criterion, options)
+            };
+            let slice_digest = container.digest();
+            let bytes = container.to_bytes().map(|b| b.len() as u64).unwrap_or(0);
+            if let Some(program) = state.store.program_of(digest) {
+                state
+                    .store
+                    .insert_if_absent(slice_digest, program, Arc::new(container));
+            }
+            Arc::new(RelogOutcome {
+                digest: slice_digest,
+                report,
+                bytes,
+            })
+        })
 }
 
 /// Resolves where a slice anchors into a concrete [`Criterion`].
@@ -915,6 +1288,7 @@ fn rollup(state: &ServiceState) -> ServeStats {
             cache: shard.cache.stats(),
             index_cache: shard.index_cache.stats(),
             relog_cache: shard.relog_cache.stats(),
+            cluster: shard.cluster.snapshot(),
         };
         total.requests += s.requests;
         total.errors += s.errors;
@@ -923,13 +1297,32 @@ fn rollup(state: &ServiceState) -> ServeStats {
         add_cache(&mut total.index_cache, &s.index_cache);
         add_cache(&mut total.relog_cache, &s.relog_cache);
         add_sessions(&mut total.sessions, &s.sessions);
+        add_cluster(&mut total.cluster, &s.cluster);
         total.shards.push(s);
     }
     let mut per_op: Vec<(String, OpStats)> = per_op.into_iter().collect();
     per_op.sort_by(|a, b| a.0.cmp(&b.0));
     total.per_op = per_op;
     total.pinballs = state.store.len();
+    // The traffic counters above are strictly Σ per-shard (the invariant
+    // tests pin); liveness and gossip rounds are node-global.
+    if let Some(cluster) = state.cluster.get() {
+        let summary = cluster.summary();
+        total.cluster.enabled = true;
+        total.cluster.nodes_alive = summary.alive;
+        total.cluster.nodes_dead = summary.dead;
+        total.cluster.gossip_rounds = summary.rounds;
+    }
     total
+}
+
+fn add_cluster(total: &mut ClusterStats, s: &ClusterStats) {
+    total.forwards += s.forwards;
+    total.forward_errors += s.forward_errors;
+    total.redirects += s.redirects;
+    total.peer_cache_hits += s.peer_cache_hits;
+    total.peer_fetches += s.peer_fetches;
+    total.peer_pushes += s.peer_pushes;
 }
 
 fn add_cache(total: &mut proto::CacheStats, s: &proto::CacheStats) {

@@ -1,0 +1,314 @@
+//! Fleet integration: 3 nodes over loopback TCP — digest routing,
+//! cache-peer forwarding, redirect-on-stream, and the stats invariants.
+//!
+//! The acceptance bar: a slice asked of a non-owner node answers via
+//! forwarding byte-identical to a local [`DebugSession`], repeats answer
+//! from the asking node's own cache, exactly one `DepIndex` build happens
+//! fleet-wide, and a digest-aware [`FleetClient`] reaches the owner in
+//! one hop (zero forwards recorded anywhere).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use drdebug::DebugSession;
+use drserve::{
+    ClientError, FleetClient, ServeConfig, ServeStats, Server, ServerHandle, SliceAt, WireSlice,
+};
+use minivm::{LiveEnv, Program, RoundRobin};
+use pinplay::{record_whole_program, Pinball};
+use slicer::{Criterion, SliceOptions};
+
+fn recorded() -> (Arc<Program>, Pinball) {
+    let program = workloads::parsec::blackscholes(3);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(1),
+        2_000_000,
+        "cluster-integration",
+    )
+    .expect("records");
+    (program, rec.pinball)
+}
+
+/// The slice the fleet should produce for `SliceAt::Failure`, computed
+/// locally, in canonical bytes.
+fn local_failure_slice(program: &Arc<Program>, pinball: &Pinball) -> Vec<u8> {
+    let mut local = DebugSession::new(Arc::clone(program), pinball.clone());
+    let id = local.slicer().failure_record().expect("trace non-empty").id;
+    let slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+    WireSlice::from_slice(&slice).canonical_bytes()
+}
+
+struct Node {
+    server: Server,
+    handle: ServerHandle,
+}
+
+impl Node {
+    fn addr(&self) -> String {
+        self.handle.addr().to_string()
+    }
+}
+
+/// Boots an `n`-node fleet on loopback TCP: node 0 bootstraps (it has no
+/// one to seed from), the rest seed from node 0, and gossip melds the
+/// full mesh. Returns once every node sees every other alive.
+fn fleet(n: usize) -> Vec<Node> {
+    let base = ServeConfig {
+        shards: 2,
+        gossip_interval: Duration::from_millis(50),
+        peer_fail_after: Duration::from_millis(600),
+        ..ServeConfig::default()
+    };
+    let first = Server::new(ServeConfig {
+        cluster: true,
+        ..base.clone()
+    });
+    let handle = first.listen("127.0.0.1:0").expect("bind node 0");
+    let seed = handle.addr().to_string();
+    let mut nodes = vec![Node {
+        server: first,
+        handle,
+    }];
+    for i in 1..n {
+        let server = Server::new(ServeConfig {
+            peers: vec![seed.clone()],
+            ..base.clone()
+        });
+        let handle = server
+            .listen("127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind node {i}: {e}"));
+        nodes.push(Node { server, handle });
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        wait_alive(&node.server, n as u64, &format!("node {i}"));
+    }
+    nodes
+}
+
+fn wait_alive(server: &Server, n: u64, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let stats = server.stats();
+        assert!(stats.cluster.enabled, "{who}: cluster mode must be on");
+        if stats.cluster.nodes_alive >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{who}: fleet failed to converge ({} of {n} alive)",
+            stats.cluster.nodes_alive
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Every per-node rollup must equal the sum of its shard breakdowns —
+/// the `ServeStats.cluster` invariant.
+fn assert_cluster_rollup_is_shard_sum(stats: &ServeStats, who: &str) {
+    let sum = |f: fn(&drserve::ClusterStats) -> u64| -> u64 {
+        stats.shards.iter().map(|s| f(&s.cluster)).sum()
+    };
+    assert_eq!(
+        stats.cluster.forwards,
+        sum(|c| c.forwards),
+        "{who}: forwards"
+    );
+    assert_eq!(
+        stats.cluster.forward_errors,
+        sum(|c| c.forward_errors),
+        "{who}: forward_errors"
+    );
+    assert_eq!(
+        stats.cluster.redirects,
+        sum(|c| c.redirects),
+        "{who}: redirects"
+    );
+    assert_eq!(
+        stats.cluster.peer_cache_hits,
+        sum(|c| c.peer_cache_hits),
+        "{who}: peer_cache_hits"
+    );
+    assert_eq!(
+        stats.cluster.peer_fetches,
+        sum(|c| c.peer_fetches),
+        "{who}: peer_fetches"
+    );
+    assert_eq!(
+        stats.cluster.peer_pushes,
+        sum(|c| c.peer_pushes),
+        "{who}: peer_pushes"
+    );
+}
+
+#[test]
+fn forwarded_slice_matches_local_and_repeats_answer_locally() {
+    let (program, pinball) = recorded();
+    let expected = local_failure_slice(&program, &pinball);
+    let nodes = fleet(3);
+
+    // Route the upload to its owner with the digest-aware client.
+    let mut fc = FleetClient::connect(&nodes[0].addr()).expect("fleet connect");
+    let up = fc.upload(&program, &pinball).expect("upload");
+    let owner_addr = fc.owner_of(up.digest);
+    let owner_ix = nodes
+        .iter()
+        .position(|n| n.addr() == owner_addr)
+        .expect("owner is a fleet member");
+    let non_owners: Vec<usize> = (0..nodes.len()).filter(|&i| i != owner_ix).collect();
+
+    // Ask a *non-owner* node: the request must forward to the owner and
+    // come back byte-identical to the local computation.
+    for &ix in &non_owners {
+        let mut client = nodes[ix].server.loopback_client();
+        let session = client.open(up.digest).expect("open via fetch-through");
+        let first = client
+            .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+            .expect("forwarded slice");
+        assert_eq!(
+            first.slice.canonical_bytes(),
+            expected,
+            "node {ix}: forwarded slice differs from local computation"
+        );
+        assert!(!first.cached, "first ask cannot be a local cache hit");
+        // The answer was cached on the asking node: the repeat answers
+        // locally (asserted below via `forwards` staying put).
+        let forwards_before = nodes[ix].server.stats().cluster.forwards;
+        let second = client
+            .compute_slice(session, SliceAt::Failure, SliceOptions::default())
+            .expect("repeat slice");
+        assert!(
+            second.cached,
+            "repeat must answer from the local peer cache"
+        );
+        assert_eq!(second.slice.canonical_bytes(), expected);
+        assert_eq!(
+            nodes[ix].server.stats().cluster.forwards,
+            forwards_before,
+            "node {ix}: repeat ask must not forward again"
+        );
+        client.close(session).expect("close");
+    }
+
+    // Relog forwards the same way and repeats hit the local relog cache.
+    let relog_node = non_owners[0];
+    let mut client = nodes[relog_node].server.loopback_client();
+    let session = client.open(up.digest).expect("open");
+    let r1 = client
+        .relog(session, SliceAt::Failure, SliceOptions::default())
+        .expect("forwarded relog");
+    assert!(!r1.cached);
+    let r2 = client
+        .relog(session, SliceAt::Failure, SliceOptions::default())
+        .expect("repeat relog");
+    assert!(r2.cached, "repeat relog must answer locally");
+    assert_eq!(r1.digest, r2.digest, "relog digest must be stable");
+    // The slice pinball is fetchable from any node via fetch-through.
+    let bytes = client.fetch(r1.digest).expect("fetch slice pinball");
+    assert!(!bytes.is_empty());
+    client.close(session).expect("close");
+
+    // Exactly one DepIndex build fleet-wide: both non-owners asked, only
+    // the owner built.
+    let index_misses: u64 = nodes
+        .iter()
+        .map(|n| n.server.stats().index_cache.misses)
+        .sum();
+    assert_eq!(index_misses, 1, "exactly one DepIndex build fleet-wide");
+
+    // Forwarding really happened, and the counters roll up per node.
+    let mut forwards = 0;
+    let mut peer_hits = 0;
+    for (i, node) in nodes.iter().enumerate() {
+        let stats = node.server.stats();
+        assert!(stats.cluster.gossip_rounds > 0, "node {i}: gossip ran");
+        assert_cluster_rollup_is_shard_sum(&stats, &format!("node {i}"));
+        forwards += stats.cluster.forwards;
+        peer_hits += stats.cluster.peer_cache_hits;
+    }
+    assert!(forwards >= 3, "both non-owners forwarded slice + relog");
+    assert!(peer_hits >= 3, "repeat asks hit peer caches");
+}
+
+#[test]
+fn fleet_client_reaches_owners_in_one_hop() {
+    let (program, pinball) = recorded();
+    let expected = local_failure_slice(&program, &pinball);
+    let nodes = fleet(3);
+
+    let mut fc = FleetClient::connect(&nodes[0].addr()).expect("fleet connect");
+    assert_eq!(fc.nodes().iter().filter(|n| n.alive).count(), 3);
+    let up = fc.upload(&program, &pinball).expect("upload");
+    assert!(
+        fc.probe(up.digest).expect("probe"),
+        "owner stores the upload"
+    );
+    let session = fc.open(up.digest).expect("open at owner");
+    let reply = fc
+        .compute_slice(&session, SliceAt::Failure, SliceOptions::default())
+        .expect("slice at owner");
+    assert_eq!(reply.slice.canonical_bytes(), expected);
+    let relog = fc
+        .relog(&session, SliceAt::Failure, SliceOptions::default())
+        .expect("relog at owner");
+    let fetched = fc.fetch(relog.digest).expect("fetch slice pinball");
+    assert!(!fetched.is_empty());
+    fc.close(&session).expect("close");
+
+    // The digest-aware path is zero-hop: no node forwarded anything and
+    // nothing was redirected.
+    for (i, node) in nodes.iter().enumerate() {
+        let stats = node.server.stats();
+        assert_eq!(
+            stats.cluster.forwards, 0,
+            "node {i}: hot path must not forward"
+        );
+        assert_eq!(
+            stats.cluster.redirects, 0,
+            "node {i}: hot path must not redirect"
+        );
+    }
+}
+
+#[test]
+fn streams_redirect_to_the_owner_and_fleet_client_follows() {
+    let (program, pinball) = recorded();
+    let nodes = fleet(3);
+
+    let container = pinplay::PinballContainer::new(pinball.clone());
+    let digest = container.digest();
+    let mut fc = FleetClient::connect(&nodes[0].addr()).expect("fleet connect");
+    let owner_addr = fc.owner_of(digest);
+    let non_owner = nodes
+        .iter()
+        .position(|n| n.addr() != owner_addr)
+        .expect("some node is not the owner");
+
+    // A plain client streaming at a non-owner is told where to go.
+    let mut plain = nodes[non_owner].server.loopback_client();
+    match plain.upload_streamed(&program, &container, 4) {
+        Err(ClientError::Redirected { addr }) => {
+            assert_eq!(addr, owner_addr, "redirect names the ring owner")
+        }
+        other => panic!("expected Redirected, got {other:?}"),
+    }
+    assert!(
+        nodes[non_owner].server.stats().cluster.redirects >= 1,
+        "redirect was counted"
+    );
+
+    // The fleet client follows the same redirect transparently (it
+    // routes straight to the owner, so the result is simply an upload).
+    let up = fc
+        .upload_streamed(&program, &container, 4)
+        .expect("streamed upload routes to owner");
+    assert_eq!(up.digest, digest);
+    // Streaming the same container again dedupes digest-first: the body
+    // never crosses the wire.
+    let again = fc
+        .upload_streamed(&program, &container, 4)
+        .expect("repeat streamed upload");
+    assert!(again.deduped, "repeat stream dedupes at the owner");
+}

@@ -1,0 +1,172 @@
+//! Fault injection: kill a fleet node mid-traffic.
+//!
+//! The bar: in-flight forwards to the dead owner surface as the typed,
+//! retryable [`ServeError::Peer`] — never a panic or a hang — requests
+//! reroute to the surviving owner once gossip converges, and a node that
+//! joins afterwards re-warms its store from its peers.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use drdebug::DebugSession;
+use drserve::{
+    ClientError, FleetClient, ServeConfig, ServeError, Server, ServerHandle, SliceAt, WireSlice,
+};
+use minivm::{LiveEnv, Program, RoundRobin};
+use pinplay::{record_whole_program, Pinball};
+use slicer::{Criterion, SliceOptions};
+
+fn recorded() -> (Arc<Program>, Pinball) {
+    let program = workloads::parsec::blackscholes(2);
+    let rec = record_whole_program(
+        &program,
+        &mut RoundRobin::new(7),
+        &mut LiveEnv::new(1),
+        2_000_000,
+        "cluster-fault",
+    )
+    .expect("records");
+    (program, rec.pinball)
+}
+
+fn local_failure_slice(program: &Arc<Program>, pinball: &Pinball) -> Vec<u8> {
+    let mut local = DebugSession::new(Arc::clone(program), pinball.clone());
+    let id = local.slicer().failure_record().expect("trace non-empty").id;
+    let slice = local.slice_criterion(Criterion::Record { id }, SliceOptions::default());
+    WireSlice::from_slice(&slice).canonical_bytes()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        gossip_interval: Duration::from_millis(50),
+        peer_fail_after: Duration::from_millis(400),
+        peer_connect_timeout: Duration::from_millis(250),
+        peer_op_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+fn wait_alive(server: &Server, n: u64, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while server.stats().cluster.nodes_alive < n {
+        assert!(
+            Instant::now() < deadline,
+            "{who}: fleet failed to converge to {n} alive"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn killing_the_owner_reroutes_and_a_joiner_rewarms() {
+    let (program, pinball) = recorded();
+    let expected = local_failure_slice(&program, &pinball);
+
+    // Boot a 3-node fleet, indexable so any node can be killed.
+    let mut nodes: Vec<Option<(Server, ServerHandle)>> = Vec::new();
+    let bootstrap = Server::new(ServeConfig {
+        cluster: true,
+        ..config()
+    });
+    let h0 = bootstrap.listen("127.0.0.1:0").expect("bind node 0");
+    let seed = h0.addr().to_string();
+    nodes.push(Some((bootstrap, h0)));
+    for i in 1..3 {
+        let server = Server::new(ServeConfig {
+            peers: vec![seed.clone()],
+            ..config()
+        });
+        let handle = server
+            .listen("127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind node {i}: {e}"));
+        nodes.push(Some((server, handle)));
+    }
+    let addr_of = |node: &Option<(Server, ServerHandle)>| -> String {
+        node.as_ref().expect("node alive").1.addr().to_string()
+    };
+    for (i, node) in nodes.iter().enumerate() {
+        wait_alive(&node.as_ref().unwrap().0, 3, &format!("node {i}"));
+    }
+
+    // Upload at the owner, then make a non-owner fetch a copy (the
+    // fetch-through on open), so the pinball survives the owner's death.
+    let mut fc = FleetClient::connect(&seed).expect("fleet connect");
+    let up = fc.upload(&program, &pinball).expect("upload");
+    let owner_addr = fc.owner_of(up.digest);
+    let owner_ix = (0..3)
+        .find(|&i| addr_of(&nodes[i]) == owner_addr)
+        .expect("owner in fleet");
+    let survivor_ix = (0..3).find(|&i| i != owner_ix).expect("survivor");
+    let other_ix = (0..3)
+        .find(|&i| i != owner_ix && i != survivor_ix)
+        .expect("third node");
+    {
+        let mut warm = nodes[survivor_ix].as_ref().unwrap().0.loopback_client();
+        let s = warm.open(up.digest).expect("fetch-through open");
+        warm.close(s).expect("close");
+    }
+
+    // Kill the owner: stop its accept loop, then join its workers.
+    // Pooled peer connections into it die underneath the survivors.
+    drop(nodes[owner_ix].take());
+
+    // Ask the survivor for a slice in a bounded retry loop. Before gossip
+    // converges the ring still names the dead node owner, so forwards
+    // fail — every such failure MUST be the typed, retryable Peer error
+    // (never a panic, a hang, or a protocol violation). After
+    // convergence the ring re-routes and the ask succeeds.
+    let mut client = nodes[survivor_ix].as_ref().unwrap().0.loopback_client();
+    let session = client.open(up.digest).expect("open on survivor");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut peer_errors = 0u32;
+    let reply = loop {
+        match client.compute_slice(session, SliceAt::Failure, SliceOptions::default()) {
+            Ok(reply) => break reply,
+            Err(ClientError::Server(ServeError::Peer { addr, .. })) => {
+                assert_eq!(addr, owner_addr, "the failing peer is the dead owner");
+                peer_errors += 1;
+                assert!(
+                    Instant::now() < deadline,
+                    "fleet failed to reroute after {peer_errors} typed peer errors"
+                );
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(other) => panic!("only typed retryable errors are acceptable: {other}"),
+        }
+    };
+    assert_eq!(
+        reply.slice.canonical_bytes(),
+        expected,
+        "rerouted slice must still match the local computation"
+    );
+    for &i in &[survivor_ix, other_ix] {
+        let stats = nodes[i].as_ref().unwrap().0.stats();
+        assert_eq!(stats.cluster.nodes_alive, 2, "node {i} saw the death");
+        assert_eq!(stats.cluster.nodes_dead, 1, "node {i} remembers the corpse");
+    }
+
+    // A new node joins the shrunken fleet and re-warms from its peers:
+    // opening the digest pulls the container through the cluster even
+    // though the original owner is gone.
+    let joiner = Server::new(ServeConfig {
+        peers: vec![addr_of(&nodes[survivor_ix])],
+        ..config()
+    });
+    let jh = joiner.listen("127.0.0.1:0").expect("bind joiner");
+    wait_alive(&joiner, 3, "joiner");
+    let mut jc = joiner.loopback_client();
+    let js = jc.open(up.digest).expect("joiner re-warms from peers");
+    let jr = jc
+        .compute_slice(js, SliceAt::Failure, SliceOptions::default())
+        .expect("slice after re-warm");
+    assert_eq!(jr.slice.canonical_bytes(), expected);
+    jc.close(js).expect("close");
+    let jstats = joiner.stats();
+    assert!(
+        jstats.cluster.peer_fetches >= 1,
+        "the joiner pulled the pinball from a peer"
+    );
+    drop(jh);
+}

@@ -1,0 +1,153 @@
+//! Property tests pinning the [`HashRing`] guarantees the cluster relies
+//! on:
+//!
+//! 1. **Balance** — with enough virtual nodes, no node owns more than
+//!    `1/N + ε` of the keyspace (measured exactly via arc lengths, not
+//!    sampling).
+//! 2. **Minimal remap** — adding one node only moves keys *to* it,
+//!    removing one node only moves keys it owned, and either way the
+//!    displaced fraction is ~1/N of the keyspace, not a reshuffle.
+//! 3. **Agreement** — nodes building rings from differently ordered (or
+//!    duplicated) gossip views name the same owner for every digest.
+
+use drserve::HashRing;
+use pinplay::PinballDigest;
+use proptest::prelude::*;
+
+/// The virtual-node count [`drserve::ServeConfig`] defaults to; the
+/// balance bound below is pinned at this setting.
+const VNODES: usize = 64;
+
+/// The tolerated imbalance multiplier: no node may own more than
+/// `BALANCE_CAP / N` of the keyspace. Loose enough to hold for arbitrary
+/// addresses at 64 vnodes, tight enough that a broken point placement
+/// (which skews shares by integer factors) trips it.
+const BALANCE_CAP: f64 = 1.75;
+
+/// Distinct node addresses, 2..=12 of them. The index keeps every
+/// address unique regardless of the random host byte.
+fn addrs_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(any::<u8>(), 2..13).prop_map(|hosts| {
+        hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("10.0.{h}.{}:{}", i % 251, 7000 + i))
+            .collect()
+    })
+}
+
+fn share_of(ring: &HashRing, addr: &str) -> f64 {
+    ring.shares()
+        .into_iter()
+        .find(|(a, _)| a == addr)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| panic!("{addr} missing from ring"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No node's exact keyspace share exceeds `BALANCE_CAP / N`.
+    #[test]
+    fn keyspace_stays_balanced(addrs in addrs_strategy()) {
+        let n = addrs.len() as f64;
+        let ring = HashRing::new(addrs.clone(), VNODES);
+        let shares = ring.shares();
+        prop_assert_eq!(shares.len(), addrs.len());
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {}", total);
+        let cap = BALANCE_CAP / n;
+        for (addr, share) in &shares {
+            prop_assert!(
+                *share <= cap,
+                "node {} owns {:.4} of the keyspace, cap {:.4}",
+                addr, share, cap
+            );
+        }
+    }
+
+    /// Adding one node moves keys only *to* the newcomer; removing one
+    /// moves only the keys the victim owned; the displaced keyspace is
+    /// the changed node's own ~1/N share in both directions.
+    #[test]
+    fn membership_change_remaps_about_one_nth(
+        addrs in addrs_strategy(),
+        extra_port in 20_000u16..40_000,
+        victim_pick in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 512..513),
+    ) {
+        let before = HashRing::new(addrs.clone(), VNODES);
+
+        // Grow by one. The newcomer's port range cannot collide with the
+        // generated fleet's 7000+i ports, so it is always a new address.
+        let newcomer = format!("10.9.9.9:{extra_port}");
+        let grown = HashRing::new(
+            addrs.iter().cloned().chain([newcomer.clone()]).collect(),
+            VNODES,
+        );
+        let mut moved = 0usize;
+        for &k in &keys {
+            let a = before.owner(PinballDigest(k)).unwrap();
+            let b = grown.owner(PinballDigest(k)).unwrap();
+            if a != b {
+                prop_assert_eq!(
+                    b, newcomer.as_str(),
+                    "an add may move keys only TO the new node"
+                );
+                moved += 1;
+            }
+        }
+        // Exactly the newcomer's arc share moved; check the exact share
+        // and sanity-check the sampled movement against it.
+        let fair_grown = 1.0 / (addrs.len() + 1) as f64;
+        let new_share = share_of(&grown, &newcomer);
+        prop_assert!(
+            new_share <= BALANCE_CAP * fair_grown,
+            "add displaced {:.4} of the keyspace, fair {:.4}",
+            new_share, fair_grown
+        );
+        prop_assert!(
+            (moved as f64 / keys.len() as f64) <= 2.5 * fair_grown,
+            "sampled add-remap moved {} of {} keys, fair share {:.4}",
+            moved, keys.len(), fair_grown
+        );
+
+        // Shrink by one: only the victim's keys may change owner.
+        let victim = addrs[(victim_pick % addrs.len() as u64) as usize].clone();
+        let shrunk = HashRing::new(
+            addrs.iter().filter(|a| **a != victim).cloned().collect(),
+            VNODES,
+        );
+        let victim_share = share_of(&before, &victim);
+        prop_assert!(victim_share <= BALANCE_CAP / addrs.len() as f64);
+        for &k in &keys {
+            let a = before.owner(PinballDigest(k)).unwrap();
+            let b = shrunk.owner(PinballDigest(k)).unwrap();
+            if a != b {
+                prop_assert_eq!(
+                    a, victim.as_str(),
+                    "a removal may move only the removed node's keys"
+                );
+            }
+        }
+    }
+
+    /// Ownership is deterministic and insensitive to view order and
+    /// duplicates — gossip never guarantees the order peers arrive in.
+    #[test]
+    fn ring_agreement_is_order_insensitive(
+        addrs in addrs_strategy(),
+        rotation in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 64..65),
+    ) {
+        let a = HashRing::new(addrs.clone(), VNODES);
+        let mut shuffled = addrs.clone();
+        shuffled.rotate_left((rotation % addrs.len() as u64) as usize);
+        shuffled.push(shuffled[0].clone()); // duplicates must not matter
+        let b = HashRing::new(shuffled, VNODES);
+        prop_assert_eq!(a.len(), b.len(), "duplicate address changed the ring");
+        for &k in &keys {
+            prop_assert_eq!(a.owner(PinballDigest(k)), b.owner(PinballDigest(k)));
+        }
+    }
+}
